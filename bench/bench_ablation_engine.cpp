@@ -1,0 +1,115 @@
+// Ablation: execution-engine choice (DESIGN.md §5.3). Runs the demo
+// pipeline and a set of kernels on both engines — the tree-walking
+// interpreter and the bytecode VM — and reports output agreement, the
+// simulated-energy ratio (charge sites differ slightly where the compiled
+// form differs), and host-side interpretation throughput.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "demo_project.hpp"
+
+#include "energy/machine.hpp"
+#include "jbc/bcvm.hpp"
+#include "jbc/compiler.hpp"
+#include "jlang/parser.hpp"
+#include "jvm/interpreter.hpp"
+
+namespace {
+
+using namespace jepo;
+
+struct EngineResult {
+  std::string output;
+  double simulatedJoules = 0.0;
+  double hostMicros = 0.0;
+};
+
+EngineResult runTree(const jlang::Program& prog) {
+  const auto t0 = std::chrono::steady_clock::now();
+  energy::SimMachine machine;
+  jvm::Interpreter interp(prog, machine);
+  interp.setMaxSteps(500'000'000);
+  interp.runMain();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {interp.output(), machine.sample().packageJoules,
+          std::chrono::duration<double, std::micro>(t1 - t0).count()};
+}
+
+EngineResult runBytecode(const jlang::Program& prog) {
+  const jbc::CompiledProgram compiled = jbc::compile(prog);
+  const auto t0 = std::chrono::steady_clock::now();
+  energy::SimMachine machine;
+  jbc::BytecodeVm vm(compiled, machine);
+  vm.setMaxSteps(1'000'000'000);
+  vm.runMain();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {vm.output(), machine.sample().packageJoules,
+          std::chrono::duration<double, std::micro>(t1 - t0).count()};
+}
+
+std::string wrapMain(const std::string& body) {
+  return "class Main { static void main(String[] args) {\n" + body +
+         "\n} }";
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Ablation — tree-walking interpreter vs bytecode VM (same cost model, "
+      "same builtin library)");
+
+  struct Case {
+    const char* label;
+    std::string source;
+  };
+  const Case cases[] = {
+      {"demo edge pipeline", bench::kDemoProjectSource},
+      {"arithmetic loop (100k)",
+       wrapMain("int acc = 0;\n"
+                "for (int i = 0; i < 100000; i++) acc += i & 15;\n"
+                "System.out.println(acc);")},
+      {"method calls (20k)",
+       "class Main {\n"
+       "  static int add(int a, int b) { return a + b; }\n"
+       "  static void main(String[] args) {\n"
+       "    int acc = 0;\n"
+       "    for (int i = 0; i < 20000; i++) acc = add(acc, i);\n"
+       "    System.out.println(acc);\n"
+       "  }\n"
+       "}"},
+      {"string building (2k)",
+       wrapMain("StringBuilder sb = new StringBuilder();\n"
+                "for (int i = 0; i < 2000; i++) sb.append('x');\n"
+                "System.out.println(sb.length());")},
+      {"matrix sweep (200x200)",
+       wrapMain("int[][] m = new int[200][200];\n"
+                "int acc = 0;\n"
+                "for (int i = 0; i < 200; i++)\n"
+                "  for (int j = 0; j < 200; j++)\n"
+                "    acc += m[i][j];\n"
+                "System.out.println(acc);")},
+  };
+
+  TextTable table({"Workload", "Outputs", "Sim-energy ratio (bc/tree)",
+                   "Host time tree", "Host time bytecode"},
+                  {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight,
+                   Align::kRight});
+  for (const Case& c : cases) {
+    const jlang::Program prog =
+        jlang::Parser::parseProgram("case.mjava", c.source);
+    const EngineResult tree = runTree(prog);
+    const EngineResult bytecode = runBytecode(prog);
+    table.addRow({c.label, tree.output == bytecode.output ? "match" : "DIFF",
+                  fixed(bytecode.simulatedJoules / tree.simulatedJoules, 3),
+                  fixed(tree.hostMicros, 0) + " us",
+                  fixed(bytecode.hostMicros, 0) + " us"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nSimulated energies sit near 1.0 by construction (shared cost model\n"
+      "and builtins); the residual is the compiled form: ternaries lower to\n"
+      "branches, block scopes vanish, operand shuffles are free. The host\n"
+      "columns compare raw interpretation overhead of the two engines.");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared utilities for the bench binaries: a tiny --key=value flag parser
+// and the paper-vs-measured table shape every reproduction bench prints.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace jepo::bench {
+
+/// Parses flags of the form --name=value; everything else is ignored.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (!startsWith(arg, "--")) continue;
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_.emplace_back(arg.substr(2), "true");
+      } else {
+        values_.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    }
+  }
+
+  std::string get(const std::string& name, const std::string& def) const {
+    for (const auto& [k, v] : values_) {
+      if (k == name) return v;
+    }
+    return def;
+  }
+
+  long getInt(const std::string& name, long def) const {
+    const std::string v = get(name, "");
+    return v.empty() ? def : std::strtol(v.c_str(), nullptr, 10);
+  }
+
+  double getDouble(const std::string& name, double def) const {
+    const std::string v = get(name, "");
+    return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+  }
+
+  bool getBool(const std::string& name, bool def = false) const {
+    const std::string v = get(name, "");
+    return v.empty() ? def : v == "true" || v == "1";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> values_;
+};
+
+inline void printHeader(const std::string& title) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================\n");
+}
+
+}  // namespace jepo::bench

@@ -1,0 +1,27 @@
+// Figures 1-3 reproduction: the JEPO toolbar button (Fig. 1), the dynamic
+// suggestion view on the open editor file (Fig. 2), and the project pop-up
+// menu (Fig. 3), rendered as deterministic text.
+#include "bench_common.hpp"
+#include "demo_project.hpp"
+
+#include "jepo/engine.hpp"
+#include "jepo/views.hpp"
+
+int main() {
+  using namespace jepo;
+
+  bench::printHeader("Fig. 1 — JEPO toolbar button");
+  std::fputs(core::renderToolbar().c_str(), stdout);
+
+  bench::printHeader("Fig. 2 — JEPO dynamic suggestion view");
+  core::SuggestionEngine engine;
+  const auto suggestions =
+      engine.analyzeSource("EdgePipeline.mjava", bench::kDemoProjectSource);
+  std::fputs(
+      core::renderDynamicView("EdgePipeline.mjava", suggestions).c_str(),
+      stdout);
+
+  bench::printHeader("Fig. 3 — JEPO pop-up menu buttons");
+  std::fputs(core::renderPopupMenu().c_str(), stdout);
+  return 0;
+}

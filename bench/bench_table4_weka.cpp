@@ -1,0 +1,65 @@
+// Table IV reproduction: per classifier — #changes, package / CPU / time
+// improvement after applying JEPO's suggestions, and accuracy drop — using
+// the Section VIII protocol (stratified 10-fold CV, N runs, Tukey loop).
+//
+// Flags:
+//   --instances=<n>     CV sample size (default 1000; paper used 10,000)
+//   --runs=<n>          measurement repetitions (default 5; paper: 10)
+//   --folds=<n>         CV folds (default 10, as in the paper)
+//   --corpus-scale=<f>  corpus fraction for the Changes count (default 0.10)
+//   --trees=<n>         RandomForest size (default 10)
+//   --paper-scale       instances=10000, runs=10, corpus-scale=1.0
+#include "bench_common.hpp"
+
+#include "experiments/weka_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jepo;
+  bench::Flags flags(argc, argv);
+  experiments::WekaExperimentConfig cfg;
+  cfg.instances =
+      static_cast<std::size_t>(flags.getInt("instances", 1000));
+  cfg.runs = static_cast<int>(flags.getInt("runs", 5));
+  cfg.folds = static_cast<std::size_t>(flags.getInt("folds", 10));
+  cfg.corpusScale = flags.getDouble("corpus-scale", 0.10);
+  cfg.forestTrees = static_cast<int>(flags.getInt("trees", 10));
+  if (flags.getBool("paper-scale")) {
+    cfg.instances = 10'000;
+    cfg.runs = 10;
+    cfg.corpusScale = 1.0;
+  }
+
+  bench::printHeader(
+      "Table IV — WEKA evaluation (instances=" +
+      std::to_string(cfg.instances) + ", folds=" + std::to_string(cfg.folds) +
+      ", runs=" + std::to_string(cfg.runs) + ")");
+
+  TextTable table({"Classifiers", "Changes", "Package Impr (%)",
+                   "CPU Impr (%)", "Time Impr (%)", "Acc Drop (%)",
+                   "Acc", "Paper(chg/pkg/cpu/time/drop)"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight, Align::kRight, Align::kLeft});
+
+  for (int k = 0; k < ml::kClassifierKindCount; ++k) {
+    const auto kind = static_cast<ml::ClassifierKind>(k);
+    const auto r = experiments::runClassifierExperiment(kind, cfg);
+    const auto paper = experiments::paperTable4Row(kind);
+    table.addRow({std::string(ml::classifierName(kind)),
+                  std::to_string(r.changesFullScale),
+                  fixed(r.packageImprovement, 2), fixed(r.cpuImprovement, 2),
+                  fixed(r.timeImprovement, 2), fixed(r.accuracyDrop, 2),
+                  fixed(r.accuracyBase * 100.0, 1) + "%",
+                  std::to_string(paper.changes) + "/" +
+                      fixed(paper.packageImprovement, 2) + "/" +
+                      fixed(paper.cpuImprovement, 2) + "/" +
+                      fixed(paper.timeImprovement, 2) + "/" +
+                      fixed(paper.accuracyDrop, 2)});
+    std::fflush(stdout);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nShape checks: Random Forest shows the largest improvement; Random\n"
+      "Tree / Logistic / SMO sit near zero; energy improvements exceed time\n"
+      "improvements; accuracy drops stay below 1%.");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// google-benchmark micro suite for the MiniJava toolchain: lexing, parsing,
+// printing, interpretation throughput, suggestion analysis and the
+// optimizer — the costs a JEPO user pays per keystroke / per run.
+#include <benchmark/benchmark.h>
+
+#include "demo_project.hpp"
+#include "energy/machine.hpp"
+#include "jepo/engine.hpp"
+#include "jepo/optimizer.hpp"
+#include "jlang/lexer.hpp"
+#include "jlang/parser.hpp"
+#include "jlang/printer.hpp"
+#include "jvm/interpreter.hpp"
+
+namespace {
+
+using namespace jepo;
+
+void BM_Lex(benchmark::State& state) {
+  const std::string src = bench::kDemoProjectSource;
+  for (auto _ : state) {
+    jlang::Lexer lexer(src);
+    benchmark::DoNotOptimize(lexer.tokenize());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State& state) {
+  const std::string src = bench::kDemoProjectSource;
+  for (auto _ : state) {
+    jlang::Parser parser("demo.mjava", src);
+    benchmark::DoNotOptimize(parser.parseUnit());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Parse);
+
+void BM_Print(benchmark::State& state) {
+  const auto unit =
+      jlang::Parser("demo.mjava", bench::kDemoProjectSource).parseUnit();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jlang::printUnit(unit));
+  }
+}
+BENCHMARK(BM_Print);
+
+void BM_InterpretArithmeticLoop(benchmark::State& state) {
+  const long n = state.range(0);
+  const std::string src =
+      "class Main { static void main(String[] args) {\n"
+      "int acc = 0;\n"
+      "for (int i = 0; i < " + std::to_string(n) + "; i++) acc += i & 7;\n"
+      "System.out.println(acc);\n} }";
+  const jlang::Program prog = jlang::Parser::parseProgram("m.mjava", src);
+  for (auto _ : state) {
+    energy::SimMachine machine;
+    jvm::Interpreter interp(prog, machine);
+    interp.runMain();
+    benchmark::DoNotOptimize(machine.sample().packageJoules);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_InterpretArithmeticLoop)->Arg(1000)->Arg(10000);
+
+void BM_InterpretMethodCalls(benchmark::State& state) {
+  const std::string src = R"(
+    class Main {
+      static int add(int a, int b) { return a + b; }
+      static void main(String[] args) {
+        int acc = 0;
+        for (int i = 0; i < 2000; i++) acc = add(acc, i);
+        System.out.println(acc);
+      }
+    }
+  )";
+  const jlang::Program prog = jlang::Parser::parseProgram("m.mjava", src);
+  for (auto _ : state) {
+    energy::SimMachine machine;
+    jvm::Interpreter interp(prog, machine);
+    interp.runMain();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_InterpretMethodCalls);
+
+void BM_SuggestionEngine(benchmark::State& state) {
+  const auto unit =
+      jlang::Parser("demo.mjava", bench::kDemoProjectSource).parseUnit();
+  core::SuggestionEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.analyzeUnit(unit));
+  }
+}
+BENCHMARK(BM_SuggestionEngine);
+
+void BM_Optimizer(benchmark::State& state) {
+  const jlang::Program prog = jlang::Parser::parseProgram(
+      "demo.mjava", bench::kDemoProjectSource);
+  core::Optimizer optimizer;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.optimize(prog));
+  }
+}
+BENCHMARK(BM_Optimizer);
+
+void BM_MeterChargeOverhead(benchmark::State& state) {
+  energy::SimMachine machine;
+  for (auto _ : state) {
+    machine.charge(energy::Op::kIntAlu, 1);
+  }
+  benchmark::DoNotOptimize(machine.meter().totalOps());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MeterChargeOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

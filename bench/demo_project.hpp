@@ -1,0 +1,101 @@
+// The demo MiniJava project used by the figure benches and examples: a
+// small edge-inference pipeline (sensor window -> features -> threshold
+// classifier) written with several of Table I's inefficiencies, so the
+// optimizer view has content and the profiler view shows a realistic
+// method mix.
+#pragma once
+
+namespace jepo::bench {
+
+inline constexpr const char* kDemoProjectSource = R"(
+package edge.inference;
+
+class SensorWindow {
+  int size;
+  long checksum;
+  int[] samples;
+
+  SensorWindow(int windowSize) {
+    size = windowSize;
+    samples = new int[windowSize];
+    checksum = 0L;
+  }
+
+  void fill(int seedValue) {
+    for (int i = 0; i < size; i++) {
+      samples[i] = (seedValue * 31 + i * 17) % 128;
+      checksum = checksum + samples[i];
+    }
+  }
+
+  int[] snapshot() {
+    int[] copy = new int[size];
+    for (int i = 0; i < size; i++) {
+      copy[i] = samples[i];
+    }
+    return copy;
+  }
+}
+
+class FeatureExtractor {
+  static int SMOOTHING = 4;
+
+  int energyOf(int[] window) {
+    int acc = 0;
+    for (int i = 0; i < window.length; i++) {
+      acc += window[i] % 8;
+      acc += window[i] / SMOOTHING + SMOOTHING;
+    }
+    return acc;
+  }
+
+  int peakOf(int[] window) {
+    int peak = 0;
+    for (int i = 0; i < window.length; i++) {
+      peak = window[i] > peak ? window[i] : peak;
+    }
+    return peak;
+  }
+}
+
+class EdgeClassifier {
+  int threshold;
+
+  EdgeClassifier(int limit) { threshold = limit; }
+
+  String classify(int energy, int peak) {
+    String label = "";
+    for (int i = 0; i < 3; i++) {
+      label = label + (energy > threshold ? "H" : "L");
+      energy = energy / 2;
+    }
+    double confidence = 10000.0;
+    if (peak > 100) {
+      confidence = confidence * 1.5;
+    }
+    return label;
+  }
+}
+
+class Main {
+  static void main(String[] args) {
+    SensorWindow window = new SensorWindow(64);
+    FeatureExtractor extractor = new FeatureExtractor();
+    EdgeClassifier classifier = new EdgeClassifier(120);
+    int alerts = 0;
+    for (int frame = 0; frame < 40; frame++) {
+      window.fill(frame);
+      int[] snapshot = window.snapshot();
+      int energy = extractor.energyOf(snapshot);
+      int peak = extractor.peakOf(snapshot);
+      String label = classifier.classify(energy, peak);
+      if (label.compareTo("HHH") == 0) {
+        alerts++;
+      }
+    }
+    System.out.println("alerts=" + alerts);
+  }
+}
+)";
+
+}  // namespace jepo::bench

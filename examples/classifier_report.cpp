@@ -1,0 +1,50 @@
+// classifier_report — the WEKA Evaluation report: stratified 10-fold CV of
+// one classifier over the airlines data with confusion matrix, per-class
+// precision/recall/F1 and kappa.
+//
+//   classifier_report [--classifier=J48] [--instances=1500]
+#include <cstdio>
+#include <cstring>
+
+#include "data/airlines.hpp"
+#include "ml/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jepo;
+  std::string which = "NaiveBayes";
+  std::size_t instances = 1500;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--classifier=", 13) == 0) which = argv[i] + 13;
+    if (std::strncmp(argv[i], "--instances=", 12) == 0) {
+      instances = std::strtoul(argv[i] + 12, nullptr, 10);
+    }
+  }
+
+  ml::ClassifierKind kind = ml::ClassifierKind::kNaiveBayes;
+  for (int k = 0; k < ml::kClassifierKindCount; ++k) {
+    std::string name(ml::classifierName(static_cast<ml::ClassifierKind>(k)));
+    name.erase(std::remove(name.begin(), name.end(), ' '), name.end());
+    if (name == which) kind = static_cast<ml::ClassifierKind>(k);
+  }
+
+  data::AirlinesConfig cfg;
+  cfg.instances = instances * 2;
+  const ml::Instances pool = data::generateAirlines(cfg);
+  Rng rng(8);
+  const ml::Instances data = pool.subsample(instances, rng);
+
+  energy::SimMachine machine;
+  ml::MlRuntime rt(machine, ml::CodeStyle::jepoOptimized());
+  Rng cvRng(21);
+  const ml::EvaluationReport report = ml::crossValidateDetailed(
+      [&] { return ml::makeClassifier(kind, ml::Precision::kDouble, rt, 5); },
+      data, 10, cvRng);
+
+  std::printf("=== %s, stratified 10-fold CV on %zu airline instances ===\n\n",
+              std::string(ml::classifierName(kind)).c_str(),
+              data.numInstances());
+  std::fputs(report.render(data.classAttribute()).c_str(), stdout);
+  std::printf("\nSimulated CV cost: %.4f J package, %.3f ms\n",
+              machine.sample().packageJoules, machine.sample().seconds * 1e3);
+  return 0;
+}

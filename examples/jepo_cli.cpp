@@ -1,0 +1,91 @@
+// jepo_cli — the Eclipse plugin's three buttons as a command-line tool.
+//
+//   jepo_cli suggest  <file.mjava>   # Fig. 2/5: the suggestion view
+//   jepo_cli profile  <file.mjava> [MainClass]   # Fig. 4: method energies
+//   jepo_cli optimize <file.mjava>   # auto-refactor, print new source
+//
+// Reads MiniJava source from the given file (or stdin when the file is -).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "jepo/engine.hpp"
+#include "jepo/optimizer.hpp"
+#include "jepo/profiler.hpp"
+#include "jepo/views.hpp"
+#include "jlang/parser.hpp"
+#include "jlang/printer.hpp"
+
+namespace {
+
+std::string readAll(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: jepo_cli suggest|profile|optimize <file.mjava> "
+               "[MainClass]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jepo;
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  const std::string source = readAll(path);
+
+  try {
+    const jlang::Program program =
+        jlang::Parser::parseProgram(path, source);
+
+    if (command == "suggest") {
+      core::SuggestionEngine engine;
+      std::fputs(
+          core::renderOptimizerView(engine.analyzeProgram(program)).c_str(),
+          stdout);
+      return 0;
+    }
+    if (command == "profile") {
+      const std::string mainClass = argc > 3 ? argv[3] : "";
+      core::Profiler profiler;
+      profiler.profile(program, mainClass, /*maxSteps=*/500'000'000);
+      std::fputs(core::renderProfilerView(profiler.records()).c_str(),
+                 stdout);
+      std::printf("\nprogram output:\n%s", profiler.programOutput().c_str());
+      return 0;
+    }
+    if (command == "optimize") {
+      const core::OptimizeResult result = core::Optimizer().optimize(program);
+      std::fprintf(stderr, "applied %zu changes:\n", result.changes.size());
+      for (const auto& c : result.changes) {
+        std::fprintf(stderr, "  %s:%d %s\n", c.className.c_str(), c.line,
+                     c.description.c_str());
+      }
+      for (const auto& unit : result.program.units) {
+        std::fputs(jlang::printUnit(unit).c_str(), stdout);
+      }
+      return 0;
+    }
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

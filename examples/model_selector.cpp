@@ -1,0 +1,66 @@
+// model_selector — OpenEI-style energy-aware deployment: given an energy
+// and latency budget for an edge device, measure the candidate classifiers
+// and pick the most accurate one that fits (paper §IV-A).
+#include <cstdio>
+
+#include "data/airlines.hpp"
+#include "ml/selector.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace jepo;
+
+  data::AirlinesConfig cfg;
+  cfg.instances = 3000;
+  const ml::Instances pool = data::generateAirlines(cfg);
+  Rng rng(13);
+  const ml::Instances data = pool.subsample(1500, rng);
+
+  std::vector<ml::Candidate> candidates;
+  for (int k = 0; k < ml::kClassifierKindCount; ++k) {
+    candidates.push_back(
+        ml::Candidate{static_cast<ml::ClassifierKind>(k),
+                      ml::Precision::kFloat});
+  }
+
+  // An edge budget: 10 uJ and 10 us per inference, at least 55% accuracy.
+  ml::DeploymentBudget budget;
+  budget.maxJoulesPerInference = 10e-6;
+  budget.maxSecondsPerInference = 10e-6;
+  budget.minAccuracy = 0.55;
+
+  ml::ModelSelector selector(ml::CodeStyle::jepoOptimized());
+  const auto reports = selector.evaluate(data, candidates, budget);
+
+  TextTable table({"Candidate", "Accuracy", "Train J", "uJ/inference",
+                   "us/inference", "Fits budget"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kLeft});
+  for (const auto& r : reports) {
+    table.addRow({std::string(ml::classifierName(r.candidate.kind)),
+                  fixed(r.accuracy * 100.0, 1) + "%",
+                  fixed(r.trainJoules, 4),
+                  fixed(r.joulesPerInference * 1e6, 3),
+                  fixed(r.secondsPerInference * 1e6, 3),
+                  r.feasible ? "yes" : "no"});
+  }
+  std::printf("Budget: <= %.0f uJ and <= %.0f us per inference, >= %.0f%% "
+              "accuracy\n\n",
+              budget.maxJoulesPerInference * 1e6,
+              budget.maxSecondsPerInference * 1e6,
+              budget.minAccuracy * 100.0);
+  std::fputs(table.render().c_str(), stdout);
+
+  const ml::CandidateReport* winner = ml::ModelSelector::select(reports);
+  if (winner != nullptr) {
+    std::printf("\nSelected: %s (%.1f%% accuracy at %.3f uJ/inference)\n",
+                std::string(ml::classifierName(winner->candidate.kind))
+                    .c_str(),
+                winner->accuracy * 100.0,
+                winner->joulesPerInference * 1e6);
+  } else {
+    std::puts("\nNo candidate fits the budget — relax a constraint.");
+  }
+  return 0;
+}

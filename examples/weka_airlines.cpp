@@ -1,0 +1,71 @@
+// weka_airlines — the Section VIII workload as a library consumer: train
+// all ten classifiers on the airlines data with stratified 10-fold CV and
+// print an accuracy/energy/time leaderboard measured through the perf
+// runner. This is what the paper's authors ran before and after applying
+// JEPO; here both styles are reported side by side.
+//
+// Flags: --instances=<n> (default 1500)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "data/airlines.hpp"
+#include "ml/evaluation.hpp"
+#include "perf/perf.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jepo;
+  std::size_t instances = 1500;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--instances=", 12) == 0) {
+      instances = std::strtoul(argv[i] + 12, nullptr, 10);
+    }
+  }
+
+  data::AirlinesConfig cfg;
+  cfg.instances = instances * 2;
+  const ml::Instances pool = data::generateAirlines(cfg);
+  Rng rng(3);
+  const ml::Instances data = pool.subsample(instances, rng);
+  std::printf("airlines sample: %zu instances, majority class %.1f%%\n\n",
+              data.numInstances(), data.majorityClassFraction() * 100.0);
+
+  TextTable table({"Classifier", "Accuracy", "Baseline J", "Optimized J",
+                   "Saved", "CV time (sim)"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight});
+
+  for (int k = 0; k < ml::kClassifierKindCount; ++k) {
+    const auto kind = static_cast<ml::ClassifierKind>(k);
+    double accuracy = 0.0;
+    double seconds = 0.0;
+    auto evaluate = [&](ml::CodeStyle style) {
+      perf::PerfRunner runner = perf::PerfRunner::exact();
+      const perf::PerfStat stat =
+          runner.stat([&](energy::SimMachine& machine) {
+            ml::MlRuntime rt(machine, style,
+                             ml::StyleExposure::forClassifier(k));
+            Rng cvRng(5);
+            accuracy = ml::crossValidate(
+                [&] {
+                  return ml::makeClassifier(kind, ml::Precision::kDouble,
+                                            rt, 21);
+                },
+                data, 10, cvRng);
+          });
+      seconds = stat.seconds;
+      return stat.packageJoules;
+    };
+    const double baseJ = evaluate(ml::CodeStyle::javaBaseline());
+    const double optJ = evaluate(ml::CodeStyle::jepoOptimized());
+    table.addRow({std::string(ml::classifierName(kind)),
+                  fixed(accuracy * 100.0, 1) + "%", fixed(baseJ, 4),
+                  fixed(optJ, 4), fixed((1.0 - optJ / baseJ) * 100.0, 2) + "%",
+                  fixed(seconds, 3) + " s"});
+    std::fflush(stdout);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "data/airlines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace jepo::data {
+
+using jepo::ml::Attribute;
+using jepo::ml::Instances;
+
+namespace {
+
+constexpr std::size_t kNumAirlines = 18;   // Table III: 18 distinct airlines
+constexpr std::size_t kNumAirports = 293;  // Table III: 293 distinct airports
+
+std::vector<std::string> airlineLabels() {
+  // Two-letter carrier codes, 18 of them (as in the MOA data).
+  static const char* kCodes[kNumAirlines] = {
+      "AA", "AS", "B6", "CO", "DL", "EV", "F9", "FL", "HA",
+      "MQ", "OH", "OO", "UA", "US", "WN", "XE", "YV", "9E"};
+  std::vector<std::string> out;
+  out.reserve(kNumAirlines);
+  for (const char* c : kCodes) out.emplace_back(c);
+  return out;
+}
+
+std::vector<std::string> airportLabels() {
+  // 293 synthetic IATA-style codes: AP000..AP292.
+  std::vector<std::string> out;
+  out.reserve(kNumAirports);
+  for (std::size_t i = 0; i < kNumAirports; ++i) {
+    std::string code = std::to_string(i);
+    while (code.size() < 3) code.insert(code.begin(), '0');
+    out.push_back("AP" + code);
+  }
+  return out;
+}
+
+std::vector<std::string> dayLabels() {
+  return {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+}
+
+}  // namespace
+
+Instances airlinesSchema() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::nominal("Airline", airlineLabels()));
+  attrs.push_back(Attribute::numeric("Flight"));
+  attrs.push_back(Attribute::nominal("AirportFrom", airportLabels()));
+  attrs.push_back(Attribute::nominal("AirportTo", airportLabels()));
+  attrs.push_back(Attribute::nominal("DayOfWeek", dayLabels()));
+  attrs.push_back(Attribute::numeric("Time"));
+  attrs.push_back(Attribute::numeric("Length"));
+  attrs.push_back(Attribute::nominal("Delay", {"0", "1"}));
+  return Instances("airlines", std::move(attrs), 7);
+}
+
+Instances generateAirlines(const AirlinesConfig& config) {
+  Instances data = airlinesSchema();
+  Rng rng(config.seed);
+
+  // Latent structure: per-airline punctuality bias and per-airport
+  // congestion, fixed by the seed so the rule is stable across draws.
+  Rng setupRng = rng.split();
+  std::vector<double> airlineBias(kNumAirlines);
+  for (auto& b : airlineBias) b = setupRng.nextGaussian() * 1.1;
+  std::vector<double> airportCongestion(kNumAirports);
+  for (auto& c : airportCongestion) c = setupRng.nextGaussian() * 0.5;
+
+  for (std::size_t i = 0; i < config.instances; ++i) {
+    const auto airline = static_cast<double>(rng.nextBelow(kNumAirlines));
+    const auto flight = static_cast<double>(rng.nextInt(1, 7500));
+    const auto from = static_cast<double>(rng.nextBelow(kNumAirports));
+    auto to = static_cast<double>(rng.nextBelow(kNumAirports));
+    if (to == from) to = std::fmod(to + 1.0, static_cast<double>(kNumAirports));
+    const auto day = static_cast<double>(rng.nextBelow(7));
+    // Departure time in minutes from midnight, biased to daytime.
+    const double time = std::clamp(
+        720.0 + 300.0 * rng.nextGaussian(), 10.0, 1430.0);
+    // Flight length in minutes, log-normal-ish.
+    const double length = std::clamp(
+        60.0 * std::exp(0.8 * rng.nextGaussian()) + 25.0, 25.0, 660.0);
+
+    // Latent delay score (centered so classes stay roughly balanced).
+    double score = airlineBias[static_cast<std::size_t>(airline)];
+    score += airportCongestion[static_cast<std::size_t>(from)];
+    score += 0.6 * airportCongestion[static_cast<std::size_t>(to)];
+    // Delays accumulate through the day: strong time-of-day effect.
+    score += 2.2 * (time - 720.0) / 720.0;
+    // Fridays and Sundays are worse; Saturdays better.
+    if (day == 4.0 || day == 6.0) score += 0.5;
+    if (day == 5.0) score -= 0.4;
+    // Long flights absorb delay better.
+    score -= 0.3 * std::log(length / 60.0);
+
+    double pDelay = 1.0 / (1.0 + std::exp(-score));
+    // Irreducible noise floor keeps accuracies realistic.
+    pDelay = config.noise * 0.5 + (1.0 - config.noise) * pDelay;
+    const double delay = rng.nextDouble() < pDelay ? 1.0 : 0.0;
+
+    data.addRow({airline, flight, from, to, day, time, length, delay});
+  }
+  return data;
+}
+
+}  // namespace jepo::data

@@ -1,0 +1,128 @@
+#include "data/arff.hpp"
+
+#include <cstdlib>
+
+#include "support/strings.hpp"
+
+namespace jepo::data {
+
+using jepo::ml::Attribute;
+using jepo::ml::Instances;
+
+std::string writeArff(const Instances& data) {
+  std::string out = "@relation " + data.relation() + "\n\n";
+  for (std::size_t a = 0; a < data.numAttributes(); ++a) {
+    const Attribute& attr = data.attribute(a);
+    out += "@attribute " + attr.name() + " ";
+    if (attr.isNumeric()) {
+      out += "numeric\n";
+    } else {
+      out += "{";
+      for (std::size_t l = 0; l < attr.numLabels(); ++l) {
+        if (l != 0) out += ",";
+        out += attr.label(l);
+      }
+      out += "}\n";
+    }
+  }
+  out += "\n@data\n";
+  for (std::size_t i = 0; i < data.numInstances(); ++i) {
+    for (std::size_t a = 0; a < data.numAttributes(); ++a) {
+      if (a != 0) out += ",";
+      const Attribute& attr = data.attribute(a);
+      const double v = data.value(i, a);
+      if (attr.isNominal()) {
+        out += attr.label(static_cast<std::size_t>(v));
+      } else {
+        out += fixed(v, 4);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Instances readArff(const std::string& text) {
+  std::string relation = "parsed";
+  std::vector<Attribute> attrs;
+  std::vector<std::vector<double>> rows;
+  bool inData = false;
+
+  for (const std::string& rawLine : split(text, '\n')) {
+    const std::string_view line = trim(rawLine);
+    if (line.empty() || line[0] == '%') continue;
+    if (!inData) {
+      if (startsWith(line, "@relation")) {
+        relation = std::string(trim(line.substr(9)));
+      } else if (startsWith(line, "@attribute")) {
+        const std::string_view rest = trim(line.substr(10));
+        const std::size_t space = rest.find_first_of(" \t");
+        JEPO_REQUIRE(space != std::string_view::npos,
+                     "malformed @attribute line");
+        std::string name(rest.substr(0, space));
+        const std::string_view spec = trim(rest.substr(space));
+        if (spec == "numeric" || spec == "real" || spec == "integer") {
+          attrs.push_back(Attribute::numeric(std::move(name)));
+        } else if (!spec.empty() && spec.front() == '{' &&
+                   spec.back() == '}') {
+          std::vector<std::string> labels;
+          for (const std::string& l :
+               split(spec.substr(1, spec.size() - 2), ',')) {
+            labels.emplace_back(trim(l));
+          }
+          attrs.push_back(Attribute::nominal(std::move(name),
+                                             std::move(labels)));
+        } else {
+          throw Error("unsupported attribute type: " + std::string(spec));
+        }
+      } else if (startsWith(line, "@data")) {
+        inData = true;
+      }
+      continue;
+    }
+    // Data row.
+    const auto fields = split(line, ',');
+    JEPO_REQUIRE(fields.size() == attrs.size(), "row width mismatch in ARFF");
+    std::vector<double> row(fields.size());
+    for (std::size_t a = 0; a < fields.size(); ++a) {
+      const std::string_view f = trim(fields[a]);
+      if (attrs[a].isNominal()) {
+        const int idx = attrs[a].labelIndex(f);
+        JEPO_REQUIRE(idx >= 0, "unknown nominal label '" + std::string(f) +
+                                   "' for " + attrs[a].name());
+        row[a] = idx;
+      } else {
+        row[a] = std::strtod(std::string(f).c_str(), nullptr);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  JEPO_REQUIRE(!attrs.empty(), "ARFF has no attributes");
+  const int classIndex = static_cast<int>(attrs.size()) - 1;
+  Instances out(relation, std::move(attrs), classIndex);
+  for (auto& r : rows) out.addRow(std::move(r));
+  return out;
+}
+
+std::string writeCsv(const Instances& data) {
+  std::string out;
+  for (std::size_t a = 0; a < data.numAttributes(); ++a) {
+    if (a != 0) out += ",";
+    out += data.attribute(a).name();
+  }
+  out += "\n";
+  for (std::size_t i = 0; i < data.numInstances(); ++i) {
+    for (std::size_t a = 0; a < data.numAttributes(); ++a) {
+      if (a != 0) out += ",";
+      const Attribute& attr = data.attribute(a);
+      const double v = data.value(i, a);
+      out += attr.isNominal() ? attr.label(static_cast<std::size_t>(v))
+                              : fixed(v, 4);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace jepo::data

@@ -1,0 +1,21 @@
+// ARFF (WEKA's Attribute-Relation File Format) and CSV serialization for
+// Instances — the interchange formats the paper's toolchain lives on.
+#pragma once
+
+#include <string>
+
+#include "ml/dataset.hpp"
+
+namespace jepo::data {
+
+/// Serialize to ARFF (@relation/@attribute/@data).
+std::string writeArff(const jepo::ml::Instances& data);
+
+/// Parse ARFF produced by writeArff (plus tolerant whitespace/comments).
+/// The LAST attribute is taken as the class.
+jepo::ml::Instances readArff(const std::string& text);
+
+/// CSV with a header row; nominal values as labels.
+std::string writeCsv(const jepo::ml::Instances& data);
+
+}  // namespace jepo::data

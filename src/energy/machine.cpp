@@ -1,0 +1,53 @@
+#include "energy/machine.hpp"
+
+namespace jepo::energy {
+
+MachineSample operator-(const MachineSample& a, const MachineSample& b) {
+  return MachineSample{a.seconds - b.seconds,
+                       a.packageJoules - b.packageJoules,
+                       a.coreJoules - b.coreJoules,
+                       a.dramJoules - b.dramJoules};
+}
+
+SimMachine::SimMachine(CostModel model) : model_(std::move(model)) {}
+
+void SimMachine::sync() {
+  double dtNs = 0.0;
+  double pkgNj = 0.0;
+  double coreNj = 0.0;
+  double dramNj = 0.0;
+  const auto& counts = meter_.counts();
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const std::uint64_t delta = counts[i] - synced_[i];
+    if (delta == 0) continue;
+    synced_[i] = counts[i];
+    const OpCost& c = model_.cost(static_cast<Op>(i));
+    const auto n = static_cast<double>(delta);
+    dtNs += n * c.nanoseconds;
+    pkgNj += n * c.packageNanojoules;
+    coreNj += n * c.packageNanojoules * c.coreShare;
+    dramNj += n * c.dramNanojoules;
+  }
+  if (dtNs == 0.0 && pkgNj == 0.0) return;
+
+  // Idle power over the elapsed interval, on top of the dynamic energy.
+  pkgNj += dtNs * model_.packageIdleWatts();   // W * ns == nJ
+  coreNj += dtNs * model_.coreIdleWatts();
+  dramNj += dtNs * model_.dramIdleWatts();
+
+  nanoseconds_ += dtNs;
+  packageJoules_ += pkgNj * 1e-9;
+  coreJoules_ += coreNj * 1e-9;
+  dramJoules_ += dramNj * 1e-9;
+
+  rapl_.deposit(rapl::Domain::kPackage, pkgNj * 1e-9);
+  rapl_.deposit(rapl::Domain::kCore, coreNj * 1e-9);
+  rapl_.deposit(rapl::Domain::kDram, dramNj * 1e-9);
+}
+
+MachineSample SimMachine::sample() {
+  sync();
+  return MachineSample{seconds(), packageJoules_, coreJoules_, dramJoules_};
+}
+
+}  // namespace jepo::energy

@@ -1,0 +1,85 @@
+// SimMachine — the simulated laptop the experiments run on.
+//
+// It ties the pieces together: an EnergyMeter collects operation counts, a
+// CostModel prices them, and sync() integrates the result into simulated
+// wall-clock time and the SimulatedRaplPackage's energy-status MSRs (package
+// / core / dram domains plus idle power over elapsed time). Profilers read
+// the MSRs through the normal RaplReader path, exactly as JEPO's injected
+// bytecode reads the real registers.
+#pragma once
+
+#include <cstdint>
+
+#include "energy/cost_model.hpp"
+#include "energy/meter.hpp"
+#include "rapl/rapl.hpp"
+
+namespace jepo::energy {
+
+/// A snapshot of machine state, used for interval measurements.
+struct MachineSample {
+  double seconds = 0.0;
+  double packageJoules = 0.0;
+  double coreJoules = 0.0;
+  double dramJoules = 0.0;
+};
+
+/// Interval = end - start of two samples.
+MachineSample operator-(const MachineSample& a, const MachineSample& b);
+
+class SimMachine {
+ public:
+  explicit SimMachine(CostModel model = CostModel::calibrated());
+
+  EnergyMeter& meter() noexcept { return meter_; }
+  const CostModel& model() const noexcept { return model_; }
+
+  /// Convenience passthrough used by metered kernels.
+  void charge(Op op, std::uint64_t n = 1) noexcept { meter_.charge(op, n); }
+
+  /// Price all un-synced meter counts, advance the simulated clock and
+  /// deposit energy into the RAPL MSRs. Idempotent when no new ops ran.
+  void sync();
+
+  /// sync() + snapshot of cumulative time/energy (ground-truth doubles).
+  MachineSample sample();
+
+  /// Simulated wall-clock seconds since construction (after sync()).
+  double seconds() const noexcept { return nanoseconds_ * 1e-9; }
+
+  /// The RAPL package readers observe. Reading MSRs does not auto-sync;
+  /// measurement code must sample explicitly, as on real hardware where the
+  /// counters only advance with real work.
+  const rapl::MsrDevice& msrDevice() const noexcept {
+    return rapl_.device();
+  }
+  const rapl::SimulatedRaplPackage& raplPackage() const noexcept {
+    return rapl_;
+  }
+
+ private:
+  CostModel model_;
+  EnergyMeter meter_;
+  OpArray<std::uint64_t> synced_{};  // counts already priced
+  rapl::SimulatedRaplPackage rapl_;
+  double nanoseconds_ = 0.0;
+  double packageJoules_ = 0.0;
+  double coreJoules_ = 0.0;
+  double dramJoules_ = 0.0;
+};
+
+/// RAII interval measurement over a SimMachine: samples on construction,
+/// stop() (or destruction) syncs and returns the delta.
+class ScopedMeasurement {
+ public:
+  explicit ScopedMeasurement(SimMachine& machine)
+      : machine_(&machine), start_(machine.sample()) {}
+
+  MachineSample stop() { return machine_->sample() - start_; }
+
+ private:
+  SimMachine* machine_;
+  MachineSample start_;
+};
+
+}  // namespace jepo::energy

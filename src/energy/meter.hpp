@@ -1,0 +1,37 @@
+// EnergyMeter — the hot-path operation counter.
+//
+// The VM and the metered ML kernels call charge() millions of times, so the
+// meter is a bare counter array; converting counts into joules/seconds via
+// the CostModel happens lazily in SimMachine::sync(). This keeps the
+// instrumented fast path to a single add.
+#pragma once
+
+#include <cstdint>
+
+#include "energy/op.hpp"
+
+namespace jepo::energy {
+
+class EnergyMeter {
+ public:
+  void charge(Op op, std::uint64_t n = 1) noexcept {
+    counts_[opIndex(op)] += n;
+  }
+
+  std::uint64_t count(Op op) const noexcept { return counts_[opIndex(op)]; }
+
+  const OpArray<std::uint64_t>& counts() const noexcept { return counts_; }
+
+  std::uint64_t totalOps() const noexcept {
+    std::uint64_t total = 0;
+    for (auto c : counts_) total += c;
+    return total;
+  }
+
+  void reset() noexcept { counts_ = {}; }
+
+ private:
+  OpArray<std::uint64_t> counts_{};
+};
+
+}  // namespace jepo::energy

@@ -1,0 +1,52 @@
+#include "energy/op.hpp"
+
+namespace jepo::energy {
+
+std::string_view opName(Op op) noexcept {
+  switch (op) {
+    case Op::kIntAlu: return "int_alu";
+    case Op::kIntDiv: return "int_div";
+    case Op::kIntMod: return "int_mod";
+    case Op::kLongAlu: return "long_alu";
+    case Op::kLongDiv: return "long_div";
+    case Op::kLongMod: return "long_mod";
+    case Op::kByteShortAlu: return "byte_short_alu";
+    case Op::kFloatAlu: return "float_alu";
+    case Op::kFloatDiv: return "float_div";
+    case Op::kDoubleAlu: return "double_alu";
+    case Op::kDoubleDiv: return "double_div";
+    case Op::kFloatMath: return "float_math";
+    case Op::kDoubleMath: return "double_math";
+    case Op::kLocalAccess: return "local_access";
+    case Op::kFieldAccess: return "field_access";
+    case Op::kStaticAccess: return "static_access";
+    case Op::kArrayAccess: return "array_access";
+    case Op::kArrayRowLoad: return "array_row_load";
+    case Op::kConstLoad: return "const_load";
+    case Op::kConstLoadPlainDecimal: return "const_load_plain_decimal";
+    case Op::kBranch: return "branch";
+    case Op::kTernary: return "ternary";
+    case Op::kLoopIter: return "loop_iter";
+    case Op::kCall: return "call";
+    case Op::kReturn: return "return";
+    case Op::kAllocObject: return "alloc_object";
+    case Op::kAllocArrayPerElem: return "alloc_array_per_elem";
+    case Op::kBoxInteger: return "box_integer";
+    case Op::kBoxOther: return "box_other";
+    case Op::kUnbox: return "unbox";
+    case Op::kStringAlloc: return "string_alloc";
+    case Op::kStringCharCopy: return "string_char_copy";
+    case Op::kStringEqualsChar: return "string_equals_char";
+    case Op::kStringCompareToChar: return "string_compare_to_char";
+    case Op::kBuilderAppendChar: return "builder_append_char";
+    case Op::kArraycopyPerElem: return "arraycopy_per_elem";
+    case Op::kThrow: return "throw";
+    case Op::kCatch: return "catch";
+    case Op::kTryEnter: return "try_enter";
+    case Op::kPrintChar: return "print_char";
+    case Op::kOpCount: break;
+  }
+  return "?";
+}
+
+}  // namespace jepo::energy

@@ -1,0 +1,83 @@
+// The operation taxonomy the MiniJava VM charges against.
+//
+// Each Op is a category of dynamic work whose relative energy cost the
+// paper's earlier measurements (IGSC'17/'19, summarized in Table I) pin
+// down. The VM maps every evaluated AST node to one or more Ops; the ML
+// kernels charge the same taxonomy directly, so both execution paths share
+// one calibrated cost model.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace jepo::energy {
+
+enum class Op : int {
+  // Integer arithmetic, by width. `int` is the calibration baseline.
+  kIntAlu = 0,   // + - * comparisons, bitwise, shifts on int
+  kIntDiv,
+  kIntMod,       // Table I: modulus up to 1,620% more than other arithmetic
+  kLongAlu,
+  kLongDiv,
+  kLongMod,
+  kByteShortAlu,  // sub-int widths pay widening/narrowing
+  // Floating point.
+  kFloatAlu,
+  kFloatDiv,
+  kDoubleAlu,
+  kDoubleDiv,
+  kFloatMath,   // sqrt/exp/log/pow on float
+  kDoubleMath,
+  // Data movement.
+  kLocalAccess,     // local variable read/write
+  kFieldAccess,     // instance field read/write
+  kStaticAccess,    // Table I: static up to 17,700% more than locals
+  kArrayAccess,     // element load/store once the row is resident
+  kArrayRowLoad,    // loading a 2-D row object (column traversal thrashes it)
+  kConstLoad,       // literal materialization
+  kConstLoadPlainDecimal,  // decimal literal written without scientific
+                           // notation (Table I: scientific form is cheaper)
+  // Control flow.
+  kBranch,
+  kTernary,   // Table I: up to 37% more than if-then-else
+  kLoopIter,
+  kCall,
+  kReturn,
+  // Objects and boxing.
+  kAllocObject,
+  kAllocArrayPerElem,
+  kBoxInteger,  // Table I: Integer is the cheapest wrapper
+  kBoxOther,
+  kUnbox,
+  // Strings.
+  kStringAlloc,
+  kStringCharCopy,      // per char moved (concat, substring, builder growth)
+  kStringEqualsChar,    // per char compared by equals
+  kStringCompareToChar, // per char compared by compareTo (+33% vs equals)
+  kBuilderAppendChar,   // per char appended to StringBuilder
+  // Arrays bulk ops.
+  kArraycopyPerElem,    // System.arraycopy: block copy, far below manual loop
+  // Exceptions.
+  kThrow,
+  kCatch,
+  kTryEnter,
+  // I/O.
+  kPrintChar,
+
+  kOpCount  // sentinel
+};
+
+inline constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::kOpCount);
+
+std::string_view opName(Op op) noexcept;
+
+/// Fixed-size per-op array, used for both costs and counters.
+template <typename T>
+using OpArray = std::array<T, kOpCount>;
+
+constexpr std::size_t opIndex(Op op) noexcept {
+  return static_cast<std::size_t>(op);
+}
+
+}  // namespace jepo::energy

@@ -1,0 +1,167 @@
+#include "experiments/weka_experiment.hpp"
+
+#include "corpus/corpus.hpp"
+#include "data/airlines.hpp"
+#include "jepo/optimizer.hpp"
+#include "ml/evaluation.hpp"
+#include "ml/forest.hpp"
+#include "ml/tree.hpp"
+#include "perf/perf.hpp"
+#include "stats/protocol.hpp"
+
+namespace jepo::experiments {
+
+using ml::ClassifierKind;
+
+namespace {
+
+/// Build a classifier honoring the experiment's forest-size override.
+std::unique_ptr<ml::Classifier> build(ClassifierKind kind,
+                                      ml::Precision precision,
+                                      ml::MlRuntime& rt, std::uint64_t seed,
+                                      int forestTrees) {
+  if (kind == ClassifierKind::kRandomForest) {
+    ml::ForestOptions opts;
+    opts.numTrees = forestTrees;
+    if (precision == ml::Precision::kDouble) {
+      return std::make_unique<ml::RandomForest<double>>(rt, opts, Rng(seed));
+    }
+    return std::make_unique<ml::RandomForest<float>>(rt, opts, Rng(seed));
+  }
+  return ml::makeClassifier(kind, precision, rt, seed);
+}
+
+struct StyleRun {
+  double packageJoules = 0.0;
+  double coreJoules = 0.0;
+  double seconds = 0.0;
+  double accuracy = 0.0;
+  int remeasured = 0;
+};
+
+StyleRun measureStyle(ClassifierKind kind, const ml::Instances& data,
+                      ml::CodeStyle style, ml::StyleExposure exposure,
+                      ml::Precision precision,
+                      const WekaExperimentConfig& config,
+                      std::uint64_t noiseSeed) {
+  const energy::CostModel model =
+      config.costModel ? *config.costModel : energy::CostModel::calibrated();
+  perf::PerfRunner runner =
+      config.withNoise ? perf::PerfRunner(perf::PerfRunner::kDefaultNoise,
+                                          noiseSeed)
+                       : perf::PerfRunner::exact();
+
+  double lastAccuracy = 0.0;
+  auto measureOnce = [&] {
+    const perf::PerfStat stat = runner.stat(
+        [&](energy::SimMachine& machine) {
+          ml::MlRuntime rt(machine, style, exposure);
+          Rng cvRng(config.seed + 17);
+          lastAccuracy = ml::crossValidate(
+              [&] {
+                return build(kind, precision, rt, config.seed + 99,
+                             config.forestTrees);
+              },
+              data, config.folds, cvRng);
+        },
+        model);
+    return stat.asRow();  // {package J, core J, seconds}
+  };
+
+  const stats::ProtocolResult protocol =
+      stats::measureWithTukeyLoop(config.runs, measureOnce);
+
+  StyleRun out;
+  out.packageJoules = protocol.means[0];
+  out.coreJoules = protocol.means[1];
+  out.seconds = protocol.means[2];
+  out.accuracy = lastAccuracy;  // deterministic across runs
+  out.remeasured = protocol.remeasured;
+  return out;
+}
+
+}  // namespace
+
+ClassifierResult runClassifierExperiment(ClassifierKind kind,
+                                         const WekaExperimentConfig& config) {
+  ClassifierResult result;
+  result.kind = kind;
+
+  // ---- Changes: run the Optimizer over the classifier's corpus.
+  {
+    int seeded = 0;
+    const jlang::Program corpusProg =
+        corpus::generateScaledCorpus(kind, config.corpusScale, 42, &seeded);
+    core::OptimizerOptions opts;  // lossy mode: the paper's edit set
+    if (config.ruleMask) {
+      for (std::size_t i = 0; i < config.ruleMask->size(); ++i) {
+        opts.enabled[i] = (*config.ruleMask)[i];
+      }
+    }
+    const auto optimized = core::Optimizer(opts).optimize(corpusProg);
+    result.changes = static_cast<int>(optimized.changes.size());
+    result.changesFullScale = static_cast<int>(
+        static_cast<double>(result.changes) / config.corpusScale + 0.5);
+  }
+
+  // ---- Dataset: the paper's subsample protocol.
+  data::AirlinesConfig dataCfg;
+  dataCfg.instances = config.instances * 3;  // pool to subsample from
+  dataCfg.seed = config.seed;
+  const ml::Instances pool = data::generateAirlines(dataCfg);
+  Rng sampleRng(config.seed + 1);
+  const ml::Instances data = pool.subsample(config.instances, sampleRng);
+
+  // ---- Energy/time/accuracy, baseline vs optimized.
+  const StyleRun base = measureStyle(
+      kind, data, ml::CodeStyle::javaBaseline(), ml::StyleExposure::full(),
+      ml::Precision::kDouble, config, config.seed + 1000);
+  const ml::StyleExposure exposure =
+      config.exposureOverride
+          ? ml::StyleExposure::of(*config.exposureOverride)
+          : ml::StyleExposure::forClassifier(static_cast<int>(kind));
+  const StyleRun opt = measureStyle(
+      kind, data, ml::CodeStyle::jepoOptimized(), exposure,
+      ml::Precision::kFloat, config, config.seed + 2000);
+
+  result.basePackageJoules = base.packageJoules;
+  result.optPackageJoules = opt.packageJoules;
+  result.packageImprovement =
+      (1.0 - opt.packageJoules / base.packageJoules) * 100.0;
+  result.cpuImprovement = (1.0 - opt.coreJoules / base.coreJoules) * 100.0;
+  result.timeImprovement = (1.0 - opt.seconds / base.seconds) * 100.0;
+  result.accuracyBase = base.accuracy;
+  result.accuracyOpt = opt.accuracy;
+  result.accuracyDrop = (base.accuracy - opt.accuracy) * 100.0;
+  result.tukeyRemeasurements = base.remeasured + opt.remeasured;
+  return result;
+}
+
+std::vector<ClassifierResult> runWekaExperiment(
+    const WekaExperimentConfig& config) {
+  std::vector<ClassifierResult> out;
+  for (int k = 0; k < ml::kClassifierKindCount; ++k) {
+    out.push_back(
+        runClassifierExperiment(static_cast<ClassifierKind>(k), config));
+  }
+  return out;
+}
+
+PaperRow paperTable4Row(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kJ48: return {877, 4.44, 4.68, 3.96, 0.00};
+    case ClassifierKind::kRandomTree: return {709, 0.02, 0.01, 0.01, 0.48};
+    case ClassifierKind::kRandomForest:
+      return {719, 14.46, 14.19, 12.93, 0.00};
+    case ClassifierKind::kRepTree: return {723, 3.70, 3.49, 2.01, 0.00};
+    case ClassifierKind::kNaiveBayes: return {711, 3.58, 3.82, 0.00, 0.00};
+    case ClassifierKind::kLogistic: return {711, 0.10, 0.10, 0.00, 0.00};
+    case ClassifierKind::kSmo: return {713, 0.05, 0.08, 0.04, 0.17};
+    case ClassifierKind::kSgd: return {713, 7.48, 5.76, 5.56, 0.05};
+    case ClassifierKind::kKStar: return {711, 6.82, 5.31, 0.00, 0.00};
+    case ClassifierKind::kIbk: return {711, 5.50, 5.34, 6.01, 0.00};
+  }
+  throw Error("unknown classifier kind");
+}
+
+}  // namespace jepo::experiments

@@ -1,0 +1,75 @@
+// The Section VIII evaluation pipeline, as a reusable library:
+//
+//   per classifier:
+//     changes      = Optimizer change count over the classifier's corpus
+//     baseline     = 10-fold stratified CV, WEKA-as-shipped CodeStyle,
+//                    double precision, measured by the perf runner
+//     optimized    = same CV, JEPO-optimized CodeStyle at the classifier's
+//                    hot-path exposure, float precision
+//     both measured `runs` times under the Tukey re-measurement protocol
+//     improvements = (baseline - optimized) / baseline for package energy,
+//                    CPU (core) energy, and execution time
+//     accuracyDrop = baseline accuracy - optimized accuracy (pct points)
+//
+// bench_table4, bench_scaling_instances and the ablation benches all run
+// through this module with different configs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "energy/cost_model.hpp"
+#include "ml/classifier.hpp"
+
+namespace jepo::experiments {
+
+struct WekaExperimentConfig {
+  std::size_t instances = 1000;   // paper: 10,000 (heap-limited from 539,383)
+  std::size_t folds = 10;         // paper: stratified 10-fold CV
+  int runs = 5;                   // paper: 10 runs + Tukey loop
+  std::uint64_t seed = 2020;
+  double corpusScale = 0.10;      // corpus fraction for the Changes count
+  int forestTrees = 10;           // RandomForest size (WEKA default is 100)
+  bool withNoise = true;          // perf measurement noise + Tukey loop
+  /// Cost model override (ablation); nullopt = calibrated model.
+  std::optional<energy::CostModel> costModel;
+  /// Rule mask for the optimizer/exposure ablations; empty = all rules.
+  std::optional<std::array<bool, 11>> ruleMask;
+  /// Override the per-classifier exposure (calibration runs use 1.0).
+  std::optional<double> exposureOverride;
+};
+
+struct ClassifierResult {
+  ml::ClassifierKind kind = ml::ClassifierKind::kJ48;
+  int changes = 0;                 // scaled Optimizer change count
+  int changesFullScale = 0;        // extrapolated to the full corpus
+  double packageImprovement = 0.0; // %
+  double cpuImprovement = 0.0;     // %
+  double timeImprovement = 0.0;    // %
+  double accuracyBase = 0.0;       // fraction
+  double accuracyOpt = 0.0;        // fraction
+  double accuracyDrop = 0.0;       // percentage points
+  double basePackageJoules = 0.0;
+  double optPackageJoules = 0.0;
+  int tukeyRemeasurements = 0;
+};
+
+/// Run the pipeline for one classifier.
+ClassifierResult runClassifierExperiment(ml::ClassifierKind kind,
+                                         const WekaExperimentConfig& config);
+
+/// Run all ten classifiers of Table IV.
+std::vector<ClassifierResult> runWekaExperiment(
+    const WekaExperimentConfig& config);
+
+/// The paper's Table IV values, for side-by-side reporting.
+struct PaperRow {
+  int changes;
+  double packageImprovement;
+  double cpuImprovement;
+  double timeImprovement;
+  double accuracyDrop;
+};
+PaperRow paperTable4Row(ml::ClassifierKind kind);
+
+}  // namespace jepo::experiments

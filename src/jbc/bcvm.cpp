@@ -1,0 +1,643 @@
+#include "jbc/bcvm.hpp"
+
+#include "jvm/ops.hpp"
+
+namespace jepo::jbc {
+
+
+using jvm::BuiltinLibrary;
+using jvm::HeapObject;
+using jvm::ObjKind;
+using jvm::Ref;
+using jvm::Thrown;
+using jvm::ValKind;
+using jvm::Value;
+
+BytecodeVm::BytecodeVm(const CompiledProgram& program,
+                       energy::SimMachine& machine)
+    : program_(&program),
+      machine_(&machine),
+      builtins_(heap_, machine, out_, [this](const std::string& name) {
+        return program_->findClass(name) != nullptr;
+      }) {}
+
+void BytecodeVm::step() {
+  ++steps_;
+  if (maxSteps_ != 0 && steps_ > maxSteps_) {
+    throw VmError("bytecode step limit exceeded (" +
+                  std::to_string(maxSteps_) + ")");
+  }
+}
+
+void BytecodeVm::chargeRowLoad(Ref array, std::int64_t index,
+                               bool rowIsArray) {
+  if (!rowIsArray) {
+    charge(energy::Op::kArrayAccess);
+    return;
+  }
+  if (array == lastRowArray_ && index == lastRowIndex_) {
+    charge(energy::Op::kArrayAccess);
+  } else {
+    charge(energy::Op::kArrayRowLoad);
+  }
+  lastRowArray_ = array;
+  lastRowIndex_ = index;
+}
+
+void BytecodeVm::ensureClassInit(const std::string& className) {
+  if (initializedClasses_.count(className) != 0) return;
+  initializedClasses_.insert(className);
+  const CompiledClass* cls = program_->findClass(className);
+  if (cls == nullptr) return;
+  for (const auto& f : cls->fields) {
+    if (!f.isStatic) continue;
+    statics_[className + "." + f.name] = jvm::Heap::defaultValue(f.kind);
+  }
+  if (cls->clinit.code.size() > 1) {
+    invoke(*cls, cls->clinit, {});
+  }
+}
+
+jvm::Value BytecodeVm::allocArray(const std::vector<std::int64_t>& dims,
+                                  std::size_t level, ValKind leafKind) {
+  const bool innermost = level + 1 == dims.size();
+  const ValKind ek = innermost ? leafKind : ValKind::kRef;
+  const auto n = static_cast<std::size_t>(dims[level]);
+  charge(energy::Op::kAllocObject);
+  charge(energy::Op::kAllocArrayPerElem, n);
+  const Ref r = heap_.allocArray(n, ek);
+  if (!innermost) {
+    for (std::size_t i = 0; i < n; ++i) {
+      heap_.get(r).elems[i] = allocArray(dims, level + 1, leafKind);
+    }
+  }
+  return Value::ofRef(r);
+}
+
+jvm::Value BytecodeVm::construct(const std::string& className,
+                                 std::vector<Value> args, int line) {
+  Value builtinResult;
+  if (builtins_.construct(className, args, &builtinResult)) {
+    return builtinResult;
+  }
+  const CompiledClass* cls = program_->findClass(className);
+  if (cls == nullptr) {
+    throw VmError("unknown class " + className + " at line " +
+                  std::to_string(line));
+  }
+  charge(energy::Op::kAllocObject);
+  ensureClassInit(className);
+  const Ref r = heap_.allocObject(className);
+  for (const auto& f : cls->fields) {
+    if (f.isStatic) continue;
+    heap_.get(r).fields[f.name] = jvm::Heap::defaultValue(f.kind);
+  }
+  if (cls->initFields.code.size() > 1) {
+    invoke(*cls, cls->initFields, {Value::ofRef(r)});
+  }
+  const auto ctor = cls->methods.find(className);
+  if (ctor != cls->methods.end()) {
+    std::vector<Value> ctorArgs;
+    ctorArgs.reserve(args.size() + 1);
+    ctorArgs.push_back(Value::ofRef(r));
+    for (auto& a : args) ctorArgs.push_back(a);
+    invoke(*cls, ctor->second, std::move(ctorArgs));
+  } else {
+    JEPO_REQUIRE(args.empty(),
+                 "class " + className + " has no constructor taking args");
+  }
+  return Value::ofRef(r);
+}
+
+jvm::Value BytecodeVm::invoke(const CompiledClass& cls, const Chunk& chunk,
+                              std::vector<Value> args) {
+  if (frameDepth_ >= kMaxFrames) {
+    throwJava("StackOverflowError", chunk.qualifiedName);
+  }
+  JEPO_REQUIRE(args.size() == chunk.paramKinds.size(),
+               "wrong argument count for " + chunk.qualifiedName);
+
+  std::vector<Value> slots(static_cast<std::size_t>(chunk.numSlots));
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    charge(energy::Op::kLocalAccess);
+    slots[i] = jvm::coerceToKind(args[i], chunk.paramKinds[i], builtins_, 0);
+  }
+
+  ++frameDepth_;
+  if (hooks_ != nullptr) hooks_->onEnter(chunk.qualifiedName);
+  struct ExitGuard {
+    BytecodeVm* self;
+    const std::string* name;
+    ~ExitGuard() {
+      if (self->hooks_ != nullptr) self->hooks_->onExit(*name);
+      --self->frameDepth_;
+    }
+  } guard{this, &chunk.qualifiedName};
+
+  const Value result = run(cls, chunk, slots);
+  charge(energy::Op::kReturn);
+  return result;
+}
+
+jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
+                           std::vector<Value>& slots) {
+  std::vector<Value> stack;
+  stack.reserve(16);
+  auto pop = [&] {
+    JEPO_ASSERT(!stack.empty());
+    const Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  auto popArgs = [&](int argc) {
+    std::vector<Value> args(static_cast<std::size_t>(argc));
+    for (int i = argc - 1; i >= 0; --i) {
+      args[static_cast<std::size_t>(i)] = pop();
+    }
+    return args;
+  };
+  const auto& names = program_->names;
+  auto name = [&](std::int32_t idx) -> const std::string& {
+    return names[static_cast<std::size_t>(idx)];
+  };
+
+  std::size_t pc = 0;
+  while (pc < chunk.code.size()) {
+    const Instr& in = chunk.code[pc];
+    step();
+    try {
+      switch (in.op) {
+        case Op::kConstInt:
+          charge(energy::Op::kConstLoad);
+          stack.push_back(Value::ofInt(
+              program_->intPool[static_cast<std::size_t>(in.a)]));
+          break;
+        case Op::kConstLong:
+          charge(energy::Op::kConstLoad);
+          stack.push_back(Value::ofLong(
+              program_->intPool[static_cast<std::size_t>(in.a)]));
+          break;
+        case Op::kConstFloat:
+          charge(in.b != 0 ? energy::Op::kConstLoadPlainDecimal
+                           : energy::Op::kConstLoad);
+          stack.push_back(Value::ofFloat(
+              program_->numPool[static_cast<std::size_t>(in.a)]));
+          break;
+        case Op::kConstDouble:
+          charge(in.b != 0 ? energy::Op::kConstLoadPlainDecimal
+                           : energy::Op::kConstLoad);
+          stack.push_back(Value::ofDouble(
+              program_->numPool[static_cast<std::size_t>(in.a)]));
+          break;
+        case Op::kConstStr: {
+          charge(energy::Op::kConstLoad);
+          const std::string& text = name(in.a);
+          auto it = stringPool_.find(text);
+          if (it == stringPool_.end()) {
+            it = stringPool_.emplace(text, heap_.allocString(text)).first;
+          }
+          stack.push_back(Value::ofRef(it->second));
+          break;
+        }
+        case Op::kConstChar:
+          charge(energy::Op::kConstLoad);
+          stack.push_back(Value::ofChar(in.a));
+          break;
+        case Op::kConstBool:
+          charge(energy::Op::kConstLoad);
+          stack.push_back(Value::ofBool(in.a != 0));
+          break;
+        case Op::kConstNull:
+          charge(energy::Op::kConstLoad);
+          stack.push_back(Value::null());
+          break;
+
+        case Op::kLoad:
+          charge(energy::Op::kLocalAccess);
+          stack.push_back(slots[static_cast<std::size_t>(in.a)]);
+          break;
+        case Op::kStore: {
+          charge(energy::Op::kLocalAccess);
+          Value v = pop();
+          if (in.b >= 0 && static_cast<ValKind>(in.b) != ValKind::kRef &&
+              v.isNumeric()) {
+            v = jvm::coerceToKind(v, static_cast<ValKind>(in.b), builtins_,
+                                  in.line);
+          }
+          slots[static_cast<std::size_t>(in.a)] = v;
+          break;
+        }
+        case Op::kLoadThis:
+          charge(energy::Op::kLocalAccess);
+          stack.push_back(slots[0]);
+          break;
+
+        case Op::kGetField: {
+          const Value obj = pop();
+          if (obj.isNull()) {
+            throwJava("NullPointerException",
+                      "field '" + name(in.a) + "' on null at line " +
+                          std::to_string(in.line));
+          }
+          HeapObject& ho = heap_.get(obj.asRef());
+          charge(energy::Op::kFieldAccess);
+          if (ho.kind == ObjKind::kArray && name(in.a) == "length") {
+            stack.push_back(
+                Value::ofInt(static_cast<std::int64_t>(ho.elems.size())));
+            break;
+          }
+          const auto it = ho.fields.find(name(in.a));
+          if (ho.kind != ObjKind::kObject || it == ho.fields.end()) {
+            throw VmError("unknown field '" + name(in.a) + "' at line " +
+                          std::to_string(in.line));
+          }
+          stack.push_back(it->second);
+          break;
+        }
+        case Op::kPutField: {
+          Value v = pop();
+          const Value obj = pop();
+          if (obj.isNull()) {
+            throwJava("NullPointerException", "store to field of null");
+          }
+          HeapObject& ho = heap_.get(obj.asRef());
+          const auto it = ho.fields.find(name(in.a));
+          JEPO_REQUIRE(it != ho.fields.end(),
+                       "unknown field '" + name(in.a) + "'");
+          charge(energy::Op::kFieldAccess);
+          if (it->second.isNumeric() && v.isNumeric()) {
+            v = jvm::coerceToKind(v, it->second.kind, builtins_, in.line);
+          }
+          it->second = v;
+          break;
+        }
+        case Op::kGetThisField: {
+          charge(energy::Op::kFieldAccess);
+          HeapObject& self = heap_.get(slots[0].asRef());
+          stack.push_back(self.fields.at(name(in.a)));
+          break;
+        }
+        case Op::kPutThisField: {
+          charge(energy::Op::kFieldAccess);
+          Value v = pop();
+          HeapObject& self = heap_.get(slots[0].asRef());
+          Value& field = self.fields.at(name(in.a));
+          if (field.isNumeric() && v.isNumeric()) {
+            v = jvm::coerceToKind(v, field.kind, builtins_, in.line);
+          }
+          field = v;
+          break;
+        }
+        case Op::kGetStatic: {
+          const std::string& key = name(in.a);
+          const auto dot = key.find('.');
+          const std::string className = key.substr(0, dot);
+          const std::string fieldName = key.substr(dot + 1);
+          if (BuiltinLibrary::isBuiltinClassName(className)) {
+            Value v;
+            if (builtins_.staticField(className, fieldName, &v)) {
+              stack.push_back(v);
+              break;
+            }
+          }
+          ensureClassInit(className);
+          const auto it = statics_.find(key);
+          if (it == statics_.end()) {
+            throw VmError("unknown static field " + key + " at line " +
+                          std::to_string(in.line));
+          }
+          charge(energy::Op::kStaticAccess);
+          stack.push_back(it->second);
+          break;
+        }
+        case Op::kPutStatic: {
+          const std::string& key = name(in.a);
+          const auto dot = key.find('.');
+          ensureClassInit(key.substr(0, dot));
+          const auto it = statics_.find(key);
+          if (it == statics_.end()) {
+            throw VmError("unknown static field " + key);
+          }
+          charge(energy::Op::kStaticAccess);
+          Value v = pop();
+          if (it->second.isNumeric() && v.isNumeric()) {
+            v = jvm::coerceToKind(v, it->second.kind, builtins_, in.line);
+          }
+          it->second = v;
+          break;
+        }
+
+        case Op::kArrayGet: {
+          const std::int64_t idx = pop().asInt();
+          const Value arr = pop();
+          if (arr.isNull()) {
+            throwJava("NullPointerException",
+                      "array access on null at line " +
+                          std::to_string(in.line));
+          }
+          HeapObject& ho = heap_.get(arr.asRef());
+          JEPO_REQUIRE(ho.kind == ObjKind::kArray, "indexing a non-array");
+          if (idx < 0 ||
+              static_cast<std::size_t>(idx) >= ho.elems.size()) {
+            throwJava("ArrayIndexOutOfBoundsException",
+                      "index " + std::to_string(idx) + " length " +
+                          std::to_string(ho.elems.size()) + " at line " +
+                          std::to_string(in.line));
+          }
+          const Value v = ho.elems[static_cast<std::size_t>(idx)];
+          const bool rowIsArray =
+              v.isRef() && heap_.get(v.asRef()).kind == ObjKind::kArray;
+          chargeRowLoad(arr.asRef(), idx, rowIsArray);
+          stack.push_back(v);
+          break;
+        }
+        case Op::kArraySet: {
+          Value v = pop();
+          const std::int64_t idx = pop().asInt();
+          const Value arr = pop();
+          if (arr.isNull()) {
+            throwJava("NullPointerException", "store to null array");
+          }
+          HeapObject& ho = heap_.get(arr.asRef());
+          JEPO_REQUIRE(ho.kind == ObjKind::kArray, "indexing a non-array");
+          if (idx < 0 ||
+              static_cast<std::size_t>(idx) >= ho.elems.size()) {
+            throwJava("ArrayIndexOutOfBoundsException",
+                      "store index " + std::to_string(idx) + " length " +
+                          std::to_string(ho.elems.size()));
+          }
+          charge(energy::Op::kArrayAccess);
+          if (v.isNumeric() && ho.elemKind != ValKind::kRef &&
+              ho.elemKind != ValKind::kNull) {
+            v = jvm::coerceToKind(v, ho.elemKind, builtins_, in.line);
+          }
+          ho.elems[static_cast<std::size_t>(idx)] = v;
+          break;
+        }
+        case Op::kNewArray: {
+          std::vector<std::int64_t> dims(static_cast<std::size_t>(in.a));
+          for (int i = in.a - 1; i >= 0; --i) {
+            dims[static_cast<std::size_t>(i)] = pop().asInt();
+          }
+          for (std::int64_t d : dims) {
+            if (d < 0) {
+              throwJava("NegativeArraySizeException", std::to_string(d));
+            }
+          }
+          stack.push_back(
+              allocArray(dims, 0, static_cast<ValKind>(in.b)));
+          break;
+        }
+
+        case Op::kNewObject: {
+          std::vector<Value> args = popArgs(in.b);
+          stack.push_back(construct(name(in.a), std::move(args), in.line));
+          break;
+        }
+
+        case Op::kBinary: {
+          const Value b = pop();
+          const Value a = pop();
+          stack.push_back(jvm::applyBinary(static_cast<jlang::BinOp>(in.a),
+                                           a, b, heap_, builtins_, *machine_,
+                                           in.line));
+          break;
+        }
+        case Op::kNeg:
+          stack.push_back(jvm::applyUnaryNeg(pop(), builtins_, *machine_));
+          break;
+        case Op::kNot:
+          stack.push_back(jvm::applyUnaryNot(pop(), *machine_));
+          break;
+        case Op::kBitNot:
+          stack.push_back(
+              jvm::applyUnaryBitNot(pop(), builtins_, *machine_));
+          break;
+        case Op::kCast: {
+          const auto k = static_cast<ValKind>(in.a);
+          if (in.b == 0) {
+            // Explicit source-level cast: charge like the tree engine.
+            switch (k) {
+              case ValKind::kLong: charge(energy::Op::kLongAlu); break;
+              case ValKind::kFloat: charge(energy::Op::kFloatAlu); break;
+              case ValKind::kDouble: charge(energy::Op::kDoubleAlu); break;
+              case ValKind::kByte:
+              case ValKind::kShort:
+                charge(energy::Op::kByteShortAlu);
+                break;
+              default: charge(energy::Op::kIntAlu); break;
+            }
+          }
+          stack.push_back(
+              jvm::coerceToKind(pop(), k, builtins_, in.line));
+          break;
+        }
+        case Op::kBox: {
+          const Value v = pop();
+          stack.push_back(v.isNumeric() ? builtins_.box(name(in.a), v) : v);
+          break;
+        }
+
+        case Op::kJump:
+          pc = static_cast<std::size_t>(in.a);
+          continue;
+        case Op::kJumpIfFalse: {
+          charge(in.b != 0 ? energy::Op::kTernary : energy::Op::kBranch);
+          if (!pop().asBool()) {
+            pc = static_cast<std::size_t>(in.a);
+            continue;
+          }
+          break;
+        }
+        case Op::kJumpIfTrue: {
+          charge(energy::Op::kBranch);
+          if (pop().asBool()) {
+            pc = static_cast<std::size_t>(in.a);
+            continue;
+          }
+          break;
+        }
+        case Op::kLoopTick:
+          charge(energy::Op::kLoopIter);
+          break;
+        case Op::kTryTick:
+          charge(energy::Op::kTryEnter);
+          break;
+
+        case Op::kCallStatic: {
+          const std::string& className = name(in.a);
+          const std::string& methodName = name(in.b);
+          std::vector<Value> args = popArgs(in.c);
+          if (BuiltinLibrary::isBuiltinClassName(className)) {
+            Value result;
+            if (builtins_.staticCall(className, methodName, args, &result)) {
+              stack.push_back(result);
+              break;
+            }
+            throw VmError("unknown method " + className + "." + methodName);
+          }
+          const CompiledClass* cls = program_->findClass(className);
+          if (cls == nullptr) {
+            throw VmError("unknown class " + className);
+          }
+          const auto it = cls->methods.find(methodName);
+          if (it == cls->methods.end()) {
+            throw VmError("unknown method " + className + "." + methodName);
+          }
+          ensureClassInit(className);
+          charge(energy::Op::kCall);
+          stack.push_back(invoke(*cls, it->second, std::move(args)));
+          break;
+        }
+        case Op::kCallUnqualified: {
+          std::vector<Value> args = popArgs(in.b);
+          const auto it = cls.methods.find(name(in.a));
+          if (it == cls.methods.end()) {
+            throw VmError("unknown method " + name(in.a) + " at line " +
+                          std::to_string(in.line));
+          }
+          if (!it->second.isStatic) {
+            JEPO_REQUIRE(!chunk.isStatic,
+                         "instance method called from static context");
+            args.insert(args.begin(), slots[0]);
+          }
+          ensureClassInit(cls.name);
+          charge(energy::Op::kCall);
+          stack.push_back(invoke(cls, it->second, std::move(args)));
+          break;
+        }
+        case Op::kCallVirtual: {
+          std::vector<Value> args = popArgs(in.b);
+          const Value receiver = pop();
+          if (receiver.isNull()) {
+            throwJava("NullPointerException",
+                      "call '" + name(in.a) + "' on null at line " +
+                          std::to_string(in.line));
+          }
+          Value result;
+          if (builtins_.instanceCall(receiver, name(in.a), args, &result)) {
+            stack.push_back(result);
+            break;
+          }
+          const HeapObject& obj = heap_.get(receiver.asRef());
+          JEPO_REQUIRE(obj.kind == ObjKind::kObject,
+                       "method call on non-object");
+          const CompiledClass* targetCls = program_->findClass(obj.className);
+          if (targetCls == nullptr) {
+            throw VmError("method call on unknown class " + obj.className);
+          }
+          const auto it = targetCls->methods.find(name(in.a));
+          if (it == targetCls->methods.end()) {
+            throw VmError("unknown method " + obj.className + "." +
+                          name(in.a));
+          }
+          args.insert(args.begin(), receiver);
+          charge(energy::Op::kCall);
+          stack.push_back(invoke(*targetCls, it->second, std::move(args)));
+          break;
+        }
+        case Op::kPrint: {
+          if (in.b != 0) {
+            const Value v = pop();
+            builtins_.print(&v, in.a != 0);
+          } else {
+            builtins_.print(nullptr, in.a != 0);
+          }
+          stack.push_back(Value::null());  // expression result, popped next
+          break;
+        }
+
+        case Op::kReturnValue:
+          return pop();
+        case Op::kReturnVoid:
+          return Value::null();
+        case Op::kPop:
+          pop();
+          break;
+        case Op::kDup:
+          JEPO_ASSERT(!stack.empty());
+          stack.push_back(stack.back());
+          break;
+        case Op::kThrow: {
+          const Value v = pop();
+          if (v.isNull()) throwJava("NullPointerException", "throw null");
+          charge(energy::Op::kThrow);
+          throw Thrown{v};
+        }
+      }
+      ++pc;
+    } catch (const Thrown& thrown) {
+      // Exception table search, in declaration order.
+      const std::string& thrownClass =
+          heap_.get(thrown.exception.asRef()).className;
+      const ExceptionEntry* match = nullptr;
+      for (const auto& h : chunk.handlers) {
+        if (pc < static_cast<std::size_t>(h.start) ||
+            pc >= static_cast<std::size_t>(h.end)) {
+          continue;
+        }
+        if (h.classNameIdx < 0) {  // catch-all (finally)
+          match = &h;
+          break;
+        }
+        const std::string& handlerClass =
+            program_->names[static_cast<std::size_t>(h.classNameIdx)];
+        if (handlerClass == thrownClass || handlerClass == "Exception" ||
+            (handlerClass == "RuntimeException" &&
+             BuiltinLibrary::looksLikeExceptionClass(thrownClass))) {
+          match = &h;
+          break;
+        }
+      }
+      if (match == nullptr) throw;
+      if (match->classNameIdx >= 0) charge(energy::Op::kCatch);
+      stack.clear();
+      if (match->slot >= 0) {
+        slots[static_cast<std::size_t>(match->slot)] = thrown.exception;
+      } else {
+        stack.push_back(thrown.exception);
+      }
+      pc = static_cast<std::size_t>(match->handler);
+    }
+  }
+  return Value::null();
+}
+
+jvm::Value BytecodeVm::runMain(std::string_view mainClass) {
+  const CompiledClass* target = nullptr;
+  std::vector<const CompiledClass*> mains;
+  for (const auto& [n, cls] : program_->classes) {
+    if (cls.hasMain) mains.push_back(&cls);
+  }
+  if (mainClass.empty()) {
+    if (mains.empty()) throw VmError("no class declares static void main");
+    if (mains.size() > 1) throw VmError("multiple main classes");
+    target = mains.front();
+  } else {
+    for (const auto* c : mains) {
+      if (c->name == mainClass) target = c;
+    }
+    if (target == nullptr) {
+      throw VmError("no main method in class " + std::string(mainClass));
+    }
+  }
+  ensureClassInit(target->name);
+  const Ref argsArr = heap_.allocArray(0, ValKind::kRef);
+  return invoke(*target, target->methods.at("main"),
+                {Value::ofRef(argsArr)});
+}
+
+jvm::Value BytecodeVm::callStatic(std::string_view className,
+                                  std::string_view methodName,
+                                  std::vector<Value> args) {
+  const CompiledClass* cls = program_->findClass(std::string(className));
+  JEPO_REQUIRE(cls != nullptr, "unknown class " + std::string(className));
+  const auto it = cls->methods.find(std::string(methodName));
+  JEPO_REQUIRE(it != cls->methods.end(),
+               "unknown method " + std::string(methodName));
+  JEPO_REQUIRE(it->second.isStatic, "method is not static");
+  ensureClassInit(cls->name);
+  return invoke(*cls, it->second, std::move(args));
+}
+
+}  // namespace jepo::jbc

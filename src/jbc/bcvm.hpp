@@ -1,0 +1,80 @@
+// The bytecode stack machine. Shares the Heap/Value/BuiltinLibrary/ops
+// substrate with the tree interpreter, honours the same MethodHooks
+// interface (so the Instrumenter plugs into either engine), and charges the
+// same cost model — at the granularity of compiled instructions.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "energy/machine.hpp"
+#include "jbc/code.hpp"
+#include "jvm/builtins.hpp"
+#include "jvm/heap.hpp"
+#include "jvm/interpreter.hpp"  // MethodHooks, Thrown
+
+namespace jepo::jbc {
+
+class BytecodeVm {
+ public:
+  BytecodeVm(const CompiledProgram& program, energy::SimMachine& machine);
+  BytecodeVm(CompiledProgram&&, energy::SimMachine&) = delete;
+
+  void setHooks(jvm::MethodHooks* hooks) { hooks_ = hooks; }
+  void setMaxSteps(std::uint64_t maxSteps) { maxSteps_ = maxSteps; }
+
+  /// Run `static void main` (the unique one, or the named class's).
+  jvm::Value runMain(std::string_view mainClass = {});
+
+  jvm::Value callStatic(std::string_view className,
+                        std::string_view methodName,
+                        std::vector<jvm::Value> args);
+
+  const std::string& output() const noexcept { return out_; }
+  jvm::Heap& heap() noexcept { return heap_; }
+
+ private:
+  jvm::Value invoke(const CompiledClass& cls, const Chunk& chunk,
+                    std::vector<jvm::Value> args);
+  jvm::Value run(const CompiledClass& cls, const Chunk& chunk,
+                 std::vector<jvm::Value>& slots);
+
+  void ensureClassInit(const std::string& className);
+  jvm::Value construct(const std::string& className,
+                       std::vector<jvm::Value> args, int line);
+  jvm::Value allocArray(const std::vector<std::int64_t>& dims,
+                        std::size_t level, jvm::ValKind leafKind);
+
+  void chargeRowLoad(jvm::Ref array, std::int64_t index, bool rowIsArray);
+  void step();
+  void charge(energy::Op op, std::uint64_t n = 1) { machine_->charge(op, n); }
+  [[noreturn]] void throwJava(const std::string& cls,
+                              const std::string& msg) {
+    builtins_.throwJava(cls, msg);
+  }
+
+  const CompiledProgram* program_;
+  energy::SimMachine* machine_;
+  jvm::Heap heap_;
+  std::string out_;
+  jvm::BuiltinLibrary builtins_;
+  jvm::MethodHooks* hooks_ = nullptr;
+
+  std::unordered_map<std::string, jvm::Value> statics_;
+  std::unordered_set<std::string> initializedClasses_;
+  std::unordered_map<std::string, jvm::Ref> stringPool_;
+
+  std::uint64_t steps_ = 0;
+  std::uint64_t maxSteps_ = 0;
+  std::size_t frameDepth_ = 0;
+
+  jvm::Ref lastRowArray_ = 0xFFFFFFFF;
+  std::int64_t lastRowIndex_ = -1;
+
+  static constexpr std::size_t kMaxFrames = 512;
+};
+
+}  // namespace jepo::jbc

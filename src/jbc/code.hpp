@@ -1,0 +1,149 @@
+// Bytecode representation — the "Javassist level" of the reproduction.
+//
+// JEPO's profiler injects measurement instructions into compiled method
+// bodies. The jbc module makes that level real: a compiler lowers MiniJava
+// methods into stack-machine chunks (with exception tables, as on the real
+// JVM), and a bytecode VM executes them on the same Heap/Value/Builtin
+// substrate as the tree interpreter. The two engines are pinned together by
+// cross-engine agreement tests; their energy accounting differs only where
+// the compiled form genuinely differs (e.g. a ternary compiles to plain
+// branches).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "jlang/ast.hpp"
+#include "jvm/value.hpp"
+
+namespace jepo::jbc {
+
+enum class Op : std::uint8_t {
+  // Constants. a indexes the matching pool; b is a flags word.
+  kConstInt,     // a -> intPool
+  kConstLong,    // a -> intPool
+  kConstFloat,   // a -> numPool; b=1: plain-decimal spelling
+  kConstDouble,  // a -> numPool; b=1: plain-decimal spelling
+  kConstStr,     // a -> names (interned at runtime)
+  kConstChar,    // a = code point
+  kConstBool,    // a = 0/1
+  kConstNull,
+
+  // Locals. a = slot; for kStore b = ValKind to coerce to (-1: none).
+  kLoad,
+  kStore,
+  kLoadThis,
+
+  // Fields. a -> names.
+  kGetField,      // obj -> value   (array.length handled here)
+  kPutField,      // obj value ->
+  kGetThisField,  // -> value
+  kPutThisField,  // value ->
+  kGetStatic,     // a -> names ("Class.field")
+  kPutStatic,
+
+  // Arrays.
+  kArrayGet,  // arr idx -> value
+  kArraySet,  // arr idx value ->
+  kNewArray,  // a = dim count (dims on stack), b = leaf ValKind
+
+  // Objects.
+  kNewObject,  // a -> names (class), b = argc; args on stack
+
+  // Operators.
+  kBinary,  // a = jlang::BinOp (no &&/||)
+  kNeg,
+  kNot,
+  kBitNot,
+  kCast,  // a = ValKind
+  kBox,   // a -> names (wrapper class)
+
+  // Control flow. a = target pc.
+  kJump,
+  kJumpIfFalse,  // b=1: this branch is a compiled ternary (charge kTernary)
+  kJumpIfTrue,
+  kLoopTick,  // charge one loop iteration
+  kTryTick,   // charge a try entry
+
+  // Calls. argc values on stack (receiver below them for virtual).
+  kCallStatic,       // a -> names (class), b -> names (method), c = argc
+  kCallVirtual,      // a -> names (method), b = argc
+  kCallUnqualified,  // a -> names (method), b = argc; current class
+  kPrint,            // a = newline flag, b = has-argument flag
+
+  kReturnValue,
+  kReturnVoid,
+  kPop,
+  kDup,
+  kThrow,
+};
+
+struct Instr {
+  Op op;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::int32_t line = 0;
+};
+
+/// JVM-style exception table entry: pcs in [start, end) covered; on a match
+/// the operand stack is cleared, the exception ref stored to `slot`, and
+/// control transfers to `handler`.
+struct ExceptionEntry {
+  std::int32_t start = 0;
+  std::int32_t end = 0;
+  std::int32_t handler = 0;
+  std::int32_t classNameIdx = -1;  // -1 = catch-all (finally path)
+  std::int32_t slot = -1;          // -1 = leave the exception on the stack
+};
+
+struct Chunk {
+  std::string qualifiedName;  // "Class.method" for the hook interface
+  std::vector<Instr> code;
+  std::vector<ExceptionEntry> handlers;
+  int numSlots = 0;
+  int numParams = 0;  // including the `this` slot for instance methods
+  bool isStatic = true;
+  std::vector<jvm::ValKind> paramKinds;  // coercion at call time
+};
+
+struct CompiledField {
+  std::string name;
+  jvm::ValKind kind = jvm::ValKind::kInt;
+  bool isStatic = false;
+};
+
+struct CompiledClass {
+  std::string name;
+  std::vector<CompiledField> fields;
+  std::unordered_map<std::string, Chunk> methods;  // includes ctor (== name)
+  Chunk clinit;      // static field initializers (may be empty)
+  Chunk initFields;  // instance field initializers (may be empty)
+  bool hasMain = false;
+};
+
+struct CompiledProgram {
+  std::vector<std::string> names;   // shared string/name pool
+  std::vector<std::int64_t> intPool;
+  std::vector<double> numPool;
+  std::unordered_map<std::string, CompiledClass> classes;
+
+  const CompiledClass* findClass(const std::string& name) const {
+    const auto it = classes.find(name);
+    return it == classes.end() ? nullptr : &it->second;
+  }
+};
+
+/// Raised when a construct is outside the bytecode backend's supported set
+/// (documented limitation: break/continue/return crossing a finally).
+class CompileError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Human-readable disassembly (for tests and debugging).
+std::string disassemble(const Chunk& chunk, const CompiledProgram& program);
+
+}  // namespace jepo::jbc

@@ -1,0 +1,848 @@
+#include "jbc/compiler.hpp"
+
+#include <unordered_map>
+
+#include "jvm/builtins.hpp"
+#include "jvm/ops.hpp"
+
+namespace jepo::jbc {
+
+using jlang::AssignOp;
+using jlang::BinOp;
+using jlang::ClassDecl;
+using jlang::Expr;
+using jlang::ExprKind;
+using jlang::MethodDecl;
+using jlang::Prim;
+using jlang::Program;
+using jlang::Stmt;
+using jlang::StmtKind;
+using jlang::UnOp;
+using jvm::BuiltinLibrary;
+using jvm::ValKind;
+
+namespace {
+
+class ProgramCompiler;
+
+/// Compiles one method body into a Chunk.
+class MethodCompiler {
+ public:
+  MethodCompiler(ProgramCompiler& owner, const ClassDecl& cls,
+                 bool isStatic);
+
+  Chunk compileMethod(const MethodDecl& m);
+  /// Synthesized chunks over field initializers.
+  Chunk compileFieldInits(const ClassDecl& cls, bool staticFields);
+
+ private:
+  // ------------------------------------------------------------- emission
+  int emit(Op op, std::int32_t a = 0, std::int32_t b = 0, std::int32_t c = 0,
+           int line = 0) {
+    chunk_.code.push_back(Instr{op, a, b, c, line});
+    return static_cast<int>(chunk_.code.size() - 1);
+  }
+  int here() const { return static_cast<int>(chunk_.code.size()); }
+  void patch(int at, int target) {
+    chunk_.code[static_cast<std::size_t>(at)].a = target;
+  }
+
+  // --------------------------------------------------------------- scopes
+  struct LocalInfo {
+    int slot;
+    ValKind kind;
+  };
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+  int declareLocal(const std::string& name, ValKind kind) {
+    const int slot = chunk_.numSlots++;
+    scopes_.back().emplace_back(name, LocalInfo{slot, kind});
+    return slot;
+  }
+  const LocalInfo* findLocal(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      for (const auto& [n, info] : *it) {
+        if (n == name) return &info;
+      }
+    }
+    return nullptr;
+  }
+  int newTemp() { return chunk_.numSlots++; }
+
+  // ------------------------------------------------------------ statements
+  void compileStmt(const Stmt& s);
+  void compileBlock(const Stmt& s);
+  void compileVarDecl(const Stmt& s);
+  void compileIf(const Stmt& s);
+  void compileWhile(const Stmt& s);
+  void compileFor(const Stmt& s);
+  void compileTry(const Stmt& s);
+  void compileSwitch(const Stmt& s);
+  void compileReturn(const Stmt& s);
+
+  // ----------------------------------------------------------- expressions
+  void compileExpr(const Expr& e);
+  void compileAssign(const Expr& e);
+  void compileIncDec(const Expr& e);
+  void compileCall(const Expr& e);
+  void compileVarRef(const Expr& e);
+  void compileFieldAccess(const Expr& e);
+  /// Store the top of stack into the lvalue `target`.
+  void compileStoreTo(const Expr& target);
+  void emitDefault(ValKind k, int line);
+
+  // -------------------------------------------------------------- helpers
+  bool isClassNameRef(const Expr& e) const;
+  /// Emit inlined copies of the finally blocks for frames deeper than
+  /// `downToDepth` (for return/break/continue crossing try-finally).
+  void emitFinallyCopies(std::size_t downToDepth);
+
+  ProgramCompiler& owner_;
+  const ClassDecl& cls_;
+  bool isStatic_;
+  Chunk chunk_;
+  std::vector<std::vector<std::pair<std::string, LocalInfo>>> scopes_;
+
+  struct LoopContext {
+    std::vector<int> breakJumps;
+    std::vector<int> continueJumps;
+    bool isLoop = true;         // false for switch (breakable only)
+    std::size_t finallyDepth;   // finally frames live at loop entry
+  };
+  std::vector<LoopContext> loops_;
+  std::vector<const Stmt*> finallyStack_;  // enclosing finally blocks
+};
+
+class ProgramCompiler {
+ public:
+  explicit ProgramCompiler(const Program& program) : program_(program) {}
+
+  CompiledProgram run();
+
+  int nameIdx(const std::string& s) {
+    const auto it = nameIndex_.find(s);
+    if (it != nameIndex_.end()) return it->second;
+    out_.names.push_back(s);
+    const int idx = static_cast<int>(out_.names.size() - 1);
+    nameIndex_.emplace(s, idx);
+    return idx;
+  }
+  int intIdx(std::int64_t v) {
+    out_.intPool.push_back(v);
+    return static_cast<int>(out_.intPool.size() - 1);
+  }
+  int numIdx(double v) {
+    out_.numPool.push_back(v);
+    return static_cast<int>(out_.numPool.size() - 1);
+  }
+
+  const Program& program() const { return program_; }
+  bool isProgramClass(const std::string& name) const {
+    return program_.findClass(name) != nullptr;
+  }
+
+ private:
+  const Program& program_;
+  CompiledProgram out_;
+  std::unordered_map<std::string, int> nameIndex_;
+};
+
+// ---------------------------------------------------------------------------
+
+MethodCompiler::MethodCompiler(ProgramCompiler& owner, const ClassDecl& cls,
+                               bool isStatic)
+    : owner_(owner), cls_(cls), isStatic_(isStatic) {}
+
+Chunk MethodCompiler::compileMethod(const MethodDecl& m) {
+  chunk_ = Chunk{};
+  chunk_.qualifiedName = cls_.name + "." + m.name;
+  chunk_.isStatic = m.isStatic;
+  pushScope();
+  if (!m.isStatic) {
+    declareLocal("this", ValKind::kRef);
+    chunk_.paramKinds.push_back(ValKind::kRef);
+  }
+  for (const auto& p : m.params) {
+    const ValKind k = jvm::kindOfType(p.type);
+    declareLocal(p.name, k);
+    chunk_.paramKinds.push_back(k);
+  }
+  chunk_.numParams = static_cast<int>(chunk_.paramKinds.size());
+  if (m.body) compileBlock(*m.body);
+  emit(Op::kReturnVoid, 0, 0, 0, m.line);
+  popScope();
+  return std::move(chunk_);
+}
+
+Chunk MethodCompiler::compileFieldInits(const ClassDecl& cls,
+                                        bool staticFields) {
+  chunk_ = Chunk{};
+  chunk_.qualifiedName =
+      cls.name + (staticFields ? ".<clinit>" : ".<initfields>");
+  chunk_.isStatic = staticFields;
+  pushScope();
+  if (!staticFields) {
+    declareLocal("this", ValKind::kRef);
+    chunk_.paramKinds.push_back(ValKind::kRef);
+  }
+  chunk_.numParams = static_cast<int>(chunk_.paramKinds.size());
+  for (const auto& f : cls.fields) {
+    if (f.isStatic != staticFields || !f.init) continue;
+    compileExpr(*f.init);
+    const ValKind k = jvm::kindOfType(f.type);
+    if (k != ValKind::kRef) emit(Op::kCast, static_cast<int>(k), 0, 0, f.line);
+    if (BuiltinLibrary::isWrapperClassName(f.type.className) &&
+        f.type.arrayDims == 0) {
+      emit(Op::kBox, owner_.nameIdx(f.type.className), 0, 0, f.line);
+    }
+    if (staticFields) {
+      emit(Op::kPutStatic, owner_.nameIdx(cls.name + "." + f.name), 0, 0,
+           f.line);
+    } else {
+      emit(Op::kPutThisField, owner_.nameIdx(f.name), 0, 0, f.line);
+    }
+  }
+  emit(Op::kReturnVoid);
+  popScope();
+  return std::move(chunk_);
+}
+
+void MethodCompiler::emitDefault(ValKind k, int line) {
+  switch (k) {
+    case ValKind::kBool: emit(Op::kConstBool, 0, 0, 0, line); break;
+    case ValKind::kFloat:
+      emit(Op::kConstFloat, owner_.numIdx(0.0), 0, 0, line);
+      break;
+    case ValKind::kDouble:
+      emit(Op::kConstDouble, owner_.numIdx(0.0), 0, 0, line);
+      break;
+    case ValKind::kChar: emit(Op::kConstChar, 0, 0, 0, line); break;
+    case ValKind::kLong:
+      emit(Op::kConstLong, owner_.intIdx(0), 0, 0, line);
+      break;
+    case ValKind::kByte:
+    case ValKind::kShort:
+    case ValKind::kInt:
+      emit(Op::kConstInt, owner_.intIdx(0), 0, 0, line);
+      break;
+    default: emit(Op::kConstNull, 0, 0, 0, line); break;
+  }
+}
+
+// ----------------------------------------------------------------- stmts
+
+void MethodCompiler::compileBlock(const Stmt& s) {
+  pushScope();
+  for (const auto& st : s.body) compileStmt(*st);
+  popScope();
+}
+
+void MethodCompiler::compileStmt(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kBlock: compileBlock(s); return;
+    case StmtKind::kVarDecl: compileVarDecl(s); return;
+    case StmtKind::kExprStmt:
+      compileExpr(*s.expr);
+      emit(Op::kPop, 0, 0, 0, s.line);
+      return;
+    case StmtKind::kIf: compileIf(s); return;
+    case StmtKind::kWhile: compileWhile(s); return;
+    case StmtKind::kFor: compileFor(s); return;
+    case StmtKind::kReturn: compileReturn(s); return;
+    case StmtKind::kThrow:
+      compileExpr(*s.expr);
+      emit(Op::kThrow, 0, 0, 0, s.line);
+      return;
+    case StmtKind::kTry: compileTry(s); return;
+    case StmtKind::kSwitch: compileSwitch(s); return;
+    case StmtKind::kBreak: {
+      JEPO_REQUIRE(!loops_.empty(), "break outside loop/switch");
+      emitFinallyCopies(loops_.back().finallyDepth);
+      loops_.back().breakJumps.push_back(emit(Op::kJump, 0, 0, 0, s.line));
+      return;
+    }
+    case StmtKind::kContinue: {
+      // The nearest *loop* (switches are not continue targets).
+      LoopContext* target = nullptr;
+      for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+        if (it->isLoop) {
+          target = &*it;
+          break;
+        }
+      }
+      JEPO_REQUIRE(target != nullptr, "continue outside loop");
+      emitFinallyCopies(target->finallyDepth);
+      target->continueJumps.push_back(emit(Op::kJump, 0, 0, 0, s.line));
+      return;
+    }
+  }
+  throw Error("unhandled statement kind in compiler");
+}
+
+void MethodCompiler::compileVarDecl(const Stmt& s) {
+  const ValKind k = jvm::kindOfType(s.declType);
+  if (s.init) {
+    compileExpr(*s.init);
+  } else {
+    emitDefault(k, s.line);
+  }
+  const bool wrapper =
+      s.declType.arrayDims == 0 &&
+      BuiltinLibrary::isWrapperClassName(s.declType.className);
+  if (wrapper) {
+    emit(Op::kBox, owner_.nameIdx(s.declType.className), 0, 0, s.line);
+  }
+  const int slot = declareLocal(s.declName, k);
+  emit(Op::kStore, slot, static_cast<int>(k), 0, s.line);
+}
+
+void MethodCompiler::compileIf(const Stmt& s) {
+  compileExpr(*s.cond);
+  const int jumpElse = emit(Op::kJumpIfFalse, 0, 0, 0, s.line);
+  compileStmt(*s.thenStmt);
+  if (s.elseStmt) {
+    const int jumpEnd = emit(Op::kJump);
+    patch(jumpElse, here());
+    compileStmt(*s.elseStmt);
+    patch(jumpEnd, here());
+  } else {
+    patch(jumpElse, here());
+  }
+}
+
+void MethodCompiler::compileWhile(const Stmt& s) {
+  const int start = here();
+  compileExpr(*s.cond);
+  const int exitJump = emit(Op::kJumpIfFalse, 0, 0, 0, s.line);
+  emit(Op::kLoopTick);
+  loops_.push_back(LoopContext{{}, {}, true, finallyStack_.size()});
+  compileStmt(*s.thenStmt);
+  LoopContext ctx = std::move(loops_.back());
+  loops_.pop_back();
+  for (int j : ctx.continueJumps) patch(j, start);
+  emit(Op::kJump, start);
+  patch(exitJump, here());
+  for (int j : ctx.breakJumps) patch(j, here());
+}
+
+void MethodCompiler::compileFor(const Stmt& s) {
+  pushScope();
+  for (const auto& init : s.body) compileStmt(*init);
+  const int start = here();
+  int exitJump = -1;
+  if (s.cond) {
+    compileExpr(*s.cond);
+    exitJump = emit(Op::kJumpIfFalse, 0, 0, 0, s.line);
+  }
+  emit(Op::kLoopTick);
+  loops_.push_back(LoopContext{{}, {}, true, finallyStack_.size()});
+  compileStmt(*s.thenStmt);
+  LoopContext ctx = std::move(loops_.back());
+  loops_.pop_back();
+  const int updateTarget = here();
+  for (int j : ctx.continueJumps) patch(j, updateTarget);
+  for (const auto& u : s.update) {
+    compileExpr(*u);
+    emit(Op::kPop);
+  }
+  emit(Op::kJump, start);
+  if (exitJump >= 0) patch(exitJump, here());
+  for (int j : ctx.breakJumps) patch(j, here());
+  popScope();
+}
+
+void MethodCompiler::emitFinallyCopies(std::size_t downToDepth) {
+  for (std::size_t i = finallyStack_.size(); i > downToDepth; --i) {
+    const Stmt* fin = finallyStack_[i - 1];
+    if (fin != nullptr) compileStmt(*fin);
+  }
+}
+
+void MethodCompiler::compileReturn(const Stmt& s) {
+  if (finallyStack_.empty()) {
+    if (s.expr) {
+      compileExpr(*s.expr);
+      emit(Op::kReturnValue, 0, 0, 0, s.line);
+    } else {
+      emit(Op::kReturnVoid, 0, 0, 0, s.line);
+    }
+    return;
+  }
+  // Return crossing finally frames: stash the value, run the finallys.
+  if (s.expr) {
+    compileExpr(*s.expr);
+    const int temp = newTemp();
+    emit(Op::kStore, temp, -1, 0, s.line);
+    emitFinallyCopies(0);
+    emit(Op::kLoad, temp, 0, 0, s.line);
+    emit(Op::kReturnValue, 0, 0, 0, s.line);
+  } else {
+    emitFinallyCopies(0);
+    emit(Op::kReturnVoid, 0, 0, 0, s.line);
+  }
+}
+
+void MethodCompiler::compileTry(const Stmt& s) {
+  emit(Op::kTryTick, 0, 0, 0, s.line);
+  const Stmt* finallyBlock = s.finallyBlock.get();
+  finallyStack_.push_back(finallyBlock);
+
+  const int tryStart = here();
+  compileStmt(*s.tryBlock);
+  const int tryEnd = here();
+
+  finallyStack_.pop_back();  // handlers/finally copies run outside the frame
+
+  std::vector<int> endJumps;
+  if (finallyBlock != nullptr) compileStmt(*finallyBlock);
+  endJumps.push_back(emit(Op::kJump));
+
+  // Catch handlers.
+  for (const auto& clause : s.catches) {
+    pushScope();
+    const int slot = declareLocal(clause.varName, ValKind::kRef);
+    ExceptionEntry entry;
+    entry.start = tryStart;
+    entry.end = tryEnd;
+    entry.handler = here();
+    entry.classNameIdx = owner_.nameIdx(clause.exceptionClass);
+    entry.slot = slot;
+    chunk_.handlers.push_back(entry);
+    compileStmt(*clause.body);
+    popScope();
+    if (finallyBlock != nullptr) compileStmt(*finallyBlock);
+    endJumps.push_back(emit(Op::kJump));
+  }
+  const int catchesEnd = here();
+
+  // Catch-all: run the finally, rethrow. Covers the try AND catch bodies.
+  if (finallyBlock != nullptr) {
+    const int temp = newTemp();
+    ExceptionEntry entry;
+    entry.start = tryStart;
+    entry.end = catchesEnd;
+    entry.handler = here();
+    entry.classNameIdx = -1;
+    entry.slot = temp;
+    chunk_.handlers.push_back(entry);
+    compileStmt(*finallyBlock);
+    emit(Op::kLoad, temp);
+    emit(Op::kThrow);
+  }
+
+  for (int j : endJumps) patch(j, here());
+}
+
+void MethodCompiler::compileSwitch(const Stmt& s) {
+  compileExpr(*s.cond);
+  const int selSlot = newTemp();
+  emit(Op::kStore, selSlot, -1, 0, s.line);
+
+  // Dispatch: compare against each case label in order.
+  std::vector<int> caseJumps(s.cases.size(), -1);
+  int defaultIdx = -1;
+  for (std::size_t i = 0; i < s.cases.size(); ++i) {
+    if (s.cases[i].isDefault) {
+      defaultIdx = static_cast<int>(i);
+      continue;
+    }
+    emit(Op::kLoad, selSlot);
+    emit(Op::kConstInt, owner_.intIdx(s.cases[i].value));
+    emit(Op::kBinary, static_cast<int>(BinOp::kEq));
+    caseJumps[i] = emit(Op::kJumpIfTrue, 0, 0, 0, s.line);
+  }
+  const int dispatchEndJump = emit(Op::kJump);
+
+  loops_.push_back(LoopContext{{}, {}, false, finallyStack_.size()});
+  std::vector<int> bodyStart(s.cases.size(), 0);
+  for (std::size_t i = 0; i < s.cases.size(); ++i) {
+    bodyStart[i] = here();
+    for (const auto& st : s.cases[i].body) compileStmt(*st);
+  }
+  LoopContext ctx = std::move(loops_.back());
+  loops_.pop_back();
+  JEPO_REQUIRE(ctx.continueJumps.empty(),
+               "continue inside switch must target a loop");
+
+  for (std::size_t i = 0; i < s.cases.size(); ++i) {
+    if (caseJumps[i] >= 0) patch(caseJumps[i], bodyStart[i]);
+  }
+  patch(dispatchEndJump,
+        defaultIdx >= 0 ? bodyStart[static_cast<std::size_t>(defaultIdx)]
+                        : here());
+  for (int j : ctx.breakJumps) patch(j, here());
+}
+
+// ----------------------------------------------------------------- exprs
+
+bool MethodCompiler::isClassNameRef(const Expr& e) const {
+  if (e.kind != ExprKind::kVarRef) return false;
+  if (findLocal(e.strValue) != nullptr) return false;
+  return owner_.isProgramClass(e.strValue) ||
+         BuiltinLibrary::isBuiltinClassName(e.strValue);
+}
+
+void MethodCompiler::compileVarRef(const Expr& e) {
+  if (e.strValue == "this") {
+    emit(Op::kLoadThis, 0, 0, 0, e.line);
+    return;
+  }
+  if (const LocalInfo* local = findLocal(e.strValue)) {
+    emit(Op::kLoad, local->slot, 0, 0, e.line);
+    return;
+  }
+  // Instance field of this.
+  if (!isStatic_) {
+    for (const auto& f : cls_.fields) {
+      if (!f.isStatic && f.name == e.strValue) {
+        emit(Op::kGetThisField, owner_.nameIdx(e.strValue), 0, 0, e.line);
+        return;
+      }
+    }
+  }
+  // Static field of the current class.
+  for (const auto& f : cls_.fields) {
+    if (f.isStatic && f.name == e.strValue) {
+      emit(Op::kGetStatic, owner_.nameIdx(cls_.name + "." + e.strValue), 0,
+           0, e.line);
+      return;
+    }
+  }
+  throw CompileError("undefined name '" + e.strValue + "' at line " +
+                     std::to_string(e.line));
+}
+
+void MethodCompiler::compileFieldAccess(const Expr& e) {
+  if (isClassNameRef(*e.a)) {
+    emit(Op::kGetStatic, owner_.nameIdx(e.a->strValue + "." + e.strValue), 0,
+         0, e.line);
+    return;
+  }
+  compileExpr(*e.a);
+  emit(Op::kGetField, owner_.nameIdx(e.strValue), 0, 0, e.line);
+}
+
+void MethodCompiler::compileStoreTo(const Expr& target) {
+  // Precondition: the value to store is on top of the stack.
+  switch (target.kind) {
+    case ExprKind::kVarRef: {
+      if (const LocalInfo* local = findLocal(target.strValue)) {
+        emit(Op::kStore, local->slot, static_cast<int>(local->kind), 0,
+             target.line);
+        return;
+      }
+      if (!isStatic_) {
+        for (const auto& f : cls_.fields) {
+          if (!f.isStatic && f.name == target.strValue) {
+            emit(Op::kPutThisField, owner_.nameIdx(target.strValue), 0, 0,
+                 target.line);
+            return;
+          }
+        }
+      }
+      for (const auto& f : cls_.fields) {
+        if (f.isStatic && f.name == target.strValue) {
+          emit(Op::kPutStatic,
+               owner_.nameIdx(cls_.name + "." + target.strValue), 0, 0,
+               target.line);
+          return;
+        }
+      }
+      throw CompileError("assignment to undefined name '" + target.strValue +
+                         "' at line " + std::to_string(target.line));
+    }
+    case ExprKind::kFieldAccess: {
+      if (isClassNameRef(*target.a)) {
+        emit(Op::kPutStatic,
+             owner_.nameIdx(target.a->strValue + "." + target.strValue), 0, 0,
+             target.line);
+        return;
+      }
+      // value on stack; need obj value for kPutField: stash value.
+      const int temp = newTemp();
+      emit(Op::kStore, temp, -1, 0, target.line);
+      compileExpr(*target.a);
+      emit(Op::kLoad, temp);
+      emit(Op::kPutField, owner_.nameIdx(target.strValue), 0, 0, target.line);
+      return;
+    }
+    case ExprKind::kArrayIndex: {
+      const int temp = newTemp();
+      emit(Op::kStore, temp, -1, 0, target.line);
+      compileExpr(*target.a);
+      compileExpr(*target.b);
+      emit(Op::kLoad, temp);
+      emit(Op::kArraySet, 0, 0, 0, target.line);
+      return;
+    }
+    default:
+      throw CompileError("invalid assignment target at line " +
+                         std::to_string(target.line));
+  }
+}
+
+void MethodCompiler::compileAssign(const Expr& e) {
+  if (e.assignOp == AssignOp::kSet) {
+    compileExpr(*e.b);
+  } else {
+    BinOp op;
+    switch (e.assignOp) {
+      case AssignOp::kAdd: op = BinOp::kAdd; break;
+      case AssignOp::kSub: op = BinOp::kSub; break;
+      case AssignOp::kMul: op = BinOp::kMul; break;
+      case AssignOp::kDiv: op = BinOp::kDiv; break;
+      case AssignOp::kMod: op = BinOp::kMod; break;
+      default: throw Error("bad compound assignment");
+    }
+    compileExpr(*e.a);  // current value
+    compileExpr(*e.b);
+    emit(Op::kBinary, static_cast<int>(op), 0, 0, e.line);
+    // Narrow compound results back to the target's kind when known.
+    if (e.a->kind == ExprKind::kVarRef) {
+      if (const LocalInfo* local = findLocal(e.a->strValue)) {
+        if (local->kind != ValKind::kRef) {
+          emit(Op::kCast, static_cast<int>(local->kind), 1 /*implicit*/, 0,
+               e.line);
+        }
+      }
+    }
+  }
+  emit(Op::kDup);  // assignment yields its value
+  compileStoreTo(*e.a);
+}
+
+void MethodCompiler::compileIncDec(const Expr& e) {
+  const bool inc = e.unOp == UnOp::kPreInc || e.unOp == UnOp::kPostInc;
+  const bool pre = e.unOp == UnOp::kPreInc || e.unOp == UnOp::kPreDec;
+  // old value
+  compileExpr(*e.a);
+  if (!pre) emit(Op::kDup);  // keep old as the expression result
+  emit(Op::kConstInt, owner_.intIdx(1), 0, 0, e.line);
+  emit(Op::kBinary, static_cast<int>(inc ? BinOp::kAdd : BinOp::kSub), 0, 0,
+       e.line);
+  // Coerce to the target's kind when known (++ on byte wraps at byte).
+  if (e.a->kind == ExprKind::kVarRef) {
+    if (const LocalInfo* local = findLocal(e.a->strValue)) {
+      if (local->kind != ValKind::kRef) {
+        emit(Op::kCast, static_cast<int>(local->kind), 1, 0, e.line);
+      }
+    }
+  }
+  if (pre) emit(Op::kDup);  // new value is the expression result
+  compileStoreTo(*e.a);
+}
+
+void MethodCompiler::compileCall(const Expr& e) {
+  // System.out.println / print.
+  if (e.a && e.a->kind == ExprKind::kFieldAccess && e.a->strValue == "out" &&
+      e.a->a && e.a->a->kind == ExprKind::kVarRef &&
+      e.a->a->strValue == "System" &&
+      (e.strValue == "println" || e.strValue == "print")) {
+    const bool hasArg = !e.args.empty();
+    if (hasArg) compileExpr(*e.args[0]);
+    emit(Op::kPrint, e.strValue == "println" ? 1 : 0, hasArg ? 1 : 0, 0,
+         e.line);
+    return;
+  }
+  // Static call.
+  if (e.a && isClassNameRef(*e.a)) {
+    for (const auto& arg : e.args) compileExpr(*arg);
+    emit(Op::kCallStatic, owner_.nameIdx(e.a->strValue),
+         owner_.nameIdx(e.strValue), static_cast<int>(e.args.size()),
+         e.line);
+    return;
+  }
+  // Unqualified call.
+  if (!e.a) {
+    for (const auto& arg : e.args) compileExpr(*arg);
+    emit(Op::kCallUnqualified, owner_.nameIdx(e.strValue),
+         static_cast<int>(e.args.size()), 0, e.line);
+    return;
+  }
+  // Instance call: receiver, then args.
+  compileExpr(*e.a);
+  for (const auto& arg : e.args) compileExpr(*arg);
+  emit(Op::kCallVirtual, owner_.nameIdx(e.strValue),
+       static_cast<int>(e.args.size()), 0, e.line);
+}
+
+void MethodCompiler::compileExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      emit(Op::kConstInt, owner_.intIdx(e.intValue), 0, 0, e.line);
+      return;
+    case ExprKind::kLongLit:
+      emit(Op::kConstLong, owner_.intIdx(e.intValue), 0, 0, e.line);
+      return;
+    case ExprKind::kFloatLit:
+      emit(Op::kConstFloat, owner_.numIdx(e.floatValue), e.scientific ? 0 : 1,
+           0, e.line);
+      return;
+    case ExprKind::kDoubleLit:
+      emit(Op::kConstDouble, owner_.numIdx(e.floatValue),
+           e.scientific ? 0 : 1, 0, e.line);
+      return;
+    case ExprKind::kCharLit:
+      emit(Op::kConstChar, static_cast<int>(e.intValue), 0, 0, e.line);
+      return;
+    case ExprKind::kStringLit:
+      emit(Op::kConstStr, owner_.nameIdx(e.strValue), 0, 0, e.line);
+      return;
+    case ExprKind::kBoolLit:
+      emit(Op::kConstBool, e.intValue != 0 ? 1 : 0, 0, 0, e.line);
+      return;
+    case ExprKind::kNullLit:
+      emit(Op::kConstNull, 0, 0, 0, e.line);
+      return;
+    case ExprKind::kVarRef: compileVarRef(e); return;
+    case ExprKind::kFieldAccess: compileFieldAccess(e); return;
+    case ExprKind::kArrayIndex:
+      compileExpr(*e.a);
+      compileExpr(*e.b);
+      emit(Op::kArrayGet, 0, 0, 0, e.line);
+      return;
+    case ExprKind::kBinary: {
+      if (e.binOp == BinOp::kAndAnd || e.binOp == BinOp::kOrOr) {
+        // a && b  ->  a ? b : false ;  a || b  ->  a ? true : b
+        compileExpr(*e.a);
+        if (e.binOp == BinOp::kAndAnd) {
+          const int jumpFalse = emit(Op::kJumpIfFalse, 0, 0, 0, e.line);
+          compileExpr(*e.b);
+          const int jumpEnd = emit(Op::kJump);
+          patch(jumpFalse, here());
+          emit(Op::kConstBool, 0);
+          patch(jumpEnd, here());
+        } else {
+          const int jumpTrue = emit(Op::kJumpIfTrue, 0, 0, 0, e.line);
+          compileExpr(*e.b);
+          const int jumpEnd = emit(Op::kJump);
+          patch(jumpTrue, here());
+          emit(Op::kConstBool, 1);
+          patch(jumpEnd, here());
+        }
+        return;
+      }
+      compileExpr(*e.a);
+      compileExpr(*e.b);
+      emit(Op::kBinary, static_cast<int>(e.binOp), 0, 0, e.line);
+      return;
+    }
+    case ExprKind::kUnary:
+      switch (e.unOp) {
+        case UnOp::kNeg:
+          compileExpr(*e.a);
+          emit(Op::kNeg, 0, 0, 0, e.line);
+          return;
+        case UnOp::kNot:
+          compileExpr(*e.a);
+          emit(Op::kNot, 0, 0, 0, e.line);
+          return;
+        case UnOp::kBitNot:
+          compileExpr(*e.a);
+          emit(Op::kBitNot, 0, 0, 0, e.line);
+          return;
+        default:
+          compileIncDec(e);
+          return;
+      }
+    case ExprKind::kAssign: compileAssign(e); return;
+    case ExprKind::kTernary: {
+      compileExpr(*e.a);
+      const int jumpElse =
+          emit(Op::kJumpIfFalse, 0, /*ternary=*/1, 0, e.line);
+      compileExpr(*e.b);
+      const int jumpEnd = emit(Op::kJump);
+      patch(jumpElse, here());
+      compileExpr(*e.c);
+      patch(jumpEnd, here());
+      return;
+    }
+    case ExprKind::kCall: compileCall(e); return;
+    case ExprKind::kNew: {
+      for (const auto& arg : e.args) compileExpr(*arg);
+      emit(Op::kNewObject, owner_.nameIdx(e.strValue),
+           static_cast<int>(e.args.size()), 0, e.line);
+      return;
+    }
+    case ExprKind::kNewArray: {
+      for (const auto& dim : e.args) compileExpr(*dim);
+      jlang::TypeRef leaf = e.type;
+      leaf.arrayDims = 0;
+      ValKind leafKind = jvm::kindOfType(leaf);
+      if (e.type.arrayDims > 0) leafKind = ValKind::kRef;
+      emit(Op::kNewArray, static_cast<int>(e.args.size()),
+           static_cast<int>(leafKind), 0, e.line);
+      return;
+    }
+    case ExprKind::kCast: {
+      compileExpr(*e.a);
+      const ValKind k = jvm::kindOfType(e.type);
+      if (e.type.prim != Prim::kClass && e.type.arrayDims == 0) {
+        emit(Op::kCast, static_cast<int>(k), 0, 0, e.line);
+      }
+      return;
+    }
+  }
+  throw Error("unhandled expression kind in compiler");
+}
+
+// ---------------------------------------------------------------------------
+
+CompiledProgram ProgramCompiler::run() {
+  for (const auto& unit : program_.units) {
+    for (const auto& cls : unit.classes) {
+      CompiledClass compiled;
+      compiled.name = cls.name;
+      for (const auto& f : cls.fields) {
+        compiled.fields.push_back(CompiledField{
+            f.name, jvm::kindOfType(f.type), f.isStatic});
+      }
+      {
+        MethodCompiler mc(*this, cls, /*isStatic=*/true);
+        compiled.clinit = mc.compileFieldInits(cls, /*staticFields=*/true);
+      }
+      {
+        MethodCompiler mc(*this, cls, /*isStatic=*/false);
+        compiled.initFields =
+            mc.compileFieldInits(cls, /*staticFields=*/false);
+      }
+      for (const auto& m : cls.methods) {
+        MethodCompiler mc(*this, cls, m.isStatic);
+        compiled.methods.emplace(m.name, mc.compileMethod(m));
+        if (m.name == "main" && m.isStatic) compiled.hasMain = true;
+      }
+      out_.classes.emplace(cls.name, std::move(compiled));
+    }
+  }
+  return std::move(out_);
+}
+
+}  // namespace
+
+CompiledProgram compile(const Program& program) {
+  return ProgramCompiler(program).run();
+}
+
+std::string disassemble(const Chunk& chunk, const CompiledProgram& program) {
+  std::string out = chunk.qualifiedName + " (slots=" +
+                    std::to_string(chunk.numSlots) + ")\n";
+  for (std::size_t pc = 0; pc < chunk.code.size(); ++pc) {
+    const Instr& in = chunk.code[pc];
+    out += "  " + std::to_string(pc) + ": op" +
+           std::to_string(static_cast<int>(in.op)) + " a=" +
+           std::to_string(in.a) + " b=" + std::to_string(in.b);
+    if (in.op == Op::kConstStr || in.op == Op::kGetStatic ||
+        in.op == Op::kGetField || in.op == Op::kCallVirtual) {
+      out += " (" + program.names.at(static_cast<std::size_t>(in.a)) + ")";
+    }
+    out += "\n";
+  }
+  for (const auto& h : chunk.handlers) {
+    out += "  handler [" + std::to_string(h.start) + "," +
+           std::to_string(h.end) + ") -> " + std::to_string(h.handler) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace jepo::jbc

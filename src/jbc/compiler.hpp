@@ -1,0 +1,19 @@
+// MiniJava AST -> bytecode compiler.
+//
+// Lowers every method (plus synthesized <clinit>/<init-fields> chunks for
+// field initializers) into stack-machine code with JVM-style exception
+// tables. finally blocks are compiled by inlining (the pre-JSR-deprecation
+// javac strategy): a copy on the normal path, a copy on each catch exit, a
+// catch-all handler that runs the copy and rethrows, and copies on every
+// return/break/continue that crosses the finally.
+#pragma once
+
+#include "jbc/code.hpp"
+
+namespace jepo::jbc {
+
+/// Compile a whole program; throws CompileError on unsupported constructs
+/// and ParseError-style diagnostics on unresolved names.
+CompiledProgram compile(const jlang::Program& program);
+
+}  // namespace jepo::jbc

@@ -1,0 +1,1006 @@
+#include "jepo/optimizer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "jepo/engine.hpp"
+#include "jepo/walk.hpp"
+#include "support/strings.hpp"
+
+namespace jepo::core {
+
+using jlang::AssignOp;
+using jlang::BinOp;
+using jlang::ClassDecl;
+using jlang::CompilationUnit;
+using jlang::Expr;
+using jlang::ExprKind;
+using jlang::ExprPtr;
+using jlang::FieldDecl;
+using jlang::MethodDecl;
+using jlang::Prim;
+using jlang::Program;
+using jlang::Stmt;
+using jlang::StmtKind;
+using jlang::StmtPtr;
+using jlang::TypeRef;
+using jlang::UnOp;
+
+namespace {
+
+// ------------------------------------------------------------ small utils
+
+ExprPtr makeVarRef(const std::string& name, int line) {
+  auto e = std::make_unique<Expr>(ExprKind::kVarRef);
+  e->strValue = name;
+  e->line = line;
+  return e;
+}
+
+
+bool isIntLit(const Expr& e, std::int64_t v) {
+  return e.kind == ExprKind::kIntLit && e.intValue == v;
+}
+
+
+/// Is `++v` / `v += k` / `v *= k` ever applied to this variable anywhere in
+/// the statement tree? (Gate for byte/short→int: overflow points differ.)
+bool varHasArithmeticUpdates(const Stmt& root, const std::string& name) {
+  bool found = false;
+  walkStmt(
+      root, [](const Stmt&) {},
+      [&](const Expr& e) {
+        if (e.kind == ExprKind::kAssign && e.assignOp != AssignOp::kSet &&
+            e.a->kind == ExprKind::kVarRef && e.a->strValue == name) {
+          found = true;
+        }
+        if (e.kind == ExprKind::kUnary &&
+            (e.unOp == UnOp::kPreInc || e.unOp == UnOp::kPreDec ||
+             e.unOp == UnOp::kPostInc || e.unOp == UnOp::kPostDec) &&
+            e.a->kind == ExprKind::kVarRef && e.a->strValue == name) {
+          found = true;
+        }
+      });
+  return found;
+}
+
+/// Is the variable reassigned at all (beyond its declaration)?
+bool varIsReassigned(const Stmt& root, const std::string& name) {
+  bool found = false;
+  walkStmt(
+      root, [](const Stmt&) {},
+      [&](const Expr& e) {
+        if (e.kind == ExprKind::kAssign && e.a->kind == ExprKind::kVarRef &&
+            e.a->strValue == name) {
+          found = true;
+        }
+        if (e.kind == ExprKind::kUnary &&
+            (e.unOp == UnOp::kPreInc || e.unOp == UnOp::kPreDec ||
+             e.unOp == UnOp::kPostInc || e.unOp == UnOp::kPostDec) &&
+            e.a->kind == ExprKind::kVarRef && e.a->strValue == name) {
+          found = true;
+        }
+      });
+  return found;
+}
+
+}  // namespace
+
+bool scientificRespell(double value, std::string* out) {
+  if (!std::isfinite(value) || value == 0.0) return false;
+  // Candidate spellings with increasing mantissa precision; take the first
+  // that round-trips to the identical double.
+  for (int prec = 0; prec <= 17; ++prec) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*e", prec, value);
+    if (std::strtod(buf, nullptr) != value) continue;
+    // Canonicalize: "1e+04" -> "1e4", "1.250000e+03" already trimmed by
+    // precision search.
+    std::string s = buf;
+    const auto epos = s.find('e');
+    JEPO_ASSERT(epos != std::string::npos);
+    std::string mant = s.substr(0, epos);
+    std::string exp = s.substr(epos + 1);
+    // Trim trailing zeros in the mantissa fraction.
+    if (mant.find('.') != std::string::npos) {
+      while (mant.back() == '0') mant.pop_back();
+      if (mant.back() == '.') mant.pop_back();
+    }
+    bool negExp = false;
+    std::size_t i = 0;
+    if (exp[i] == '+') {
+      ++i;
+    } else if (exp[i] == '-') {
+      negExp = true;
+      ++i;
+    }
+    while (i + 1 < exp.size() && exp[i] == '0') ++i;
+    *out = mant + "e" + (negExp ? "-" : "") + exp.substr(i);
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-program context: which static fields are read-only (never assigned
+// outside their initializer) — the gate for the static-caching rewrite.
+
+struct StaticInfo {
+  // "Class.field" -> declared type, for read-only static fields.
+  std::unordered_map<std::string, TypeRef> readOnlyStatics;
+};
+
+StaticInfo collectStaticInfo(const Program& program) {
+  StaticInfo info;
+  std::unordered_set<std::string> assigned;
+
+  auto noteAssignTarget = [&](const Expr& target, const ClassDecl& cls) {
+    if (target.kind == ExprKind::kVarRef) {
+      // Could resolve to a static of the enclosing class.
+      assigned.insert(cls.name + "." + target.strValue);
+    } else if (target.kind == ExprKind::kFieldAccess &&
+               target.a->kind == ExprKind::kVarRef) {
+      assigned.insert(target.a->strValue + "." + target.strValue);
+    }
+  };
+
+  for (const auto& unit : program.units) {
+    for (const auto& cls : unit.classes) {
+      for (const auto& m : cls.methods) {
+        if (!m.body) continue;
+        walkStmt(
+            *m.body, [](const Stmt&) {},
+            [&](const Expr& e) {
+              if (e.kind == ExprKind::kAssign) noteAssignTarget(*e.a, cls);
+              if (e.kind == ExprKind::kUnary &&
+                  (e.unOp == UnOp::kPreInc || e.unOp == UnOp::kPreDec ||
+                   e.unOp == UnOp::kPostInc || e.unOp == UnOp::kPostDec)) {
+                noteAssignTarget(*e.a, cls);
+              }
+            });
+      }
+    }
+  }
+  for (const auto& unit : program.units) {
+    for (const auto& cls : unit.classes) {
+      for (const auto& f : cls.fields) {
+        if (!f.isStatic) continue;
+        const std::string key = cls.name + "." + f.name;
+        if (assigned.count(key) == 0 && f.type.arrayDims == 0 &&
+            f.type.prim != Prim::kClass) {
+          info.readOnlyStatics.emplace(key, f.type);
+        }
+      }
+    }
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// The per-unit rewriter.
+
+class UnitRewriter {
+ public:
+  UnitRewriter(const OptimizerOptions& options, const StaticInfo& statics,
+               CompilationUnit& unit, std::vector<ChangeRecord>* changes)
+      : options_(options), statics_(statics), unit_(unit), changes_(changes) {}
+
+  void run() {
+    for (auto& cls : unit_.classes) rewriteClass(cls);
+  }
+
+ private:
+  bool on(RuleId rule) const {
+    return options_.enabled[static_cast<int>(rule)];
+  }
+
+  void record(RuleId rule, int line, std::string description) {
+    ChangeRecord c;
+    c.rule = rule;
+    c.file = unit_.fileName;
+    c.className = currentClass_->name;
+    c.line = line;
+    c.description = std::move(description);
+    changes_->push_back(std::move(c));
+  }
+
+  // ---------------------------------------------------------- type edits
+
+  /// byte/short → int is exact unless the variable relies on narrow-width
+  /// wraparound via ++/compound assignment. long→int / double→float are
+  /// gated by allowLossyNarrowing (paper mode).
+  bool narrowType(TypeRef* t, const std::string& name, int line,
+                  bool hasArithmeticUpdates, bool isReassigned) {
+    if (!on(RuleId::kPrimitiveDataType) || t->arrayDims != 0) return false;
+    if ((t->prim == Prim::kByte || t->prim == Prim::kShort) &&
+        !hasArithmeticUpdates) {
+      record(RuleId::kPrimitiveDataType, line,
+             jlang::typeName(*t) + " '" + name + "' -> int");
+      t->prim = Prim::kInt;
+      return true;
+    }
+    if (t->prim == Prim::kLong) {
+      if (options_.allowLossyNarrowing ||
+          (!isReassigned && !hasArithmeticUpdates)) {
+        record(RuleId::kPrimitiveDataType, line,
+               "long '" + name + "' -> int");
+        t->prim = Prim::kInt;
+        return true;
+      }
+    }
+    if (t->prim == Prim::kDouble && options_.allowLossyNarrowing) {
+      record(RuleId::kPrimitiveDataType, line,
+             "double '" + name + "' -> float");
+      t->prim = Prim::kFloat;
+      return true;
+    }
+    return false;
+  }
+
+  bool improveWrapper(TypeRef* t, const std::string& name, int line) {
+    if (!on(RuleId::kWrapperClass) || t->arrayDims != 0 ||
+        t->prim != Prim::kClass) {
+      return false;
+    }
+    const std::string& w = t->className;
+    const bool exact = w == "Short" || w == "Byte" || w == "Character";
+    const bool lossy = w == "Long" && options_.allowLossyNarrowing;
+    if (exact || lossy) {
+      record(RuleId::kWrapperClass, line, w + " '" + name + "' -> Integer");
+      t->className = "Integer";
+      return true;
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------------ literals
+
+  void respellLiterals(Expr& e) {
+    walkExprMut(e, [&](Expr& node) {
+      if ((node.kind == ExprKind::kDoubleLit ||
+           node.kind == ExprKind::kFloatLit) &&
+          !node.scientific && on(RuleId::kScientificNotation)) {
+        const double mag = std::fabs(node.floatValue);
+        if (mag >= 1000.0 || (mag > 0.0 && mag < 0.001)) {
+          std::string sci;
+          if (scientificRespell(node.floatValue, &sci)) {
+            record(RuleId::kScientificNotation, node.line,
+                   (node.strValue.empty() ? std::string("literal")
+                                          : node.strValue) +
+                       " -> " + sci);
+            node.strValue = sci;
+            node.scientific = true;
+          }
+        }
+      }
+    });
+  }
+
+  // --------------------------------------------------------- expr rewrites
+
+  static void walkExprMut(Expr& e, const std::function<void(Expr&)>& fn) {
+    fn(e);
+    if (e.a) walkExprMut(*e.a, fn);
+    if (e.b) walkExprMut(*e.b, fn);
+    if (e.c) walkExprMut(*e.c, fn);
+    for (auto& arg : e.args) walkExprMut(*arg, fn);
+  }
+
+  /// x % P  ->  x & (P-1) for canonical non-negative loop counters.
+  void rewriteModulus(Expr& e) {
+    if (!on(RuleId::kModulusOperator)) return;
+    walkExprMut(e, [&](Expr& node) {
+      if (node.kind != ExprKind::kBinary || node.binOp != BinOp::kMod) return;
+      if (node.a->kind != ExprKind::kVarRef) return;
+      if (nonNegativeVars_.count(node.a->strValue) == 0) return;
+      if (node.b->kind != ExprKind::kIntLit) return;
+      const std::int64_t p = node.b->intValue;
+      if (p <= 0 || (p & (p - 1)) != 0) return;
+      record(RuleId::kModulusOperator, node.line,
+             node.a->strValue + " % " + std::to_string(p) + " -> " +
+                 node.a->strValue + " & " + std::to_string(p - 1));
+      node.binOp = BinOp::kBitAnd;
+      node.b->intValue = p - 1;
+    });
+  }
+
+  /// Swap pure &&/|| operands when the right side is strictly simpler.
+  void reorderShortCircuit(Expr& e) {
+    if (!on(RuleId::kShortCircuitOrder)) return;
+    walkExprMut(e, [&](Expr& node) {
+      if (node.kind != ExprKind::kBinary) return;
+      if (node.binOp != BinOp::kAndAnd && node.binOp != BinOp::kOrOr) return;
+      if (!isPureExpr(*node.a) || !isPureExpr(*node.b)) return;
+      if (exprSize(*node.a) <= exprSize(*node.b) + 1) return;
+      record(RuleId::kShortCircuitOrder, node.line,
+             "swapped operands of short-circuit operator");
+      std::swap(node.a, node.b);
+    });
+  }
+
+  /// a.compareTo(b) == 0  ->  a.equals(b);   != 0  ->  !a.equals(b)
+  void rewriteCompareTo(ExprPtr& e) {
+    if (!e) return;
+    if (e->kind == ExprKind::kBinary &&
+        (e->binOp == BinOp::kEq || e->binOp == BinOp::kNe) &&
+        e->a->kind == ExprKind::kCall && e->a->strValue == "compareTo" &&
+        e->a->args.size() == 1 && isIntLit(*e->b, 0) &&
+        on(RuleId::kStringCompare)) {
+      record(RuleId::kStringCompare, e->line, "compareTo(..) == 0 -> equals");
+      ExprPtr call = std::move(e->a);
+      call->strValue = "equals";
+      if (e->binOp == BinOp::kEq) {
+        e = std::move(call);
+      } else {
+        auto notExpr = std::make_unique<Expr>(ExprKind::kUnary);
+        notExpr->unOp = UnOp::kNot;
+        notExpr->line = e->line;
+        notExpr->a = std::move(call);
+        e = std::move(notExpr);
+      }
+    }
+    if (!e) return;
+    if (e->a) rewriteCompareTo(e->a);
+    if (e->b) rewriteCompareTo(e->b);
+    if (e->c) rewriteCompareTo(e->c);
+    for (auto& arg : e->args) rewriteCompareTo(arg);
+  }
+
+  void rewriteAllExprsIn(ExprPtr& e) {
+    if (!e) return;
+    rewriteCompareTo(e);
+    respellLiterals(*e);
+    rewriteModulus(*e);
+    reorderShortCircuit(*e);
+  }
+
+  // --------------------------------------------------------- stmt rewrites
+
+  /// Rewrites a block's statement list in place; returns the new list.
+  void rewriteStmtList(std::vector<StmtPtr>& stmts) {
+    std::vector<StmtPtr> out;
+    out.reserve(stmts.size());
+    for (auto& sp : stmts) {
+      rewriteStmt(sp, &out);
+    }
+    stmts = std::move(out);
+  }
+
+  /// Rewrite one statement; appends the result (1..3 statements) to out.
+  void rewriteStmt(StmtPtr& sp, std::vector<StmtPtr>* out) {
+    Stmt& s = *sp;
+
+    // Track non-negative canonical loop counters for the modulus rewrite.
+    CanonicalFor cf;
+    const bool canonical = matchCanonicalFor(s, &cf);
+    const bool nonNegCounter = canonical && cf.init->kind == ExprKind::kIntLit &&
+                               cf.init->intValue >= 0;
+
+    switch (s.kind) {
+      case StmtKind::kVarDecl: {
+        if (s.init) rewriteAllExprsIn(s.init);
+        narrowType(&s.declType, s.declName, s.line,
+                   varsWithArithmeticUpdates_.count(s.declName) != 0,
+                   reassignedVars_.count(s.declName) != 0);
+        improveWrapper(&s.declType, s.declName, s.line);
+        // int x = c ? a : b;  ->  int x; if (c) x = a; else x = b;
+        if (s.init && s.init->kind == ExprKind::kTernary &&
+            on(RuleId::kTernaryOperator)) {
+          record(RuleId::kTernaryOperator, s.line,
+                 "ternary initializer of '" + s.declName + "' -> if-then-else");
+          ExprPtr ternary = std::move(s.init);
+          out->push_back(std::move(sp));
+          out->push_back(
+              makeIfAssign(std::move(ternary), s.declName, s.line));
+          return;
+        }
+        break;
+      }
+
+      case StmtKind::kExprStmt: {
+        rewriteAllExprsIn(s.expr);
+        // x = c ? a : b;  ->  if (c) x = a; else x = b;
+        if (s.expr->kind == ExprKind::kAssign &&
+            s.expr->assignOp == AssignOp::kSet &&
+            s.expr->a->kind == ExprKind::kVarRef &&
+            s.expr->b->kind == ExprKind::kTernary &&
+            on(RuleId::kTernaryOperator)) {
+          record(RuleId::kTernaryOperator, s.line,
+                 "ternary assignment to '" + s.expr->a->strValue +
+                     "' -> if-then-else");
+          out->push_back(makeIfAssign(std::move(s.expr->b),
+                                      s.expr->a->strValue, s.line));
+          return;
+        }
+        break;
+      }
+
+      case StmtKind::kReturn: {
+        if (s.expr) rewriteAllExprsIn(s.expr);
+        // return c ? a : b;  ->  if (c) return a; else return b;
+        if (s.expr && s.expr->kind == ExprKind::kTernary &&
+            on(RuleId::kTernaryOperator)) {
+          record(RuleId::kTernaryOperator, s.line,
+                 "ternary return -> if-then-else");
+          Expr& t = *s.expr;
+          auto ifStmt = std::make_unique<Stmt>(StmtKind::kIf);
+          ifStmt->line = s.line;
+          ifStmt->cond = std::move(t.a);
+          auto thenRet = std::make_unique<Stmt>(StmtKind::kReturn);
+          thenRet->line = s.line;
+          thenRet->expr = std::move(t.b);
+          auto elseRet = std::make_unique<Stmt>(StmtKind::kReturn);
+          elseRet->line = s.line;
+          elseRet->expr = std::move(t.c);
+          ifStmt->thenStmt = std::move(thenRet);
+          ifStmt->elseStmt = std::move(elseRet);
+          out->push_back(std::move(ifStmt));
+          return;
+        }
+        break;
+      }
+
+      case StmtKind::kFor: {
+        for (auto& init : s.body) {
+          if (init->init) rewriteAllExprsIn(init->init);
+          if (init->expr) rewriteAllExprsIn(init->expr);
+        }
+        if (s.cond) rewriteAllExprsIn(s.cond);
+        for (auto& u : s.update) rewriteAllExprsIn(u);
+
+        // System.arraycopy rewrite for manual copy loops.
+        if (canonical && on(RuleId::kArrayCopy)) {
+          std::string dst;
+          std::string src;
+          if (matchManualCopyBody(*cf.body, cf.var, &dst, &src) &&
+              isPureExpr(*cf.init) && isPureExpr(*cf.bound)) {
+            record(RuleId::kArrayCopy, s.line,
+                   "copy loop -> System.arraycopy(" + src + ", " + dst + ")");
+            out->push_back(makeArraycopy(cf, src, dst, s.line));
+            return;
+          }
+        }
+
+        // Loop interchange for column-major nests.
+        if (canonical && on(RuleId::kArrayTraversal) &&
+            tryLoopInterchange(sp, cf, out)) {
+          return;
+        }
+
+        // StringBuilder extraction for concat-in-loop.
+        if (on(RuleId::kStringConcat) &&
+            tryBuilderExtraction(sp, out)) {
+          return;
+        }
+        break;
+      }
+
+      case StmtKind::kWhile: {
+        if (s.cond) rewriteAllExprsIn(s.cond);
+        if (on(RuleId::kStringConcat) && tryBuilderExtraction(sp, out)) {
+          return;
+        }
+        break;
+      }
+
+      default:
+        if (s.expr) rewriteAllExprsIn(s.expr);
+        if (s.cond) rewriteAllExprsIn(s.cond);
+        break;
+    }
+
+    // Recurse into child statements.
+    if (nonNegCounter) nonNegativeVars_.insert(cf.var);
+    if (!s.body.empty() && s.kind == StmtKind::kBlock) {
+      rewriteStmtList(s.body);
+    }
+    if (s.thenStmt) rewriteChild(s.thenStmt);
+    if (s.elseStmt) rewriteChild(s.elseStmt);
+    if (s.tryBlock) rewriteChild(s.tryBlock);
+    for (auto& c : s.catches) rewriteChild(c.body);
+    if (s.finallyBlock) rewriteChild(s.finallyBlock);
+    for (auto& c : s.cases) rewriteStmtList(c.body);
+    if (nonNegCounter) nonNegativeVars_.erase(cf.var);
+
+    out->push_back(std::move(sp));
+  }
+
+  /// Rewrite a single child statement slot (wraps multi-statement results
+  /// in a block).
+  void rewriteChild(StmtPtr& slot) {
+    std::vector<StmtPtr> result;
+    rewriteStmt(slot, &result);
+    JEPO_ASSERT(!result.empty());
+    if (result.size() == 1) {
+      slot = std::move(result[0]);
+    } else {
+      auto block = std::make_unique<Stmt>(StmtKind::kBlock);
+      block->line = result[0]->line;
+      block->body = std::move(result);
+      slot = std::move(block);
+    }
+  }
+
+  /// if (cond) name = then; else name = otherwise;
+  StmtPtr makeIfAssign(ExprPtr ternary, const std::string& name, int line) {
+    JEPO_ASSERT(ternary->kind == ExprKind::kTernary);
+    auto ifStmt = std::make_unique<Stmt>(StmtKind::kIf);
+    ifStmt->line = line;
+    ifStmt->cond = std::move(ternary->a);
+    auto mkAssign = [&](ExprPtr value) {
+      auto assign = std::make_unique<Expr>(ExprKind::kAssign);
+      assign->line = line;
+      assign->assignOp = AssignOp::kSet;
+      assign->a = makeVarRef(name, line);
+      assign->b = std::move(value);
+      auto stmt = std::make_unique<Stmt>(StmtKind::kExprStmt);
+      stmt->line = line;
+      stmt->expr = std::move(assign);
+      return stmt;
+    };
+    ifStmt->thenStmt = mkAssign(std::move(ternary->b));
+    ifStmt->elseStmt = mkAssign(std::move(ternary->c));
+    return ifStmt;
+  }
+
+  /// System.arraycopy(src, init, dst, init, bound - init);
+  StmtPtr makeArraycopy(const CanonicalFor& cf, const std::string& src,
+                        const std::string& dst, int line) {
+    auto call = std::make_unique<Expr>(ExprKind::kCall);
+    call->line = line;
+    call->strValue = "arraycopy";
+    call->a = makeVarRef("System", line);
+    call->args.push_back(makeVarRef(src, line));
+    call->args.push_back(cloneExpr(*cf.init));
+    call->args.push_back(makeVarRef(dst, line));
+    call->args.push_back(cloneExpr(*cf.init));
+    if (isIntLit(*cf.init, 0)) {
+      call->args.push_back(cloneExpr(*cf.bound));
+    } else {
+      auto len = std::make_unique<Expr>(ExprKind::kBinary);
+      len->line = line;
+      len->binOp = BinOp::kSub;
+      len->a = cloneExpr(*cf.bound);
+      len->b = cloneExpr(*cf.init);
+      call->args.push_back(std::move(len));
+    }
+    auto stmt = std::make_unique<Stmt>(StmtKind::kExprStmt);
+    stmt->line = line;
+    stmt->expr = std::move(call);
+    return stmt;
+  }
+
+  // ------------------------------------------------------ loop interchange
+
+  /// Interchange `for (o) for (i) acc += m[i][o];`-shaped nests so the
+  /// first dimension varies slowest. Legal when the body is a single
+  /// accumulation into a scalar (`acc += pure`) or a write `m[i][o] = pure`
+  /// with a RHS not reading the matrix — both are iteration-order
+  /// independent (integer accumulation is exactly associative; FP
+  /// accumulation is gated behind allowLossyNarrowing).
+  bool tryLoopInterchange(StmtPtr& sp, const CanonicalFor& outer,
+                          std::vector<StmtPtr>* out) {
+    Stmt& s = *sp;
+    // Inner statement (possibly inside a single-statement block).
+    Stmt* innerHolder = s.thenStmt.get();
+    if (innerHolder->kind == StmtKind::kBlock) {
+      if (innerHolder->body.size() != 1) return false;
+      innerHolder = innerHolder->body[0].get();
+    }
+    CanonicalFor inner;
+    if (!matchCanonicalFor(*innerHolder, &inner)) return false;
+    // Bounds must not depend on either loop variable.
+    if (mentionsVar(*outer.bound, inner.var) ||
+        mentionsVar(*inner.bound, outer.var) ||
+        mentionsVar(*inner.bound, inner.var) ||
+        mentionsVar(*outer.bound, outer.var)) {
+      return false;
+    }
+    if (!isIntLit(*outer.init, 0) || !isIntLit(*inner.init, 0)) return false;
+
+    // Body must be a single expression statement.
+    const Stmt* body = inner.body;
+    if (body->kind == StmtKind::kBlock) {
+      if (body->body.size() != 1) return false;
+      body = body->body[0].get();
+    }
+    if (body->kind != StmtKind::kExprStmt) return false;
+    const Expr& e = *body->expr;
+
+    // Every 2-D access must be m[inner][outer] (column-major evidence).
+    bool sawColumnMajor = false;
+    bool sawOther2d = false;
+    walkExpr(e, [&](const Expr& node) {
+      if (node.kind != ExprKind::kArrayIndex) return;
+      if (node.a->kind != ExprKind::kArrayIndex) return;
+      const bool colMajor = node.b->kind == ExprKind::kVarRef &&
+                            node.b->strValue == outer.var &&
+                            node.a->b->kind == ExprKind::kVarRef &&
+                            node.a->b->strValue == inner.var;
+      (colMajor ? sawColumnMajor : sawOther2d) = true;
+    });
+    if (!sawColumnMajor || sawOther2d) return false;
+
+    // Shape A: acc += <expr>, acc a plain variable not mentioned in expr.
+    bool legal = false;
+    if (e.kind == ExprKind::kAssign && e.assignOp == AssignOp::kAdd &&
+        e.a->kind == ExprKind::kVarRef && !mentionsVar(*e.b, e.a->strValue)) {
+      // Integer accumulation reorders exactly; FP reassociation is lossy.
+      legal = true;
+      if (!options_.allowLossyNarrowing && !isPureExpr(*e.b)) legal = false;
+    }
+    // Shape B: m[i][o] = <pure rhs> with rhs not reading the matrix.
+    if (e.kind == ExprKind::kAssign && e.assignOp == AssignOp::kSet &&
+        e.a->kind == ExprKind::kArrayIndex &&
+        e.a->a->kind == ExprKind::kArrayIndex &&
+        e.a->a->a->kind == ExprKind::kVarRef) {
+      const std::string& matrix = e.a->a->a->strValue;
+      if (isPureExpr(*e.b) && !mentionsVar(*e.b, matrix)) legal = true;
+    }
+    if (!legal) return false;
+
+    record(RuleId::kArrayTraversal, s.line,
+           "interchanged loops '" + outer.var + "'/'" + inner.var +
+               "' to row-major order");
+
+    // Swap the two loop headers (inits, conds, updates); keep the body.
+    Stmt& innerFor = *innerHolder;
+    std::swap(s.body, innerFor.body);
+    std::swap(s.cond, innerFor.cond);
+    std::swap(s.update, innerFor.update);
+    out->push_back(std::move(sp));
+    return true;
+  }
+
+  // --------------------------------------------------- builder extraction
+
+  /// s = s + X inside a loop -> StringBuilder __sbN before the loop,
+  /// append(X) inside, s = __sbN.toString() after.
+  bool tryBuilderExtraction(StmtPtr& loopStmt, std::vector<StmtPtr>* out) {
+    // Find candidate target: collect assignments `v = v + X` / `v += X`
+    // where v is a known String variable.
+    std::unordered_map<std::string, int> concatCounts;
+    std::unordered_map<std::string, int> otherUses;
+    walkStmt(
+        *loopStmt, [](const Stmt&) {},
+        [&](const Expr& e) {
+          if (e.kind == ExprKind::kAssign && e.a->kind == ExprKind::kVarRef &&
+              stringVars_.count(e.a->strValue) != 0) {
+            const std::string& v = e.a->strValue;
+            const bool selfConcat =
+                (e.assignOp == AssignOp::kAdd &&
+                 !mentionsVar(*e.b, v)) ||
+                (e.assignOp == AssignOp::kSet &&
+                 e.b->kind == ExprKind::kBinary &&
+                 e.b->binOp == BinOp::kAdd &&
+                 e.b->a->kind == ExprKind::kVarRef && e.b->a->strValue == v &&
+                 !mentionsVar(*e.b->b, v));
+            if (selfConcat) {
+              ++concatCounts[v];
+              return;
+            }
+          }
+        });
+    // Count *all* VarRef uses; the rewrite needs every use to be part of a
+    // self-concat assignment (2 refs per kSet form, 1 per += form).
+    std::string target;
+    for (const auto& [v, n] : concatCounts) {
+      int refs = 0;
+      walkStmt(
+          *loopStmt, [](const Stmt&) {},
+          [&](const Expr& e) {
+            if (e.kind == ExprKind::kVarRef && e.strValue == v) ++refs;
+          });
+      int expected = 0;
+      walkStmt(
+          *loopStmt, [](const Stmt&) {},
+          [&](const Expr& e) {
+            if (e.kind == ExprKind::kAssign &&
+                e.a->kind == ExprKind::kVarRef && e.a->strValue == v) {
+              expected += e.assignOp == AssignOp::kAdd ? 1 : 2;
+            }
+          });
+      // The variable must be declared before the loop — a declaration
+      // inside would leave the inserted StringBuilder(target) dangling.
+      bool declaredInside = false;
+      walkStmt(
+          *loopStmt,
+          [&](const Stmt& st) {
+            if (st.kind == StmtKind::kVarDecl && st.declName == v) {
+              declaredInside = true;
+            }
+          },
+          [](const Expr&) {});
+      if (refs == expected && n > 0 && !declaredInside) {
+        target = v;
+        break;
+      }
+    }
+    (void)otherUses;
+    if (target.empty()) return false;
+
+    const int line = loopStmt->line;
+    const std::string sbName = "__sb" + std::to_string(builderCounter_++);
+    record(RuleId::kStringConcat, line,
+           "hoisted '" + target + "' concat loop into StringBuilder " + sbName);
+
+    // StringBuilder __sbN = new StringBuilder(target);
+    auto decl = std::make_unique<Stmt>(StmtKind::kVarDecl);
+    decl->line = line;
+    decl->declType = TypeRef::ofClass("StringBuilder");
+    decl->declName = sbName;
+    auto ctor = std::make_unique<Expr>(ExprKind::kNew);
+    ctor->line = line;
+    ctor->strValue = "StringBuilder";
+    ctor->args.push_back(makeVarRef(target, line));
+    decl->init = std::move(ctor);
+
+    // Replace each self-concat with __sbN.append(X).
+    replaceConcatWithAppend(*loopStmt, target, sbName);
+
+    // target = __sbN.toString();
+    auto final = std::make_unique<Stmt>(StmtKind::kExprStmt);
+    final->line = line;
+    auto assign = std::make_unique<Expr>(ExprKind::kAssign);
+    assign->line = line;
+    assign->assignOp = AssignOp::kSet;
+    assign->a = makeVarRef(target, line);
+    auto toStr = std::make_unique<Expr>(ExprKind::kCall);
+    toStr->line = line;
+    toStr->strValue = "toString";
+    toStr->a = makeVarRef(sbName, line);
+    assign->b = std::move(toStr);
+    final->expr = std::move(assign);
+
+    out->push_back(std::move(decl));
+    out->push_back(std::move(loopStmt));
+    out->push_back(std::move(final));
+    return true;
+  }
+
+  void replaceConcatWithAppend(Stmt& s, const std::string& target,
+                               const std::string& sbName) {
+    auto rewriteExprSlot = [&](ExprPtr& slot) {
+      if (!slot) return;
+      Expr& e = *slot;
+      if (e.kind == ExprKind::kAssign && e.a->kind == ExprKind::kVarRef &&
+          e.a->strValue == target) {
+        ExprPtr appended;
+        if (e.assignOp == AssignOp::kAdd) {
+          appended = std::move(e.b);
+        } else if (e.assignOp == AssignOp::kSet &&
+                   e.b->kind == ExprKind::kBinary &&
+                   e.b->binOp == BinOp::kAdd &&
+                   e.b->a->kind == ExprKind::kVarRef &&
+                   e.b->a->strValue == target) {
+          appended = std::move(e.b->b);
+        }
+        if (appended) {
+          auto call = std::make_unique<Expr>(ExprKind::kCall);
+          call->line = e.line;
+          call->strValue = "append";
+          call->a = makeVarRef(sbName, e.line);
+          call->args.push_back(std::move(appended));
+          slot = std::move(call);
+          return;
+        }
+      }
+    };
+    // Walk all statement expression slots.
+    std::function<void(Stmt&)> walk = [&](Stmt& st) {
+      rewriteExprSlot(st.expr);
+      rewriteExprSlot(st.init);
+      rewriteExprSlot(st.cond);
+      for (auto& u : st.update) rewriteExprSlot(u);
+      for (auto& child : st.body) walk(*child);
+      if (st.thenStmt) walk(*st.thenStmt);
+      if (st.elseStmt) walk(*st.elseStmt);
+      if (st.tryBlock) walk(*st.tryBlock);
+      for (auto& c : st.catches) walk(*c.body);
+      if (st.finallyBlock) walk(*st.finallyBlock);
+      for (auto& c : st.cases) {
+        for (auto& child : c.body) walk(*child);
+      }
+    };
+    walk(s);
+  }
+
+  // ---------------------------------------------------- static caching
+
+  /// Hoist reads of read-only static fields into a method-local copy when a
+  /// method reads them repeatedly (JEPO's static-keyword remedy).
+  void cacheStatics(MethodDecl& m) {
+    if (!on(RuleId::kStaticKeyword) || !m.body) return;
+    // Count unqualified reads of each read-only static of this class.
+    std::unordered_map<std::string, int> reads;  // field -> count
+    walkStmt(
+        *m.body, [](const Stmt&) {},
+        [&](const Expr& e) {
+          if (e.kind == ExprKind::kVarRef) {
+            const std::string key = currentClass_->name + "." + e.strValue;
+            if (statics_.readOnlyStatics.count(key) != 0) {
+              ++reads[e.strValue];
+            }
+          }
+        });
+    std::vector<StmtPtr> prologue;
+    for (auto& [field, count] : reads) {
+      if (count < 2) continue;
+      // Skip if a local/param of the same name exists (shadowing).
+      bool shadowed = false;
+      for (const auto& p : m.params) {
+        if (p.name == field) shadowed = true;
+      }
+      walkStmt(
+          *m.body,
+          [&](const Stmt& st) {
+            if (st.kind == StmtKind::kVarDecl && st.declName == field) {
+              shadowed = true;
+            }
+          },
+          [](const Expr&) {});
+      if (shadowed) continue;
+
+      const std::string localName = "__cached_" + field;
+      const TypeRef type =
+          statics_.readOnlyStatics.at(currentClass_->name + "." + field);
+      record(RuleId::kStaticKeyword, m.line,
+             "cached static '" + field + "' in local (" +
+                 std::to_string(count) + " reads) in " + m.name);
+
+      auto decl = std::make_unique<Stmt>(StmtKind::kVarDecl);
+      decl->line = m.line;
+      decl->declType = type;
+      decl->declName = localName;
+      decl->init = makeVarRef(field, m.line);
+      prologue.push_back(std::move(decl));
+
+      // Replace reads.
+      std::function<void(Stmt&)> walk = [&](Stmt& st) {
+        auto fix = [&](ExprPtr& slot) {
+          if (!slot) return;
+          UnitRewriter::walkExprMut(*slot, [&](Expr& e) {
+            if (e.kind == ExprKind::kVarRef && e.strValue == field) {
+              e.strValue = localName;
+            }
+          });
+        };
+        fix(st.expr);
+        fix(st.init);
+        fix(st.cond);
+        for (auto& u : st.update) fix(u);
+        for (auto& child : st.body) walk(*child);
+        if (st.thenStmt) walk(*st.thenStmt);
+        if (st.elseStmt) walk(*st.elseStmt);
+        if (st.tryBlock) walk(*st.tryBlock);
+        for (auto& c : st.catches) walk(*c.body);
+        if (st.finallyBlock) walk(*st.finallyBlock);
+        for (auto& c : st.cases) {
+          for (auto& child : c.body) walk(*child);
+        }
+      };
+      walk(*m.body);
+    }
+    if (!prologue.empty()) {
+      for (auto it = prologue.rbegin(); it != prologue.rend(); ++it) {
+        m.body->body.insert(m.body->body.begin(), std::move(*it));
+      }
+    }
+  }
+
+  // ------------------------------------------------------------- drivers
+
+  void collectStringVars(const MethodDecl& m) {
+    stringVars_.clear();
+    for (const auto& p : m.params) {
+      if (p.type.isClass("String")) stringVars_.insert(p.name);
+    }
+    if (m.body) {
+      walkStmt(
+          *m.body,
+          [&](const Stmt& st) {
+            if (st.kind == StmtKind::kVarDecl &&
+                st.declType.isClass("String")) {
+              stringVars_.insert(st.declName);
+            }
+          },
+          [](const Expr&) {});
+    }
+    for (const auto& f : currentClass_->fields) {
+      if (f.type.isClass("String")) stringVars_.insert(f.name);
+    }
+  }
+
+  void rewriteClass(ClassDecl& cls) {
+    currentClass_ = &cls;
+    for (auto& f : cls.fields) {
+      // Field narrowing is gated on no arithmetic updates anywhere in the
+      // class (fields escape method scope).
+      bool hasUpdates = false;
+      bool reassigned = false;
+      for (const auto& m : cls.methods) {
+        if (!m.body) continue;
+        hasUpdates = hasUpdates || varHasArithmeticUpdates(*m.body, f.name);
+        reassigned = reassigned || varIsReassigned(*m.body, f.name);
+      }
+      narrowType(&f.type, f.name, f.line, hasUpdates, reassigned);
+      improveWrapper(&f.type, f.name, f.line);
+      if (f.init) rewriteAllExprsIn(f.init);
+    }
+    for (auto& m : cls.methods) {
+      // Per-variable facts must be computed BEFORE rewriting: the rewriter
+      // moves statements out of the body while it runs.
+      varsWithArithmeticUpdates_.clear();
+      reassignedVars_.clear();
+      if (m.body) {
+        walkStmt(
+            *m.body, [](const Stmt&) {},
+            [&](const Expr& e) {
+              const Expr* target = nullptr;
+              bool arithmetic = false;
+              if (e.kind == ExprKind::kAssign &&
+                  e.a->kind == ExprKind::kVarRef) {
+                target = e.a.get();
+                arithmetic = e.assignOp != AssignOp::kSet;
+              } else if (e.kind == ExprKind::kUnary &&
+                         (e.unOp == UnOp::kPreInc || e.unOp == UnOp::kPreDec ||
+                          e.unOp == UnOp::kPostInc ||
+                          e.unOp == UnOp::kPostDec) &&
+                         e.a->kind == ExprKind::kVarRef) {
+                target = e.a.get();
+                arithmetic = true;
+              }
+              if (target != nullptr) {
+                reassignedVars_.insert(target->strValue);
+                if (arithmetic) {
+                  varsWithArithmeticUpdates_.insert(target->strValue);
+                }
+              }
+            });
+      }
+      for (auto& p : m.params) {
+        narrowType(&p.type, p.name, m.line,
+                   varsWithArithmeticUpdates_.count(p.name) != 0,
+                   reassignedVars_.count(p.name) != 0);
+      }
+      if (!m.body) continue;
+      collectStringVars(m);
+      rewriteStmtList(m.body->body);
+      cacheStatics(m);
+    }
+  }
+
+  const OptimizerOptions& options_;
+  const StaticInfo& statics_;
+  CompilationUnit& unit_;
+  std::vector<ChangeRecord>* changes_;
+  const ClassDecl* currentClass_ = nullptr;
+  std::unordered_set<std::string> varsWithArithmeticUpdates_;
+  std::unordered_set<std::string> reassignedVars_;
+  std::unordered_set<std::string> nonNegativeVars_;
+  std::unordered_set<std::string> stringVars_;
+  int builderCounter_ = 0;
+};
+
+
+}  // namespace
+
+Optimizer::Optimizer(OptimizerOptions options) : options_(std::move(options)) {}
+
+OptimizeResult Optimizer::optimize(const Program& program) const {
+  OptimizeResult result;
+  const StaticInfo statics = collectStaticInfo(program);
+  for (const auto& unit : program.units) {
+    CompilationUnit copy = jlang::cloneUnit(unit);
+    UnitRewriter(options_, statics, copy, &result.changes).run();
+    result.program.units.push_back(std::move(copy));
+  }
+  return result;
+}
+
+}  // namespace jepo::core

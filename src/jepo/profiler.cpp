@@ -1,0 +1,52 @@
+#include "jepo/profiler.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "jvm/interpreter.hpp"
+#include "support/strings.hpp"
+
+namespace jepo::core {
+
+void Profiler::profile(const jlang::Program& program,
+                       std::string_view mainClass, std::uint64_t maxSteps) {
+  energy::SimMachine machine;
+  jvm::Interpreter interp(program, machine);
+  jvm::Instrumenter inst(machine);
+  interp.setHooks(&inst);
+  interp.setMaxSteps(maxSteps);
+  interp.runMain(mainClass);
+  records_ = inst.records();
+  output_ = interp.output();
+}
+
+std::vector<MethodTotals> Profiler::totals() const {
+  std::map<std::string, MethodTotals> agg;
+  for (const auto& r : records_) {
+    MethodTotals& t = agg[r.method];
+    t.method = r.method;
+    ++t.executions;
+    t.seconds += r.seconds;
+    t.packageJoules += r.packageJoules;
+    t.coreJoules += r.coreJoules;
+  }
+  std::vector<MethodTotals> out;
+  out.reserve(agg.size());
+  for (auto& [name, t] : agg) out.push_back(std::move(t));
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.packageJoules > b.packageJoules;
+  });
+  return out;
+}
+
+std::string Profiler::renderResultFile() const {
+  std::string out;
+  for (const auto& r : records_) {
+    out += r.method + "\t" + fixed(r.seconds * 1e3, 3) + " ms\t" +
+           fixed(r.packageJoules, 6) + " J\t" + fixed(r.coreJoules, 6) +
+           " J\n";
+  }
+  return out;
+}
+
+}  // namespace jepo::core

@@ -1,0 +1,57 @@
+// Profiler — JEPO's "profiler" pop-up button.
+//
+// Selects the main class (prompting — here: erroring with candidates — when
+// ambiguous), runs the project with the Instrumenter installed, and exposes
+// the per-execution records plus the two artifacts JEPO produces: the
+// result.txt dump and the profiler view (Fig. 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/machine.hpp"
+#include "jlang/ast.hpp"
+#include "jvm/instrumenter.hpp"
+
+namespace jepo::core {
+
+/// Aggregated per-method totals (all executions of one method summed).
+struct MethodTotals {
+  std::string method;
+  std::size_t executions = 0;
+  double seconds = 0.0;
+  double packageJoules = 0.0;
+  double coreJoules = 0.0;
+};
+
+class Profiler {
+ public:
+  /// Runs `mainClass` (or the unique main class when empty) on a fresh
+  /// SimMachine with method instrumentation and captures the records.
+  /// maxSteps guards runaway programs (0 = unlimited).
+  void profile(const jlang::Program& program, std::string_view mainClass = {},
+               std::uint64_t maxSteps = 0);
+
+  /// One record per method execution (JEPO stores each execution
+  /// separately when a method runs more than once).
+  const std::vector<jvm::MethodRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Per-method aggregation, sorted by descending package energy — the
+  /// "which method is energy-hungry" question the tool answers.
+  std::vector<MethodTotals> totals() const;
+
+  /// The program's stdout from the profiled run.
+  const std::string& programOutput() const noexcept { return output_; }
+
+  /// The result.txt content JEPO writes into the project directory: one
+  /// line per execution, method / seconds / package J / core J.
+  std::string renderResultFile() const;
+
+ private:
+  std::vector<jvm::MethodRecord> records_;
+  std::string output_;
+};
+
+}  // namespace jepo::core

@@ -1,0 +1,68 @@
+#include "jepo/suggestion.hpp"
+
+namespace jepo::core {
+
+std::string_view ruleComponent(RuleId id) noexcept {
+  switch (id) {
+    case RuleId::kPrimitiveDataType: return "Primitive data types";
+    case RuleId::kScientificNotation: return "Scientific notation";
+    case RuleId::kWrapperClass: return "Wrapper classes";
+    case RuleId::kStaticKeyword: return "Static keyword";
+    case RuleId::kModulusOperator: return "Arithmetic operators";
+    case RuleId::kTernaryOperator: return "Ternary operator";
+    case RuleId::kShortCircuitOrder: return "Short circuit operator";
+    case RuleId::kStringConcat: return "String concatenation operator";
+    case RuleId::kStringCompare: return "String comparison";
+    case RuleId::kArrayCopy: return "Arrays copy";
+    case RuleId::kArrayTraversal: return "Array traversal";
+    case RuleId::kRuleCount: break;
+  }
+  return "?";
+}
+
+std::string_view ruleSuggestion(RuleId id) noexcept {
+  switch (id) {
+    case RuleId::kPrimitiveDataType:
+      return "int is the most energy-efficient primitive data type. "
+             "Replace if possible.";
+    case RuleId::kScientificNotation:
+      return "Scientific notation results in lower energy consumption of "
+             "decimal numbers.";
+    case RuleId::kWrapperClass:
+      return "Integer Wrapper class object is the most energy-efficient. "
+             "Replace if possible.";
+    case RuleId::kStaticKeyword:
+      return "static keyword consumes up to 17,700% more energy. "
+             "Avoid if possible.";
+    case RuleId::kModulusOperator:
+      return "Modulus arithmetic operator consumes up to 1,620% more energy "
+             "than other arithmetic operators.";
+    case RuleId::kTernaryOperator:
+      return "Ternary operator consumes up to 37% more energy than "
+             "if-then-else statement.";
+    case RuleId::kShortCircuitOrder:
+      return "Put most common case first for lower energy consumption.";
+    case RuleId::kStringConcat:
+      return "StringBuilder append method consumes much lower energy than "
+             "String concatenation operator.";
+    case RuleId::kStringCompare:
+      return "String compareTo method consumes up to 33% more energy than "
+             "the String equals method.";
+    case RuleId::kArrayCopy:
+      return "System.arraycopy() is the most energy-efficient way to copy "
+             "Arrays.";
+    case RuleId::kArrayTraversal:
+      return "Two-dimensional Array column traversal result in up to 793% "
+             "more energy.";
+    case RuleId::kRuleCount: break;
+  }
+  return "?";
+}
+
+std::string Suggestion::message() const {
+  std::string out(ruleSuggestion(rule));
+  if (!detail.empty()) out += " [" + detail + "]";
+  return out;
+}
+
+}  // namespace jepo::core

@@ -1,0 +1,50 @@
+// The suggestion model: one RuleId per row of paper Table I, plus the
+// diagnostic record the engine emits (class, line, suggestion text — the
+// three columns of JEPO's optimizer view, Fig. 5).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jepo::core {
+
+/// One rule per Java component row of Table I.
+enum class RuleId : int {
+  kPrimitiveDataType = 0,  // int is the most energy-efficient primitive
+  kScientificNotation,     // scientific notation lowers decimal-literal cost
+  kWrapperClass,           // Integer is the most energy-efficient wrapper
+  kStaticKeyword,          // static costs up to 17,700% more
+  kModulusOperator,        // modulus costs up to 1,620% more
+  kTernaryOperator,        // ternary costs up to 37% more than if-then-else
+  kShortCircuitOrder,      // put the most common case first
+  kStringConcat,           // StringBuilder.append over the + operator
+  kStringCompare,          // equals over compareTo (+33%)
+  kArrayCopy,              // System.arraycopy over manual loops
+  kArrayTraversal,         // row traversal over column traversal (+793%)
+
+  kRuleCount
+};
+
+inline constexpr int kRuleCount = static_cast<int>(RuleId::kRuleCount);
+
+/// The Table I "Java Components" label for a rule.
+std::string_view ruleComponent(RuleId id) noexcept;
+
+/// The Table I "Suggestions" text for a rule (hardcoded in JEPO; hardcoded
+/// here with the same wording).
+std::string_view ruleSuggestion(RuleId id) noexcept;
+
+/// One diagnostic: where it fired and what it recommends.
+struct Suggestion {
+  RuleId rule = RuleId::kPrimitiveDataType;
+  std::string file;
+  std::string className;
+  int line = 0;
+  std::string detail;  // what was matched, e.g. "long local 'total'"
+
+  /// Fig. 5's third column: the canned suggestion plus the match detail.
+  std::string message() const;
+};
+
+}  // namespace jepo::core

@@ -1,0 +1,56 @@
+#include "jepo/views.hpp"
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace jepo::core {
+
+std::string renderToolbar() {
+  return "[ JEPO ]  (opens the JEPO view and shows suggestions for the "
+         "active file)\n";
+}
+
+std::string renderPopupMenu() {
+  return "Project context menu\n"
+         "  > JEPO\n"
+         "      JEPO profiler   (inject energy measurement, run project)\n"
+         "      JEPO optimizer  (suggestions for all classes)\n";
+}
+
+std::string renderDynamicView(const std::string& fileName,
+                              const std::vector<Suggestion>& suggestions) {
+  TextTable t({"Line", "Suggestion"}, {Align::kRight, Align::kLeft});
+  t.setTitle("JEPO — " + fileName);
+  for (const auto& s : suggestions) {
+    t.addRow({std::to_string(s.line), s.message()});
+  }
+  if (suggestions.empty()) {
+    t.addRow({"-", "No suggestions: the file already follows the "
+                    "energy-efficient patterns."});
+  }
+  return t.render();
+}
+
+std::string renderOptimizerView(const std::vector<Suggestion>& suggestions) {
+  TextTable t({"Class", "Line", "Suggestion"},
+              {Align::kLeft, Align::kRight, Align::kLeft});
+  t.setTitle("JEPO optimizer");
+  for (const auto& s : suggestions) {
+    t.addRow({s.className, std::to_string(s.line), s.message()});
+  }
+  return t.render();
+}
+
+std::string renderProfilerView(const std::vector<jvm::MethodRecord>& records) {
+  TextTable t({"Method", "Execution Time", "Package Energy", "Core Energy"},
+              {Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
+  t.setTitle("JEPO profiler");
+  for (const auto& r : records) {
+    t.addRow({r.method, fixed(r.seconds * 1e3, 3) + " ms",
+              fixed(r.packageJoules, 6) + " J",
+              fixed(r.coreJoules, 6) + " J"});
+  }
+  return t.render();
+}
+
+}  // namespace jepo::core

@@ -1,0 +1,32 @@
+// Text renders of JEPO's Eclipse UI (Figs. 1-5).
+//
+// The plugin's views are tables; reproducing them as deterministic text
+// makes every figure a checkable artifact (the bench_fig* binaries print
+// these verbatim).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jepo/profiler.hpp"
+#include "jepo/suggestion.hpp"
+
+namespace jepo::core {
+
+/// Fig. 1: the JEPO toolbar button.
+std::string renderToolbar();
+
+/// Fig. 3: the project pop-up menu with the profiler/optimizer entries.
+std::string renderPopupMenu();
+
+/// Fig. 2: the dynamic-suggestion view for one open file (line | suggestion).
+std::string renderDynamicView(const std::string& fileName,
+                              const std::vector<Suggestion>& suggestions);
+
+/// Fig. 5: the optimizer view (class | line | suggestion) over a project.
+std::string renderOptimizerView(const std::vector<Suggestion>& suggestions);
+
+/// Fig. 4: the profiler view (method | execution time | energy consumed).
+std::string renderProfilerView(const std::vector<jvm::MethodRecord>& records);
+
+}  // namespace jepo::core

@@ -1,0 +1,234 @@
+// MiniJava abstract syntax tree.
+//
+// One node hierarchy is shared by the parser, the canonical printer, the
+// tree-walking VM, the suggestion rules, the optimizer's rewrites and the
+// code-metrics calculator. Nodes are owned by unique_ptr; dispatch is a
+// switch over the kind tag (cheap in the VM's hot loop, no virtual calls).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace jepo::jlang {
+
+// ---------------------------------------------------------------------------
+// Types
+
+enum class Prim : int {
+  kByte, kShort, kInt, kLong, kFloat, kDouble, kChar, kBoolean,
+  kVoid,
+  kClass,  // className holds the name (String, StringBuilder, user classes,
+           // wrapper classes Integer/Long/...)
+};
+
+struct TypeRef {
+  Prim prim = Prim::kInt;
+  std::string className;  // meaningful iff prim == kClass
+  int arrayDims = 0;      // 0 scalar, 1 T[], 2 T[][]
+
+  bool isNumeric() const noexcept {
+    return arrayDims == 0 &&
+           (prim == Prim::kByte || prim == Prim::kShort || prim == Prim::kInt ||
+            prim == Prim::kLong || prim == Prim::kFloat ||
+            prim == Prim::kDouble || prim == Prim::kChar);
+  }
+  bool isClass(std::string_view name) const {
+    return arrayDims == 0 && prim == Prim::kClass && className == name;
+  }
+  bool operator==(const TypeRef&) const = default;
+
+  static TypeRef scalar(Prim p) { return TypeRef{p, {}, 0}; }
+  static TypeRef ofClass(std::string name, int dims = 0) {
+    return TypeRef{Prim::kClass, std::move(name), dims};
+  }
+};
+
+std::string typeName(const TypeRef& t);
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+enum class ExprKind : int {
+  kIntLit, kLongLit, kFloatLit, kDoubleLit, kCharLit, kStringLit, kBoolLit,
+  kNullLit,
+  kVarRef,       // name (local, field of this, or class name)
+  kFieldAccess,  // obj.name  (also Class.staticField, array.length)
+  kArrayIndex,   // arr[i]
+  kBinary, kUnary, kAssign, kTernary,
+  kCall,         // recv.name(args) or name(args)
+  kNew,          // new Foo(args)
+  kNewArray,     // new T[n] / new T[n][m]
+  kCast,         // (T) expr
+};
+
+enum class BinOp : int {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+  kAndAnd, kOrOr,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+};
+
+enum class UnOp : int {
+  kNeg, kNot, kBitNot, kPreInc, kPreDec, kPostInc, kPostDec,
+};
+
+enum class AssignOp : int { kSet, kAdd, kSub, kMul, kDiv, kMod };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  int col = 0;
+
+  // Literal payloads.
+  std::int64_t intValue = 0;    // int/long/char/bool literals
+  double floatValue = 0.0;      // float/double literals
+  std::string strValue;         // string literal / identifier / member name
+  bool scientific = false;      // float literal spelled with an exponent
+
+  // Operator payloads.
+  BinOp binOp = BinOp::kAdd;
+  UnOp unOp = UnOp::kNeg;
+  AssignOp assignOp = AssignOp::kSet;
+
+  // Children. Meaning depends on kind:
+  //  kFieldAccess: a = object
+  //  kArrayIndex:  a = array, b = index
+  //  kBinary:      a, b
+  //  kUnary:       a
+  //  kAssign:      a = target lvalue, b = value
+  //  kTernary:     a = cond, b = then, c = else
+  //  kCall:        a = receiver (may be null), args
+  //  kNew:         args; strValue = class name
+  //  kNewArray:    args = dimension exprs; type = element type
+  //  kCast:        a; type = target type
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> args;
+  TypeRef type;  // kNewArray element type / kCast target type
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+ExprPtr cloneExpr(const Expr& e);
+
+// ---------------------------------------------------------------------------
+// Statements
+
+enum class StmtKind : int {
+  kBlock, kVarDecl, kExprStmt, kIf, kWhile, kFor, kReturn, kThrow, kTry,
+  kSwitch, kBreak, kContinue,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct CatchClause {
+  std::string exceptionClass;
+  std::string varName;
+  StmtPtr body;  // block
+};
+
+struct SwitchCase {
+  bool isDefault = false;
+  std::int64_t value = 0;  // case label (int/char)
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  int col = 0;
+
+  std::vector<StmtPtr> body;  // kBlock statements / kFor init stmts
+
+  // kVarDecl
+  TypeRef declType;
+  std::string declName;
+  ExprPtr init;  // may be null
+
+  // kExprStmt / kReturn (may be null) / kThrow
+  ExprPtr expr;
+
+  // kIf: cond, thenStmt, elseStmt(optional)
+  // kWhile: cond, thenStmt=body
+  // kFor: body(init decls) cond, update(exprs), thenStmt=loop body
+  ExprPtr cond;
+  StmtPtr thenStmt;
+  StmtPtr elseStmt;
+  std::vector<ExprPtr> update;
+
+  // kTry
+  StmtPtr tryBlock;
+  std::vector<CatchClause> catches;
+  StmtPtr finallyBlock;  // may be null
+
+  // kSwitch
+  std::vector<SwitchCase> cases;
+
+  explicit Stmt(StmtKind k) : kind(k) {}
+};
+
+StmtPtr cloneStmt(const Stmt& s);
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+struct Param {
+  TypeRef type;
+  std::string name;
+};
+
+struct FieldDecl {
+  TypeRef type;
+  std::string name;
+  bool isStatic = false;
+  ExprPtr init;  // may be null
+  int line = 0;
+};
+
+struct MethodDecl {
+  std::string name;
+  bool isStatic = false;
+  TypeRef returnType = TypeRef::scalar(Prim::kVoid);
+  std::vector<Param> params;
+  StmtPtr body;  // block; null only for the implicit default ctor
+  int line = 0;
+};
+
+struct ClassDecl {
+  std::string name;
+  std::vector<FieldDecl> fields;
+  std::vector<MethodDecl> methods;
+  int line = 0;
+
+  const MethodDecl* findMethod(std::string_view methodName) const;
+};
+
+/// One parsed .mjava file.
+struct CompilationUnit {
+  std::string fileName;
+  std::string packageName;            // "" for the default package
+  std::vector<std::string> imports;   // fully-qualified imported class names
+  std::vector<ClassDecl> classes;
+};
+
+/// A set of compilation units forming one analyzable/runnable project.
+struct Program {
+  std::vector<CompilationUnit> units;
+
+  const ClassDecl* findClass(std::string_view name) const;
+  /// Classes that declare `static void main`.
+  std::vector<const ClassDecl*> mainClasses() const;
+};
+
+/// Deep copies (rewriters clone before mutating).
+CompilationUnit cloneUnit(const CompilationUnit& unit);
+Program cloneProgram(const Program& program);
+
+}  // namespace jepo::jlang

@@ -1,0 +1,309 @@
+#include "jlang/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace jepo::jlang {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywordTable() {
+  static const std::unordered_map<std::string_view, Tok> table = {
+      {"class", Tok::kKwClass},     {"public", Tok::kKwPublic},
+      {"private", Tok::kKwPrivate}, {"static", Tok::kKwStatic},
+      {"final", Tok::kKwFinal},     {"void", Tok::kKwVoid},
+      {"byte", Tok::kKwByte},       {"short", Tok::kKwShort},
+      {"int", Tok::kKwInt},         {"long", Tok::kKwLong},
+      {"float", Tok::kKwFloat},     {"double", Tok::kKwDouble},
+      {"char", Tok::kKwChar},       {"boolean", Tok::kKwBoolean},
+      {"if", Tok::kKwIf},           {"else", Tok::kKwElse},
+      {"while", Tok::kKwWhile},     {"for", Tok::kKwFor},
+      {"return", Tok::kKwReturn},   {"new", Tok::kKwNew},
+      {"try", Tok::kKwTry},         {"catch", Tok::kKwCatch},
+      {"finally", Tok::kKwFinally}, {"throw", Tok::kKwThrow},
+      {"switch", Tok::kKwSwitch},   {"case", Tok::kKwCase},
+      {"default", Tok::kKwDefault}, {"break", Tok::kKwBreak},
+      {"continue", Tok::kKwContinue},
+      {"true", Tok::kKwTrue},       {"false", Tok::kKwFalse},
+      {"null", Tok::kKwNull},       {"this", Tok::kKwThis},
+      {"package", Tok::kKwPackage}, {"import", Tok::kKwImport},
+  };
+  return table;
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source) : src_(source) {}
+
+char Lexer::peek(std::size_t ahead) const noexcept {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() noexcept {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) noexcept {
+  if (atEnd() || src_[pos_] != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::fail(const std::string& msg) const {
+  throw ParseError("lex error: " + msg, line_, col_);
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    if (atEnd()) return;
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (atEnd()) fail("unterminated block comment");
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::makeToken(Tok type) const {
+  Token t;
+  t.type = type;
+  t.line = tokLine_;
+  t.col = tokCol_;
+  return t;
+}
+
+Token Lexer::lexNumber() {
+  const std::size_t start = pos_;
+  bool isFloat = false;
+  bool scientific = false;
+
+  while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    isFloat = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    const char sign = peek(1);
+    const char digit = (sign == '+' || sign == '-') ? peek(2) : sign;
+    if (std::isdigit(static_cast<unsigned char>(digit))) {
+      isFloat = true;
+      scientific = true;
+      advance();  // e
+      if (peek() == '+' || peek() == '-') advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+  }
+
+  std::string digits(src_.substr(start, pos_ - start));
+  Token t = makeToken(Tok::kIntLiteral);
+  t.text = digits;
+  t.scientific = scientific;
+
+  if (peek() == 'f' || peek() == 'F') {
+    advance();
+    t.type = Tok::kFloatLiteral;
+    t.floatValue = std::strtod(digits.c_str(), nullptr);
+    return t;
+  }
+  if (peek() == 'd' || peek() == 'D') {
+    advance();
+    t.type = Tok::kDoubleLiteral;
+    t.floatValue = std::strtod(digits.c_str(), nullptr);
+    return t;
+  }
+  if (isFloat) {
+    t.type = Tok::kDoubleLiteral;
+    t.floatValue = std::strtod(digits.c_str(), nullptr);
+    return t;
+  }
+  if (peek() == 'l' || peek() == 'L') {
+    advance();
+    t.type = Tok::kLongLiteral;
+    t.intValue = std::strtoll(digits.c_str(), nullptr, 10);
+    return t;
+  }
+  t.type = Tok::kIntLiteral;
+  t.intValue = std::strtoll(digits.c_str(), nullptr, 10);
+  return t;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  const std::size_t start = pos_;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    advance();
+  }
+  std::string name(src_.substr(start, pos_ - start));
+  const auto& kw = keywordTable();
+  const auto it = kw.find(name);
+  Token t = makeToken(it != kw.end() ? it->second : Tok::kIdentifier);
+  t.text = std::move(name);
+  if (t.type == Tok::kKwTrue) t.intValue = 1;
+  return t;
+}
+
+Token Lexer::lexString() {
+  advance();  // opening quote
+  std::string value;
+  while (peek() != '"') {
+    if (atEnd() || peek() == '\n') fail("unterminated string literal");
+    char c = advance();
+    if (c == '\\') {
+      const char esc = advance();
+      switch (esc) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case '\\': c = '\\'; break;
+        case '"': c = '"'; break;
+        case '\'': c = '\''; break;
+        case '0': c = '\0'; break;
+        default: fail(std::string("unknown escape \\") + esc);
+      }
+    }
+    value += c;
+  }
+  advance();  // closing quote
+  Token t = makeToken(Tok::kStringLiteral);
+  t.text = std::move(value);
+  return t;
+}
+
+Token Lexer::lexChar() {
+  advance();  // opening quote
+  if (atEnd()) fail("unterminated char literal");
+  char c = advance();
+  if (c == '\\') {
+    const char esc = advance();
+    switch (esc) {
+      case 'n': c = '\n'; break;
+      case 't': c = '\t'; break;
+      case 'r': c = '\r'; break;
+      case '\\': c = '\\'; break;
+      case '\'': c = '\''; break;
+      case '"': c = '"'; break;
+      case '0': c = '\0'; break;
+      default: fail(std::string("unknown escape \\") + esc);
+    }
+  }
+  if (peek() != '\'') fail("unterminated char literal");
+  advance();
+  Token t = makeToken(Tok::kCharLiteral);
+  t.text = std::string(1, c);
+  t.intValue = static_cast<unsigned char>(c);
+  return t;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    skipWhitespaceAndComments();
+    tokLine_ = line_;
+    tokCol_ = col_;
+    if (atEnd()) {
+      out.push_back(makeToken(Tok::kEof));
+      return out;
+    }
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(lexNumber());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(lexIdentifierOrKeyword());
+      continue;
+    }
+    if (c == '"') {
+      out.push_back(lexString());
+      continue;
+    }
+    if (c == '\'') {
+      out.push_back(lexChar());
+      continue;
+    }
+    advance();
+    switch (c) {
+      case '(': out.push_back(makeToken(Tok::kLParen)); break;
+      case ')': out.push_back(makeToken(Tok::kRParen)); break;
+      case '{': out.push_back(makeToken(Tok::kLBrace)); break;
+      case '}': out.push_back(makeToken(Tok::kRBrace)); break;
+      case '[': out.push_back(makeToken(Tok::kLBracket)); break;
+      case ']': out.push_back(makeToken(Tok::kRBracket)); break;
+      case ';': out.push_back(makeToken(Tok::kSemicolon)); break;
+      case ',': out.push_back(makeToken(Tok::kComma)); break;
+      case '.': out.push_back(makeToken(Tok::kDot)); break;
+      case ':': out.push_back(makeToken(Tok::kColon)); break;
+      case '?': out.push_back(makeToken(Tok::kQuestion)); break;
+      case '~': out.push_back(makeToken(Tok::kTilde)); break;
+      case '+':
+        out.push_back(makeToken(match('+') ? Tok::kPlusPlus
+                                : match('=') ? Tok::kPlusAssign
+                                             : Tok::kPlus));
+        break;
+      case '-':
+        out.push_back(makeToken(match('-') ? Tok::kMinusMinus
+                                : match('=') ? Tok::kMinusAssign
+                                             : Tok::kMinus));
+        break;
+      case '*':
+        out.push_back(makeToken(match('=') ? Tok::kStarAssign : Tok::kStar));
+        break;
+      case '/':
+        out.push_back(makeToken(match('=') ? Tok::kSlashAssign : Tok::kSlash));
+        break;
+      case '%':
+        out.push_back(
+            makeToken(match('=') ? Tok::kPercentAssign : Tok::kPercent));
+        break;
+      case '<':
+        out.push_back(makeToken(match('<')   ? Tok::kShl
+                                : match('=') ? Tok::kLe
+                                             : Tok::kLt));
+        break;
+      case '>':
+        out.push_back(makeToken(match('>')   ? Tok::kShr
+                                : match('=') ? Tok::kGe
+                                             : Tok::kGt));
+        break;
+      case '=':
+        out.push_back(makeToken(match('=') ? Tok::kEqEq : Tok::kAssign));
+        break;
+      case '!':
+        out.push_back(makeToken(match('=') ? Tok::kNotEq : Tok::kBang));
+        break;
+      case '&':
+        out.push_back(makeToken(match('&') ? Tok::kAmpAmp : Tok::kAmp));
+        break;
+      case '|':
+        out.push_back(makeToken(match('|') ? Tok::kPipePipe : Tok::kPipe));
+        break;
+      case '^': out.push_back(makeToken(Tok::kCaret)); break;
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+}
+
+}  // namespace jepo::jlang

@@ -1,0 +1,43 @@
+// Hand-written MiniJava lexer. Produces the whole token stream eagerly;
+// source files in this repository are small enough that simplicity wins.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jlang/token.hpp"
+
+namespace jepo::jlang {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  /// Tokenize to EOF; throws ParseError on malformed input. The returned
+  /// vector always ends with a kEof token.
+  std::vector<Token> tokenize();
+
+ private:
+  bool atEnd() const noexcept { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const noexcept;
+  char advance() noexcept;
+  bool match(char expected) noexcept;
+
+  void skipWhitespaceAndComments();
+  Token makeToken(Tok type) const;
+  Token lexNumber();
+  Token lexIdentifierOrKeyword();
+  Token lexString();
+  Token lexChar();
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int tokLine_ = 1;
+  int tokCol_ = 1;
+};
+
+}  // namespace jepo::jlang

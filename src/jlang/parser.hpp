@@ -1,0 +1,76 @@
+// Recursive-descent parser for MiniJava with classic precedence climbing.
+//
+// Grammar sketch (modifiers `public`/`private`/`final` are accepted and
+// ignored except `static`, which the rules care about):
+//
+//   unit     := [package qname ;] {import qname ;} {classDecl}
+//   class    := mods class Ident { {member} }
+//   member   := mods type Ident (fieldRest | methodRest)
+//   stmt     := block | varDecl | if | while | for | return | throw |
+//               try | switch | break | continue | exprStmt
+//   expr     := assignment; assignment := ternary [assignOp assignment]
+//   ternary  := or [? expr : ternary]
+//   or > and > bitor > bitxor > bitand > equality > relational > shift >
+//   additive > multiplicative > unary > postfix > primary
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jlang/ast.hpp"
+#include "jlang/token.hpp"
+
+namespace jepo::jlang {
+
+class Parser {
+ public:
+  Parser(std::string fileName, std::string_view source);
+
+  /// Parse the whole file; throws ParseError with line:col on bad input.
+  CompilationUnit parseUnit();
+
+  /// Convenience: parse a single file into a one-unit Program.
+  static Program parseProgram(std::string fileName, std::string_view source);
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  bool check(Tok t) const { return peek().type == t; }
+  bool match(Tok t);
+  const Token& expect(Tok t, const std::string& what);
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  std::string parseQualifiedName();
+
+  ClassDecl parseClass();
+  void parseMember(ClassDecl& cls);
+  TypeRef parseType();
+  bool looksLikeType() const;
+
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseVarDecl(bool requireSemicolon);
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseTry();
+  StmtPtr parseSwitch();
+
+  ExprPtr parseExpr();
+  ExprPtr parseAssignment();
+  ExprPtr parseTernary();
+  ExprPtr parseBinary(int minPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  template <typename NodeT>
+  std::unique_ptr<NodeT> locate(std::unique_ptr<NodeT> node) const;
+
+  std::string fileName_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace jepo::jlang

@@ -1,0 +1,19 @@
+// Canonical MiniJava source printer.
+//
+// print(parse(print(ast))) == print(ast) is a tested property; the optimizer
+// uses the printer to emit refactored files, and the metrics module counts
+// LOC over canonical output so counts are formatting-independent.
+#pragma once
+
+#include <string>
+
+#include "jlang/ast.hpp"
+
+namespace jepo::jlang {
+
+std::string printExpr(const Expr& e);
+std::string printStmt(const Stmt& s, int indent = 0);
+std::string printClass(const ClassDecl& cls, int indent = 0);
+std::string printUnit(const CompilationUnit& unit);
+
+}  // namespace jepo::jlang

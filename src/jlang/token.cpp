@@ -1,0 +1,93 @@
+#include "jlang/token.hpp"
+
+namespace jepo::jlang {
+
+std::string tokName(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdentifier: return "identifier";
+    case Tok::kIntLiteral: return "int literal";
+    case Tok::kLongLiteral: return "long literal";
+    case Tok::kFloatLiteral: return "float literal";
+    case Tok::kDoubleLiteral: return "double literal";
+    case Tok::kCharLiteral: return "char literal";
+    case Tok::kStringLiteral: return "string literal";
+    case Tok::kKwClass: return "'class'";
+    case Tok::kKwPublic: return "'public'";
+    case Tok::kKwPrivate: return "'private'";
+    case Tok::kKwStatic: return "'static'";
+    case Tok::kKwFinal: return "'final'";
+    case Tok::kKwVoid: return "'void'";
+    case Tok::kKwByte: return "'byte'";
+    case Tok::kKwShort: return "'short'";
+    case Tok::kKwInt: return "'int'";
+    case Tok::kKwLong: return "'long'";
+    case Tok::kKwFloat: return "'float'";
+    case Tok::kKwDouble: return "'double'";
+    case Tok::kKwChar: return "'char'";
+    case Tok::kKwBoolean: return "'boolean'";
+    case Tok::kKwIf: return "'if'";
+    case Tok::kKwElse: return "'else'";
+    case Tok::kKwWhile: return "'while'";
+    case Tok::kKwFor: return "'for'";
+    case Tok::kKwReturn: return "'return'";
+    case Tok::kKwNew: return "'new'";
+    case Tok::kKwTry: return "'try'";
+    case Tok::kKwCatch: return "'catch'";
+    case Tok::kKwFinally: return "'finally'";
+    case Tok::kKwThrow: return "'throw'";
+    case Tok::kKwSwitch: return "'switch'";
+    case Tok::kKwCase: return "'case'";
+    case Tok::kKwDefault: return "'default'";
+    case Tok::kKwBreak: return "'break'";
+    case Tok::kKwContinue: return "'continue'";
+    case Tok::kKwTrue: return "'true'";
+    case Tok::kKwFalse: return "'false'";
+    case Tok::kKwNull: return "'null'";
+    case Tok::kKwThis: return "'this'";
+    case Tok::kKwPackage: return "'package'";
+    case Tok::kKwImport: return "'import'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemicolon: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kDot: return "'.'";
+    case Tok::kColon: return "':'";
+    case Tok::kQuestion: return "'?'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kMinusAssign: return "'-='";
+    case Tok::kStarAssign: return "'*='";
+    case Tok::kSlashAssign: return "'/='";
+    case Tok::kPercentAssign: return "'%='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kPlusPlus: return "'++'";
+    case Tok::kMinusMinus: return "'--'";
+    case Tok::kLt: return "'<'";
+    case Tok::kGt: return "'>'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGe: return "'>='";
+    case Tok::kEqEq: return "'=='";
+    case Tok::kNotEq: return "'!='";
+    case Tok::kAmpAmp: return "'&&'";
+    case Tok::kPipePipe: return "'||'";
+    case Tok::kBang: return "'!'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+  }
+  return "?";
+}
+
+}  // namespace jepo::jlang

@@ -1,0 +1,109 @@
+// VM heap: strings, StringBuilders, arrays, plain objects and boxed
+// wrappers live here, addressed by Ref. No collector — programs in this
+// repository are bounded benchmark/test runs, and keeping every allocation
+// live preserves exact Ref identity for aliasing semantics.
+#pragma once
+
+#include <string>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "jvm/value.hpp"
+#include "support/error.hpp"
+
+namespace jepo::jvm {
+
+enum class ObjKind : std::uint8_t {
+  kString,
+  kBuilder,
+  kArray,
+  kObject,
+  kBoxed,
+};
+
+struct HeapObject {
+  ObjKind kind = ObjKind::kObject;
+  std::string text;                  // kString / kBuilder payload
+  std::vector<Value> elems;          // kArray payload
+  ValKind elemKind = ValKind::kNull; // kArray element kind (kRef for rows)
+  std::string className;             // kObject / kBoxed wrapper name
+  std::unordered_map<std::string, Value> fields;  // kObject payload
+  Value boxed;                       // kBoxed payload
+};
+
+class Heap {
+ public:
+  Ref allocString(std::string s) {
+    HeapObject o;
+    o.kind = ObjKind::kString;
+    o.text = std::move(s);
+    return push(std::move(o));
+  }
+
+  Ref allocBuilder() {
+    HeapObject o;
+    o.kind = ObjKind::kBuilder;
+    return push(std::move(o));
+  }
+
+  /// Arrays carry their element kind so stores can coerce to the Java
+  /// element width; elements start at the Java default value.
+  Ref allocArray(std::size_t n, ValKind elemKind) {
+    HeapObject o;
+    o.kind = ObjKind::kArray;
+    o.elemKind = elemKind;
+    o.elems.assign(n, defaultValue(elemKind));
+    return push(std::move(o));
+  }
+
+  static Value defaultValue(ValKind k) {
+    switch (k) {
+      case ValKind::kBool: return Value::ofBool(false);
+      case ValKind::kByte: return Value::ofByte(0);
+      case ValKind::kShort: return Value::ofShort(0);
+      case ValKind::kInt: return Value::ofInt(0);
+      case ValKind::kLong: return Value::ofLong(0);
+      case ValKind::kChar: return Value::ofChar(0);
+      case ValKind::kFloat: return Value::ofFloat(0.0);
+      case ValKind::kDouble: return Value::ofDouble(0.0);
+      default: return Value::null();
+    }
+  }
+
+  Ref allocObject(std::string className) {
+    HeapObject o;
+    o.kind = ObjKind::kObject;
+    o.className = std::move(className);
+    return push(std::move(o));
+  }
+
+  Ref allocBoxed(std::string wrapper, Value inner) {
+    HeapObject o;
+    o.kind = ObjKind::kBoxed;
+    o.className = std::move(wrapper);
+    o.boxed = inner;
+    return push(std::move(o));
+  }
+
+  HeapObject& get(Ref r) {
+    JEPO_REQUIRE(r < objects_.size(), "dangling heap reference");
+    return objects_[r];
+  }
+  const HeapObject& get(Ref r) const {
+    JEPO_REQUIRE(r < objects_.size(), "dangling heap reference");
+    return objects_[r];
+  }
+
+  std::size_t size() const noexcept { return objects_.size(); }
+
+ private:
+  Ref push(HeapObject o) {
+    objects_.push_back(std::move(o));
+    return static_cast<Ref>(objects_.size() - 1);
+  }
+
+  std::deque<HeapObject> objects_;
+};
+
+}  // namespace jepo::jvm

@@ -1,0 +1,49 @@
+#include "jvm/instrumenter.hpp"
+
+namespace jepo::jvm {
+
+Instrumenter::Instrumenter(energy::SimMachine& machine)
+    : machine_(&machine), reader_(machine.msrDevice()) {}
+
+void Instrumenter::onEnter(const std::string& qualifiedName) {
+  // The injected prologue: flush pending work so the counters are current,
+  // then snapshot the raw 32-bit registers (not joules — the diff must be
+  // taken in raw space to survive wraparound).
+  machine_->sync();
+  OpenFrame frame;
+  frame.method = qualifiedName;
+  frame.startSeconds = machine_->seconds();
+  frame.startPkgRaw = reader_.readRaw(rapl::Domain::kPackage);
+  frame.startCoreRaw = reader_.readRaw(rapl::Domain::kCore);
+  stack_.push_back(std::move(frame));
+}
+
+void Instrumenter::onExit(const std::string& qualifiedName) {
+  JEPO_REQUIRE(!stack_.empty() && stack_.back().method == qualifiedName,
+               "unbalanced method hooks for " + qualifiedName);
+  machine_->sync();
+  const OpenFrame frame = std::move(stack_.back());
+  stack_.pop_back();
+
+  const double quantum = reader_.unit().jouleQuantum();
+  MethodRecord rec;
+  rec.method = frame.method;
+  rec.seconds = machine_->seconds() - frame.startSeconds;
+  // Unsigned 32-bit subtraction: correct across one counter wrap.
+  rec.packageJoules =
+      static_cast<double>(reader_.readRaw(rapl::Domain::kPackage) -
+                          frame.startPkgRaw) *
+      quantum;
+  rec.coreJoules =
+      static_cast<double>(reader_.readRaw(rapl::Domain::kCore) -
+                          frame.startCoreRaw) *
+      quantum;
+  records_.push_back(std::move(rec));
+}
+
+void Instrumenter::clear() {
+  stack_.clear();
+  records_.clear();
+}
+
+}  // namespace jepo::jvm

@@ -1,0 +1,57 @@
+// Method-granularity energy instrumentation.
+//
+// JEPO injects bytecode (via Javassist) that reads the RAPL MSRs and a
+// timestamp at the start and end of every method, then dumps one record per
+// execution into result.txt. The Instrumenter is that injected code: it
+// hooks method entry/exit, reads the energy-status registers through
+// RaplReader (the wraparound-correct path), and emits one MethodRecord per
+// execution — nested and recursive calls measure inclusively, exactly like
+// JEPO's injected reads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/machine.hpp"
+#include "jvm/interpreter.hpp"
+#include "rapl/rapl.hpp"
+
+namespace jepo::jvm {
+
+/// One method execution, as JEPO stores it in result.txt.
+struct MethodRecord {
+  std::string method;      // Class.method
+  double seconds = 0.0;    // execution time
+  double packageJoules = 0.0;
+  double coreJoules = 0.0;
+};
+
+class Instrumenter final : public MethodHooks {
+ public:
+  explicit Instrumenter(energy::SimMachine& machine);
+
+  void onEnter(const std::string& qualifiedName) override;
+  void onExit(const std::string& qualifiedName) override;
+
+  /// One record per completed method execution, in completion order.
+  const std::vector<MethodRecord>& records() const noexcept {
+    return records_;
+  }
+
+  void clear();
+
+ private:
+  struct OpenFrame {
+    std::string method;
+    double startSeconds = 0.0;
+    std::uint32_t startPkgRaw = 0;
+    std::uint32_t startCoreRaw = 0;
+  };
+
+  energy::SimMachine* machine_;
+  rapl::RaplReader reader_;
+  std::vector<OpenFrame> stack_;
+  std::vector<MethodRecord> records_;
+};
+
+}  // namespace jepo::jvm

@@ -1,0 +1,958 @@
+#include "jvm/interpreter.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "jvm/ops.hpp"
+#include "support/strings.hpp"
+
+namespace jepo::jvm {
+
+using jlang::AssignOp;
+using jlang::BinOp;
+using jlang::ClassDecl;
+using jlang::Expr;
+using jlang::ExprKind;
+using jlang::MethodDecl;
+using jlang::Prim;
+using jlang::Stmt;
+using jlang::StmtKind;
+using jlang::TypeRef;
+using jlang::UnOp;
+using energy::Op;
+
+namespace {
+
+bool isBuiltinClassName(const std::string& name) {
+  return BuiltinLibrary::isBuiltinClassName(name);
+}
+
+bool isWrapperClassName(const std::string& name) {
+  return BuiltinLibrary::isWrapperClassName(name);
+}
+
+}  // namespace
+
+std::string_view valKindName(ValKind k) noexcept {
+  switch (k) {
+    case ValKind::kNull: return "null";
+    case ValKind::kBool: return "boolean";
+    case ValKind::kByte: return "byte";
+    case ValKind::kShort: return "short";
+    case ValKind::kInt: return "int";
+    case ValKind::kLong: return "long";
+    case ValKind::kChar: return "char";
+    case ValKind::kFloat: return "float";
+    case ValKind::kDouble: return "double";
+    case ValKind::kRef: return "reference";
+  }
+  return "?";
+}
+
+Interpreter::Interpreter(const jlang::Program& program,
+                         energy::SimMachine& machine)
+    : program_(&program),
+      machine_(&machine),
+      builtins_(heap_, machine, out_, [this](const std::string& name) {
+        return program_->findClass(name) != nullptr;
+      }) {}
+
+void Interpreter::step() {
+  ++steps_;
+  if (maxSteps_ != 0 && steps_ > maxSteps_) {
+    throw VmError("step limit exceeded (" + std::to_string(maxSteps_) +
+                  "): possible runaway loop");
+  }
+}
+
+const std::string& Interpreter::stringAt(Ref r) const {
+  const HeapObject& o = heap_.get(r);
+  JEPO_REQUIRE(o.kind == ObjKind::kString || o.kind == ObjKind::kBuilder,
+               "reference is not a string");
+  return o.text;
+}
+
+ValKind Interpreter::kindOfType(const TypeRef& t) {
+  return ::jepo::jvm::kindOfType(t);
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+
+Value Interpreter::runMain(std::string_view mainClass) {
+  const auto mains = program_->mainClasses();
+  const ClassDecl* target = nullptr;
+  if (mainClass.empty()) {
+    if (mains.empty()) throw VmError("no class declares static void main");
+    if (mains.size() > 1) {
+      std::string names;
+      for (const auto* c : mains) names += " " + c->name;
+      throw VmError("multiple main classes; pick one of:" + names);
+    }
+    target = mains.front();
+  } else {
+    for (const auto* c : mains) {
+      if (c->name == mainClass) target = c;
+    }
+    if (target == nullptr) {
+      throw VmError("no main method in class " + std::string(mainClass));
+    }
+  }
+  const MethodDecl* m = target->findMethod("main");
+  ensureClassInit(target->name);
+  const Ref argsArr = heap_.allocArray(0, ValKind::kRef);
+  return invoke(*target, *m, Value::null(), {Value::ofRef(argsArr)});
+}
+
+Value Interpreter::callStatic(std::string_view className,
+                              std::string_view methodName,
+                              std::vector<Value> args) {
+  const ClassDecl* cls = program_->findClass(className);
+  JEPO_REQUIRE(cls != nullptr, "unknown class " + std::string(className));
+  const MethodDecl* m = cls->findMethod(methodName);
+  JEPO_REQUIRE(m != nullptr, "unknown method " + std::string(methodName));
+  JEPO_REQUIRE(m->isStatic, "method is not static");
+  ensureClassInit(cls->name);
+  return invoke(*cls, *m, Value::null(), std::move(args));
+}
+
+// ---------------------------------------------------------------------------
+// Classes, statics, locals
+
+bool Interpreter::isClassName(const std::string& name) const {
+  return isBuiltinClassName(name) || program_->findClass(name) != nullptr;
+}
+
+void Interpreter::ensureClassInit(const std::string& className) {
+  if (initializedClasses_.count(className) != 0) return;
+  initializedClasses_.insert(className);
+  const ClassDecl* cls = program_->findClass(className);
+  if (cls == nullptr) return;
+  // Default-initialize all static fields first (so initializers can refer
+  // to earlier ones), then run initializers in declaration order.
+  for (const auto& f : cls->fields) {
+    if (!f.isStatic) continue;
+    statics_[className + "." + f.name] = Heap::defaultValue(kindOfType(f.type));
+  }
+  Frame frame;
+  frame.cls = cls;
+  frame.scopes.emplace_back();
+  frames_.push_back(std::move(frame));
+  struct PopGuard {
+    std::deque<Frame>* frames;
+    ~PopGuard() { frames->pop_back(); }
+  } guard{&frames_};
+  for (const auto& f : cls->fields) {
+    if (!f.isStatic || !f.init) continue;
+    Value v = eval(*f.init);
+    v = coerceToKind(v, kindOfType(f.type), f.line);
+    if (isWrapperClassName(f.type.className) && v.isNumeric()) {
+      v = builtins_.box(f.type.className, v);
+    }
+    charge(Op::kStaticAccess);
+    statics_[className + "." + f.name] = v;
+  }
+}
+
+Value* Interpreter::findStatic(const std::string& className,
+                               const std::string& field) {
+  ensureClassInit(className);
+  const auto it = statics_.find(className + "." + field);
+  return it == statics_.end() ? nullptr : &it->second;
+}
+
+void Interpreter::declareLocal(const std::string& name, Value v) {
+  JEPO_ASSERT(!frames_.empty() && !frames_.back().scopes.empty());
+  frames_.back().scopes.back().emplace_back(name, v);
+}
+
+Value* Interpreter::findLocal(const std::string& name) {
+  if (frames_.empty()) return nullptr;
+  auto& scopes = frames_.back().scopes;
+  for (auto scopeIt = scopes.rbegin(); scopeIt != scopes.rend(); ++scopeIt) {
+    for (auto& [n, v] : *scopeIt) {
+      if (n == name) return &v;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Invocation
+
+Value Interpreter::invoke(const ClassDecl& cls, const MethodDecl& m,
+                          Value thisValue, std::vector<Value> args) {
+  if (frames_.size() >= kMaxFrames) {
+    throwJava("StackOverflowError", cls.name + "." + m.name);
+  }
+  JEPO_REQUIRE(args.size() == m.params.size(),
+               "wrong argument count for " + cls.name + "." + m.name);
+
+  Frame frame;
+  frame.cls = &cls;
+  frame.thisValue = thisValue;
+  frame.scopes.emplace_back();
+  frames_.push_back(std::move(frame));
+
+  const std::string qualified = cls.name + "." + m.name;
+  if (hooks_ != nullptr) hooks_->onEnter(qualified);
+
+  struct ExitGuard {
+    Interpreter* self;
+    const std::string* name;
+    ~ExitGuard() {
+      if (self->hooks_ != nullptr) self->hooks_->onExit(*name);
+      self->frames_.pop_back();
+    }
+  } guard{this, &qualified};
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    Value v = coerceToKind(args[i], kindOfType(m.params[i].type),
+                           m.line);
+    charge(Op::kLocalAccess);
+    declareLocal(m.params[i].name, v);
+  }
+
+  returnValue_ = Value::null();
+  const Flow flow = execBlock(*m.body);
+  charge(Op::kReturn);
+  if (flow == Flow::kBreak || flow == Flow::kContinue) {
+    throw VmError("break/continue escaped method " + qualified);
+  }
+  return returnValue_;
+}
+
+Value Interpreter::construct(const std::string& className,
+                             std::vector<Value> args, int line) {
+  // Builtin constructors: StringBuilder, String, and undeclared
+  // exception-style classes (as in Java, they come from the library).
+  Value builtinResult;
+  if (builtins_.construct(className, args, &builtinResult)) {
+    return builtinResult;
+  }
+
+  const ClassDecl* cls = program_->findClass(className);
+  if (cls == nullptr) {
+    throw VmError("unknown class " + className + " at line " +
+                  std::to_string(line));
+  }
+
+  charge(Op::kAllocObject);
+  ensureClassInit(className);
+  const Ref r = heap_.allocObject(className);
+  // Default field values, then initializers in declaration order.
+  for (const auto& f : cls->fields) {
+    if (f.isStatic) continue;
+    heap_.get(r).fields[f.name] = Heap::defaultValue(kindOfType(f.type));
+  }
+  Frame frame;
+  frame.cls = cls;
+  frame.thisValue = Value::ofRef(r);
+  frame.scopes.emplace_back();
+  frames_.push_back(std::move(frame));
+  {
+    struct PopGuard {
+      std::deque<Frame>* frames;
+      ~PopGuard() { frames->pop_back(); }
+    } guard{&frames_};
+    for (const auto& f : cls->fields) {
+      if (f.isStatic || !f.init) continue;
+      Value v = eval(*f.init);
+      v = coerceToKind(v, kindOfType(f.type), f.line);
+      charge(Op::kFieldAccess);
+      heap_.get(r).fields[f.name] = v;
+    }
+  }
+  // Constructor: a method named like the class.
+  const MethodDecl* ctor = cls->findMethod(className);
+  if (ctor != nullptr) {
+    invoke(*cls, *ctor, Value::ofRef(r), std::move(args));
+  } else {
+    JEPO_REQUIRE(args.empty(),
+                 "class " + className + " has no constructor taking args");
+  }
+  return Value::ofRef(r);
+}
+
+// ---------------------------------------------------------------------------
+// Exceptions
+
+void Interpreter::throwJava(const std::string& className,
+                            const std::string& message) {
+  builtins_.throwJava(className, message);
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+Interpreter::Flow Interpreter::execBlock(const Stmt& s) {
+  JEPO_ASSERT(s.kind == StmtKind::kBlock);
+  auto& scopes = frames_.back().scopes;
+  scopes.emplace_back();
+  struct ScopeGuard {
+    std::vector<std::vector<std::pair<std::string, Value>>>* scopes;
+    ~ScopeGuard() { scopes->pop_back(); }
+  } guard{&scopes};
+  for (const auto& st : s.body) {
+    const Flow flow = execStmt(*st);
+    if (flow != Flow::kNormal) return flow;
+  }
+  return Flow::kNormal;
+}
+
+Interpreter::Flow Interpreter::execStmt(const Stmt& s) {
+  step();
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      return execBlock(s);
+
+    case StmtKind::kVarDecl: {
+      Value v = s.init ? eval(*s.init)
+                       : Heap::defaultValue(kindOfType(s.declType));
+      v = coerceToKind(v, kindOfType(s.declType), s.line);
+      // Declaring a wrapper-class variable with a primitive initializer is
+      // autoboxing (Table I: Integer is the cheapest wrapper).
+      if (isWrapperClassName(s.declType.className) && v.isNumeric()) {
+        v = builtins_.box(s.declType.className, v);
+      }
+      charge(Op::kLocalAccess);
+      declareLocal(s.declName, v);
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kExprStmt:
+      eval(*s.expr);
+      return Flow::kNormal;
+
+    case StmtKind::kIf: {
+      charge(Op::kBranch);
+      if (eval(*s.cond).asBool()) return execStmt(*s.thenStmt);
+      if (s.elseStmt) return execStmt(*s.elseStmt);
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kWhile: {
+      for (;;) {
+        charge(Op::kBranch);
+        if (!eval(*s.cond).asBool()) return Flow::kNormal;
+        charge(Op::kLoopIter);
+        const Flow flow = execStmt(*s.thenStmt);
+        if (flow == Flow::kBreak) return Flow::kNormal;
+        if (flow == Flow::kReturn) return flow;
+      }
+    }
+
+    case StmtKind::kFor: {
+      auto& scopes = frames_.back().scopes;
+      scopes.emplace_back();  // for-init scope
+      struct ScopeGuard {
+        std::vector<std::vector<std::pair<std::string, Value>>>* scopes;
+        ~ScopeGuard() { scopes->pop_back(); }
+      } guard{&scopes};
+      for (const auto& init : s.body) execStmt(*init);
+      for (;;) {
+        if (s.cond) {
+          charge(Op::kBranch);
+          if (!eval(*s.cond).asBool()) return Flow::kNormal;
+        }
+        charge(Op::kLoopIter);
+        const Flow flow = execStmt(*s.thenStmt);
+        if (flow == Flow::kBreak) return Flow::kNormal;
+        if (flow == Flow::kReturn) return flow;
+        for (const auto& u : s.update) eval(*u);
+      }
+    }
+
+    case StmtKind::kReturn:
+      returnValue_ = s.expr ? eval(*s.expr) : Value::null();
+      return Flow::kReturn;
+
+    case StmtKind::kThrow: {
+      Value v = eval(*s.expr);
+      if (v.isNull()) throwJava("NullPointerException", "throw null");
+      charge(Op::kThrow);
+      throw Thrown{v};
+    }
+
+    case StmtKind::kTry: {
+      charge(Op::kTryEnter);
+      Flow flow = Flow::kNormal;
+      bool rethrow = false;
+      Thrown pending{Value::null()};
+      try {
+        flow = execStmt(*s.tryBlock);
+      } catch (const Thrown& thrown) {
+        const std::string& thrownClass =
+            heap_.get(thrown.exception.asRef()).className;
+        const jlang::CatchClause* match = nullptr;
+        for (const auto& clause : s.catches) {
+          if (clause.exceptionClass == thrownClass ||
+              clause.exceptionClass == "Exception" ||
+              (clause.exceptionClass == "RuntimeException" &&
+               BuiltinLibrary::looksLikeExceptionClass(thrownClass))) {
+            match = &clause;
+            break;
+          }
+        }
+        if (match == nullptr) {
+          rethrow = true;
+          pending = thrown;
+        } else {
+          charge(Op::kCatch);
+          auto& scopes = frames_.back().scopes;
+          scopes.emplace_back();
+          struct ScopeGuard {
+            std::vector<std::vector<std::pair<std::string, Value>>>* scopes;
+            ~ScopeGuard() { scopes->pop_back(); }
+          } guard{&scopes};
+          declareLocal(match->varName, thrown.exception);
+          flow = execStmt(*match->body);
+        }
+      }
+      if (s.finallyBlock) {
+        const Flow finallyFlow = execStmt(*s.finallyBlock);
+        // An abrupt finally wins over the pending completion (JLS 14.20.2).
+        if (finallyFlow != Flow::kNormal) return finallyFlow;
+      }
+      if (rethrow) throw pending;
+      return flow;
+    }
+
+    case StmtKind::kSwitch: {
+      charge(Op::kBranch);
+      const std::int64_t selector = eval(*s.cond).asInt();
+      // Locate the matching case (or default).
+      std::size_t start = s.cases.size();
+      for (std::size_t i = 0; i < s.cases.size(); ++i) {
+        if (s.cases[i].isDefault) continue;
+        charge(Op::kIntAlu);
+        if (s.cases[i].value == selector) {
+          start = i;
+          break;
+        }
+      }
+      if (start == s.cases.size()) {
+        for (std::size_t i = 0; i < s.cases.size(); ++i) {
+          if (s.cases[i].isDefault) {
+            start = i;
+            break;
+          }
+        }
+      }
+      // Fall through from the match until break/return.
+      for (std::size_t i = start; i < s.cases.size(); ++i) {
+        for (const auto& st : s.cases[i].body) {
+          const Flow flow = execStmt(*st);
+          if (flow == Flow::kBreak) return Flow::kNormal;
+          if (flow != Flow::kNormal) return flow;
+        }
+      }
+      return Flow::kNormal;
+    }
+
+    case StmtKind::kBreak: return Flow::kBreak;
+    case StmtKind::kContinue: return Flow::kContinue;
+  }
+  throw Error("unhandled statement kind");
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+Value Interpreter::eval(const Expr& e) {
+  step();
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      charge(Op::kConstLoad);
+      return Value::ofInt(e.intValue);
+    case ExprKind::kLongLit:
+      charge(Op::kConstLoad);
+      return Value::ofLong(e.intValue);
+    case ExprKind::kFloatLit:
+      charge(e.scientific ? Op::kConstLoad : Op::kConstLoadPlainDecimal);
+      return Value::ofFloat(e.floatValue);
+    case ExprKind::kDoubleLit:
+      charge(e.scientific ? Op::kConstLoad : Op::kConstLoadPlainDecimal);
+      return Value::ofDouble(e.floatValue);
+    case ExprKind::kCharLit:
+      charge(Op::kConstLoad);
+      return Value::ofChar(e.intValue);
+    case ExprKind::kBoolLit:
+      charge(Op::kConstLoad);
+      return Value::ofBool(e.intValue != 0);
+    case ExprKind::kStringLit: {
+      charge(Op::kConstLoad);
+      const auto it = stringPool_.find(e.strValue);
+      if (it != stringPool_.end()) return Value::ofRef(it->second);
+      const Ref r = heap_.allocString(e.strValue);
+      stringPool_.emplace(e.strValue, r);
+      return Value::ofRef(r);
+    }
+    case ExprKind::kNullLit:
+      charge(Op::kConstLoad);
+      return Value::null();
+    case ExprKind::kVarRef: return evalVarRef(e);
+    case ExprKind::kFieldAccess: return evalFieldAccess(e);
+    case ExprKind::kArrayIndex: return evalArrayIndex(e);
+    case ExprKind::kBinary: return evalBinary(e);
+    case ExprKind::kUnary: return evalUnary(e);
+    case ExprKind::kAssign: return evalAssign(e);
+    case ExprKind::kTernary: return evalTernary(e);
+    case ExprKind::kCall: return evalCall(e);
+    case ExprKind::kNew: return evalNew(e);
+    case ExprKind::kNewArray: return evalNewArray(e);
+    case ExprKind::kCast: return evalCast(e);
+  }
+  throw Error("unhandled expression kind");
+}
+
+Value Interpreter::evalVarRef(const Expr& e) {
+  if (e.strValue == "this") {
+    charge(Op::kLocalAccess);
+    return frames_.back().thisValue;
+  }
+  if (Value* local = findLocal(e.strValue)) {
+    charge(Op::kLocalAccess);
+    return *local;
+  }
+  const Frame& frame = frames_.back();
+  // Instance field of `this`.
+  if (frame.thisValue.isRef()) {
+    HeapObject& self = heap_.get(frame.thisValue.asRef());
+    const auto it = self.fields.find(e.strValue);
+    if (it != self.fields.end()) {
+      charge(Op::kFieldAccess);
+      return it->second;
+    }
+  }
+  // Static field of the current class.
+  if (frame.cls != nullptr) {
+    if (Value* st = findStatic(frame.cls->name, e.strValue)) {
+      charge(Op::kStaticAccess);
+      return *st;
+    }
+  }
+  throw VmError("undefined name '" + e.strValue + "' at line " +
+                std::to_string(e.line));
+}
+
+Value Interpreter::evalFieldAccess(const Expr& e) {
+  // Class.staticField
+  if (e.a->kind == ExprKind::kVarRef && findLocal(e.a->strValue) == nullptr &&
+      isClassName(e.a->strValue)) {
+    const std::string& className = e.a->strValue;
+    Value builtin;
+    if (builtins_.staticField(className, e.strValue, &builtin)) {
+      return builtin;
+    }
+    if (Value* st = findStatic(className, e.strValue)) {
+      charge(Op::kStaticAccess);
+      return *st;
+    }
+    throw VmError("unknown static field " + className + "." + e.strValue +
+                  " at line " + std::to_string(e.line));
+  }
+
+  Value obj = eval(*e.a);
+  if (obj.isNull()) {
+    throwJava("NullPointerException",
+              "field '" + e.strValue + "' on null at line " +
+                  std::to_string(e.line));
+  }
+  HeapObject& ho = heap_.get(obj.asRef());
+  if (ho.kind == ObjKind::kArray && e.strValue == "length") {
+    charge(Op::kFieldAccess);
+    return Value::ofInt(static_cast<std::int64_t>(ho.elems.size()));
+  }
+  if ((ho.kind == ObjKind::kString || ho.kind == ObjKind::kBuilder) &&
+      e.strValue == "length") {
+    // length is a method on String; guide users with a precise error.
+    throw VmError("use length() on strings, at line " +
+                  std::to_string(e.line));
+  }
+  if (ho.kind == ObjKind::kObject) {
+    const auto it = ho.fields.find(e.strValue);
+    if (it != ho.fields.end()) {
+      charge(Op::kFieldAccess);
+      return it->second;
+    }
+  }
+  throw VmError("unknown field '" + e.strValue + "' at line " +
+                std::to_string(e.line));
+}
+
+void Interpreter::chargeRowLoad(Ref array, std::int64_t index,
+                                bool loadedRowIsArray) {
+  if (!loadedRowIsArray) {
+    charge(Op::kArrayAccess);
+    return;
+  }
+  // Loading a row object of a 2-D array: consecutive hits on the same row
+  // stay in the row cache; column-major traversal misses every time.
+  if (array == lastRowArray_ && index == lastRowIndex_) {
+    charge(Op::kArrayAccess);
+  } else {
+    charge(Op::kArrayRowLoad);
+  }
+  lastRowArray_ = array;
+  lastRowIndex_ = index;
+}
+
+Value Interpreter::evalArrayIndex(const Expr& e) {
+  Value arr = eval(*e.a);
+  if (arr.isNull()) {
+    throwJava("NullPointerException",
+              "array access on null at line " + std::to_string(e.line));
+  }
+  const std::int64_t idx = eval(*e.b).asInt();
+  HeapObject& ho = heap_.get(arr.asRef());
+  JEPO_REQUIRE(ho.kind == ObjKind::kArray, "indexing a non-array");
+  if (idx < 0 || static_cast<std::size_t>(idx) >= ho.elems.size()) {
+    throwJava("ArrayIndexOutOfBoundsException",
+              "index " + std::to_string(idx) + " length " +
+                  std::to_string(ho.elems.size()) + " at line " +
+                  std::to_string(e.line));
+  }
+  const Value v = ho.elems[static_cast<std::size_t>(idx)];
+  const bool rowIsArray =
+      v.isRef() && heap_.get(v.asRef()).kind == ObjKind::kArray;
+  chargeRowLoad(arr.asRef(), idx, rowIsArray);
+  return v;
+}
+
+Value Interpreter::unboxIfNeeded(Value v) { return builtins_.unboxIfNeeded(v); }
+
+Value Interpreter::arith(BinOp op, Value a, Value b, int line) {
+  return applyBinary(op, a, b, heap_, builtins_, *machine_, line);
+}
+
+Value Interpreter::compare(BinOp op, Value a, Value b) {
+  return applyBinary(op, a, b, heap_, builtins_, *machine_, 0);
+}
+
+
+Value Interpreter::evalBinary(const Expr& e) {
+  const BinOp op = e.binOp;
+  if (op == BinOp::kAndAnd || op == BinOp::kOrOr) {
+    charge(Op::kBranch);
+    const bool lhs = eval(*e.a).asBool();
+    if (op == BinOp::kAndAnd && !lhs) return Value::ofBool(false);
+    if (op == BinOp::kOrOr && lhs) return Value::ofBool(true);
+    return Value::ofBool(eval(*e.b).asBool());
+  }
+  Value a = eval(*e.a);
+  Value b = eval(*e.b);
+  return applyBinary(op, a, b, heap_, builtins_, *machine_, e.line);
+}
+
+
+Value Interpreter::evalUnary(const Expr& e) {
+  switch (e.unOp) {
+    case UnOp::kNeg:
+      return applyUnaryNeg(eval(*e.a), builtins_, *machine_);
+    case UnOp::kNot:
+      return applyUnaryNot(eval(*e.a), *machine_);
+    case UnOp::kBitNot:
+      return applyUnaryBitNot(eval(*e.a), builtins_, *machine_);
+    case UnOp::kPreInc:
+    case UnOp::kPreDec:
+    case UnOp::kPostInc:
+    case UnOp::kPostDec: {
+      const bool inc = e.unOp == UnOp::kPreInc || e.unOp == UnOp::kPostInc;
+      const bool pre = e.unOp == UnOp::kPreInc || e.unOp == UnOp::kPreDec;
+      const Value oldV = eval(*e.a);
+      Value one = Value::ofInt(1);
+      Value newV = arith(inc ? BinOp::kAdd : BinOp::kSub, oldV, one, e.line);
+      newV = coerceToKind(newV, oldV.kind, e.line);
+      storeTo(*e.a, newV);
+      return pre ? newV : oldV;
+    }
+  }
+  throw Error("unhandled unary operator");
+}
+
+Value Interpreter::evalAssign(const Expr& e) {
+  Value v;
+  if (e.assignOp == AssignOp::kSet) {
+    v = eval(*e.b);
+  } else {
+    const Value current = eval(*e.a);
+    const Value rhs = eval(*e.b);
+    BinOp op;
+    switch (e.assignOp) {
+      case AssignOp::kAdd: op = BinOp::kAdd; break;
+      case AssignOp::kSub: op = BinOp::kSub; break;
+      case AssignOp::kMul: op = BinOp::kMul; break;
+      case AssignOp::kDiv: op = BinOp::kDiv; break;
+      case AssignOp::kMod: op = BinOp::kMod; break;
+      default: throw Error("bad compound assignment");
+    }
+    v = applyBinary(op, current, rhs, heap_, builtins_, *machine_, e.line);
+    if (v.isNumeric() && current.isNumeric()) {
+      v = coerceToKind(v, current.kind, e.line);  // compound assigns narrow
+    }
+  }
+  storeTo(*e.a, v);
+  return v;
+}
+
+void Interpreter::storeTo(const Expr& target, Value v) {
+  switch (target.kind) {
+    case ExprKind::kVarRef: {
+      if (Value* local = findLocal(target.strValue)) {
+        charge(Op::kLocalAccess);
+        if (local->isNumeric() && v.isNumeric()) {
+          v = coerceToKind(v, local->kind, target.line);
+        }
+        *local = v;
+        return;
+      }
+      Frame& frame = frames_.back();
+      if (frame.thisValue.isRef()) {
+        HeapObject& self = heap_.get(frame.thisValue.asRef());
+        const auto it = self.fields.find(target.strValue);
+        if (it != self.fields.end()) {
+          charge(Op::kFieldAccess);
+          if (it->second.isNumeric() && v.isNumeric()) {
+            v = coerceToKind(v, it->second.kind, target.line);
+          }
+          it->second = v;
+          return;
+        }
+      }
+      if (frame.cls != nullptr) {
+        if (Value* st = findStatic(frame.cls->name, target.strValue)) {
+          charge(Op::kStaticAccess);
+          if (st->isNumeric() && v.isNumeric()) {
+            v = coerceToKind(v, st->kind, target.line);
+          }
+          *st = v;
+          return;
+        }
+      }
+      throw VmError("assignment to undefined name '" + target.strValue +
+                    "' at line " + std::to_string(target.line));
+    }
+
+    case ExprKind::kFieldAccess: {
+      // Class.staticField = v
+      if (target.a->kind == ExprKind::kVarRef &&
+          findLocal(target.a->strValue) == nullptr &&
+          isClassName(target.a->strValue)) {
+        if (Value* st = findStatic(target.a->strValue, target.strValue)) {
+          charge(Op::kStaticAccess);
+          if (st->isNumeric() && v.isNumeric()) {
+            v = coerceToKind(v, st->kind, target.line);
+          }
+          *st = v;
+          return;
+        }
+        throw VmError("unknown static field " + target.a->strValue + "." +
+                      target.strValue);
+      }
+      Value obj = eval(*target.a);
+      if (obj.isNull()) {
+        throwJava("NullPointerException", "store to field of null");
+      }
+      HeapObject& ho = heap_.get(obj.asRef());
+      JEPO_REQUIRE(ho.kind == ObjKind::kObject, "field store on non-object");
+      const auto it = ho.fields.find(target.strValue);
+      if (it == ho.fields.end()) {
+        throw VmError("unknown field '" + target.strValue + "'");
+      }
+      charge(Op::kFieldAccess);
+      if (it->second.isNumeric() && v.isNumeric()) {
+        v = coerceToKind(v, it->second.kind, target.line);
+      }
+      it->second = v;
+      return;
+    }
+
+    case ExprKind::kArrayIndex: {
+      Value arr = eval(*target.a);
+      if (arr.isNull()) {
+        throwJava("NullPointerException", "store to null array");
+      }
+      const std::int64_t idx = eval(*target.b).asInt();
+      HeapObject& ho = heap_.get(arr.asRef());
+      JEPO_REQUIRE(ho.kind == ObjKind::kArray, "indexing a non-array");
+      if (idx < 0 || static_cast<std::size_t>(idx) >= ho.elems.size()) {
+        throwJava("ArrayIndexOutOfBoundsException",
+                  "store index " + std::to_string(idx) + " length " +
+                      std::to_string(ho.elems.size()));
+      }
+      charge(Op::kArrayAccess);
+      if (v.isNumeric() && ho.elemKind != ValKind::kRef &&
+          ho.elemKind != ValKind::kNull) {
+        v = coerceToKind(v, ho.elemKind, target.line);
+      }
+      ho.elems[static_cast<std::size_t>(idx)] = v;
+      return;
+    }
+
+    default:
+      throw VmError("invalid assignment target at line " +
+                    std::to_string(target.line));
+  }
+}
+
+Value Interpreter::evalTernary(const Expr& e) {
+  charge(Op::kTernary);
+  return eval(*e.a).asBool() ? eval(*e.b) : eval(*e.c);
+}
+
+Value Interpreter::evalNew(const Expr& e) {
+  std::vector<Value> args;
+  args.reserve(e.args.size());
+  for (const auto& a : e.args) args.push_back(eval(*a));
+  return construct(e.strValue, std::move(args), e.line);
+}
+
+Value Interpreter::evalNewArray(const Expr& e) {
+  std::vector<std::int64_t> dims;
+  dims.reserve(e.args.size());
+  for (const auto& d : e.args) {
+    const std::int64_t n = eval(*d).asInt();
+    if (n < 0) throwJava("NegativeArraySizeException", std::to_string(n));
+    dims.push_back(n);
+  }
+  JEPO_REQUIRE(!dims.empty(), "array allocation needs a dimension");
+
+  const ValKind leafKind = kindOfType(e.type);
+  // Recursive allocation: outer levels hold refs, the innermost holds the
+  // element kind.
+  auto alloc = [&](auto&& self, std::size_t level) -> Ref {
+    const bool innermost = level + 1 == dims.size();
+    const ValKind ek = innermost && e.type.arrayDims == 0 ? leafKind
+                                                          : ValKind::kRef;
+    const auto n = static_cast<std::size_t>(dims[level]);
+    charge(Op::kAllocObject);
+    charge(Op::kAllocArrayPerElem, n);
+    const Ref r = heap_.allocArray(n, ek);
+    if (!innermost) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Ref child = self(self, level + 1);
+        heap_.get(r).elems[i] = Value::ofRef(child);
+      }
+    }
+    return r;
+  };
+  return Value::ofRef(alloc(alloc, 0));
+}
+
+Value Interpreter::coerceToKind(Value v, ValKind k, int line) {
+  return ::jepo::jvm::coerceToKind(v, k, builtins_, line);
+}
+
+Value Interpreter::evalCast(const Expr& e) {
+  Value v = eval(*e.a);
+  if (e.type.prim == Prim::kClass || e.type.arrayDims > 0) {
+    return v;  // reference casts are identity in MiniJava
+  }
+  const ValKind k = kindOfType(e.type);
+  switch (k) {
+    case ValKind::kLong: charge(Op::kLongAlu); break;
+    case ValKind::kFloat: charge(Op::kFloatAlu); break;
+    case ValKind::kDouble: charge(Op::kDoubleAlu); break;
+    case ValKind::kByte:
+    case ValKind::kShort: charge(Op::kByteShortAlu); break;
+    default: charge(Op::kIntAlu); break;
+  }
+  return coerceToKind(v, k, e.line);
+}
+
+
+// ---------------------------------------------------------------------------
+// Calls
+
+std::vector<Value> Interpreter::evalArgs(const Expr& call) {
+  std::vector<Value> args;
+  args.reserve(call.args.size());
+  for (const auto& a : call.args) args.push_back(eval(*a));
+  return args;
+}
+
+Value Interpreter::evalCall(const Expr& e) {
+  // System.out.println / print — match the receiver shape first.
+  if (e.a && e.a->kind == ExprKind::kFieldAccess && e.a->strValue == "out" &&
+      e.a->a && e.a->a->kind == ExprKind::kVarRef &&
+      e.a->a->strValue == "System" &&
+      (e.strValue == "println" || e.strValue == "print")) {
+    if (e.args.empty()) {
+      builtins_.print(nullptr, e.strValue == "println");
+    } else {
+      const Value v = eval(*e.args.at(0));
+      builtins_.print(&v, e.strValue == "println");
+    }
+    return Value::null();
+  }
+
+  // Static calls: ClassName.method(...).
+  if (e.a && e.a->kind == ExprKind::kVarRef &&
+      findLocal(e.a->strValue) == nullptr && isClassName(e.a->strValue)) {
+    const std::string& className = e.a->strValue;
+    if (BuiltinLibrary::isBuiltinClassName(className)) {
+      std::vector<Value> args = evalArgs(e);
+      Value result;
+      if (builtins_.staticCall(className, e.strValue, args, &result)) {
+        return result;
+      }
+      throw VmError("unknown method " + className + "." + e.strValue +
+                    " at line " + std::to_string(e.line));
+    }
+    const jlang::ClassDecl* cls = program_->findClass(className);
+    JEPO_ASSERT(cls != nullptr);
+    const jlang::MethodDecl* m = cls->findMethod(e.strValue);
+    if (m == nullptr) {
+      throw VmError("unknown method " + className + "." + e.strValue +
+                    " at line " + std::to_string(e.line));
+    }
+    ensureClassInit(className);
+    std::vector<Value> args = evalArgs(e);
+    charge(Op::kCall);
+    return invoke(*cls, *m, Value::null(), std::move(args));
+  }
+
+  // Unqualified call: method of the current class.
+  if (!e.a) {
+    const Frame& frame = frames_.back();
+    JEPO_REQUIRE(frame.cls != nullptr, "call outside any class");
+    const jlang::MethodDecl* m = frame.cls->findMethod(e.strValue);
+    if (m == nullptr) {
+      throw VmError("unknown method " + e.strValue + " at line " +
+                    std::to_string(e.line));
+    }
+    std::vector<Value> args = evalArgs(e);
+    charge(Op::kCall);
+    const Value self = m->isStatic ? Value::null() : frame.thisValue;
+    return invoke(*frame.cls, *m, self, std::move(args));
+  }
+
+  // Instance call.
+  Value receiver = eval(*e.a);
+  if (receiver.isNull()) {
+    throwJava("NullPointerException",
+              "call '" + e.strValue + "' on null at line " +
+                  std::to_string(e.line));
+  }
+  std::vector<Value> args = evalArgs(e);
+  Value builtinResult;
+  if (builtins_.instanceCall(receiver, e.strValue, args, &builtinResult)) {
+    return builtinResult;
+  }
+  const HeapObject& obj = heap_.get(receiver.asRef());
+  JEPO_REQUIRE(obj.kind == ObjKind::kObject, "method call on non-object");
+  const jlang::ClassDecl* cls = program_->findClass(obj.className);
+  if (cls == nullptr) {
+    throw VmError("method call on unknown class " + obj.className);
+  }
+  const jlang::MethodDecl* m = cls->findMethod(e.strValue);
+  if (m == nullptr) {
+    throw VmError("unknown method " + obj.className + "." + e.strValue +
+                  " at line " + std::to_string(e.line));
+  }
+  charge(Op::kCall);
+  return invoke(*cls, *m, receiver, std::move(args));
+}
+
+}  // namespace jepo::jvm

@@ -1,0 +1,172 @@
+// Tree-walking interpreter for MiniJava with energy accounting.
+//
+// Every evaluated node charges the SimMachine's meter with the Ops of
+// DESIGN.md's taxonomy — this is how "running the refactored WEKA and
+// re-measuring with RAPL" is reproduced: the VM literally executes both
+// versions and the energy difference is read back through the simulated
+// MSRs. A row-cache on 2-D array access makes column-major traversal
+// expensive *emergently* rather than by pattern-matching the source.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "energy/machine.hpp"
+#include "jlang/ast.hpp"
+#include "jvm/builtins.hpp"
+#include "jvm/heap.hpp"
+#include "jvm/value.hpp"
+
+namespace jepo::jvm {
+
+/// A Java exception in flight (propagated as a C++ exception).
+struct Thrown {
+  Value exception;  // ref to a heap object whose className names the type
+};
+
+/// Method entry/exit callbacks — the seam where the Instrumenter injects
+/// the RAPL-reading profiler (the analog of JEPO's Javassist bytecode).
+class MethodHooks {
+ public:
+  virtual ~MethodHooks() = default;
+  virtual void onEnter(const std::string& qualifiedName) = 0;
+  virtual void onExit(const std::string& qualifiedName) = 0;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const jlang::Program& program, energy::SimMachine& machine);
+  /// The interpreter keeps a pointer to the program; a temporary would
+  /// dangle before the first run.
+  Interpreter(jlang::Program&&, energy::SimMachine&) = delete;
+
+  /// Install (or clear, with nullptr) method hooks. Not owned.
+  void setHooks(MethodHooks* hooks) { hooks_ = hooks; }
+
+  /// Abort with VmError once this many statements/expressions have executed
+  /// (runaway-loop guard for tests). 0 disables the limit.
+  void setMaxSteps(std::uint64_t maxSteps) { maxSteps_ = maxSteps; }
+
+  /// Run `static void main(String[] args)`. If mainClass is empty the
+  /// program must contain exactly one main class (JEPO prompts the user
+  /// otherwise; the API surfaces that as an error listing the candidates).
+  Value runMain(std::string_view mainClass = {});
+
+  /// Call a static method directly (test/bench entry point).
+  Value callStatic(std::string_view className, std::string_view methodName,
+                   std::vector<Value> args);
+
+  /// Everything println'd so far.
+  const std::string& output() const noexcept { return out_; }
+
+  Heap& heap() noexcept { return heap_; }
+  energy::SimMachine& machine() noexcept { return *machine_; }
+
+  /// Allocate a VM string (for building argument lists in tests).
+  Value makeString(std::string s) {
+    return Value::ofRef(heap_.allocString(std::move(s)));
+  }
+
+  /// Human-readable rendering used by println and by tests.
+  std::string display(const Value& v) const { return builtins_.display(v); }
+
+ private:
+  struct Frame {
+    const jlang::ClassDecl* cls = nullptr;
+    Value thisValue;  // null for static frames
+    // Block-structured scopes; lookup walks innermost-out.
+    std::vector<std::vector<std::pair<std::string, Value>>> scopes;
+  };
+
+  enum class Flow { kNormal, kBreak, kContinue, kReturn };
+
+  // Statement execution.
+  Flow execStmt(const jlang::Stmt& s);
+  Flow execBlock(const jlang::Stmt& s);
+
+  // Expression evaluation.
+  Value eval(const jlang::Expr& e);
+  Value evalBinary(const jlang::Expr& e);
+  Value evalUnary(const jlang::Expr& e);
+  Value evalAssign(const jlang::Expr& e);
+  Value evalTernary(const jlang::Expr& e);
+  Value evalCall(const jlang::Expr& e);
+  Value evalNew(const jlang::Expr& e);
+  Value evalNewArray(const jlang::Expr& e);
+  Value evalCast(const jlang::Expr& e);
+  Value evalVarRef(const jlang::Expr& e);
+  Value evalFieldAccess(const jlang::Expr& e);
+  Value evalArrayIndex(const jlang::Expr& e);
+
+  // Lvalue stores (shared by assignment and ++/--).
+  void storeTo(const jlang::Expr& target, Value v);
+
+  // Arithmetic with Java promotion rules + energy charging.
+  Value arith(jlang::BinOp op, Value a, Value b, int line);
+  Value compare(jlang::BinOp op, Value a, Value b);
+  Value unboxIfNeeded(Value v);
+
+  // Method machinery.
+  Value invoke(const jlang::ClassDecl& cls, const jlang::MethodDecl& m,
+               Value thisValue, std::vector<Value> args);
+  Value construct(const std::string& className, std::vector<Value> args,
+                  int line);
+
+  // Class-name/static resolution.
+  bool isClassName(const std::string& name) const;
+  void ensureClassInit(const std::string& className);
+  Value* findStatic(const std::string& className, const std::string& field);
+
+  std::vector<Value> evalArgs(const jlang::Expr& call);
+
+  // Locals.
+  void declareLocal(const std::string& name, Value v);
+  Value* findLocal(const std::string& name);
+
+  // Exceptions raised by the VM itself (NPE, /0, bounds).
+  [[noreturn]] void throwJava(const std::string& className,
+                              const std::string& message);
+
+  // Array row-cache (column-traversal penalty; see DESIGN.md §5.1).
+  void chargeRowLoad(Ref array, std::int64_t index, bool loadedRowIsArray);
+
+  // Value coercions.
+  Value coerceToKind(Value v, ValKind k, int line);
+  static ValKind kindOfType(const jlang::TypeRef& t);
+
+  void step();
+  void charge(energy::Op op, std::uint64_t n = 1) {
+    machine_->charge(op, n);
+  }
+
+  const std::string& stringAt(Ref r) const;
+
+  const jlang::Program* program_;
+  energy::SimMachine* machine_;
+  Heap heap_;
+  std::string out_;  // declared before builtins_, which holds a reference
+  BuiltinLibrary builtins_;
+  MethodHooks* hooks_ = nullptr;
+
+  std::deque<Frame> frames_;
+  Value returnValue_;
+
+  std::unordered_map<std::string, Value> statics_;  // "Class.field"
+  std::unordered_set<std::string> initializedClasses_;
+  std::unordered_map<std::string, Ref> stringPool_;  // interned literals
+
+  std::uint64_t steps_ = 0;
+  std::uint64_t maxSteps_ = 0;
+
+  // Row cache for the 2-D locality model.
+  Ref lastRowArray_ = 0xFFFFFFFF;
+  std::int64_t lastRowIndex_ = -1;
+
+  static constexpr std::size_t kMaxFrames = 512;
+};
+
+}  // namespace jepo::jvm

@@ -1,0 +1,41 @@
+// Value-level operator semantics shared by the tree-walking Interpreter and
+// the bytecode VM: Java numeric promotion, exact integer widths, string
+// concatenation, reference equality — with identical energy charging, so
+// the two engines agree instruction-for-instruction on arithmetic.
+#pragma once
+
+#include "energy/machine.hpp"
+#include "jlang/ast.hpp"
+#include "jvm/builtins.hpp"
+#include "jvm/heap.hpp"
+#include "jvm/value.hpp"
+
+namespace jepo::jvm {
+
+/// Java binary numeric promotion.
+ValKind promoteKinds(ValKind a, ValKind b) noexcept;
+
+/// Wrap an integral value to a kind's width (int -> int32, char -> u16...).
+std::int64_t wrapToKind(std::int64_t v, ValKind k) noexcept;
+
+/// Numeric/char/bool conversion to a target kind (unboxes via the library).
+Value coerceToKind(Value v, ValKind k, BuiltinLibrary& lib, int line);
+
+/// The ValKind a declared TypeRef stores as.
+ValKind kindOfType(const jlang::TypeRef& t) noexcept;
+
+/// Apply a non-short-circuit binary operator: arithmetic, comparison,
+/// bitwise, string concatenation, reference/boolean (in)equality. Charges
+/// the machine exactly as the operator costs; throws Thrown for / by zero.
+Value applyBinary(jlang::BinOp op, Value a, Value b, Heap& heap,
+                  BuiltinLibrary& lib, energy::SimMachine& machine,
+                  int line);
+
+/// Apply -, !, ~ (charged).
+Value applyUnaryNeg(Value v, BuiltinLibrary& lib,
+                    energy::SimMachine& machine);
+Value applyUnaryNot(Value v, energy::SimMachine& machine);
+Value applyUnaryBitNot(Value v, BuiltinLibrary& lib,
+                       energy::SimMachine& machine);
+
+}  // namespace jepo::jvm

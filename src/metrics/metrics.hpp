@@ -1,0 +1,26 @@
+// Code metrics over MiniJava projects — the five columns of paper Table II
+// (collected there with the Eclipse Metrics plug-in and the Class
+// Dependency Analyzer).
+#pragma once
+
+#include <cstddef>
+
+#include "jlang/ast.hpp"
+
+namespace jepo::metrics {
+
+struct CodeMetrics {
+  std::size_t dependencies = 0;  // classes in the dependency closure
+  std::size_t attributes = 0;    // field declarations
+  std::size_t methods = 0;       // method declarations (ctors included)
+  std::size_t packages = 0;      // distinct package names
+  std::size_t loc = 0;           // physical lines of canonical source
+};
+
+/// Compute the Table II metrics for a project. `dependencies` counts the
+/// distinct classes in the project's dependency closure: every declared
+/// class plus every imported class name (CDA's notion of the closure for a
+/// self-contained project).
+CodeMetrics computeMetrics(const jlang::Program& program);
+
+}  // namespace jepo::metrics

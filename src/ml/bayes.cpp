@@ -1,0 +1,144 @@
+#include "ml/bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jepo::ml {
+
+template <typename Real>
+void NaiveBayes<Real>::train(const Instances& data) {
+  const std::size_t n = data.numInstances();
+  JEPO_REQUIRE(n > 0, "empty training set");
+  numClasses_ = data.numClasses();
+  featureIdx_ = data.featureIndices();
+  const std::size_t f = featureIdx_.size();
+
+  isNominal_.assign(data.numAttributes(), false);
+  for (std::size_t a = 0; a < data.numAttributes(); ++a) {
+    isNominal_[a] = data.attribute(a).isNominal();
+  }
+
+  std::vector<Real> classCounts(numClasses_, Real(0));
+  gaussians_.assign(numClasses_, std::vector<Gaussian>(data.numAttributes()));
+  nominalLogProb_.assign(
+      numClasses_, std::vector<std::vector<Real>>(data.numAttributes()));
+
+  // First pass: sums for means + nominal counts.
+  std::vector<std::vector<Real>> sums(numClasses_,
+                                      std::vector<Real>(data.numAttributes(),
+                                                        Real(0)));
+  std::vector<std::vector<std::vector<Real>>> counts(
+      numClasses_, std::vector<std::vector<Real>>(data.numAttributes()));
+  for (std::size_t c = 0; c < numClasses_; ++c) {
+    for (std::size_t a : featureIdx_) {
+      if (isNominal_[a]) {
+        counts[c][a].assign(data.attribute(a).numLabels(), Real(1));  // Laplace
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(data.classValue(i));
+    classCounts[c] += Real(1);
+    rt_->counterOps(1);
+    for (std::size_t a : featureIdx_) {
+      const double v = data.value(i, a);
+      if (isNominal_[a]) {
+        counts[c][a][static_cast<std::size_t>(v)] += Real(1);
+        rt_->buckets(1);
+        rt_->keyCompare(6);
+      } else {
+        sums[c][a] += Real(v);
+        rt_->flops(1);
+      }
+      rt_->arrayOps(1);
+    }
+    rt_->loopIters(f);
+  }
+
+  // Second pass: variance.
+  std::vector<std::vector<Real>> sq(numClasses_,
+                                    std::vector<Real>(data.numAttributes(),
+                                                      Real(0)));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = static_cast<std::size_t>(data.classValue(i));
+    for (std::size_t a : featureIdx_) {
+      if (isNominal_[a]) continue;
+      const Real mean = sums[c][a] / std::max(Real(1), classCounts[c]);
+      const Real d = Real(data.value(i, a)) - mean;
+      sq[c][a] += d * d;
+      rt_->flops(3);
+      rt_->arrayOps(1);
+    }
+    rt_->loopIters(f);
+  }
+
+  classPrior_.assign(numClasses_, Real(0));
+  for (std::size_t c = 0; c < numClasses_; ++c) {
+    classPrior_[c] =
+        Real(std::log(static_cast<double>((classCounts[c] + Real(1)) /
+                                          (Real(n) + Real(numClasses_)))));
+    rt_->mathCalls(1);
+    for (std::size_t a : featureIdx_) {
+      if (isNominal_[a]) {
+        auto& row = counts[c][a];
+        Real total = Real(0);
+        for (Real v : row) total += v;
+        nominalLogProb_[c][a].resize(row.size());
+        for (std::size_t l = 0; l < row.size(); ++l) {
+          nominalLogProb_[c][a][l] =
+              Real(std::log(static_cast<double>(row[l] / total)));
+        }
+        rt_->mathCalls(row.size());
+        rt_->matrixSweep(1, row.size());
+      } else {
+        const Real cnt = std::max(Real(2), classCounts[c]);
+        Gaussian g;
+        g.mean = sums[c][a] / cnt;
+        g.stddev = Real(std::sqrt(
+            std::max(1e-6, static_cast<double>(sq[c][a] / (cnt - Real(1))))));
+        gaussians_[c][a] = g;
+        rt_->mathCalls(1);
+        rt_->flops(3);
+      }
+    }
+  }
+}
+
+template <typename Real>
+int NaiveBayes<Real>::predict(const std::vector<double>& row) const {
+  JEPO_REQUIRE(numClasses_ > 0, "predict before train");
+  Real bestScore = Real(-1e30);
+  int best = 0;
+  for (std::size_t c = 0; c < numClasses_; ++c) {
+    Real score = classPrior_[c];
+    for (std::size_t a : featureIdx_) {
+      const double v = row.at(a);
+      if (isNominal_[a]) {
+        const auto& probs = nominalLogProb_[c][a];
+        const auto lbl = static_cast<std::size_t>(v);
+        score += lbl < probs.size() ? probs[lbl] : Real(-10);
+        rt_->buckets(1);
+        rt_->arrayOps(1);
+      } else {
+        const Gaussian& g = gaussians_[c][a];
+        const Real d = (Real(v) - g.mean) / g.stddev;
+        score += Real(-0.5) * d * d -
+                 Real(std::log(static_cast<double>(g.stddev)));
+        rt_->flops(5);
+        rt_->mathCalls(1);
+      }
+    }
+    rt_->selections(1);
+    if (score > bestScore) {
+      bestScore = score;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+template class NaiveBayes<float>;
+template class NaiveBayes<double>;
+
+}  // namespace jepo::ml

@@ -1,0 +1,38 @@
+// Naive Bayes: Gaussian likelihoods for numeric attributes, Laplace-
+// smoothed frequency tables for nominal ones.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace jepo::ml {
+
+template <typename Real>
+class NaiveBayes final : public Classifier {
+ public:
+  explicit NaiveBayes(MlRuntime& runtime) : rt_(&runtime) {}
+
+  void train(const Instances& data) override;
+  int predict(const std::vector<double>& row) const override;
+  std::string name() const override { return "NaiveBayes"; }
+
+ private:
+  struct Gaussian {
+    Real mean = Real(0);
+    Real stddev = Real(1);
+  };
+
+  MlRuntime* rt_;
+  std::size_t numClasses_ = 0;
+  std::vector<Real> classPrior_;
+  // Per (class, attribute): Gaussian for numeric attributes.
+  std::vector<std::vector<Gaussian>> gaussians_;
+  // Per (class, attribute): label -> smoothed log-probability.
+  std::vector<std::vector<std::vector<Real>>> nominalLogProb_;
+  std::vector<std::size_t> featureIdx_;
+  std::vector<bool> isNominal_;
+};
+
+extern template class NaiveBayes<float>;
+extern template class NaiveBayes<double>;
+
+}  // namespace jepo::ml

@@ -1,0 +1,56 @@
+// Classifier interface, the ten kinds of Tables II/IV, and the factory.
+//
+// Every classifier is implemented twice via a Real template parameter
+// (float/double, explicit instantiations in the .cpp files): the paper's
+// double→float refactoring is reproduced by actually training in binary32
+// and measuring the real accuracy drop, not by assuming one.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ml/codestyle.hpp"
+#include "ml/dataset.hpp"
+
+namespace jepo::ml {
+
+enum class ClassifierKind : int {
+  kJ48 = 0,
+  kRandomTree,
+  kRandomForest,
+  kRepTree,
+  kNaiveBayes,
+  kLogistic,
+  kSmo,
+  kSgd,
+  kKStar,
+  kIbk,
+};
+inline constexpr int kClassifierKindCount = 10;
+
+std::string_view classifierName(ClassifierKind kind) noexcept;
+
+enum class Precision : int { kDouble, kFloat };
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Train on the dataset (charges the runtime's machine).
+  virtual void train(const Instances& data) = 0;
+
+  /// Predicted class label index for a row with the training schema.
+  virtual int predict(const std::vector<double>& row) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Construct a classifier. `runtime` must outlive the classifier; `seed`
+/// drives every stochastic choice (random trees, bagging, SGD order).
+std::unique_ptr<Classifier> makeClassifier(ClassifierKind kind,
+                                           Precision precision,
+                                           MlRuntime& runtime,
+                                           std::uint64_t seed);
+
+}  // namespace jepo::ml

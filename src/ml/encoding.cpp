@@ -1,0 +1,43 @@
+#include "ml/encoding.hpp"
+
+#include <algorithm>
+
+namespace jepo::ml {
+
+void SparseEncoder::fit(const Instances& data) {
+  featureIdx_ = data.featureIndices();
+  ranges_ = data.numericRanges();
+  isNominal_.assign(data.numAttributes(), false);
+  base_.assign(data.numAttributes(), 0);
+  std::size_t next = 0;
+  for (std::size_t a : featureIdx_) {
+    isNominal_[a] = data.attribute(a).isNominal();
+    base_[a] = next;
+    next += isNominal_[a] ? data.attribute(a).numLabels() : 1;
+  }
+  numFeatures_ = next + 1;  // + bias
+}
+
+std::vector<SparseEncoder::Entry> SparseEncoder::encode(
+    const std::vector<double>& row, MlRuntime& rt) const {
+  std::vector<Entry> out;
+  out.reserve(featureIdx_.size() + 1);
+  for (std::size_t a : featureIdx_) {
+    const double v = row.at(a);
+    if (isNominal_[a]) {
+      out.push_back(Entry{base_[a] + static_cast<std::size_t>(v), 1.0});
+      rt.buckets(1);  // label -> indicator slot
+    } else {
+      const auto& r = ranges_[a];
+      const double span = r.max - r.min;
+      const double norm = span > 0.0 ? (v - r.min) / span : 0.0;
+      out.push_back(Entry{base_[a], norm});
+      rt.flops(2);
+    }
+    rt.arrayOps(1);
+  }
+  out.push_back(Entry{numFeatures_ - 1, 1.0});  // bias
+  return out;
+}
+
+}  // namespace jepo::ml

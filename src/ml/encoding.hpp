@@ -1,0 +1,41 @@
+// Sparse one-hot feature encoding for the linear-model family (Logistic,
+// SGD, SMO): nominal attributes expand into indicator features, numeric
+// attributes are min-max normalized. Each encoded instance has exactly one
+// active feature per attribute plus a bias term, so dot products cost
+// O(#attributes), not O(#features) — WEKA's filters do the same.
+#pragma once
+
+#include <vector>
+
+#include "ml/codestyle.hpp"
+#include "ml/dataset.hpp"
+
+namespace jepo::ml {
+
+class SparseEncoder {
+ public:
+  /// Build the feature map from a training schema + ranges.
+  void fit(const Instances& data);
+
+  /// Total feature count, including the trailing bias feature.
+  std::size_t numFeatures() const noexcept { return numFeatures_; }
+
+  struct Entry {
+    std::size_t index;
+    double value;
+  };
+
+  /// Encode one row (training-schema order). Appends the bias entry.
+  /// Charges the runtime for the per-attribute work.
+  std::vector<Entry> encode(const std::vector<double>& row,
+                            MlRuntime& rt) const;
+
+ private:
+  std::vector<std::size_t> featureIdx_;
+  std::vector<bool> isNominal_;
+  std::vector<std::size_t> base_;  // feature index base per attribute
+  std::vector<Instances::NumericRange> ranges_;
+  std::size_t numFeatures_ = 0;
+};
+
+}  // namespace jepo::ml

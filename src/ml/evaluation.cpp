@@ -1,0 +1,30 @@
+#include "ml/evaluation.hpp"
+
+namespace jepo::ml {
+
+double accuracy(Classifier& classifier, const Instances& test) {
+  JEPO_REQUIRE(test.numInstances() > 0, "empty test set");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < test.numInstances(); ++i) {
+    hits += classifier.predict(test.row(i)) == test.classValue(i);
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(test.numInstances());
+}
+
+double crossValidate(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Instances& data, std::size_t folds, Rng& rng) {
+  const auto split = data.stratifiedFolds(folds, rng);
+  double total = 0.0;
+  for (const auto& fold : split) {
+    const Instances train = data.select(fold.train);
+    const Instances test = data.select(fold.test);
+    auto classifier = factory();
+    classifier->train(train);
+    total += accuracy(*classifier, test);
+  }
+  return total / static_cast<double>(folds);
+}
+
+}  // namespace jepo::ml

@@ -1,0 +1,21 @@
+// Evaluation harness: train/test accuracy and the stratified k-fold
+// cross-validation protocol of Section VIII.
+#pragma once
+
+#include <functional>
+
+#include "ml/classifier.hpp"
+
+namespace jepo::ml {
+
+/// Fraction of test rows classified correctly.
+double accuracy(Classifier& classifier, const Instances& test);
+
+/// Stratified k-fold cross-validation. The factory is called once per fold
+/// (fresh classifier each time, as WEKA does); returns mean accuracy over
+/// folds. Charges land on whatever machine the factory's runtime wraps.
+double crossValidate(
+    const std::function<std::unique_ptr<Classifier>()>& factory,
+    const Instances& data, std::size_t folds, Rng& rng);
+
+}  // namespace jepo::ml

@@ -1,0 +1,88 @@
+#include "ml/classifier.hpp"
+
+#include "ml/bayes.hpp"
+#include "ml/forest.hpp"
+#include "ml/lazy.hpp"
+#include "ml/linear.hpp"
+#include "ml/smo.hpp"
+#include "ml/tree.hpp"
+
+namespace jepo::ml {
+
+std::string_view classifierName(ClassifierKind kind) noexcept {
+  switch (kind) {
+    case ClassifierKind::kJ48: return "J48";
+    case ClassifierKind::kRandomTree: return "Random Tree";
+    case ClassifierKind::kRandomForest: return "Random Forest";
+    case ClassifierKind::kRepTree: return "REP Tree";
+    case ClassifierKind::kNaiveBayes: return "Naive Bayes";
+    case ClassifierKind::kLogistic: return "Logistic";
+    case ClassifierKind::kSmo: return "SMO";
+    case ClassifierKind::kSgd: return "SGD";
+    case ClassifierKind::kKStar: return "KStar";
+    case ClassifierKind::kIbk: return "IBk";
+  }
+  return "?";
+}
+
+namespace {
+
+template <typename Real>
+std::unique_ptr<Classifier> makeTyped(ClassifierKind kind, MlRuntime& runtime,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case ClassifierKind::kJ48: {
+      TreeOptions opts;
+      opts.gainRatio = true;
+      opts.pessimisticPrune = true;
+      return std::make_unique<DecisionTree<Real>>(runtime, opts, rng, "J48");
+    }
+    case ClassifierKind::kRandomTree: {
+      TreeOptions opts;
+      opts.gainRatio = false;
+      opts.minLeaf = 1;
+      // WEKA: ceil(log2(F) + 1) random features; computed for 7 features.
+      opts.randomFeatures = 4;
+      return std::make_unique<DecisionTree<Real>>(runtime, opts, rng,
+                                                  "RandomTree");
+    }
+    case ClassifierKind::kRandomForest: {
+      ForestOptions opts;
+      return std::make_unique<RandomForest<Real>>(runtime, opts, rng);
+    }
+    case ClassifierKind::kRepTree: {
+      TreeOptions opts;
+      opts.gainRatio = false;
+      opts.reducedErrorPrune = true;
+      return std::make_unique<DecisionTree<Real>>(runtime, opts, rng,
+                                                  "REPTree");
+    }
+    case ClassifierKind::kNaiveBayes:
+      return std::make_unique<NaiveBayes<Real>>(runtime);
+    case ClassifierKind::kLogistic:
+      return std::make_unique<Logistic<Real>>(runtime, LogisticOptions{});
+    case ClassifierKind::kSmo:
+      return std::make_unique<Smo<Real>>(runtime, SmoOptions{}, rng);
+    case ClassifierKind::kSgd:
+      return std::make_unique<Sgd<Real>>(runtime, SgdOptions{}, rng);
+    case ClassifierKind::kKStar:
+      return std::make_unique<KStar<Real>>(runtime, KStarOptions{});
+    case ClassifierKind::kIbk:
+      return std::make_unique<Ibk<Real>>(runtime, IbkOptions{});
+  }
+  throw Error("unknown classifier kind");
+}
+
+}  // namespace
+
+std::unique_ptr<Classifier> makeClassifier(ClassifierKind kind,
+                                           Precision precision,
+                                           MlRuntime& runtime,
+                                           std::uint64_t seed) {
+  return precision == Precision::kDouble
+             ? makeTyped<double>(kind, runtime, seed)
+             : makeTyped<float>(kind, runtime, seed);
+}
+
+}  // namespace jepo::ml

@@ -1,0 +1,91 @@
+#include "ml/filters.hpp"
+
+#include <algorithm>
+
+namespace jepo::ml {
+
+// ------------------------------------------------------------- Normalize
+
+void NormalizeFilter::fit(const Instances& data) {
+  ranges_ = data.numericRanges();
+  fitted_ = true;
+}
+
+Instances NormalizeFilter::apply(const Instances& data) const {
+  JEPO_REQUIRE(fitted_, "apply before fit");
+  JEPO_REQUIRE(data.numAttributes() == ranges_.size(), "schema mismatch");
+  Instances out = data.emptyCopy();
+  for (std::size_t i = 0; i < data.numInstances(); ++i) {
+    std::vector<double> row = data.row(i);
+    for (std::size_t a = 0; a < row.size(); ++a) {
+      if (!data.attribute(a).isNumeric()) continue;
+      const auto& r = ranges_[a];
+      const double span = r.max - r.min;
+      // Values outside the fitted range clamp (unseen test extremes).
+      row[a] = span > 0.0
+                   ? std::clamp((row[a] - r.min) / span, 0.0, 1.0)
+                   : 0.0;
+    }
+    out.addRow(std::move(row));
+  }
+  return out;
+}
+
+// -------------------------------------------------------- NominalToBinary
+
+void NominalToBinaryFilter::fit(const Instances& data) {
+  outAttributes_.clear();
+  sourceAttr_.clear();
+  sourceLabel_.clear();
+  for (std::size_t a = 0; a < data.numAttributes(); ++a) {
+    const Attribute& attr = data.attribute(a);
+    const bool isClass = static_cast<int>(a) == data.classIndex();
+    if (attr.isNominal() && !isClass) {
+      for (std::size_t l = 0; l < attr.numLabels(); ++l) {
+        outAttributes_.push_back(
+            Attribute::numeric(attr.name() + "=" + attr.label(l)));
+        sourceAttr_.push_back(a);
+        sourceLabel_.push_back(static_cast<int>(l));
+      }
+    } else {
+      if (isClass) outClassIndex_ = static_cast<int>(outAttributes_.size());
+      outAttributes_.push_back(attr);
+      sourceAttr_.push_back(a);
+      sourceLabel_.push_back(-1);
+    }
+  }
+  JEPO_REQUIRE(outClassIndex_ >= 0, "class attribute lost");
+  fitted_ = true;
+}
+
+Instances NominalToBinaryFilter::apply(const Instances& data) const {
+  JEPO_REQUIRE(fitted_, "apply before fit");
+  Instances out(data.relation() + "-binary", outAttributes_, outClassIndex_);
+  for (std::size_t i = 0; i < data.numInstances(); ++i) {
+    std::vector<double> row(outAttributes_.size(), 0.0);
+    for (std::size_t c = 0; c < outAttributes_.size(); ++c) {
+      const double v = data.value(i, sourceAttr_[c]);
+      row[c] = sourceLabel_[c] < 0
+                   ? v
+                   : (static_cast<int>(v) == sourceLabel_[c] ? 1.0 : 0.0);
+    }
+    out.addRow(std::move(row));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Resample
+
+ResampleFilter::ResampleFilter(double percent, std::uint64_t seed)
+    : percent_(percent), seed_(seed) {
+  JEPO_REQUIRE(percent > 0.0 && percent <= 100.0, "percent in (0, 100]");
+}
+
+Instances ResampleFilter::apply(const Instances& data) const {
+  Rng rng(seed_);
+  const auto n = static_cast<std::size_t>(
+      static_cast<double>(data.numInstances()) * percent_ / 100.0);
+  return data.subsample(std::max<std::size_t>(1, n), rng);
+}
+
+}  // namespace jepo::ml

@@ -1,0 +1,49 @@
+// WEKA-style unsupervised filters. Each filter fits on one dataset and can
+// then transform others with the same schema (train statistics must never
+// leak into the test fold — the fit/apply split enforces it).
+#pragma once
+
+#include "ml/dataset.hpp"
+
+namespace jepo::ml {
+
+/// Min-max normalization of numeric attributes into [0, 1]
+/// (weka.filters.unsupervised.attribute.Normalize).
+class NormalizeFilter {
+ public:
+  void fit(const Instances& data);
+  Instances apply(const Instances& data) const;
+
+ private:
+  std::vector<Instances::NumericRange> ranges_;
+  bool fitted_ = false;
+};
+
+/// Expand nominal attributes (except the class) into 0/1 indicator
+/// attributes (weka.filters.supervised.attribute.NominalToBinary).
+class NominalToBinaryFilter {
+ public:
+  void fit(const Instances& data);
+  Instances apply(const Instances& data) const;
+
+ private:
+  std::vector<Attribute> outAttributes_;
+  std::vector<std::size_t> sourceAttr_;   // output column -> input column
+  std::vector<int> sourceLabel_;          // label index, -1 for numeric copy
+  int outClassIndex_ = -1;
+  bool fitted_ = false;
+};
+
+/// Random subsample without replacement to a percentage of the input
+/// (weka.filters.unsupervised.instance.Resample, noReplacement).
+class ResampleFilter {
+ public:
+  ResampleFilter(double percent, std::uint64_t seed);
+  Instances apply(const Instances& data) const;
+
+ private:
+  double percent_;
+  std::uint64_t seed_;
+};
+
+}  // namespace jepo::ml

@@ -1,0 +1,173 @@
+#include "ml/lazy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jepo::ml {
+
+// ---------------------------------------------------------------------- IBk
+
+template <typename Real>
+void Ibk<Real>::train(const Instances& data) {
+  JEPO_REQUIRE(data.numInstances() > 0, "empty training set");
+  numClasses_ = data.numClasses();
+  featureIdx_ = data.featureIndices();
+  ranges_ = data.numericRanges();
+  isNominal_.assign(data.numAttributes(), false);
+  for (std::size_t a = 0; a < data.numAttributes(); ++a) {
+    isNominal_[a] = data.attribute(a).isNominal();
+  }
+  train_.clear();
+  labels_.clear();
+  train_.reserve(data.numInstances());
+  for (std::size_t i = 0; i < data.numInstances(); ++i) {
+    train_.push_back(data.row(i));
+    labels_.push_back(data.classValue(i));
+  }
+  // Lazy learner: training is storage (plus the buffer traffic).
+  rt_->bufferCopy(data.numInstances() * data.numAttributes());
+}
+
+template <typename Real>
+int Ibk<Real>::predict(const std::vector<double>& row) const {
+  JEPO_REQUIRE(!train_.empty(), "predict before train");
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.k));
+
+  // Max-heap over the current k best (distance, label) pairs.
+  std::vector<std::pair<Real, int>> best;
+  best.reserve(k + 1);
+
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    Real d = Real(0);
+    for (std::size_t a : featureIdx_) {
+      if (isNominal_[a]) {
+        d += row[a] == train_[i][a] ? Real(0) : Real(1);
+        rt_->keyCompare(6);  // nominal labels compared as keys
+        rt_->selections(1);
+      } else {
+        const auto& r = ranges_[a];
+        const double span = r.max - r.min;
+        const double na = span > 0 ? (row[a] - r.min) / span : 0.0;
+        const double nb = span > 0 ? (train_[i][a] - r.min) / span : 0.0;
+        const Real diff = Real(na - nb);
+        d += diff * diff;
+        rt_->flops(6);
+      }
+      rt_->arrayOps(2);
+    }
+    rt_->loopIters(featureIdx_.size());
+    best.emplace_back(d, labels_[i]);
+    std::push_heap(best.begin(), best.end());
+    if (best.size() > k) {
+      std::pop_heap(best.begin(), best.end());
+      best.pop_back();
+    }
+    rt_->intOps(2);
+  }
+
+  std::vector<int> votes(numClasses_, 0);
+  for (const auto& [d, label] : best) {
+    ++votes[static_cast<std::size_t>(label)];
+    rt_->counterOps(1);
+  }
+  return static_cast<int>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+// -------------------------------------------------------------------- KStar
+
+template <typename Real>
+void KStar<Real>::train(const Instances& data) {
+  JEPO_REQUIRE(data.numInstances() > 0, "empty training set");
+  numClasses_ = data.numClasses();
+  featureIdx_ = data.featureIndices();
+  isNominal_.assign(data.numAttributes(), false);
+  numLabels_.assign(data.numAttributes(), 0);
+  scale_.assign(data.numAttributes(), Real(1));
+  stayProb_.assign(data.numAttributes(), Real(0.5));
+
+  for (std::size_t a = 0; a < data.numAttributes(); ++a) {
+    const Attribute& attr = data.attribute(a);
+    isNominal_[a] = attr.isNominal();
+    if (attr.isNominal()) numLabels_[a] = attr.numLabels();
+  }
+
+  const std::size_t n = data.numInstances();
+  for (std::size_t a : featureIdx_) {
+    if (isNominal_[a]) {
+      // Stay probability from the blend: with blend b and m labels, the
+      // chance a value transforms to a specific other label is
+      // b / (m - 1); staying costs (1 - b).
+      const auto m = static_cast<double>(std::max<std::size_t>(
+          2, numLabels_[a]));
+      stayProb_[a] = Real(1.0 - options_.blend);
+      (void)m;
+    } else {
+      // Scale from the mean absolute deviation around the mean.
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += data.value(i, a);
+      mean /= static_cast<double>(n);
+      double mad = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        mad += std::fabs(data.value(i, a) - mean);
+      }
+      mad /= static_cast<double>(n);
+      scale_[a] = Real(std::max(1e-6, mad * options_.blend / 0.5));
+      rt_->flops(4 * n);
+    }
+    rt_->loopIters(n);
+  }
+
+  train_.clear();
+  labels_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    train_.push_back(data.row(i));
+    labels_.push_back(data.classValue(i));
+  }
+  rt_->bufferCopy(n * data.numAttributes());
+}
+
+template <typename Real>
+int KStar<Real>::predict(const std::vector<double>& row) const {
+  JEPO_REQUIRE(!train_.empty(), "predict before train");
+  std::vector<Real> classScore(numClasses_, Real(0));
+
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    // log-similarity: sum of per-attribute log transformation probs.
+    Real logSim = Real(0);
+    for (std::size_t a : featureIdx_) {
+      if (isNominal_[a]) {
+        const auto m = static_cast<double>(std::max<std::size_t>(
+            2, numLabels_[a]));
+        const double pStay = static_cast<double>(stayProb_[a]);
+        const double p = row[a] == train_[i][a]
+                             ? pStay
+                             : (1.0 - pStay) / (m - 1.0);
+        logSim += Real(std::log(p));
+        rt_->keyCompare(6);
+        rt_->mathCalls(1);
+      } else {
+        const Real dist = Real(std::fabs(row[a] - train_[i][a]));
+        logSim -= dist / scale_[a];
+        rt_->flops(3);
+      }
+      rt_->arrayOps(2);
+    }
+    classScore[static_cast<std::size_t>(labels_[i])] +=
+        Real(std::exp(static_cast<double>(logSim)));
+    rt_->mathCalls(1);
+    rt_->loopIters(featureIdx_.size());
+  }
+
+  return static_cast<int>(std::distance(
+      classScore.begin(),
+      std::max_element(classScore.begin(), classScore.end())));
+}
+
+template class Ibk<float>;
+template class Ibk<double>;
+template class KStar<float>;
+template class KStar<double>;
+
+}  // namespace jepo::ml

@@ -1,0 +1,68 @@
+// Linear-model classifiers over the sparse one-hot encoding:
+//  - Logistic: multinomial ridge logistic regression (Le Cessie & van
+//    Houwelingen's ridge estimator), fit by batch gradient descent.
+//  - SGD: stochastic gradient descent with hinge loss (linear SVM), WEKA's
+//    SGD default.
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "ml/encoding.hpp"
+#include "support/rng.hpp"
+
+namespace jepo::ml {
+
+struct LogisticOptions {
+  double ridge = 1e-8;   // WEKA default ridge
+  int iterations = 60;
+  double learningRate = 0.5;
+};
+
+template <typename Real>
+class Logistic final : public Classifier {
+ public:
+  Logistic(MlRuntime& runtime, LogisticOptions options)
+      : rt_(&runtime), options_(options) {}
+
+  void train(const Instances& data) override;
+  int predict(const std::vector<double>& row) const override;
+  std::string name() const override { return "Logistic"; }
+
+ private:
+  MlRuntime* rt_;
+  LogisticOptions options_;
+  SparseEncoder encoder_;
+  std::size_t numClasses_ = 0;
+  std::vector<std::vector<Real>> weights_;  // per class
+};
+
+struct SgdOptions {
+  double learningRate = 0.01;  // WEKA default
+  double lambda = 1e-4;        // L2 regularization
+  int epochs = 20;
+};
+
+template <typename Real>
+class Sgd final : public Classifier {
+ public:
+  Sgd(MlRuntime& runtime, SgdOptions options, Rng rng)
+      : rt_(&runtime), options_(options), rng_(rng) {}
+
+  void train(const Instances& data) override;
+  int predict(const std::vector<double>& row) const override;
+  std::string name() const override { return "SGD"; }
+
+ private:
+  MlRuntime* rt_;
+  SgdOptions options_;
+  Rng rng_;
+  SparseEncoder encoder_;
+  std::size_t numClasses_ = 0;
+  std::vector<std::vector<Real>> weights_;  // one-vs-rest hinge
+};
+
+extern template class Logistic<float>;
+extern template class Logistic<double>;
+extern template class Sgd<float>;
+extern template class Sgd<double>;
+
+}  // namespace jepo::ml

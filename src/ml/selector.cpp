@@ -1,0 +1,95 @@
+#include "ml/selector.hpp"
+
+#include <numeric>
+
+#include "ml/evaluation.hpp"
+
+namespace jepo::ml {
+
+ModelSelector::ModelSelector(CodeStyle style, double holdoutFraction,
+                             std::uint64_t seed)
+    : style_(style), holdoutFraction_(holdoutFraction), seed_(seed) {
+  JEPO_REQUIRE(holdoutFraction > 0.0 && holdoutFraction < 1.0,
+               "holdout fraction must be in (0, 1)");
+}
+
+std::vector<CandidateReport> ModelSelector::evaluate(
+    const Instances& data, const std::vector<Candidate>& candidates,
+    const DeploymentBudget& budget) const {
+  JEPO_REQUIRE(data.numInstances() >= 10, "too little data to split");
+
+  // One deterministic split shared by every candidate.
+  Rng rng(seed_);
+  std::vector<std::size_t> idx(data.numInstances());
+  std::iota(idx.begin(), idx.end(), 0);
+  for (std::size_t i = idx.size(); i > 1; --i) {
+    std::swap(idx[i - 1], idx[rng.nextBelow(i)]);
+  }
+  const auto holdoutCount = static_cast<std::size_t>(
+      static_cast<double>(idx.size()) * holdoutFraction_);
+  const std::vector<std::size_t> holdoutIdx(idx.begin(),
+                                            idx.begin() +
+                                                static_cast<std::ptrdiff_t>(
+                                                    holdoutCount));
+  const std::vector<std::size_t> trainIdx(idx.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  holdoutCount),
+                                          idx.end());
+  const Instances train = data.select(trainIdx);
+  const Instances holdout = data.select(holdoutIdx);
+
+  std::vector<CandidateReport> out;
+  out.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    CandidateReport report;
+    report.candidate = c;
+
+    energy::SimMachine machine;
+    MlRuntime rt(machine, style_,
+                 StyleExposure::forClassifier(static_cast<int>(c.kind)));
+    auto model = makeClassifier(c.kind, c.precision, rt, seed_ + 7);
+
+    model->train(train);
+    const energy::MachineSample afterTrain = machine.sample();
+    report.trainJoules = afterTrain.packageJoules;
+
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < holdout.numInstances(); ++i) {
+      hits += model->predict(holdout.row(i)) == holdout.classValue(i);
+    }
+    const energy::MachineSample afterPredict = machine.sample();
+    report.accuracy =
+        static_cast<double>(hits) /
+        static_cast<double>(holdout.numInstances());
+    report.joulesPerInference =
+        (afterPredict.packageJoules - afterTrain.packageJoules) /
+        static_cast<double>(holdout.numInstances());
+    report.secondsPerInference =
+        (afterPredict.seconds - afterTrain.seconds) /
+        static_cast<double>(holdout.numInstances());
+
+    report.feasible = report.accuracy >= budget.minAccuracy &&
+                      report.joulesPerInference <=
+                          budget.maxJoulesPerInference &&
+                      report.secondsPerInference <=
+                          budget.maxSecondsPerInference;
+    out.push_back(report);
+  }
+  return out;
+}
+
+const CandidateReport* ModelSelector::select(
+    const std::vector<CandidateReport>& reports) {
+  const CandidateReport* best = nullptr;
+  for (const auto& r : reports) {
+    if (!r.feasible) continue;
+    if (best == nullptr || r.accuracy > best->accuracy ||
+        (r.accuracy == best->accuracy &&
+         r.joulesPerInference < best->joulesPerInference)) {
+      best = &r;
+    }
+  }
+  return best;
+}
+
+}  // namespace jepo::ml

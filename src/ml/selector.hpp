@@ -1,0 +1,60 @@
+// Energy-aware model selection — the paper's §IV-A describes OpenEI's
+// "model selector … used to pick up the best matching hardware and software
+// combination to save energy". This is that component for the mini-WEKA:
+// it measures each candidate classifier's accuracy, per-inference energy
+// and latency on the simulated edge device, then picks the most accurate
+// model that fits the deployment's energy/latency budget.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace jepo::ml {
+
+struct Candidate {
+  ClassifierKind kind = ClassifierKind::kNaiveBayes;
+  Precision precision = Precision::kDouble;
+};
+
+struct DeploymentBudget {
+  double maxJoulesPerInference = std::numeric_limits<double>::infinity();
+  double maxSecondsPerInference = std::numeric_limits<double>::infinity();
+  double minAccuracy = 0.0;  // fraction in [0, 1]
+};
+
+struct CandidateReport {
+  Candidate candidate;
+  double accuracy = 0.0;            // holdout accuracy (fraction)
+  double trainJoules = 0.0;         // one-time training cost
+  double joulesPerInference = 0.0;  // steady-state energy per prediction
+  double secondsPerInference = 0.0;
+  bool feasible = false;            // against the budget it was scored with
+};
+
+class ModelSelector {
+ public:
+  /// `holdoutFraction` of the data scores accuracy; energy/latency are
+  /// measured over the holdout predictions on a fresh machine per
+  /// candidate, using the given CodeStyle.
+  ModelSelector(CodeStyle style, double holdoutFraction = 0.3,
+                std::uint64_t seed = 99);
+
+  /// Measure every candidate against the budget.
+  std::vector<CandidateReport> evaluate(
+      const Instances& data, const std::vector<Candidate>& candidates,
+      const DeploymentBudget& budget) const;
+
+  /// The winner: highest accuracy among feasible candidates, ties broken
+  /// by lower energy per inference. Returns nullptr if none is feasible.
+  static const CandidateReport* select(
+      const std::vector<CandidateReport>& reports);
+
+ private:
+  CodeStyle style_;
+  double holdoutFraction_;
+  std::uint64_t seed_;
+};
+
+}  // namespace jepo::ml

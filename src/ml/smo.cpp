@@ -1,0 +1,207 @@
+#include "ml/smo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jepo::ml {
+
+namespace {
+
+template <typename Real>
+Real dot(const std::vector<Real>& w,
+         const std::vector<SparseEncoder::Entry>& x, MlRuntime& rt) {
+  Real acc = Real(0);
+  for (const auto& e : x) acc += w[e.index] * Real(e.value);
+  rt.flops(2 * x.size());
+  rt.arrayOps(x.size());
+  return acc;
+}
+
+/// Self kernel value K(x, x) for the linear kernel.
+template <typename Real>
+Real selfDot(const std::vector<SparseEncoder::Entry>& x, MlRuntime& rt) {
+  Real acc = Real(0);
+  for (const auto& e : x) acc += Real(e.value) * Real(e.value);
+  rt.flops(2 * x.size());
+  return acc;
+}
+
+/// K(xi, xj) for sparse vectors (sorted by construction).
+template <typename Real>
+Real crossDot(const std::vector<SparseEncoder::Entry>& a,
+              const std::vector<SparseEncoder::Entry>& b, MlRuntime& rt) {
+  Real acc = Real(0);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].index == b[j].index) {
+      acc += Real(a[i].value) * Real(b[j].value);
+      ++i;
+      ++j;
+    } else if (a[i].index < b[j].index) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  rt.flops(2 * (a.size() + b.size()));
+  return acc;
+}
+
+}  // namespace
+
+template <typename Real>
+typename Smo<Real>::BinaryMachine Smo<Real>::trainBinary(
+    const std::vector<std::vector<SparseEncoder::Entry>>& xs,
+    const std::vector<int>& ys, int classA, int classB) {
+  // Collect the two-class subset with targets +-1.
+  std::vector<std::size_t> subset;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (ys[i] == classA || ys[i] == classB) subset.push_back(i);
+  }
+  const std::size_t n = subset.size();
+  BinaryMachine machine;
+  machine.classA = classA;
+  machine.classB = classB;
+  machine.w.assign(encoder_.numFeatures(), Real(0));
+  if (n == 0) return machine;
+
+  std::vector<Real> alpha(n, Real(0));
+  std::vector<Real> target(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    target[k] = ys[subset[k]] == classA ? Real(1) : Real(-1);
+  }
+  Real b = Real(0);
+  const Real C = Real(options_.c);
+  const Real tol = Real(options_.tolerance);
+
+  auto f = [&](std::size_t k) {
+    return dot(machine.w, xs[subset[k]], *rt_) + b;
+  };
+
+  int passes = 0;
+  int iterations = 0;
+  while (passes < options_.maxPasses &&
+         iterations < options_.maxIterations) {
+    ++iterations;
+    rt_->configReads(3);  // C, tolerance, epsilon
+    int changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Real Ei = f(i) - target[i];
+      rt_->flops(1);
+      rt_->selections(1);
+      const bool violatesKkt =
+          (target[i] * Ei < -tol && alpha[i] < C) ||
+          (target[i] * Ei > tol && alpha[i] > Real(0));
+      if (!violatesKkt) continue;
+
+      // Second index: random different point (simplified Platt heuristic).
+      std::size_t j = rng_.nextBelow(n - 1);
+      if (j >= i) ++j;
+      const Real Ej = f(j) - target[j];
+
+      const Real ai = alpha[i];
+      const Real aj = alpha[j];
+      Real lo;
+      Real hi;
+      if (target[i] != target[j]) {
+        lo = std::max(Real(0), aj - ai);
+        hi = std::min(C, C + aj - ai);
+      } else {
+        lo = std::max(Real(0), ai + aj - C);
+        hi = std::min(C, ai + aj);
+      }
+      rt_->flops(6);
+      if (lo >= hi) continue;
+
+      const Real kii = selfDot<Real>(xs[subset[i]], *rt_);
+      const Real kjj = selfDot<Real>(xs[subset[j]], *rt_);
+      const Real kij = crossDot<Real>(xs[subset[i]], xs[subset[j]], *rt_);
+      const Real eta = Real(2) * kij - kii - kjj;
+      if (eta >= Real(0)) continue;
+
+      Real ajNew = aj - target[j] * (Ei - Ej) / eta;
+      ajNew = std::clamp(ajNew, lo, hi);
+      rt_->flopDivs(1);
+      rt_->flops(4);
+      if (std::fabs(static_cast<double>(ajNew - aj)) < 1e-6) continue;
+      const Real aiNew = ai + target[i] * target[j] * (aj - ajNew);
+
+      // Incremental weight update (exact for the linear kernel).
+      const Real di = (aiNew - ai) * target[i];
+      const Real dj = (ajNew - aj) * target[j];
+      for (const auto& e : xs[subset[i]]) {
+        machine.w[e.index] += di * Real(e.value);
+      }
+      for (const auto& e : xs[subset[j]]) {
+        machine.w[e.index] += dj * Real(e.value);
+      }
+      rt_->flops(2 * (xs[subset[i]].size() + xs[subset[j]].size()));
+      rt_->arrayOps(xs[subset[i]].size() + xs[subset[j]].size());
+
+      // Keerthi-style dual threshold update.
+      const Real b1 = b - Ei - di * kii - dj * kij;
+      const Real b2 = b - Ej - di * kij - dj * kjj;
+      if (aiNew > Real(0) && aiNew < C) {
+        b = b1;
+      } else if (ajNew > Real(0) && ajNew < C) {
+        b = b2;
+      } else {
+        b = (b1 + b2) / Real(2);
+      }
+      rt_->flops(10);
+      rt_->selections(2);
+
+      alpha[i] = aiNew;
+      alpha[j] = ajNew;
+      ++changed;
+      rt_->counterOps(1);
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+  machine.b = b;
+  return machine;
+}
+
+template <typename Real>
+void Smo<Real>::train(const Instances& data) {
+  const std::size_t n = data.numInstances();
+  JEPO_REQUIRE(n > 0, "empty training set");
+  numClasses_ = data.numClasses();
+  encoder_.fit(data);
+  machines_.clear();
+
+  std::vector<std::vector<SparseEncoder::Entry>> xs;
+  xs.reserve(n);
+  std::vector<int> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(encoder_.encode(data.row(i), *rt_));
+    ys[i] = data.classValue(i);
+  }
+
+  // Pairwise coupling (c*(c-1)/2 binary machines).
+  for (int a = 0; a < static_cast<int>(numClasses_); ++a) {
+    for (int bCls = a + 1; bCls < static_cast<int>(numClasses_); ++bCls) {
+      machines_.push_back(trainBinary(xs, ys, a, bCls));
+    }
+  }
+}
+
+template <typename Real>
+int Smo<Real>::predict(const std::vector<double>& row) const {
+  JEPO_REQUIRE(!machines_.empty(), "predict before train");
+  const auto x = encoder_.encode(row, *rt_);
+  std::vector<int> votes(numClasses_, 0);
+  for (const auto& m : machines_) {
+    const Real v = dot(m.w, x, *rt_) + m.b;
+    ++votes[static_cast<std::size_t>(v > Real(0) ? m.classA : m.classB)];
+    rt_->selections(1);
+  }
+  return static_cast<int>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+template class Smo<float>;
+template class Smo<double>;
+
+}  // namespace jepo::ml

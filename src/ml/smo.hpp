@@ -1,0 +1,54 @@
+// SMO: Platt's sequential minimal optimization for SVM training, with the
+// Keerthi et al. dual-threshold refinements folded into the simplified
+// pass structure. Linear kernel over the sparse one-hot encoding, with the
+// weight vector maintained incrementally (exact for linear kernels), and
+// pairwise coupling for multi-class problems (WEKA's SMO strategy).
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "ml/encoding.hpp"
+#include "support/rng.hpp"
+
+namespace jepo::ml {
+
+struct SmoOptions {
+  double c = 1.0;        // complexity constant
+  double tolerance = 1e-3;
+  int maxPasses = 2;     // passes with no alpha change before stopping
+  int maxIterations = 40;  // hard cap on examine-all sweeps
+};
+
+template <typename Real>
+class Smo final : public Classifier {
+ public:
+  Smo(MlRuntime& runtime, SmoOptions options, Rng rng)
+      : rt_(&runtime), options_(options), rng_(rng) {}
+
+  void train(const Instances& data) override;
+  int predict(const std::vector<double>& row) const override;
+  std::string name() const override { return "SMO"; }
+
+ private:
+  struct BinaryMachine {
+    int classA = 0;  // label: f(x) > 0 predicts classA
+    int classB = 0;
+    std::vector<Real> w;
+    Real b = Real(0);
+  };
+
+  BinaryMachine trainBinary(
+      const std::vector<std::vector<SparseEncoder::Entry>>& xs,
+      const std::vector<int>& ys, int classA, int classB);
+
+  MlRuntime* rt_;
+  SmoOptions options_;
+  Rng rng_;
+  SparseEncoder encoder_;
+  std::size_t numClasses_ = 0;
+  std::vector<BinaryMachine> machines_;
+};
+
+extern template class Smo<float>;
+extern template class Smo<double>;
+
+}  // namespace jepo::ml

@@ -1,0 +1,55 @@
+#include "perf/perf.hpp"
+
+#include "rapl/rapl.hpp"
+
+namespace jepo::perf {
+
+PerfRunner::PerfRunner(NoiseModel noise, std::uint64_t seed)
+    : noise_(noise), rng_(seed) {}
+
+PerfStat PerfRunner::stat(
+    const std::function<void(energy::SimMachine&)>& workload) {
+  return stat(workload, energy::CostModel::calibrated());
+}
+
+PerfStat PerfRunner::stat(
+    const std::function<void(energy::SimMachine&)>& workload,
+    const energy::CostModel& model) {
+  energy::SimMachine machine(model);
+  // Arm counters through the MSR path, exactly as perf arms the RAPL PMU.
+  rapl::RaplReader reader(machine.msrDevice());
+  rapl::EnergyCounter pkg(reader, rapl::Domain::kPackage);
+  rapl::EnergyCounter core(reader, rapl::Domain::kCore);
+  rapl::EnergyCounter dram(reader, rapl::Domain::kDram);
+  const double t0 = machine.seconds();
+
+  workload(machine);
+  machine.sync();
+
+  PerfStat out;
+  out.seconds = machine.seconds() - t0;
+  out.packageJoules = pkg.elapsedJoules();
+  out.coreJoules = core.elapsedJoules();
+  out.dramJoules = dram.elapsedJoules();
+
+  // Measurement noise: per-metric multiplicative jitter plus occasional
+  // interference spikes (cron jobs, thermal events). A spike hits the whole
+  // run — the machine was busy, so time and every energy domain rise
+  // together — which is what lets Tukey's fences catch it reliably.
+  const double spike = noise_.spikeProb > 0.0 &&
+                               rng_.nextDouble() < noise_.spikeProb
+                           ? noise_.spikeScale
+                           : 1.0;
+  auto jitter = [&](double v) {
+    const double factor =
+        spike * (1.0 + noise_.relSigma * rng_.nextGaussian());
+    return v * std::max(0.5, factor);
+  };
+  out.seconds = jitter(out.seconds);
+  out.packageJoules = jitter(out.packageJoules);
+  out.coreJoules = jitter(out.coreJoules);
+  out.dramJoules = jitter(out.dramJoules);
+  return out;
+}
+
+}  // namespace jepo::perf

@@ -1,0 +1,61 @@
+// PerfRunner — the `perf stat` analog.
+//
+// The paper measures each classifier run with the Linux perf tool (RAPL
+// energy-pkg / energy-cores events plus wall time). PerfRunner wraps a
+// workload the same way: it runs it on a fresh SimMachine, reads the energy
+// MSRs through the RaplReader before and after (the same wraparound-correct
+// path perf uses), and applies a deterministic measurement-noise model —
+// run-to-run jitter plus occasional interference spikes — which is exactly
+// the noise Section VIII's Tukey re-measurement loop exists to remove.
+#pragma once
+
+#include <functional>
+
+#include "energy/machine.hpp"
+#include "support/rng.hpp"
+
+namespace jepo::perf {
+
+struct PerfStat {
+  double seconds = 0.0;
+  double packageJoules = 0.0;
+  double coreJoules = 0.0;
+  double dramJoules = 0.0;
+
+  /// Row layout used with stats::measureWithTukeyLoop:
+  /// {package J, core J, seconds} — the paper's three metrics.
+  std::vector<double> asRow() const {
+    return {packageJoules, coreJoules, seconds};
+  }
+};
+
+class PerfRunner {
+ public:
+  struct NoiseModel {
+    double relSigma;    // multiplicative Gaussian jitter per metric
+    double spikeProb;   // chance a run hits interference
+    double spikeScale;  // spike multiplier (always an overshoot)
+  };
+
+  /// The default noise model: 1% jitter, 8% interference spikes of +35%.
+  static constexpr NoiseModel kDefaultNoise{0.01, 0.08, 1.35};
+
+  explicit PerfRunner(NoiseModel noise = kDefaultNoise,
+                      std::uint64_t seed = 7);
+
+  /// Disable noise entirely (exact simulated readings).
+  static PerfRunner exact() { return PerfRunner(NoiseModel{0.0, 0.0, 1.0}); }
+
+  /// Run the workload on a fresh machine built by `makeMachine` (defaults
+  /// to the calibrated model) and return the measured interval.
+  PerfStat stat(const std::function<void(energy::SimMachine&)>& workload);
+
+  PerfStat stat(const std::function<void(energy::SimMachine&)>& workload,
+                const energy::CostModel& model);
+
+ private:
+  NoiseModel noise_;
+  Rng rng_;
+};
+
+}  // namespace jepo::perf

@@ -1,0 +1,13 @@
+#include "rapl/msr.hpp"
+
+#include <cstdio>
+
+namespace jepo::rapl {
+
+std::string SimulatedMsrDevice::hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%x", v);
+  return buf;
+}
+
+}  // namespace jepo::rapl

@@ -1,0 +1,56 @@
+// Model-specific register (MSR) access layer.
+//
+// JEPO's profiler reads Intel RAPL energy-status MSRs at method entry/exit.
+// On the authors' testbed that is /dev/cpu/*/msr; here the same register
+// interface is implemented by a simulated device (SimulatedMsrDevice) that a
+// deterministic machine model deposits energy into. Consumers (RaplReader,
+// the profiler, the perf runner) are written against the abstract MsrDevice
+// so a real /dev/cpu backend could be slotted in unchanged on Intel hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace jepo::rapl {
+
+/// Architectural MSR addresses used by RAPL (Intel SDM vol. 4).
+enum Msr : std::uint32_t {
+  kMsrRaplPowerUnit = 0x606,
+  kMsrPkgEnergyStatus = 0x611,
+  kMsrPp0EnergyStatus = 0x639,  // "core" energy in the paper's terminology
+  kMsrPp1EnergyStatus = 0x641,  // uncore/graphics
+  kMsrDramEnergyStatus = 0x619,
+};
+
+/// Read-only register device. Reads of unknown addresses throw, mirroring
+/// the EIO a real msr driver returns for unimplemented registers.
+class MsrDevice {
+ public:
+  virtual ~MsrDevice() = default;
+  virtual std::uint64_t read(std::uint32_t msr) const = 0;
+};
+
+/// In-memory register file; the machine model writes, readers read.
+class SimulatedMsrDevice final : public MsrDevice {
+ public:
+  std::uint64_t read(std::uint32_t msr) const override {
+    const auto it = regs_.find(msr);
+    if (it == regs_.end()) {
+      throw Error("msr read: unimplemented register 0x" + hex(msr));
+    }
+    return it->second;
+  }
+
+  void write(std::uint32_t msr, std::uint64_t value) { regs_[msr] = value; }
+
+  bool has(std::uint32_t msr) const { return regs_.count(msr) != 0; }
+
+ private:
+  static std::string hex(std::uint32_t v);
+  std::unordered_map<std::uint32_t, std::uint64_t> regs_;
+};
+
+}  // namespace jepo::rapl

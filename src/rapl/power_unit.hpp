@@ -1,0 +1,48 @@
+// Decoding of MSR_RAPL_POWER_UNIT (0x606).
+//
+// Layout (Intel SDM):
+//   bits  3:0  power unit    PU : watts  = 1 / 2^PU
+//   bits 12:8  energy unit  ESU : joules = 1 / 2^ESU   (typical ESU=16)
+//   bits 19:16 time unit     TU : sec    = 1 / 2^TU
+#pragma once
+
+#include <cstdint>
+
+namespace jepo::rapl {
+
+struct PowerUnit {
+  unsigned powerUnitBits = 3;    // 1/8 W
+  unsigned energyUnitBits = 16;  // 15.26 uJ, the common client-CPU value
+  unsigned timeUnitBits = 10;    // ~976 us
+
+  /// Joules represented by one raw count of an energy-status register.
+  double jouleQuantum() const noexcept {
+    return 1.0 / static_cast<double>(1ULL << energyUnitBits);
+  }
+
+  double wattQuantum() const noexcept {
+    return 1.0 / static_cast<double>(1ULL << powerUnitBits);
+  }
+
+  double secondQuantum() const noexcept {
+    return 1.0 / static_cast<double>(1ULL << timeUnitBits);
+  }
+
+  /// Encode into the MSR_RAPL_POWER_UNIT bit layout.
+  std::uint64_t encode() const noexcept {
+    return (static_cast<std::uint64_t>(powerUnitBits) & 0xF) |
+           ((static_cast<std::uint64_t>(energyUnitBits) & 0x1F) << 8) |
+           ((static_cast<std::uint64_t>(timeUnitBits) & 0xF) << 16);
+  }
+
+  /// Decode from a raw MSR_RAPL_POWER_UNIT value.
+  static PowerUnit decode(std::uint64_t raw) noexcept {
+    PowerUnit u;
+    u.powerUnitBits = static_cast<unsigned>(raw & 0xF);
+    u.energyUnitBits = static_cast<unsigned>((raw >> 8) & 0x1F);
+    u.timeUnitBits = static_cast<unsigned>((raw >> 16) & 0xF);
+    return u;
+  }
+};
+
+}  // namespace jepo::rapl

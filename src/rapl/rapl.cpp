@@ -1,0 +1,83 @@
+#include "rapl/rapl.hpp"
+
+#include <cmath>
+
+namespace jepo::rapl {
+
+std::string_view domainName(Domain d) noexcept {
+  switch (d) {
+    case Domain::kPackage: return "package";
+    case Domain::kCore: return "core";
+    case Domain::kUncore: return "uncore";
+    case Domain::kDram: return "dram";
+  }
+  return "?";
+}
+
+std::uint32_t domainMsr(Domain d) noexcept {
+  switch (d) {
+    case Domain::kPackage: return kMsrPkgEnergyStatus;
+    case Domain::kCore: return kMsrPp0EnergyStatus;
+    case Domain::kUncore: return kMsrPp1EnergyStatus;
+    case Domain::kDram: return kMsrDramEnergyStatus;
+  }
+  return 0;
+}
+
+SimulatedRaplPackage::SimulatedRaplPackage(PowerUnit unit) : unit_(unit) {
+  dev_.write(kMsrRaplPowerUnit, unit_.encode());
+  for (Domain d : kAllDomains) publish(d);
+}
+
+void SimulatedRaplPackage::deposit(Domain d, double joules) {
+  JEPO_REQUIRE(joules >= 0.0, "energy deposits are non-negative");
+  const auto i = static_cast<std::size_t>(d);
+  joules_[i] += joules;
+  // Quantize into raw counts, carrying the sub-quantum remainder so no
+  // energy is ever lost to rounding across many small deposits.
+  residual_[i] += joules;
+  const double quantum = unit_.jouleQuantum();
+  const double counts = std::floor(residual_[i] / quantum);
+  if (counts > 0.0) {
+    rawCount_[i] += static_cast<std::uint64_t>(counts);
+    residual_[i] -= counts * quantum;
+    publish(d);
+  }
+}
+
+double SimulatedRaplPackage::totalJoules(Domain d) const noexcept {
+  return joules_[static_cast<std::size_t>(d)];
+}
+
+void SimulatedRaplPackage::publish(Domain d) {
+  const auto i = static_cast<std::size_t>(d);
+  // Energy-status registers are 32-bit wrapping counters; upper bits read 0.
+  dev_.write(domainMsr(d), rawCount_[i] & 0xFFFFFFFFULL);
+}
+
+RaplReader::RaplReader(const MsrDevice& dev)
+    : dev_(&dev), unit_(PowerUnit::decode(dev.read(kMsrRaplPowerUnit))) {}
+
+std::uint32_t RaplReader::readRaw(Domain d) const {
+  return static_cast<std::uint32_t>(dev_->read(domainMsr(d)) & 0xFFFFFFFFULL);
+}
+
+double RaplReader::readJoules(Domain d) const {
+  return static_cast<double>(readRaw(d)) * unit_.jouleQuantum();
+}
+
+EnergyCounter::EnergyCounter(const RaplReader& reader, Domain domain)
+    : reader_(&reader), domain_(domain) {
+  start();
+}
+
+void EnergyCounter::start() { startRaw_ = reader_->readRaw(domain_); }
+
+double EnergyCounter::elapsedJoules() const {
+  const std::uint32_t now = reader_->readRaw(domain_);
+  // Unsigned 32-bit subtraction is exactly the one-wrap-correct delta.
+  const std::uint32_t delta = now - startRaw_;
+  return static_cast<double>(delta) * reader_->unit().jouleQuantum();
+}
+
+}  // namespace jepo::rapl

@@ -1,0 +1,54 @@
+#include "stats/protocol.hpp"
+
+#include <set>
+
+namespace jepo::stats {
+
+ProtocolResult measureWithTukeyLoop(
+    int runCount, const std::function<std::vector<double>()>& measureOnce,
+    int maxRounds, double fenceK) {
+  JEPO_REQUIRE(runCount >= 4, "need at least 4 runs for quartiles");
+  ProtocolResult result;
+  result.runs.reserve(static_cast<std::size_t>(runCount));
+  std::size_t width = 0;
+  for (int i = 0; i < runCount; ++i) {
+    result.runs.push_back(measureOnce());
+    if (i == 0) {
+      width = result.runs[0].size();
+      JEPO_REQUIRE(width > 0, "measureOnce returned no metrics");
+    }
+    JEPO_REQUIRE(result.runs.back().size() == width,
+                 "inconsistent metric width");
+  }
+
+  for (int round = 0;; ++round) {
+    if (round >= maxRounds) {
+      result.converged = false;
+      break;
+    }
+    // Rows that are outliers in ANY metric column get re-measured.
+    std::set<std::size_t> bad;
+    for (std::size_t m = 0; m < width; ++m) {
+      std::vector<double> column;
+      column.reserve(result.runs.size());
+      for (const auto& row : result.runs) column.push_back(row[m]);
+      for (std::size_t idx : tukeyOutliers(column, fenceK)) bad.insert(idx);
+    }
+    if (bad.empty()) break;
+    for (std::size_t idx : bad) {
+      result.runs[idx] = measureOnce();
+      ++result.remeasured;
+    }
+  }
+
+  result.means.assign(width, 0.0);
+  for (const auto& row : result.runs) {
+    for (std::size_t m = 0; m < width; ++m) result.means[m] += row[m];
+  }
+  for (double& m : result.means) {
+    m /= static_cast<double>(result.runs.size());
+  }
+  return result;
+}
+
+}  // namespace jepo::stats

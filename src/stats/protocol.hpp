@@ -1,0 +1,39 @@
+// The Section VIII measurement protocol:
+//
+//   "We first run each classifier 10 times to measure Package energy, CPU
+//    energy, and execution time … detect outliers using Tukey's method from
+//    each metric, replace the outliers measurements with new measurements
+//    and again check for outliers. We repeat this process until no outlier
+//    is left. When no outlier is left, we calculated the mean of values."
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/stats.hpp"
+#include "support/error.hpp"
+
+namespace jepo::stats {
+
+struct ProtocolResult {
+  /// Final per-run values, one row per run, one column per metric.
+  std::vector<std::vector<double>> runs;
+  /// Per-metric means over the outlier-free runs.
+  std::vector<double> means;
+  /// How many individual runs were re-measured.
+  int remeasured = 0;
+  /// Whether the loop converged before maxRounds.
+  bool converged = true;
+};
+
+/// Runs `measureOnce` `runCount` times; each call returns one row of
+/// metrics (fixed width). While any metric column contains Tukey outliers,
+/// the offending rows are re-measured. Rounds are capped (a pathological
+/// distribution could otherwise loop forever — the paper's protocol
+/// implicitly assumes convergence; we make the cap explicit).
+ProtocolResult measureWithTukeyLoop(
+    int runCount, const std::function<std::vector<double>()>& measureOnce,
+    int maxRounds = 50, double fenceK = 1.5);
+
+}  // namespace jepo::stats

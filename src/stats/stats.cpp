@@ -1,0 +1,67 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace jepo::stats {
+
+double mean(const std::vector<double>& xs) {
+  JEPO_REQUIRE(!xs.empty(), "mean of empty sample");
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  JEPO_REQUIRE(xs.size() >= 2, "stddev needs at least two values");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+namespace {
+
+/// Type-7 quantile of a sorted sample.
+double quantileSorted(const std::vector<double>& sorted, double p) {
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double median(std::vector<double> xs) {
+  JEPO_REQUIRE(!xs.empty(), "median of empty sample");
+  std::sort(xs.begin(), xs.end());
+  return quantileSorted(xs, 0.5);
+}
+
+Quartiles quartiles(std::vector<double> xs) {
+  JEPO_REQUIRE(!xs.empty(), "quartiles of empty sample");
+  std::sort(xs.begin(), xs.end());
+  return Quartiles{quantileSorted(xs, 0.25), quantileSorted(xs, 0.5),
+                   quantileSorted(xs, 0.75)};
+}
+
+Fences tukeyFences(const std::vector<double>& xs, double k) {
+  const Quartiles q = quartiles(xs);
+  const double iqr = q.q3 - q.q1;
+  return Fences{q.q1 - k * iqr, q.q3 + k * iqr};
+}
+
+std::vector<std::size_t> tukeyOutliers(const std::vector<double>& xs,
+                                       double k) {
+  const Fences f = tukeyFences(xs, k);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (!f.contains(xs[i])) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace jepo::stats

@@ -1,0 +1,34 @@
+// Descriptive statistics + Tukey's outlier fences (Exploratory Data
+// Analysis, 1977) — the outlier method Section VIII names.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace jepo::stats {
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);  // sample (n-1)
+double median(std::vector<double> xs);
+
+/// Quartiles by linear interpolation (type-7, the common convention).
+struct Quartiles {
+  double q1 = 0.0;
+  double q2 = 0.0;
+  double q3 = 0.0;
+};
+Quartiles quartiles(std::vector<double> xs);
+
+/// Tukey fences: [q1 - k*iqr, q3 + k*iqr], k = 1.5 by default.
+struct Fences {
+  double lower = 0.0;
+  double upper = 0.0;
+  bool contains(double v) const noexcept { return v >= lower && v <= upper; }
+};
+Fences tukeyFences(const std::vector<double>& xs, double k = 1.5);
+
+/// Indices of values outside the fences.
+std::vector<std::size_t> tukeyOutliers(const std::vector<double>& xs,
+                                       double k = 1.5);
+
+}  // namespace jepo::stats

@@ -1,0 +1,16 @@
+#include "support/error.hpp"
+
+namespace jepo::detail {
+
+[[noreturn]] void failRequire(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + cond + " (" +
+                          msg + ") at " + file + ":" + std::to_string(line));
+}
+
+[[noreturn]] void failAssert(const char* cond, const char* file, int line) {
+  throw Error(std::string("internal invariant violated: ") + cond + " at " +
+              file + ":" + std::to_string(line));
+}
+
+}  // namespace jepo::detail

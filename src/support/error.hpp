@@ -1,0 +1,69 @@
+// Error-handling primitives shared by every module.
+//
+// The library follows the C++ Core Guidelines: exceptions signal broken
+// invariants and unusable inputs; JEPO_REQUIRE documents preconditions at
+// API boundaries; JEPO_ASSERT guards internal invariants (compiled in all
+// build types — the simulators are deterministic, so a tripped assertion is
+// always a real bug, never noise).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jepo {
+
+/// Base class for all errors thrown by the jepo libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed MiniJava source (lexer/parser diagnostics carry line:col).
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, int line, int col)
+      : Error(what + " at " + std::to_string(line) + ":" + std::to_string(col)),
+        line_(line),
+        col_(col) {}
+  int line() const noexcept { return line_; }
+  int col() const noexcept { return col_; }
+
+ private:
+  int line_;
+  int col_;
+};
+
+/// Runtime fault inside the MiniJava VM (the analog of a Java exception that
+/// escaped main): division by zero, null deref, array bounds, bad cast.
+class VmError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Violated API precondition (caller bug).
+class PreconditionError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void failRequire(const char* cond, const char* file, int line,
+                              const std::string& msg);
+[[noreturn]] void failAssert(const char* cond, const char* file, int line);
+}  // namespace detail
+
+}  // namespace jepo
+
+#define JEPO_REQUIRE(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::jepo::detail::failRequire(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                 \
+  } while (false)
+
+#define JEPO_ASSERT(cond)                                       \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::jepo::detail::failAssert(#cond, __FILE__, __LINE__);    \
+    }                                                           \
+  } while (false)

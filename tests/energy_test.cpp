@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "energy/cost_model.hpp"
+#include "energy/machine.hpp"
+#include "energy/meter.hpp"
+#include "support/rng.hpp"
+
+namespace jepo::energy {
+namespace {
+
+TEST(Op, EveryOpHasAUniqueName) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const auto name = opName(static_cast<Op>(i));
+    EXPECT_NE(name, "?") << "op " << i;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+// The calibration ratios of DESIGN.md §1 / paper Table I, checked directly
+// against the cost table.
+TEST(CostModel, CalibratedRatiosMatchPaper) {
+  const CostModel m = CostModel::calibrated();
+  auto nj = [&](Op op) { return m.cost(op).packageNanojoules; };
+
+  // static ≈ 178x a plain variable access (+17,700 %).
+  EXPECT_NEAR(nj(Op::kStaticAccess) / nj(Op::kLocalAccess), 178.0, 10.0);
+  // modulus ≈ 17.2x other int arithmetic (+1,620 %).
+  EXPECT_NEAR(nj(Op::kIntMod) / nj(Op::kIntAlu), 17.2, 0.5);
+  // ternary ≈ 1.37x a branch (+37 %).
+  EXPECT_NEAR(nj(Op::kTernary) / nj(Op::kBranch), 1.37, 0.02);
+  // compareTo ≈ 1.33x equals per char (+33 %).
+  EXPECT_NEAR(nj(Op::kStringCompareToChar) / nj(Op::kStringEqualsChar), 1.33,
+              0.01);
+  // int is the cheapest numeric ALU.
+  EXPECT_LT(nj(Op::kIntAlu), nj(Op::kLongAlu));
+  EXPECT_LT(nj(Op::kIntAlu), nj(Op::kByteShortAlu));
+  EXPECT_LT(nj(Op::kFloatAlu), nj(Op::kDoubleAlu));
+  // Integer is the cheapest wrapper box.
+  EXPECT_LT(nj(Op::kBoxInteger), nj(Op::kBoxOther));
+  // arraycopy beats a manual per-element loop by a wide margin.
+  EXPECT_LT(nj(Op::kArraycopyPerElem) * 10,
+            nj(Op::kArrayAccess) * 2 + nj(Op::kLoopIter));
+  // builder append beats string concat per char.
+  EXPECT_LT(nj(Op::kBuilderAppendChar), nj(Op::kStringCharCopy));
+  // scientific-notation literals are cheaper than plain decimals.
+  EXPECT_LT(nj(Op::kConstLoad), nj(Op::kConstLoadPlainDecimal));
+}
+
+TEST(CostModel, AllCostsPositive) {
+  const CostModel m = CostModel::calibrated();
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const OpCost& c = m.cost(static_cast<Op>(i));
+    EXPECT_GT(c.packageNanojoules, 0.0) << opName(static_cast<Op>(i));
+    EXPECT_GT(c.nanoseconds, 0.0) << opName(static_cast<Op>(i));
+    EXPECT_GT(c.coreShare, 0.0);
+    EXPECT_LE(c.coreShare, 1.0);
+    EXPECT_GE(c.dramNanojoules, 0.0);
+  }
+}
+
+TEST(CostModel, IdleWattsValidation) {
+  CostModel m = CostModel::calibrated();
+  m.setIdleWatts(3.0, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(m.packageIdleWatts(), 3.0);
+  EXPECT_THROW(m.setIdleWatts(-1, 0, 0), PreconditionError);
+  EXPECT_THROW(m.setIdleWatts(1.0, 0.9, 0.2), PreconditionError);
+}
+
+TEST(CostModel, PerturbationStaysInBand) {
+  const CostModel base = CostModel::calibrated();
+  Rng rng(17);
+  const CostModel p = base.perturbed(0.5, rng);
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    const Op op = static_cast<Op>(i);
+    const double r =
+        p.cost(op).packageNanojoules / base.cost(op).packageNanojoules;
+    EXPECT_GE(r, 0.5 - 1e-9) << opName(op);
+    EXPECT_LE(r, 1.5 + 1e-9) << opName(op);
+  }
+  EXPECT_THROW(base.perturbed(1.0, rng), PreconditionError);
+}
+
+TEST(EnergyMeter, CountsAndResets) {
+  EnergyMeter meter;
+  meter.charge(Op::kIntAlu);
+  meter.charge(Op::kIntAlu, 9);
+  meter.charge(Op::kIntMod, 2);
+  EXPECT_EQ(meter.count(Op::kIntAlu), 10u);
+  EXPECT_EQ(meter.count(Op::kIntMod), 2u);
+  EXPECT_EQ(meter.totalOps(), 12u);
+  meter.reset();
+  EXPECT_EQ(meter.totalOps(), 0u);
+}
+
+TEST(SimMachine, SyncPricesCountsOnce) {
+  SimMachine m;
+  m.charge(Op::kIntAlu, 1000);
+  const MachineSample s1 = m.sample();
+  const MachineSample s2 = m.sample();  // no new work: idempotent
+  EXPECT_DOUBLE_EQ(s1.packageJoules, s2.packageJoules);
+  EXPECT_DOUBLE_EQ(s1.seconds, s2.seconds);
+
+  const OpCost& c = m.model().cost(Op::kIntAlu);
+  const double expectNs = 1000 * c.nanoseconds;
+  const double expectPkgJ =
+      (1000 * c.packageNanojoules + expectNs * m.model().packageIdleWatts()) *
+      1e-9;
+  EXPECT_NEAR(s1.seconds, expectNs * 1e-9, 1e-15);
+  EXPECT_NEAR(s1.packageJoules, expectPkgJ, 1e-15);
+}
+
+TEST(SimMachine, CoreEnergyIsContainedInPackage) {
+  SimMachine m;
+  for (std::size_t i = 0; i < kOpCount; ++i) {
+    m.charge(static_cast<Op>(i), 100);
+  }
+  const MachineSample s = m.sample();
+  EXPECT_GT(s.coreJoules, 0.0);
+  EXPECT_LT(s.coreJoules, s.packageJoules);
+  EXPECT_GT(s.dramJoules, 0.0);
+}
+
+TEST(SimMachine, MsrReadsSeeDepositedEnergy) {
+  SimMachine m;
+  m.charge(Op::kDoubleMath, 2'000'000);  // enough to exceed one RAPL quantum
+  m.sync();
+  rapl::RaplReader reader(m.msrDevice());
+  const double viaMsr = reader.readJoules(rapl::Domain::kPackage);
+  const MachineSample s = m.sample();
+  // MSR view quantizes to the energy unit; agreement within one quantum.
+  EXPECT_NEAR(viaMsr, s.packageJoules, reader.unit().jouleQuantum() + 1e-12);
+  EXPECT_GT(viaMsr, 0.0);
+}
+
+TEST(SimMachine, ScopedMeasurementDeltas) {
+  SimMachine m;
+  m.charge(Op::kIntAlu, 500);
+  ScopedMeasurement sm(m);
+  m.charge(Op::kIntAlu, 500);
+  const MachineSample delta = sm.stop();
+  const OpCost& c = m.model().cost(Op::kIntAlu);
+  const double expectJ =
+      (500 * c.packageNanojoules +
+       500 * c.nanoseconds * m.model().packageIdleWatts()) *
+      1e-9;
+  EXPECT_NEAR(delta.packageJoules, expectJ, 1e-15);
+}
+
+TEST(SimMachine, TimeRatiosAreCompressedVsEnergyRatios) {
+  // DESIGN.md §1: energy-hungry ops are not proportionally slow, so energy
+  // improvements exceed time improvements (as in paper Table IV).
+  const CostModel m = CostModel::calibrated();
+  const double eRatio = m.cost(Op::kStaticAccess).packageNanojoules /
+                        m.cost(Op::kLocalAccess).packageNanojoules;
+  const double tRatio = m.cost(Op::kStaticAccess).nanoseconds /
+                        m.cost(Op::kLocalAccess).nanoseconds;
+  EXPECT_GT(eRatio, tRatio * 2);
+}
+
+}  // namespace
+}  // namespace jepo::energy

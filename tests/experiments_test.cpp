@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "experiments/weka_experiment.hpp"
+
+namespace jepo::experiments {
+namespace {
+
+using ml::ClassifierKind;
+
+WekaExperimentConfig fastConfig() {
+  WekaExperimentConfig cfg;
+  cfg.instances = 400;
+  cfg.folds = 5;
+  cfg.runs = 4;
+  cfg.corpusScale = 0.02;
+  cfg.withNoise = false;  // exact measurements for tight assertions
+  cfg.forestTrees = 5;
+  return cfg;
+}
+
+TEST(Experiments, PaperRowsMatchTableFour) {
+  const PaperRow rf = paperTable4Row(ClassifierKind::kRandomForest);
+  EXPECT_EQ(rf.changes, 719);
+  EXPECT_DOUBLE_EQ(rf.packageImprovement, 14.46);
+  EXPECT_DOUBLE_EQ(rf.timeImprovement, 12.93);
+  const PaperRow rt = paperTable4Row(ClassifierKind::kRandomTree);
+  EXPECT_DOUBLE_EQ(rt.accuracyDrop, 0.48);
+}
+
+TEST(Experiments, SingleClassifierPipelineProducesSaneNumbers) {
+  const auto r =
+      runClassifierExperiment(ClassifierKind::kNaiveBayes, fastConfig());
+  EXPECT_GT(r.changes, 0);
+  EXPECT_GT(r.changesFullScale, r.changes);
+  EXPECT_GT(r.basePackageJoules, 0.0);
+  EXPECT_GT(r.optPackageJoules, 0.0);
+  EXPECT_LT(r.optPackageJoules, r.basePackageJoules);
+  EXPECT_GT(r.packageImprovement, 0.0);
+  EXPECT_LT(r.packageImprovement, 100.0);
+  EXPECT_GT(r.accuracyBase, 0.4);
+  EXPECT_LT(std::fabs(r.accuracyDrop), 5.0);
+}
+
+// The headline shape claims of Table IV, on the exact (noise-free) runner.
+TEST(Experiments, RandomForestImprovesMostAndNearZeroTrioStaysSmall) {
+  const WekaExperimentConfig cfg = fastConfig();
+  const double rf =
+      runClassifierExperiment(ClassifierKind::kRandomForest, cfg)
+          .packageImprovement;
+  const double j48 =
+      runClassifierExperiment(ClassifierKind::kJ48, cfg).packageImprovement;
+  const double rt = runClassifierExperiment(ClassifierKind::kRandomTree, cfg)
+                        .packageImprovement;
+  const double logistic =
+      runClassifierExperiment(ClassifierKind::kLogistic, cfg)
+          .packageImprovement;
+
+  EXPECT_GT(rf, 10.0);
+  EXPECT_GT(rf, j48);
+  EXPECT_GT(j48, 2.0);
+  EXPECT_LT(std::fabs(rt), 1.0);
+  EXPECT_LT(std::fabs(logistic), 1.0);
+}
+
+TEST(Experiments, EnergyImprovementExceedsTimeImprovement) {
+  const auto r =
+      runClassifierExperiment(ClassifierKind::kRandomForest, fastConfig());
+  EXPECT_GT(r.packageImprovement, r.timeImprovement);
+}
+
+TEST(Experiments, ChangesScaleWithCorpusScale) {
+  WekaExperimentConfig small = fastConfig();
+  small.corpusScale = 0.02;
+  WekaExperimentConfig big = fastConfig();
+  big.corpusScale = 0.06;
+  const auto a = runClassifierExperiment(ClassifierKind::kJ48, small);
+  const auto b = runClassifierExperiment(ClassifierKind::kJ48, big);
+  EXPECT_GT(b.changes, a.changes * 2);
+  // Extrapolated full-scale counts agree within rounding.
+  EXPECT_NEAR(a.changesFullScale, b.changesFullScale, 60);
+}
+
+TEST(Experiments, ExposureOverrideRaisesImprovement) {
+  WekaExperimentConfig cfg = fastConfig();
+  const auto tuned =
+      runClassifierExperiment(ClassifierKind::kRandomTree, cfg);
+  cfg.exposureOverride = 1.0;
+  const auto maxed = runClassifierExperiment(ClassifierKind::kRandomTree, cfg);
+  EXPECT_GT(maxed.packageImprovement, tuned.packageImprovement + 10.0);
+}
+
+TEST(Experiments, PerturbedCostModelKeepsOrdering) {
+  WekaExperimentConfig cfg = fastConfig();
+  Rng rng(5);
+  cfg.costModel = energy::CostModel::calibrated().perturbed(0.5, rng);
+  const double rf =
+      runClassifierExperiment(ClassifierKind::kRandomForest, cfg)
+          .packageImprovement;
+  const double rt = runClassifierExperiment(ClassifierKind::kRandomTree, cfg)
+                        .packageImprovement;
+  EXPECT_GT(rf, 5.0);
+  EXPECT_LT(std::fabs(rt), 1.0);
+}
+
+TEST(Experiments, NoisyProtocolStaysNearExactResult) {
+  WekaExperimentConfig exact = fastConfig();
+  const auto clean =
+      runClassifierExperiment(ClassifierKind::kSgd, exact);
+  WekaExperimentConfig noisy = fastConfig();
+  noisy.withNoise = true;
+  const auto measured = runClassifierExperiment(ClassifierKind::kSgd, noisy);
+  // Tukey scrubbing keeps the noisy estimate within ~1.5pp of truth.
+  EXPECT_NEAR(measured.packageImprovement, clean.packageImprovement, 1.5);
+}
+
+}  // namespace
+}  // namespace jepo::experiments

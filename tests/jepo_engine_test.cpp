@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "jepo/engine.hpp"
+#include "jepo/views.hpp"
+#include "jlang/parser.hpp"
+
+namespace jepo::core {
+namespace {
+
+std::vector<Suggestion> analyze(const std::string& src,
+                                SuggestionEngine::Options opts = {}) {
+  SuggestionEngine engine(opts);
+  return engine.analyzeSource("test.mjava", src);
+}
+
+int countRule(const std::vector<Suggestion>& v, RuleId id) {
+  return static_cast<int>(
+      std::count_if(v.begin(), v.end(),
+                    [id](const Suggestion& s) { return s.rule == id; }));
+}
+
+// One positive + one negative case per Table I rule.
+
+TEST(Engine, PrimitiveDataTypeRule) {
+  const auto hits = analyze(R"(
+    class C {
+      long total;
+      short small;
+      void m(byte b) { long x = 1L; int ok = 1; }
+    }
+  )");
+  EXPECT_EQ(countRule(hits, RuleId::kPrimitiveDataType), 4);  // total, small, b, x
+  EXPECT_EQ(countRule(analyze("class C { int a; void m(int b) { int c = 1; } }"),
+                      RuleId::kPrimitiveDataType),
+            0);
+  // Arrays of long are not flagged (the rule targets scalars).
+  EXPECT_EQ(countRule(analyze("class C { long[] a; }"),
+                      RuleId::kPrimitiveDataType),
+            0);
+}
+
+TEST(Engine, ScientificNotationRule) {
+  const auto hits = analyze(R"(
+    class C {
+      double big = 10000.0;
+      double tinyVal = 0.00001;
+      double fine = 1e4;
+      double small = 2.5;
+    }
+  )");
+  EXPECT_EQ(countRule(hits, RuleId::kScientificNotation), 2);
+}
+
+TEST(Engine, WrapperClassRule) {
+  const auto hits = analyze(R"(
+    class C {
+      Long a;
+      Double b;
+      Integer good;
+      void m() { Short s = 1; }
+    }
+  )");
+  EXPECT_EQ(countRule(hits, RuleId::kWrapperClass), 3);
+}
+
+TEST(Engine, StaticKeywordRule) {
+  const auto hits = analyze(R"(
+    class C {
+      static int counter;
+      int instance;
+    }
+  )");
+  EXPECT_EQ(countRule(hits, RuleId::kStaticKeyword), 1);
+  EXPECT_EQ(hits[0].className, "C");
+}
+
+TEST(Engine, ModulusRuleWithPowerOfTwoHint) {
+  const auto hits = analyze(R"(
+    class C {
+      int m(int i) { return i % 8; }
+      int n(int i) { return i % 7; }
+      int ok(int i) { return i & 7; }
+    }
+  )");
+  ASSERT_EQ(countRule(hits, RuleId::kModulusOperator), 2);
+  // The power-of-two case carries the bitmask hint.
+  const auto p2 = std::find_if(hits.begin(), hits.end(), [](const auto& s) {
+    return s.rule == RuleId::kModulusOperator &&
+           s.detail.find("power of two") != std::string::npos;
+  });
+  EXPECT_NE(p2, hits.end());
+}
+
+TEST(Engine, TernaryRule) {
+  EXPECT_EQ(countRule(analyze("class C { int m(int x) { return x > 0 ? 1 : 2; } }"),
+                      RuleId::kTernaryOperator),
+            1);
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { int m(int x) { if (x > 0) return 1; else return 2; } }
+  )"),
+                      RuleId::kTernaryOperator),
+            0);
+}
+
+TEST(Engine, ShortCircuitOrderRule) {
+  // Complex left, simple right -> suggest reorder. Both the outer && (vs
+  // `flag`) and the inner one (vs `a != b`) qualify.
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { boolean m(int a, int b, boolean flag) {
+      return (a * a + b * b > 100 && a != b) && flag;
+    } }
+  )"),
+                      RuleId::kShortCircuitOrder),
+            2);
+  // Simple-first is already right.
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { boolean m(int a, boolean flag) { return flag && a * a > 100; } }
+  )"),
+                      RuleId::kShortCircuitOrder),
+            0);
+  // Impure operands are never flagged for reorder.
+  EXPECT_EQ(countRule(analyze(R"(
+    class C {
+      int calls = 0;
+      boolean probe() { calls++; return true; }
+      boolean m(int a, boolean flag) { return (probe() && a > 1) && flag; }
+    }
+  )"),
+                      RuleId::kShortCircuitOrder),
+            0);
+}
+
+TEST(Engine, StringConcatRule) {
+  EXPECT_GE(countRule(analyze(R"(
+    class C { String m(String s) {
+      String out = "";
+      for (int i = 0; i < 10; i++) out = out + s;
+      return out;
+    } }
+  )"),
+                      RuleId::kStringConcat),
+            1);
+  // Numeric + is not string concatenation.
+  EXPECT_EQ(countRule(analyze("class C { int m(int a) { return a + 1; } }"),
+                      RuleId::kStringConcat),
+            0);
+}
+
+TEST(Engine, StringCompareRule) {
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { boolean m(String a, String b) { return a.compareTo(b) == 0; } }
+  )"),
+                      RuleId::kStringCompare),
+            1);
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { boolean m(String a, String b) { return a.equals(b); } }
+  )"),
+                      RuleId::kStringCompare),
+            0);
+}
+
+TEST(Engine, ArrayCopyRule) {
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { void m(int[] src, int[] dst, int n) {
+      for (int i = 0; i < n; i++) dst[i] = src[i];
+    } }
+  )"),
+                      RuleId::kArrayCopy),
+            1);
+  // A transforming loop is not a copy.
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { void m(int[] src, int[] dst, int n) {
+      for (int i = 0; i < n; i++) dst[i] = src[i] * 2;
+    } }
+  )"),
+                      RuleId::kArrayCopy),
+            0);
+}
+
+TEST(Engine, ArrayTraversalRule) {
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { int m(int[][] a, int n) {
+      int acc = 0;
+      for (int j = 0; j < n; j++)
+        for (int i = 0; i < n; i++)
+          acc += a[i][j];
+      return acc;
+    } }
+  )"),
+                      RuleId::kArrayTraversal),
+            1);
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { int m(int[][] a, int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i++)
+        for (int j = 0; j < n; j++)
+          acc += a[i][j];
+      return acc;
+    } }
+  )"),
+                      RuleId::kArrayTraversal),
+            0);
+}
+
+TEST(Engine, RuleDisablingSuppressesDiagnostics) {
+  SuggestionEngine::Options opts;
+  opts.enabled[static_cast<int>(RuleId::kTernaryOperator)] = false;
+  const auto hits =
+      analyze("class C { int m(int x) { return x > 0 ? 1 : 2; } }", opts);
+  EXPECT_EQ(countRule(hits, RuleId::kTernaryOperator), 0);
+}
+
+TEST(Engine, SuggestionsCarryTableOneWording) {
+  const auto hits = analyze("class C { static int x; }");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message().find("17,700%"), std::string::npos);
+  EXPECT_EQ(ruleComponent(RuleId::kStaticKeyword), "Static keyword");
+  // Every rule has non-placeholder wording.
+  for (int i = 0; i < kRuleCount; ++i) {
+    EXPECT_NE(ruleSuggestion(static_cast<RuleId>(i)), "?");
+    EXPECT_NE(ruleComponent(static_cast<RuleId>(i)), "?");
+  }
+}
+
+TEST(Engine, MultiClassProgramReportsPerClass) {
+  jlang::Program prog;
+  prog.units.push_back(jlang::Parser("a.mjava", R"(
+    class A { static int x; }
+  )").parseUnit());
+  prog.units.push_back(jlang::Parser("b.mjava", R"(
+    class B { long y; }
+  )").parseUnit());
+  SuggestionEngine engine;
+  const auto hits = engine.analyzeProgram(prog);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].className, "A");
+  EXPECT_EQ(hits[0].file, "a.mjava");
+  EXPECT_EQ(hits[1].className, "B");
+}
+
+TEST(Views, RenderAllFigures) {
+  const auto hits = analyze("class C { static int x; long y; }");
+  const std::string dynamic = renderDynamicView("C.mjava", hits);
+  EXPECT_NE(dynamic.find("JEPO — C.mjava"), std::string::npos);
+  EXPECT_NE(dynamic.find("17,700%"), std::string::npos);
+
+  const std::string optimizer = renderOptimizerView(hits);
+  EXPECT_NE(optimizer.find("Class"), std::string::npos);
+  EXPECT_NE(optimizer.find("C"), std::string::npos);
+
+  EXPECT_NE(renderToolbar().find("JEPO"), std::string::npos);
+  EXPECT_NE(renderPopupMenu().find("JEPO profiler"), std::string::npos);
+  EXPECT_NE(renderPopupMenu().find("JEPO optimizer"), std::string::npos);
+
+  std::vector<jvm::MethodRecord> recs;
+  recs.push_back({"Main.work", 0.001, 0.5, 0.4});
+  const std::string prof = renderProfilerView(recs);
+  EXPECT_NE(prof.find("Main.work"), std::string::npos);
+  EXPECT_NE(prof.find("ms"), std::string::npos);
+
+  const std::string empty = renderDynamicView("Clean.mjava", {});
+  EXPECT_NE(empty.find("No suggestions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jepo::core

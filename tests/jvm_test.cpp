@@ -1,0 +1,711 @@
+#include <gtest/gtest.h>
+
+#include "energy/machine.hpp"
+#include "jlang/parser.hpp"
+#include "jvm/instrumenter.hpp"
+#include "jvm/interpreter.hpp"
+
+namespace jepo::jvm {
+namespace {
+
+using energy::Op;
+using energy::SimMachine;
+using jlang::Parser;
+using jlang::Program;
+
+/// Run a program's main and return its println output.
+std::string run(const std::string& src) {
+  Program prog = Parser::parseProgram("t.mjava", src);
+  SimMachine machine;
+  Interpreter interp(prog, machine);
+  interp.setMaxSteps(50'000'000);
+  interp.runMain();
+  return interp.output();
+}
+
+/// Run and also return the machine sample (for energy assertions).
+std::pair<std::string, energy::MachineSample> runMeasured(
+    const std::string& src) {
+  Program prog = Parser::parseProgram("t.mjava", src);
+  SimMachine machine;
+  Interpreter interp(prog, machine);
+  interp.setMaxSteps(200'000'000);
+  interp.runMain();
+  return {interp.output(), machine.sample()};
+}
+
+std::string wrapMain(const std::string& body) {
+  return "class Main { static void main(String[] args) {\n" + body + "\n} }";
+}
+
+// ----------------------------------------------------------- arithmetic
+
+TEST(Vm, IntArithmeticAndPrecedence) {
+  EXPECT_EQ(run(wrapMain("System.out.println(2 + 3 * 4);")), "14\n");
+  EXPECT_EQ(run(wrapMain("System.out.println((2 + 3) * 4);")), "20\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(7 / 2);")), "3\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(7 % 3);")), "1\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(-7 / 2);")), "-3\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(-7 % 3);")), "-1\n");
+}
+
+TEST(Vm, IntOverflowWrapsAt32Bits) {
+  EXPECT_EQ(run(wrapMain("int x = 2147483647; x = x + 1;"
+                         "System.out.println(x);")),
+            "-2147483648\n");
+  EXPECT_EQ(run(wrapMain("int x = Integer.MAX_VALUE;"
+                         "System.out.println(x * 2);")),
+            "-2\n");
+}
+
+TEST(Vm, LongArithmeticKeeps64Bits) {
+  EXPECT_EQ(run(wrapMain("long x = 2147483647L; x = x + 1;"
+                         "System.out.println(x);")),
+            "2147483648\n");
+}
+
+TEST(Vm, MixedPromotionIntLongDouble) {
+  EXPECT_EQ(run(wrapMain("int i = 3; long l = 4L;"
+                         "System.out.println(i + l);")),
+            "7\n");
+  EXPECT_EQ(run(wrapMain("int i = 3; double d = 0.5;"
+                         "System.out.println(i + d);")),
+            "3.5\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(7 / 2.0);")), "3.5\n");
+}
+
+TEST(Vm, FloatRoundsThroughBinary32) {
+  // 0.1f + 0.2f != 0.3 in float; the VM must show binary32 behaviour for
+  // the double→float accuracy-drop measurements to be honest.
+  EXPECT_EQ(run(wrapMain("float f = 0.1f; double d = 0.1;"
+                         "System.out.println(f == d);")),
+            "false\n");
+}
+
+TEST(Vm, ByteShortWrapAtTheirWidths) {
+  EXPECT_EQ(run(wrapMain("byte b = 127; b = (byte)(b + 1);"
+                         "System.out.println(b);")),
+            "-128\n");
+  EXPECT_EQ(run(wrapMain("short s = 32767; s = (short)(s + 1);"
+                         "System.out.println(s);")),
+            "-32768\n");
+}
+
+TEST(Vm, CharArithmeticPromotesToInt) {
+  EXPECT_EQ(run(wrapMain("char c = 'A'; System.out.println(c + 1);")), "66\n");
+  EXPECT_EQ(run(wrapMain("char c = 'A'; c = (char)(c + 1);"
+                         "System.out.println(c);")),
+            "B\n");
+}
+
+TEST(Vm, BitwiseAndShifts) {
+  EXPECT_EQ(run(wrapMain("System.out.println(12 & 10);")), "8\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(12 | 10);")), "14\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(12 ^ 10);")), "6\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(1 << 5);")), "32\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(-8 >> 1);")), "-4\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(~5);")), "-6\n");
+}
+
+TEST(Vm, DivisionByZeroThrowsCatchable) {
+  EXPECT_EQ(run(wrapMain(R"(
+    int x = 0;
+    try { x = 5 / x; }
+    catch (ArithmeticException e) { System.out.println(e.getMessage()); }
+  )")),
+            "/ by zero\n");
+}
+
+TEST(Vm, AssignmentNarrowsToDeclaredKind) {
+  // A long stored into an int local keeps int semantics afterwards.
+  EXPECT_EQ(run(wrapMain("int x = 0; long big = 4294967296L;"
+                         "x = (int) big; System.out.println(x);")),
+            "0\n");
+}
+
+TEST(Vm, CompoundAssignAndIncDec) {
+  EXPECT_EQ(run(wrapMain("int x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4;"
+                         "System.out.println(x);")),
+            "2\n");
+  EXPECT_EQ(run(wrapMain("int x = 5; System.out.println(x++);"
+                         "System.out.println(x);")),
+            "5\n6\n");
+  EXPECT_EQ(run(wrapMain("int x = 5; System.out.println(++x);"
+                         "System.out.println(x);")),
+            "6\n6\n");
+  // Java: compound assignment has an implicit narrowing cast.
+  EXPECT_EQ(run(wrapMain("byte b = 100; b += 100; System.out.println(b);")),
+            "-56\n");
+}
+
+// --------------------------------------------------------- control flow
+
+TEST(Vm, WhileForBreakContinue) {
+  EXPECT_EQ(run(wrapMain(R"(
+    int total = 0;
+    for (int i = 0; i < 10; i++) {
+      if (i == 3) continue;
+      if (i == 7) break;
+      total += i;
+    }
+    System.out.println(total);
+  )")),
+            "18\n");
+  EXPECT_EQ(run(wrapMain(R"(
+    int i = 0;
+    while (true) { i++; if (i >= 4) break; }
+    System.out.println(i);
+  )")),
+            "4\n");
+}
+
+TEST(Vm, TernaryAndShortCircuit) {
+  EXPECT_EQ(run(wrapMain("int x = 5; System.out.println(x > 3 ? \"big\" : \"small\");")),
+            "big\n");
+  // RHS of && must not evaluate when LHS is false (would divide by zero).
+  EXPECT_EQ(run(wrapMain("int z = 0; boolean ok = z != 0 && 10 / z > 1;"
+                         "System.out.println(ok);")),
+            "false\n");
+  EXPECT_EQ(run(wrapMain("int z = 0; boolean ok = z == 0 || 10 / z > 1;"
+                         "System.out.println(ok);")),
+            "true\n");
+}
+
+TEST(Vm, SwitchWithFallthroughAndDefault) {
+  const std::string prog = R"(
+    class Main {
+      static String pick(int v) {
+        String r = "";
+        switch (v) {
+          case 1: r = r + "one ";
+          case 2: r = r + "two"; break;
+          case 3: r = r + "three"; break;
+          default: r = "other";
+        }
+        return r;
+      }
+      static void main(String[] args) {
+        System.out.println(pick(1));
+        System.out.println(pick(2));
+        System.out.println(pick(3));
+        System.out.println(pick(9));
+      }
+    }
+  )";
+  EXPECT_EQ(run(prog), "one two\ntwo\nthree\nother\n");
+}
+
+TEST(Vm, NestedLoopsAndScoping) {
+  EXPECT_EQ(run(wrapMain(R"(
+    int hits = 0;
+    for (int i = 0; i < 3; i++) {
+      for (int j = 0; j < 3; j++) {
+        int local = i * 3 + j;
+        hits += local;
+      }
+    }
+    System.out.println(hits);
+  )")),
+            "36\n");
+}
+
+// ------------------------------------------------------------- methods
+
+TEST(Vm, StaticAndInstanceMethods) {
+  EXPECT_EQ(run(R"(
+    class Counter {
+      int count;
+      void bump(int by) { count += by; }
+      int value() { return count; }
+    }
+    class Main {
+      static int twice(int v) { return v * 2; }
+      static void main(String[] args) {
+        Counter c = new Counter();
+        c.bump(3);
+        c.bump(4);
+        System.out.println(twice(c.value()));
+      }
+    }
+  )"),
+            "14\n");
+}
+
+TEST(Vm, RecursionWorks) {
+  EXPECT_EQ(run(R"(
+    class Main {
+      static int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+      static void main(String[] args) { System.out.println(fib(15)); }
+    }
+  )"),
+            "610\n");
+}
+
+TEST(Vm, InfiniteRecursionThrowsStackOverflow) {
+  EXPECT_EQ(run(R"(
+    class Main {
+      static int boom(int n) { return boom(n + 1); }
+      static void main(String[] args) {
+        try { boom(0); }
+        catch (StackOverflowError e) { System.out.println("caught"); }
+      }
+    }
+  )"),
+            "caught\n");
+}
+
+TEST(Vm, ConstructorsAndFieldInitializers) {
+  EXPECT_EQ(run(R"(
+    class Point {
+      int x = 1;
+      int y;
+      Point(int px, int py) { x = px; y = py; }
+      int sum() { return x + y; }
+    }
+    class Main {
+      static void main(String[] args) {
+        Point p = new Point(3, 4);
+        System.out.println(p.sum());
+        System.out.println(p.x);
+      }
+    }
+  )"),
+            "7\n3\n");
+}
+
+TEST(Vm, StaticFieldsSharedAcrossInstances) {
+  EXPECT_EQ(run(R"(
+    class Counter {
+      static int total = 0;
+      void bump() { total++; }
+    }
+    class Main {
+      static void main(String[] args) {
+        Counter a = new Counter();
+        Counter b = new Counter();
+        a.bump(); b.bump(); a.bump();
+        System.out.println(Counter.total);
+      }
+    }
+  )"),
+            "3\n");
+}
+
+TEST(Vm, MultipleMainClassesRequireSelection) {
+  const std::string src = R"(
+    class A { static void main(String[] args) { System.out.println("A"); } }
+    class B { static void main(String[] args) { System.out.println("B"); } }
+  )";
+  Program prog = Parser::parseProgram("t.mjava", src);
+  SimMachine machine;
+  Interpreter interp(prog, machine);
+  EXPECT_THROW(interp.runMain(), VmError);  // ambiguous, like JEPO's prompt
+  interp.runMain("B");
+  EXPECT_EQ(interp.output(), "B\n");
+}
+
+TEST(Vm, CallStaticEntryPoint) {
+  Program prog = Parser::parseProgram("t.mjava", R"(
+    class MathUtil { static int add(int a, int b) { return a + b; } }
+  )");
+  SimMachine machine;
+  Interpreter interp(prog, machine);
+  const Value v = interp.callStatic("MathUtil", "add",
+                                    {Value::ofInt(2), Value::ofInt(40)});
+  EXPECT_EQ(v.asInt(), 42);
+}
+
+// -------------------------------------------------------------- arrays
+
+TEST(Vm, ArraysDefaultsBoundsAndLength) {
+  EXPECT_EQ(run(wrapMain("int[] a = new int[3]; System.out.println(a[1]);"
+                         "System.out.println(a.length);")),
+            "0\n3\n");
+  EXPECT_EQ(run(wrapMain(R"(
+    int[] a = new int[2];
+    try { a[5] = 1; }
+    catch (ArrayIndexOutOfBoundsException e) { System.out.println("oob"); }
+  )")),
+            "oob\n");
+}
+
+TEST(Vm, TwoDimensionalArrays) {
+  EXPECT_EQ(run(wrapMain(R"(
+    int[][] m = new int[2][3];
+    m[1][2] = 42;
+    System.out.println(m[1][2]);
+    System.out.println(m.length);
+    System.out.println(m[0].length);
+  )")),
+            "42\n2\n3\n");
+}
+
+TEST(Vm, ArrayStoresCoerceToElementKind) {
+  EXPECT_EQ(run(wrapMain("int[] a = new int[1]; long v = 4294967297L;"
+                         "a[0] = (int) v; System.out.println(a[0]);")),
+            "1\n");
+  EXPECT_EQ(run(wrapMain("float[] f = new float[1]; f[0] = 1.5f;"
+                         "System.out.println(f[0]);")),
+            "1.5\n");
+}
+
+TEST(Vm, SystemArraycopySemantics) {
+  EXPECT_EQ(run(wrapMain(R"(
+    int[] src = new int[5];
+    for (int i = 0; i < 5; i++) src[i] = i + 1;
+    int[] dst = new int[5];
+    System.arraycopy(src, 1, dst, 0, 3);
+    System.out.println(dst[0]);
+    System.out.println(dst[2]);
+    System.out.println(dst[3]);
+  )")),
+            "2\n4\n0\n");
+  // Overlapping self-copy shifts correctly.
+  EXPECT_EQ(run(wrapMain(R"(
+    int[] a = new int[4];
+    for (int i = 0; i < 4; i++) a[i] = i;
+    System.arraycopy(a, 0, a, 1, 3);
+    System.out.println(a[1]);
+    System.out.println(a[3]);
+  )")),
+            "0\n2\n");
+}
+
+TEST(Vm, ArrayAliasingIsReferenceSemantics) {
+  EXPECT_EQ(run(wrapMain("int[] a = new int[2]; int[] b = a; b[0] = 9;"
+                         "System.out.println(a[0]);")),
+            "9\n");
+}
+
+// -------------------------------------------------------------- strings
+
+TEST(Vm, StringConcatAndEquals) {
+  EXPECT_EQ(run(wrapMain("String s = \"foo\" + \"bar\" + 1;"
+                         "System.out.println(s);")),
+            "foobar1\n");
+  EXPECT_EQ(run(wrapMain("String a = \"x\"; String b = \"x\";"
+                         "System.out.println(a.equals(b));"
+                         "System.out.println(a.equals(\"y\"));")),
+            "true\nfalse\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(\"abc\".compareTo(\"abd\") < 0);"
+                         "System.out.println(\"abc\".compareTo(\"abc\"));")),
+            "true\n0\n");
+}
+
+TEST(Vm, StringMethods) {
+  EXPECT_EQ(run(wrapMain("System.out.println(\"hello\".length());")), "5\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(\"hello\".charAt(1));")), "e\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(\"hello\".substring(1, 3));")),
+            "el\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(\"hello\".indexOf(\"ll\"));")),
+            "2\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(\"hello\".startsWith(\"he\"));")),
+            "true\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(\"\".isEmpty());")), "true\n");
+}
+
+TEST(Vm, StringBuilderFluentAppend) {
+  EXPECT_EQ(run(wrapMain(R"(
+    StringBuilder sb = new StringBuilder();
+    sb.append("a").append(1).append(true).append('z');
+    System.out.println(sb.toString());
+    System.out.println(sb.length());
+  )")),
+            "a1truez\n7\n");
+}
+
+TEST(Vm, StringLiteralsAreInterned) {
+  EXPECT_EQ(run(wrapMain("System.out.println(\"x\" == \"x\");")), "true\n");
+  EXPECT_EQ(run(wrapMain("String a = \"x\"; String b = new String(a);"
+                         "System.out.println(a == b);"
+                         "System.out.println(a.equals(b));")),
+            "false\ntrue\n");
+}
+
+// ------------------------------------------------------------ wrappers
+
+TEST(Vm, BoxingAndUnboxing) {
+  EXPECT_EQ(run(wrapMain("Integer boxed = 42; int raw = boxed.intValue();"
+                         "System.out.println(raw + 1);")),
+            "43\n");
+  EXPECT_EQ(run(wrapMain("Integer a = 5; System.out.println(a + 3);")), "8\n");
+  EXPECT_EQ(run(wrapMain("Double d = 2.5; System.out.println(d + 0.5);")),
+            "3.0\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(Integer.valueOf(7).equals(7));")),
+            "true\n");
+}
+
+TEST(Vm, ParseAndConstants) {
+  EXPECT_EQ(run(wrapMain("System.out.println(Integer.parseInt(\"123\") + 1);")),
+            "124\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(Integer.MAX_VALUE);")),
+            "2147483647\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(Long.MAX_VALUE);")),
+            "9223372036854775807\n");
+  EXPECT_EQ(run(wrapMain(R"(
+    try { int x = Integer.parseInt("nope"); }
+    catch (NumberFormatException e) { System.out.println("bad"); }
+  )")),
+            "bad\n");
+}
+
+TEST(Vm, MathBuiltins) {
+  EXPECT_EQ(run(wrapMain("System.out.println(Math.sqrt(16.0));")), "4.0\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(Math.max(3, 9));")), "9\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(Math.min(-3, 2));")), "-3\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(Math.abs(-5));")), "5\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(Math.pow(2.0, 10.0));")),
+            "1024.0\n");
+  EXPECT_EQ(run(wrapMain("System.out.println(Math.round(2.6));")), "3\n");
+}
+
+// ----------------------------------------------------------- exceptions
+
+TEST(Vm, ThrowCatchFinallyOrdering) {
+  EXPECT_EQ(run(wrapMain(R"(
+    try {
+      System.out.println("try");
+      throw new RuntimeException("boom");
+    } catch (RuntimeException e) {
+      System.out.println("catch " + e.getMessage());
+    } finally {
+      System.out.println("finally");
+    }
+    System.out.println("after");
+  )")),
+            "try\ncatch boom\nfinally\nafter\n");
+}
+
+TEST(Vm, UncaughtExceptionPropagatesThroughCalls) {
+  EXPECT_EQ(run(R"(
+    class Main {
+      static void inner() { throw new IllegalStateException("deep"); }
+      static void main(String[] args) {
+        try { inner(); }
+        catch (IllegalStateException e) { System.out.println(e.getMessage()); }
+      }
+    }
+  )"),
+            "deep\n");
+}
+
+TEST(Vm, CatchExceptionCatchesEverything) {
+  EXPECT_EQ(run(wrapMain(R"(
+    try { throw new FooBarException("x"); }
+    catch (Exception e) { System.out.println("generic"); }
+  )")),
+            "generic\n");
+}
+
+TEST(Vm, FinallyRunsOnUncaughtAndWinsOnReturn) {
+  EXPECT_EQ(run(R"(
+    class Main {
+      static int f() {
+        try { return 1; }
+        finally { System.out.println("cleanup"); }
+      }
+      static void main(String[] args) { System.out.println(f()); }
+    }
+  )"),
+            "cleanup\n1\n");
+}
+
+TEST(Vm, NullPointerAccessThrows) {
+  EXPECT_EQ(run(wrapMain(R"(
+    int[] a = null;
+    try { a[0] = 1; }
+    catch (NullPointerException e) { System.out.println("npe"); }
+  )")),
+            "npe\n");
+  EXPECT_EQ(run(wrapMain(R"(
+    String s = null;
+    try { s.length(); }
+    catch (NullPointerException e) { System.out.println("npe"); }
+  )")),
+            "npe\n");
+}
+
+// --------------------------------------------------------------- limits
+
+TEST(Vm, StepLimitGuardsRunawayLoops) {
+  Program prog = Parser::parseProgram(
+      "t.mjava", wrapMain("while (true) { int x = 1; }"));
+  SimMachine machine;
+  Interpreter interp(prog, machine);
+  interp.setMaxSteps(10'000);
+  EXPECT_THROW(interp.runMain(), VmError);
+}
+
+// --------------------------------------------------- energy observables
+
+TEST(VmEnergy, RunningConsumesEnergyAndTime) {
+  auto [out, sample] = runMeasured(wrapMain(
+      "int t = 0; for (int i = 0; i < 1000; i++) t += i;"
+      "System.out.println(t);"));
+  EXPECT_EQ(out, "499500\n");
+  EXPECT_GT(sample.packageJoules, 0.0);
+  EXPECT_GT(sample.coreJoules, 0.0);
+  EXPECT_LT(sample.coreJoules, sample.packageJoules);
+  EXPECT_GT(sample.seconds, 0.0);
+}
+
+TEST(VmEnergy, ModulusCostsMoreThanBitmask) {
+  const char* kMod = R"(
+    int acc = 0;
+    for (int i = 0; i < 20000; i++) acc += i % 8;
+    System.out.println(acc);
+  )";
+  const char* kMask = R"(
+    int acc = 0;
+    for (int i = 0; i < 20000; i++) acc += i & 7;
+    System.out.println(acc);
+  )";
+  auto [outA, a] = runMeasured(wrapMain(kMod));
+  auto [outB, b] = runMeasured(wrapMain(kMask));
+  EXPECT_EQ(outA, outB);  // same answer
+  EXPECT_GT(a.packageJoules, b.packageJoules * 1.2);
+}
+
+TEST(VmEnergy, StaticAccessCostsMoreThanLocal) {
+  const char* kStatic = R"(
+    class Main {
+      static int acc = 0;
+      static void main(String[] args) {
+        for (int i = 0; i < 20000; i++) acc += i;
+        System.out.println(acc);
+      }
+    }
+  )";
+  const char* kLocal = R"(
+    class Main {
+      static void main(String[] args) {
+        int acc = 0;
+        for (int i = 0; i < 20000; i++) acc += i;
+        System.out.println(acc);
+      }
+    }
+  )";
+  auto [outA, a] = runMeasured(kStatic);
+  auto [outB, b] = runMeasured(kLocal);
+  EXPECT_EQ(outA, outB);
+  EXPECT_GT(a.packageJoules, b.packageJoules * 3.0);
+}
+
+TEST(VmEnergy, ColumnTraversalCostsMoreThanRow) {
+  const char* kRow = R"(
+    int[][] m = new int[200][200];
+    int acc = 0;
+    for (int i = 0; i < 200; i++)
+      for (int j = 0; j < 200; j++)
+        acc += m[i][j];
+    System.out.println(acc);
+  )";
+  const char* kCol = R"(
+    int[][] m = new int[200][200];
+    int acc = 0;
+    for (int j = 0; j < 200; j++)
+      for (int i = 0; i < 200; i++)
+        acc += m[i][j];
+    System.out.println(acc);
+  )";
+  auto [outA, row] = runMeasured(wrapMain(kRow));
+  auto [outB, col] = runMeasured(wrapMain(kCol));
+  EXPECT_EQ(outA, outB);
+  EXPECT_GT(col.packageJoules, row.packageJoules * 1.5);
+}
+
+TEST(VmEnergy, StringBuilderBeatsConcatInLoop) {
+  const char* kConcat = R"(
+    String s = "";
+    for (int i = 0; i < 300; i++) s = s + "x";
+    System.out.println(s.length());
+  )";
+  const char* kBuilder = R"(
+    StringBuilder sb = new StringBuilder();
+    for (int i = 0; i < 300; i++) sb.append("x");
+    System.out.println(sb.toString().length());
+  )";
+  auto [outA, concat] = runMeasured(wrapMain(kConcat));
+  auto [outB, builder] = runMeasured(wrapMain(kBuilder));
+  EXPECT_EQ(outA, outB);
+  EXPECT_GT(concat.packageJoules, builder.packageJoules * 5.0);
+}
+
+TEST(VmEnergy, ArraycopyBeatsManualLoop) {
+  const char* kManual = R"(
+    int[] src = new int[5000];
+    int[] dst = new int[5000];
+    for (int i = 0; i < 5000; i++) dst[i] = src[i];
+    System.out.println(dst.length);
+  )";
+  const char* kCopy = R"(
+    int[] src = new int[5000];
+    int[] dst = new int[5000];
+    System.arraycopy(src, 0, dst, 0, 5000);
+    System.out.println(dst.length);
+  )";
+  auto [outA, manual] = runMeasured(wrapMain(kManual));
+  auto [outB, copy] = runMeasured(wrapMain(kCopy));
+  EXPECT_EQ(outA, outB);
+  EXPECT_GT(manual.packageJoules, copy.packageJoules * 2.0);
+}
+
+// ---------------------------------------------------------- instrumenter
+
+TEST(Instrumenter, RecordsPerExecutionInCompletionOrder) {
+  Program prog = Parser::parseProgram("t.mjava", R"(
+    class Main {
+      static int work(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i++) acc += i;
+        return acc;
+      }
+      static void main(String[] args) {
+        work(10);
+        work(10000);
+      }
+    }
+  )");
+  SimMachine machine;
+  Interpreter interp(prog, machine);
+  Instrumenter inst(machine);
+  interp.setHooks(&inst);
+  interp.runMain();
+
+  // work x2 (completing before main), then main.
+  ASSERT_EQ(inst.records().size(), 3u);
+  EXPECT_EQ(inst.records()[0].method, "Main.work");
+  EXPECT_EQ(inst.records()[1].method, "Main.work");
+  EXPECT_EQ(inst.records()[2].method, "Main.main");
+  // The heavier call consumed more energy and time.
+  EXPECT_GT(inst.records()[1].packageJoules, inst.records()[0].packageJoules);
+  EXPECT_GT(inst.records()[1].seconds, inst.records()[0].seconds);
+  // main's inclusive measurement contains both calls.
+  EXPECT_GE(inst.records()[2].packageJoules, inst.records()[1].packageJoules);
+  // Core energy is positive and below package for real work.
+  EXPECT_GT(inst.records()[1].coreJoules, 0.0);
+  EXPECT_LE(inst.records()[1].coreJoules,
+            inst.records()[1].packageJoules + 1e-9);
+}
+
+TEST(Instrumenter, HooksStayBalancedAcrossExceptions) {
+  Program prog = Parser::parseProgram("t.mjava", R"(
+    class Main {
+      static void boom() { throw new RuntimeException("x"); }
+      static void main(String[] args) {
+        try { boom(); } catch (RuntimeException e) { }
+      }
+    }
+  )");
+  SimMachine machine;
+  Interpreter interp(prog, machine);
+  Instrumenter inst(machine);
+  interp.setHooks(&inst);
+  interp.runMain();
+  ASSERT_EQ(inst.records().size(), 2u);  // boom, then main — balanced
+  EXPECT_EQ(inst.records()[0].method, "Main.boom");
+  EXPECT_EQ(inst.records()[1].method, "Main.main");
+}
+
+}  // namespace
+}  // namespace jepo::jvm

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/airlines.hpp"
+#include "ml/evaluation.hpp"
+#include "ml/classifier.hpp"
+
+namespace jepo::ml {
+namespace {
+
+// A small learnable dataset: two numeric features + one nominal, class
+// depends on a simple rule with a little noise.
+Instances makeToyData(std::size_t n, std::uint64_t seed) {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::numeric("x"));
+  attrs.push_back(Attribute::numeric("y"));
+  attrs.push_back(Attribute::nominal("color", {"red", "green", "blue"}));
+  attrs.push_back(Attribute::nominal("label", {"neg", "pos"}));
+  Instances data("toy", std::move(attrs), 3);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.nextDouble() * 10.0;
+    const double y = rng.nextDouble() * 10.0;
+    const auto color = static_cast<double>(rng.nextBelow(3));
+    double score = (x > 5.0 ? 1.0 : -1.0) + (color == 2.0 ? 0.8 : -0.2) +
+                   0.15 * (y - 5.0);
+    if (rng.nextDouble() < 0.05) score = -score;  // 5% label noise
+    data.addRow({x, y, color, score > 0 ? 1.0 : 0.0});
+  }
+  return data;
+}
+
+// ------------------------------------------------------------ dataset
+
+TEST(Dataset, SchemaValidation) {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::numeric("x"));
+  attrs.push_back(Attribute::nominal("c", {"a", "b"}));
+  Instances data("d", attrs, 1);
+  EXPECT_EQ(data.numClasses(), 2u);
+  data.addRow({1.5, 0.0});
+  EXPECT_THROW(data.addRow({1.0}), PreconditionError);        // width
+  EXPECT_THROW(data.addRow({1.0, 5.0}), PreconditionError);   // label range
+  EXPECT_THROW(Instances("d", attrs, 0), PreconditionError);  // numeric class
+}
+
+TEST(Dataset, FeatureIndicesSkipClass) {
+  const Instances data = makeToyData(10, 1);
+  EXPECT_EQ(data.featureIndices(), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Dataset, MajorityFraction) {
+  std::vector<Attribute> attrs{Attribute::nominal("c", {"a", "b"})};
+  Instances data("d", attrs, 0);
+  data.addRow({0.0});
+  data.addRow({0.0});
+  data.addRow({0.0});
+  data.addRow({1.0});
+  EXPECT_DOUBLE_EQ(data.majorityClassFraction(), 0.75);
+}
+
+TEST(Dataset, SubsampleIsDeterministicAndSized) {
+  const Instances data = makeToyData(100, 3);
+  Rng r1(9);
+  Rng r2(9);
+  const Instances a = data.subsample(30, r1);
+  const Instances b = data.subsample(30, r2);
+  ASSERT_EQ(a.numInstances(), 30u);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(a.row(i), b.row(i));
+  }
+}
+
+TEST(Dataset, StratifiedFoldsPartitionAndStratify) {
+  const Instances data = makeToyData(200, 5);
+  Rng rng(11);
+  const auto folds = data.stratifiedFolds(10, rng);
+  ASSERT_EQ(folds.size(), 10u);
+
+  // Every instance appears in exactly one test fold.
+  std::set<std::size_t> seen;
+  for (const auto& f : folds) {
+    for (std::size_t i : f.test) {
+      EXPECT_TRUE(seen.insert(i).second) << "instance in two test folds";
+    }
+    EXPECT_EQ(f.train.size() + f.test.size(), data.numInstances());
+  }
+  EXPECT_EQ(seen.size(), data.numInstances());
+
+  // Class ratio in each fold tracks the global ratio.
+  const double global = data.majorityClassFraction();
+  for (const auto& f : folds) {
+    std::size_t majority = 0;
+    std::vector<std::size_t> counts(data.numClasses(), 0);
+    for (std::size_t i : f.test) {
+      ++counts[static_cast<std::size_t>(data.classValue(i))];
+    }
+    majority = *std::max_element(counts.begin(), counts.end());
+    const double frac = static_cast<double>(majority) /
+                        static_cast<double>(f.test.size());
+    EXPECT_NEAR(frac, global, 0.15);
+  }
+}
+
+TEST(Dataset, NumericRanges) {
+  const Instances data = makeToyData(50, 7);
+  const auto ranges = data.numericRanges();
+  EXPECT_GE(ranges[0].min, 0.0);
+  EXPECT_LE(ranges[0].max, 10.0);
+  EXPECT_LT(ranges[0].min, ranges[0].max);
+}
+
+// ------------------------------------------------- classifiers, generic
+
+struct KindCase {
+  ClassifierKind kind;
+};
+
+class ClassifierSuite : public ::testing::TestWithParam<ClassifierKind> {};
+
+TEST_P(ClassifierSuite, BeatsMajorityBaselineOnToyData) {
+  const Instances train = makeToyData(400, 21);
+  const Instances test = makeToyData(200, 22);
+  energy::SimMachine machine;
+  MlRuntime rt(machine, CodeStyle::javaBaseline());
+  auto clf = makeClassifier(GetParam(), Precision::kDouble, rt, 99);
+  clf->train(train);
+  const double acc = accuracy(*clf, test);
+  EXPECT_GT(acc, test.majorityClassFraction() + 0.1)
+      << clf->name() << " accuracy " << acc;
+}
+
+TEST_P(ClassifierSuite, DeterministicForSeed) {
+  const Instances train = makeToyData(200, 31);
+  const Instances test = makeToyData(50, 32);
+  auto runOnce = [&] {
+    energy::SimMachine machine;
+    MlRuntime rt(machine, CodeStyle::javaBaseline());
+    auto clf = makeClassifier(GetParam(), Precision::kDouble, rt, 123);
+    clf->train(train);
+    std::vector<int> preds;
+    for (std::size_t i = 0; i < test.numInstances(); ++i) {
+      preds.push_back(clf->predict(test.row(i)));
+    }
+    return preds;
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST_P(ClassifierSuite, FloatPrecisionStaysClose) {
+  const Instances train = makeToyData(300, 41);
+  const Instances test = makeToyData(150, 42);
+  energy::SimMachine machine;
+  MlRuntime rt(machine, CodeStyle::javaBaseline());
+  auto d = makeClassifier(GetParam(), Precision::kDouble, rt, 7);
+  auto f = makeClassifier(GetParam(), Precision::kFloat, rt, 7);
+  d->train(train);
+  f->train(train);
+  const double accD = accuracy(*d, test);
+  const double accF = accuracy(*f, test);
+  // The paper's worst observed drop is 0.48%; allow a loose 5% band here
+  // (tiny toy data amplifies flips).
+  EXPECT_NEAR(accD, accF, 0.05) << d->name();
+}
+
+TEST_P(ClassifierSuite, TrainingConsumesEnergy) {
+  const Instances train = makeToyData(150, 51);
+  energy::SimMachine machine;
+  MlRuntime rt(machine, CodeStyle::javaBaseline());
+  auto clf = makeClassifier(GetParam(), Precision::kDouble, rt, 3);
+  clf->train(train);
+  clf->predict(train.row(0));
+  const auto sample = machine.sample();
+  EXPECT_GT(sample.packageJoules, 0.0) << clf->name();
+  EXPECT_GT(sample.seconds, 0.0);
+}
+
+// The Table IV mechanism: the optimized CodeStyle consumes strictly less
+// energy for the same training work, with identical predictions.
+TEST_P(ClassifierSuite, OptimizedStyleSavesEnergyWithSamePredictions) {
+  const Instances train = makeToyData(250, 61);
+  const Instances test = makeToyData(100, 62);
+
+  auto measure = [&](CodeStyle style, std::vector<int>* preds) {
+    energy::SimMachine machine;
+    MlRuntime rt(machine, style);
+    auto clf = makeClassifier(GetParam(), Precision::kDouble, rt, 17);
+    clf->train(train);
+    for (std::size_t i = 0; i < test.numInstances(); ++i) {
+      preds->push_back(clf->predict(test.row(i)));
+    }
+    return machine.sample();
+  };
+
+  std::vector<int> basePreds;
+  std::vector<int> optPreds;
+  const auto base = measure(CodeStyle::javaBaseline(), &basePreds);
+  const auto opt = measure(CodeStyle::jepoOptimized(), &optPreds);
+  EXPECT_EQ(basePreds, optPreds) << "style changed predictions";
+  EXPECT_LT(opt.packageJoules, base.packageJoules);
+  EXPECT_LT(opt.seconds, base.seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ClassifierSuite,
+    ::testing::Values(ClassifierKind::kJ48, ClassifierKind::kRandomTree,
+                      ClassifierKind::kRandomForest, ClassifierKind::kRepTree,
+                      ClassifierKind::kNaiveBayes, ClassifierKind::kLogistic,
+                      ClassifierKind::kSmo, ClassifierKind::kSgd,
+                      ClassifierKind::kKStar, ClassifierKind::kIbk),
+    [](const ::testing::TestParamInfo<ClassifierKind>& info) {
+      std::string name(classifierName(info.param));
+      name.erase(std::remove(name.begin(), name.end(), ' '), name.end());
+      return name;
+    });
+
+// ------------------------------------------------------------ evaluation
+
+TEST(Evaluation, PerfectOnSeparableData) {
+  std::vector<Attribute> attrs{Attribute::numeric("x"),
+                               Attribute::nominal("c", {"a", "b"})};
+  Instances data("sep", attrs, 1);
+  for (int i = 0; i < 50; ++i) {
+    data.addRow({static_cast<double>(i), i < 25 ? 0.0 : 1.0});
+  }
+  energy::SimMachine machine;
+  MlRuntime rt(machine, CodeStyle::jepoOptimized());
+  auto clf = makeClassifier(ClassifierKind::kJ48, Precision::kDouble, rt, 1);
+  clf->train(data);
+  EXPECT_DOUBLE_EQ(accuracy(*clf, data), 1.0);
+}
+
+TEST(Evaluation, CrossValidationRunsAllFolds) {
+  const Instances data = makeToyData(200, 71);
+  energy::SimMachine machine;
+  MlRuntime rt(machine, CodeStyle::jepoOptimized());
+  Rng rng(5);
+  int built = 0;
+  const double acc = crossValidate(
+      [&] {
+        ++built;
+        return makeClassifier(ClassifierKind::kNaiveBayes, Precision::kDouble,
+                              rt, 9);
+      },
+      data, 10, rng);
+  EXPECT_EQ(built, 10);
+  EXPECT_GT(acc, 0.5);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(Evaluation, PredictBeforeTrainThrows) {
+  energy::SimMachine machine;
+  MlRuntime rt(machine, CodeStyle::javaBaseline());
+  auto clf = makeClassifier(ClassifierKind::kIbk, Precision::kDouble, rt, 1);
+  EXPECT_THROW(clf->predict({1.0, 2.0, 0.0, 0.0}), PreconditionError);
+}
+
+TEST(Classifier, NamesMatchPaperTable) {
+  EXPECT_EQ(classifierName(ClassifierKind::kJ48), "J48");
+  EXPECT_EQ(classifierName(ClassifierKind::kRandomForest), "Random Forest");
+  EXPECT_EQ(classifierName(ClassifierKind::kKStar), "KStar");
+  EXPECT_EQ(classifierName(ClassifierKind::kIbk), "IBk");
+}
+
+}  // namespace
+}  // namespace jepo::ml

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "rapl/rapl.hpp"
+
+namespace jepo::rapl {
+namespace {
+
+TEST(PowerUnit, EncodeDecodeRoundTrip) {
+  PowerUnit u;
+  u.powerUnitBits = 3;
+  u.energyUnitBits = 14;
+  u.timeUnitBits = 10;
+  const PowerUnit d = PowerUnit::decode(u.encode());
+  EXPECT_EQ(d.powerUnitBits, 3u);
+  EXPECT_EQ(d.energyUnitBits, 14u);
+  EXPECT_EQ(d.timeUnitBits, 10u);
+}
+
+TEST(PowerUnit, DefaultQuantaMatchIntelClientParts) {
+  PowerUnit u;  // ESU = 16
+  EXPECT_DOUBLE_EQ(u.jouleQuantum(), 1.0 / 65536.0);
+  EXPECT_DOUBLE_EQ(u.wattQuantum(), 1.0 / 8.0);
+}
+
+TEST(Msr, UnimplementedRegisterThrows) {
+  SimulatedMsrDevice dev;
+  EXPECT_THROW(dev.read(0x611), Error);
+  dev.write(0x611, 5);
+  EXPECT_EQ(dev.read(0x611), 5u);
+  EXPECT_TRUE(dev.has(0x611));
+  EXPECT_FALSE(dev.has(0x639));
+}
+
+TEST(Rapl, PackageImplementsAllDomains) {
+  SimulatedRaplPackage pkg;
+  RaplReader reader(pkg.device());
+  for (Domain d : kAllDomains) {
+    EXPECT_EQ(reader.readRaw(d), 0u) << domainName(d);
+  }
+}
+
+TEST(Rapl, DepositsAreVisibleThroughMsrReads) {
+  SimulatedRaplPackage pkg;
+  RaplReader reader(pkg.device());
+  pkg.deposit(Domain::kPackage, 1.0);
+  EXPECT_NEAR(reader.readJoules(Domain::kPackage), 1.0, 1e-4);
+  // other domains untouched
+  EXPECT_EQ(reader.readRaw(Domain::kCore), 0u);
+}
+
+TEST(Rapl, SubQuantumDepositsAccumulateWithoutLoss) {
+  SimulatedRaplPackage pkg;
+  RaplReader reader(pkg.device());
+  // 10,000 deposits of 1/10 quantum each => exactly 1,000 raw counts.
+  const double dep = pkg.unit().jouleQuantum() / 10.0;
+  for (int i = 0; i < 10000; ++i) pkg.deposit(Domain::kCore, dep);
+  // One count of slack: the residual accumulator is a double, so the last
+  // carry may land one deposit later.
+  EXPECT_NEAR(static_cast<double>(reader.readRaw(Domain::kCore)), 1000.0, 1.0);
+  EXPECT_NEAR(pkg.totalJoules(Domain::kCore), 10000 * dep, 1e-12);
+}
+
+TEST(Rapl, NegativeDepositRejected) {
+  SimulatedRaplPackage pkg;
+  EXPECT_THROW(pkg.deposit(Domain::kPackage, -0.1), PreconditionError);
+}
+
+TEST(Rapl, CounterWrapsAt32Bits) {
+  SimulatedRaplPackage pkg;
+  RaplReader reader(pkg.device());
+  // ESU=16: the counter wraps every 2^32 / 2^16 = 65536 J.
+  const double wrapJoules = 65536.0;
+  pkg.deposit(Domain::kPackage, wrapJoules + 3.0);
+  EXPECT_NEAR(reader.readJoules(Domain::kPackage), 3.0, 1e-4);
+  // Ground truth is unwrapped.
+  EXPECT_NEAR(pkg.totalJoules(Domain::kPackage), wrapJoules + 3.0, 1e-9);
+}
+
+TEST(EnergyCounter, MeasuresIntervals) {
+  SimulatedRaplPackage pkg;
+  RaplReader reader(pkg.device());
+  pkg.deposit(Domain::kPackage, 10.0);
+  EnergyCounter counter(reader, Domain::kPackage);
+  pkg.deposit(Domain::kPackage, 2.5);
+  EXPECT_NEAR(counter.elapsedJoules(), 2.5, 1e-4);
+  counter.start();
+  EXPECT_NEAR(counter.elapsedJoules(), 0.0, 1e-9);
+}
+
+TEST(EnergyCounter, SurvivesOneWraparound) {
+  SimulatedRaplPackage pkg;
+  RaplReader reader(pkg.device());
+  // Park the counter just below the wrap point, then measure across it.
+  pkg.deposit(Domain::kPackage, 65536.0 - 1.0);
+  EnergyCounter counter(reader, Domain::kPackage);
+  pkg.deposit(Domain::kPackage, 4.0);  // crosses the wrap
+  EXPECT_NEAR(counter.elapsedJoules(), 4.0, 1e-4);
+}
+
+TEST(EnergyCounter, WrapExactlyToSameRawReadsZero) {
+  // Fundamental RAPL ambiguity: a full wrap's worth of energy is
+  // indistinguishable from zero. Document the contract.
+  SimulatedRaplPackage pkg;
+  RaplReader reader(pkg.device());
+  EnergyCounter counter(reader, Domain::kPackage);
+  pkg.deposit(Domain::kPackage, 65536.0);
+  EXPECT_NEAR(counter.elapsedJoules(), 0.0, 1e-4);
+}
+
+TEST(Rapl, DomainMsrsMatchIntelSdm) {
+  EXPECT_EQ(domainMsr(Domain::kPackage), 0x611u);
+  EXPECT_EQ(domainMsr(Domain::kCore), 0x639u);
+  EXPECT_EQ(domainMsr(Domain::kUncore), 0x641u);
+  EXPECT_EQ(domainMsr(Domain::kDram), 0x619u);
+}
+
+TEST(Rapl, CustomEnergyUnit) {
+  PowerUnit u;
+  u.energyUnitBits = 14;  // server parts: 61 uJ quanta
+  SimulatedRaplPackage pkg(u);
+  RaplReader reader(pkg.device());
+  EXPECT_EQ(reader.unit().energyUnitBits, 14u);
+  pkg.deposit(Domain::kDram, 1.0);
+  EXPECT_NEAR(reader.readJoules(Domain::kDram), 1.0, 1e-3);
+  EXPECT_EQ(reader.readRaw(Domain::kDram), 1u << 14);
+}
+
+}  // namespace
+}  // namespace jepo::rapl

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "data/airlines.hpp"
+#include "ml/filters.hpp"
+#include "ml/report.hpp"
+
+namespace jepo::ml {
+namespace {
+
+// ------------------------------------------------------------- report
+
+TEST(Report, CountsAndAccuracy) {
+  EvaluationReport r(2);
+  r.add(0, 0);
+  r.add(0, 1);
+  r.add(1, 1);
+  r.add(1, 1);
+  EXPECT_EQ(r.total(), 4u);
+  EXPECT_EQ(r.correct(), 3u);
+  EXPECT_DOUBLE_EQ(r.accuracy(), 0.75);
+  EXPECT_EQ(r.confusion()[0][1], 1u);
+  EXPECT_EQ(r.confusion()[1][1], 2u);
+}
+
+TEST(Report, PrecisionRecallF1) {
+  EvaluationReport r(2);
+  // class 1: TP=2, FP=1 (actual 0 predicted 1), FN=1 (actual 1 predicted 0)
+  r.add(1, 1);
+  r.add(1, 1);
+  r.add(0, 1);
+  r.add(1, 0);
+  r.add(0, 0);
+  EXPECT_DOUBLE_EQ(r.precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.recall(1), 2.0 / 3.0);
+  EXPECT_NEAR(r.f1(1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Report, KappaZeroForChanceAgreement) {
+  // Predictions independent of actual: kappa ~ 0.
+  EvaluationReport r(2);
+  r.add(0, 0);
+  r.add(0, 1);
+  r.add(1, 0);
+  r.add(1, 1);
+  EXPECT_NEAR(r.kappa(), 0.0, 1e-12);
+  // Perfect agreement: kappa = 1.
+  EvaluationReport p(2);
+  p.add(0, 0);
+  p.add(1, 1);
+  EXPECT_DOUBLE_EQ(p.kappa(), 1.0);
+}
+
+TEST(Report, RejectsOutOfRangeClasses) {
+  EvaluationReport r(2);
+  EXPECT_THROW(r.add(2, 0), PreconditionError);
+  EXPECT_THROW(r.add(0, -1), PreconditionError);
+  EXPECT_THROW(r.accuracy(), PreconditionError);  // empty
+}
+
+TEST(Report, RenderIncludesMatrixAndKappa) {
+  EvaluationReport r(2);
+  r.add(0, 0);
+  r.add(1, 1);
+  r.add(1, 0);
+  const Attribute cls = Attribute::nominal("Delay", {"0", "1"});
+  const std::string out = r.render(cls);
+  EXPECT_NE(out.find("Kappa"), std::string::npos);
+  EXPECT_NE(out.find("Confusion matrix"), std::string::npos);
+  EXPECT_NE(out.find("Precision"), std::string::npos);
+}
+
+TEST(Report, DetailedCrossValidationPoolsAllInstances) {
+  data::AirlinesConfig cfg;
+  cfg.instances = 400;
+  const Instances data = data::generateAirlines(cfg);
+  energy::SimMachine machine;
+  MlRuntime rt(machine, CodeStyle::jepoOptimized());
+  Rng rng(3);
+  const EvaluationReport report = crossValidateDetailed(
+      [&] {
+        return makeClassifier(ClassifierKind::kNaiveBayes,
+                              Precision::kDouble, rt, 7);
+      },
+      data, 5, rng);
+  EXPECT_EQ(report.total(), data.numInstances());
+  EXPECT_GT(report.accuracy(), 0.5);
+  EXPECT_GT(report.kappa(), 0.0);  // better than chance
+}
+
+// ------------------------------------------------------------- filters
+
+Instances tiny() {
+  std::vector<Attribute> attrs;
+  attrs.push_back(Attribute::numeric("x"));
+  attrs.push_back(Attribute::nominal("color", {"r", "g", "b"}));
+  attrs.push_back(Attribute::nominal("y", {"no", "yes"}));
+  Instances d("tiny", attrs, 2);
+  d.addRow({10.0, 0.0, 0.0});
+  d.addRow({20.0, 1.0, 1.0});
+  d.addRow({30.0, 2.0, 1.0});
+  return d;
+}
+
+TEST(Filters, NormalizeMapsToUnitInterval) {
+  const Instances data = tiny();
+  NormalizeFilter f;
+  f.fit(data);
+  const Instances out = f.apply(data);
+  EXPECT_DOUBLE_EQ(out.value(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.value(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(out.value(2, 0), 1.0);
+  // Nominal columns untouched.
+  EXPECT_DOUBLE_EQ(out.value(2, 1), 2.0);
+}
+
+TEST(Filters, NormalizeClampsUnseenExtremes) {
+  const Instances data = tiny();
+  NormalizeFilter f;
+  f.fit(data);
+  Instances wild = data.emptyCopy();
+  wild.addRow({100.0, 0.0, 0.0});  // far above the fitted max
+  wild.addRow({-50.0, 1.0, 1.0});
+  const Instances out = f.apply(wild);
+  EXPECT_DOUBLE_EQ(out.value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out.value(1, 0), 0.0);
+}
+
+TEST(Filters, NormalizeApplyBeforeFitThrows) {
+  NormalizeFilter f;
+  EXPECT_THROW(f.apply(tiny()), PreconditionError);
+}
+
+TEST(Filters, NominalToBinaryExpandsNonClassNominals) {
+  const Instances data = tiny();
+  NominalToBinaryFilter f;
+  f.fit(data);
+  const Instances out = f.apply(data);
+  // x + 3 color indicators + class = 5 attributes.
+  ASSERT_EQ(out.numAttributes(), 5u);
+  EXPECT_EQ(out.attribute(1).name(), "color=r");
+  EXPECT_EQ(out.classIndex(), 4);
+  EXPECT_TRUE(out.classAttribute().isNominal());
+  // Row 1 was color=g.
+  EXPECT_DOUBLE_EQ(out.value(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(out.value(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(out.value(1, 3), 0.0);
+  EXPECT_EQ(out.classValue(1), 1);
+}
+
+TEST(Filters, ResamplePercentAndDeterminism) {
+  data::AirlinesConfig cfg;
+  cfg.instances = 1000;
+  const Instances data = data::generateAirlines(cfg);
+  ResampleFilter f(25.0, 9);
+  const Instances a = f.apply(data);
+  const Instances b = f.apply(data);
+  EXPECT_EQ(a.numInstances(), 250u);
+  for (std::size_t i = 0; i < a.numInstances(); ++i) {
+    EXPECT_EQ(a.row(i), b.row(i));
+  }
+  EXPECT_THROW(ResampleFilter(0.0, 1), PreconditionError);
+  EXPECT_THROW(ResampleFilter(150.0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace jepo::ml

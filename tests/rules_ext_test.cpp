@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "energy/machine.hpp"
+#include "jepo/rules_ext.hpp"
+#include "jlang/parser.hpp"
+#include "jlang/printer.hpp"
+#include "jvm/interpreter.hpp"
+
+namespace jepo::core {
+namespace {
+
+using jlang::Parser;
+using jlang::Program;
+
+std::vector<ExtSuggestion> analyze(const std::string& src) {
+  const Program prog = Parser::parseProgram("t.mjava", src);
+  return analyzeExtensions(prog);
+}
+
+int countRule(const std::vector<ExtSuggestion>& v, ExtRuleId id) {
+  int n = 0;
+  for (const auto& s : v) n += (s.rule == id);
+  return n;
+}
+
+TEST(ExtRules, TryInLoop) {
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { int m(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i++) {
+        try { acc += 10 / i; } catch (ArithmeticException e) { }
+      }
+      return acc;
+    } }
+  )"),
+                      ExtRuleId::kTryInLoop),
+            1);
+  // Try outside the loop is the recommended form.
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { int m(int n) {
+      int acc = 0;
+      try {
+        for (int i = 1; i < n; i++) acc += 10 / i;
+      } catch (ArithmeticException e) { }
+      return acc;
+    } }
+  )"),
+                      ExtRuleId::kTryInLoop),
+            0);
+}
+
+TEST(ExtRules, BoxingInLoop) {
+  const auto hits = analyze(R"(
+    class C { int m(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i++) {
+        Integer boxed = Integer.valueOf(i);
+        acc += boxed.intValue();
+      }
+      return acc;
+    } }
+  )");
+  EXPECT_GE(countRule(hits, ExtRuleId::kBoxingInLoop), 1);
+}
+
+TEST(ExtRules, AllocationInLoop) {
+  EXPECT_EQ(countRule(analyze(R"(
+    class Buf { int v; }
+    class C { void m(int n) {
+      for (int i = 0; i < n; i++) { Buf b = new Buf(); b.v = i; }
+    } }
+  )"),
+                      ExtRuleId::kAllocationInLoop),
+            1);
+  EXPECT_EQ(countRule(analyze(R"(
+    class Buf { int v; }
+    class C { void m(int n) {
+      Buf b = new Buf();
+      for (int i = 0; i < n; i++) b.v = i;
+    } }
+  )"),
+                      ExtRuleId::kAllocationInLoop),
+            0);
+}
+
+TEST(ExtRules, LengthInLoopCondition) {
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { int m(String s) {
+      int acc = 0;
+      for (int i = 0; i < s.length(); i++) acc += s.charAt(i);
+      return acc;
+    } }
+  )"),
+                      ExtRuleId::kLengthInLoopCond),
+            1);
+}
+
+TEST(ExtRules, RepeatedFieldAccess) {
+  EXPECT_EQ(countRule(analyze(R"(
+    class C {
+      int weight;
+      int m(int v) { return weight * v + weight * weight; }
+    }
+  )"),
+                      ExtRuleId::kRepeatedFieldAccess),
+            1);
+  // Two reads are below the threshold.
+  EXPECT_EQ(countRule(analyze(R"(
+    class C { int weight; int m(int v) { return weight * v + weight; } }
+  )"),
+                      ExtRuleId::kRepeatedFieldAccess),
+            0);
+  // Locals shadowing the field name do not count.
+  EXPECT_EQ(countRule(analyze(R"(
+    class C {
+      int weight;
+      int m(int weight) { return weight * weight + weight; }
+    }
+  )"),
+                      ExtRuleId::kRepeatedFieldAccess),
+            0);
+}
+
+TEST(ExtRules, AllRulesHaveWording) {
+  for (int i = 0; i < kExtRuleCount; ++i) {
+    EXPECT_NE(extRuleName(static_cast<ExtRuleId>(i)), "?");
+    EXPECT_NE(extRuleSuggestion(static_cast<ExtRuleId>(i)), "?");
+  }
+}
+
+// --------------------------------------------------------------- rewrites
+
+struct RunResult {
+  std::string output;
+  double packageJoules;
+};
+
+RunResult run(const Program& prog) {
+  energy::SimMachine machine;
+  jvm::Interpreter interp(prog, machine);
+  interp.setMaxSteps(50'000'000);
+  interp.runMain();
+  return {interp.output(), machine.sample().packageJoules};
+}
+
+TEST(ExtOptimizer, HoistsLengthOutOfLoopCondition) {
+  const Program prog = Parser::parseProgram("t.mjava", R"(
+    class Main {
+      static void main(String[] args) {
+        String s = "abcdefghij";
+        int acc = 0;
+        for (int i = 0; i < s.length(); i++) acc += s.charAt(i);
+        System.out.println(acc);
+      }
+    }
+  )");
+  const ExtOptimizeResult result = optimizeExtensions(prog);
+  ASSERT_EQ(result.changes.size(), 1u);
+  EXPECT_EQ(result.changes[0].rule, ExtRuleId::kLengthInLoopCond);
+  const std::string printed =
+      jlang::printUnit(result.program.units[0]);
+  EXPECT_NE(printed.find("int __len_s = s.length();"), std::string::npos);
+
+  const RunResult before = run(prog);
+  const RunResult after = run(result.program);
+  EXPECT_EQ(before.output, after.output);
+  EXPECT_LT(after.packageJoules, before.packageJoules);
+}
+
+TEST(ExtOptimizer, LengthHoistRefusedWhenStringReassigned) {
+  const Program prog = Parser::parseProgram("t.mjava", R"(
+    class Main {
+      static void main(String[] args) {
+        String s = "ab";
+        int hits = 0;
+        for (int i = 0; i < s.length(); i++) {
+          if (i == 1 && hits == 0) { s = s + "cd"; hits = 1; }
+        }
+        System.out.println(s.length());
+      }
+    }
+  )");
+  const ExtOptimizeResult result = optimizeExtensions(prog);
+  EXPECT_EQ(result.changes.size(), 0u);
+  EXPECT_EQ(run(prog).output, run(result.program).output);
+}
+
+TEST(ExtOptimizer, CachesHotReadOnlyField) {
+  const Program prog = Parser::parseProgram("t.mjava", R"(
+    class Scaler {
+      int factor;
+      Scaler(int f) { factor = f; }
+      int apply(int v) { return v * factor + factor * factor; }
+    }
+    class Main {
+      static void main(String[] args) {
+        Scaler s = new Scaler(3);
+        int acc = 0;
+        for (int i = 0; i < 100; i++) acc += s.apply(i);
+        System.out.println(acc);
+      }
+    }
+  )");
+  const ExtOptimizeResult result = optimizeExtensions(prog);
+  ASSERT_GE(result.changes.size(), 1u);
+  const std::string printed =
+      jlang::printUnit(result.program.units[0]);
+  EXPECT_NE(printed.find("int __field_factor = factor;"), std::string::npos);
+
+  const RunResult before = run(prog);
+  const RunResult after = run(result.program);
+  EXPECT_EQ(before.output, after.output);
+  EXPECT_LT(after.packageJoules, before.packageJoules);
+}
+
+TEST(ExtOptimizer, FieldCacheRefusedWhenMethodWritesOrCalls) {
+  // Writes the field: must not cache.
+  const Program writes = Parser::parseProgram("t.mjava", R"(
+    class C {
+      int acc;
+      int bump(int v) { acc = acc + v; return acc + acc; }
+    }
+  )");
+  EXPECT_EQ(optimizeExtensions(writes).changes.size(), 0u);
+  // Calls another method (which may write through this): must not cache.
+  const Program calls = Parser::parseProgram("t.mjava", R"(
+    class C {
+      int acc;
+      void mutate() { acc = 0; }
+      int risky(int v) { mutate(); return acc + acc + acc + v; }
+    }
+  )");
+  EXPECT_EQ(optimizeExtensions(calls).changes.size(), 0u);
+}
+
+TEST(ExtOptimizer, IdempotentOnItsOwnOutput) {
+  const Program prog = Parser::parseProgram("t.mjava", R"(
+    class Main {
+      static void main(String[] args) {
+        String s = "hello world";
+        int acc = 0;
+        for (int i = 0; i < s.length(); i++) acc += 1;
+        System.out.println(acc);
+      }
+    }
+  )");
+  const ExtOptimizeResult first = optimizeExtensions(prog);
+  const ExtOptimizeResult second = optimizeExtensions(first.program);
+  EXPECT_EQ(second.changes.size(), 0u);
+}
+
+}  // namespace
+}  // namespace jepo::core

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "data/airlines.hpp"
+#include "ml/selector.hpp"
+
+namespace jepo::ml {
+namespace {
+
+Instances sample(std::size_t n) {
+  data::AirlinesConfig cfg;
+  cfg.instances = n * 2;
+  const Instances pool = data::generateAirlines(cfg);
+  Rng rng(4);
+  return pool.subsample(n, rng);
+}
+
+TEST(Selector, ValidatesHoldoutFraction) {
+  EXPECT_THROW(ModelSelector(CodeStyle::jepoOptimized(), 0.0),
+               PreconditionError);
+  EXPECT_THROW(ModelSelector(CodeStyle::jepoOptimized(), 1.0),
+               PreconditionError);
+}
+
+TEST(Selector, ReportsEveryCandidateWithSaneNumbers) {
+  const Instances data = sample(600);
+  ModelSelector selector(CodeStyle::jepoOptimized());
+  const std::vector<Candidate> candidates = {
+      {ClassifierKind::kNaiveBayes, Precision::kDouble},
+      {ClassifierKind::kRepTree, Precision::kDouble},
+      {ClassifierKind::kIbk, Precision::kFloat},
+  };
+  const auto reports =
+      selector.evaluate(data, candidates, DeploymentBudget{});
+  ASSERT_EQ(reports.size(), 3u);
+  for (const auto& r : reports) {
+    EXPECT_GT(r.accuracy, 0.3);
+    EXPECT_LE(r.accuracy, 1.0);
+    EXPECT_GT(r.trainJoules, 0.0);
+    EXPECT_GT(r.joulesPerInference, 0.0);
+    EXPECT_GT(r.secondsPerInference, 0.0);
+    EXPECT_TRUE(r.feasible);  // infinite budget
+  }
+  // Lazy learners pay per prediction: IBk costs more per inference than NB.
+  EXPECT_GT(reports[2].joulesPerInference, reports[0].joulesPerInference);
+}
+
+TEST(Selector, BudgetFiltersAndSelectPicksBestFeasible) {
+  const Instances data = sample(600);
+  ModelSelector selector(CodeStyle::jepoOptimized());
+  const std::vector<Candidate> candidates = {
+      {ClassifierKind::kNaiveBayes, Precision::kDouble},
+      {ClassifierKind::kIbk, Precision::kDouble},
+  };
+  // Tight energy budget: squeeze the lazy learner out.
+  auto unconstrained =
+      selector.evaluate(data, candidates, DeploymentBudget{});
+  DeploymentBudget tight;
+  tight.maxJoulesPerInference =
+      (unconstrained[0].joulesPerInference +
+       unconstrained[1].joulesPerInference) /
+      2.0;
+  const auto reports = selector.evaluate(data, candidates, tight);
+  EXPECT_TRUE(reports[0].feasible);
+  EXPECT_FALSE(reports[1].feasible);
+
+  const CandidateReport* winner = ModelSelector::select(reports);
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->candidate.kind, ClassifierKind::kNaiveBayes);
+}
+
+TEST(Selector, ImpossibleBudgetSelectsNothing) {
+  const Instances data = sample(400);
+  ModelSelector selector(CodeStyle::jepoOptimized());
+  DeploymentBudget impossible;
+  impossible.minAccuracy = 0.999;
+  const auto reports = selector.evaluate(
+      data, {{ClassifierKind::kNaiveBayes, Precision::kDouble}}, impossible);
+  EXPECT_EQ(ModelSelector::select(reports), nullptr);
+}
+
+TEST(Selector, DeterministicForSeed) {
+  const Instances data = sample(500);
+  ModelSelector a(CodeStyle::jepoOptimized(), 0.3, 42);
+  ModelSelector b(CodeStyle::jepoOptimized(), 0.3, 42);
+  const std::vector<Candidate> candidates = {
+      {ClassifierKind::kJ48, Precision::kDouble}};
+  const auto ra = a.evaluate(data, candidates, DeploymentBudget{});
+  const auto rb = b.evaluate(data, candidates, DeploymentBudget{});
+  EXPECT_DOUBLE_EQ(ra[0].accuracy, rb[0].accuracy);
+  EXPECT_DOUBLE_EQ(ra[0].joulesPerInference, rb[0].joulesPerInference);
+}
+
+TEST(Selector, OptimizedStyleLowersPerInferenceEnergy) {
+  const Instances data = sample(500);
+  const std::vector<Candidate> candidates = {
+      {ClassifierKind::kIbk, Precision::kDouble}};
+  const auto base = ModelSelector(CodeStyle::javaBaseline())
+                        .evaluate(data, candidates, DeploymentBudget{});
+  const auto opt = ModelSelector(CodeStyle::jepoOptimized())
+                       .evaluate(data, candidates, DeploymentBudget{});
+  EXPECT_LT(opt[0].joulesPerInference, base[0].joulesPerInference);
+}
+
+}  // namespace
+}  // namespace jepo::ml

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "stats/protocol.hpp"
+#include "stats/stats.hpp"
+#include "support/rng.hpp"
+
+namespace jepo::stats {
+namespace {
+
+TEST(Stats, MeanStddevMedian) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+  EXPECT_THROW(mean({}), PreconditionError);
+  EXPECT_THROW(stddev({1.0}), PreconditionError);
+}
+
+TEST(Stats, QuartilesType7) {
+  const Quartiles q = quartiles({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_NEAR(q.q1, 2.75, 1e-9);
+  EXPECT_NEAR(q.q2, 4.5, 1e-9);
+  EXPECT_NEAR(q.q3, 6.25, 1e-9);
+}
+
+TEST(Stats, TukeyFencesAndOutliers) {
+  // Tight cluster + one wild value.
+  const std::vector<double> xs = {10, 11, 10.5, 9.8, 10.2, 10.7, 9.9, 50};
+  const Fences f = tukeyFences(xs);
+  EXPECT_FALSE(f.contains(50));
+  EXPECT_TRUE(f.contains(10.5));
+  const auto outliers = tukeyOutliers(xs);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0], 7u);
+}
+
+TEST(Stats, NoOutliersInUniformData) {
+  EXPECT_TRUE(tukeyOutliers({1, 2, 3, 4, 5, 6, 7, 8}).empty());
+}
+
+TEST(Protocol, CleanMeasurementsPassThrough) {
+  int calls = 0;
+  const auto result = measureWithTukeyLoop(10, [&] {
+    ++calls;
+    return std::vector<double>{10.0 + 0.01 * calls, 5.0};
+  });
+  EXPECT_EQ(calls, 10);
+  EXPECT_EQ(result.remeasured, 0);
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.means.size(), 2u);
+  EXPECT_NEAR(result.means[0], 10.055, 1e-9);
+  EXPECT_NEAR(result.means[1], 5.0, 1e-12);
+}
+
+TEST(Protocol, PlantedOutliersAreReplaced) {
+  // Runs 3 and 7 spike; re-measurements return clean values.
+  int calls = 0;
+  const auto result = measureWithTukeyLoop(10, [&] {
+    ++calls;
+    const bool spike = calls == 3 || calls == 7;
+    return std::vector<double>{spike ? 100.0 : 10.0 + 0.001 * calls};
+  });
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.remeasured, 2);
+  EXPECT_LT(result.means[0], 11.0);  // spikes removed from the mean
+  for (const auto& row : result.runs) EXPECT_LT(row[0], 50.0);
+}
+
+TEST(Protocol, OutlierInAnyMetricTriggersRowRemeasure) {
+  int calls = 0;
+  const auto result = measureWithTukeyLoop(8, [&] {
+    ++calls;
+    // Second metric spikes on the first call only.
+    return std::vector<double>{10.0 + 0.001 * calls,
+                               calls == 1 ? 99.0 : 5.0 + 0.001 * calls};
+  });
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.remeasured, 1);
+  EXPECT_LT(result.means[1], 6.0);
+}
+
+TEST(Protocol, NonConvergingDistributionHitsTheCap) {
+  // Each measurement is an order of magnitude beyond the last, so the
+  // freshest value is always above the Tukey fence: the loop can never
+  // converge and must stop at the cap.
+  double v = 10.0;
+  const auto result = measureWithTukeyLoop(
+      10,
+      [&] {
+        v *= 10.0;
+        return std::vector<double>{v};
+      },
+      /*maxRounds=*/5);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(Protocol, ValidatesInputs) {
+  EXPECT_THROW(
+      measureWithTukeyLoop(2, [] { return std::vector<double>{1.0}; }),
+      PreconditionError);
+  EXPECT_THROW(measureWithTukeyLoop(10, [] { return std::vector<double>{}; }),
+               PreconditionError);
+}
+
+TEST(Protocol, MeanMatchesSectionEightSemantics) {
+  // After convergence the reported value is the plain mean of the final
+  // runs — no trimming beyond the re-measurement.
+  const auto result = measureWithTukeyLoop(4, [] {
+    static int i = 0;
+    const double vals[] = {10, 12, 11, 13};
+    return std::vector<double>{vals[i++ % 4]};
+  });
+  EXPECT_NEAR(result.means[0], 11.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace jepo::stats
