@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_costmodel"
+  "../bench/bench_ablation_costmodel.pdb"
+  "CMakeFiles/bench_ablation_costmodel.dir/bench_ablation_costmodel.cpp.o"
+  "CMakeFiles/bench_ablation_costmodel.dir/bench_ablation_costmodel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

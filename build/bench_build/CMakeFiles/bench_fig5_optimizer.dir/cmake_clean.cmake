@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_optimizer"
+  "../bench/bench_fig5_optimizer.pdb"
+  "CMakeFiles/bench_fig5_optimizer.dir/bench_fig5_optimizer.cpp.o"
+  "CMakeFiles/bench_fig5_optimizer.dir/bench_fig5_optimizer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_views"
+  "../bench/bench_fig_views.pdb"
+  "CMakeFiles/bench_fig_views.dir/bench_fig_views.cpp.o"
+  "CMakeFiles/bench_fig_views.dir/bench_fig_views.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_suggestions"
+  "../bench/bench_table1_suggestions.pdb"
+  "CMakeFiles/bench_table1_suggestions.dir/bench_table1_suggestions.cpp.o"
+  "CMakeFiles/bench_table1_suggestions.dir/bench_table1_suggestions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_suggestions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_dataset"
+  "../bench/bench_table3_dataset.pdb"
+  "CMakeFiles/bench_table3_dataset.dir/bench_table3_dataset.cpp.o"
+  "CMakeFiles/bench_table3_dataset.dir/bench_table3_dataset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

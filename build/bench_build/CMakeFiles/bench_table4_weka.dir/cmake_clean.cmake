@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_weka"
+  "../bench/bench_table4_weka.pdb"
+  "CMakeFiles/bench_table4_weka.dir/bench_table4_weka.cpp.o"
+  "CMakeFiles/bench_table4_weka.dir/bench_table4_weka.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_weka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

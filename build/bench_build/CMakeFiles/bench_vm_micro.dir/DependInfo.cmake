@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_vm_micro.cpp" "bench_build/CMakeFiles/bench_vm_micro.dir/bench_vm_micro.cpp.o" "gcc" "bench_build/CMakeFiles/bench_vm_micro.dir/bench_vm_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jepo/CMakeFiles/jepo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/jepo_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/jlang/CMakeFiles/jepo_jlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/jepo_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/jepo_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jepo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/classifier_report.cpp" "examples/CMakeFiles/classifier_report.dir/classifier_report.cpp.o" "gcc" "examples/CMakeFiles/classifier_report.dir/classifier_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/jepo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/jepo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/jepo_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/jepo_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jepo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

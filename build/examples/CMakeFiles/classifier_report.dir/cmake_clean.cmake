@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_report.dir/classifier_report.cpp.o"
+  "CMakeFiles/classifier_report.dir/classifier_report.cpp.o.d"
+  "classifier_report"
+  "classifier_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_pipeline.dir/edge_pipeline.cpp.o"
+  "CMakeFiles/edge_pipeline.dir/edge_pipeline.cpp.o.d"
+  "edge_pipeline"
+  "edge_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_cli.dir/jepo_cli.cpp.o"
+  "CMakeFiles/jepo_cli.dir/jepo_cli.cpp.o.d"
+  "jepo_cli"
+  "jepo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

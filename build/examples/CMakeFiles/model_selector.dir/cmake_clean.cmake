@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_selector.dir/model_selector.cpp.o"
+  "CMakeFiles/model_selector.dir/model_selector.cpp.o.d"
+  "model_selector"
+  "model_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_stat.dir/perf_stat.cpp.o"
+  "CMakeFiles/perf_stat.dir/perf_stat.cpp.o.d"
+  "perf_stat"
+  "perf_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

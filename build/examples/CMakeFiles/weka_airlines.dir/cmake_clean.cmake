@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weka_airlines.dir/weka_airlines.cpp.o"
+  "CMakeFiles/weka_airlines.dir/weka_airlines.cpp.o.d"
+  "weka_airlines"
+  "weka_airlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weka_airlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

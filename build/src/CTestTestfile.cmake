@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("rapl")
+subdirs("energy")
+subdirs("jlang")
+subdirs("jvm")
+subdirs("jbc")
+subdirs("jepo")
+subdirs("ml")
+subdirs("data")
+subdirs("stats")
+subdirs("metrics")
+subdirs("corpus")
+subdirs("perf")
+subdirs("experiments")

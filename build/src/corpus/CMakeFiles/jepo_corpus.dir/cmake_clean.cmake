@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/jepo_corpus.dir/corpus.cpp.o.d"
+  "libjepo_corpus.a"
+  "libjepo_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_data.dir/airlines.cpp.o"
+  "CMakeFiles/jepo_data.dir/airlines.cpp.o.d"
+  "CMakeFiles/jepo_data.dir/arff.cpp.o"
+  "CMakeFiles/jepo_data.dir/arff.cpp.o.d"
+  "libjepo_data.a"
+  "libjepo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

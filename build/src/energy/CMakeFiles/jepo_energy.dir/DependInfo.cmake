@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/cost_model.cpp" "src/energy/CMakeFiles/jepo_energy.dir/cost_model.cpp.o" "gcc" "src/energy/CMakeFiles/jepo_energy.dir/cost_model.cpp.o.d"
+  "/root/repo/src/energy/machine.cpp" "src/energy/CMakeFiles/jepo_energy.dir/machine.cpp.o" "gcc" "src/energy/CMakeFiles/jepo_energy.dir/machine.cpp.o.d"
+  "/root/repo/src/energy/op.cpp" "src/energy/CMakeFiles/jepo_energy.dir/op.cpp.o" "gcc" "src/energy/CMakeFiles/jepo_energy.dir/op.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jepo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/jepo_rapl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

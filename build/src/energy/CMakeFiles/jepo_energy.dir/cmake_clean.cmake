@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_energy.dir/cost_model.cpp.o"
+  "CMakeFiles/jepo_energy.dir/cost_model.cpp.o.d"
+  "CMakeFiles/jepo_energy.dir/machine.cpp.o"
+  "CMakeFiles/jepo_energy.dir/machine.cpp.o.d"
+  "CMakeFiles/jepo_energy.dir/op.cpp.o"
+  "CMakeFiles/jepo_energy.dir/op.cpp.o.d"
+  "libjepo_energy.a"
+  "libjepo_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

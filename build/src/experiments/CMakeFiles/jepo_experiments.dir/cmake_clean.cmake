@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_experiments.dir/weka_experiment.cpp.o"
+  "CMakeFiles/jepo_experiments.dir/weka_experiment.cpp.o.d"
+  "libjepo_experiments.a"
+  "libjepo_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_jbc.dir/bcvm.cpp.o"
+  "CMakeFiles/jepo_jbc.dir/bcvm.cpp.o.d"
+  "CMakeFiles/jepo_jbc.dir/compiler.cpp.o"
+  "CMakeFiles/jepo_jbc.dir/compiler.cpp.o.d"
+  "libjepo_jbc.a"
+  "libjepo_jbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_jbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

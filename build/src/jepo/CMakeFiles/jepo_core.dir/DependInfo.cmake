@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jepo/engine.cpp" "src/jepo/CMakeFiles/jepo_core.dir/engine.cpp.o" "gcc" "src/jepo/CMakeFiles/jepo_core.dir/engine.cpp.o.d"
+  "/root/repo/src/jepo/optimizer.cpp" "src/jepo/CMakeFiles/jepo_core.dir/optimizer.cpp.o" "gcc" "src/jepo/CMakeFiles/jepo_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/jepo/profiler.cpp" "src/jepo/CMakeFiles/jepo_core.dir/profiler.cpp.o" "gcc" "src/jepo/CMakeFiles/jepo_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/jepo/rules_ext.cpp" "src/jepo/CMakeFiles/jepo_core.dir/rules_ext.cpp.o" "gcc" "src/jepo/CMakeFiles/jepo_core.dir/rules_ext.cpp.o.d"
+  "/root/repo/src/jepo/suggestion.cpp" "src/jepo/CMakeFiles/jepo_core.dir/suggestion.cpp.o" "gcc" "src/jepo/CMakeFiles/jepo_core.dir/suggestion.cpp.o.d"
+  "/root/repo/src/jepo/views.cpp" "src/jepo/CMakeFiles/jepo_core.dir/views.cpp.o" "gcc" "src/jepo/CMakeFiles/jepo_core.dir/views.cpp.o.d"
+  "/root/repo/src/jepo/walk.cpp" "src/jepo/CMakeFiles/jepo_core.dir/walk.cpp.o" "gcc" "src/jepo/CMakeFiles/jepo_core.dir/walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jlang/CMakeFiles/jepo_jlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/jepo_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/jepo_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/jepo_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jepo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

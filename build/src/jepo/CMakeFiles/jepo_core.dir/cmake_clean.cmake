@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_core.dir/engine.cpp.o"
+  "CMakeFiles/jepo_core.dir/engine.cpp.o.d"
+  "CMakeFiles/jepo_core.dir/optimizer.cpp.o"
+  "CMakeFiles/jepo_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/jepo_core.dir/profiler.cpp.o"
+  "CMakeFiles/jepo_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/jepo_core.dir/rules_ext.cpp.o"
+  "CMakeFiles/jepo_core.dir/rules_ext.cpp.o.d"
+  "CMakeFiles/jepo_core.dir/suggestion.cpp.o"
+  "CMakeFiles/jepo_core.dir/suggestion.cpp.o.d"
+  "CMakeFiles/jepo_core.dir/views.cpp.o"
+  "CMakeFiles/jepo_core.dir/views.cpp.o.d"
+  "CMakeFiles/jepo_core.dir/walk.cpp.o"
+  "CMakeFiles/jepo_core.dir/walk.cpp.o.d"
+  "libjepo_core.a"
+  "libjepo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

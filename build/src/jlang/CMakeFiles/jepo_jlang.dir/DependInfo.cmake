@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jlang/ast.cpp" "src/jlang/CMakeFiles/jepo_jlang.dir/ast.cpp.o" "gcc" "src/jlang/CMakeFiles/jepo_jlang.dir/ast.cpp.o.d"
+  "/root/repo/src/jlang/lexer.cpp" "src/jlang/CMakeFiles/jepo_jlang.dir/lexer.cpp.o" "gcc" "src/jlang/CMakeFiles/jepo_jlang.dir/lexer.cpp.o.d"
+  "/root/repo/src/jlang/parser.cpp" "src/jlang/CMakeFiles/jepo_jlang.dir/parser.cpp.o" "gcc" "src/jlang/CMakeFiles/jepo_jlang.dir/parser.cpp.o.d"
+  "/root/repo/src/jlang/printer.cpp" "src/jlang/CMakeFiles/jepo_jlang.dir/printer.cpp.o" "gcc" "src/jlang/CMakeFiles/jepo_jlang.dir/printer.cpp.o.d"
+  "/root/repo/src/jlang/token.cpp" "src/jlang/CMakeFiles/jepo_jlang.dir/token.cpp.o" "gcc" "src/jlang/CMakeFiles/jepo_jlang.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jepo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_jlang.dir/ast.cpp.o"
+  "CMakeFiles/jepo_jlang.dir/ast.cpp.o.d"
+  "CMakeFiles/jepo_jlang.dir/lexer.cpp.o"
+  "CMakeFiles/jepo_jlang.dir/lexer.cpp.o.d"
+  "CMakeFiles/jepo_jlang.dir/parser.cpp.o"
+  "CMakeFiles/jepo_jlang.dir/parser.cpp.o.d"
+  "CMakeFiles/jepo_jlang.dir/printer.cpp.o"
+  "CMakeFiles/jepo_jlang.dir/printer.cpp.o.d"
+  "CMakeFiles/jepo_jlang.dir/token.cpp.o"
+  "CMakeFiles/jepo_jlang.dir/token.cpp.o.d"
+  "libjepo_jlang.a"
+  "libjepo_jlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_jlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jepo_jlang.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/builtins.cpp" "src/jvm/CMakeFiles/jepo_jvm.dir/builtins.cpp.o" "gcc" "src/jvm/CMakeFiles/jepo_jvm.dir/builtins.cpp.o.d"
+  "/root/repo/src/jvm/instrumenter.cpp" "src/jvm/CMakeFiles/jepo_jvm.dir/instrumenter.cpp.o" "gcc" "src/jvm/CMakeFiles/jepo_jvm.dir/instrumenter.cpp.o.d"
+  "/root/repo/src/jvm/interpreter.cpp" "src/jvm/CMakeFiles/jepo_jvm.dir/interpreter.cpp.o" "gcc" "src/jvm/CMakeFiles/jepo_jvm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/jvm/ops.cpp" "src/jvm/CMakeFiles/jepo_jvm.dir/ops.cpp.o" "gcc" "src/jvm/CMakeFiles/jepo_jvm.dir/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jlang/CMakeFiles/jepo_jlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/jepo_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/jepo_rapl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jepo_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_jvm.dir/builtins.cpp.o"
+  "CMakeFiles/jepo_jvm.dir/builtins.cpp.o.d"
+  "CMakeFiles/jepo_jvm.dir/instrumenter.cpp.o"
+  "CMakeFiles/jepo_jvm.dir/instrumenter.cpp.o.d"
+  "CMakeFiles/jepo_jvm.dir/interpreter.cpp.o"
+  "CMakeFiles/jepo_jvm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/jepo_jvm.dir/ops.cpp.o"
+  "CMakeFiles/jepo_jvm.dir/ops.cpp.o.d"
+  "libjepo_jvm.a"
+  "libjepo_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/jepo_metrics.dir/metrics.cpp.o.d"
+  "libjepo_metrics.a"
+  "libjepo_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

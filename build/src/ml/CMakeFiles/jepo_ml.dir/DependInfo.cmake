@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bayes.cpp" "src/ml/CMakeFiles/jepo_ml.dir/bayes.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/bayes.cpp.o.d"
+  "/root/repo/src/ml/codestyle.cpp" "src/ml/CMakeFiles/jepo_ml.dir/codestyle.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/codestyle.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/jepo_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/encoding.cpp" "src/ml/CMakeFiles/jepo_ml.dir/encoding.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/encoding.cpp.o.d"
+  "/root/repo/src/ml/evaluation.cpp" "src/ml/CMakeFiles/jepo_ml.dir/evaluation.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/evaluation.cpp.o.d"
+  "/root/repo/src/ml/factory.cpp" "src/ml/CMakeFiles/jepo_ml.dir/factory.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/factory.cpp.o.d"
+  "/root/repo/src/ml/filters.cpp" "src/ml/CMakeFiles/jepo_ml.dir/filters.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/filters.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/jepo_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/lazy.cpp" "src/ml/CMakeFiles/jepo_ml.dir/lazy.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/lazy.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/jepo_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/report.cpp" "src/ml/CMakeFiles/jepo_ml.dir/report.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/report.cpp.o.d"
+  "/root/repo/src/ml/selector.cpp" "src/ml/CMakeFiles/jepo_ml.dir/selector.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/selector.cpp.o.d"
+  "/root/repo/src/ml/smo.cpp" "src/ml/CMakeFiles/jepo_ml.dir/smo.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/smo.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/jepo_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/jepo_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jepo_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/jepo_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rapl/CMakeFiles/jepo_rapl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_ml.dir/bayes.cpp.o"
+  "CMakeFiles/jepo_ml.dir/bayes.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/codestyle.cpp.o"
+  "CMakeFiles/jepo_ml.dir/codestyle.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/dataset.cpp.o"
+  "CMakeFiles/jepo_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/encoding.cpp.o"
+  "CMakeFiles/jepo_ml.dir/encoding.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/evaluation.cpp.o"
+  "CMakeFiles/jepo_ml.dir/evaluation.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/factory.cpp.o"
+  "CMakeFiles/jepo_ml.dir/factory.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/filters.cpp.o"
+  "CMakeFiles/jepo_ml.dir/filters.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/forest.cpp.o"
+  "CMakeFiles/jepo_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/lazy.cpp.o"
+  "CMakeFiles/jepo_ml.dir/lazy.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/linear.cpp.o"
+  "CMakeFiles/jepo_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/report.cpp.o"
+  "CMakeFiles/jepo_ml.dir/report.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/selector.cpp.o"
+  "CMakeFiles/jepo_ml.dir/selector.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/smo.cpp.o"
+  "CMakeFiles/jepo_ml.dir/smo.cpp.o.d"
+  "CMakeFiles/jepo_ml.dir/tree.cpp.o"
+  "CMakeFiles/jepo_ml.dir/tree.cpp.o.d"
+  "libjepo_ml.a"
+  "libjepo_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_perf.dir/perf.cpp.o"
+  "CMakeFiles/jepo_perf.dir/perf.cpp.o.d"
+  "libjepo_perf.a"
+  "libjepo_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

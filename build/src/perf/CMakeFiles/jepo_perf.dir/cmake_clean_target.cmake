@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjepo_perf.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_rapl.dir/msr.cpp.o"
+  "CMakeFiles/jepo_rapl.dir/msr.cpp.o.d"
+  "CMakeFiles/jepo_rapl.dir/rapl.cpp.o"
+  "CMakeFiles/jepo_rapl.dir/rapl.cpp.o.d"
+  "libjepo_rapl.a"
+  "libjepo_rapl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_rapl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_stats.dir/protocol.cpp.o"
+  "CMakeFiles/jepo_stats.dir/protocol.cpp.o.d"
+  "CMakeFiles/jepo_stats.dir/stats.cpp.o"
+  "CMakeFiles/jepo_stats.dir/stats.cpp.o.d"
+  "libjepo_stats.a"
+  "libjepo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

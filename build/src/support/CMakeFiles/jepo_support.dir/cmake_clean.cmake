@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_support.dir/error.cpp.o"
+  "CMakeFiles/jepo_support.dir/error.cpp.o.d"
+  "CMakeFiles/jepo_support.dir/strings.cpp.o"
+  "CMakeFiles/jepo_support.dir/strings.cpp.o.d"
+  "CMakeFiles/jepo_support.dir/table.cpp.o"
+  "CMakeFiles/jepo_support.dir/table.cpp.o.d"
+  "CMakeFiles/jepo_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/jepo_support.dir/thread_pool.cpp.o.d"
+  "libjepo_support.a"
+  "libjepo_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_metrics_test.dir/corpus_metrics_test.cpp.o"
+  "CMakeFiles/corpus_metrics_test.dir/corpus_metrics_test.cpp.o.d"
+  "corpus_metrics_test"
+  "corpus_metrics_test.pdb"
+  "corpus_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jbc_test.dir/jbc_test.cpp.o"
+  "CMakeFiles/jbc_test.dir/jbc_test.cpp.o.d"
+  "jbc_test"
+  "jbc_test.pdb"
+  "jbc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jbc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_engine_test.dir/jepo_engine_test.cpp.o"
+  "CMakeFiles/jepo_engine_test.dir/jepo_engine_test.cpp.o.d"
+  "jepo_engine_test"
+  "jepo_engine_test.pdb"
+  "jepo_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jepo_optimizer_test.dir/jepo_optimizer_test.cpp.o"
+  "CMakeFiles/jepo_optimizer_test.dir/jepo_optimizer_test.cpp.o.d"
+  "jepo_optimizer_test"
+  "jepo_optimizer_test.pdb"
+  "jepo_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jepo_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

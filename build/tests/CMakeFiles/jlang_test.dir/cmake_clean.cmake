@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jlang_test.dir/jlang_test.cpp.o"
+  "CMakeFiles/jlang_test.dir/jlang_test.cpp.o.d"
+  "jlang_test"
+  "jlang_test.pdb"
+  "jlang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jlang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_filters_test.dir/report_filters_test.cpp.o"
+  "CMakeFiles/report_filters_test.dir/report_filters_test.cpp.o.d"
+  "report_filters_test"
+  "report_filters_test.pdb"
+  "report_filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

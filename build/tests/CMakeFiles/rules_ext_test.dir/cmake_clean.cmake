@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_ext_test.dir/rules_ext_test.cpp.o"
+  "CMakeFiles/rules_ext_test.dir/rules_ext_test.cpp.o.d"
+  "rules_ext_test"
+  "rules_ext_test.pdb"
+  "rules_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
