@@ -4,7 +4,13 @@
 // improvement per classifier at each size.
 //
 // Flags: --sizes=a,b,c (default 500,1000,2000)  --runs=<n> (default 3)
+//        --threads=<n> 1 = serial per-classifier sweep (default); >1 or 0
+//        (= one per core) runs the full 10-classifier matrix per size twice
+//        — serial and through the ParallelRunner — checks bit-identity and
+//        reports the wall-clock speedup per size.
 #include "bench_common.hpp"
+
+#include <chrono>
 
 #include "experiments/weka_experiment.hpp"
 
@@ -16,6 +22,7 @@ int main(int argc, char** argv) {
     sizes.push_back(static_cast<std::size_t>(std::strtoul(s.c_str(), nullptr,
                                                           10)));
   }
+  const auto threads = static_cast<std::size_t>(flags.getInt("threads", 1));
   bench::printHeader(
       "Scaling — package improvement vs instance count (the paper reports "
       "improvements growing from 10k to 20k instances)");
@@ -32,18 +39,68 @@ int main(int argc, char** argv) {
       ml::ClassifierKind::kSgd, ml::ClassifierKind::kKStar,
       ml::ClassifierKind::kIbk};
 
-  for (const auto kind : kinds) {
-    std::vector<std::string> row = {std::string(ml::classifierName(kind))};
-    for (std::size_t n : sizes) {
-      experiments::WekaExperimentConfig cfg;
-      cfg.instances = n;
-      cfg.runs = static_cast<int>(flags.getInt("runs", 4));
-      cfg.corpusScale = 0.02;  // Changes column not under test here
-      const auto r = experiments::runClassifierExperiment(kind, cfg);
-      row.push_back(fixed(r.packageImprovement, 2) + "%");
+  auto makeConfig = [&flags](std::size_t n) {
+    experiments::WekaExperimentConfig cfg;
+    cfg.instances = n;
+    cfg.runs = static_cast<int>(flags.getInt("runs", 4));
+    cfg.corpusScale = 0.02;  // Changes column not under test here
+    return cfg;
+  };
+
+  if (threads == 1) {
+    for (const auto kind : kinds) {
+      std::vector<std::string> row = {std::string(ml::classifierName(kind))};
+      for (std::size_t n : sizes) {
+        const auto r = experiments::runClassifierExperiment(kind, makeConfig(n));
+        row.push_back(fixed(r.packageImprovement, 2) + "%");
+      }
+      table.addRow(std::move(row));
+      std::fflush(stdout);
     }
-    table.addRow(std::move(row));
-    std::fflush(stdout);
+  } else {
+    // --threads axis: per size, the full matrix runs serial then parallel.
+    // Rows come from the parallel pass; a speedup row closes the table.
+    std::vector<std::vector<experiments::ClassifierResult>> perSize;
+    std::vector<std::string> speedups = {"(serial/parallel speedup)"};
+    for (std::size_t n : sizes) {
+      experiments::WekaExperimentConfig serialCfg = makeConfig(n);
+      serialCfg.parallel.threads = 1;
+      auto t0 = std::chrono::steady_clock::now();
+      const auto serial = experiments::runWekaExperiment(serialCfg);
+      const double serialSec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      experiments::WekaExperimentConfig parallelCfg = makeConfig(n);
+      parallelCfg.parallel.threads = threads;
+      t0 = std::chrono::steady_clock::now();
+      auto parallel = experiments::runWekaExperiment(parallelCfg);
+      const double parallelSec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        if (serial[i].packageImprovement != parallel[i].packageImprovement) {
+          std::fputs("FAIL: parallel rows differ from serial rows\n", stderr);
+          return 1;
+        }
+      }
+      perSize.push_back(std::move(parallel));
+      speedups.push_back(fixed(serialSec / parallelSec, 2) + "x");
+    }
+    for (const auto kind : kinds) {
+      std::vector<std::string> row = {std::string(ml::classifierName(kind))};
+      for (const auto& results : perSize) {
+        for (const auto& r : results) {
+          if (r.kind == kind) {
+            row.push_back(fixed(r.packageImprovement, 2) + "%");
+            break;
+          }
+        }
+      }
+      table.addRow(std::move(row));
+    }
+    table.addRow(std::move(speedups));
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts(

@@ -8,10 +8,50 @@
 //   --folds=<n>         CV folds (default 10, as in the paper)
 //   --corpus-scale=<f>  corpus fraction for the Changes count (default 0.10)
 //   --trees=<n>         RandomForest size (default 10)
+//   --threads=<n>       1 = serial (default); >1 or 0 (= one per core) times
+//                       the serial pass against the ParallelRunner, checks
+//                       the rows are bit-identical, and reports the speedup
 //   --paper-scale       instances=10000, runs=10, corpus-scale=1.0
 #include "bench_common.hpp"
 
+#include <chrono>
+
 #include "experiments/weka_experiment.hpp"
+
+namespace {
+
+using jepo::experiments::ClassifierResult;
+
+/// Bit-exact row comparison — the ParallelRunner's determinism contract.
+bool identicalRows(const std::vector<ClassifierResult>& a,
+                   const std::vector<ClassifierResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const ClassifierResult& x = a[i];
+    const ClassifierResult& y = b[i];
+    if (x.kind != y.kind || x.changes != y.changes ||
+        x.changesFullScale != y.changesFullScale ||
+        x.packageImprovement != y.packageImprovement ||
+        x.cpuImprovement != y.cpuImprovement ||
+        x.timeImprovement != y.timeImprovement ||
+        x.accuracyBase != y.accuracyBase || x.accuracyOpt != y.accuracyOpt ||
+        x.accuracyDrop != y.accuracyDrop ||
+        x.basePackageJoules != y.basePackageJoules ||
+        x.optPackageJoules != y.optPackageJoules ||
+        x.tukeyRemeasurements != y.tukeyRemeasurements ||
+        x.degenerateBaseline != y.degenerateBaseline) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace jepo;
@@ -23,6 +63,8 @@ int main(int argc, char** argv) {
   cfg.folds = static_cast<std::size_t>(flags.getInt("folds", 10));
   cfg.corpusScale = flags.getDouble("corpus-scale", 0.10);
   cfg.forestTrees = static_cast<int>(flags.getInt("trees", 10));
+  const auto threads =
+      static_cast<std::size_t>(flags.getInt("threads", 1));
   if (flags.getBool("paper-scale")) {
     cfg.instances = 10'000;
     cfg.runs = 10;
@@ -40,11 +82,38 @@ int main(int argc, char** argv) {
                   {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
                    Align::kRight, Align::kRight, Align::kRight, Align::kLeft});
 
-  for (int k = 0; k < ml::kClassifierKindCount; ++k) {
-    const auto kind = static_cast<ml::ClassifierKind>(k);
-    const auto r = experiments::runClassifierExperiment(kind, cfg);
-    const auto paper = experiments::paperTable4Row(kind);
-    table.addRow({std::string(ml::classifierName(kind)),
+  std::vector<experiments::ClassifierResult> results;
+  double serialSeconds = 0.0;
+  double parallelSeconds = 0.0;
+  if (threads == 1) {
+    for (int k = 0; k < ml::kClassifierKindCount; ++k) {
+      const auto kind = static_cast<ml::ClassifierKind>(k);
+      results.push_back(experiments::runClassifierExperiment(kind, cfg));
+    }
+  } else {
+    // The --threads axis: one serial pass, one ParallelRunner pass over the
+    // identical config, wall-clock timed, rows compared bit-for-bit.
+    experiments::WekaExperimentConfig serialCfg = cfg;
+    serialCfg.parallel.threads = 1;
+    auto t0 = std::chrono::steady_clock::now();
+    const auto serial = experiments::runWekaExperiment(serialCfg);
+    serialSeconds = secondsSince(t0);
+
+    experiments::WekaExperimentConfig parallelCfg = cfg;
+    parallelCfg.parallel.threads = threads;
+    t0 = std::chrono::steady_clock::now();
+    results = experiments::runWekaExperiment(parallelCfg);
+    parallelSeconds = secondsSince(t0);
+
+    if (!identicalRows(serial, results)) {
+      std::fputs("FAIL: parallel rows differ from serial rows\n", stderr);
+      return 1;
+    }
+  }
+
+  for (const auto& r : results) {
+    const auto paper = experiments::paperTable4Row(r.kind);
+    table.addRow({std::string(ml::classifierName(r.kind)),
                   std::to_string(r.changesFullScale),
                   fixed(r.packageImprovement, 2), fixed(r.cpuImprovement, 2),
                   fixed(r.timeImprovement, 2), fixed(r.accuracyDrop, 2),
@@ -54,9 +123,16 @@ int main(int argc, char** argv) {
                       fixed(paper.cpuImprovement, 2) + "/" +
                       fixed(paper.timeImprovement, 2) + "/" +
                       fixed(paper.accuracyDrop, 2)});
-    std::fflush(stdout);
   }
   std::fputs(table.render().c_str(), stdout);
+  if (threads != 1) {
+    const std::size_t resolved = ParallelConfig{threads}.resolvedThreads();
+    std::printf(
+        "\nSerial: %.2f s   Parallel (%zu threads): %.2f s   speedup: "
+        "%.2fx   rows bit-identical: yes\n",
+        serialSeconds, resolved, parallelSeconds,
+        serialSeconds / parallelSeconds);
+  }
   std::puts(
       "\nShape checks: Random Forest shows the largest improvement; Random\n"
       "Tree / Logistic / SMO sit near zero; energy improvements exceed time\n"

@@ -1,0 +1,45 @@
+// ParallelRunner — the Table IV measurement matrix on a thread pool.
+//
+// The serial pipeline walks 10 classifiers × {baseline, optimized} ×
+// config.runs measurements one after another; nothing in that matrix shares
+// state, so it fans out over jepo::ThreadPool in three phases:
+//
+//   1. prep      — per-classifier Optimizer change count + dataset build
+//                  (10 independent tasks)
+//   2. measure   — ALL classifiers' measurement streams go through ONE
+//                  stats::measureManyWithTukeyLoop call, so the initial
+//                  batch is 10 × 2 × runs independent jobs and each Tukey
+//                  round batches every stream's re-measurements together
+//                  (good load balance even when one classifier dominates)
+//   3. assemble  — fold protocol results into ClassifierResult rows, in
+//                  ClassifierKind order
+//
+// Determinism guarantee: every measurement derives its RNG from
+// deriveSeed(config.seed, classifier, style, ordinal) and writes a
+// pre-assigned result slot; Tukey decisions run on the coordinating thread
+// between batches and depend only on measured values. Results are therefore
+// bit-identical to the serial path for ANY thread count and ANY scheduling
+// order — which is what lets `--threads` be a pure performance knob.
+#pragma once
+
+#include <vector>
+
+#include "experiments/weka_experiment.hpp"
+
+namespace jepo::experiments {
+
+class ParallelRunner {
+ public:
+  /// `config.parallel.threads`: 0 = one per core, N = exactly N workers.
+  explicit ParallelRunner(const WekaExperimentConfig& config)
+      : config_(config) {}
+
+  /// Run all ten classifiers; rows in ClassifierKind order, bit-identical
+  /// to runClassifierExperiment on each kind.
+  std::vector<ClassifierResult> run();
+
+ private:
+  WekaExperimentConfig config_;
+};
+
+}  // namespace jepo::experiments

@@ -1,6 +1,7 @@
 #include "experiments/weka_experiment.hpp"
 
 #include "corpus/corpus.hpp"
+#include "experiments/parallel_runner.hpp"
 #include "data/airlines.hpp"
 #include "jepo/optimizer.hpp"
 #include "ml/evaluation.hpp"
@@ -31,61 +32,77 @@ std::unique_ptr<ml::Classifier> build(ClassifierKind kind,
   return ml::makeClassifier(kind, precision, rt, seed);
 }
 
-struct StyleRun {
-  double packageJoules = 0.0;
-  double coreJoules = 0.0;
-  double seconds = 0.0;
-  double accuracy = 0.0;
-  int remeasured = 0;
+/// How one measurement stream runs the classifier: code style, exposure,
+/// precision, plus the style coordinate fed into deriveSeed.
+struct StyleSpec {
+  ml::CodeStyle style;
+  ml::StyleExposure exposure;
+  ml::Precision precision;
+  int styleIndex = 0;  // 0 = baseline, 1 = optimized
 };
 
-StyleRun measureStyle(ClassifierKind kind, const ml::Instances& data,
-                      ml::CodeStyle style, ml::StyleExposure exposure,
-                      ml::Precision precision,
-                      const WekaExperimentConfig& config,
-                      std::uint64_t noiseSeed) {
-  const energy::CostModel model =
-      config.costModel ? *config.costModel : energy::CostModel::calibrated();
-  perf::PerfRunner runner =
-      config.withNoise ? perf::PerfRunner(perf::PerfRunner::kDefaultNoise,
-                                          noiseSeed)
-                       : perf::PerfRunner::exact();
+StyleSpec baselineSpec() {
+  return {ml::CodeStyle::javaBaseline(), ml::StyleExposure::full(),
+          ml::Precision::kDouble, 0};
+}
 
-  double lastAccuracy = 0.0;
-  auto measureOnce = [&] {
-    const perf::PerfStat stat = runner.stat(
+StyleSpec optimizedSpec(ClassifierKind kind,
+                        const WekaExperimentConfig& config) {
+  const ml::StyleExposure exposure =
+      config.exposureOverride
+          ? ml::StyleExposure::of(*config.exposureOverride)
+          : ml::StyleExposure::forClassifier(static_cast<int>(kind));
+  return {ml::CodeStyle::jepoOptimized(), exposure, ml::Precision::kFloat, 1};
+}
+
+/// One stream of the protocol. Every call builds a private PerfRunner and
+/// SimMachine; the noise RNG is seeded from (config.seed, kind, style,
+/// ordinal), so the returned row is a pure function of the stream identity
+/// and the ordinal — the determinism contract of the parallel runner.
+stats::IndexedMeasure makeStyleMeasure(ClassifierKind kind,
+                                       const StyleSpec& spec,
+                                       const ml::Instances& data,
+                                       const WekaExperimentConfig& config) {
+  return [kind, spec, &data, &config](int ordinal) {
+    const energy::CostModel model =
+        config.costModel ? *config.costModel : energy::CostModel::calibrated();
+    const perf::PerfRunner runner =
+        config.withNoise
+            ? perf::PerfRunner(
+                  perf::PerfRunner::kDefaultNoise,
+                  deriveSeed(config.seed, static_cast<std::uint64_t>(kind),
+                             static_cast<std::uint64_t>(spec.styleIndex)))
+            : perf::PerfRunner::exact();
+    double accuracy = 0.0;
+    const perf::PerfStat stat = runner.statAt(
+        static_cast<std::uint64_t>(ordinal),
         [&](energy::SimMachine& machine) {
-          ml::MlRuntime rt(machine, style, exposure);
+          ml::MlRuntime rt(machine, spec.style, spec.exposure);
           Rng cvRng(config.seed + 17);
-          lastAccuracy = ml::crossValidate(
+          accuracy = ml::crossValidate(
               [&] {
-                return build(kind, precision, rt, config.seed + 99,
+                return build(kind, spec.precision, rt, config.seed + 99,
                              config.forestTrees);
               },
               data, config.folds, cvRng);
         },
         model);
-    return stat.asRow();  // {package J, core J, seconds}
+    // Accuracy rides along as a fourth metric column: it is identical in
+    // every run (the CV seeds are fixed), so it can never trip a Tukey
+    // fence, and the protocol mean recovers it without shared state.
+    std::vector<double> row = stat.asRow();
+    row.push_back(accuracy);
+    return row;
   };
-
-  const stats::ProtocolResult protocol =
-      stats::measureWithTukeyLoop(config.runs, measureOnce);
-
-  StyleRun out;
-  out.packageJoules = protocol.means[0];
-  out.coreJoules = protocol.means[1];
-  out.seconds = protocol.means[2];
-  out.accuracy = lastAccuracy;  // deterministic across runs
-  out.remeasured = protocol.remeasured;
-  return out;
 }
 
 }  // namespace
 
-ClassifierResult runClassifierExperiment(ClassifierKind kind,
-                                         const WekaExperimentConfig& config) {
-  ClassifierResult result;
-  result.kind = kind;
+namespace detail {
+
+ClassifierPrep prepClassifier(ClassifierKind kind,
+                              const WekaExperimentConfig& config) {
+  ClassifierPrep prep;
 
   // ---- Changes: run the Optimizer over the classifier's corpus.
   {
@@ -99,9 +116,9 @@ ClassifierResult runClassifierExperiment(ClassifierKind kind,
       }
     }
     const auto optimized = core::Optimizer(opts).optimize(corpusProg);
-    result.changes = static_cast<int>(optimized.changes.size());
-    result.changesFullScale = static_cast<int>(
-        static_cast<double>(result.changes) / config.corpusScale + 0.5);
+    prep.changes = static_cast<int>(optimized.changes.size());
+    prep.changesFullScale = static_cast<int>(
+        static_cast<double>(prep.changes) / config.corpusScale + 0.5);
   }
 
   // ---- Dataset: the paper's subsample protocol.
@@ -110,35 +127,69 @@ ClassifierResult runClassifierExperiment(ClassifierKind kind,
   dataCfg.seed = config.seed;
   const ml::Instances pool = data::generateAirlines(dataCfg);
   Rng sampleRng(config.seed + 1);
-  const ml::Instances data = pool.subsample(config.instances, sampleRng);
+  prep.data.emplace(pool.subsample(config.instances, sampleRng));
+  return prep;
+}
 
-  // ---- Energy/time/accuracy, baseline vs optimized.
-  const StyleRun base = measureStyle(
-      kind, data, ml::CodeStyle::javaBaseline(), ml::StyleExposure::full(),
-      ml::Precision::kDouble, config, config.seed + 1000);
-  const ml::StyleExposure exposure =
-      config.exposureOverride
-          ? ml::StyleExposure::of(*config.exposureOverride)
-          : ml::StyleExposure::forClassifier(static_cast<int>(kind));
-  const StyleRun opt = measureStyle(
-      kind, data, ml::CodeStyle::jepoOptimized(), exposure,
-      ml::Precision::kFloat, config, config.seed + 2000);
+std::vector<stats::IndexedMeasure> makeStyleMeasures(
+    ClassifierKind kind, const ClassifierPrep& prep,
+    const WekaExperimentConfig& config) {
+  return {makeStyleMeasure(kind, baselineSpec(), *prep.data, config),
+          makeStyleMeasure(kind, optimizedSpec(kind, config), *prep.data,
+                           config)};
+}
 
-  result.basePackageJoules = base.packageJoules;
-  result.optPackageJoules = opt.packageJoules;
-  result.packageImprovement =
-      (1.0 - opt.packageJoules / base.packageJoules) * 100.0;
-  result.cpuImprovement = (1.0 - opt.coreJoules / base.coreJoules) * 100.0;
-  result.timeImprovement = (1.0 - opt.seconds / base.seconds) * 100.0;
-  result.accuracyBase = base.accuracy;
-  result.accuracyOpt = opt.accuracy;
-  result.accuracyDrop = (base.accuracy - opt.accuracy) * 100.0;
+ClassifierResult assembleResult(ClassifierKind kind,
+                                const ClassifierPrep& prep,
+                                const stats::ProtocolResult& base,
+                                const stats::ProtocolResult& opt) {
+  ClassifierResult result;
+  result.kind = kind;
+  result.changes = prep.changes;
+  result.changesFullScale = prep.changesFullScale;
+
+  // Protocol row layout: {package J, core J, seconds, accuracy}.
+  result.basePackageJoules = base.means[0];
+  result.optPackageJoules = opt.means[0];
+
+  // A zero-cost baseline (empty dataset, all-rules-off mask) would turn
+  // the improvement ratios into NaN/Inf and poison every report table
+  // downstream; report 0% and flag the row instead.
+  auto improvement = [&result](double baseValue, double optValue) {
+    if (!(baseValue > 0.0)) {
+      result.degenerateBaseline = true;
+      return 0.0;
+    }
+    return (1.0 - optValue / baseValue) * 100.0;
+  };
+  result.packageImprovement = improvement(base.means[0], opt.means[0]);
+  result.cpuImprovement = improvement(base.means[1], opt.means[1]);
+  result.timeImprovement = improvement(base.means[2], opt.means[2]);
+
+  result.accuracyBase = base.means[3];
+  result.accuracyOpt = opt.means[3];
+  result.accuracyDrop = (base.means[3] - opt.means[3]) * 100.0;
   result.tukeyRemeasurements = base.remeasured + opt.remeasured;
   return result;
 }
 
+}  // namespace detail
+
+ClassifierResult runClassifierExperiment(ClassifierKind kind,
+                                         const WekaExperimentConfig& config) {
+  const detail::ClassifierPrep prep = detail::prepClassifier(kind, config);
+  const std::vector<stats::IndexedMeasure> streams =
+      detail::makeStyleMeasures(kind, prep, config);
+  const auto protocols = stats::measureManyWithTukeyLoop(
+      streams, config.runs, stats::serialExecutor());
+  return detail::assembleResult(kind, prep, protocols[0], protocols[1]);
+}
+
 std::vector<ClassifierResult> runWekaExperiment(
     const WekaExperimentConfig& config) {
+  if (!config.parallel.serial()) {
+    return ParallelRunner(config).run();
+  }
   std::vector<ClassifierResult> out;
   for (int k = 0; k < ml::kClassifierKindCount; ++k) {
     out.push_back(

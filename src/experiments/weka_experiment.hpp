@@ -13,6 +13,11 @@
 //
 // bench_table4, bench_scaling_instances and the ablation benches all run
 // through this module with different configs.
+//
+// Determinism: every measurement is a pure function of (classifier, code
+// style, measurement ordinal) — seeds are derived with deriveSeed, never
+// drawn from shared streams — so the serial path and the ParallelRunner
+// produce bit-identical ClassifierResult rows at any thread count.
 #pragma once
 
 #include <optional>
@@ -20,6 +25,8 @@
 
 #include "energy/cost_model.hpp"
 #include "ml/classifier.hpp"
+#include "stats/protocol.hpp"
+#include "support/thread_pool.hpp"
 
 namespace jepo::experiments {
 
@@ -31,6 +38,9 @@ struct WekaExperimentConfig {
   double corpusScale = 0.10;      // corpus fraction for the Changes count
   int forestTrees = 10;           // RandomForest size (WEKA default is 100)
   bool withNoise = true;          // perf measurement noise + Tukey loop
+  /// Thread count for runWekaExperiment: 1 = serial, 0 = one per core.
+  /// Results are identical for every value (see ParallelRunner).
+  ParallelConfig parallel;
   /// Cost model override (ablation); nullopt = calibrated model.
   std::optional<energy::CostModel> costModel;
   /// Rule mask for the optimizer/exposure ablations; empty = all rules.
@@ -52,13 +62,19 @@ struct ClassifierResult {
   double basePackageJoules = 0.0;
   double optPackageJoules = 0.0;
   int tukeyRemeasurements = 0;
+  /// Set when a baseline metric measured <= 0 (empty dataset, all-rules-off
+  /// mask): the affected improvement is reported as 0% instead of NaN/Inf.
+  bool degenerateBaseline = false;
 };
 
-/// Run the pipeline for one classifier.
+/// Run the pipeline for one classifier (always serial; bit-identical to the
+/// corresponding row of runWekaExperiment at any thread count).
 ClassifierResult runClassifierExperiment(ml::ClassifierKind kind,
                                          const WekaExperimentConfig& config);
 
-/// Run all ten classifiers of Table IV.
+/// Run all ten classifiers of Table IV. Dispatches to ParallelRunner when
+/// config.parallel asks for more than one thread; rows are always in
+/// ClassifierKind order and identical to the serial path.
 std::vector<ClassifierResult> runWekaExperiment(
     const WekaExperimentConfig& config);
 
@@ -71,5 +87,38 @@ struct PaperRow {
   double accuracyDrop;
 };
 PaperRow paperTable4Row(ml::ClassifierKind kind);
+
+namespace detail {
+
+/// Everything about one classifier that is computed once, before any
+/// measurement: the Optimizer change count and the subsampled dataset.
+/// Pure function of (kind, config) — safe to build in parallel.
+struct ClassifierPrep {
+  int changes = 0;
+  int changesFullScale = 0;
+  /// optional only because Instances has no default constructor; always
+  /// engaged after prepClassifier returns.
+  std::optional<ml::Instances> data;
+};
+
+ClassifierPrep prepClassifier(ml::ClassifierKind kind,
+                              const WekaExperimentConfig& config);
+
+/// The two measurement streams (baseline, optimized) for one classifier.
+/// Each stream returns {package J, core J, seconds, accuracy} and derives
+/// its noise RNG from deriveSeed(config.seed, kind, style, ordinal) — no
+/// shared mutable state. `prep` and `config` must outlive the streams.
+std::vector<stats::IndexedMeasure> makeStyleMeasures(
+    ml::ClassifierKind kind, const ClassifierPrep& prep,
+    const WekaExperimentConfig& config);
+
+/// Fold the two protocol results into the Table IV row, guarding the
+/// improvement ratios against zero-cost baselines.
+ClassifierResult assembleResult(ml::ClassifierKind kind,
+                                const ClassifierPrep& prep,
+                                const stats::ProtocolResult& base,
+                                const stats::ProtocolResult& opt);
+
+}  // namespace detail
 
 }  // namespace jepo::experiments

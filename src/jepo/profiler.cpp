@@ -15,7 +15,17 @@ void Profiler::profile(const jlang::Program& program,
   jvm::Instrumenter inst(machine);
   interp.setHooks(&inst);
   interp.setMaxSteps(maxSteps);
-  interp.runMain(mainClass);
+  try {
+    interp.runMain(mainClass);
+  } catch (...) {
+    // VM abort: flush the methods still on the stack as truncated records
+    // so partial executions survive into result.txt, then surface the
+    // error with the captured state intact.
+    inst.unwindAbortedFrames();
+    records_ = inst.records();
+    output_ = interp.output();
+    throw;
+  }
   records_ = inst.records();
   output_ = interp.output();
 }
@@ -29,6 +39,7 @@ std::vector<MethodTotals> Profiler::totals() const {
     t.seconds += r.seconds;
     t.packageJoules += r.packageJoules;
     t.coreJoules += r.coreJoules;
+    t.dramJoules += r.dramJoules;
   }
   std::vector<MethodTotals> out;
   out.reserve(agg.size());
@@ -44,7 +55,9 @@ std::string Profiler::renderResultFile() const {
   for (const auto& r : records_) {
     out += r.method + "\t" + fixed(r.seconds * 1e3, 3) + " ms\t" +
            fixed(r.packageJoules, 6) + " J\t" + fixed(r.coreJoules, 6) +
-           " J\n";
+           " J\t" + fixed(r.dramJoules, 6) + " J";
+    if (r.truncated) out += "\t(truncated)";
+    out += "\n";
   }
   return out;
 }

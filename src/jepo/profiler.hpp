@@ -22,13 +22,17 @@ struct MethodTotals {
   double seconds = 0.0;
   double packageJoules = 0.0;
   double coreJoules = 0.0;
+  double dramJoules = 0.0;
 };
 
 class Profiler {
  public:
   /// Runs `mainClass` (or the unique main class when empty) on a fresh
   /// SimMachine with method instrumentation and captures the records.
-  /// maxSteps guards runaway programs (0 = unlimited).
+  /// maxSteps guards runaway programs (0 = unlimited). If the VM aborts
+  /// (step limit, runtime error) the error is rethrown, but the records
+  /// and program output up to the abort are retained first — methods still
+  /// on the stack appear as `truncated` records, innermost first.
   void profile(const jlang::Program& program, std::string_view mainClass = {},
                std::uint64_t maxSteps = 0);
 
@@ -46,7 +50,8 @@ class Profiler {
   const std::string& programOutput() const noexcept { return output_; }
 
   /// The result.txt content JEPO writes into the project directory: one
-  /// line per execution, method / seconds / package J / core J.
+  /// line per execution, method / seconds / package J / core J / dram J,
+  /// with truncated (abort-unwound) executions marked.
   std::string renderResultFile() const;
 
  private:

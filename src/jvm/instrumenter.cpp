@@ -15,12 +15,11 @@ void Instrumenter::onEnter(const std::string& qualifiedName) {
   frame.startSeconds = machine_->seconds();
   frame.startPkgRaw = reader_.readRaw(rapl::Domain::kPackage);
   frame.startCoreRaw = reader_.readRaw(rapl::Domain::kCore);
+  frame.startDramRaw = reader_.readRaw(rapl::Domain::kDram);
   stack_.push_back(std::move(frame));
 }
 
-void Instrumenter::onExit(const std::string& qualifiedName) {
-  JEPO_REQUIRE(!stack_.empty() && stack_.back().method == qualifiedName,
-               "unbalanced method hooks for " + qualifiedName);
+MethodRecord Instrumenter::closeFrame(bool truncated) {
   machine_->sync();
   const OpenFrame frame = std::move(stack_.back());
   stack_.pop_back();
@@ -28,6 +27,7 @@ void Instrumenter::onExit(const std::string& qualifiedName) {
   const double quantum = reader_.unit().jouleQuantum();
   MethodRecord rec;
   rec.method = frame.method;
+  rec.truncated = truncated;
   rec.seconds = machine_->seconds() - frame.startSeconds;
   // Unsigned 32-bit subtraction: correct across one counter wrap.
   rec.packageJoules =
@@ -38,7 +38,23 @@ void Instrumenter::onExit(const std::string& qualifiedName) {
       static_cast<double>(reader_.readRaw(rapl::Domain::kCore) -
                           frame.startCoreRaw) *
       quantum;
-  records_.push_back(std::move(rec));
+  rec.dramJoules =
+      static_cast<double>(reader_.readRaw(rapl::Domain::kDram) -
+                          frame.startDramRaw) *
+      quantum;
+  return rec;
+}
+
+void Instrumenter::onExit(const std::string& qualifiedName) {
+  JEPO_REQUIRE(!stack_.empty() && stack_.back().method == qualifiedName,
+               "unbalanced method hooks for " + qualifiedName);
+  records_.push_back(closeFrame(/*truncated=*/false));
+}
+
+void Instrumenter::unwindAbortedFrames() {
+  while (!stack_.empty()) {
+    records_.push_back(closeFrame(/*truncated=*/true));
+  }
 }
 
 void Instrumenter::clear() {

@@ -24,6 +24,11 @@ struct MethodRecord {
   double seconds = 0.0;    // execution time
   double packageJoules = 0.0;
   double coreJoules = 0.0;
+  double dramJoules = 0.0;
+  /// The method never exited: the VM aborted (step limit, runtime error)
+  /// while it was still on the stack, and the record measures only up to
+  /// the abort point.
+  bool truncated = false;
 };
 
 class Instrumenter final : public MethodHooks {
@@ -38,14 +43,28 @@ class Instrumenter final : public MethodHooks {
     return records_;
   }
 
+  /// Frames whose onExit never fired (the interpreter aborted mid-method).
+  bool hasOpenFrames() const noexcept { return !stack_.empty(); }
+
+  /// Unwind every open frame into a `truncated` record, innermost first
+  /// (matching completion order: the deepest call "ends" first as the VM
+  /// dies). Call after catching a VM abort; afterwards the instrumenter is
+  /// balanced again and safe to reuse. Without this, stale frames would
+  /// trip the "unbalanced method hooks" check on the next run and the
+  /// partially-executed methods would vanish from the result file.
+  void unwindAbortedFrames();
+
   void clear();
 
  private:
+  MethodRecord closeFrame(bool truncated);
+
   struct OpenFrame {
     std::string method;
     double startSeconds = 0.0;
     std::uint32_t startPkgRaw = 0;
     std::uint32_t startCoreRaw = 0;
+    std::uint32_t startDramRaw = 0;
   };
 
   energy::SimMachine* machine_;

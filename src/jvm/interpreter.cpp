@@ -197,29 +197,38 @@ Value Interpreter::invoke(const ClassDecl& cls, const MethodDecl& m,
   const std::string qualified = cls.name + "." + m.name;
   if (hooks_ != nullptr) hooks_->onEnter(qualified);
 
-  struct ExitGuard {
-    Interpreter* self;
-    const std::string* name;
-    ~ExitGuard() {
-      if (self->hooks_ != nullptr) self->hooks_->onExit(*name);
-      self->frames_.pop_back();
+  // Hook contract: the injected epilogue (onExit) runs for normal returns
+  // and for Java exceptions unwinding through the method — exactly the
+  // paths where JEPO's injected finally-block bytecode would execute. A VM
+  // abort (step limit, VM runtime error) kills the machine mid-method: the
+  // epilogue never runs, so the hook's frame is deliberately left open for
+  // Instrumenter::unwindAbortedFrames to flush as truncated records.
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      Value v = coerceToKind(args[i], kindOfType(m.params[i].type),
+                             m.line);
+      charge(Op::kLocalAccess);
+      declareLocal(m.params[i].name, v);
     }
-  } guard{this, &qualified};
 
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    Value v = coerceToKind(args[i], kindOfType(m.params[i].type),
-                           m.line);
-    charge(Op::kLocalAccess);
-    declareLocal(m.params[i].name, v);
+    returnValue_ = Value::null();
+    const Flow flow = execBlock(*m.body);
+    charge(Op::kReturn);
+    if (flow == Flow::kBreak || flow == Flow::kContinue) {
+      throw VmError("break/continue escaped method " + qualified);
+    }
+  } catch (const Thrown&) {
+    if (hooks_ != nullptr) hooks_->onExit(qualified);
+    frames_.pop_back();
+    throw;
+  } catch (...) {
+    frames_.pop_back();
+    throw;
   }
-
-  returnValue_ = Value::null();
-  const Flow flow = execBlock(*m.body);
-  charge(Op::kReturn);
-  if (flow == Flow::kBreak || flow == Flow::kContinue) {
-    throw VmError("break/continue escaped method " + qualified);
-  }
-  return returnValue_;
+  const Value out = returnValue_;
+  if (hooks_ != nullptr) hooks_->onExit(qualified);
+  frames_.pop_back();
+  return out;
 }
 
 Value Interpreter::construct(const std::string& className,

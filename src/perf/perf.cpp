@@ -5,7 +5,7 @@
 namespace jepo::perf {
 
 PerfRunner::PerfRunner(NoiseModel noise, std::uint64_t seed)
-    : noise_(noise), rng_(seed) {}
+    : noise_(noise), seed_(seed) {}
 
 PerfStat PerfRunner::stat(
     const std::function<void(energy::SimMachine&)>& workload) {
@@ -15,6 +15,14 @@ PerfStat PerfRunner::stat(
 PerfStat PerfRunner::stat(
     const std::function<void(energy::SimMachine&)>& workload,
     const energy::CostModel& model) {
+  return statAt(nextOrdinal_.fetch_add(1, std::memory_order_relaxed),
+                workload, model);
+}
+
+PerfStat PerfRunner::statAt(
+    std::uint64_t ordinal,
+    const std::function<void(energy::SimMachine&)>& workload,
+    const energy::CostModel& model) const {
   energy::SimMachine machine(model);
   // Arm counters through the MSR path, exactly as perf arms the RAPL PMU.
   rapl::RaplReader reader(machine.msrDevice());
@@ -36,13 +44,16 @@ PerfStat PerfRunner::stat(
   // interference spikes (cron jobs, thermal events). A spike hits the whole
   // run — the machine was busy, so time and every energy domain rise
   // together — which is what lets Tukey's fences catch it reliably.
+  // The noise stream is private to this call (seed × ordinal), so
+  // concurrent stat() calls share no mutable state.
+  Rng rng(deriveSeed(seed_, ordinal));
   const double spike = noise_.spikeProb > 0.0 &&
-                               rng_.nextDouble() < noise_.spikeProb
+                               rng.nextDouble() < noise_.spikeProb
                            ? noise_.spikeScale
                            : 1.0;
   auto jitter = [&](double v) {
     const double factor =
-        spike * (1.0 + noise_.relSigma * rng_.nextGaussian());
+        spike * (1.0 + noise_.relSigma * rng.nextGaussian());
     return v * std::max(0.5, factor);
   };
   out.seconds = jitter(out.seconds);

@@ -7,8 +7,17 @@
 // path perf uses), and applies a deterministic measurement-noise model —
 // run-to-run jitter plus occasional interference spikes — which is exactly
 // the noise Section VIII's Tukey re-measurement loop exists to remove.
+//
+// Concurrency: stat() is safe to call from many threads at once. Each call
+// builds its own SimMachine and derives a private noise RNG from the
+// runner's seed and a per-call ordinal, so calls share nothing mutable
+// beyond one atomic counter. For bit-exact results independent of thread
+// interleaving, pass the ordinal explicitly via statAt() — the parallel
+// experiment runner does — since the implicit counter hands out ordinals
+// in whatever order calls happen to arrive.
 #pragma once
 
+#include <atomic>
 #include <functional>
 
 #include "energy/machine.hpp"
@@ -43,19 +52,35 @@ class PerfRunner {
   explicit PerfRunner(NoiseModel noise = kDefaultNoise,
                       std::uint64_t seed = 7);
 
+  /// Copying forks the ordinal counter at its current value (the atomic
+  /// member suppresses the default copy).
+  PerfRunner(const PerfRunner& other)
+      : noise_(other.noise_),
+        seed_(other.seed_),
+        nextOrdinal_(other.nextOrdinal_.load()) {}
+
   /// Disable noise entirely (exact simulated readings).
   static PerfRunner exact() { return PerfRunner(NoiseModel{0.0, 0.0, 1.0}); }
 
   /// Run the workload on a fresh machine built by `makeMachine` (defaults
-  /// to the calibrated model) and return the measured interval.
+  /// to the calibrated model) and return the measured interval. The noise
+  /// stream for this call is the next unused ordinal.
   PerfStat stat(const std::function<void(energy::SimMachine&)>& workload);
 
   PerfStat stat(const std::function<void(energy::SimMachine&)>& workload,
                 const energy::CostModel& model);
 
+  /// As stat(), but with a caller-chosen noise ordinal: the measurement is
+  /// a pure function of (runner seed, ordinal, workload), which is what
+  /// deterministic parallel fan-out needs.
+  PerfStat statAt(std::uint64_t ordinal,
+                  const std::function<void(energy::SimMachine&)>& workload,
+                  const energy::CostModel& model) const;
+
  private:
   NoiseModel noise_;
-  Rng rng_;
+  std::uint64_t seed_;
+  std::atomic<std::uint64_t> nextOrdinal_{0};
 };
 
 }  // namespace jepo::perf

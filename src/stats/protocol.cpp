@@ -4,51 +4,115 @@
 
 namespace jepo::stats {
 
+BatchExecutor serialExecutor() {
+  return [](const std::vector<std::function<void()>>& jobs) {
+    for (const auto& job : jobs) job();
+  };
+}
+
+std::vector<ProtocolResult> measureManyWithTukeyLoop(
+    const std::vector<IndexedMeasure>& streams, int runCount,
+    const BatchExecutor& exec, int maxRounds, double fenceK) {
+  JEPO_REQUIRE(runCount >= 4, "need at least 4 runs for quartiles");
+  const std::size_t nStreams = streams.size();
+  std::vector<ProtocolResult> results(nStreams);
+  if (nStreams == 0) return results;
+
+  // ---- Initial batch: every stream's first runCount measurements.
+  // Each job writes one pre-sized, disjoint row, so a parallel executor
+  // needs no synchronization beyond its own join.
+  for (auto& r : results) {
+    r.runs.assign(static_cast<std::size_t>(runCount), {});
+  }
+  {
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(nStreams * static_cast<std::size_t>(runCount));
+    for (std::size_t s = 0; s < nStreams; ++s) {
+      for (int i = 0; i < runCount; ++i) {
+        jobs.push_back([&streams, &results, s, i] {
+          results[s].runs[static_cast<std::size_t>(i)] = streams[s](i);
+        });
+      }
+    }
+    exec(jobs);
+  }
+  std::vector<std::size_t> width(nStreams, 0);
+  for (std::size_t s = 0; s < nStreams; ++s) {
+    width[s] = results[s].runs[0].size();
+    JEPO_REQUIRE(width[s] > 0, "measurement stream returned no metrics");
+    for (const auto& row : results[s].runs) {
+      JEPO_REQUIRE(row.size() == width[s], "inconsistent metric width");
+    }
+  }
+
+  // ---- Tukey rounds. Decisions (outlier detection, ordinal assignment)
+  // happen here on the calling thread; only the re-measurements themselves
+  // go through the executor. Ordinals advance in ascending row order per
+  // stream, so the value of every measurement is a pure function of
+  // (stream, ordinal) — identical under any executor.
+  std::vector<int> nextOrdinal(nStreams, runCount);
+  std::vector<bool> active(nStreams, true);
+  for (int round = 0;; ++round) {
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t s = 0; s < nStreams; ++s) {
+      if (!active[s]) continue;
+      std::set<std::size_t> bad;
+      for (std::size_t m = 0; m < width[s]; ++m) {
+        std::vector<double> column;
+        column.reserve(results[s].runs.size());
+        for (const auto& row : results[s].runs) column.push_back(row[m]);
+        for (std::size_t idx : tukeyOutliers(column, fenceK)) bad.insert(idx);
+      }
+      if (bad.empty()) {
+        active[s] = false;
+        continue;
+      }
+      if (round >= maxRounds) {
+        results[s].converged = false;
+        active[s] = false;
+        continue;
+      }
+      for (std::size_t idx : bad) {
+        const int ordinal = nextOrdinal[s]++;
+        ++results[s].remeasured;
+        jobs.push_back([&streams, &results, s, idx, ordinal] {
+          results[s].runs[idx] = streams[s](ordinal);
+        });
+      }
+    }
+    if (jobs.empty()) break;
+    exec(jobs);
+    for (std::size_t s = 0; s < nStreams; ++s) {
+      if (!active[s]) continue;
+      for (const auto& row : results[s].runs) {
+        JEPO_REQUIRE(row.size() == width[s], "inconsistent metric width");
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < nStreams; ++s) {
+    auto& r = results[s];
+    r.means.assign(width[s], 0.0);
+    for (const auto& row : r.runs) {
+      for (std::size_t m = 0; m < width[s]; ++m) r.means[m] += row[m];
+    }
+    for (double& m : r.means) {
+      m /= static_cast<double>(r.runs.size());
+    }
+  }
+  return results;
+}
+
 ProtocolResult measureWithTukeyLoop(
     int runCount, const std::function<std::vector<double>()>& measureOnce,
     int maxRounds, double fenceK) {
-  JEPO_REQUIRE(runCount >= 4, "need at least 4 runs for quartiles");
-  ProtocolResult result;
-  result.runs.reserve(static_cast<std::size_t>(runCount));
-  std::size_t width = 0;
-  for (int i = 0; i < runCount; ++i) {
-    result.runs.push_back(measureOnce());
-    if (i == 0) {
-      width = result.runs[0].size();
-      JEPO_REQUIRE(width > 0, "measureOnce returned no metrics");
-    }
-    JEPO_REQUIRE(result.runs.back().size() == width,
-                 "inconsistent metric width");
-  }
-
-  for (int round = 0;; ++round) {
-    if (round >= maxRounds) {
-      result.converged = false;
-      break;
-    }
-    // Rows that are outliers in ANY metric column get re-measured.
-    std::set<std::size_t> bad;
-    for (std::size_t m = 0; m < width; ++m) {
-      std::vector<double> column;
-      column.reserve(result.runs.size());
-      for (const auto& row : result.runs) column.push_back(row[m]);
-      for (std::size_t idx : tukeyOutliers(column, fenceK)) bad.insert(idx);
-    }
-    if (bad.empty()) break;
-    for (std::size_t idx : bad) {
-      result.runs[idx] = measureOnce();
-      ++result.remeasured;
-    }
-  }
-
-  result.means.assign(width, 0.0);
-  for (const auto& row : result.runs) {
-    for (std::size_t m = 0; m < width; ++m) result.means[m] += row[m];
-  }
-  for (double& m : result.means) {
-    m /= static_cast<double>(result.runs.size());
-  }
-  return result;
+  // The stateful single-stream form: the ordinal is implied by call order,
+  // which the serial executor preserves exactly.
+  const std::vector<IndexedMeasure> one = {
+      [&measureOnce](int) { return measureOnce(); }};
+  return std::move(
+      measureManyWithTukeyLoop(one, runCount, serialExecutor(), maxRounds,
+                               fenceK)[0]);
 }
 
 }  // namespace jepo::stats

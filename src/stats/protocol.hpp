@@ -27,11 +27,42 @@ struct ProtocolResult {
   bool converged = true;
 };
 
-/// Runs `measureOnce` `runCount` times; each call returns one row of
-/// metrics (fixed width). While any metric column contains Tukey outliers,
-/// the offending rows are re-measured. Rounds are capped (a pathological
-/// distribution could otherwise loop forever — the paper's protocol
-/// implicitly assumes convergence; we make the cap explicit).
+/// One measurement stream under the protocol. The argument is the
+/// measurement ordinal within the stream (0 .. runCount-1 for the initial
+/// runs, then runCount, runCount+1, … for Tukey re-measurements). A stream
+/// must derive all of its randomness from that ordinal (deriveSeed) rather
+/// than from shared mutable state, which is what makes the protocol safe to
+/// execute on a thread pool and bit-identical at any thread count.
+using IndexedMeasure = std::function<std::vector<double>(int ordinal)>;
+
+/// Executes one batch of independent measurement jobs. The serial executor
+/// runs them in order on the calling thread; a parallel executor may run
+/// them in any order on any threads (each job writes a disjoint result
+/// slot, so ordering cannot change the outcome).
+using BatchExecutor =
+    std::function<void(const std::vector<std::function<void()>>&)>;
+
+/// The default executor: run each job in order, on this thread.
+BatchExecutor serialExecutor();
+
+/// The protocol over many streams at once, with pluggable execution.
+///
+/// All streams' initial `runCount` measurements form the first batch; then
+/// each round gathers every stream's Tukey-outlier rows into one batch of
+/// re-measurements. Outlier detection and re-measure bookkeeping happen on
+/// the calling thread between batches — the executor only ever sees
+/// independent jobs — so the loop is thread-safe by construction and the
+/// result depends only on the measured values, never on scheduling.
+/// Rounds are capped per stream (a pathological distribution could
+/// otherwise loop forever; the paper implicitly assumes convergence).
+std::vector<ProtocolResult> measureManyWithTukeyLoop(
+    const std::vector<IndexedMeasure>& streams, int runCount,
+    const BatchExecutor& exec, int maxRounds = 50, double fenceK = 1.5);
+
+/// Single-stream, stateful-measurement convenience used by tools that
+/// measure one workload at a time. Call order is exactly the serial
+/// protocol: runs in order, then re-measures in ascending row order per
+/// round.
 ProtocolResult measureWithTukeyLoop(
     int runCount, const std::function<std::vector<double>()>& measureOnce,
     int maxRounds = 50, double fenceK = 1.5);

@@ -30,6 +30,23 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derive a task-private seed from a base seed and up to three stream
+/// coordinates (e.g. classifier, code style, run index). Each coordinate is
+/// diffused through its own SplitMix64 step before mixing, so adjacent
+/// coordinates land in unrelated streams — the scheme behind the parallel
+/// experiment runner's determinism guarantee: a task's RNG depends only on
+/// *which* task it is, never on which thread runs it or in what order.
+inline std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t a,
+                                std::uint64_t b = 0,
+                                std::uint64_t c = 0) noexcept {
+  SplitMix64 mix(base);
+  std::uint64_t seed = mix.next();
+  seed ^= SplitMix64(a ^ 0x8ba563d9f99c2a11ULL).next();
+  seed = seed * 0x9e3779b97f4a7c15ULL + SplitMix64(b ^ 0x3c79ac492ba7b653ULL).next();
+  seed ^= SplitMix64(c ^ 0x1c69b3f74ac4fb91ULL).next();
+  return SplitMix64(seed).next();
+}
+
 /// Xoshiro256** — the workhorse generator. Satisfies
 /// UniformRandomBitGenerator so it composes with <random> distributions.
 class Rng {

@@ -4,7 +4,8 @@
 
 namespace jepo {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::size_t maxQueue)
+    : maxQueue_(maxQueue) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -20,6 +21,7 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   cv_.notify_all();
+  spaceCv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -33,6 +35,7 @@ void ThreadPool::workerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    spaceCv_.notify_one();
     task();
   }
 }
@@ -44,7 +47,18 @@ void parallelFor(ThreadPool& pool, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(pool.submit([&body, i] { body(i); }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every future before rethrowing: tasks capture `body` by
+  // reference, so returning (even by exception) while tasks are still
+  // queued would leave them invoking a dangling std::function.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace jepo

@@ -4,8 +4,8 @@
 // embarrassingly parallel; following the HPC guides the parallelism is
 // explicit — callers decide what is parallel and the pool only schedules.
 // Determinism note: callers must give each task its own RNG stream (Rng::
-// split) and write to disjoint output slots, so results are independent of
-// scheduling order.
+// split or deriveSeed) and write to disjoint output slots, so results are
+// independent of scheduling order.
 #pragma once
 
 #include <condition_variable>
@@ -21,10 +21,31 @@
 
 namespace jepo {
 
+/// How a caller asks for parallelism. `threads == 0` means "one thread per
+/// hardware core"; `threads == 1` means strictly serial (no pool is built,
+/// so single-threaded callers pay nothing). Experiment configs embed this
+/// knob; the determinism contract is that results are identical for every
+/// value of `threads`.
+struct ParallelConfig {
+  std::size_t threads = 1;
+
+  bool serial() const noexcept { return threads == 1; }
+
+  /// The worker count a ThreadPool built from this config will have.
+  std::size_t resolvedThreads() const noexcept {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+};
+
 class ThreadPool {
  public:
-  /// `threads == 0` means hardware_concurrency (at least 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// `threads == 0` means hardware_concurrency (at least 1). `maxQueue`
+  /// bounds the pending-task queue: submit() blocks while the queue is
+  /// full, giving natural backpressure when a producer enqueues faster
+  /// than the workers drain (0 = unbounded).
+  explicit ThreadPool(std::size_t threads = 0, std::size_t maxQueue = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,7 +53,8 @@ class ThreadPool {
 
   std::size_t threadCount() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task; the future reports its result or exception.
+  /// Enqueue a task; the future reports its result or exception. Blocks
+  /// while a bounded queue is full.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -40,7 +62,8 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      std::unique_lock lock(mu_);
+      waitForSpace(lock);
       JEPO_REQUIRE(!stopping_, "submit on a stopped ThreadPool");
       queue_.emplace_back([task] { (*task)(); });
     }
@@ -48,18 +71,61 @@ class ThreadPool {
     return fut;
   }
 
+  /// Enqueue a batch of homogeneous tasks under one lock and wake every
+  /// worker once — cheaper than n submit() calls for large fan-outs and
+  /// the batch lands in the queue contiguously, so a bounded queue admits
+  /// it in chunks rather than interleaving with other producers.
+  template <typename F>
+  auto submitBatch(std::vector<F> tasks)
+      -> std::vector<std::future<std::invoke_result_t<F>>> {
+    using R = std::invoke_result_t<F>;
+    std::vector<std::future<R>> futures;
+    futures.reserve(tasks.size());
+    std::size_t enqueued = 0;
+    while (enqueued < tasks.size()) {
+      std::unique_lock lock(mu_);
+      waitForSpace(lock);
+      JEPO_REQUIRE(!stopping_, "submitBatch on a stopped ThreadPool");
+      // Fill whatever space the bound leaves (everything if unbounded).
+      do {
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::move(tasks[enqueued]));
+        futures.push_back(task->get_future());
+        queue_.emplace_back([task] { (*task)(); });
+        ++enqueued;
+      } while (enqueued < tasks.size() &&
+               (maxQueue_ == 0 || queue_.size() < maxQueue_));
+      lock.unlock();
+      cv_.notify_all();
+    }
+    return futures;
+  }
+
  private:
   void workerLoop();
 
+  /// Pre: lock held. Blocks until the bounded queue has space (no-op when
+  /// unbounded or stopping).
+  void waitForSpace(std::unique_lock<std::mutex>& lock) {
+    if (maxQueue_ == 0) return;
+    spaceCv_.wait(lock, [this] {
+      return stopping_ || queue_.size() < maxQueue_;
+    });
+  }
+
   std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       // workers wait for tasks
+  std::condition_variable spaceCv_;  // producers wait for queue space
   std::deque<std::function<void()>> queue_;
+  std::size_t maxQueue_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
 
-/// Run body(i) for i in [0, n), spread over the pool; rethrows the first
-/// task exception. Safe to call with n == 0.
+/// Run body(i) for i in [0, n), spread over the pool. Waits for ALL tasks
+/// to finish (success or failure) before returning, then rethrows the
+/// first exception in index order — so `body` (captured by reference) is
+/// never invoked after parallelFor returns. Safe to call with n == 0.
 void parallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& body);
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "energy/op.hpp"
 #include "experiments/weka_experiment.hpp"
 
 namespace jepo::experiments {
@@ -100,6 +103,69 @@ TEST(Experiments, PerturbedCostModelKeepsOrdering) {
                         .packageImprovement;
   EXPECT_GT(rf, 5.0);
   EXPECT_LT(std::fabs(rt), 1.0);
+}
+
+// The tentpole determinism guarantee: the ParallelRunner must reproduce the
+// serial path bit-for-bit, Tukey re-measurements and noise included, at any
+// thread count. EXPECT_EQ on doubles here is deliberate — "close" would hide
+// a scheduling-dependent RNG stream.
+TEST(Experiments, ParallelRunnerIsBitIdenticalToSerial) {
+  WekaExperimentConfig cfg = fastConfig();
+  cfg.instances = 200;
+  cfg.withNoise = true;  // exercise the Tukey loop + per-ordinal noise seeds
+
+  WekaExperimentConfig serialCfg = cfg;
+  serialCfg.parallel.threads = 1;
+  WekaExperimentConfig parallelCfg = cfg;
+  parallelCfg.parallel.threads = 4;
+
+  const auto serial = runWekaExperiment(serialCfg);
+  const auto parallel = runWekaExperiment(parallelCfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const ClassifierResult& a = serial[i];
+    const ClassifierResult& b = parallel[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.changes, b.changes);
+    EXPECT_EQ(a.changesFullScale, b.changesFullScale);
+    EXPECT_EQ(a.packageImprovement, b.packageImprovement);
+    EXPECT_EQ(a.cpuImprovement, b.cpuImprovement);
+    EXPECT_EQ(a.timeImprovement, b.timeImprovement);
+    EXPECT_EQ(a.accuracyBase, b.accuracyBase);
+    EXPECT_EQ(a.accuracyOpt, b.accuracyOpt);
+    EXPECT_EQ(a.accuracyDrop, b.accuracyDrop);
+    EXPECT_EQ(a.basePackageJoules, b.basePackageJoules);
+    EXPECT_EQ(a.optPackageJoules, b.optPackageJoules);
+    EXPECT_EQ(a.tukeyRemeasurements, b.tukeyRemeasurements);
+    EXPECT_EQ(a.degenerateBaseline, b.degenerateBaseline);
+  }
+}
+
+TEST(Experiments, ZeroCostBaselineReportsZeroImprovementNotNaN) {
+  WekaExperimentConfig cfg = fastConfig();
+  cfg.instances = 200;
+  // A cost model where every op is free and idle draw is zero: baseline
+  // package/core/seconds all measure exactly 0.
+  energy::CostModel zero = energy::CostModel::calibrated();
+  for (std::size_t i = 0; i < energy::kOpCount; ++i) {
+    auto& c = zero.cost(static_cast<energy::Op>(i));
+    c.packageNanojoules = 0.0;
+    c.nanoseconds = 0.0;
+    c.dramNanojoules = 0.0;
+  }
+  zero.setIdleWatts(0.0, 0.0, 0.0);
+  cfg.costModel = zero;
+
+  const auto r = runClassifierExperiment(ClassifierKind::kNaiveBayes, cfg);
+  EXPECT_TRUE(r.degenerateBaseline);
+  EXPECT_EQ(r.packageImprovement, 0.0);
+  EXPECT_EQ(r.cpuImprovement, 0.0);
+  EXPECT_EQ(r.timeImprovement, 0.0);
+  EXPECT_FALSE(std::isnan(r.packageImprovement));
+  EXPECT_FALSE(std::isnan(r.accuracyDrop));
+  // Accuracy is still measured — the classifier ran, only energy was free.
+  EXPECT_GT(r.accuracyBase, 0.4);
 }
 
 TEST(Experiments, NoisyProtocolStaysNearExactResult) {

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "jepo/engine.hpp"
+#include "jepo/profiler.hpp"
 #include "jepo/views.hpp"
 #include "jlang/parser.hpp"
+#include "jvm/interpreter.hpp"
 
 namespace jepo::core {
 namespace {
@@ -262,6 +264,59 @@ TEST(Views, RenderAllFigures) {
 
   const std::string empty = renderDynamicView("Clean.mjava", {});
   EXPECT_NE(empty.find("No suggestions"), std::string::npos);
+}
+
+TEST(Profiler, ProfilesCompletedRunWithDramColumn) {
+  const auto prog = jlang::Parser::parseProgram("t.mjava", R"(
+    class Main {
+      static int work(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i++) acc += i;
+        return acc;
+      }
+      static void main(String[] args) {
+        System.out.println(work(60000));
+      }
+    }
+  )");
+  Profiler prof;
+  prof.profile(prog);
+  EXPECT_EQ(prof.programOutput(), "1799970000\n");
+  ASSERT_EQ(prof.records().size(), 2u);
+
+  const auto totals = prof.totals();
+  ASSERT_EQ(totals.size(), 2u);
+  for (const auto& t : totals) EXPECT_GT(t.dramJoules, 0.0);
+
+  const std::string txt = prof.renderResultFile();
+  EXPECT_NE(txt.find("Main.work"), std::string::npos);
+  EXPECT_EQ(txt.find("(truncated)"), std::string::npos);
+  // seconds + three energy domains per line.
+  EXPECT_NE(txt.find(" ms\t"), std::string::npos);
+}
+
+TEST(Profiler, AbortRetainsTruncatedRecordsAndOutput) {
+  const auto prog = jlang::Parser::parseProgram("t.mjava", R"(
+    class Main {
+      static void spin() { while (true) { int x = 1; } }
+      static void main(String[] args) {
+        System.out.println("starting");
+        spin();
+      }
+    }
+  )");
+  Profiler prof;
+  EXPECT_THROW(prof.profile(prog, {}, /*maxSteps=*/10'000), VmError);
+  // Everything up to the abort survives: output, and the in-flight methods
+  // as truncated records (innermost first).
+  EXPECT_EQ(prof.programOutput(), "starting\n");
+  ASSERT_EQ(prof.records().size(), 2u);
+  EXPECT_EQ(prof.records()[0].method, "Main.spin");
+  EXPECT_EQ(prof.records()[1].method, "Main.main");
+  EXPECT_TRUE(prof.records()[0].truncated);
+  EXPECT_TRUE(prof.records()[1].truncated);
+  const std::string txt = prof.renderResultFile();
+  EXPECT_NE(txt.find("(truncated)"), std::string::npos);
 }
 
 }  // namespace

@@ -707,5 +707,83 @@ TEST(Instrumenter, HooksStayBalancedAcrossExceptions) {
   EXPECT_EQ(inst.records()[1].method, "Main.main");
 }
 
+TEST(Instrumenter, RecordsCarryTheDramDomain) {
+  // The workload must burn well past one energy-status quantum (~15.3 uJ at
+  // ESU=16) in the dram domain, or the raw counter diff reads zero.
+  Program prog = Parser::parseProgram("t.mjava", R"(
+    class Main {
+      static int work() {
+        int[] a = new int[100000];
+        int acc = 0;
+        for (int i = 0; i < 100000; i++) { a[i] = i; acc += a[i]; }
+        return acc;
+      }
+      static void main(String[] args) { work(); }
+    }
+  )");
+  SimMachine machine;
+  Interpreter interp(prog, machine);
+  Instrumenter inst(machine);
+  interp.setHooks(&inst);
+  interp.runMain();
+  ASSERT_EQ(inst.records().size(), 2u);
+  for (const auto& r : inst.records()) {
+    EXPECT_GT(r.dramJoules, 0.0);
+    EXPECT_LT(r.dramJoules, r.packageJoules);
+    EXPECT_FALSE(r.truncated);
+  }
+  // Inclusive accounting: main's dram covers work's.
+  EXPECT_GE(inst.records()[1].dramJoules, inst.records()[0].dramJoules);
+}
+
+// Regression: a VM abort (step limit here, VmError generally) used to leave
+// the methods on the stack without records — the partial work vanished from
+// result.txt. They now unwind as `truncated` records, innermost first.
+TEST(Instrumenter, AbortUnwindsOpenFramesAsTruncated) {
+  Program prog = Parser::parseProgram("t.mjava", R"(
+    class Main {
+      static void spin() { while (true) { int x = 1; } }
+      static void main(String[] args) { spin(); }
+    }
+  )");
+  SimMachine machine;
+  Interpreter interp(prog, machine);
+  Instrumenter inst(machine);
+  interp.setHooks(&inst);
+  interp.setMaxSteps(10'000);
+  EXPECT_THROW(interp.runMain(), VmError);
+
+  EXPECT_TRUE(inst.hasOpenFrames());
+  inst.unwindAbortedFrames();
+  EXPECT_FALSE(inst.hasOpenFrames());
+
+  ASSERT_EQ(inst.records().size(), 2u);
+  EXPECT_EQ(inst.records()[0].method, "Main.spin");  // innermost first
+  EXPECT_EQ(inst.records()[1].method, "Main.main");
+  for (const auto& r : inst.records()) {
+    EXPECT_TRUE(r.truncated);
+    // The energy burned before the abort is still accounted for.
+    EXPECT_GT(r.packageJoules, 0.0);
+    EXPECT_GT(r.seconds, 0.0);
+  }
+  // Unwinding twice is a no-op, not a double record.
+  inst.unwindAbortedFrames();
+  EXPECT_EQ(inst.records().size(), 2u);
+}
+
+TEST(Instrumenter, NormalReturnsAreNeverTruncated) {
+  Program prog = Parser::parseProgram(
+      "t.mjava",
+      "class Main { static void main(String[] args) { int x = 1; } }");
+  SimMachine machine;
+  Interpreter interp(prog, machine);
+  Instrumenter inst(machine);
+  interp.setHooks(&inst);
+  interp.runMain();
+  EXPECT_FALSE(inst.hasOpenFrames());
+  ASSERT_EQ(inst.records().size(), 1u);
+  EXPECT_FALSE(inst.records()[0].truncated);
+}
+
 }  // namespace
 }  // namespace jepo::jvm

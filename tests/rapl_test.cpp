@@ -107,6 +107,28 @@ TEST(EnergyCounter, WrapExactlyToSameRawReadsZero) {
   EXPECT_NEAR(counter.elapsedJoules(), 0.0, 1e-4);
 }
 
+TEST(EnergyCounter, MultipleWrapsUnderReportByWholeWraps) {
+  // The one-wrap contract, from the other side: unsigned 32-bit subtraction
+  // recovers the delta modulo one wrap period (65536 J at ESU=16). Two or
+  // more wraps between reads are unobservable — each whole extra wrap is
+  // silently dropped, so the counter under-reports by k*65536 J. Real RAPL
+  // sampling loops must read faster than one wrap period; so must any
+  // workload between our start()/elapsedJoules() pairs.
+  SimulatedRaplPackage pkg;
+  RaplReader reader(pkg.device());
+  EnergyCounter counter(reader, Domain::kPackage);
+  pkg.deposit(Domain::kPackage, 2.0 * 65536.0 + 5.0);  // two full wraps + 5 J
+  EXPECT_NEAR(counter.elapsedJoules(), 5.0, 1e-4);     // the 131072 J vanish
+  // Ground truth keeps the unwrapped total — the loss is purely a property
+  // of the 32-bit MSR window, not of the simulation.
+  EXPECT_NEAR(pkg.totalJoules(Domain::kPackage), 2.0 * 65536.0 + 5.0, 1e-9);
+
+  // Same story straddling an awkward boundary: 3 wraps minus a sliver.
+  counter.start();
+  pkg.deposit(Domain::kPackage, 3.0 * 65536.0 - 0.5);
+  EXPECT_NEAR(counter.elapsedJoules(), 65536.0 - 0.5, 1e-3);
+}
+
 TEST(Rapl, DomainMsrsMatchIntelSdm) {
   EXPECT_EQ(domainMsr(Domain::kPackage), 0x611u);
   EXPECT_EQ(domainMsr(Domain::kCore), 0x639u);

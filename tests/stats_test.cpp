@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "stats/protocol.hpp"
 #include "stats/stats.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace jepo::stats {
 namespace {
@@ -100,6 +103,103 @@ TEST(Protocol, ValidatesInputs) {
       PreconditionError);
   EXPECT_THROW(measureWithTukeyLoop(10, [] { return std::vector<double>{}; }),
                PreconditionError);
+}
+
+// A measurement that is a pure function of (stream, ordinal) — the contract
+// the parallel experiment runner relies on. Stream 0 spikes on ordinals 2
+// and 6; stream 1 spikes on ordinal 0; re-measurements are clean.
+std::vector<IndexedMeasure> twoSpikyStreams() {
+  return {
+      [](int ordinal) {
+        const bool spike = ordinal == 2 || ordinal == 6;
+        return std::vector<double>{spike ? 100.0 : 10.0 + 0.001 * ordinal,
+                                   5.0};
+      },
+      [](int ordinal) {
+        return std::vector<double>{ordinal == 0 ? 77.0 : 20.0 + 0.002 * ordinal,
+                                   3.0};
+      },
+  };
+}
+
+TEST(Protocol, ManyStreamsScrubEachStreamIndependently) {
+  const auto results =
+      measureManyWithTukeyLoop(twoSpikyStreams(), 10, serialExecutor());
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.converged);
+    ASSERT_EQ(r.runs.size(), 10u);
+  }
+  EXPECT_GE(results[0].remeasured, 2);
+  EXPECT_GE(results[1].remeasured, 1);
+  EXPECT_LT(results[0].means[0], 11.0);
+  EXPECT_LT(results[1].means[0], 21.0);
+  // The constant second metric is untouched (inclusive fences: a constant
+  // column never reads as an outlier).
+  EXPECT_DOUBLE_EQ(results[0].means[1], 5.0);
+  EXPECT_DOUBLE_EQ(results[1].means[1], 3.0);
+}
+
+TEST(Protocol, ManyStreamsMatchSingleStreamLoop) {
+  // Each stream, run through the batched multi-stream loop, must land on
+  // exactly the result of the classic single-stream loop: within a stream
+  // ordinals are consumed in the same 0,1,2,... order either way.
+  const auto many =
+      measureManyWithTukeyLoop(twoSpikyStreams(), 10, serialExecutor());
+  for (std::size_t s = 0; s < 2; ++s) {
+    int counter = 0;
+    const auto stream = twoSpikyStreams()[s];
+    const auto single =
+        measureWithTukeyLoop(10, [&] { return stream(counter++); });
+    EXPECT_EQ(many[s].remeasured, single.remeasured);
+    ASSERT_EQ(many[s].runs, single.runs);
+    EXPECT_EQ(many[s].means, single.means);
+  }
+}
+
+TEST(Protocol, ExecutorSchedulingCannotChangeResults) {
+  // Determinism contract: results depend only on (stream, ordinal), never
+  // on the order the executor happens to run a batch in.
+  const auto serial =
+      measureManyWithTukeyLoop(twoSpikyStreams(), 10, serialExecutor());
+  const BatchExecutor reversed =
+      [](const std::vector<std::function<void()>>& jobs) {
+        for (auto it = jobs.rbegin(); it != jobs.rend(); ++it) (*it)();
+      };
+  const auto backwards =
+      measureManyWithTukeyLoop(twoSpikyStreams(), 10, reversed);
+  ASSERT_EQ(serial.size(), backwards.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    EXPECT_EQ(serial[s].runs, backwards[s].runs);
+    EXPECT_EQ(serial[s].means, backwards[s].means);
+    EXPECT_EQ(serial[s].remeasured, backwards[s].remeasured);
+  }
+}
+
+TEST(Protocol, ThreadPoolExecutorMatchesSerial) {
+  const auto serial =
+      measureManyWithTukeyLoop(twoSpikyStreams(), 10, serialExecutor());
+  ThreadPool pool(4);
+  const BatchExecutor pooled =
+      [&pool](const std::vector<std::function<void()>>& jobs) {
+        parallelFor(pool, jobs.size(),
+                    [&jobs](std::size_t i) { jobs[i](); });
+      };
+  const auto parallel = measureManyWithTukeyLoop(twoSpikyStreams(), 10, pooled);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t s = 0; s < serial.size(); ++s) {
+    EXPECT_EQ(serial[s].runs, parallel[s].runs);
+    EXPECT_EQ(serial[s].means, parallel[s].means);
+  }
+}
+
+TEST(Protocol, ManyStreamsValidateInputs) {
+  const std::vector<IndexedMeasure> one = {
+      [](int) { return std::vector<double>{1.0}; }};
+  EXPECT_THROW(measureManyWithTukeyLoop(one, 2, serialExecutor()),
+               PreconditionError);
+  // No streams is a no-op, not an error.
+  EXPECT_TRUE(measureManyWithTukeyLoop({}, 10, serialExecutor()).empty());
 }
 
 TEST(Protocol, MeanMatchesSectionEightSemantics) {

@@ -147,6 +147,30 @@ TEST(Rng, GaussianMoments) {
   EXPECT_NEAR(var, 1.0, 0.03);
 }
 
+TEST(Rng, DeriveSeedIsAPureFunctionOfCoordinates) {
+  EXPECT_EQ(deriveSeed(2020, 3, 1, 7), deriveSeed(2020, 3, 1, 7));
+  // Each coordinate matters independently.
+  EXPECT_NE(deriveSeed(2020, 3, 1, 7), deriveSeed(2021, 3, 1, 7));
+  EXPECT_NE(deriveSeed(2020, 3, 1, 7), deriveSeed(2020, 4, 1, 7));
+  EXPECT_NE(deriveSeed(2020, 3, 1, 7), deriveSeed(2020, 3, 0, 7));
+  EXPECT_NE(deriveSeed(2020, 3, 1, 7), deriveSeed(2020, 3, 1, 8));
+  // Coordinates do not alias (swapping adjacent coordinates changes the
+  // stream — a plain XOR of the raw values would collide here).
+  EXPECT_NE(deriveSeed(2020, 1, 3, 7), deriveSeed(2020, 3, 1, 7));
+}
+
+TEST(Rng, DeriveSeedStreamsAreStatisticallyIndependent) {
+  // Adjacent run indices must land in unrelated streams: count matching
+  // outputs between consecutive-seed generators.
+  int same = 0;
+  for (std::uint64_t run = 0; run < 64; ++run) {
+    Rng a(deriveSeed(2020, 2, 1, run));
+    Rng b(deriveSeed(2020, 2, 1, run + 1));
+    same += (a() == b());
+  }
+  EXPECT_LT(same, 2);
+}
+
 TEST(Rng, SplitStreamsAreIndependentOfParentUse) {
   Rng parent1(5);
   Rng child1 = parent1.split();
@@ -205,6 +229,78 @@ TEST(ThreadPool, PropagatesExceptions) {
 TEST(ThreadPool, ZeroTasksIsANoop) {
   ThreadPool pool(2);
   parallelFor(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+// Regression: parallelFor used to rethrow on the FIRST failed future while
+// later tasks were still queued — those tasks then invoked the by-reference
+// `body` after it went out of scope (use-after-scope, caught by TSan/ASan).
+// The fix drains every future first; this asserts the drain by counting.
+TEST(ThreadPool, ParallelForRunsEveryTaskBeforeRethrowing) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  // The throwing task is early in the batch so plenty of tasks are still
+  // queued when the exception is captured.
+  auto runOnce = [&] {
+    parallelFor(pool, 64, [&completed](std::size_t i) {
+      if (i == 1) throw Error("mid-batch boom");
+      ++completed;
+    });
+  };
+  EXPECT_THROW(runOnce(), Error);
+  // Every non-throwing task ran to completion before parallelFor returned;
+  // none of them can touch a dangling body afterwards.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstExceptionInIndexOrder) {
+  ThreadPool pool(4);
+  try {
+    parallelFor(pool, 16, [](std::size_t i) {
+      if (i == 3) throw Error("three");
+      if (i == 11) throw Error("eleven");
+    });
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("three"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, SubmitBatchRunsEveryTask) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 40; ++i) {
+    tasks.push_back([i, &sum] {
+      ++sum;
+      return i * i;
+    });
+  }
+  auto futures = pool.submitBatch(std::move(tasks));
+  ASSERT_EQ(futures.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(futures[i].get(), i * i);
+  EXPECT_EQ(sum.load(), 40);
+}
+
+TEST(ThreadPool, BoundedQueueCompletesAllWorkUnderBackpressure) {
+  // Queue bound far below the task count: producers must block and resume
+  // as workers drain. Everything still completes exactly once.
+  ThreadPool pool(2, /*maxQueue=*/4);
+  std::atomic<int> count{0};
+  parallelFor(pool, 200, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 200);
+
+  std::vector<std::function<int()>> tasks;
+  for (int i = 0; i < 100; ++i) tasks.push_back([&count] { return ++count; });
+  for (auto& f : pool.submitBatch(std::move(tasks))) f.get();
+  EXPECT_EQ(count.load(), 300);
+}
+
+TEST(ParallelConfig, ResolvesThreadCounts) {
+  EXPECT_TRUE(ParallelConfig{1}.serial());
+  EXPECT_FALSE(ParallelConfig{0}.serial());
+  EXPECT_FALSE(ParallelConfig{8}.serial());
+  EXPECT_EQ(ParallelConfig{8}.resolvedThreads(), 8u);
+  EXPECT_GE(ParallelConfig{0}.resolvedThreads(), 1u);
 }
 
 TEST(ThreadPool, ManyMoreTasksThanThreads) {
