@@ -12,9 +12,13 @@
 
 int main(int argc, char** argv) {
   using namespace jepo;
-  bench::Flags flags(argc, argv);
+  bench::Flags flags(argc, argv, {"eps", "trials", "instances"});
+  bench::BenchReport report("bench_ablation_costmodel", flags);
   const double eps = flags.getDouble("eps", 0.5);
   const int trials = static_cast<int>(flags.getInt("trials", 3));
+  report.config("eps", eps);
+  report.config("trials", trials);
+  report.config("instances", flags.getInt("instances", 800));
 
   bench::printHeader("Ablation — cost-model sensitivity (eps=" +
                      fixed(eps, 2) + ", " + std::to_string(trials) +
@@ -55,11 +59,17 @@ int main(int argc, char** argv) {
                   fixed(improvements[1], 2) + "%",
                   fixed(improvements[2], 2) + "%",
                   fixed(improvements[3], 2) + "%", rfMax ? "yes" : "NO"});
+    report.addRow({{"model", label},
+                   {"randomForestPct", improvements[0]},
+                   {"j48Pct", improvements[1]},
+                   {"sgdPct", improvements[2]},
+                   {"randomTreePct", improvements[3]},
+                   {"rfStillMax", rfMax}});
     std::fflush(stdout);
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts(
       "\nThe ordering (who wins, who stays near zero) should survive +-50%\n"
       "per-op mis-calibration; the absolute numbers are allowed to move.");
-  return 0;
+  return report.finish();
 }

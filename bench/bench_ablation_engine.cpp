@@ -54,7 +54,9 @@ std::string wrapMain(const std::string& body) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  bench::BenchReport report("bench_ablation_engine", flags);
   bench::printHeader(
       "Ablation — tree-walking interpreter vs bytecode VM (same cost model, "
       "same builtin library)");
@@ -104,6 +106,12 @@ int main() {
                   fixed(bytecode.simulatedJoules / tree.simulatedJoules, 3),
                   fixed(tree.hostMicros, 0) + " us",
                   fixed(bytecode.hostMicros, 0) + " us"});
+    report.addRow(
+        {{"workload", c.label},
+         {"outputsMatch", tree.output == bytecode.output},
+         {"energyRatio", bytecode.simulatedJoules / tree.simulatedJoules},
+         {"treeHostMicros", tree.hostMicros},
+         {"bytecodeHostMicros", bytecode.hostMicros}});
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts(
@@ -111,5 +119,5 @@ int main() {
       "and builtins); the residual is the compiled form: ternaries lower to\n"
       "branches, block scopes vanish, operand shuffles are free. The host\n"
       "columns compare raw interpretation overhead of the two engines.");
-  return 0;
+  return report.finish();
 }

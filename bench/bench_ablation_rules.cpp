@@ -23,8 +23,10 @@ double runPackageJoules(const jepo::jlang::Program& prog) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jepo;
+  bench::Flags flags(argc, argv);
+  bench::BenchReport report("bench_ablation_rules", flags);
   bench::printHeader(
       "Ablation — rule contribution (demo pipeline energy win + corpus "
       "change counts with each rule disabled)");
@@ -66,10 +68,20 @@ int main() {
          std::to_string(corpusResult.changes.size()),
          std::to_string(fullCorpus.changes.size() -
                         corpusResult.changes.size())});
+    report.addRow(
+        {{"disabledRule",
+          core::ruleComponent(static_cast<core::RuleId>(r))},
+         {"demoWinPct", win},
+         {"winLostPp", fullWin - win},
+         {"corpusChanges", corpusResult.changes.size()},
+         {"changesLost",
+          fullCorpus.changes.size() - corpusResult.changes.size()}});
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts(
       "\n'Win lost' isolates each rule's share of the demo pipeline's total\n"
       "energy improvement; rules the demo does not exercise contribute 0.");
-  return 0;
+  report.config("fullWinPct", fullWin);
+  report.config("fullCorpusChanges", fullCorpus.changes.size());
+  return report.finish();
 }

@@ -1,30 +1,68 @@
-// Shared utilities for the bench binaries: a tiny --key=value flag parser
-// and the paper-vs-measured table shape every reproduction bench prints.
+// Shared utilities for the bench binaries: a strict --key=value flag
+// parser, the paper-vs-measured table header every reproduction bench
+// prints, and BenchReport — the common machine-readable artifact
+// ({bench, config, rows[], wallMs, counters{}}) every bench emits with
+// --json=<path> for CI's smoke-bench step.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
+#include "support/json_writer.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
 namespace jepo::bench {
 
-/// Parses flags of the form --name=value; everything else is ignored.
+/// Parses flags of the form --name=value (bare --name means "true").
+///
+/// Every bench declares its flag vocabulary up front; anything outside it
+/// — a typo like --intances, a flag from a different bench, a stray
+/// positional argument — prints the valid set and exits with status 2, so
+/// a CI invocation can never silently run with a misspelled knob at its
+/// default value. "help", "json", "runs" and "trace" are accepted by every
+/// bench (CI runs them all uniformly with --runs=1 --json=...).
 class Flags {
  public:
-  Flags(int argc, char** argv) {
+  Flags(int argc, char** argv, std::vector<std::string> known = {}) {
+    for (const char* common : {"help", "json", "runs", "trace"}) {
+      if (std::find(known.begin(), known.end(), common) == known.end()) {
+        known.emplace_back(common);
+      }
+    }
+    std::sort(known.begin(), known.end());
+    bool bad = false;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (!startsWith(arg, "--")) continue;
-      const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_.emplace_back(arg.substr(2), "true");
-      } else {
-        values_.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      if (startsWith(arg, "--")) {
+        const auto eq = arg.find('=');
+        const std::string name =
+            eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+        if (std::binary_search(known.begin(), known.end(), name)) {
+          if (eq == std::string::npos) {
+            values_.emplace_back(name, "true");
+          } else {
+            values_.emplace_back(name, arg.substr(eq + 1));
+          }
+          continue;
+        }
       }
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      bad = true;
+    }
+    if (bad || getBool("help")) {
+      std::FILE* out = bad ? stderr : stdout;
+      std::fprintf(out, "valid flags:");
+      for (const auto& k : known) std::fprintf(out, " --%s", k.c_str());
+      std::fprintf(out, "\n");
+      std::exit(bad ? 2 : 0);
     }
   }
 
@@ -59,5 +97,92 @@ inline void printHeader(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("==================================================\n");
 }
+
+/// The machine-readable side of a bench run. Construct it right after
+/// Flags (it starts the wall clock and arms tracing from JEPO_TRACE /
+/// --trace), record config knobs and result rows while the bench prints
+/// its human-readable table, and `return report.finish();` from main.
+///
+/// finish() writes the common schema
+///   {"bench": ..., "config": {...}, "rows": [{...}, ...],
+///    "wallMs": ..., "counters": {...}}
+/// to the --json path (validated in CI by scripts/check_bench_json.py) and
+/// dumps the Chrome trace if one was requested.
+class BenchReport {
+ public:
+  BenchReport(std::string bench, const Flags& flags)
+      : bench_(std::move(bench)),
+        jsonPath_(flags.get("json", "")),
+        start_(std::chrono::steady_clock::now()) {
+    obs::initFromEnv();
+    const std::string trace = flags.get("trace", "");
+    if (!trace.empty()) obs::setTracePath(trace);
+  }
+
+  void config(const std::string& key, JsonValue v) {
+    config_.emplace_back(key, std::move(v));
+  }
+
+  using Row = std::vector<std::pair<std::string, JsonValue>>;
+  void addRow(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Returns main's exit status: 0, or 1 if a requested report could not
+  /// be written.
+  int finish() {
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    int status = 0;
+    if (!jsonPath_.empty() && !writeJson(wallMs)) status = 1;
+    obs::writeTraceIfRequested();
+    return status;
+  }
+
+ private:
+  bool writeJson(double wallMs) const {
+    JsonWriter w;
+    w.beginObject();
+    w.kv("bench", bench_);
+    w.key("config");
+    w.beginObject();
+    for (const auto& [k, v] : config_) w.kv(k, v);
+    w.endObject();
+    w.key("rows");
+    w.beginArray();
+    for (const auto& row : rows_) {
+      w.beginObject();
+      for (const auto& [k, v] : row) w.kv(k, v);
+      w.endObject();
+    }
+    w.endArray();
+    w.kv("wallMs", wallMs);
+    w.key("counters");
+    w.beginObject();
+    for (const auto& [name, value] :
+         obs::Registry::global().snapshot().counters) {
+      w.kv(name, value);
+    }
+    w.endObject();
+    w.endObject();
+
+    std::FILE* f = std::fopen(jsonPath_.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", jsonPath_.c_str());
+      return false;
+    }
+    const std::string& doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+  std::string bench_;
+  std::string jsonPath_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, JsonValue>> config_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace jepo::bench

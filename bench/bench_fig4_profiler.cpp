@@ -8,8 +8,10 @@
 #include "jepo/views.hpp"
 #include "jlang/parser.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jepo;
+  bench::Flags flags(argc, argv);
+  bench::BenchReport report("bench_fig4_profiler", flags);
   bench::printHeader("Fig. 4 — JEPO profiler view (per method execution)");
 
   const jlang::Program program =
@@ -38,6 +40,11 @@ int main() {
                    fixed(t.seconds * 1e3, 3) + " ms",
                    fixed(t.packageJoules * 1e3, 3) + " mJ",
                    fixed(t.coreJoules * 1e3, 3) + " mJ"});
+    report.addRow({{"method", t.method},
+                   {"executions", t.executions},
+                   {"seconds", t.seconds},
+                   {"packageJoules", t.packageJoules},
+                   {"coreJoules", t.coreJoules}});
   }
   std::fputs(totals.render().c_str(), stdout);
 
@@ -50,5 +57,5 @@ int main() {
     pos = next == std::string::npos ? next : next + 1;
   }
   std::printf("\nProgram output: %s", profiler.programOutput().c_str());
-  return 0;
+  return report.finish();
 }

@@ -30,8 +30,10 @@ RunResult run(const jepo::jlang::Program& prog) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jepo;
+  bench::Flags flags(argc, argv);
+  bench::BenchReport report("bench_fig5_optimizer", flags);
   bench::printHeader("Fig. 5 — JEPO optimizer view");
 
   const jlang::Program program = jlang::Parser::parseProgram(
@@ -48,6 +50,9 @@ int main() {
                     {Align::kLeft, Align::kRight, Align::kLeft});
   for (const auto& c : optimized.changes) {
     changes.addRow({c.className, std::to_string(c.line), c.description});
+    report.addRow({{"class", c.className},
+                   {"line", c.line},
+                   {"change", c.description}});
   }
   std::fputs(changes.render().c_str(), stdout);
 
@@ -60,5 +65,8 @@ int main() {
   std::printf("Package energy: %.6f J -> %.6f J (%.2f%% improvement)\n",
               before.packageJoules, after.packageJoules,
               (1.0 - after.packageJoules / before.packageJoules) * 100.0);
-  return 0;
+  report.config("beforeJoules", before.packageJoules);
+  report.config("afterJoules", after.packageJoules);
+  report.config("outputUnchanged", before.output == after.output);
+  return report.finish();
 }

@@ -7,8 +7,10 @@
 #include "jepo/engine.hpp"
 #include "jepo/views.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jepo;
+  bench::Flags flags(argc, argv);
+  bench::BenchReport report("bench_fig_views", flags);
 
   bench::printHeader("Fig. 1 — JEPO toolbar button");
   std::fputs(core::renderToolbar().c_str(), stdout);
@@ -23,5 +25,11 @@ int main() {
 
   bench::printHeader("Fig. 3 — JEPO pop-up menu buttons");
   std::fputs(core::renderPopupMenu().c_str(), stdout);
-  return 0;
+
+  for (const auto& s : suggestions) {
+    report.addRow({{"line", s.line},
+                   {"rule", core::ruleComponent(s.rule)},
+                   {"message", s.message()}});
+  }
+  return report.finish();
 }

@@ -3,6 +3,7 @@
 // metering overhead.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro.hpp"
 #include "data/airlines.hpp"
 #include "ml/evaluation.hpp"
 
@@ -92,4 +93,6 @@ BENCHMARK(BM_StratifiedFolds);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return jepo::bench::microMain("bench_ml_micro", argc, argv);
+}

@@ -160,7 +160,7 @@ RunOutcome runProgram(const std::string& source) {
 
 int main(int argc, char** argv) {
   jepo::bench::Flags flags(argc, argv);
-  (void)flags;
+  jepo::bench::BenchReport report("bench_table1_suggestions", flags);
   jepo::bench::printHeader(
       "Table I — Java components & suggestions: measured energy penalty of "
       "the inefficient idiom vs the suggested one");
@@ -187,6 +187,11 @@ int main(int argc, char** argv) {
     table.addRow({p.component, p.paperClaim,
                   "+" + jepo::fixed(penalty, 1) + "%",
                   slow.output == fast.output ? "yes" : "NO"});
+    report.addRow({{"component", p.component},
+                   {"penaltyPct", penalty},
+                   {"inefficientJoules", slow.packageJoules},
+                   {"efficientJoules", fast.packageJoules},
+                   {"outputsMatch", slow.output == fast.output}});
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts(
@@ -195,5 +200,5 @@ int main(int argc, char** argv) {
       "paper's isolated-operation upper bounds; the ordering is the claim\n"
       "under test: static >> modulus >> column traversal >> ternary ~= "
       "compareTo.");
-  return 0;
+  return report.finish();
 }

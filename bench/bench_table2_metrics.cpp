@@ -10,8 +10,10 @@
 
 int main(int argc, char** argv) {
   using namespace jepo;
-  bench::Flags flags(argc, argv);
+  bench::Flags flags(argc, argv, {"scale"});
+  bench::BenchReport report("bench_table2_metrics", flags);
   const double scale = flags.getDouble("scale", 1.0);
+  report.config("scale", scale);
 
   bench::printHeader("Table II — WEKA classifier code metrics (measured on "
                      "the generated corpus, scale=" + fixed(scale, 2) + ")");
@@ -41,6 +43,12 @@ int main(int argc, char** argv) {
                       std::to_string(p.methods) + "/" +
                       std::to_string(p.packages) + "/" +
                       withCommas(kPaperLoc[k])});
+    report.addRow({{"classifier", ml::classifierName(kind)},
+                   {"dependencies", m.dependencies},
+                   {"attributes", m.attributes},
+                   {"methods", m.methods},
+                   {"packages", m.packages},
+                   {"loc", m.loc}});
   }
   std::fputs(table.render().c_str(), stdout);
   std::puts(
@@ -48,5 +56,5 @@ int main(int argc, char** argv) {
       "paper's counts; LOC is measured over the canonical-printed corpus\n"
       "(the paper's LOC includes comments/blank lines, so ours runs lower\n"
       "at the same structural scale).");
-  return 0;
+  return report.finish();
 }

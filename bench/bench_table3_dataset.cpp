@@ -9,10 +9,12 @@
 
 int main(int argc, char** argv) {
   using namespace jepo;
-  bench::Flags flags(argc, argv);
+  bench::Flags flags(argc, argv, {"instances"});
+  bench::BenchReport report("bench_table3_dataset", flags);
   data::AirlinesConfig cfg;
   cfg.instances = static_cast<std::size_t>(
       flags.getInt("instances", static_cast<long>(cfg.instances)));
+  report.config("instances", cfg.instances);
 
   bench::printHeader("Table III — MOA airlines data");
   const ml::Instances data = data::generateAirlines(cfg);
@@ -38,6 +40,12 @@ int main(int argc, char** argv) {
       distinct = std::to_string(count);
     }
     schema.addRow({attr.name(), type, distinct});
+    report.addRow(
+        {{"attribute", attr.name()},
+         {"type", type},
+         {"distinct", attr.isNominal() ? JsonValue(std::strtol(
+                                             distinct.c_str(), nullptr, 10))
+                                       : JsonValue()}});
   }
   std::fputs(schema.render().c_str(), stdout);
 
@@ -56,5 +64,8 @@ int main(int argc, char** argv) {
               data.attribute(0).numLabels());
   std::printf("Airports: %zu distinct labels (paper: 293)\n",
               data.attribute(2).numLabels());
-  return 0;
+  report.config("delayedFraction",
+                static_cast<double>(delayed) /
+                    static_cast<double>(data.numInstances()));
+  return report.finish();
 }

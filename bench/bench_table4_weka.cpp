@@ -55,7 +55,9 @@ double secondsSince(std::chrono::steady_clock::time_point t0) {
 
 int main(int argc, char** argv) {
   using namespace jepo;
-  bench::Flags flags(argc, argv);
+  bench::Flags flags(argc, argv, {"instances", "folds", "corpus-scale",
+                                  "trees", "threads", "paper-scale"});
+  bench::BenchReport report("bench_table4_weka", flags);
   experiments::WekaExperimentConfig cfg;
   cfg.instances =
       static_cast<std::size_t>(flags.getInt("instances", 1000));
@@ -70,6 +72,12 @@ int main(int argc, char** argv) {
     cfg.runs = 10;
     cfg.corpusScale = 1.0;
   }
+  report.config("instances", cfg.instances);
+  report.config("runs", cfg.runs);
+  report.config("folds", cfg.folds);
+  report.config("corpusScale", cfg.corpusScale);
+  report.config("trees", cfg.forestTrees);
+  report.config("threads", threads);
 
   bench::printHeader(
       "Table IV — WEKA evaluation (instances=" +
@@ -113,6 +121,15 @@ int main(int argc, char** argv) {
 
   for (const auto& r : results) {
     const auto paper = experiments::paperTable4Row(r.kind);
+    report.addRow({{"classifier", ml::classifierName(r.kind)},
+                   {"changes", r.changesFullScale},
+                   {"packageImprovementPct", r.packageImprovement},
+                   {"cpuImprovementPct", r.cpuImprovement},
+                   {"timeImprovementPct", r.timeImprovement},
+                   {"accuracyDropPct", r.accuracyDrop},
+                   {"accuracyBase", r.accuracyBase},
+                   {"basePackageJoules", r.basePackageJoules},
+                   {"optPackageJoules", r.optPackageJoules}});
     table.addRow({std::string(ml::classifierName(r.kind)),
                   std::to_string(r.changesFullScale),
                   fixed(r.packageImprovement, 2), fixed(r.cpuImprovement, 2),
@@ -132,10 +149,12 @@ int main(int argc, char** argv) {
         "%.2fx   rows bit-identical: yes\n",
         serialSeconds, resolved, parallelSeconds,
         serialSeconds / parallelSeconds);
+    report.config("serialSeconds", serialSeconds);
+    report.config("parallelSeconds", parallelSeconds);
   }
   std::puts(
       "\nShape checks: Random Forest shows the largest improvement; Random\n"
       "Tree / Logistic / SMO sit near zero; energy improvements exceed time\n"
       "improvements; accuracy drops stay below 1%.");
-  return 0;
+  return report.finish();
 }

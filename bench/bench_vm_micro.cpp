@@ -3,6 +3,7 @@
 // optimizer — the costs a JEPO user pays per keystroke / per run.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro.hpp"
 #include "demo_project.hpp"
 #include "energy/machine.hpp"
 #include "jepo/engine.hpp"
@@ -119,4 +120,6 @@ BENCHMARK(BM_MeterChargeOverhead);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return jepo::bench::microMain("bench_vm_micro", argc, argv);
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate bench --json reports against the common schema.
+
+Every bench binary emits {bench, config, rows[], wallMs, counters{}} when
+run with --json=<path>. CI runs this validator over each artifact and fails
+the build on:
+  - unparseable JSON, or JSON containing NaN/Infinity literals (the C++
+    writer renders non-finite doubles as null, so a literal NaN means a
+    foreign/corrupt file);
+  - missing or mis-typed schema keys;
+  - null or negative values under any energy-like key (joules/energy), a
+    null anywhere the writer sanitised a non-finite measurement.
+
+Usage: check_bench_json.py report.json [report2.json ...]
+
+Standard library only.
+"""
+import json
+import sys
+
+
+ENERGY_MARKERS = ("joules", "energy")
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def is_energy_key(key):
+    lowered = key.lower()
+    return any(marker in lowered for marker in ENERGY_MARKERS)
+
+
+def reject_constant(name):
+    raise ValueError(f"non-finite JSON literal {name}")
+
+
+def check_energy_values(path, obj, where):
+    """Recursively reject null/negative values under energy-like keys."""
+    errors = 0
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if is_energy_key(key):
+                if value is None:
+                    errors += fail(path, f"{where}.{key} is null "
+                                   "(non-finite measurement)")
+                elif isinstance(value, (int, float)) and value < 0:
+                    errors += fail(path, f"{where}.{key} is negative "
+                                   f"({value})")
+                elif not isinstance(value, (int, float)) and value is not None:
+                    errors += fail(path, f"{where}.{key} is not numeric")
+            errors += check_energy_values(path, value, f"{where}.{key}")
+    elif isinstance(obj, list):
+        for i, item in enumerate(obj):
+            errors += check_energy_values(path, item, f"{where}[{i}]")
+    return errors
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f, parse_constant=reject_constant)
+    except (OSError, ValueError) as exc:
+        return fail(path, f"unreadable or invalid JSON: {exc}")
+
+    errors = 0
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+
+    for key in ("bench", "config", "rows", "wallMs", "counters"):
+        if key not in doc:
+            errors += fail(path, f"missing required key '{key}'")
+    if errors:
+        return errors
+
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        errors += fail(path, "'bench' must be a non-empty string")
+    if not isinstance(doc["config"], dict):
+        errors += fail(path, "'config' must be an object")
+    if not isinstance(doc["rows"], list):
+        errors += fail(path, "'rows' must be an array")
+    else:
+        for i, row in enumerate(doc["rows"]):
+            if not isinstance(row, dict):
+                errors += fail(path, f"rows[{i}] is not an object")
+    if not isinstance(doc["wallMs"], (int, float)) or doc["wallMs"] < 0:
+        errors += fail(path, "'wallMs' must be a non-negative number")
+    if not isinstance(doc["counters"], dict):
+        errors += fail(path, "'counters' must be an object")
+    else:
+        for name, value in doc["counters"].items():
+            if not isinstance(value, int) or value < 0:
+                errors += fail(path, f"counters['{name}'] must be a "
+                               "non-negative integer")
+
+    errors += check_energy_values(path, doc, doc.get("bench", "?"))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = 0
+    for path in argv[1:]:
+        file_errors = check_file(path)
+        if not file_errors:
+            print(f"{path}: OK")
+        errors += file_errors
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

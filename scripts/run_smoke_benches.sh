@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run every bench binary at its smallest useful scale with --runs=1 and
+# --json, validating each artifact with check_bench_json.py. This is CI's
+# smoke-bench step, kept as a script so it can be reproduced locally:
+#
+#   scripts/run_smoke_benches.sh build out/
+#
+# Scales are chosen so the whole sweep finishes in a few minutes on one
+# core; they exercise every code path, not every data point.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench-json}"
+BENCH_DIR="$BUILD_DIR/bench"
+SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
+
+[ -d "$BENCH_DIR" ] || { echo "no bench dir at $BENCH_DIR" >&2; exit 2; }
+mkdir -p "$OUT_DIR"
+
+run() {
+  local name="$1"; shift
+  echo "--- $name $*"
+  "$BENCH_DIR/$name" --runs=1 --json="$OUT_DIR/$name.json" "$@" \
+    > "$OUT_DIR/$name.txt"
+}
+
+run bench_table1_suggestions
+run bench_table2_metrics --scale=0.02
+run bench_table3_dataset --instances=20000
+run bench_table4_weka --instances=200
+run bench_fig_views
+run bench_fig4_profiler
+run bench_fig5_optimizer
+run bench_scaling_instances --sizes=300,500
+run bench_ablation_rules
+run bench_ablation_costmodel --trials=1 --instances=300
+run bench_ablation_engine
+run bench_obs_overhead --reps=3
+run bench_vm_micro --benchmark_min_time=0.01
+run bench_ml_micro --benchmark_min_time=0.01
+
+python3 "$SCRIPT_DIR/check_bench_json.py" "$OUT_DIR"/*.json
+echo "smoke benches OK: $(ls "$OUT_DIR"/*.json | wc -l) reports in $OUT_DIR"

@@ -1,5 +1,6 @@
 #include "experiments/parallel_runner.hpp"
 
+#include "obs/span.hpp"
 #include "stats/protocol.hpp"
 #include "support/thread_pool.hpp"
 
@@ -34,8 +35,12 @@ std::vector<ClassifierResult> ParallelRunner::run() {
         parallelFor(pool, jobs.size(),
                     [&jobs](std::size_t i) { jobs[i](); });
       };
-  const auto protocols =
-      stats::measureManyWithTukeyLoop(streams, config_.runs, exec);
+  const auto protocols = [&] {
+    // prep/assemble spans come from the detail functions themselves (they
+    // run inside pool tasks); the measure phase is driven from here.
+    obs::Span span("experiment.measure");
+    return stats::measureManyWithTukeyLoop(streams, config_.runs, exec);
+  }();
 
   // ---- Phase 3: assemble, preserving the serial output ordering.
   std::vector<ClassifierResult> out;

@@ -7,6 +7,7 @@
 #include "ml/evaluation.hpp"
 #include "ml/forest.hpp"
 #include "ml/tree.hpp"
+#include "obs/span.hpp"
 #include "perf/perf.hpp"
 #include "stats/protocol.hpp"
 
@@ -102,6 +103,7 @@ namespace detail {
 
 ClassifierPrep prepClassifier(ClassifierKind kind,
                               const WekaExperimentConfig& config) {
+  obs::Span span("experiment.prep");
   ClassifierPrep prep;
 
   // ---- Changes: run the Optimizer over the classifier's corpus.
@@ -143,6 +145,7 @@ ClassifierResult assembleResult(ClassifierKind kind,
                                 const ClassifierPrep& prep,
                                 const stats::ProtocolResult& base,
                                 const stats::ProtocolResult& opt) {
+  obs::Span span("experiment.assemble");
   ClassifierResult result;
   result.kind = kind;
   result.changes = prep.changes;
@@ -180,8 +183,11 @@ ClassifierResult runClassifierExperiment(ClassifierKind kind,
   const detail::ClassifierPrep prep = detail::prepClassifier(kind, config);
   const std::vector<stats::IndexedMeasure> streams =
       detail::makeStyleMeasures(kind, prep, config);
-  const auto protocols = stats::measureManyWithTukeyLoop(
-      streams, config.runs, stats::serialExecutor());
+  const auto protocols = [&] {
+    obs::Span span("experiment.measure");
+    return stats::measureManyWithTukeyLoop(streams, config.runs,
+                                           stats::serialExecutor());
+  }();
   return detail::assembleResult(kind, prep, protocols[0], protocols[1]);
 }
 

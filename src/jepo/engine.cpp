@@ -6,6 +6,8 @@
 
 #include "jepo/walk.hpp"
 #include "jlang/parser.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace jepo::core {
 
@@ -337,15 +339,20 @@ class ClassAnalyzer {
 
 std::vector<Suggestion> SuggestionEngine::analyzeUnit(
     const CompilationUnit& unit) const {
+  static obs::Counter& suggestions =
+      obs::Registry::global().counter("jepo.suggestions");
+  obs::Span span("jepo.analyze");
   std::vector<Suggestion> out;
   for (const auto& cls : unit.classes) {
     ClassAnalyzer(*this, unit.fileName, cls, &out).run();
   }
+  suggestions.add(out.size());
   return out;
 }
 
 std::vector<Suggestion> SuggestionEngine::analyzeProgram(
     const Program& program) const {
+  obs::Span span("jepo.suggest");
   std::vector<Suggestion> out;
   for (const auto& unit : program.units) {
     auto part = analyzeUnit(unit);
@@ -357,6 +364,7 @@ std::vector<Suggestion> SuggestionEngine::analyzeProgram(
 
 std::vector<Suggestion> SuggestionEngine::analyzeSource(
     const std::string& fileName, const std::string& source) const {
+  obs::Span span("jepo.suggest");
   jlang::Parser parser(fileName, source);
   const CompilationUnit unit = parser.parseUnit();
   return analyzeUnit(unit);

@@ -8,6 +8,8 @@
 
 #include "jepo/engine.hpp"
 #include "jepo/walk.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "support/strings.hpp"
 
 namespace jepo::core {
@@ -993,6 +995,9 @@ class UnitRewriter {
 Optimizer::Optimizer(OptimizerOptions options) : options_(std::move(options)) {}
 
 OptimizeResult Optimizer::optimize(const Program& program) const {
+  static obs::Counter& changes =
+      obs::Registry::global().counter("jepo.changes");
+  obs::Span span("jepo.optimize");
   OptimizeResult result;
   const StaticInfo statics = collectStaticInfo(program);
   for (const auto& unit : program.units) {
@@ -1000,6 +1005,7 @@ OptimizeResult Optimizer::optimize(const Program& program) const {
     UnitRewriter(options_, statics, copy, &result.changes).run();
     result.program.units.push_back(std::move(copy));
   }
+  changes.add(result.changes.size());
   return result;
 }
 

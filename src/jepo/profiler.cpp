@@ -4,12 +4,14 @@
 #include <map>
 
 #include "jvm/interpreter.hpp"
+#include "obs/span.hpp"
 #include "support/strings.hpp"
 
 namespace jepo::core {
 
 void Profiler::profile(const jlang::Program& program,
                        std::string_view mainClass, std::uint64_t maxSteps) {
+  obs::Span span("jepo.profile");
   energy::SimMachine machine;
   jvm::Interpreter interp(program, machine);
   jvm::Instrumenter inst(machine);

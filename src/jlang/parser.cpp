@@ -1,6 +1,8 @@
 #include "jlang/parser.hpp"
 
 #include "jlang/lexer.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace jepo::jlang {
 
@@ -140,6 +142,10 @@ std::string Parser::parseQualifiedName() {
 }
 
 CompilationUnit Parser::parseUnit() {
+  static obs::Counter& parsedUnits =
+      obs::Registry::global().counter("jlang.parsedUnits");
+  parsedUnits.add();
+  obs::Span span("jlang.parse");
   CompilationUnit unit;
   unit.fileName = fileName_;
   if (match(Tok::kKwPackage)) {

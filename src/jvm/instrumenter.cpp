@@ -1,6 +1,27 @@
 #include "jvm/instrumenter.hpp"
 
+#include "obs/registry.hpp"
+
 namespace jepo::jvm {
+
+namespace {
+
+/// How many MethodRecords the profiling path has produced, and how many of
+/// those were abort-unwound — the volume of "result.txt" data, surfaced in
+/// bench --json counter sections.
+obs::Counter& recordsCounter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("instrumenter.records");
+  return c;
+}
+
+obs::Counter& truncatedCounter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("instrumenter.truncated");
+  return c;
+}
+
+}  // namespace
 
 Instrumenter::Instrumenter(energy::SimMachine& machine)
     : machine_(&machine), reader_(machine.msrDevice()) {}
@@ -49,11 +70,14 @@ void Instrumenter::onExit(const std::string& qualifiedName) {
   JEPO_REQUIRE(!stack_.empty() && stack_.back().method == qualifiedName,
                "unbalanced method hooks for " + qualifiedName);
   records_.push_back(closeFrame(/*truncated=*/false));
+  recordsCounter().add();
 }
 
 void Instrumenter::unwindAbortedFrames() {
   while (!stack_.empty()) {
     records_.push_back(closeFrame(/*truncated=*/true));
+    recordsCounter().add();
+    truncatedCounter().add();
   }
 }
 

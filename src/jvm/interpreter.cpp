@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "jvm/ops.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "support/strings.hpp"
 
 namespace jepo::jvm {
@@ -29,6 +31,18 @@ bool isBuiltinClassName(const std::string& name) {
 
 bool isWrapperClassName(const std::string& name) {
   return BuiltinLibrary::isWrapperClassName(name);
+}
+
+/// Adds one VM run's step and heap-allocation deltas to the global obs
+/// counters. Coarse (once per entry-point call), so it is not gated on
+/// obs::enabled() — bench --json reports always see the totals.
+void flushVmCounters(std::uint64_t stepsDelta, std::size_t heapDelta) {
+  static obs::Counter& steps =
+      obs::Registry::global().counter("vm.steps");
+  static obs::Counter& heapObjects =
+      obs::Registry::global().counter("vm.heap.objects");
+  steps.add(stepsDelta);
+  heapObjects.add(heapDelta);
 }
 
 }  // namespace
@@ -100,8 +114,13 @@ Value Interpreter::runMain(std::string_view mainClass) {
   }
   const MethodDecl* m = target->findMethod("main");
   ensureClassInit(target->name);
+  const std::uint64_t steps0 = steps_;
+  const std::size_t heap0 = heap_.size();
   const Ref argsArr = heap_.allocArray(0, ValKind::kRef);
-  return invoke(*target, *m, Value::null(), {Value::ofRef(argsArr)});
+  const Value out =
+      invoke(*target, *m, Value::null(), {Value::ofRef(argsArr)});
+  flushVmCounters(steps_ - steps0, heap_.size() - heap0);
+  return out;
 }
 
 Value Interpreter::callStatic(std::string_view className,
@@ -113,7 +132,11 @@ Value Interpreter::callStatic(std::string_view className,
   JEPO_REQUIRE(m != nullptr, "unknown method " + std::string(methodName));
   JEPO_REQUIRE(m->isStatic, "method is not static");
   ensureClassInit(cls->name);
-  return invoke(*cls, *m, Value::null(), std::move(args));
+  const std::uint64_t steps0 = steps_;
+  const std::size_t heap0 = heap_.size();
+  const Value out = invoke(*cls, *m, Value::null(), std::move(args));
+  flushVmCounters(steps_ - steps0, heap_.size() - heap0);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -196,6 +219,13 @@ Value Interpreter::invoke(const ClassDecl& cls, const MethodDecl& m,
 
   const std::string qualified = cls.name + "." + m.name;
   if (hooks_ != nullptr) hooks_->onEnter(qualified);
+  // Method span at the same enter/exit seam the RAPL injection uses. The
+  // enabled() decision is captured once so a mid-call toggle stays
+  // balanced. Unlike the hook epilogue below, the span IS closed on a VM
+  // abort (the C++ unwind runs this frame's catch), recording the method
+  // as it ran until the abort point.
+  const bool tracing = obs::enabled();
+  if (tracing) obs::beginSpan(qualified);
 
   // Hook contract: the injected epilogue (onExit) runs for normal returns
   // and for Java exceptions unwinding through the method — exactly the
@@ -219,14 +249,17 @@ Value Interpreter::invoke(const ClassDecl& cls, const MethodDecl& m,
     }
   } catch (const Thrown&) {
     if (hooks_ != nullptr) hooks_->onExit(qualified);
+    if (tracing) obs::endSpan();
     frames_.pop_back();
     throw;
   } catch (...) {
+    if (tracing) obs::endSpan();
     frames_.pop_back();
     throw;
   }
   const Value out = returnValue_;
   if (hooks_ != nullptr) hooks_->onExit(qualified);
+  if (tracing) obs::endSpan();
   frames_.pop_back();
   return out;
 }

@@ -1,5 +1,7 @@
 #include "ml/evaluation.hpp"
 
+#include "obs/span.hpp"
+
 namespace jepo::ml {
 
 double accuracy(Classifier& classifier, const Instances& test) {
@@ -21,7 +23,13 @@ double crossValidate(
     const Instances train = data.select(fold.train);
     const Instances test = data.select(fold.test);
     auto classifier = factory();
-    classifier->train(train);
+    // Per-fold spans named after the classifier — the trace analogue of
+    // the per-method records the instrumenter emits for interpreted code.
+    {
+      obs::Span trainSpan(classifier->name() + ".train");
+      classifier->train(train);
+    }
+    obs::Span evalSpan(classifier->name() + ".evaluate");
     total += accuracy(*classifier, test);
   }
   return total / static_cast<double>(folds);

@@ -1,0 +1,73 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace jepo::obs {
+
+namespace detail {
+std::atomic<bool> gEnabled{false};
+}  // namespace detail
+
+namespace {
+std::mutex gPathMu;
+std::string gTracePath;
+std::once_flag gEnvOnce;
+}  // namespace
+
+void setEnabled(bool on) noexcept {
+  detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+bool initFromEnv() {
+  std::call_once(gEnvOnce, [] {
+    const char* path = std::getenv("JEPO_TRACE");
+    if (path != nullptr && *path != '\0') {
+      {
+        std::lock_guard lock(gPathMu);
+        gTracePath = path;
+      }
+      setEnabled(true);
+    }
+  });
+  return enabled();
+}
+
+std::string tracePath() {
+  std::lock_guard lock(gPathMu);
+  return gTracePath;
+}
+
+void setTracePath(std::string path) {
+  {
+    std::lock_guard lock(gPathMu);
+    gTracePath = std::move(path);
+  }
+  setEnabled(true);
+}
+
+bool writeTraceIfRequested() {
+  std::string path;
+  {
+    std::lock_guard lock(gPathMu);
+    path = gTracePath;
+  }
+  if (path.empty()) return false;
+  return TraceWriter::writeCollected(path);
+}
+
+void resetForTest() {
+  setEnabled(false);
+  {
+    std::lock_guard lock(gPathMu);
+    gTracePath.clear();
+  }
+  TraceCollector::clear();
+  Registry::global().reset();
+}
+
+}  // namespace jepo::obs

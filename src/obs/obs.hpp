@@ -1,0 +1,57 @@
+// Observability master switch + trace session helpers.
+//
+// The whole obs layer (spans into ring buffers, Chrome-trace export) hangs
+// off one process-global atomic: when tracing is off — the default — every
+// instrumented hot path pays exactly one relaxed atomic load and a
+// predictable branch (bench_obs_overhead quantifies this, mirroring the
+// paper's "cost of energy monitoring" methodology). Counters and gauges
+// (src/obs/registry.hpp) are so coarse-grained at their call sites that
+// they stay on unconditionally and feed every bench's --json report.
+//
+// Activation: set JEPO_TRACE=<path> in the environment (benches and
+// examples call initFromEnv() at startup) or call setTracePath() /
+// setEnabled() programmatically. writeTraceIfRequested() then dumps every
+// recorded span plus a registry snapshot as Chrome trace_event JSON,
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace jepo::obs {
+
+namespace detail {
+extern std::atomic<bool> gEnabled;
+}  // namespace detail
+
+/// Is span tracing on? Relaxed load — THE hot-path gate. Span construction,
+/// method enter/exit and pool-task wrappers all check this first.
+inline bool enabled() noexcept {
+  return detail::gEnabled.load(std::memory_order_relaxed);
+}
+
+/// Toggle span recording. Toggling while spans are open is safe: an end
+/// without a begin is ignored, a begin without an end is simply never
+/// exported.
+void setEnabled(bool on) noexcept;
+
+/// Read JEPO_TRACE once from the environment; if set (non-empty), arms the
+/// trace path and enables span recording. Idempotent; returns enabled().
+bool initFromEnv();
+
+/// Where writeTraceIfRequested() will write; empty = nowhere.
+std::string tracePath();
+
+/// Set the trace output path programmatically and enable recording.
+void setTracePath(std::string path);
+
+/// Export all recorded spans + a registry snapshot to tracePath() as
+/// Chrome trace_event JSON. No-op (returns false) when no path is armed;
+/// returns false and keeps the process alive on I/O failure.
+bool writeTraceIfRequested();
+
+/// Test hook: disable tracing, clear the armed path, drop recorded spans
+/// and zero every registry instrument.
+void resetForTest();
+
+}  // namespace jepo::obs

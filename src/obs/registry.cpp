@@ -1,0 +1,82 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace jepo::obs {
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Shard& Registry::shardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShardCount];
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Shard& shard = shardFor(name);
+  std::lock_guard lock(shard.mu);
+  auto& slot = shard.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Shard& shard = shardFor(name);
+  std::lock_guard lock(shard.mu);
+  auto& slot = shard.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  Shard& shard = shardFor(name);
+  std::lock_guard lock(shard.mu);
+  auto& slot = shard.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (const auto& [name, c] : shard.counters) {
+      snap.counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, g] : shard.gauges) {
+      snap.gauges.push_back({name, g->value(), g->peak()});
+    }
+    for (const auto& [name, h] : shard.histograms) {
+      HistogramRow row;
+      row.name = name;
+      row.count = h->count();
+      row.sum = h->sum();
+      int top = Histogram::kBuckets;
+      while (top > 0 && h->bucket(top - 1) == 0) --top;
+      row.buckets.reserve(static_cast<std::size_t>(top));
+      for (int b = 0; b < top; ++b) row.buckets.push_back(h->bucket(b));
+      snap.histograms.push_back(std::move(row));
+    }
+  }
+  std::sort(snap.counters.begin(), snap.counters.end());
+  std::sort(snap.gauges.begin(), snap.gauges.end(),
+            [](const GaugeRow& a, const GaugeRow& b) { return a.name < b.name; });
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramRow& a, const HistogramRow& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (auto& [name, c] : shard.counters) c->reset();
+    for (auto& [name, g] : shard.gauges) g->reset();
+    for (auto& [name, h] : shard.histograms) h->reset();
+  }
+}
+
+}  // namespace jepo::obs

@@ -1,0 +1,162 @@
+// Lock-sharded registry of named counters, gauges and histograms.
+//
+// Design contract: *lookup* (counter("pool.tasks")) takes one shard mutex
+// and is meant to happen once per call site — hot paths resolve the
+// instrument up front (constructor, function-local static) and then touch
+// only its atomics. Instruments live behind stable unique_ptrs and are
+// never deleted, so a cached reference stays valid for the process
+// lifetime; reset() zeroes values in place.
+//
+// Everything here is zero-dependency (support/error.hpp only) so any layer
+// — including jepo_support's ThreadPool — can link jepo_obs without cycles.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jepo::obs {
+
+/// Monotonically increasing event count (tasks executed, VM steps, ...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level plus its high-water mark (queue depth, heap size).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    raisePeak(v);
+  }
+  void add(std::int64_t delta) noexcept {
+    const std::int64_t v =
+        value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    raisePeak(v);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void raisePeak(std::int64_t v) noexcept {
+    std::int64_t cur = peak_.load(std::memory_order_relaxed);
+    while (v > cur && !peak_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// Power-of-two-bucketed distribution of unsigned samples (durations in
+/// microseconds, batch sizes). Bucket b counts samples with bit_width b,
+/// i.e. [2^(b-1), 2^b); bucket 0 counts zeros.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bit_width of uint64_t spans 0..64
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(int b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every instrumented subsystem reports into.
+  static Registry& global();
+
+  /// Find-or-create by name. References stay valid forever.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// Bucket counts up to the highest non-empty bucket (trailing zeros
+    /// trimmed so reports stay compact).
+    std::vector<std::uint64_t> buckets;
+  };
+
+  struct GaugeRow {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t peak = 0;
+  };
+
+  /// Point-in-time copy of every instrument, each section sorted by name
+  /// (deterministic report ordering regardless of registration order).
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<GaugeRow> gauges;
+    std::vector<HistogramRow> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Zero every instrument in place; cached references stay valid.
+  void reset();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Shard& shardFor(const std::string& name);
+
+  static constexpr std::size_t kShardCount = 16;
+  std::array<Shard, kShardCount> shards_;
+};
+
+}  // namespace jepo::obs

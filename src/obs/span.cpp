@@ -1,0 +1,185 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace jepo::obs {
+
+namespace {
+
+/// One thread's flight recorder. push() is called only by the owning
+/// thread; the mutex exists for the (rare) cross-thread snapshot, capacity
+/// change and clear, so the hot path takes an uncontended lock.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanEvent> ring;
+  std::size_t capacity = 0;
+  std::size_t head = 0;  // next overwrite position once full
+  std::uint64_t dropped = 0;
+  std::uint32_t tid = 0;
+
+  void push(SpanEvent e) {
+    std::lock_guard lock(mu);
+    if (capacity == 0) {
+      ++dropped;
+      return;
+    }
+    if (ring.size() < capacity) {
+      ring.push_back(std::move(e));
+      return;
+    }
+    ring[head] = std::move(e);
+    head = (head + 1) % capacity;
+    ++dropped;
+  }
+
+  /// Chronological copy (oldest surviving event first).
+  void snapshotInto(std::vector<SpanEvent>& out) {
+    std::lock_guard lock(mu);
+    if (ring.size() < capacity) {
+      out.insert(out.end(), ring.begin(), ring.end());
+      return;
+    }
+    out.insert(out.end(), ring.begin() + static_cast<std::ptrdiff_t>(head),
+               ring.end());
+    out.insert(out.end(), ring.begin(),
+               ring.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+
+  void reset(std::size_t newCapacity) {
+    std::lock_guard lock(mu);
+    ring.clear();
+    ring.shrink_to_fit();
+    capacity = newCapacity;
+    head = 0;
+    dropped = 0;
+  }
+};
+
+struct CollectorState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::size_t capacity = 1 << 16;
+  std::uint32_t nextTid = 0;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+CollectorState& state() {
+  static CollectorState s;
+  return s;
+}
+
+struct OpenSpan {
+  std::string name;
+  double startUs = 0.0;
+};
+
+struct ThreadLocalTrace {
+  std::shared_ptr<ThreadBuffer> buffer;
+  std::vector<OpenSpan> open;
+
+  ThreadBuffer& ensureBuffer() {
+    if (!buffer) {
+      buffer = std::make_shared<ThreadBuffer>();
+      CollectorState& s = state();
+      std::lock_guard lock(s.mu);
+      buffer->capacity = s.capacity;
+      buffer->tid = s.nextTid++;
+      s.buffers.push_back(buffer);
+    }
+    return *buffer;
+  }
+};
+
+ThreadLocalTrace& tls() {
+  thread_local ThreadLocalTrace t;
+  return t;
+}
+
+}  // namespace
+
+double nowMicros() noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - state().epoch)
+      .count();
+}
+
+void beginSpan(std::string_view name) {
+  if (!enabled()) return;
+  ThreadLocalTrace& t = tls();
+  t.ensureBuffer();
+  t.open.push_back({std::string(name), nowMicros()});
+}
+
+void endSpan() {
+  ThreadLocalTrace& t = tls();
+  if (t.open.empty()) return;  // begin was gated off or toggled mid-span
+  OpenSpan span = std::move(t.open.back());
+  t.open.pop_back();
+  SpanEvent e;
+  e.name = std::move(span.name);
+  e.startUs = span.startUs;
+  e.durUs = nowMicros() - span.startUs;
+  ThreadBuffer& buf = t.ensureBuffer();
+  e.tid = buf.tid;
+  e.depth = static_cast<std::uint32_t>(t.open.size());
+  buf.push(std::move(e));
+}
+
+std::vector<SpanEvent> TraceCollector::events() {
+  // Copy the buffer list under the registry lock, then snapshot each buffer
+  // under its own lock (buffers are shared_ptrs, so threads that already
+  // exited still contribute their events).
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    CollectorState& s = state();
+    std::lock_guard lock(s.mu);
+    buffers = s.buffers;
+  }
+  std::vector<SpanEvent> out;
+  for (const auto& buf : buffers) buf->snapshotInto(out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.startUs < b.startUs;
+                   });
+  return out;
+}
+
+std::uint64_t TraceCollector::dropped() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    CollectorState& s = state();
+    std::lock_guard lock(s.mu);
+    buffers = s.buffers;
+  }
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers) {
+    std::lock_guard lock(buf->mu);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+void TraceCollector::clear() {
+  CollectorState& s = state();
+  std::lock_guard lock(s.mu);
+  for (const auto& buf : s.buffers) buf->reset(s.capacity);
+}
+
+void TraceCollector::setCapacityPerThread(std::size_t capacity) {
+  CollectorState& s = state();
+  std::lock_guard lock(s.mu);
+  s.capacity = capacity;
+  for (const auto& buf : s.buffers) buf->reset(capacity);
+}
+
+std::size_t TraceCollector::capacityPerThread() {
+  CollectorState& s = state();
+  std::lock_guard lock(s.mu);
+  return s.capacity;
+}
+
+}  // namespace jepo::obs

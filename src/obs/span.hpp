@@ -1,0 +1,90 @@
+// Span scopes: wall-time begin/end per thread, recorded into bounded ring
+// buffers and exported as Chrome trace_event JSON by TraceWriter.
+//
+// Recording model: a begin pushes onto a thread-local open-span stack; the
+// matching end pops it and appends one *completed* SpanEvent to the
+// thread's ring buffer (Chrome's "X" complete-event phase — nesting is
+// reconstructed from timestamps, so a buffer of completed events needs no
+// begin/end pairing discipline at export time). Each thread's ring holds
+// the most recent `capacityPerThread` events; older events are overwritten
+// flight-recorder style and counted as dropped.
+//
+// Everything is gated on obs::enabled(): a Span on the disabled path is a
+// relaxed atomic load and a branch (see bench_obs_overhead).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace jepo::obs {
+
+/// One completed span: [startUs, startUs + durUs) on thread `tid`, at
+/// nesting `depth` (0 = outermost open span on that thread at begin time).
+/// Timestamps are microseconds since the process trace epoch (first obs
+/// use), matching Chrome's trace_event "ts"/"dur" unit.
+struct SpanEvent {
+  std::string name;
+  double startUs = 0.0;
+  double durUs = 0.0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Monotonic microseconds since the trace epoch.
+double nowMicros() noexcept;
+
+/// Begin/end one span on the calling thread. Spans nest properly (endSpan
+/// closes the innermost open one); an endSpan with nothing open is a no-op
+/// so enable/disable races can never corrupt the stack. The instrumenter's
+/// method enter/exit hooks call these directly; scoped code uses Span.
+/// Both are no-ops while obs::enabled() is false.
+void beginSpan(std::string_view name);
+void endSpan();
+
+/// RAII scope. Captures the enabled() decision at construction so a toggle
+/// mid-scope still produces a balanced begin/end.
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+    if (enabled()) {
+      beginSpan(name);
+      armed_ = true;
+    }
+  }
+  ~Span() {
+    if (armed_) endSpan();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool armed_ = false;
+};
+
+/// Process-wide access to every thread's recorded spans. Thread buffers are
+/// kept alive past thread exit (shared ownership) so a pool's task spans
+/// survive the pool's destruction until export.
+class TraceCollector {
+ public:
+  /// All recorded events across threads, sorted by start time.
+  static std::vector<SpanEvent> events();
+
+  /// Events overwritten (ring wrap) or discarded since the last clear().
+  static std::uint64_t dropped();
+
+  /// Drop recorded events and the dropped count; keeps buffers/threads
+  /// registered and open-span stacks untouched.
+  static void clear();
+
+  /// Ring capacity per thread in events (default 65536). Applies to every
+  /// existing buffer (resetting its contents) and to future threads.
+  static void setCapacityPerThread(std::size_t capacity);
+  static std::size_t capacityPerThread();
+};
+
+}  // namespace jepo::obs

@@ -1,0 +1,87 @@
+#include "obs/trace_writer.hpp"
+
+#include <cstdio>
+
+#include "support/json_writer.hpp"
+
+namespace jepo::obs {
+
+std::string TraceWriter::render(const std::vector<SpanEvent>& events,
+                                const Registry::Snapshot& registry,
+                                std::uint64_t droppedSpans) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("traceEvents");
+  w.beginArray();
+  for (const SpanEvent& e : events) {
+    w.beginObject();
+    w.kv("name", e.name);
+    w.kv("cat", "jepo");
+    w.kv("ph", "X");
+    w.kv("pid", 1);
+    w.kv("tid", static_cast<long long>(e.tid));
+    w.kv("ts", e.startUs);
+    w.kv("dur", e.durUs);
+    w.key("args");
+    w.beginObject();
+    w.kv("depth", static_cast<long long>(e.depth));
+    w.endObject();
+    w.endObject();
+  }
+  w.endArray();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.beginObject();
+  w.kv("droppedSpans", droppedSpans);
+  w.key("counters");
+  w.beginObject();
+  for (const auto& [name, value] : registry.counters) w.kv(name, value);
+  w.endObject();
+  w.key("gauges");
+  w.beginObject();
+  for (const auto& g : registry.gauges) {
+    w.key(g.name);
+    w.beginObject();
+    w.kv("value", static_cast<long long>(g.value));
+    w.kv("peak", static_cast<long long>(g.peak));
+    w.endObject();
+  }
+  w.endObject();
+  w.key("histograms");
+  w.beginObject();
+  for (const auto& h : registry.histograms) {
+    w.key(h.name);
+    w.beginObject();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.key("buckets");
+    w.beginArray();
+    for (const std::uint64_t b : h.buckets) w.value(b);
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+  w.endObject();
+  return w.str();
+}
+
+bool TraceWriter::writeFile(const std::string& path,
+                            const std::vector<SpanEvent>& events,
+                            const Registry::Snapshot& registry,
+                            std::uint64_t droppedSpans) {
+  const std::string doc = render(events, registry, droppedSpans);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (!ok && written != doc.size()) std::fclose(f);
+  return ok;
+}
+
+bool TraceWriter::writeCollected(const std::string& path) {
+  return writeFile(path, TraceCollector::events(),
+                   Registry::global().snapshot(), TraceCollector::dropped());
+}
+
+}  // namespace jepo::obs

@@ -1,0 +1,33 @@
+// Chrome trace_event export: turns recorded SpanEvents plus a Registry
+// snapshot into the JSON object format understood by chrome://tracing and
+// https://ui.perfetto.dev (one "X" complete event per span; counters,
+// gauges and the dropped-span count ride along in "otherData").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
+namespace jepo::obs {
+
+class TraceWriter {
+ public:
+  /// Render the trace document. `droppedSpans` is surfaced in otherData so
+  /// a truncated flight recording is visible in the artifact itself.
+  static std::string render(const std::vector<SpanEvent>& events,
+                            const Registry::Snapshot& registry,
+                            std::uint64_t droppedSpans);
+
+  /// Render and write to `path`. Returns false on I/O failure.
+  static bool writeFile(const std::string& path,
+                        const std::vector<SpanEvent>& events,
+                        const Registry::Snapshot& registry,
+                        std::uint64_t droppedSpans);
+
+  /// Convenience: everything currently recorded, to `path`.
+  static bool writeCollected(const std::string& path);
+};
+
+}  // namespace jepo::obs

@@ -1,5 +1,7 @@
 #include "perf/perf.hpp"
 
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "rapl/rapl.hpp"
 
 namespace jepo::perf {
@@ -23,6 +25,10 @@ PerfStat PerfRunner::statAt(
     std::uint64_t ordinal,
     const std::function<void(energy::SimMachine&)>& workload,
     const energy::CostModel& model) const {
+  static obs::Counter& measurements =
+      obs::Registry::global().counter("perf.measurements");
+  measurements.add();
+  obs::Span span("perf.stat");
   energy::SimMachine machine(model);
   // Arm counters through the MSR path, exactly as perf arms the RAPL PMU.
   rapl::RaplReader reader(machine.msrDevice());

@@ -1,0 +1,207 @@
+// Minimal streaming JSON writer: objects, arrays, escaped strings, numbers.
+//
+// Header-only on purpose — the obs layer (src/obs) renders Chrome traces
+// with it while jepo_support's ThreadPool links jepo_obs for task spans;
+// keeping this file link-free breaks what would otherwise be a dependency
+// cycle between the two libraries. Benches reuse the same writer for their
+// --json reports, so every machine-readable artifact shares one escaping
+// and number-formatting policy.
+//
+// JSON has no NaN/Infinity: non-finite doubles render as null so a bad
+// measurement can never produce an unparseable report (the CI validator
+// then flags the null energy instead of a parse error).
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace jepo {
+
+/// Escape `s` into valid JSON string *contents* (no surrounding quotes):
+/// quote, backslash, the short escapes, and \u00XX for other control chars.
+inline std::string jsonEscape(std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip decimal for a finite double; null otherwise.
+inline std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+/// A tagged scalar for callers that assemble heterogeneous rows (bench
+/// reports mix strings, counts, percentages and booleans in one record).
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(int v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(long v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(long long v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(unsigned v) : kind_(Kind::kInt), int_(v) {}
+  JsonValue(unsigned long v)
+      : kind_(Kind::kInt), int_(static_cast<long long>(v)) {}
+  JsonValue(unsigned long long v)
+      : kind_(Kind::kInt), int_(static_cast<long long>(v)) {}
+  JsonValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(std::string_view s) : kind_(Kind::kString), string_(s) {}
+
+  std::string render() const {
+    switch (kind_) {
+      case Kind::kNull: return "null";
+      case Kind::kBool: return bool_ ? "true" : "false";
+      case Kind::kInt: return std::to_string(int_);
+      case Kind::kDouble: return jsonNumber(double_);
+      case Kind::kString: return '"' + jsonEscape(string_) + '"';
+    }
+    return "null";
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString };
+  Kind kind_;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+/// Streaming writer with automatic comma/colon placement. Usage:
+///
+///   JsonWriter w;
+///   w.beginObject();
+///   w.key("rows"); w.beginArray(); w.value(1); w.value("x"); w.endArray();
+///   w.endObject();
+///   w.str();   // {"rows":[1,"x"]}
+///
+/// Misuse (value without key inside an object, unbalanced end*) trips
+/// JEPO_REQUIRE — the writers are all test-covered, so a trip is a bug in
+/// the calling report code, never data-dependent.
+class JsonWriter {
+ public:
+  void beginObject() {
+    separator(false);
+    out_ += '{';
+    stack_.push_back({/*array=*/false, /*first=*/true});
+  }
+
+  void endObject() {
+    JEPO_REQUIRE(!stack_.empty() && !stack_.back().array,
+                 "endObject outside an object");
+    JEPO_REQUIRE(!keyPending_, "endObject with a dangling key");
+    stack_.pop_back();
+    out_ += '}';
+  }
+
+  void beginArray() {
+    separator(false);
+    out_ += '[';
+    stack_.push_back({/*array=*/true, /*first=*/true});
+  }
+
+  void endArray() {
+    JEPO_REQUIRE(!stack_.empty() && stack_.back().array,
+                 "endArray outside an array");
+    stack_.pop_back();
+    out_ += ']';
+  }
+
+  void key(std::string_view k) {
+    JEPO_REQUIRE(!stack_.empty() && !stack_.back().array,
+                 "key outside an object");
+    JEPO_REQUIRE(!keyPending_, "two keys in a row");
+    separator(true);
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+    keyPending_ = true;
+  }
+
+  void value(const JsonValue& v) {
+    separator(false);
+    out_ += v.render();
+  }
+  void value(std::string_view s) { value(JsonValue(s)); }
+  void value(const char* s) { value(JsonValue(s)); }
+  void value(double v) { value(JsonValue(v)); }
+  void value(bool v) { value(JsonValue(v)); }
+  void value(int v) { value(JsonValue(v)); }
+  void value(long v) { value(JsonValue(v)); }
+  void value(long long v) { value(JsonValue(v)); }
+  void value(unsigned long v) { value(JsonValue(v)); }
+  void value(unsigned long long v) { value(JsonValue(v)); }
+  void null() { value(JsonValue()); }
+
+  /// key + value in one call, for flat objects.
+  void kv(std::string_view k, const JsonValue& v) {
+    key(k);
+    value(v);
+  }
+
+  /// The document so far; complete (balanced) once the stack is empty.
+  const std::string& str() const {
+    JEPO_REQUIRE(stack_.empty() && !keyPending_,
+                 "JSON document is unbalanced");
+    return out_;
+  }
+
+ private:
+  struct Level {
+    bool array;
+    bool first;
+  };
+
+  /// Emit the comma that separates this token from its predecessor.
+  /// `forKey`: the token is a key (values right after a key never separate).
+  void separator(bool forKey) {
+    if (keyPending_) {
+      JEPO_REQUIRE(!forKey, "two keys in a row");
+      keyPending_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    JEPO_REQUIRE(stack_.back().array || forKey,
+                 "object members need a key first");
+    if (!stack_.back().first) out_ += ',';
+    stack_.back().first = false;
+  }
+
+  std::string out_;
+  std::vector<Level> stack_;
+  bool keyPending_ = false;
+};
+
+}  // namespace jepo

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
+
 namespace jepo {
 
 ThreadPool::ThreadPool(std::size_t threads, std::size_t maxQueue)
     : maxQueue_(maxQueue) {
+  obs::Registry& reg = obs::Registry::global();
+  tasks_ = &reg.counter("pool.tasks");
+  backpressure_ = &reg.counter("pool.backpressure.waits");
+  queueDepth_ = &reg.gauge("pool.queue.depth");
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -34,8 +40,11 @@ void ThreadPool::workerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      queueDepth_->set(static_cast<std::int64_t>(queue_.size()));
     }
     spaceCv_.notify_one();
+    tasks_->add();
+    obs::Span span("pool.task");
     task();
   }
 }

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "support/error.hpp"
 
 namespace jepo {
@@ -66,6 +67,7 @@ class ThreadPool {
       waitForSpace(lock);
       JEPO_REQUIRE(!stopping_, "submit on a stopped ThreadPool");
       queue_.emplace_back([task] { (*task)(); });
+      queueDepth_->set(static_cast<std::int64_t>(queue_.size()));
     }
     cv_.notify_one();
     return fut;
@@ -95,6 +97,7 @@ class ThreadPool {
         ++enqueued;
       } while (enqueued < tasks.size() &&
                (maxQueue_ == 0 || queue_.size() < maxQueue_));
+      queueDepth_->set(static_cast<std::int64_t>(queue_.size()));
       lock.unlock();
       cv_.notify_all();
     }
@@ -105,9 +108,11 @@ class ThreadPool {
   void workerLoop();
 
   /// Pre: lock held. Blocks until the bounded queue has space (no-op when
-  /// unbounded or stopping).
+  /// unbounded or stopping). Each blocking visit counts one backpressure
+  /// event in the obs registry.
   void waitForSpace(std::unique_lock<std::mutex>& lock) {
     if (maxQueue_ == 0) return;
+    if (!stopping_ && queue_.size() >= maxQueue_) backpressure_->add();
     spaceCv_.wait(lock, [this] {
       return stopping_ || queue_.size() < maxQueue_;
     });
@@ -120,6 +125,14 @@ class ThreadPool {
   std::size_t maxQueue_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Obs instruments, resolved once at construction (the registry lookup
+  // takes a shard mutex; the instruments themselves are lock-free).
+  // Counters/gauges are coarse (per task, not per op) and stay on
+  // unconditionally; task *spans* are gated on obs::enabled().
+  obs::Counter* tasks_ = nullptr;
+  obs::Counter* backpressure_ = nullptr;
+  obs::Gauge* queueDepth_ = nullptr;
 };
 
 /// Run body(i) for i in [0, n), spread over the pool. Waits for ALL tasks

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/json_writer.hpp"
+
+namespace jepo {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(jsonEscape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscape, EscapesShortControlSequences) {
+  EXPECT_EQ(jsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+}
+
+TEST(JsonEscape, EscapesOtherControlCharsAsUnicode) {
+  EXPECT_EQ(jsonEscape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(JsonEscape, LeavesUtf8BytesAlone) {
+  EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonNumber, RendersShortestRoundTrip) {
+  EXPECT_EQ(jsonNumber(0.0), "0");
+  EXPECT_EQ(jsonNumber(0.5), "0.5");
+  EXPECT_EQ(jsonNumber(-3.0), "-3");
+}
+
+TEST(JsonNumber, NonFiniteRendersAsNull) {
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonValueTest, RendersEveryKind) {
+  EXPECT_EQ(JsonValue().render(), "null");
+  EXPECT_EQ(JsonValue(true).render(), "true");
+  EXPECT_EQ(JsonValue(false).render(), "false");
+  EXPECT_EQ(JsonValue(42).render(), "42");
+  EXPECT_EQ(JsonValue(-7L).render(), "-7");
+  EXPECT_EQ(JsonValue(3.25).render(), "3.25");
+  EXPECT_EQ(JsonValue("s").render(), "\"s\"");
+  EXPECT_EQ(JsonValue(std::string("a\"b")).render(), "\"a\\\"b\"");
+}
+
+TEST(JsonValueTest, NanValueRendersAsNull) {
+  EXPECT_EQ(JsonValue(std::nan("")).render(), "null");
+}
+
+TEST(JsonWriterTest, BuildsNestedDocument) {
+  JsonWriter w;
+  w.beginObject();
+  w.kv("name", "bench");
+  w.key("rows");
+  w.beginArray();
+  w.beginObject();
+  w.kv("x", 1);
+  w.kv("y", 2.5);
+  w.endObject();
+  w.value(7);
+  w.endArray();
+  w.key("empty");
+  w.beginObject();
+  w.endObject();
+  w.endObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"bench\",\"rows\":[{\"x\":1,\"y\":2.5},7],"
+            "\"empty\":{}}");
+}
+
+TEST(JsonWriterTest, TopLevelArrayAndNull) {
+  JsonWriter w;
+  w.beginArray();
+  w.null();
+  w.value(true);
+  w.endArray();
+  EXPECT_EQ(w.str(), "[null,true]");
+}
+
+TEST(JsonWriterTest, EscapesKeys) {
+  JsonWriter w;
+  w.beginObject();
+  w.kv("we\"ird", 1);
+  w.endObject();
+  EXPECT_EQ(w.str(), "{\"we\\\"ird\":1}");
+}
+
+TEST(JsonWriterTest, MisuseTripsPreconditions) {
+  {
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.value(1), PreconditionError);  // value without a key
+  }
+  {
+    JsonWriter w;
+    w.beginArray();
+    EXPECT_THROW(w.endObject(), PreconditionError);  // mismatched end
+  }
+  {
+    JsonWriter w;
+    w.beginObject();
+    w.key("k");
+    EXPECT_THROW(w.key("k2"), PreconditionError);  // two keys in a row
+  }
+  {
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_THROW(w.str(), PreconditionError);  // unbalanced document
+  }
+}
+
+}  // namespace
+}  // namespace jepo

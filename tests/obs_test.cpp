@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_writer.hpp"
+
+namespace jepo::obs {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { resetForTest(); }
+  void TearDown() override { resetForTest(); }
+};
+
+TEST_F(ObsTest, CounterAccumulatesExactTotalsAcrossThreads) {
+  Counter& c = Registry::global().counter("test.hammer");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 50'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST_F(ObsTest, CounterAddRespectsDelta) {
+  Counter& c = Registry::global().counter("test.delta");
+  c.add(3);
+  c.add(0);
+  c.add(39);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameInstrumentForSameName) {
+  Counter& a = Registry::global().counter("test.same");
+  Counter& b = Registry::global().counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.add();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(ObsTest, GaugeTracksValueAndPeak) {
+  Gauge& g = Registry::global().gauge("test.gauge");
+  g.set(5);
+  g.set(17);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.peak(), 17);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -8);
+  EXPECT_EQ(g.peak(), 17);
+}
+
+TEST_F(ObsTest, HistogramBucketsByBitWidth) {
+  Histogram& h = Registry::global().histogram("test.hist");
+  h.record(0);   // bucket 0
+  h.record(1);   // bucket 1
+  h.record(7);   // bucket 3
+  h.record(8);   // bucket 4
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 16u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedByName) {
+  Registry::global().counter("test.b").add(2);
+  Registry::global().counter("test.a").add(1);
+  Registry::global().counter("test.c").add(3);
+  const auto snap = Registry::global().snapshot();
+  ASSERT_GE(snap.counters.size(), 3u);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+}
+
+TEST_F(ObsTest, SpansAreNoOpsWhileDisabled) {
+  ASSERT_FALSE(enabled());
+  {
+    Span outer("outer");
+    Span inner("inner");
+  }
+  EXPECT_TRUE(TraceCollector::events().empty());
+  EXPECT_EQ(TraceCollector::dropped(), 0u);
+}
+
+TEST_F(ObsTest, SpansRecordNestingDepthAndContainment) {
+  setEnabled(true);
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+    }
+  }
+  const auto events = TraceCollector::events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start: outer began first, inner nests inside it.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_LE(events[0].startUs, events[1].startUs);
+  EXPECT_GE(events[0].startUs + events[0].durUs,
+            events[1].startUs + events[1].durUs);
+}
+
+TEST_F(ObsTest, EndSpanWithoutBeginIsIgnored) {
+  setEnabled(true);
+  endSpan();  // nothing open — must not crash or record
+  EXPECT_TRUE(TraceCollector::events().empty());
+}
+
+TEST_F(ObsTest, SpanCapturesEnabledAtConstruction) {
+  setEnabled(true);
+  {
+    Span span("toggled");
+    setEnabled(false);  // toggle mid-scope: the end must still balance
+  }
+  setEnabled(true);
+  const auto events = TraceCollector::events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "toggled");
+}
+
+TEST_F(ObsTest, RingBufferTruncatesOldestAndCountsDropped) {
+  const std::size_t originalCapacity = TraceCollector::capacityPerThread();
+  TraceCollector::setCapacityPerThread(4);
+  setEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    Span span("span" + std::to_string(i));
+  }
+  const auto events = TraceCollector::events();
+  EXPECT_EQ(events.size(), 4u);
+  EXPECT_EQ(TraceCollector::dropped(), 6u);
+  // The survivors are the most recent spans, in chronological order.
+  ASSERT_EQ(events.front().name, "span6");
+  ASSERT_EQ(events.back().name, "span9");
+  TraceCollector::setCapacityPerThread(originalCapacity);
+}
+
+TEST_F(ObsTest, SpansFromMultipleThreadsCarryDistinctTids) {
+  setEnabled(true);
+  std::thread other([] { Span span("other-thread"); });
+  other.join();
+  {
+    Span span("main-thread");
+  }
+  const auto events = TraceCollector::events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(ObsTest, TraceWriterEmitsWellFormedChromeTrace) {
+  setEnabled(true);
+  Registry::global().counter("test.counter").add(7);
+  Registry::global().gauge("test.gauge").set(3);
+  {
+    Span span("exported \"span\"\n");  // name needing JSON escaping
+  }
+  const std::string doc = TraceWriter::render(
+      TraceCollector::events(), Registry::global().snapshot(),
+      TraceCollector::dropped());
+  // Structural checks without a JSON parser: balanced braces/brackets and
+  // the required Chrome trace keys.
+  long braces = 0;
+  long brackets = 0;
+  bool inString = false;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const char ch = doc[i];
+    if (inString) {
+      if (ch == '\\') {
+        ++i;
+      } else if (ch == '"') {
+        inString = false;
+      }
+      continue;
+    }
+    if (ch == '"') inString = true;
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(inString);
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"exported \\\"span\\\"\\n\""), std::string::npos);
+  EXPECT_NE(doc.find("\"test.counter\":7"), std::string::npos);
+  EXPECT_EQ(doc.find('\n'), std::string::npos);  // single-line artifact
+}
+
+TEST_F(ObsTest, WriteTraceIfRequestedHonorsArmedPath) {
+  EXPECT_FALSE(writeTraceIfRequested());  // nothing armed
+  const std::string path =
+      ::testing::TempDir() + "/jepo_obs_test_trace.json";
+  setTracePath(path);
+  EXPECT_TRUE(enabled());  // arming a path turns recording on
+  {
+    Span span("to-file");
+  }
+  EXPECT_TRUE(writeTraceIfRequested());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(buf[0], '{');
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, ResetForTestClearsEverything) {
+  setEnabled(true);
+  Registry::global().counter("test.reset").add(5);
+  {
+    Span span("cleared");
+  }
+  resetForTest();
+  EXPECT_FALSE(enabled());
+  EXPECT_TRUE(tracePath().empty());
+  EXPECT_TRUE(TraceCollector::events().empty());
+  EXPECT_EQ(Registry::global().counter("test.reset").value(), 0u);
+}
+
+TEST_F(ObsTest, ConcurrentSpansAndCountersDoNotInterfere) {
+  setEnabled(true);
+  Counter& c = Registry::global().counter("test.mixed");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kIters; ++i) {
+        Span span("work");
+        c.add();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(TraceCollector::events().size() + TraceCollector::dropped(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace jepo::obs

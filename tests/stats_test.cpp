@@ -99,10 +99,24 @@ TEST(Protocol, NonConvergingDistributionHitsTheCap) {
 
 TEST(Protocol, ValidatesInputs) {
   EXPECT_THROW(
-      measureWithTukeyLoop(2, [] { return std::vector<double>{1.0}; }),
+      measureWithTukeyLoop(0, [] { return std::vector<double>{1.0}; }),
       PreconditionError);
   EXPECT_THROW(measureWithTukeyLoop(10, [] { return std::vector<double>{}; }),
                PreconditionError);
+}
+
+TEST(Protocol, FewerThanFourRunsSkipsTukeyAndReportsPlainMean) {
+  // Quartiles need 4 points; below that (CI smoke runs with --runs=1) the
+  // protocol is a plain mean: no re-measurement even of a wild outlier.
+  int calls = 0;
+  const auto result = measureWithTukeyLoop(2, [&] {
+    ++calls;
+    return std::vector<double>{calls == 1 ? 1000.0 : 10.0};
+  });
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(result.remeasured, 0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.means[0], 505.0, 1e-12);
 }
 
 // A measurement that is a pure function of (stream, ordinal) — the contract
@@ -196,8 +210,13 @@ TEST(Protocol, ThreadPoolExecutorMatchesSerial) {
 TEST(Protocol, ManyStreamsValidateInputs) {
   const std::vector<IndexedMeasure> one = {
       [](int) { return std::vector<double>{1.0}; }};
-  EXPECT_THROW(measureManyWithTukeyLoop(one, 2, serialExecutor()),
+  EXPECT_THROW(measureManyWithTukeyLoop(one, 0, serialExecutor()),
                PreconditionError);
+  // A single run is legal (smoke mode): the mean of that one measurement.
+  const auto smoke = measureManyWithTukeyLoop(one, 1, serialExecutor());
+  ASSERT_EQ(smoke.size(), 1u);
+  EXPECT_EQ(smoke[0].runs.size(), 1u);
+  EXPECT_DOUBLE_EQ(smoke[0].means[0], 1.0);
   // No streams is a no-op, not an error.
   EXPECT_TRUE(measureManyWithTukeyLoop({}, 10, serialExecutor()).empty());
 }
