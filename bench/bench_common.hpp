@@ -9,10 +9,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 #include "obs/registry.hpp"
 #include "support/json_writer.hpp"
@@ -27,12 +29,14 @@ namespace jepo::bench {
 /// — a typo like --intances, a flag from a different bench, a stray
 /// positional argument — prints the valid set and exits with status 2, so
 /// a CI invocation can never silently run with a misspelled knob at its
-/// default value. "help", "json", "runs" and "trace" are accepted by every
-/// bench (CI runs them all uniformly with --runs=1 --json=...).
+/// default value. "help", "json", "runs", "trace" and "fault-plan" are
+/// accepted by every bench (CI runs them all uniformly with
+/// --runs=1 --json=...; chaos runs add --fault-plan=<spec>).
 class Flags {
  public:
   Flags(int argc, char** argv, std::vector<std::string> known = {}) {
-    for (const char* common : {"help", "json", "runs", "trace"}) {
+    for (const char* common : {"help", "json", "runs", "trace",
+                               "fault-plan"}) {
       if (std::find(known.begin(), known.end(), common) == known.end()) {
         known.emplace_back(common);
       }
@@ -91,6 +95,25 @@ class Flags {
  private:
   std::vector<std::pair<std::string, std::string>> values_;
 };
+
+/// Resolve --fault-plan=<spec> (see fault::parseFaultPlan for the syntax:
+/// a preset like "transient" or "chaos", optionally with ':'-separated
+/// key=value overrides). Returns nullopt when the flag is absent or the
+/// spec is inactive ("none"); a malformed spec prints the parse error and
+/// exits 2, matching the strict-flag philosophy above.
+inline std::optional<fault::FaultSpec> faultSpecFromFlags(
+    const Flags& flags) {
+  const std::string text = flags.get("fault-plan", "");
+  if (text.empty()) return std::nullopt;
+  try {
+    fault::FaultSpec spec = fault::parseFaultPlan(text);
+    if (!spec.active()) return std::nullopt;
+    return spec;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "--fault-plan: %s\n", e.what());
+    std::exit(2);
+  }
+}
 
 inline void printHeader(const std::string& title) {
   std::printf("==================================================\n");

@@ -43,11 +43,15 @@ int main(int argc, char** argv) {
       ml::ClassifierKind::kSgd, ml::ClassifierKind::kKStar,
       ml::ClassifierKind::kIbk};
 
-  auto makeConfig = [&flags](std::size_t n) {
+  const std::optional<fault::FaultSpec> faultPlan =
+      bench::faultSpecFromFlags(flags);
+  report.config("faultPlan", faultPlan ? faultPlan->describe() : "none");
+  auto makeConfig = [&flags, &faultPlan](std::size_t n) {
     experiments::WekaExperimentConfig cfg;
     cfg.instances = n;
     cfg.runs = static_cast<int>(flags.getInt("runs", 4));
     cfg.corpusScale = 0.02;  // Changes column not under test here
+    cfg.faultPlan = faultPlan;
     return cfg;
   };
 

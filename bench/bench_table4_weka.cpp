@@ -39,7 +39,9 @@ bool identicalRows(const std::vector<ClassifierResult>& a,
         x.basePackageJoules != y.basePackageJoules ||
         x.optPackageJoules != y.optPackageJoules ||
         x.tukeyRemeasurements != y.tukeyRemeasurements ||
-        x.degenerateBaseline != y.degenerateBaseline) {
+        x.degenerateBaseline != y.degenerateBaseline ||
+        x.quality != y.quality || x.faultRetries != y.faultRetries ||
+        x.flagged != y.flagged) {
       return false;
     }
   }
@@ -72,6 +74,9 @@ int main(int argc, char** argv) {
     cfg.runs = 10;
     cfg.corpusScale = 1.0;
   }
+  cfg.faultPlan = bench::faultSpecFromFlags(flags);
+  report.config("faultPlan",
+                cfg.faultPlan ? cfg.faultPlan->describe() : "none");
   report.config("instances", cfg.instances);
   report.config("runs", cfg.runs);
   report.config("folds", cfg.folds);
@@ -129,7 +134,10 @@ int main(int argc, char** argv) {
                    {"accuracyDropPct", r.accuracyDrop},
                    {"accuracyBase", r.accuracyBase},
                    {"basePackageJoules", r.basePackageJoules},
-                   {"optPackageJoules", r.optPackageJoules}});
+                   {"optPackageJoules", r.optPackageJoules},
+                   {"quality", std::string(rapl::qualityName(r.quality))},
+                   {"faultRetries", r.faultRetries},
+                   {"flagged", r.flagged}});
     table.addRow({std::string(ml::classifierName(r.kind)),
                   std::to_string(r.changesFullScale),
                   fixed(r.packageImprovement, 2), fixed(r.cpuImprovement, 2),
@@ -142,6 +150,21 @@ int main(int argc, char** argv) {
                       fixed(paper.accuracyDrop, 2)});
   }
   std::fputs(table.render().c_str(), stdout);
+  if (cfg.faultPlan) {
+    int flaggedRows = 0;
+    int retries = 0;
+    auto worstQ = rapl::MeasurementQuality::kOk;
+    for (const auto& r : results) {
+      if (r.flagged) ++flaggedRows;
+      retries += r.faultRetries;
+      worstQ = worst(worstQ, r.quality);
+    }
+    std::printf(
+        "\nFault plan: %s\n%d/%zu rows flagged, %d retries absorbed; worst "
+        "row quality: %s\n",
+        cfg.faultPlan->describe().c_str(), flaggedRows, results.size(),
+        retries, std::string(rapl::qualityName(worstQ)).c_str());
+  }
   if (threads != 1) {
     const std::size_t resolved = ParallelConfig{threads}.resolvedThreads();
     std::printf(

@@ -9,7 +9,13 @@ the build on:
     foreign/corrupt file);
   - missing or mis-typed schema keys;
   - null or negative values under any energy-like key (joules/energy), a
-    null anywhere the writer sanitised a non-finite measurement.
+    null anywhere the writer sanitised a non-finite measurement;
+  - malformed robustness fields: a row's "quality" must be one of
+    ok/retried/degraded/invalid, "flagged" must be a bool, and any
+    retry-count key must be a non-negative integer. When the report's
+    config names an active fault plan, the counters must include at least
+    one "fault."-prefixed degradation counter (the decorator publishes
+    fault.devices on construction, so a silent fault layer is a bug).
 
 Usage: check_bench_json.py report.json [report2.json ...]
 
@@ -20,6 +26,8 @@ import sys
 
 
 ENERGY_MARKERS = ("joules", "energy")
+QUALITY_VALUES = ("ok", "retried", "degraded", "invalid")
+RETRY_MARKERS = ("retries", "faultretries", "readretries")
 
 
 def fail(path, msg):
@@ -57,6 +65,28 @@ def check_energy_values(path, obj, where):
     return errors
 
 
+def check_row_robustness(path, row, where):
+    """Validate per-row measurement-quality bookkeeping where present."""
+    errors = 0
+    if "quality" in row and row["quality"] not in QUALITY_VALUES:
+        errors += fail(path, f"{where}.quality is {row['quality']!r}, "
+                       f"expected one of {'/'.join(QUALITY_VALUES)}")
+    if "flagged" in row and not isinstance(row["flagged"], bool):
+        errors += fail(path, f"{where}.flagged must be a boolean")
+    for key, value in row.items():
+        if key.lower() in RETRY_MARKERS:
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                errors += fail(path, f"{where}.{key} must be a "
+                               "non-negative integer")
+    return errors
+
+
+def has_active_fault_plan(config):
+    plan = config.get("faultPlan")
+    return isinstance(plan, str) and plan not in ("", "none")
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -84,6 +114,8 @@ def check_file(path):
         for i, row in enumerate(doc["rows"]):
             if not isinstance(row, dict):
                 errors += fail(path, f"rows[{i}] is not an object")
+            else:
+                errors += check_row_robustness(path, row, f"rows[{i}]")
     if not isinstance(doc["wallMs"], (int, float)) or doc["wallMs"] < 0:
         errors += fail(path, "'wallMs' must be a non-negative number")
     if not isinstance(doc["counters"], dict):
@@ -93,6 +125,12 @@ def check_file(path):
             if not isinstance(value, int) or value < 0:
                 errors += fail(path, f"counters['{name}'] must be a "
                                "non-negative integer")
+
+    if isinstance(doc["config"], dict) and isinstance(doc["counters"], dict) \
+            and has_active_fault_plan(doc["config"]):
+        if not any(name.startswith("fault.") for name in doc["counters"]):
+            errors += fail(path, "config names an active fault plan but no "
+                           "'fault.'-prefixed counter was published")
 
     errors += check_energy_values(path, doc, doc.get("bench", "?"))
     return errors

@@ -36,8 +36,16 @@ run bench_ablation_rules
 run bench_ablation_costmodel --trials=1 --instances=300
 run bench_ablation_engine
 run bench_obs_overhead --reps=3
+run bench_fault_overhead --reps=3
 run bench_vm_micro --benchmark_min_time=0.01
 run bench_ml_micro --benchmark_min_time=0.01
+
+# One fault-injected pass: flagged rows and degradation counters must show
+# up in the JSON (the validator enforces both) and nothing may crash.
+echo "--- bench_table4_weka --fault-plan=chaos"
+"$BENCH_DIR/bench_table4_weka" --runs=2 --instances=200 --fault-plan=chaos \
+  --json="$OUT_DIR/bench_table4_weka_chaos.json" \
+  > "$OUT_DIR/bench_table4_weka_chaos.txt"
 
 python3 "$SCRIPT_DIR/check_bench_json.py" "$OUT_DIR"/*.json
 echo "smoke benches OK: $(ls "$OUT_DIR"/*.json | wc -l) reports in $OUT_DIR"

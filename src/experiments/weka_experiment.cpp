@@ -1,5 +1,7 @@
 #include "experiments/weka_experiment.hpp"
 
+#include <algorithm>
+
 #include "corpus/corpus.hpp"
 #include "experiments/parallel_runner.hpp"
 #include "data/airlines.hpp"
@@ -7,6 +9,7 @@
 #include "ml/evaluation.hpp"
 #include "ml/forest.hpp"
 #include "ml/tree.hpp"
+#include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "perf/perf.hpp"
 #include "stats/protocol.hpp"
@@ -60,6 +63,13 @@ StyleSpec optimizedSpec(ClassifierKind kind,
 /// SimMachine; the noise RNG is seeded from (config.seed, kind, style,
 /// ordinal), so the returned row is a pure function of the stream identity
 /// and the ordinal — the determinism contract of the parallel runner.
+///
+/// Hardening: a measurement whose energy reading comes back kInvalid
+/// (fault plans, glitched intervals) is re-attempted up to
+/// config.measurementAttempts times with a fresh fault stream per attempt;
+/// an exhausted budget keeps the invalid stat so the row surfaces as
+/// flagged downstream. A measurement that throws becomes an all-zero
+/// kInvalid row — a partial result, never an aborted experiment.
 stats::IndexedMeasure makeStyleMeasure(ClassifierKind kind,
                                        const StyleSpec& spec,
                                        const ml::Instances& data,
@@ -67,32 +77,75 @@ stats::IndexedMeasure makeStyleMeasure(ClassifierKind kind,
   return [kind, spec, &data, &config](int ordinal) {
     const energy::CostModel model =
         config.costModel ? *config.costModel : energy::CostModel::calibrated();
-    const perf::PerfRunner runner =
+    perf::PerfRunner runner =
         config.withNoise
             ? perf::PerfRunner(
                   perf::PerfRunner::kDefaultNoise,
                   deriveSeed(config.seed, static_cast<std::uint64_t>(kind),
                              static_cast<std::uint64_t>(spec.styleIndex)))
             : perf::PerfRunner::exact();
+    if (config.faultPlan && config.faultPlan->active()) {
+      // Decorrelate the fault stream per (classifier, style) so the same
+      // plan drives different fault schedules in different streams, the
+      // way independent real-world runs would fail independently.
+      fault::FaultSpec spec2 = *config.faultPlan;
+      spec2.seed = deriveSeed(config.faultPlan->seed,
+                              static_cast<std::uint64_t>(kind),
+                              static_cast<std::uint64_t>(spec.styleIndex));
+      runner.setFaultPlan(std::move(spec2));
+    }
+
     double accuracy = 0.0;
-    const perf::PerfStat stat = runner.statAt(
-        static_cast<std::uint64_t>(ordinal),
-        [&](energy::SimMachine& machine) {
-          ml::MlRuntime rt(machine, spec.style, spec.exposure);
-          Rng cvRng(config.seed + 17);
-          accuracy = ml::crossValidate(
-              [&] {
-                return build(kind, spec.precision, rt, config.seed + 99,
-                             config.forestTrees);
-              },
-              data, config.folds, cvRng);
-        },
-        model);
+    const auto workload = [&](energy::SimMachine& machine) {
+      ml::MlRuntime rt(machine, spec.style, spec.exposure);
+      Rng cvRng(config.seed + 17);
+      accuracy = ml::crossValidate(
+          [&] {
+            return build(kind, spec.precision, rt, config.seed + 99,
+                         config.forestTrees);
+          },
+          data, config.folds, cvRng);
+    };
+
+    perf::PerfStat stat;
+    int retries = 0;
+    int attempt = 0;
+    const int attempts = std::max(1, config.measurementAttempts);
+    try {
+      for (; attempt < attempts; ++attempt) {
+        stat = runner.statAt(static_cast<std::uint64_t>(ordinal), attempt,
+                             workload, model);
+        retries += stat.readRetries;
+        if (stat.quality != rapl::MeasurementQuality::kInvalid) break;
+        obs::Registry::global()
+            .counter("experiment.measurement.invalid")
+            .add();
+      }
+      if (attempt > 0 &&
+          stat.quality != rapl::MeasurementQuality::kInvalid) {
+        // The re-measurement succeeded; remember that it took retries.
+        stat.quality =
+            worst(stat.quality, rapl::MeasurementQuality::kRetried);
+        obs::Registry::global()
+            .counter("experiment.measurement.retried")
+            .add();
+      }
+      retries += std::min(attempt, attempts - 1);
+    } catch (const std::exception&) {
+      obs::Registry::global().counter("experiment.measurement.error").add();
+      stat = perf::PerfStat{};
+      stat.quality = rapl::MeasurementQuality::kInvalid;
+    }
+
     // Accuracy rides along as a fourth metric column: it is identical in
     // every run (the CV seeds are fixed), so it can never trip a Tukey
-    // fence, and the protocol mean recovers it without shared state.
+    // fence, and the protocol mean recovers it without shared state. The
+    // quality/retries bookkeeping columns after it are excluded from the
+    // fences via kTukeyMetricColumns.
     std::vector<double> row = stat.asRow();
     row.push_back(accuracy);
+    row.push_back(static_cast<double>(static_cast<int>(stat.quality)));
+    row.push_back(static_cast<double>(retries));
     return row;
   };
 }
@@ -151,7 +204,27 @@ ClassifierResult assembleResult(ClassifierKind kind,
   result.changes = prep.changes;
   result.changesFullScale = prep.changesFullScale;
 
-  // Protocol row layout: {package J, core J, seconds, accuracy}.
+  // Protocol row layout: {package J, core J, seconds, accuracy, quality,
+  // retries}. The bookkeeping columns are folded here: the row's trust tag
+  // is the WORST quality across the final runs of both styles (a mean of
+  // enum indices would claim "mostly fine" about a half-broken row), and
+  // retries are summed.
+  const auto qualityCol = static_cast<std::size_t>(kQualityColumn);
+  const auto retriesCol = static_cast<std::size_t>(kRetriesColumn);
+  for (const auto* proto : {&base, &opt}) {
+    for (const auto& run : proto->runs) {
+      if (run.size() > qualityCol) {
+        result.quality =
+            worst(result.quality,
+                  rapl::qualityFromIndex(
+                      static_cast<int>(run[qualityCol] + 0.5)));
+      }
+      if (run.size() > retriesCol) {
+        result.faultRetries += static_cast<int>(run[retriesCol] + 0.5);
+      }
+    }
+  }
+
   result.basePackageJoules = base.means[0];
   result.optPackageJoules = opt.means[0];
 
@@ -173,6 +246,17 @@ ClassifierResult assembleResult(ClassifierKind kind,
   result.accuracyOpt = opt.means[3];
   result.accuracyDrop = (base.means[3] - opt.means[3]) * 100.0;
   result.tukeyRemeasurements = base.remeasured + opt.remeasured;
+
+  // A row that still contains invalid measurements after per-measurement
+  // retries carries meaningless energy means: zero the improvements and
+  // flag it so reports can show the row without it poisoning aggregates.
+  if (result.quality == rapl::MeasurementQuality::kInvalid) {
+    result.flagged = true;
+    result.packageImprovement = 0.0;
+    result.cpuImprovement = 0.0;
+    result.timeImprovement = 0.0;
+    obs::Registry::global().counter("experiment.row.flagged").add();
+  }
   return result;
 }
 
@@ -185,8 +269,9 @@ ClassifierResult runClassifierExperiment(ClassifierKind kind,
       detail::makeStyleMeasures(kind, prep, config);
   const auto protocols = [&] {
     obs::Span span("experiment.measure");
-    return stats::measureManyWithTukeyLoop(streams, config.runs,
-                                           stats::serialExecutor());
+    return stats::measureManyWithTukeyLoop(
+        streams, config.runs, stats::serialExecutor(), /*maxRounds=*/50,
+        /*fenceK=*/1.5, detail::kTukeyMetricColumns);
   }();
   return detail::assembleResult(kind, prep, protocols[0], protocols[1]);
 }

@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "energy/cost_model.hpp"
+#include "fault/fault.hpp"
 #include "ml/classifier.hpp"
+#include "rapl/quality.hpp"
 #include "stats/protocol.hpp"
 #include "support/thread_pool.hpp"
 
@@ -47,6 +49,21 @@ struct WekaExperimentConfig {
   std::optional<std::array<bool, 11>> ruleMask;
   /// Override the per-classifier exposure (calibration runs use 1.0).
   std::optional<double> exposureOverride;
+  /// Fault plan injected under every measurement (chaos runs); nullopt or
+  /// an inactive spec leaves the clean path untouched. Each measurement's
+  /// fault stream is derived from (plan seed, classifier, style, ordinal,
+  /// attempt), so fault-injected matrices stay bit-identical at any
+  /// thread count.
+  std::optional<fault::FaultSpec> faultPlan;
+  /// How many times one measurement is re-attempted when its energy
+  /// reading comes back kInvalid (stale/backwards/jump interval, retry
+  /// budget exhausted). After the budget the row keeps the invalid stat
+  /// and is flagged rather than aborting the run.
+  int measurementAttempts = 3;
+  /// Per-measurement-job watchdog deadline in wall seconds for the
+  /// parallel runner; 0 disables. Diagnostics only — flagged tasks are
+  /// reported, never cancelled, so results stay scheduling-independent.
+  double watchdogSeconds = 0.0;
 };
 
 struct ClassifierResult {
@@ -65,6 +82,16 @@ struct ClassifierResult {
   /// Set when a baseline metric measured <= 0 (empty dataset, all-rules-off
   /// mask): the affected improvement is reported as 0% instead of NaN/Inf.
   bool degenerateBaseline = false;
+  /// Worst measurement quality across the final (post-Tukey) runs of both
+  /// styles — the row's trust tag.
+  rapl::MeasurementQuality quality = rapl::MeasurementQuality::kOk;
+  /// Transient read errors + measurement-level re-attempts absorbed across
+  /// the final runs.
+  int faultRetries = 0;
+  /// The row's energy numbers are untrustworthy (quality == kInvalid even
+  /// after per-measurement retries): improvements are zeroed and the row
+  /// is reported flagged instead of aborting the experiment.
+  bool flagged = false;
 };
 
 /// Run the pipeline for one classifier (always serial; bit-identical to the
@@ -104,10 +131,18 @@ struct ClassifierPrep {
 ClassifierPrep prepClassifier(ml::ClassifierKind kind,
                               const WekaExperimentConfig& config);
 
+/// Row layout of a measurement stream: the four science columns the Tukey
+/// fences see, then two bookkeeping columns (measurement quality as its
+/// enum index, retry count) excluded from outlier detection.
+inline constexpr int kTukeyMetricColumns = 4;  // {pkg J, core J, s, acc}
+inline constexpr int kQualityColumn = 4;
+inline constexpr int kRetriesColumn = 5;
+
 /// The two measurement streams (baseline, optimized) for one classifier.
-/// Each stream returns {package J, core J, seconds, accuracy} and derives
-/// its noise RNG from deriveSeed(config.seed, kind, style, ordinal) — no
-/// shared mutable state. `prep` and `config` must outlive the streams.
+/// Each stream returns {package J, core J, seconds, accuracy, quality,
+/// retries} and derives its noise RNG from deriveSeed(config.seed, kind,
+/// style, ordinal) — no shared mutable state. `prep` and `config` must
+/// outlive the streams.
 std::vector<stats::IndexedMeasure> makeStyleMeasures(
     ml::ClassifierKind kind, const ClassifierPrep& prep,
     const WekaExperimentConfig& config);

@@ -21,10 +21,37 @@ obs::Counter& truncatedCounter() {
   return c;
 }
 
+obs::Counter& impairedCounter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("instrumenter.impaired");
+  return c;
+}
+
 }  // namespace
 
 Instrumenter::Instrumenter(energy::SimMachine& machine)
-    : machine_(&machine), reader_(machine.msrDevice()) {}
+    : Instrumenter(machine, machine.msrDevice()) {}
+
+Instrumenter::Instrumenter(energy::SimMachine& machine,
+                           const rapl::MsrDevice& device)
+    : machine_(&machine), reader_(device) {}
+
+Instrumenter::ArmSample Instrumenter::armDomain(rapl::Domain d,
+                                                int* retries) const {
+  ArmSample s;
+  try {
+    const rapl::RawSample raw = reader_.readRawRetrying(d);
+    s.raw = raw.value;
+    s.ok = true;
+    *retries += raw.retries;
+  } catch (const rapl::MsrError& e) {
+    // Absent register: this record's column degrades to 0 J. Exhausted
+    // retry budget: the register exists but this frame cannot trust it.
+    s.failQuality = e.transient() ? rapl::MeasurementQuality::kInvalid
+                                  : rapl::MeasurementQuality::kDegraded;
+  }
+  return s;
+}
 
 void Instrumenter::onEnter(const std::string& qualifiedName) {
   // The injected prologue: flush pending work so the counters are current,
@@ -34,9 +61,9 @@ void Instrumenter::onEnter(const std::string& qualifiedName) {
   OpenFrame frame;
   frame.method = qualifiedName;
   frame.startSeconds = machine_->seconds();
-  frame.startPkgRaw = reader_.readRaw(rapl::Domain::kPackage);
-  frame.startCoreRaw = reader_.readRaw(rapl::Domain::kCore);
-  frame.startDramRaw = reader_.readRaw(rapl::Domain::kDram);
+  frame.pkg = armDomain(rapl::Domain::kPackage, &frame.retries);
+  frame.core = armDomain(rapl::Domain::kCore, &frame.retries);
+  frame.dram = armDomain(rapl::Domain::kDram, &frame.retries);
   stack_.push_back(std::move(frame));
 }
 
@@ -50,19 +77,31 @@ MethodRecord Instrumenter::closeFrame(bool truncated) {
   rec.method = frame.method;
   rec.truncated = truncated;
   rec.seconds = machine_->seconds() - frame.startSeconds;
-  // Unsigned 32-bit subtraction: correct across one counter wrap.
-  rec.packageJoules =
-      static_cast<double>(reader_.readRaw(rapl::Domain::kPackage) -
-                          frame.startPkgRaw) *
-      quantum;
-  rec.coreJoules =
-      static_cast<double>(reader_.readRaw(rapl::Domain::kCore) -
-                          frame.startCoreRaw) *
-      quantum;
-  rec.dramJoules =
-      static_cast<double>(reader_.readRaw(rapl::Domain::kDram) -
-                          frame.startDramRaw) *
-      quantum;
+  rec.readRetries = frame.retries;
+
+  auto measure = [&](rapl::Domain d, const ArmSample& arm) {
+    if (!arm.ok) {
+      rec.quality = worst(rec.quality, arm.failQuality);
+      return 0.0;
+    }
+    try {
+      const rapl::RawSample end = reader_.readRawRetrying(d);
+      rec.readRetries += end.retries;
+      // Unsigned 32-bit subtraction: correct across one counter wrap.
+      return static_cast<double>(end.value - arm.raw) * quantum;
+    } catch (const rapl::MsrError& e) {
+      rec.quality = worst(rec.quality,
+                          e.transient() ? rapl::MeasurementQuality::kInvalid
+                                        : rapl::MeasurementQuality::kDegraded);
+      return 0.0;
+    }
+  };
+  rec.packageJoules = measure(rapl::Domain::kPackage, frame.pkg);
+  rec.coreJoules = measure(rapl::Domain::kCore, frame.core);
+  rec.dramJoules = measure(rapl::Domain::kDram, frame.dram);
+  if (rec.readRetries > 0) {
+    rec.quality = worst(rec.quality, rapl::MeasurementQuality::kRetried);
+  }
   return rec;
 }
 
@@ -71,6 +110,9 @@ void Instrumenter::onExit(const std::string& qualifiedName) {
                "unbalanced method hooks for " + qualifiedName);
   records_.push_back(closeFrame(/*truncated=*/false));
   recordsCounter().add();
+  if (records_.back().quality >= rapl::MeasurementQuality::kDegraded) {
+    impairedCounter().add();
+  }
 }
 
 void Instrumenter::unwindAbortedFrames() {
@@ -78,6 +120,9 @@ void Instrumenter::unwindAbortedFrames() {
     records_.push_back(closeFrame(/*truncated=*/true));
     recordsCounter().add();
     truncatedCounter().add();
+    if (records_.back().quality >= rapl::MeasurementQuality::kDegraded) {
+      impairedCounter().add();
+    }
   }
 }
 

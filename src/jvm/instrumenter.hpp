@@ -7,6 +7,14 @@
 // RaplReader (the wraparound-correct path), and emits one MethodRecord per
 // execution — nested and recursive calls measure inclusively, exactly like
 // JEPO's injected reads.
+//
+// Robustness: every register read goes through the reader's bounded retry,
+// and each MethodRecord carries a MeasurementQuality — a domain that is
+// permanently absent degrades that record's column to 0 J (kDegraded), a
+// read whose retry budget is exhausted marks the record kInvalid, and
+// absorbed transient errors mark it kRetried. The device-override
+// constructor lets chaos tests interpose a fault::FaultyMsrDevice between
+// the machine and the instrumenter.
 #pragma once
 
 #include <string>
@@ -14,6 +22,7 @@
 
 #include "energy/machine.hpp"
 #include "jvm/interpreter.hpp"
+#include "rapl/quality.hpp"
 #include "rapl/rapl.hpp"
 
 namespace jepo::jvm {
@@ -29,11 +38,21 @@ struct MethodRecord {
   /// while it was still on the stack, and the record measures only up to
   /// the abort point.
   bool truncated = false;
+  /// Trust tag for the energy columns (the seconds column is always
+  /// trustworthy — it comes from the machine clock, not the MSRs).
+  rapl::MeasurementQuality quality = rapl::MeasurementQuality::kOk;
+  /// Transient read errors absorbed producing this record.
+  int readRetries = 0;
 };
 
 class Instrumenter final : public MethodHooks {
  public:
   explicit Instrumenter(energy::SimMachine& machine);
+
+  /// Read the MSRs through `device` instead of the machine's own register
+  /// file — the seam chaos tests use to inject faults into the profiling
+  /// path. `device` must outlive the instrumenter.
+  Instrumenter(energy::SimMachine& machine, const rapl::MsrDevice& device);
 
   void onEnter(const std::string& qualifiedName) override;
   void onExit(const std::string& qualifiedName) override;
@@ -57,14 +76,25 @@ class Instrumenter final : public MethodHooks {
   void clear();
 
  private:
+  /// Snapshot of one domain's counter at method entry. A failed arm read
+  /// is remembered (rather than thrown) so the frame can still complete
+  /// with a degraded/invalid record.
+  struct ArmSample {
+    std::uint32_t raw = 0;
+    bool ok = false;
+    rapl::MeasurementQuality failQuality = rapl::MeasurementQuality::kOk;
+  };
+
+  ArmSample armDomain(rapl::Domain d, int* retries) const;
   MethodRecord closeFrame(bool truncated);
 
   struct OpenFrame {
     std::string method;
     double startSeconds = 0.0;
-    std::uint32_t startPkgRaw = 0;
-    std::uint32_t startCoreRaw = 0;
-    std::uint32_t startDramRaw = 0;
+    ArmSample pkg;
+    ArmSample core;
+    ArmSample dram;
+    int retries = 0;
   };
 
   energy::SimMachine* machine_;

@@ -4,9 +4,9 @@
 
 namespace jepo::rapl {
 
-std::string SimulatedMsrDevice::hex(std::uint32_t v) {
+std::string msrName(std::uint32_t msr) {
   char buf[16];
-  std::snprintf(buf, sizeof buf, "%x", v);
+  std::snprintf(buf, sizeof buf, "0x%x", msr);
   return buf;
 }
 

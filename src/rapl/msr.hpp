@@ -6,6 +6,13 @@
 // deterministic machine model deposits energy into. Consumers (RaplReader,
 // the profiler, the perf runner) are written against the abstract MsrDevice
 // so a real /dev/cpu backend could be slotted in unchanged on Intel hardware.
+//
+// Failure model: read() reports faults by throwing MsrError, which carries
+// the register address and a transient/permanent kind — the distinction a
+// real msr driver exposes as EAGAIN (retry me) vs EIO/ENOENT (this register
+// does not exist on this SKU). Callers branch on MsrError::transient()
+// instead of string-matching; the fault-injection decorator
+// (fault::FaultyMsrDevice) produces both kinds on demand.
 #pragma once
 
 #include <cstdint>
@@ -25,8 +32,32 @@ enum Msr : std::uint32_t {
   kMsrDramEnergyStatus = 0x619,
 };
 
-/// Read-only register device. Reads of unknown addresses throw, mirroring
-/// the EIO a real msr driver returns for unimplemented registers.
+/// "0x611"-style register formatting for diagnostics.
+std::string msrName(std::uint32_t msr);
+
+/// A failed MSR read. `transient()` faults (the driver's EAGAIN: an SMI or
+/// concurrent access interfered) are expected to succeed on retry;
+/// permanent faults (EIO: the register is not implemented on this SKU) will
+/// fail forever and callers should degrade instead of retrying.
+class MsrError : public Error {
+ public:
+  enum class Kind { kTransient, kPermanent };
+
+  MsrError(std::uint32_t msr, Kind kind, const std::string& what)
+      : Error(what), msr_(msr), kind_(kind) {}
+
+  std::uint32_t msr() const noexcept { return msr_; }
+  Kind kind() const noexcept { return kind_; }
+  bool transient() const noexcept { return kind_ == Kind::kTransient; }
+
+ private:
+  std::uint32_t msr_;
+  Kind kind_;
+};
+
+/// Read-only register device. Reads of unknown addresses throw a permanent
+/// MsrError, mirroring the EIO a real msr driver returns for unimplemented
+/// registers.
 class MsrDevice {
  public:
   virtual ~MsrDevice() = default;
@@ -39,7 +70,8 @@ class SimulatedMsrDevice final : public MsrDevice {
   std::uint64_t read(std::uint32_t msr) const override {
     const auto it = regs_.find(msr);
     if (it == regs_.end()) {
-      throw Error("msr read: unimplemented register 0x" + hex(msr));
+      throw MsrError(msr, MsrError::Kind::kPermanent,
+                     "msr read: unimplemented register " + msrName(msr));
     }
     return it->second;
   }
@@ -49,7 +81,6 @@ class SimulatedMsrDevice final : public MsrDevice {
   bool has(std::uint32_t msr) const { return regs_.count(msr) != 0; }
 
  private:
-  static std::string hex(std::uint32_t v);
   std::unordered_map<std::uint32_t, std::uint64_t> regs_;
 };
 

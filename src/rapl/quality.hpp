@@ -1,0 +1,67 @@
+// MeasurementQuality — the per-interval trust tag every hardened consumer
+// of the RAPL substrate carries alongside its joule values.
+//
+// Real RAPL reads misbehave in ways that do not announce themselves: a
+// counter sample can be stale (the status register did not update), can
+// glitch backwards, or can have silently wrapped more than once between two
+// reads — all of which yield a plausible-looking but wrong energy delta.
+// Rather than abort (the old behaviour) or silently report garbage, every
+// measurement is tagged:
+//
+//   kOk       clean read path, value fully trusted
+//   kRetried  transient read errors occurred but bounded retry absorbed
+//             them; the value is exact (the device state did not change
+//             between attempts)
+//   kDegraded the value is usable but incomplete or at-risk: a domain is
+//             unavailable on this SKU (reported as 0 J, package-only
+//             measurement), or the interval spans enough of the counter
+//             range that an unseen wrap cannot be ruled out
+//   kInvalid  the interval is not trustworthy (stale repeat, backwards
+//             glitch, implausible jump, retry budget exhausted); the value
+//             is zeroed and consumers must re-measure or flag the row
+//
+// The enum is ordered by severity so worst() is a max.
+#pragma once
+
+#include <string_view>
+
+namespace jepo::rapl {
+
+enum class MeasurementQuality : int {
+  kOk = 0,
+  kRetried = 1,
+  kDegraded = 2,
+  kInvalid = 3,
+};
+
+constexpr MeasurementQuality worst(MeasurementQuality a,
+                                   MeasurementQuality b) noexcept {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+constexpr std::string_view qualityName(MeasurementQuality q) noexcept {
+  switch (q) {
+    case MeasurementQuality::kOk: return "ok";
+    case MeasurementQuality::kRetried: return "retried";
+    case MeasurementQuality::kDegraded: return "degraded";
+    case MeasurementQuality::kInvalid: return "invalid";
+  }
+  return "?";
+}
+
+/// Inverse of static_cast<int>, clamping out-of-range values to kInvalid —
+/// used when the tag round-trips through a double metric column.
+constexpr MeasurementQuality qualityFromIndex(int i) noexcept {
+  return (i >= 0 && i <= 3) ? static_cast<MeasurementQuality>(i)
+                            : MeasurementQuality::kInvalid;
+}
+
+/// One hardened interval measurement: the joule value, its trust tag, and
+/// how many transient read errors the retry loop absorbed producing it.
+struct EnergyInterval {
+  double joules = 0.0;
+  MeasurementQuality quality = MeasurementQuality::kOk;
+  int retries = 0;
+};
+
+}  // namespace jepo::rapl

@@ -2,7 +2,38 @@
 
 #include <cmath>
 
+#include "obs/registry.hpp"
+
 namespace jepo::rapl {
+
+namespace {
+
+// Fault-path instruments only: the clean read path touches none of these,
+// keeping the no-fault measurement cost flat (bench_fault_overhead gates
+// the residual at <1%).
+obs::Counter& retryCounter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("rapl.read.retries");
+  return c;
+}
+
+obs::Counter& exhaustedCounter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("rapl.read.exhausted");
+  return c;
+}
+
+obs::Counter& intervalCounter(const char* name) {
+  return obs::Registry::global().counter(name);
+}
+
+obs::Histogram& backoffHistogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("rapl.read.backoff_units");
+  return h;
+}
+
+}  // namespace
 
 std::string_view domainName(Domain d) noexcept {
   switch (d) {
@@ -55,11 +86,58 @@ void SimulatedRaplPackage::publish(Domain d) {
   dev_.write(domainMsr(d), rawCount_[i] & 0xFFFFFFFFULL);
 }
 
-RaplReader::RaplReader(const MsrDevice& dev)
-    : dev_(&dev), unit_(PowerUnit::decode(dev.read(kMsrRaplPowerUnit))) {}
+RaplReader::RaplReader(const MsrDevice& dev, RetryPolicy retry)
+    : dev_(&dev), retry_(retry) {
+  // Even the capability read can hit a transient fault on a flaky msr
+  // device; absorb it here so one EAGAIN at arm time cannot kill a whole
+  // measurement. A permanent fault (no RAPL at all) still propagates —
+  // there is nothing to degrade to.
+  unit_ = PowerUnit::decode(readMsrRetrying(kMsrRaplPowerUnit, &unitRetries_));
+}
+
+std::uint64_t RaplReader::readMsrRetrying(std::uint32_t msr,
+                                          int* retries) const {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      const std::uint64_t v = dev_->read(msr);
+      if (retries != nullptr) *retries = attempt;
+      return v;
+    } catch (const MsrError& e) {
+      if (!e.transient()) throw;
+      if (attempt + 1 >= retry_.maxAttempts) {
+        exhaustedCounter().add();
+        throw;
+      }
+      retryCounter().add();
+      // Deterministic exponential backoff: on real hardware this would be
+      // a usleep(unit << attempt); in the simulation the schedule is only
+      // recorded. Nothing here reads a clock, so the retry schedule is a
+      // pure function of the fault plan.
+      backoffHistogram().record(1ULL << attempt);
+    }
+  }
+}
 
 std::uint32_t RaplReader::readRaw(Domain d) const {
   return static_cast<std::uint32_t>(dev_->read(domainMsr(d)) & 0xFFFFFFFFULL);
+}
+
+RawSample RaplReader::readRawRetrying(Domain d) const {
+  RawSample s;
+  s.value = static_cast<std::uint32_t>(
+      readMsrRetrying(domainMsr(d), &s.retries) & 0xFFFFFFFFULL);
+  return s;
+}
+
+bool RaplReader::domainAvailable(Domain d) const {
+  try {
+    (void)readRawRetrying(d);
+    return true;
+  } catch (const MsrError& e) {
+    // Exhausted transient retries: the register exists, this probe just
+    // failed — report present and let the measurement path classify it.
+    return e.transient();
+  }
 }
 
 double RaplReader::readJoules(Domain d) const {
@@ -71,13 +149,82 @@ EnergyCounter::EnergyCounter(const RaplReader& reader, Domain domain)
   start();
 }
 
-void EnergyCounter::start() { startRaw_ = reader_->readRaw(domain_); }
+void EnergyCounter::start() {
+  armFail_ = ArmFail::kNone;
+  startRetries_ = 0;
+  try {
+    const RawSample s = reader_->readRawRetrying(domain_);
+    startRaw_ = s.value;
+    startRetries_ = s.retries;
+  } catch (const MsrError& e) {
+    armFail_ = e.transient() ? ArmFail::kTransient : ArmFail::kPermanent;
+    if (!e.transient()) {
+      intervalCounter("rapl.domain.unavailable").add();
+    }
+  }
+}
 
 double EnergyCounter::elapsedJoules() const {
   const std::uint32_t now = reader_->readRaw(domain_);
   // Unsigned 32-bit subtraction is exactly the one-wrap-correct delta.
   const std::uint32_t delta = now - startRaw_;
   return static_cast<double>(delta) * reader_->unit().jouleQuantum();
+}
+
+EnergyInterval EnergyCounter::measure(double elapsedSeconds, double maxWatts,
+                                      double minExpectedJoules) const {
+  EnergyInterval out;
+  if (armFail_ != ArmFail::kNone) {
+    // Degradation ladder: a missing register yields package-only
+    // measurement upstream; a busted arm read invalidates this interval.
+    out.quality = armFail_ == ArmFail::kPermanent
+                      ? MeasurementQuality::kDegraded
+                      : MeasurementQuality::kInvalid;
+    return out;
+  }
+
+  RawSample end;
+  try {
+    end = reader_->readRawRetrying(domain_);
+  } catch (const MsrError& e) {
+    out.quality = e.transient() ? MeasurementQuality::kInvalid
+                                : MeasurementQuality::kDegraded;
+    if (!e.transient()) intervalCounter("rapl.domain.unavailable").add();
+    return out;
+  }
+
+  out.retries = startRetries_ + end.retries;
+  if (out.retries > 0) out.quality = MeasurementQuality::kRetried;
+
+  const double quantum = reader_->unit().jouleQuantum();
+  const std::uint32_t delta = end.value - startRaw_;
+  out.joules = static_cast<double>(delta) * quantum;
+
+  if (delta >= kBackwardsThreshold) {
+    // A small backwards glitch wraps to a near-full-range positive delta.
+    intervalCounter("rapl.interval.backwards").add();
+    out.quality = MeasurementQuality::kInvalid;
+    out.joules = 0.0;
+  } else if (delta >= kSuspectThreshold) {
+    // More than half the counter range in one interval: at best a wrap is
+    // imminent and a second one cannot be ruled out; at worst the counter
+    // jumped (firmware glitch / forced multi-wrap).
+    if (elapsedSeconds >= 0.0 &&
+        out.joules > elapsedSeconds * maxWatts + 1.0) {
+      intervalCounter("rapl.interval.implausible").add();
+      out.quality = MeasurementQuality::kInvalid;
+      out.joules = 0.0;
+    } else {
+      intervalCounter("rapl.interval.multiwrap_risk").add();
+      out.quality = worst(out.quality, MeasurementQuality::kDegraded);
+    }
+  } else if (delta == 0 && minExpectedJoules > 0.0) {
+    // The counter did not move over an interval where idle power alone
+    // must have deposited counts: a stale repeat.
+    intervalCounter("rapl.interval.stale").add();
+    out.quality = MeasurementQuality::kInvalid;
+  }
+  return out;
 }
 
 }  // namespace jepo::rapl

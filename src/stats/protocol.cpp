@@ -1,5 +1,6 @@
 #include "stats/protocol.hpp"
 
+#include <algorithm>
 #include <set>
 
 namespace jepo::stats {
@@ -12,7 +13,8 @@ BatchExecutor serialExecutor() {
 
 std::vector<ProtocolResult> measureManyWithTukeyLoop(
     const std::vector<IndexedMeasure>& streams, int runCount,
-    const BatchExecutor& exec, int maxRounds, double fenceK) {
+    const BatchExecutor& exec, int maxRounds, double fenceK,
+    int tukeyColumns) {
   JEPO_REQUIRE(runCount >= 1, "need at least one run");
   // Quartiles need 4 points; below that (CI smoke runs with --runs=1) the
   // protocol degrades to a plain mean with no outlier pass.
@@ -60,7 +62,11 @@ std::vector<ProtocolResult> measureManyWithTukeyLoop(
     for (std::size_t s = 0; s < nStreams; ++s) {
       if (!active[s]) continue;
       std::set<std::size_t> bad;
-      for (std::size_t m = 0; m < width[s]; ++m) {
+      const std::size_t fenced =
+          tukeyColumns < 0
+              ? width[s]
+              : std::min(width[s], static_cast<std::size_t>(tukeyColumns));
+      for (std::size_t m = 0; m < fenced; ++m) {
         std::vector<double> column;
         column.reserve(results[s].runs.size());
         for (const auto& row : results[s].runs) column.push_back(row[m]);

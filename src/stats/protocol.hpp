@@ -55,9 +55,17 @@ BatchExecutor serialExecutor();
 /// result depends only on the measured values, never on scheduling.
 /// Rounds are capped per stream (a pathological distribution could
 /// otherwise loop forever; the paper implicitly assumes convergence).
+///
+/// `tukeyColumns` limits outlier detection to the first N metric columns
+/// (-1 = all). Streams that append bookkeeping columns after their science
+/// metrics — the experiment pipeline carries measurement-quality and
+/// retry-count columns — use this so a flagged-but-extreme bookkeeping
+/// value can never trigger a re-measurement. Means are still computed over
+/// every column.
 std::vector<ProtocolResult> measureManyWithTukeyLoop(
     const std::vector<IndexedMeasure>& streams, int runCount,
-    const BatchExecutor& exec, int maxRounds = 50, double fenceK = 1.5);
+    const BatchExecutor& exec, int maxRounds = 50, double fenceK = 1.5,
+    int tukeyColumns = -1);
 
 /// Single-stream, stateful-measurement convenience used by tools that
 /// measure one workload at a time. Call order is exactly the serial

@@ -1,0 +1,87 @@
+#include "support/watchdog.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/registry.hpp"
+
+namespace jepo {
+
+namespace {
+
+obs::Counter& flaggedCounter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("watchdog.flagged");
+  return c;
+}
+
+}  // namespace
+
+Watchdog::Watchdog(double deadlineSeconds)
+    : deadlineSeconds_(deadlineSeconds) {
+  if (enabled()) {
+    monitor_ = std::thread([this] { monitorLoop(); });
+  }
+}
+
+Watchdog::~Watchdog() {
+  if (!enabled()) return;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+Watchdog::Scope Watchdog::watch(std::string label) {
+  if (!enabled()) return Scope();
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = nextId_++;
+  active_.emplace(
+      id, Active{std::move(label), std::chrono::steady_clock::now(), false});
+  return Scope(this, id);
+}
+
+Watchdog::Scope::~Scope() {
+  if (owner_ == nullptr) return;
+  std::lock_guard lock(owner_->mu_);
+  owner_->active_.erase(id_);
+}
+
+std::vector<std::string> Watchdog::flagged() const {
+  std::lock_guard lock(mu_);
+  return flagged_;
+}
+
+void Watchdog::scanLocked() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& [id, a] : active_) {
+    if (a.flagged) continue;
+    const double elapsed =
+        std::chrono::duration<double>(now - a.start).count();
+    if (elapsed >= deadlineSeconds_) {
+      a.flagged = true;
+      flagged_.push_back(a.label);
+      flaggedCounter().add();
+      std::fprintf(stderr,
+                   "[watchdog] task '%s' exceeded its %.1fs deadline\n",
+                   a.label.c_str(), deadlineSeconds_);
+    }
+  }
+}
+
+void Watchdog::monitorLoop() {
+  // Scan at a quarter of the deadline (capped at 250 ms) so a stuck task
+  // is reported within ~1.25 deadlines at worst.
+  const auto period = std::chrono::duration<double>(
+      std::min(deadlineSeconds_ / 4.0, 0.25));
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, period);
+    if (stopping_) break;
+    scanLocked();
+  }
+}
+
+}  // namespace jepo

@@ -1,0 +1,85 @@
+// Per-task watchdog deadlines for long-running measurement matrices.
+//
+// A hung MSR read (or a pathological Tukey loop) on one task should not
+// silently stall a whole experiment run. The Watchdog monitors active
+// Scopes from a background thread and *flags* any that outlive their
+// deadline — it never cancels or alters work, so it is pure telemetry:
+// flagged tasks are reported (obs counter `watchdog.flagged`, a stderr
+// notice, and the flagged() list) while results stay bit-identical to a
+// run without the watchdog. This is the one deliberate use of the wall
+// clock in the experiment pipeline, and it is confined to diagnostics.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jepo {
+
+class Watchdog {
+ public:
+  /// `deadlineSeconds <= 0` disables the watchdog entirely (no thread is
+  /// started and Scopes are no-ops).
+  explicit Watchdog(double deadlineSeconds);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  bool enabled() const noexcept { return deadlineSeconds_ > 0.0; }
+
+  /// RAII registration of one unit of watched work. Destroying the scope
+  /// (the task finished) stops the clock; a scope that lives past the
+  /// deadline is flagged exactly once.
+  class Scope {
+   public:
+    Scope() = default;
+    Scope(Scope&& other) noexcept : owner_(other.owner_), id_(other.id_) {
+      other.owner_ = nullptr;
+    }
+    Scope& operator=(Scope&&) = delete;
+    Scope(const Scope&) = delete;
+    ~Scope();
+
+   private:
+    friend class Watchdog;
+    Scope(Watchdog* owner, std::uint64_t id) : owner_(owner), id_(id) {}
+
+    Watchdog* owner_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Start watching a task. The label identifies it in flagged() and the
+  /// stderr notice.
+  Scope watch(std::string label);
+
+  /// Labels of tasks that exceeded the deadline, in flag order. Tasks are
+  /// flagged whether or not they eventually finish.
+  std::vector<std::string> flagged() const;
+
+ private:
+  struct Active {
+    std::string label;
+    std::chrono::steady_clock::time_point start;
+    bool flagged = false;
+  };
+
+  void monitorLoop();
+  void scanLocked();
+
+  double deadlineSeconds_ = 0.0;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t nextId_ = 1;
+  std::map<std::uint64_t, Active> active_;
+  std::vector<std::string> flagged_;
+  std::thread monitor_;
+};
+
+}  // namespace jepo

@@ -142,6 +142,64 @@ TEST(Experiments, ParallelRunnerIsBitIdenticalToSerial) {
   }
 }
 
+// Same contract with a fault plan attached: the retry/backoff schedule is
+// derived from measurement identity, never from thread interleaving, so a
+// fault-injected matrix is bit-identical at 1, 4 and 8 threads — including
+// the robustness bookkeeping (quality, retry counts, flags).
+TEST(Experiments, FaultPlanKeepsBitIdentityAcrossOneFourEightThreads) {
+  WekaExperimentConfig cfg = fastConfig();
+  cfg.instances = 200;
+  cfg.faultPlan = fault::parseFaultPlan("transient:seed=19");
+
+  WekaExperimentConfig serialCfg = cfg;
+  serialCfg.parallel.threads = 1;
+  const auto serial = runWekaExperiment(serialCfg);
+
+  int retries = 0;
+  for (const auto& r : serial) retries += r.faultRetries;
+  EXPECT_GT(retries, 0) << "plan injected nothing; identity is vacuous";
+
+  for (std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
+    WekaExperimentConfig parallelCfg = cfg;
+    parallelCfg.parallel.threads = threads;
+    const auto parallel = runWekaExperiment(parallelCfg);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      const ClassifierResult& a = serial[i];
+      const ClassifierResult& b = parallel[i];
+      EXPECT_EQ(a.packageImprovement, b.packageImprovement)
+          << "row " << i << " at " << threads << " threads";
+      EXPECT_EQ(a.cpuImprovement, b.cpuImprovement);
+      EXPECT_EQ(a.timeImprovement, b.timeImprovement);
+      EXPECT_EQ(a.accuracyDrop, b.accuracyDrop);
+      EXPECT_EQ(a.basePackageJoules, b.basePackageJoules);
+      EXPECT_EQ(a.optPackageJoules, b.optPackageJoules);
+      EXPECT_EQ(a.quality, b.quality);
+      EXPECT_EQ(a.faultRetries, b.faultRetries);
+      EXPECT_EQ(a.flagged, b.flagged);
+    }
+  }
+}
+
+// A transient-only plan must not move the science columns at all relative
+// to running with no plan: retried reads recover the exact values.
+TEST(Experiments, TransientFaultsDoNotPerturbScienceColumns) {
+  const auto clean =
+      runClassifierExperiment(ClassifierKind::kSgd, fastConfig());
+  WekaExperimentConfig cfg = fastConfig();
+  // Single-read bursts at a modest rate stay well inside the 4-attempt
+  // read budget, so every fault is absorbed at the read level and the
+  // recovered values are exact.
+  cfg.faultPlan = fault::parseFaultPlan(
+      "transient:seed=6,transient-prob=0.1,transient-burst=1");
+  const auto faulted = runClassifierExperiment(ClassifierKind::kSgd, cfg);
+  EXPECT_EQ(faulted.packageImprovement, clean.packageImprovement);
+  EXPECT_EQ(faulted.cpuImprovement, clean.cpuImprovement);
+  EXPECT_EQ(faulted.timeImprovement, clean.timeImprovement);
+  EXPECT_EQ(faulted.accuracyDrop, clean.accuracyDrop);
+  EXPECT_FALSE(faulted.flagged);
+}
+
 TEST(Experiments, ZeroCostBaselineReportsZeroImprovementNotNaN) {
   WekaExperimentConfig cfg = fastConfig();
   cfg.instances = 200;

@@ -129,6 +129,188 @@ TEST(EnergyCounter, MultipleWrapsUnderReportByWholeWraps) {
   EXPECT_NEAR(counter.elapsedJoules(), 65536.0 - 0.5, 1e-3);
 }
 
+TEST(Msr, UnimplementedRegisterThrowsTypedPermanentError) {
+  SimulatedMsrDevice dev;
+  try {
+    dev.read(kMsrPkgEnergyStatus);
+    FAIL() << "expected MsrError";
+  } catch (const MsrError& e) {
+    EXPECT_EQ(e.msr(), kMsrPkgEnergyStatus);
+    EXPECT_EQ(e.kind(), MsrError::Kind::kPermanent);
+    EXPECT_FALSE(e.transient());
+    // Carries the register address in the message for diagnostics.
+    EXPECT_NE(std::string(e.what()).find("0x611"), std::string::npos);
+  }
+  // MsrError IS-A Error: existing catch sites keep working unchanged.
+  EXPECT_THROW(dev.read(0x611), Error);
+}
+
+/// A device that fails transiently for the first `failures` reads of each
+/// register, then delegates — the minimal flaky-driver model for testing
+/// the retry loop without the fault layer.
+class FlakyDevice final : public MsrDevice {
+ public:
+  FlakyDevice(const MsrDevice& inner, int failures)
+      : inner_(&inner), failures_(failures) {}
+
+  std::uint64_t read(std::uint32_t msr) const override {
+    if (count_[msr]++ < failures_) {
+      throw MsrError(msr, MsrError::Kind::kTransient, "flaky");
+    }
+    return inner_->read(msr);
+  }
+
+ private:
+  const MsrDevice* inner_;
+  int failures_;
+  mutable std::unordered_map<std::uint32_t, int> count_;
+};
+
+TEST(RaplReader, RetriesTransientErrorsWithinBudget) {
+  SimulatedRaplPackage pkg;
+  pkg.deposit(Domain::kPackage, 3.0);
+  FlakyDevice flaky(pkg.device(), 2);  // 2 failures < 4 attempts
+  RaplReader reader(flaky);
+  EXPECT_EQ(reader.unitReadRetries(), 2);
+  const RawSample s = reader.readRawRetrying(Domain::kPackage);
+  EXPECT_EQ(s.retries, 2);
+  EXPECT_NEAR(static_cast<double>(s.value) * reader.unit().jouleQuantum(),
+              3.0, 1e-4);
+}
+
+TEST(RaplReader, ExhaustedTransientBudgetRethrows) {
+  SimulatedRaplPackage pkg;
+  FlakyDevice flaky(pkg.device(), 99);
+  RetryPolicy policy;
+  policy.maxAttempts = 3;
+  EXPECT_THROW(RaplReader(flaky, policy), MsrError);
+}
+
+TEST(RaplReader, DomainAvailabilityDistinguishesPermanentFromTransient) {
+  SimulatedMsrDevice dev;
+  PowerUnit u;
+  dev.write(kMsrRaplPowerUnit, u.encode());
+  dev.write(kMsrPkgEnergyStatus, 0);  // package present, dram absent
+  RaplReader reader(dev);
+  EXPECT_TRUE(reader.domainAvailable(Domain::kPackage));
+  EXPECT_FALSE(reader.domainAvailable(Domain::kDram));
+}
+
+TEST(EnergyCounter, CleanIntervalIsOkQuality) {
+  SimulatedRaplPackage pkg;
+  RaplReader reader(pkg.device());
+  EnergyCounter counter(reader, Domain::kPackage);
+  pkg.deposit(Domain::kPackage, 2.0);
+  const EnergyInterval iv = counter.measure(1.0);
+  EXPECT_EQ(iv.quality, MeasurementQuality::kOk);
+  EXPECT_EQ(iv.retries, 0);
+  EXPECT_NEAR(iv.joules, 2.0, 1e-4);
+}
+
+TEST(EnergyCounter, RetriedIntervalKeepsExactValue) {
+  SimulatedRaplPackage pkg;
+  pkg.deposit(Domain::kPackage, 1.0);
+  FlakyDevice flaky(pkg.device(), 1);
+  RaplReader reader(flaky);
+  EnergyCounter counter(reader, Domain::kPackage);
+  pkg.deposit(Domain::kPackage, 2.0);
+  const EnergyInterval iv = counter.measure(1.0);
+  EXPECT_EQ(iv.quality, MeasurementQuality::kRetried);
+  EXPECT_GT(iv.retries, 0);
+  // The device state never changed between attempts: the value is exact.
+  EXPECT_NEAR(iv.joules, 2.0, 1e-4);
+}
+
+TEST(EnergyCounter, BackwardsGlitchIsInvalidNotHugePositive) {
+  SimulatedMsrDevice dev;
+  PowerUnit u;
+  dev.write(kMsrRaplPowerUnit, u.encode());
+  dev.write(kMsrPkgEnergyStatus, 1000);
+  RaplReader reader(dev);
+  EnergyCounter counter(reader, Domain::kPackage);
+  dev.write(kMsrPkgEnergyStatus, 990);  // counter stepped backwards
+  const EnergyInterval iv = counter.measure(1.0);
+  // The old elapsedJoules() path reads this as ~65536 J of garbage.
+  EXPECT_NEAR(counter.elapsedJoules(), 65536.0, 1.0);
+  EXPECT_EQ(iv.quality, MeasurementQuality::kInvalid);
+  EXPECT_EQ(iv.joules, 0.0);
+}
+
+TEST(EnergyCounter, ImplausibleJumpIsInvalid) {
+  SimulatedMsrDevice dev;
+  PowerUnit u;
+  dev.write(kMsrRaplPowerUnit, u.encode());
+  dev.write(kMsrPkgEnergyStatus, 0);
+  RaplReader reader(dev);
+  EnergyCounter counter(reader, Domain::kPackage);
+  // +0x90000000 counts = ~36,864 J in one 1-second interval: physically
+  // impossible (the multi-wrap signature the fault plan forces).
+  dev.write(kMsrPkgEnergyStatus, 0x90000000u);
+  const EnergyInterval iv = counter.measure(1.0);
+  EXPECT_EQ(iv.quality, MeasurementQuality::kInvalid);
+  EXPECT_EQ(iv.joules, 0.0);
+}
+
+TEST(EnergyCounter, HalfRangeIntervalWithoutTimingIsDegradedNotInvalid) {
+  SimulatedMsrDevice dev;
+  PowerUnit u;
+  dev.write(kMsrRaplPowerUnit, u.encode());
+  dev.write(kMsrPkgEnergyStatus, 0);
+  RaplReader reader(dev);
+  EnergyCounter counter(reader, Domain::kPackage);
+  dev.write(kMsrPkgEnergyStatus, 0x90000000u);
+  // Without elapsedSeconds the plausibility check cannot run; the interval
+  // is kept but tagged: a second unseen wrap cannot be ruled out.
+  const EnergyInterval iv = counter.measure();
+  EXPECT_EQ(iv.quality, MeasurementQuality::kDegraded);
+  EXPECT_GT(iv.joules, 0.0);
+}
+
+TEST(EnergyCounter, StaleCounterIsInvalidWhenEnergyWasExpected) {
+  SimulatedMsrDevice dev;
+  PowerUnit u;
+  dev.write(kMsrRaplPowerUnit, u.encode());
+  dev.write(kMsrPkgEnergyStatus, 500);
+  RaplReader reader(dev);
+  EnergyCounter counter(reader, Domain::kPackage);
+  // Register never moves; a 1 s interval at >0 idle watts must deposit.
+  const EnergyInterval iv =
+      counter.measure(1.0, EnergyCounter::kDefaultMaxWatts,
+                      /*minExpectedJoules=*/0.5);
+  EXPECT_EQ(iv.quality, MeasurementQuality::kInvalid);
+
+  // Without the floor a zero delta is a legitimate tiny interval.
+  const EnergyInterval ok = counter.measure(1.0);
+  EXPECT_EQ(ok.quality, MeasurementQuality::kOk);
+  EXPECT_EQ(ok.joules, 0.0);
+}
+
+TEST(EnergyCounter, AbsentDomainDegradesInsteadOfThrowing) {
+  SimulatedMsrDevice dev;
+  PowerUnit u;
+  dev.write(kMsrRaplPowerUnit, u.encode());
+  dev.write(kMsrPkgEnergyStatus, 0);  // no dram register on this "SKU"
+  RaplReader reader(dev);
+  EnergyCounter counter(reader, Domain::kDram);
+  EXPECT_FALSE(counter.available());
+  const EnergyInterval iv = counter.measure(1.0);
+  EXPECT_EQ(iv.quality, MeasurementQuality::kDegraded);
+  EXPECT_EQ(iv.joules, 0.0);
+}
+
+TEST(Quality, WorstIsMaxAndNamesAreStable) {
+  EXPECT_EQ(worst(MeasurementQuality::kOk, MeasurementQuality::kRetried),
+            MeasurementQuality::kRetried);
+  EXPECT_EQ(worst(MeasurementQuality::kInvalid, MeasurementQuality::kOk),
+            MeasurementQuality::kInvalid);
+  EXPECT_EQ(qualityName(MeasurementQuality::kOk), "ok");
+  EXPECT_EQ(qualityName(MeasurementQuality::kRetried), "retried");
+  EXPECT_EQ(qualityName(MeasurementQuality::kDegraded), "degraded");
+  EXPECT_EQ(qualityName(MeasurementQuality::kInvalid), "invalid");
+  EXPECT_EQ(qualityFromIndex(2), MeasurementQuality::kDegraded);
+  EXPECT_EQ(qualityFromIndex(42), MeasurementQuality::kInvalid);
+}
+
 TEST(Rapl, DomainMsrsMatchIntelSdm) {
   EXPECT_EQ(domainMsr(Domain::kPackage), 0x611u);
   EXPECT_EQ(domainMsr(Domain::kCore), 0x639u);

@@ -4,11 +4,15 @@
 #include <numeric>
 #include <set>
 
+#include <chrono>
+#include <thread>
+
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
+#include "support/watchdog.hpp"
 
 namespace jepo {
 namespace {
@@ -308,6 +312,53 @@ TEST(ThreadPool, ManyMoreTasksThanThreads) {
   std::atomic<int> count{0};
   parallelFor(pool, 500, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 500);
+}
+
+// ------------------------------------------------------------- watchdog
+
+TEST(Watchdog, DisabledWatchdogIsInertAndCheap) {
+  Watchdog dog(0.0);
+  EXPECT_FALSE(dog.enabled());
+  {
+    auto scope = dog.watch("anything");  // must be a no-op, not a crash
+  }
+  EXPECT_TRUE(dog.flagged().empty());
+}
+
+TEST(Watchdog, FastTasksAreNeverFlagged) {
+  Watchdog dog(30.0);
+  EXPECT_TRUE(dog.enabled());
+  for (int i = 0; i < 20; ++i) {
+    auto scope = dog.watch("quick task");
+  }
+  EXPECT_TRUE(dog.flagged().empty());
+}
+
+TEST(Watchdog, SlowTaskIsFlaggedByLabelButNotCancelled) {
+  // 50 ms deadline, 200 ms "task": the monitor (scanning at deadline/4)
+  // must flag it while the scope is still alive — telemetry only, the
+  // task itself runs to completion.
+  Watchdog dog(0.05);
+  bool finished = false;
+  {
+    auto scope = dog.watch("slow measure #3");
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    finished = true;
+  }
+  EXPECT_TRUE(finished);
+  const std::vector<std::string> flagged = dog.flagged();
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], "slow measure #3");
+}
+
+TEST(Watchdog, ScopeIsMovableAndFlagsOncePerTask) {
+  Watchdog dog(0.05);
+  {
+    auto outer = dog.watch("moved scope");
+    auto inner = std::move(outer);  // job handed to a worker thread
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  EXPECT_EQ(dog.flagged().size(), 1u);
 }
 
 // ---------------------------------------------------------------- error
