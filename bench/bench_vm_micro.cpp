@@ -6,6 +6,8 @@
 #include "bench_micro.hpp"
 #include "demo_project.hpp"
 #include "energy/machine.hpp"
+#include "jbc/bcvm.hpp"
+#include "jbc/compiler.hpp"
 #include "jepo/engine.hpp"
 #include "jepo/optimizer.hpp"
 #include "jlang/lexer.hpp"
@@ -16,6 +18,43 @@
 namespace {
 
 using namespace jepo;
+
+std::string arithmeticLoopSource(long n) {
+  return "class Main { static void main(String[] args) {\n"
+         "int acc = 0;\n"
+         "for (int i = 0; i < " + std::to_string(n) + "; i++) acc += i & 7;\n"
+         "System.out.println(acc);\n} }";
+}
+
+const char* const kMethodCallsSource = R"(
+    class Main {
+      static int add(int a, int b) { return a + b; }
+      static void main(String[] args) {
+        int acc = 0;
+        for (int i = 0; i < 2000; i++) acc = add(acc, i);
+        System.out.println(acc);
+      }
+    }
+  )";
+
+// Instance fields + virtual calls + construction: the shapes the resolved
+// engines accelerate with flat layouts and monomorphic inline caches.
+const char* const kObjectsAndCallsSource = R"(
+    class Counter {
+      int value;
+      int step;
+      Counter(int step) { this.step = step; }
+      int bump() { value = value + step; return value; }
+    }
+    class Main {
+      static void main(String[] args) {
+        Counter c = new Counter(3);
+        int acc = 0;
+        for (int i = 0; i < 1000; i++) acc = acc + c.bump();
+        System.out.println(acc);
+      }
+    }
+  )";
 
 void BM_Lex(benchmark::State& state) {
   const std::string src = bench::kDemoProjectSource;
@@ -50,12 +89,8 @@ BENCHMARK(BM_Print);
 
 void BM_InterpretArithmeticLoop(benchmark::State& state) {
   const long n = state.range(0);
-  const std::string src =
-      "class Main { static void main(String[] args) {\n"
-      "int acc = 0;\n"
-      "for (int i = 0; i < " + std::to_string(n) + "; i++) acc += i & 7;\n"
-      "System.out.println(acc);\n} }";
-  const jlang::Program prog = jlang::Parser::parseProgram("m.mjava", src);
+  const jlang::Program prog =
+      jlang::Parser::parseProgram("m.mjava", arithmeticLoopSource(n));
   for (auto _ : state) {
     energy::SimMachine machine;
     jvm::Interpreter interp(prog, machine);
@@ -66,18 +101,24 @@ void BM_InterpretArithmeticLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpretArithmeticLoop)->Arg(1000)->Arg(10000);
 
+void BM_BcvmArithmeticLoop(benchmark::State& state) {
+  const long n = state.range(0);
+  const jlang::Program prog =
+      jlang::Parser::parseProgram("m.mjava", arithmeticLoopSource(n));
+  const jbc::CompiledProgram compiled = jbc::compile(prog);
+  for (auto _ : state) {
+    energy::SimMachine machine;
+    jbc::BytecodeVm vm(compiled, machine);
+    vm.runMain();
+    benchmark::DoNotOptimize(machine.sample().packageJoules);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_BcvmArithmeticLoop)->Arg(1000)->Arg(10000);
+
 void BM_InterpretMethodCalls(benchmark::State& state) {
-  const std::string src = R"(
-    class Main {
-      static int add(int a, int b) { return a + b; }
-      static void main(String[] args) {
-        int acc = 0;
-        for (int i = 0; i < 2000; i++) acc = add(acc, i);
-        System.out.println(acc);
-      }
-    }
-  )";
-  const jlang::Program prog = jlang::Parser::parseProgram("m.mjava", src);
+  const jlang::Program prog =
+      jlang::Parser::parseProgram("m.mjava", kMethodCallsSource);
   for (auto _ : state) {
     energy::SimMachine machine;
     jvm::Interpreter interp(prog, machine);
@@ -87,6 +128,47 @@ void BM_InterpretMethodCalls(benchmark::State& state) {
                           2000);
 }
 BENCHMARK(BM_InterpretMethodCalls);
+
+void BM_BcvmMethodCalls(benchmark::State& state) {
+  const jlang::Program prog =
+      jlang::Parser::parseProgram("m.mjava", kMethodCallsSource);
+  const jbc::CompiledProgram compiled = jbc::compile(prog);
+  for (auto _ : state) {
+    energy::SimMachine machine;
+    jbc::BytecodeVm vm(compiled, machine);
+    vm.runMain();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_BcvmMethodCalls);
+
+void BM_InterpretObjectsAndCalls(benchmark::State& state) {
+  const jlang::Program prog =
+      jlang::Parser::parseProgram("m.mjava", kObjectsAndCallsSource);
+  for (auto _ : state) {
+    energy::SimMachine machine;
+    jvm::Interpreter interp(prog, machine);
+    interp.runMain();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_InterpretObjectsAndCalls);
+
+void BM_BcvmObjectsAndCalls(benchmark::State& state) {
+  const jlang::Program prog =
+      jlang::Parser::parseProgram("m.mjava", kObjectsAndCallsSource);
+  const jbc::CompiledProgram compiled = jbc::compile(prog);
+  for (auto _ : state) {
+    energy::SimMachine machine;
+    jbc::BytecodeVm vm(compiled, machine);
+    vm.runMain();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_BcvmObjectsAndCalls);
 
 void BM_SuggestionEngine(benchmark::State& state) {
   const auto unit =
@@ -121,5 +203,39 @@ BENCHMARK(BM_MeterChargeOverhead);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return jepo::bench::microMain("bench_vm_micro", argc, argv);
+  // Derived engine-pair rows: for every BM_Interpret<X> with a BM_Bcvm<X>
+  // sibling, record the tree-interpreter / bytecode-VM wall-time ratio.
+  const auto enginePairs = [](jepo::bench::BenchReport& report,
+                              const std::vector<jepo::bench::CapturedRun>&
+                                  runs) {
+    const std::string treePrefix = "BM_Interpret";
+    const std::string bcvmPrefix = "BM_Bcvm";
+    bool first = true;
+    for (const auto& tree : runs) {
+      if (tree.name.compare(0, treePrefix.size(), treePrefix) != 0) continue;
+      const std::string suffix = tree.name.substr(treePrefix.size());
+      for (const auto& bcvm : runs) {
+        if (bcvm.name != bcvmPrefix + suffix ||
+            bcvm.realSecondsPerIter <= 0.0) {
+          continue;
+        }
+        const double ratio = tree.realSecondsPerIter / bcvm.realSecondsPerIter;
+        report.addRow({{"name", "EnginePair/" + suffix},
+                       {"treeSecondsPerIter", tree.realSecondsPerIter},
+                       {"bcvmSecondsPerIter", bcvm.realSecondsPerIter},
+                       {"speedupBcvmOverTree", ratio}});
+        if (first) {
+          std::printf("\n-- tree interpreter vs bytecode VM --\n");
+          first = false;
+        }
+        std::printf("%-36s tree=%.3e bcvm=%.3e bcvm speedup=%.2fx\n",
+                    suffix.c_str(), tree.realSecondsPerIter,
+                    bcvm.realSecondsPerIter, ratio);
+        break;
+      }
+    }
+  };
+  return jepo::bench::microMain("bench_vm_micro", argc, argv,
+                                "bench/baselines/vm_micro_seed.txt",
+                                enginePairs);
 }

@@ -15,7 +15,12 @@ the build on:
     retry-count key must be a non-negative integer. When the report's
     config names an active fault plan, the counters must include at least
     one "fault."-prefixed degradation counter (the decorator publishes
-    fault.devices on construction, so a silent fault layer is a bug).
+    fault.devices on construction, so a silent fault layer is a bug);
+  - malformed speedup-ratio fields: any key containing "speedup" (the
+    vs-seed and engine-pair rows bench_vm_micro derives) must hold a
+    strictly positive finite number — a null means the C++ writer
+    sanitised a non-finite ratio, and zero/negative means a corrupt
+    timing fed the division.
 
 Usage: check_bench_json.py report.json [report2.json ...]
 
@@ -65,6 +70,23 @@ def check_energy_values(path, obj, where):
     return errors
 
 
+def check_speedup_values(path, row, where):
+    """Reject null/non-positive values under speedup-ratio keys."""
+    errors = 0
+    for key, value in row.items():
+        if "speedup" not in key.lower():
+            continue
+        if value is None:
+            errors += fail(path, f"{where}.{key} is null "
+                           "(non-finite ratio)")
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors += fail(path, f"{where}.{key} is not numeric")
+        elif value <= 0:
+            errors += fail(path, f"{where}.{key} must be strictly "
+                           f"positive, got {value}")
+    return errors
+
+
 def check_row_robustness(path, row, where):
     """Validate per-row measurement-quality bookkeeping where present."""
     errors = 0
@@ -94,9 +116,18 @@ def check_file(path):
     except (OSError, ValueError) as exc:
         return fail(path, f"unreadable or invalid JSON: {exc}")
 
+    # A baseline bundle (BENCH_PR4.json) is an array of reports.
+    if isinstance(doc, list):
+        if not doc:
+            return fail(path, "baseline array is empty")
+        return sum(check_report(path, report) for report in doc)
+    return check_report(path, doc)
+
+
+def check_report(path, doc):
     errors = 0
     if not isinstance(doc, dict):
-        return fail(path, "top level is not an object")
+        return fail(path, "report is not an object")
 
     for key in ("bench", "config", "rows", "wallMs", "counters"):
         if key not in doc:
@@ -116,6 +147,7 @@ def check_file(path):
                 errors += fail(path, f"rows[{i}] is not an object")
             else:
                 errors += check_row_robustness(path, row, f"rows[{i}]")
+                errors += check_speedup_values(path, row, f"rows[{i}]")
     if not isinstance(doc["wallMs"], (int, float)) or doc["wallMs"] < 0:
         errors += fail(path, "'wallMs' must be a non-negative number")
     if not isinstance(doc["counters"], dict):

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Fail CI when a bench run regresses in wall-clock against the checked-in
+post-PR baseline (BENCH_PR4.json).
+
+The baseline file holds one report, or a JSON array of reports, in the
+common {bench, config, rows[], wallMs, counters{}} schema; reports are
+matched to the current artifacts by their "bench" name. For each matched
+pair the gate checks:
+
+  - every row present in both (matched by "name") whose
+    "realSecondsPerIter" is a positive number in both: current time must
+    not exceed baseline * (1 + tolerance);
+  - report-level "wallMs" under the same bound (the only timing
+    bench_table4_weka exposes — its rows carry joules, not seconds).
+
+Speedups are never an error: only slowdowns beyond tolerance fail. A
+current report whose bench name is missing from the baseline fails too,
+so the baseline cannot silently fall out of sync with the bench set.
+
+Tolerance defaults to 10% and can be widened for noisy runners with
+--tolerance=<fraction> or the JEPO_BENCH_TOLERANCE environment variable
+(the flag wins).
+
+Usage:
+  check_bench_regression.py --baseline=BENCH_PR4.json report.json [...]
+
+Standard library only.
+"""
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"REGRESSION: {msg}", file=sys.stderr)
+    return 1
+
+
+def load_baseline(path):
+    """Return {bench name: report} from a single report or an array."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    reports = doc if isinstance(doc, list) else [doc]
+    by_name = {}
+    for report in reports:
+        if not isinstance(report, dict) or "bench" not in report:
+            raise ValueError(f"{path}: baseline entry is not a bench report")
+        by_name[report["bench"]] = report
+    return by_name
+
+
+def positive_number(value):
+    return (isinstance(value, (int, float)) and not isinstance(value, bool)
+            and value > 0)
+
+
+def rows_by_name(report):
+    out = {}
+    for row in report.get("rows", []):
+        if isinstance(row, dict) and isinstance(row.get("name"), str):
+            out.setdefault(row["name"], row)
+    return out
+
+
+def check_report(baseline, current, path, tolerance):
+    errors = 0
+    compared = 0
+    bound = 1.0 + tolerance
+
+    base_rows = rows_by_name(baseline)
+    for name, row in rows_by_name(current).items():
+        base_row = base_rows.get(name)
+        if base_row is None:
+            continue
+        base_t = base_row.get("realSecondsPerIter")
+        cur_t = row.get("realSecondsPerIter")
+        if not (positive_number(base_t) and positive_number(cur_t)):
+            continue
+        compared += 1
+        if cur_t > base_t * bound:
+            errors += fail(
+                f"{path}: {name} realSecondsPerIter {cur_t:.3e} vs "
+                f"baseline {base_t:.3e} (+{(cur_t / base_t - 1) * 100:.1f}%, "
+                f"tolerance {tolerance * 100:.0f}%)")
+
+    base_wall = baseline.get("wallMs")
+    cur_wall = current.get("wallMs")
+    if positive_number(base_wall) and positive_number(cur_wall):
+        compared += 1
+        if cur_wall > base_wall * bound:
+            errors += fail(
+                f"{path}: wallMs {cur_wall:.1f} vs baseline "
+                f"{base_wall:.1f} (+{(cur_wall / base_wall - 1) * 100:.1f}%, "
+                f"tolerance {tolerance * 100:.0f}%)")
+
+    if compared == 0:
+        errors += fail(f"{path}: nothing comparable against the baseline")
+    else:
+        print(f"{path}: {compared} timings within "
+              f"{tolerance * 100:.0f}% of baseline"
+              if not errors else
+              f"{path}: {compared} timings compared, regressions found")
+    return errors
+
+
+def main(argv):
+    baseline_path = None
+    tolerance = float(os.environ.get("JEPO_BENCH_TOLERANCE", "0.10"))
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--baseline="):
+            baseline_path = arg.split("=", 1)[1]
+        elif arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if baseline_path is None or not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if tolerance < 0:
+        print("tolerance must be non-negative", file=sys.stderr)
+        return 2
+
+    try:
+        baselines = load_baseline(baseline_path)
+    except (OSError, ValueError) as exc:
+        return fail(f"unreadable baseline {baseline_path}: {exc}") and 1
+
+    errors = 0
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as f:
+                current = json.load(f)
+        except (OSError, ValueError) as exc:
+            errors += fail(f"unreadable report {path}: {exc}")
+            continue
+        bench = current.get("bench") if isinstance(current, dict) else None
+        if bench not in baselines:
+            errors += fail(f"{path}: bench {bench!r} has no entry in "
+                           f"{baseline_path} — regenerate the baseline")
+            continue
+        errors += check_report(baselines[bench], current, path, tolerance)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,10 +16,52 @@ using jvm::Value;
 BytecodeVm::BytecodeVm(const CompiledProgram& program,
                        energy::SimMachine& machine)
     : program_(&program),
+      resolution_(program.resolution),
       machine_(&machine),
       builtins_(heap_, machine, out_, [this](const std::string& name) {
         return program_->findClass(name) != nullptr;
-      }) {}
+      }) {
+  JEPO_REQUIRE(resolution_ != nullptr,
+               "CompiledProgram carries no resolution (use jbc::compile)");
+  const jlang::Resolution& res = *resolution_;
+  statics_.assign(static_cast<std::size_t>(res.staticCount), Value::null());
+  classInitDone_.assign(res.classes.size(), 0);
+  literalByName_.assign(program.names.size(), kNullRef);
+  callCaches_.assign(static_cast<std::size_t>(res.numCallCaches),
+                     CallCacheEntry{});
+  fieldCaches_.assign(static_cast<std::size_t>(res.numFieldCaches),
+                      FieldCacheEntry{});
+  classById_.assign(res.classes.size(), nullptr);
+  methodChunks_.resize(res.classes.size());
+  staticDefaults_.resize(res.classes.size());
+  objectTemplates_.resize(res.classes.size());
+  for (std::size_t id = 0; id < res.classes.size(); ++id) {
+    const jlang::ResolvedClass& rc = res.classes[id];
+    // Shadowed duplicate class names never execute (findClass returns the
+    // first); leave their rows empty.
+    if (res.classIdOf(rc.layout.className) != static_cast<std::int32_t>(id)) {
+      continue;
+    }
+    const CompiledClass* cls = program.findClass(rc.layout.className);
+    if (cls == nullptr) continue;
+    classById_[id] = cls;
+    auto& chunks = methodChunks_[id];
+    chunks.reserve(rc.methods.size());
+    for (const auto& rm : rc.methods) {
+      const auto it = cls->methods.find(rm.decl->name);
+      chunks.push_back(it == cls->methods.end() ? nullptr : &it->second);
+    }
+    for (const CompiledField& f : cls->fields) {
+      if (f.isStatic) {
+        const int idx = rc.staticIndexOf(f.name);
+        if (idx >= 0) staticDefaults_[id].emplace_back(rc.staticSlots[idx],
+                                                       f.kind);
+      } else {
+        objectTemplates_[id].push_back(jvm::Heap::defaultValue(f.kind));
+      }
+    }
+  }
+}
 
 void BytecodeVm::step() {
   ++steps_;
@@ -45,17 +87,33 @@ void BytecodeVm::chargeRowLoad(Ref array, std::int64_t index,
 }
 
 void BytecodeVm::ensureClassInit(const std::string& className) {
-  if (initializedClasses_.count(className) != 0) return;
-  initializedClasses_.insert(className);
-  const CompiledClass* cls = program_->findClass(className);
+  const std::int32_t id = resolution_->classIdOf(className);
+  if (id >= 0) ensureClassInitById(id);
+}
+
+void BytecodeVm::ensureClassInitById(std::int32_t classId) {
+  const auto idx = static_cast<std::size_t>(classId);
+  if (classInitDone_[idx] != 0) return;
+  classInitDone_[idx] = 1;  // marked before <clinit>: recursion guard
+  const CompiledClass* cls = classById_[idx];
   if (cls == nullptr) return;
-  for (const auto& f : cls->fields) {
-    if (!f.isStatic) continue;
-    statics_[className + "." + f.name] = jvm::Heap::defaultValue(f.kind);
+  for (const auto& [slot, kind] : staticDefaults_[idx]) {
+    statics_[static_cast<std::size_t>(slot)] = jvm::Heap::defaultValue(kind);
   }
   if (cls->clinit.code.size() > 1) {
     invoke(*cls, cls->clinit, {});
   }
+}
+
+jvm::Value* BytecodeVm::findStaticByName(const std::string& className,
+                                         const std::string& fieldName) {
+  const std::int32_t id = resolution_->classIdOf(className);
+  if (id < 0) return nullptr;
+  const jlang::ResolvedClass& rc =
+      resolution_->classes[static_cast<std::size_t>(id)];
+  const int idx = rc.staticIndexOf(fieldName);
+  if (idx < 0) return nullptr;
+  return &statics_[static_cast<std::size_t>(rc.staticSlots[idx])];
 }
 
 jvm::Value BytecodeVm::allocArray(const std::vector<std::int64_t>& dims,
@@ -80,31 +138,36 @@ jvm::Value BytecodeVm::construct(const std::string& className,
   if (builtins_.construct(className, args, &builtinResult)) {
     return builtinResult;
   }
-  const CompiledClass* cls = program_->findClass(className);
-  if (cls == nullptr) {
+  const std::int32_t id = resolution_->classIdOf(className);
+  if (id < 0 || classById_[static_cast<std::size_t>(id)] == nullptr) {
     throw VmError("unknown class " + className + " at line " +
                   std::to_string(line));
   }
+  return constructById(id, std::move(args));
+}
+
+jvm::Value BytecodeVm::constructById(std::int32_t classId,
+                                     std::vector<Value> args) {
+  const auto idx = static_cast<std::size_t>(classId);
+  const CompiledClass& cls = *classById_[idx];
+  const jlang::ResolvedClass& rc = resolution_->classes[idx];
   charge(energy::Op::kAllocObject);
-  ensureClassInit(className);
-  const Ref r = heap_.allocObject(className);
-  for (const auto& f : cls->fields) {
-    if (f.isStatic) continue;
-    heap_.get(r).fields[f.name] = jvm::Heap::defaultValue(f.kind);
+  ensureClassInitById(classId);
+  const Ref r = heap_.allocObject(cls.name, rc.layout);
+  heap_.get(r).fields = objectTemplates_[idx];
+  if (cls.initFields.code.size() > 1) {
+    invoke(cls, cls.initFields, {Value::ofRef(r)});
   }
-  if (cls->initFields.code.size() > 1) {
-    invoke(*cls, cls->initFields, {Value::ofRef(r)});
-  }
-  const auto ctor = cls->methods.find(className);
-  if (ctor != cls->methods.end()) {
+  const auto ctor = cls.methods.find(cls.name);
+  if (ctor != cls.methods.end()) {
     std::vector<Value> ctorArgs;
     ctorArgs.reserve(args.size() + 1);
     ctorArgs.push_back(Value::ofRef(r));
     for (auto& a : args) ctorArgs.push_back(a);
-    invoke(*cls, ctor->second, std::move(ctorArgs));
+    invoke(cls, ctor->second, std::move(ctorArgs));
   } else {
     JEPO_REQUIRE(args.empty(),
-                 "class " + className + " has no constructor taking args");
+                 "class " + cls.name + " has no constructor taking args");
   }
   return Value::ofRef(r);
 }
@@ -124,15 +187,16 @@ jvm::Value BytecodeVm::invoke(const CompiledClass& cls, const Chunk& chunk,
   }
 
   ++frameDepth_;
-  if (hooks_ != nullptr) hooks_->onEnter(chunk.qualifiedName);
+  const jvm::MethodRef ref{chunk.methodId, &chunk.qualifiedName};
+  if (hooks_ != nullptr) hooks_->onEnter(ref);
   struct ExitGuard {
     BytecodeVm* self;
-    const std::string* name;
+    const jvm::MethodRef* ref;
     ~ExitGuard() {
-      if (self->hooks_ != nullptr) self->hooks_->onExit(*name);
+      if (self->hooks_ != nullptr) self->hooks_->onExit(*ref);
       --self->frameDepth_;
     }
-  } guard{this, &chunk.qualifiedName};
+  } guard{this, &ref};
 
   const Value result = run(cls, chunk, slots);
   charge(energy::Op::kReturn);
@@ -191,12 +255,12 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
           break;
         case Op::kConstStr: {
           charge(energy::Op::kConstLoad);
-          const std::string& text = name(in.a);
-          auto it = stringPool_.find(text);
-          if (it == stringPool_.end()) {
-            it = stringPool_.emplace(text, heap_.allocString(text)).first;
-          }
-          stack.push_back(Value::ofRef(it->second));
+          // The names pool is content-deduped at compile time, so a flat
+          // vector indexed by name id replaces the seed's hash lookup.
+          // Lazy allocation preserves the seed's heap-allocation order.
+          Ref& interned = literalByName_[static_cast<std::size_t>(in.a)];
+          if (interned == kNullRef) interned = heap_.allocString(name(in.a));
+          stack.push_back(Value::ofRef(interned));
           break;
         }
         case Op::kConstChar:
@@ -246,12 +310,14 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
                 Value::ofInt(static_cast<std::int64_t>(ho.elems.size())));
             break;
           }
-          const auto it = ho.fields.find(name(in.a));
-          if (ho.kind != ObjKind::kObject || it == ho.fields.end()) {
+          const Value* field = ho.kind == ObjKind::kObject
+                                   ? ho.findField(name(in.a))
+                                   : nullptr;
+          if (field == nullptr) {
             throw VmError("unknown field '" + name(in.a) + "' at line " +
                           std::to_string(in.line));
           }
-          stack.push_back(it->second);
+          stack.push_back(*field);
           break;
         }
         case Op::kPutField: {
@@ -261,27 +327,105 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
             throwJava("NullPointerException", "store to field of null");
           }
           HeapObject& ho = heap_.get(obj.asRef());
-          const auto it = ho.fields.find(name(in.a));
-          JEPO_REQUIRE(it != ho.fields.end(),
+          Value* field = ho.kind == ObjKind::kObject
+                             ? ho.findField(name(in.a))
+                             : nullptr;
+          JEPO_REQUIRE(field != nullptr,
                        "unknown field '" + name(in.a) + "'");
           charge(energy::Op::kFieldAccess);
-          if (it->second.isNumeric() && v.isNumeric()) {
-            v = jvm::coerceToKind(v, it->second.kind, builtins_, in.line);
+          if (field->isNumeric() && v.isNumeric()) {
+            v = jvm::coerceToKind(v, field->kind, builtins_, in.line);
           }
-          it->second = v;
+          *field = v;
           break;
         }
         case Op::kGetThisField: {
           charge(energy::Op::kFieldAccess);
           HeapObject& self = heap_.get(slots[0].asRef());
-          stack.push_back(self.fields.at(name(in.a)));
+          const Value* field = self.findField(name(in.a));
+          JEPO_REQUIRE(field != nullptr,
+                       "unknown this-field '" + name(in.a) + "'");
+          stack.push_back(*field);
           break;
         }
         case Op::kPutThisField: {
           charge(energy::Op::kFieldAccess);
           Value v = pop();
           HeapObject& self = heap_.get(slots[0].asRef());
-          Value& field = self.fields.at(name(in.a));
+          Value* field = self.findField(name(in.a));
+          JEPO_REQUIRE(field != nullptr,
+                       "unknown this-field '" + name(in.a) + "'");
+          if (field->isNumeric() && v.isNumeric()) {
+            v = jvm::coerceToKind(v, field->kind, builtins_, in.line);
+          }
+          *field = v;
+          break;
+        }
+        case Op::kGetThisFieldSlot: {
+          charge(energy::Op::kFieldAccess);
+          HeapObject& self = heap_.get(slots[0].asRef());
+          stack.push_back(self.fields[static_cast<std::size_t>(in.a)]);
+          break;
+        }
+        case Op::kPutThisFieldSlot: {
+          charge(energy::Op::kFieldAccess);
+          Value v = pop();
+          HeapObject& self = heap_.get(slots[0].asRef());
+          Value& field = self.fields[static_cast<std::size_t>(in.a)];
+          if (field.isNumeric() && v.isNumeric()) {
+            v = jvm::coerceToKind(v, field.kind, builtins_, in.line);
+          }
+          field = v;
+          break;
+        }
+        case Op::kGetFieldCached: {
+          const Value obj = pop();
+          if (obj.isNull()) {
+            throwJava("NullPointerException",
+                      "field '" + name(in.a) + "' on null at line " +
+                          std::to_string(in.line));
+          }
+          HeapObject& ho = heap_.get(obj.asRef());
+          charge(energy::Op::kFieldAccess);
+          if (ho.kind == ObjKind::kArray && name(in.a) == "length") {
+            stack.push_back(
+                Value::ofInt(static_cast<std::int64_t>(ho.elems.size())));
+            break;
+          }
+          if (ho.kind != ObjKind::kObject || ho.layout == nullptr) {
+            throw VmError("unknown field '" + name(in.a) + "' at line " +
+                          std::to_string(in.line));
+          }
+          FieldCacheEntry& fc = fieldCaches_[static_cast<std::size_t>(in.b)];
+          if (fc.layout != ho.layout) {
+            const int offset = ho.layout->indexOfName(name(in.a));
+            if (offset < 0) {
+              throw VmError("unknown field '" + name(in.a) + "' at line " +
+                            std::to_string(in.line));
+            }
+            fc = {ho.layout, offset};
+          }
+          stack.push_back(ho.fields[static_cast<std::size_t>(fc.offset)]);
+          break;
+        }
+        case Op::kPutFieldCached: {
+          Value v = pop();
+          const Value obj = pop();
+          if (obj.isNull()) {
+            throwJava("NullPointerException", "store to field of null");
+          }
+          HeapObject& ho = heap_.get(obj.asRef());
+          JEPO_REQUIRE(ho.kind == ObjKind::kObject && ho.layout != nullptr,
+                       "unknown field '" + name(in.a) + "'");
+          FieldCacheEntry& fc = fieldCaches_[static_cast<std::size_t>(in.b)];
+          if (fc.layout != ho.layout) {
+            const int offset = ho.layout->indexOfName(name(in.a));
+            JEPO_REQUIRE(offset >= 0,
+                         "unknown field '" + name(in.a) + "'");
+            fc = {ho.layout, offset};
+          }
+          Value& field = ho.fields[static_cast<std::size_t>(fc.offset)];
+          charge(energy::Op::kFieldAccess);
           if (field.isNumeric() && v.isNumeric()) {
             v = jvm::coerceToKind(v, field.kind, builtins_, in.line);
           }
@@ -301,29 +445,54 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
             }
           }
           ensureClassInit(className);
-          const auto it = statics_.find(key);
-          if (it == statics_.end()) {
+          const Value* slot = findStaticByName(className, fieldName);
+          if (slot == nullptr) {
             throw VmError("unknown static field " + key + " at line " +
                           std::to_string(in.line));
           }
           charge(energy::Op::kStaticAccess);
-          stack.push_back(it->second);
+          stack.push_back(*slot);
           break;
         }
         case Op::kPutStatic: {
           const std::string& key = name(in.a);
           const auto dot = key.find('.');
           ensureClassInit(key.substr(0, dot));
-          const auto it = statics_.find(key);
-          if (it == statics_.end()) {
+          Value* slot =
+              findStaticByName(key.substr(0, dot), key.substr(dot + 1));
+          if (slot == nullptr) {
             throw VmError("unknown static field " + key);
           }
           charge(energy::Op::kStaticAccess);
           Value v = pop();
-          if (it->second.isNumeric() && v.isNumeric()) {
-            v = jvm::coerceToKind(v, it->second.kind, builtins_, in.line);
+          if (slot->isNumeric() && v.isNumeric()) {
+            v = jvm::coerceToKind(v, slot->kind, builtins_, in.line);
           }
-          it->second = v;
+          *slot = v;
+          break;
+        }
+        case Op::kGetStaticSlot: {
+          ensureClassInitById(in.b);
+          if (in.a < 0) {
+            throw VmError("unknown static field " + name(in.c) +
+                          " at line " + std::to_string(in.line));
+          }
+          charge(energy::Op::kStaticAccess);
+          stack.push_back(statics_[static_cast<std::size_t>(in.a)]);
+          break;
+        }
+        case Op::kPutStaticSlot: {
+          ensureClassInitById(in.b);
+          if (in.a < 0) {
+            throw VmError("unknown static field " + name(in.c));
+          }
+          charge(energy::Op::kStaticAccess);
+          Value& slot = statics_[static_cast<std::size_t>(in.a)];
+          Value v = pop();
+          if (slot.isNumeric() && v.isNumeric()) {
+            v = jvm::coerceToKind(v, slot.kind, builtins_, in.line);
+          }
+          slot = v;
           break;
         }
 
@@ -391,7 +560,13 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
 
         case Op::kNewObject: {
           std::vector<Value> args = popArgs(in.b);
-          stack.push_back(construct(name(in.a), std::move(args), in.line));
+          // c > 0: the resolver bound the class and ruled out the builtin
+          // constructor probe (builtin names always take the dynamic path).
+          if (in.c > 0) {
+            stack.push_back(constructById(in.c - 1, std::move(args)));
+          } else {
+            stack.push_back(construct(name(in.a), std::move(args), in.line));
+          }
           break;
         }
 
@@ -489,6 +664,29 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
           stack.push_back(invoke(*cls, it->second, std::move(args)));
           break;
         }
+        case Op::kCallStaticResolved: {
+          std::vector<Value> args = popArgs(in.c);
+          ensureClassInitById(in.a);
+          charge(energy::Op::kCall);
+          const auto classIdx = static_cast<std::size_t>(in.a);
+          stack.push_back(invoke(
+              *classById_[classIdx],
+              *methodChunks_[classIdx][static_cast<std::size_t>(in.b)],
+              std::move(args)));
+          break;
+        }
+        case Op::kCallSelfResolved: {
+          std::vector<Value> args = popArgs(in.b);
+          if (in.c != 0) args.insert(args.begin(), slots[0]);
+          ensureClassInitById(cls.classId);
+          charge(energy::Op::kCall);
+          stack.push_back(invoke(
+              cls,
+              *methodChunks_[static_cast<std::size_t>(cls.classId)]
+                            [static_cast<std::size_t>(in.a)],
+              std::move(args)));
+          break;
+        }
         case Op::kCallUnqualified: {
           std::vector<Value> args = popArgs(in.b);
           const auto it = cls.methods.find(name(in.a));
@@ -514,6 +712,72 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
                       "call '" + name(in.a) + "' on null at line " +
                           std::to_string(in.line));
           }
+          Value result;
+          if (builtins_.instanceCall(receiver, name(in.a), args, &result)) {
+            stack.push_back(result);
+            break;
+          }
+          const HeapObject& obj = heap_.get(receiver.asRef());
+          JEPO_REQUIRE(obj.kind == ObjKind::kObject,
+                       "method call on non-object");
+          const CompiledClass* targetCls = program_->findClass(obj.className);
+          if (targetCls == nullptr) {
+            throw VmError("method call on unknown class " + obj.className);
+          }
+          const auto it = targetCls->methods.find(name(in.a));
+          if (it == targetCls->methods.end()) {
+            throw VmError("unknown method " + obj.className + "." +
+                          name(in.a));
+          }
+          args.insert(args.begin(), receiver);
+          charge(energy::Op::kCall);
+          stack.push_back(invoke(*targetCls, it->second, std::move(args)));
+          break;
+        }
+        case Op::kCallVirtualCached: {
+          std::vector<Value> args = popArgs(in.b);
+          const Value receiver = pop();
+          if (receiver.isNull()) {
+            throwJava("NullPointerException",
+                      "call '" + name(in.a) + "' on null at line " +
+                          std::to_string(in.line));
+          }
+          // Fast path: a program-class object dispatches through the
+          // monomorphic cache. BuiltinLibrary::instanceCall is a no-op for
+          // such receivers (it charges nothing and always declines), so
+          // skipping the probe is observationally identical to the seed.
+          if (receiver.isRef()) {
+            HeapObject& obj = heap_.get(receiver.asRef());
+            if (obj.kind == ObjKind::kObject && obj.layout != nullptr &&
+                obj.layout->classId >= 0) {
+              CallCacheEntry& cc =
+                  callCaches_[static_cast<std::size_t>(in.c)];
+              if (cc.classId != obj.layout->classId) {
+                const std::int32_t id = obj.layout->classId;
+                const jlang::ResolvedClass& rc =
+                    resolution_->classes[static_cast<std::size_t>(id)];
+                const jlang::ResolvedMethod* rm = rc.findMethod(name(in.a));
+                const int ordinal =
+                    rm != nullptr ? rc.methodOrdinal(rm->decl) : -1;
+                const Chunk* target =
+                    ordinal >= 0
+                        ? methodChunks_[static_cast<std::size_t>(id)]
+                                       [static_cast<std::size_t>(ordinal)]
+                        : nullptr;
+                if (target == nullptr) {
+                  throw VmError("unknown method " + obj.className + "." +
+                                name(in.a));
+                }
+                cc = {id, classById_[static_cast<std::size_t>(id)], target};
+              }
+              args.insert(args.begin(), receiver);
+              charge(energy::Op::kCall);
+              stack.push_back(invoke(*cc.cls, *cc.chunk, std::move(args)));
+              break;
+            }
+          }
+          // Slow path: builtin receivers (strings, wrappers, exceptions,
+          // StringBuilder) — the seed's dynamic dispatch, verbatim.
           Value result;
           if (builtins_.instanceCall(receiver, name(in.a), args, &result)) {
             stack.push_back(result);

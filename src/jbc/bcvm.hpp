@@ -4,14 +4,14 @@
 // same cost model — at the granularity of compiled instructions.
 #pragma once
 
-#include <deque>
+#include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "energy/machine.hpp"
 #include "jbc/code.hpp"
+#include "jlang/resolve.hpp"
 #include "jvm/builtins.hpp"
 #include "jvm/heap.hpp"
 #include "jvm/interpreter.hpp"  // MethodHooks, Thrown
@@ -37,14 +37,35 @@ class BytecodeVm {
   jvm::Heap& heap() noexcept { return heap_; }
 
  private:
+  /// Monomorphic inline cache at one kCallVirtualCached site.
+  struct CallCacheEntry {
+    std::int32_t classId = -1;
+    const CompiledClass* cls = nullptr;
+    const Chunk* chunk = nullptr;
+  };
+  /// Monomorphic inline cache at one kGet/PutFieldCached site.
+  struct FieldCacheEntry {
+    const jlang::ClassLayout* layout = nullptr;
+    std::int32_t offset = -1;
+  };
+
   jvm::Value invoke(const CompiledClass& cls, const Chunk& chunk,
                     std::vector<jvm::Value> args);
   jvm::Value run(const CompiledClass& cls, const Chunk& chunk,
                  std::vector<jvm::Value>& slots);
 
+  // Class initialization: by resolved id (hot) or by name (entry points
+  // and dynamic fallbacks — a no-op for names naming no program class).
   void ensureClassInit(const std::string& className);
+  void ensureClassInitById(std::int32_t classId);
+  /// Flat static lookup after class init; nullptr when unknown.
+  jvm::Value* findStaticByName(const std::string& className,
+                               const std::string& fieldName);
   jvm::Value construct(const std::string& className,
                        std::vector<jvm::Value> args, int line);
+  /// Resolved construction: builtin probe already ruled out.
+  jvm::Value constructById(std::int32_t classId,
+                           std::vector<jvm::Value> args);
   jvm::Value allocArray(const std::vector<std::int64_t>& dims,
                         std::size_t level, jvm::ValKind leafKind);
 
@@ -57,15 +78,26 @@ class BytecodeVm {
   }
 
   const CompiledProgram* program_;
+  std::shared_ptr<const jlang::Resolution> resolution_;
   energy::SimMachine* machine_;
   jvm::Heap heap_;
   std::string out_;
   jvm::BuiltinLibrary builtins_;
   jvm::MethodHooks* hooks_ = nullptr;
 
-  std::unordered_map<std::string, jvm::Value> statics_;
-  std::unordered_set<std::string> initializedClasses_;
-  std::unordered_map<std::string, jvm::Ref> stringPool_;
+  // Flat execution state, indexed by resolver-assigned ids. All VM-owned:
+  // concurrent VMs over one CompiledProgram share no mutable state.
+  std::vector<jvm::Value> statics_;          // global static slots
+  std::vector<char> classInitDone_;          // by classId
+  std::vector<jvm::Ref> literalByName_;      // by names index (lazy)
+  std::vector<const CompiledClass*> classById_;        // by classId
+  std::vector<std::vector<const Chunk*>> methodChunks_;  // by (classId, ordinal)
+  // Per-class static defaults as (global slot, kind), declaration order.
+  std::vector<std::vector<std::pair<std::int32_t, jvm::ValKind>>>
+      staticDefaults_;
+  std::vector<std::vector<jvm::Value>> objectTemplates_;  // default fields
+  std::vector<CallCacheEntry> callCaches_;   // by Instr::c cache slot
+  std::vector<FieldCacheEntry> fieldCaches_; // by Instr::b cache slot
 
   std::uint64_t steps_ = 0;
   std::uint64_t maxSteps_ = 0;
@@ -74,6 +106,7 @@ class BytecodeVm {
   jvm::Ref lastRowArray_ = 0xFFFFFFFF;
   std::int64_t lastRowIndex_ = -1;
 
+  static constexpr jvm::Ref kNullRef = 0xFFFFFFFF;
   static constexpr std::size_t kMaxFrames = 512;
 };
 

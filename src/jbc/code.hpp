@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,7 +51,8 @@ enum class Op : std::uint8_t {
   kNewArray,  // a = dim count (dims on stack), b = leaf ValKind
 
   // Objects.
-  kNewObject,  // a -> names (class), b = argc; args on stack
+  kNewObject,  // a -> names (class), b = argc; c = classId+1 when the
+               // resolution pass bound the class (0: dynamic lookup)
 
   // Operators.
   kBinary,  // a = jlang::BinOp (no &&/||)
@@ -78,6 +80,22 @@ enum class Op : std::uint8_t {
   kPop,
   kDup,
   kThrow,
+
+  // Slot-resolved forms, emitted when the resolution pass (jlang/resolve.hpp)
+  // bound the site at compile time. Each preserves the charge sequence and
+  // error strings of its dynamic counterpart exactly; only the name lookup
+  // is gone. The dynamic ops above remain as fallbacks for sites the
+  // resolver could not bind (builtin statics, unknown names in dead code).
+  kGetStaticSlot,       // a = global static slot (-1: resolved-missing),
+                        // b = classId, c -> names ("Class.field" error text)
+  kPutStaticSlot,       // same operands
+  kGetThisFieldSlot,    // a = field offset in this's layout
+  kPutThisFieldSlot,    // a = field offset; value on stack
+  kGetFieldCached,      // a -> names (field), b = field-cache slot
+  kPutFieldCached,      // a -> names (field), b = field-cache slot
+  kCallStaticResolved,  // a = classId, b = method ordinal, c = argc
+  kCallSelfResolved,    // a = method ordinal, b = argc, c = prepend-this flag
+  kCallVirtualCached,   // a -> names (method), b = argc, c = call-cache slot
 };
 
 struct Instr {
@@ -101,6 +119,10 @@ struct ExceptionEntry {
 
 struct Chunk {
   std::string qualifiedName;  // "Class.method" for the hook interface
+  /// Interned program-wide method id (Resolution::methodNames index) —
+  /// what MethodHooks receive, so the instrumenter's balance check is an
+  /// integer compare instead of a string compare.
+  std::uint32_t methodId = jlang::kNoName;
   std::vector<Instr> code;
   std::vector<ExceptionEntry> handlers;
   int numSlots = 0;
@@ -117,6 +139,7 @@ struct CompiledField {
 
 struct CompiledClass {
   std::string name;
+  std::int32_t classId = -1;  // index into Resolution::classes
   std::vector<CompiledField> fields;
   std::unordered_map<std::string, Chunk> methods;  // includes ctor (== name)
   Chunk clinit;      // static field initializers (may be empty)
@@ -129,6 +152,11 @@ struct CompiledProgram {
   std::vector<std::int64_t> intPool;
   std::vector<double> numPool;
   std::unordered_map<std::string, CompiledClass> classes;
+  /// The resolution substrate of the source Program (set by compile()).
+  /// The slot/classId/cacheSlot operands above index its tables. Holds
+  /// pointers into the source AST, so the Program must outlive execution —
+  /// the same lifetime contract the tree interpreter has always had.
+  std::shared_ptr<const jlang::Resolution> resolution;
 
   const CompiledClass* findClass(const std::string& name) const {
     const auto it = classes.find(name);

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "jlang/resolve.hpp"
 #include "jvm/builtins.hpp"
 #include "jvm/ops.hpp"
 
@@ -93,6 +94,12 @@ class MethodCompiler {
 
   // -------------------------------------------------------------- helpers
   bool isClassNameRef(const Expr& e) const;
+  /// The resolver's view of the class being compiled.
+  const jlang::ResolvedClass& rcls() const;
+  /// Emit a static get/put against a named class: slot-resolved when the
+  /// class is a program class, the dynamic builtin-first op otherwise.
+  void emitStaticAccess(bool store, const std::string& className,
+                        const std::string& fieldName, int line);
   /// Emit inlined copies of the finally blocks for frames deeper than
   /// `downToDepth` (for return/break/continue crossing try-finally).
   void emitFinallyCopies(std::size_t downToDepth);
@@ -140,11 +147,14 @@ class ProgramCompiler {
   bool isProgramClass(const std::string& name) const {
     return program_.findClass(name) != nullptr;
   }
+  /// The resolution substrate (available once run() has started).
+  const jlang::Resolution& res() const { return *res_; }
 
  private:
   const Program& program_;
   CompiledProgram out_;
   std::unordered_map<std::string, int> nameIndex_;
+  std::shared_ptr<const jlang::Resolution> res_;
 };
 
 // ---------------------------------------------------------------------------
@@ -153,9 +163,14 @@ MethodCompiler::MethodCompiler(ProgramCompiler& owner, const ClassDecl& cls,
                                bool isStatic)
     : owner_(owner), cls_(cls), isStatic_(isStatic) {}
 
+const jlang::ResolvedClass& MethodCompiler::rcls() const {
+  return owner_.res().classes[static_cast<std::size_t>(cls_.classId)];
+}
+
 Chunk MethodCompiler::compileMethod(const MethodDecl& m) {
   chunk_ = Chunk{};
   chunk_.qualifiedName = cls_.name + "." + m.name;
+  chunk_.methodId = m.methodId;
   chunk_.isStatic = m.isStatic;
   pushScope();
   if (!m.isStatic) {
@@ -179,6 +194,7 @@ Chunk MethodCompiler::compileFieldInits(const ClassDecl& cls,
   chunk_ = Chunk{};
   chunk_.qualifiedName =
       cls.name + (staticFields ? ".<clinit>" : ".<initfields>");
+  chunk_.methodId = staticFields ? rcls().clinitId : rcls().initFieldsId;
   chunk_.isStatic = staticFields;
   pushScope();
   if (!staticFields) {
@@ -195,11 +211,12 @@ Chunk MethodCompiler::compileFieldInits(const ClassDecl& cls,
         f.type.arrayDims == 0) {
       emit(Op::kBox, owner_.nameIdx(f.type.className), 0, 0, f.line);
     }
+    // f.slot was assigned by the resolver: the global flat-statics slot
+    // for statics, the layout offset for instance fields.
     if (staticFields) {
-      emit(Op::kPutStatic, owner_.nameIdx(cls.name + "." + f.name), 0, 0,
-           f.line);
+      emit(Op::kPutStaticSlot, f.slot, cls.classId, 0, f.line);
     } else {
-      emit(Op::kPutThisField, owner_.nameIdx(f.name), 0, 0, f.line);
+      emit(Op::kPutThisFieldSlot, f.slot, 0, 0, f.line);
     }
   }
   emit(Op::kReturnVoid);
@@ -491,20 +508,19 @@ void MethodCompiler::compileVarRef(const Expr& e) {
     emit(Op::kLoad, local->slot, 0, 0, e.line);
     return;
   }
-  // Instance field of this.
+  // Instance field of this (f.slot = layout offset, from the resolver).
   if (!isStatic_) {
     for (const auto& f : cls_.fields) {
       if (!f.isStatic && f.name == e.strValue) {
-        emit(Op::kGetThisField, owner_.nameIdx(e.strValue), 0, 0, e.line);
+        emit(Op::kGetThisFieldSlot, f.slot, 0, 0, e.line);
         return;
       }
     }
   }
-  // Static field of the current class.
+  // Static field of the current class (f.slot = global statics slot).
   for (const auto& f : cls_.fields) {
     if (f.isStatic && f.name == e.strValue) {
-      emit(Op::kGetStatic, owner_.nameIdx(cls_.name + "." + e.strValue), 0,
-           0, e.line);
+      emit(Op::kGetStaticSlot, f.slot, cls_.classId, 0, e.line);
       return;
     }
   }
@@ -512,14 +528,40 @@ void MethodCompiler::compileVarRef(const Expr& e) {
                      std::to_string(e.line));
 }
 
+void MethodCompiler::emitStaticAccess(bool store, const std::string& className,
+                                      const std::string& fieldName, int line) {
+  // Builtin class names keep the dynamic op: the VM probes the builtin
+  // static table first, exactly as the seed did.
+  if (!BuiltinLibrary::isBuiltinClassName(className)) {
+    const std::int32_t id = owner_.res().classIdOf(className);
+    if (id >= 0) {
+      const jlang::ResolvedClass& rc =
+          owner_.res().classes[static_cast<std::size_t>(id)];
+      const int idx = rc.staticIndexOf(fieldName);
+      const std::int32_t slot = idx >= 0 ? rc.staticSlots[idx] : -1;
+      // slot -1: the resolver proved the field missing. The VM still runs
+      // <clinit> first, then raises the seed's error using the name in c.
+      emit(store ? Op::kPutStaticSlot : Op::kGetStaticSlot, slot, id,
+           owner_.nameIdx(className + "." + fieldName), line);
+      return;
+    }
+  }
+  emit(store ? Op::kPutStatic : Op::kGetStatic,
+       owner_.nameIdx(className + "." + fieldName), 0, 0, line);
+}
+
 void MethodCompiler::compileFieldAccess(const Expr& e) {
   if (isClassNameRef(*e.a)) {
-    emit(Op::kGetStatic, owner_.nameIdx(e.a->strValue + "." + e.strValue), 0,
-         0, e.line);
+    emitStaticAccess(/*store=*/false, e.a->strValue, e.strValue, e.line);
     return;
   }
   compileExpr(*e.a);
-  emit(Op::kGetField, owner_.nameIdx(e.strValue), 0, 0, e.line);
+  if (e.nameRef == jlang::NameRef::kInstanceField && e.cacheSlot >= 0) {
+    emit(Op::kGetFieldCached, owner_.nameIdx(e.strValue), e.cacheSlot, 0,
+         e.line);
+  } else {
+    emit(Op::kGetField, owner_.nameIdx(e.strValue), 0, 0, e.line);
+  }
 }
 
 void MethodCompiler::compileStoreTo(const Expr& target) {
@@ -534,17 +576,14 @@ void MethodCompiler::compileStoreTo(const Expr& target) {
       if (!isStatic_) {
         for (const auto& f : cls_.fields) {
           if (!f.isStatic && f.name == target.strValue) {
-            emit(Op::kPutThisField, owner_.nameIdx(target.strValue), 0, 0,
-                 target.line);
+            emit(Op::kPutThisFieldSlot, f.slot, 0, 0, target.line);
             return;
           }
         }
       }
       for (const auto& f : cls_.fields) {
         if (f.isStatic && f.name == target.strValue) {
-          emit(Op::kPutStatic,
-               owner_.nameIdx(cls_.name + "." + target.strValue), 0, 0,
-               target.line);
+          emit(Op::kPutStaticSlot, f.slot, cls_.classId, 0, target.line);
           return;
         }
       }
@@ -553,9 +592,8 @@ void MethodCompiler::compileStoreTo(const Expr& target) {
     }
     case ExprKind::kFieldAccess: {
       if (isClassNameRef(*target.a)) {
-        emit(Op::kPutStatic,
-             owner_.nameIdx(target.a->strValue + "." + target.strValue), 0, 0,
-             target.line);
+        emitStaticAccess(/*store=*/true, target.a->strValue, target.strValue,
+                         target.line);
         return;
       }
       // value on stack; need obj value for kPutField: stash value.
@@ -563,7 +601,14 @@ void MethodCompiler::compileStoreTo(const Expr& target) {
       emit(Op::kStore, temp, -1, 0, target.line);
       compileExpr(*target.a);
       emit(Op::kLoad, temp);
-      emit(Op::kPutField, owner_.nameIdx(target.strValue), 0, 0, target.line);
+      if (target.nameRef == jlang::NameRef::kInstanceField &&
+          target.cacheSlot >= 0) {
+        emit(Op::kPutFieldCached, owner_.nameIdx(target.strValue),
+             target.cacheSlot, 0, target.line);
+      } else {
+        emit(Op::kPutField, owner_.nameIdx(target.strValue), 0, 0,
+             target.line);
+      }
       return;
     }
     case ExprKind::kArrayIndex: {
@@ -647,6 +692,22 @@ void MethodCompiler::compileCall(const Expr& e) {
   // Static call.
   if (e.a && isClassNameRef(*e.a)) {
     for (const auto& arg : e.args) compileExpr(*arg);
+    // Program-class targets with a known method resolve to (classId,
+    // ordinal). Builtin classes and missing methods keep the dynamic op
+    // (the builtin dispatch and the seed's errors live there).
+    if (!BuiltinLibrary::isBuiltinClassName(e.a->strValue)) {
+      const std::int32_t id = owner_.res().classIdOf(e.a->strValue);
+      if (id >= 0) {
+        const jlang::ResolvedClass& rc =
+            owner_.res().classes[static_cast<std::size_t>(id)];
+        const jlang::ResolvedMethod* rm = rc.findMethod(e.strValue);
+        if (rm != nullptr) {
+          emit(Op::kCallStaticResolved, id, rc.methodOrdinal(rm->decl),
+               static_cast<int>(e.args.size()), e.line);
+          return;
+        }
+      }
+    }
     emit(Op::kCallStatic, owner_.nameIdx(e.a->strValue),
          owner_.nameIdx(e.strValue), static_cast<int>(e.args.size()),
          e.line);
@@ -655,6 +716,15 @@ void MethodCompiler::compileCall(const Expr& e) {
   // Unqualified call.
   if (!e.a) {
     for (const auto& arg : e.args) compileExpr(*arg);
+    const jlang::ResolvedMethod* rm = rcls().findMethod(e.strValue);
+    // An instance target in a static chunk keeps the dynamic op, which
+    // raises the seed's "instance method called from static context".
+    if (rm != nullptr && !(isStatic_ && !rm->decl->isStatic)) {
+      emit(Op::kCallSelfResolved, rcls().methodOrdinal(rm->decl),
+           static_cast<int>(e.args.size()), rm->decl->isStatic ? 0 : 1,
+           e.line);
+      return;
+    }
     emit(Op::kCallUnqualified, owner_.nameIdx(e.strValue),
          static_cast<int>(e.args.size()), 0, e.line);
     return;
@@ -662,8 +732,13 @@ void MethodCompiler::compileCall(const Expr& e) {
   // Instance call: receiver, then args.
   compileExpr(*e.a);
   for (const auto& arg : e.args) compileExpr(*arg);
-  emit(Op::kCallVirtual, owner_.nameIdx(e.strValue),
-       static_cast<int>(e.args.size()), 0, e.line);
+  if (e.callKind == jlang::CallKind::kInstanceCached && e.cacheSlot >= 0) {
+    emit(Op::kCallVirtualCached, owner_.nameIdx(e.strValue),
+         static_cast<int>(e.args.size()), e.cacheSlot, e.line);
+  } else {
+    emit(Op::kCallVirtual, owner_.nameIdx(e.strValue),
+         static_cast<int>(e.args.size()), 0, e.line);
+  }
 }
 
 void MethodCompiler::compileExpr(const Expr& e) {
@@ -760,8 +835,13 @@ void MethodCompiler::compileExpr(const Expr& e) {
     case ExprKind::kCall: compileCall(e); return;
     case ExprKind::kNew: {
       for (const auto& arg : e.args) compileExpr(*arg);
+      // c = classId+1 when the resolver bound the class (program class,
+      // not shadowed by a builtin) — the VM skips the builtin probe.
+      const bool bound =
+          e.callKind == jlang::CallKind::kConstruct && e.classId >= 0;
       emit(Op::kNewObject, owner_.nameIdx(e.strValue),
-           static_cast<int>(e.args.size()), 0, e.line);
+           static_cast<int>(e.args.size()), bound ? e.classId + 1 : 0,
+           e.line);
       return;
     }
     case ExprKind::kNewArray: {
@@ -789,10 +869,16 @@ void MethodCompiler::compileExpr(const Expr& e) {
 // ---------------------------------------------------------------------------
 
 CompiledProgram ProgramCompiler::run() {
+  // Resolve before lowering: the resolver stamps every class/method/field
+  // with ids and slots, and every bound name site compiles straight to a
+  // slot-resolved opcode.
+  res_ = jlang::ensureResolved(program_);
+  out_.resolution = res_;
   for (const auto& unit : program_.units) {
     for (const auto& cls : unit.classes) {
       CompiledClass compiled;
       compiled.name = cls.name;
+      compiled.classId = cls.classId;
       for (const auto& f : cls.fields) {
         compiled.fields.push_back(CompiledField{
             f.name, jvm::kindOfType(f.type), f.isStatic});
@@ -832,7 +918,9 @@ std::string disassemble(const Chunk& chunk, const CompiledProgram& program) {
            std::to_string(static_cast<int>(in.op)) + " a=" +
            std::to_string(in.a) + " b=" + std::to_string(in.b);
     if (in.op == Op::kConstStr || in.op == Op::kGetStatic ||
-        in.op == Op::kGetField || in.op == Op::kCallVirtual) {
+        in.op == Op::kGetField || in.op == Op::kCallVirtual ||
+        in.op == Op::kGetFieldCached || in.op == Op::kPutFieldCached ||
+        in.op == Op::kCallVirtualCached) {
       out += " (" + program.names.at(static_cast<std::size_t>(in.a)) + ")";
     }
     out += "\n";

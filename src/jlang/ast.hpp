@@ -15,6 +15,49 @@
 
 namespace jepo::jlang {
 
+struct Resolution;  // jlang/resolve.hpp
+struct ClassDecl;
+struct MethodDecl;
+
+/// No interned symbol / unresolved annotation sentinel.
+inline constexpr std::uint32_t kNoName = 0xFFFFFFFFu;
+
+// ---------------------------------------------------------------------------
+// Resolution annotations
+//
+// resolve() (jlang/resolve.hpp) runs once per Program, after parsing, and
+// stamps every name-bearing node with pre-computed binding information so
+// the execution engines never resolve a string on the hot path. The fields
+// are `mutable`: benches and tests hold `const Program`s, and lazy
+// resolution at engine construction is a logically-const cache fill (it is
+// guarded by a mutex inside ensureResolved()). The default state of every
+// annotation means "unresolved — take the dynamic/seed path", which
+// preserves error-at-execution semantics for dead code with bad names.
+
+/// How a kVarRef (or the static half of a kFieldAccess) binds.
+enum class NameRef : std::uint8_t {
+  kUnresolved,     // dynamic path: reproduces the seed lookup + error
+  kThis,           // the `this` reference (null in static frames)
+  kLocal,          // frame slot `slot`
+  kThisField,      // field of `this` at offset `slot`
+  kStaticSlot,     // static: classId + global slot (slot -1: init + error)
+  kBuiltinStatic,  // Integer.MAX_VALUE etc.; classId/slot as fallback
+  kInstanceField,  // obj.f on an evaluated receiver, inline-cached
+};
+
+/// How a kCall / kNew dispatches.
+enum class CallKind : std::uint8_t {
+  kUnresolved,     // dynamic path (seed behavior, including its errors)
+  kPrint,          // System.out.println/print; slot==1 → newline
+  kBuiltinStatic,  // Math.sqrt etc. — name-dispatched inside BuiltinLibrary
+  kStaticMethod,   // resolved Class.m(): targetClass/targetMethod/classId
+  kStaticMissing,  // Class exists, method doesn't → VmError at execution
+  kSelfMethod,     // unqualified m(): resolved in the enclosing class
+  kSelfMissing,    // unqualified m() not found → VmError at execution
+  kInstanceCached, // virtual call through a monomorphic inline cache
+  kConstruct,      // new UserClass(...): targetClass/classId pre-resolved
+};
+
 // ---------------------------------------------------------------------------
 // Types
 
@@ -112,6 +155,19 @@ struct Expr {
   std::vector<ExprPtr> args;
   TypeRef type;  // kNewArray element type / kCast target type
 
+  // Resolution annotations (see top of file). Clones reset to defaults —
+  // a rewritten clone re-resolves at the next engine construction.
+  mutable NameRef nameRef = NameRef::kUnresolved;
+  mutable CallKind callKind = CallKind::kUnresolved;
+  mutable std::int32_t slot = -1;       // local slot / field offset /
+                                        // static global slot / print-newline
+  mutable std::int32_t classId = -1;    // owning class (statics, calls, new)
+  mutable std::int32_t cacheSlot = -1;  // engine inline-cache index
+  mutable std::int32_t strId = -1;      // string-literal pool id
+  mutable std::uint32_t nameId = kNoName;  // interned member name
+  mutable const MethodDecl* targetMethod = nullptr;  // static/self call
+  mutable const ClassDecl* targetClass = nullptr;    // call / new target
+
   explicit Expr(ExprKind k) : kind(k) {}
 };
 
@@ -132,6 +188,7 @@ struct CatchClause {
   std::string exceptionClass;
   std::string varName;
   StmtPtr body;  // block
+  mutable std::int32_t slot = -1;  // frame slot for varName (resolve())
 };
 
 struct SwitchCase {
@@ -171,6 +228,9 @@ struct Stmt {
   // kSwitch
   std::vector<SwitchCase> cases;
 
+  // kVarDecl frame slot, assigned by resolve().
+  mutable std::int32_t declSlot = -1;
+
   explicit Stmt(StmtKind k) : kind(k) {}
 };
 
@@ -190,6 +250,9 @@ struct FieldDecl {
   bool isStatic = false;
   ExprPtr init;  // may be null
   int line = 0;
+  /// resolve(): instance-field offset in the class layout, or the global
+  /// flat-statics slot for static fields.
+  mutable std::int32_t slot = -1;
 };
 
 struct MethodDecl {
@@ -199,6 +262,10 @@ struct MethodDecl {
   std::vector<Param> params;
   StmtPtr body;  // block; null only for the implicit default ctor
   int line = 0;
+  /// resolve(): program-wide method id (indexes Resolution::methodNames)
+  /// and the flat frame size (params + every declared local/catch var).
+  mutable std::uint32_t methodId = kNoName;
+  mutable std::int32_t numSlots = 0;
 };
 
 struct ClassDecl {
@@ -206,6 +273,7 @@ struct ClassDecl {
   std::vector<FieldDecl> fields;
   std::vector<MethodDecl> methods;
   int line = 0;
+  mutable std::int32_t classId = -1;  // resolve(): index into Resolution
 
   const MethodDecl* findMethod(std::string_view methodName) const;
 };
@@ -221,6 +289,11 @@ struct CompilationUnit {
 /// A set of compilation units forming one analyzable/runnable project.
 struct Program {
   std::vector<CompilationUnit> units;
+
+  /// Cached resolution substrate (symbol table, layouts, slot maps) filled
+  /// lazily by ensureResolved() at engine construction. Deliberately NOT
+  /// copied by cloneProgram(): a rewritten clone must re-resolve.
+  mutable std::shared_ptr<const Resolution> resolution;
 
   const ClassDecl* findClass(std::string_view name) const;
   /// Classes that declare `static void main`.

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "jlang/resolve.hpp"
 #include "jvm/interpreter.hpp"  // Thrown
 #include "support/strings.hpp"
 
@@ -37,21 +38,18 @@ BuiltinLibrary::BuiltinLibrary(
       out_(&out),
       isProgramClass_(std::move(isProgramClass)) {}
 
+// The class-name predicates live in jlang (the resolver classifies names
+// with them); these wrappers keep the historical call sites working.
 bool BuiltinLibrary::isBuiltinClassName(const std::string& name) {
-  return name == "Math" || name == "System" || name == "Integer" ||
-         name == "Long" || name == "Double" || name == "Float" ||
-         name == "Short" || name == "Byte" || name == "Character" ||
-         name == "Boolean" || name == "String" || name == "StringBuilder";
+  return jlang::isBuiltinClassName(name);
 }
 
 bool BuiltinLibrary::isWrapperClassName(const std::string& name) {
-  return name == "Integer" || name == "Long" || name == "Double" ||
-         name == "Float" || name == "Short" || name == "Byte" ||
-         name == "Character" || name == "Boolean";
+  return jlang::isWrapperClassName(name);
 }
 
 bool BuiltinLibrary::looksLikeExceptionClass(const std::string& name) {
-  return endsWith(name, "Exception") || endsWith(name, "Error");
+  return jlang::looksLikeExceptionClass(name);
 }
 
 Value BuiltinLibrary::makeString(std::string s) {
@@ -68,8 +66,9 @@ const std::string& BuiltinLibrary::stringAt(Ref r) const {
 void BuiltinLibrary::throwJava(const std::string& className,
                                const std::string& message) {
   charge(Op::kThrow);
-  const Ref r = heap_->allocObject(className);
-  heap_->get(r).fields["message"] = makeString(message);
+  const Ref r =
+      heap_->allocObject(className, jlang::builtinExceptionLayout());
+  heap_->get(r).fields[0] = makeString(message);  // "message" at offset 0
   throw Thrown{Value::ofRef(r)};
 }
 
@@ -109,9 +108,8 @@ std::string BuiltinLibrary::display(const Value& v) const {
         case ObjKind::kArray:
           return "[array of " + std::to_string(o.elems.size()) + "]";
         case ObjKind::kObject: {
-          const auto it = o.fields.find("message");
-          if (it != o.fields.end()) {
-            return o.className + ": " + display(it->second);
+          if (const Value* msg = o.findField("message")) {
+            return o.className + ": " + display(*msg);
           }
           return o.className + "@" + std::to_string(v.ref);
         }
@@ -540,8 +538,8 @@ bool BuiltinLibrary::instanceCall(Value receiver, const std::string& name,
   if (self.kind == ObjKind::kObject && !isProgramClass_(self.className)) {
     if (name == "getMessage") {
       charge(Op::kFieldAccess);
-      const auto it = self.fields.find("message");
-      *out = it != self.fields.end() ? it->second : Value::null();
+      const Value* msg = self.findField("message");
+      *out = msg != nullptr ? *msg : Value::null();
       return true;
     }
     throw VmError("unknown method " + name + " on " + self.className);
@@ -573,9 +571,10 @@ bool BuiltinLibrary::construct(const std::string& className,
   }
   if (!isProgramClass_(className) && looksLikeExceptionClass(className)) {
     charge(Op::kAllocObject);
-    const Ref r = heap_->allocObject(className);
+    const Ref r =
+        heap_->allocObject(className, jlang::builtinExceptionLayout());
     Value msg = args.empty() ? makeString("") : args[0];
-    heap_->get(r).fields["message"] = msg;
+    heap_->get(r).fields[0] = msg;  // "message" at offset 0
     *out = Value::ofRef(r);
     return true;
   }

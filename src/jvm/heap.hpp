@@ -5,12 +5,16 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "jvm/value.hpp"
 #include "support/error.hpp"
+
+namespace jepo::jlang {
+struct ClassLayout;  // jlang/resolve.hpp
+}
 
 namespace jepo::jvm {
 
@@ -28,8 +32,19 @@ struct HeapObject {
   std::vector<Value> elems;          // kArray payload
   ValKind elemKind = ValKind::kNull; // kArray element kind (kRef for rows)
   std::string className;             // kObject / kBoxed wrapper name
-  std::unordered_map<std::string, Value> fields;  // kObject payload
+  // kObject payload: field values in layout order (field i of `layout`
+  // lives at fields[i]). The layout is the resolution-pass ClassLayout for
+  // program classes, or builtinExceptionLayout() for library exceptions.
+  std::vector<Value> fields;
+  const jlang::ClassLayout* layout = nullptr;
   Value boxed;                       // kBoxed payload
+
+  /// By-name field lookup for the cold paths (display, getMessage, cache
+  /// misses). Returns nullptr for a name the layout does not declare.
+  Value* findField(std::string_view name);
+  const Value* findField(std::string_view name) const {
+    return const_cast<HeapObject*>(this)->findField(name);
+  }
 };
 
 class Heap {
@@ -71,12 +86,9 @@ class Heap {
     }
   }
 
-  Ref allocObject(std::string className) {
-    HeapObject o;
-    o.kind = ObjKind::kObject;
-    o.className = std::move(className);
-    return push(std::move(o));
-  }
+  /// Objects are born with one null-valued slot per layout field; callers
+  /// overwrite with the Java default for each declared type.
+  Ref allocObject(std::string className, const jlang::ClassLayout& layout);
 
   Ref allocBoxed(std::string wrapper, Value inner) {
     HeapObject o;

@@ -53,13 +53,13 @@ Instrumenter::ArmSample Instrumenter::armDomain(rapl::Domain d,
   return s;
 }
 
-void Instrumenter::onEnter(const std::string& qualifiedName) {
+void Instrumenter::onEnter(const MethodRef& method) {
   // The injected prologue: flush pending work so the counters are current,
   // then snapshot the raw 32-bit registers (not joules — the diff must be
   // taken in raw space to survive wraparound).
   machine_->sync();
   OpenFrame frame;
-  frame.method = qualifiedName;
+  frame.method = method;
   frame.startSeconds = machine_->seconds();
   frame.pkg = armDomain(rapl::Domain::kPackage, &frame.retries);
   frame.core = armDomain(rapl::Domain::kCore, &frame.retries);
@@ -74,7 +74,7 @@ MethodRecord Instrumenter::closeFrame(bool truncated) {
 
   const double quantum = reader_.unit().jouleQuantum();
   MethodRecord rec;
-  rec.method = frame.method;
+  rec.method = frame.method.name();
   rec.truncated = truncated;
   rec.seconds = machine_->seconds() - frame.startSeconds;
   rec.readRetries = frame.retries;
@@ -105,9 +105,11 @@ MethodRecord Instrumenter::closeFrame(bool truncated) {
   return rec;
 }
 
-void Instrumenter::onExit(const std::string& qualifiedName) {
-  JEPO_REQUIRE(!stack_.empty() && stack_.back().method == qualifiedName,
-               "unbalanced method hooks for " + qualifiedName);
+void Instrumenter::onExit(const MethodRef& method) {
+  // Hot-path check is id equality; the name is rendered lazily, only for
+  // the failure diagnostic (JEPO_REQUIRE evaluates its message lazily).
+  JEPO_REQUIRE(!stack_.empty() && stack_.back().method == method,
+               "unbalanced method hooks for " + method.name());
   records_.push_back(closeFrame(/*truncated=*/false));
   recordsCounter().add();
   if (records_.back().quality >= rapl::MeasurementQuality::kDegraded) {

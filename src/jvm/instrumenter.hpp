@@ -54,8 +54,10 @@ class Instrumenter final : public MethodHooks {
   /// path. `device` must outlive the instrumenter.
   Instrumenter(energy::SimMachine& machine, const rapl::MsrDevice& device);
 
-  void onEnter(const std::string& qualifiedName) override;
-  void onExit(const std::string& qualifiedName) override;
+  void onEnter(const MethodRef& method) override;
+  /// Balance check compares the interned method id (two integer/pointer
+  /// compares); the qualified name is only rendered if the check fails.
+  void onExit(const MethodRef& method) override;
 
   /// One record per completed method execution, in completion order.
   const std::vector<MethodRecord>& records() const noexcept {
@@ -89,7 +91,9 @@ class Instrumenter final : public MethodHooks {
   MethodRecord closeFrame(bool truncated);
 
   struct OpenFrame {
-    std::string method;
+    // Interned id + stable name pointer: opening a frame copies no string;
+    // the record's name is materialized once, when the frame closes.
+    MethodRef method;
     double startSeconds = 0.0;
     ArmSample pkg;
     ArmSample core;

@@ -12,11 +12,15 @@ namespace jepo::jvm {
 
 using jlang::AssignOp;
 using jlang::BinOp;
+using jlang::CallKind;
 using jlang::ClassDecl;
 using jlang::Expr;
 using jlang::ExprKind;
 using jlang::MethodDecl;
+using jlang::NameRef;
 using jlang::Prim;
+using jlang::ResolvedClass;
+using jlang::ResolvedMethod;
 using jlang::Stmt;
 using jlang::StmtKind;
 using jlang::TypeRef;
@@ -24,14 +28,6 @@ using jlang::UnOp;
 using energy::Op;
 
 namespace {
-
-bool isBuiltinClassName(const std::string& name) {
-  return BuiltinLibrary::isBuiltinClassName(name);
-}
-
-bool isWrapperClassName(const std::string& name) {
-  return BuiltinLibrary::isWrapperClassName(name);
-}
 
 /// Adds one VM run's step and heap-allocation deltas to the global obs
 /// counters. Coarse (once per entry-point call), so it is not gated on
@@ -66,10 +62,31 @@ std::string_view valKindName(ValKind k) noexcept {
 Interpreter::Interpreter(const jlang::Program& program,
                          energy::SimMachine& machine)
     : program_(&program),
+      resolution_(jlang::ensureResolved(program)),
       machine_(&machine),
       builtins_(heap_, machine, out_, [this](const std::string& name) {
         return program_->findClass(name) != nullptr;
-      }) {}
+      }) {
+  statics_.assign(static_cast<std::size_t>(resolution_->staticCount),
+                  Value::null());
+  classInitDone_.assign(resolution_->classes.size(), 0);
+  literalPool_.assign(resolution_->stringLiterals.size(), kNullRef);
+  callCaches_.assign(static_cast<std::size_t>(resolution_->numCallCaches),
+                     CallCache{});
+  fieldCaches_.assign(static_cast<std::size_t>(resolution_->numFieldCaches),
+                      FieldCache{});
+  // Per-class default-field template: one copy per construct() instead of
+  // one map insert per field.
+  objectTemplates_.resize(resolution_->classes.size());
+  for (std::size_t i = 0; i < resolution_->classes.size(); ++i) {
+    const jlang::ClassLayout& layout = resolution_->classes[i].layout;
+    auto& tmpl = objectTemplates_[i];
+    tmpl.reserve(layout.fieldTypes.size());
+    for (const TypeRef& t : layout.fieldTypes) {
+      tmpl.push_back(Heap::defaultValue(kindOfType(t)));
+    }
+  }
+}
 
 void Interpreter::step() {
   ++steps_;
@@ -140,26 +157,33 @@ Value Interpreter::callStatic(std::string_view className,
 }
 
 // ---------------------------------------------------------------------------
-// Classes, statics, locals
-
-bool Interpreter::isClassName(const std::string& name) const {
-  return isBuiltinClassName(name) || program_->findClass(name) != nullptr;
-}
+// Classes and statics
 
 void Interpreter::ensureClassInit(const std::string& className) {
-  if (initializedClasses_.count(className) != 0) return;
-  initializedClasses_.insert(className);
-  const ClassDecl* cls = program_->findClass(className);
-  if (cls == nullptr) return;
+  // Names that resolve to no program class (builtins, typos) have no
+  // statics and no <clinit>; initialization is a no-op for them.
+  ensureClassInitById(resolution_->classIdOf(className));
+}
+
+void Interpreter::ensureClassInitById(std::int32_t classId) {
+  if (classId < 0 || classInitDone_[static_cast<std::size_t>(classId)]) {
+    return;
+  }
+  // Mark first: a <clinit> that (indirectly) re-enters its own class sees
+  // the in-progress state, exactly like the seed's set insert.
+  classInitDone_[static_cast<std::size_t>(classId)] = 1;
+  const ResolvedClass& rc =
+      resolution_->classes[static_cast<std::size_t>(classId)];
+  const ClassDecl* cls = rc.decl;
   // Default-initialize all static fields first (so initializers can refer
   // to earlier ones), then run initializers in declaration order.
   for (const auto& f : cls->fields) {
     if (!f.isStatic) continue;
-    statics_[className + "." + f.name] = Heap::defaultValue(kindOfType(f.type));
+    statics_[static_cast<std::size_t>(f.slot)] =
+        Heap::defaultValue(kindOfType(f.type));
   }
   Frame frame;
   frame.cls = cls;
-  frame.scopes.emplace_back();
   frames_.push_back(std::move(frame));
   struct PopGuard {
     std::deque<Frame>* frames;
@@ -169,35 +193,33 @@ void Interpreter::ensureClassInit(const std::string& className) {
     if (!f.isStatic || !f.init) continue;
     Value v = eval(*f.init);
     v = coerceToKind(v, kindOfType(f.type), f.line);
-    if (isWrapperClassName(f.type.className) && v.isNumeric()) {
+    if (jlang::isWrapperClassName(f.type.className) && v.isNumeric()) {
       v = builtins_.box(f.type.className, v);
     }
     charge(Op::kStaticAccess);
-    statics_[className + "." + f.name] = v;
+    statics_[static_cast<std::size_t>(f.slot)] = v;
   }
 }
 
-Value* Interpreter::findStatic(const std::string& className,
-                               const std::string& field) {
-  ensureClassInit(className);
-  const auto it = statics_.find(className + "." + field);
-  return it == statics_.end() ? nullptr : &it->second;
+Value* Interpreter::staticAt(std::int32_t classId, std::int32_t slot) {
+  ensureClassInitById(classId);
+  if (slot < 0) return nullptr;
+  return &statics_[static_cast<std::size_t>(slot)];
 }
 
-void Interpreter::declareLocal(const std::string& name, Value v) {
-  JEPO_ASSERT(!frames_.empty() && !frames_.back().scopes.empty());
-  frames_.back().scopes.back().emplace_back(name, v);
-}
-
-Value* Interpreter::findLocal(const std::string& name) {
-  if (frames_.empty()) return nullptr;
-  auto& scopes = frames_.back().scopes;
-  for (auto scopeIt = scopes.rbegin(); scopeIt != scopes.rend(); ++scopeIt) {
-    for (auto& [n, v] : *scopeIt) {
-      if (n == name) return &v;
-    }
-  }
-  return nullptr;
+Value* Interpreter::findStaticByName(const std::string& className,
+                                     const std::string& field) {
+  // Seed order: initialization (and its charges) happens before the
+  // lookup can fail.
+  const std::int32_t classId = resolution_->classIdOf(className);
+  ensureClassInitById(classId);
+  if (classId < 0) return nullptr;
+  const ResolvedClass& rc =
+      resolution_->classes[static_cast<std::size_t>(classId)];
+  const int i = rc.staticIndexOf(field);
+  if (i < 0) return nullptr;
+  return &statics_[static_cast<std::size_t>(
+      rc.staticSlots[static_cast<std::size_t>(i)])];
 }
 
 // ---------------------------------------------------------------------------
@@ -214,11 +236,14 @@ Value Interpreter::invoke(const ClassDecl& cls, const MethodDecl& m,
   Frame frame;
   frame.cls = &cls;
   frame.thisValue = thisValue;
-  frame.scopes.emplace_back();
+  frame.locals.resize(static_cast<std::size_t>(m.numSlots));
   frames_.push_back(std::move(frame));
 
-  const std::string qualified = cls.name + "." + m.name;
-  if (hooks_ != nullptr) hooks_->onEnter(qualified);
+  // The qualified name is pre-built by the resolution pass; the hot path
+  // never concatenates strings.
+  const std::string& qualified = resolution_->methodNames[m.methodId];
+  const MethodRef ref{m.methodId, &qualified};
+  if (hooks_ != nullptr) hooks_->onEnter(ref);
   // Method span at the same enter/exit seam the RAPL injection uses. The
   // enabled() decision is captured once so a mid-call toggle stays
   // balanced. Unlike the hook epilogue below, the span IS closed on a VM
@@ -234,21 +259,22 @@ Value Interpreter::invoke(const ClassDecl& cls, const MethodDecl& m,
   // epilogue never runs, so the hook's frame is deliberately left open for
   // Instrumenter::unwindAbortedFrames to flush as truncated records.
   try {
+    Frame& f = frames_.back();
     for (std::size_t i = 0; i < args.size(); ++i) {
       Value v = coerceToKind(args[i], kindOfType(m.params[i].type),
                              m.line);
       charge(Op::kLocalAccess);
-      declareLocal(m.params[i].name, v);
+      f.locals[i] = v;
     }
 
     returnValue_ = Value::null();
-    const Flow flow = execBlock(*m.body);
+    const Flow flow = execStmt(*m.body);
     charge(Op::kReturn);
     if (flow == Flow::kBreak || flow == Flow::kContinue) {
       throw VmError("break/continue escaped method " + qualified);
     }
   } catch (const Thrown&) {
-    if (hooks_ != nullptr) hooks_->onExit(qualified);
+    if (hooks_ != nullptr) hooks_->onExit(ref);
     if (tracing) obs::endSpan();
     frames_.pop_back();
     throw;
@@ -258,7 +284,7 @@ Value Interpreter::invoke(const ClassDecl& cls, const MethodDecl& m,
     throw;
   }
   const Value out = returnValue_;
-  if (hooks_ != nullptr) hooks_->onExit(qualified);
+  if (hooks_ != nullptr) hooks_->onExit(ref);
   if (tracing) obs::endSpan();
   frames_.pop_back();
   return out;
@@ -273,24 +299,28 @@ Value Interpreter::construct(const std::string& className,
     return builtinResult;
   }
 
-  const ClassDecl* cls = program_->findClass(className);
-  if (cls == nullptr) {
+  const std::int32_t classId = resolution_->classIdOf(className);
+  if (classId < 0) {
     throw VmError("unknown class " + className + " at line " +
                   std::to_string(line));
   }
+  return constructResolved(
+      resolution_->classes[static_cast<std::size_t>(classId)],
+      std::move(args));
+}
 
+Value Interpreter::constructResolved(const ResolvedClass& rc,
+                                     std::vector<Value> args) {
+  const ClassDecl* cls = rc.decl;
   charge(Op::kAllocObject);
-  ensureClassInit(className);
-  const Ref r = heap_.allocObject(className);
+  ensureClassInitById(rc.layout.classId);
+  const Ref r = heap_.allocObject(cls->name, rc.layout);
   // Default field values, then initializers in declaration order.
-  for (const auto& f : cls->fields) {
-    if (f.isStatic) continue;
-    heap_.get(r).fields[f.name] = Heap::defaultValue(kindOfType(f.type));
-  }
+  heap_.get(r).fields =
+      objectTemplates_[static_cast<std::size_t>(rc.layout.classId)];
   Frame frame;
   frame.cls = cls;
   frame.thisValue = Value::ofRef(r);
-  frame.scopes.emplace_back();
   frames_.push_back(std::move(frame));
   {
     struct PopGuard {
@@ -302,16 +332,15 @@ Value Interpreter::construct(const std::string& className,
       Value v = eval(*f.init);
       v = coerceToKind(v, kindOfType(f.type), f.line);
       charge(Op::kFieldAccess);
-      heap_.get(r).fields[f.name] = v;
+      heap_.get(r).fields[static_cast<std::size_t>(f.slot)] = v;
     }
   }
   // Constructor: a method named like the class.
-  const MethodDecl* ctor = cls->findMethod(className);
-  if (ctor != nullptr) {
-    invoke(*cls, *ctor, Value::ofRef(r), std::move(args));
+  if (rc.ctor != nullptr) {
+    invoke(*cls, *rc.ctor, Value::ofRef(r), std::move(args));
   } else {
     JEPO_REQUIRE(args.empty(),
-                 "class " + className + " has no constructor taking args");
+                 "class " + cls->name + " has no constructor taking args");
   }
   return Value::ofRef(r);
 }
@@ -329,12 +358,6 @@ void Interpreter::throwJava(const std::string& className,
 
 Interpreter::Flow Interpreter::execBlock(const Stmt& s) {
   JEPO_ASSERT(s.kind == StmtKind::kBlock);
-  auto& scopes = frames_.back().scopes;
-  scopes.emplace_back();
-  struct ScopeGuard {
-    std::vector<std::vector<std::pair<std::string, Value>>>* scopes;
-    ~ScopeGuard() { scopes->pop_back(); }
-  } guard{&scopes};
   for (const auto& st : s.body) {
     const Flow flow = execStmt(*st);
     if (flow != Flow::kNormal) return flow;
@@ -354,11 +377,11 @@ Interpreter::Flow Interpreter::execStmt(const Stmt& s) {
       v = coerceToKind(v, kindOfType(s.declType), s.line);
       // Declaring a wrapper-class variable with a primitive initializer is
       // autoboxing (Table I: Integer is the cheapest wrapper).
-      if (isWrapperClassName(s.declType.className) && v.isNumeric()) {
+      if (jlang::isWrapperClassName(s.declType.className) && v.isNumeric()) {
         v = builtins_.box(s.declType.className, v);
       }
       charge(Op::kLocalAccess);
-      declareLocal(s.declName, v);
+      frames_.back().locals[static_cast<std::size_t>(s.declSlot)] = v;
       return Flow::kNormal;
     }
 
@@ -385,12 +408,6 @@ Interpreter::Flow Interpreter::execStmt(const Stmt& s) {
     }
 
     case StmtKind::kFor: {
-      auto& scopes = frames_.back().scopes;
-      scopes.emplace_back();  // for-init scope
-      struct ScopeGuard {
-        std::vector<std::vector<std::pair<std::string, Value>>>* scopes;
-        ~ScopeGuard() { scopes->pop_back(); }
-      } guard{&scopes};
       for (const auto& init : s.body) execStmt(*init);
       for (;;) {
         if (s.cond) {
@@ -431,7 +448,7 @@ Interpreter::Flow Interpreter::execStmt(const Stmt& s) {
           if (clause.exceptionClass == thrownClass ||
               clause.exceptionClass == "Exception" ||
               (clause.exceptionClass == "RuntimeException" &&
-               BuiltinLibrary::looksLikeExceptionClass(thrownClass))) {
+               jlang::looksLikeExceptionClass(thrownClass))) {
             match = &clause;
             break;
           }
@@ -441,13 +458,8 @@ Interpreter::Flow Interpreter::execStmt(const Stmt& s) {
           pending = thrown;
         } else {
           charge(Op::kCatch);
-          auto& scopes = frames_.back().scopes;
-          scopes.emplace_back();
-          struct ScopeGuard {
-            std::vector<std::vector<std::pair<std::string, Value>>>* scopes;
-            ~ScopeGuard() { scopes->pop_back(); }
-          } guard{&scopes};
-          declareLocal(match->varName, thrown.exception);
+          frames_.back().locals[static_cast<std::size_t>(match->slot)] =
+              thrown.exception;
           flow = execStmt(*match->body);
         }
       }
@@ -524,11 +536,16 @@ Value Interpreter::eval(const Expr& e) {
       return Value::ofBool(e.intValue != 0);
     case ExprKind::kStringLit: {
       charge(Op::kConstLoad);
-      const auto it = stringPool_.find(e.strValue);
-      if (it != stringPool_.end()) return Value::ofRef(it->second);
-      const Ref r = heap_.allocString(e.strValue);
-      stringPool_.emplace(e.strValue, r);
-      return Value::ofRef(r);
+      // Literals are content-deduplicated by the resolver; the pool entry
+      // is allocated lazily so the first-evaluation heap order matches the
+      // seed's content-keyed intern map.
+      JEPO_ASSERT(e.strId >= 0);
+      Ref& pooled = literalPool_[static_cast<std::size_t>(e.strId)];
+      if (pooled == kNullRef) {
+        pooled = heap_.allocString(
+            resolution_->stringLiterals[static_cast<std::size_t>(e.strId)]);
+      }
+      return Value::ofRef(pooled);
     }
     case ExprKind::kNullLit:
       charge(Op::kConstLoad);
@@ -549,30 +566,43 @@ Value Interpreter::eval(const Expr& e) {
 }
 
 Value Interpreter::evalVarRef(const Expr& e) {
-  if (e.strValue == "this") {
-    charge(Op::kLocalAccess);
-    return frames_.back().thisValue;
-  }
-  if (Value* local = findLocal(e.strValue)) {
-    charge(Op::kLocalAccess);
-    return *local;
-  }
-  const Frame& frame = frames_.back();
-  // Instance field of `this`.
-  if (frame.thisValue.isRef()) {
-    HeapObject& self = heap_.get(frame.thisValue.asRef());
-    const auto it = self.fields.find(e.strValue);
-    if (it != self.fields.end()) {
-      charge(Op::kFieldAccess);
-      return it->second;
+  switch (e.nameRef) {
+    case NameRef::kThis:
+      charge(Op::kLocalAccess);
+      return frames_.back().thisValue;
+
+    case NameRef::kLocal:
+      charge(Op::kLocalAccess);
+      return frames_.back().locals[static_cast<std::size_t>(e.slot)];
+
+    case NameRef::kThisField: {
+      const Frame& frame = frames_.back();
+      if (frame.thisValue.isRef()) {
+        charge(Op::kFieldAccess);
+        return heap_.get(frame.thisValue.asRef())
+            .fields[static_cast<std::size_t>(e.slot)];
+      }
+      // Null `this` (an instance method invoked through the static call
+      // shape): the seed falls back to a static of the same name, then
+      // fails.
+      if (frame.cls != nullptr) {
+        if (Value* st = findStaticByName(frame.cls->name, e.strValue)) {
+          charge(Op::kStaticAccess);
+          return *st;
+        }
+      }
+      break;
     }
-  }
-  // Static field of the current class.
-  if (frame.cls != nullptr) {
-    if (Value* st = findStatic(frame.cls->name, e.strValue)) {
+
+    case NameRef::kStaticSlot: {
+      Value* st = staticAt(e.classId, e.slot);
+      JEPO_ASSERT(st != nullptr);
       charge(Op::kStaticAccess);
       return *st;
     }
+
+    default:
+      break;
   }
   throw VmError("undefined name '" + e.strValue + "' at line " +
                 std::to_string(e.line));
@@ -580,18 +610,21 @@ Value Interpreter::evalVarRef(const Expr& e) {
 
 Value Interpreter::evalFieldAccess(const Expr& e) {
   // Class.staticField
-  if (e.a->kind == ExprKind::kVarRef && findLocal(e.a->strValue) == nullptr &&
-      isClassName(e.a->strValue)) {
-    const std::string& className = e.a->strValue;
-    Value builtin;
-    if (builtins_.staticField(className, e.strValue, &builtin)) {
-      return builtin;
+  if (e.nameRef == NameRef::kBuiltinStatic ||
+      e.nameRef == NameRef::kStaticSlot) {
+    if (e.nameRef == NameRef::kBuiltinStatic) {
+      Value builtin;
+      if (builtins_.staticField(e.a->strValue, e.strValue, &builtin)) {
+        return builtin;
+      }
     }
-    if (Value* st = findStatic(className, e.strValue)) {
+    // Initialization-before-failure: a missing field on a known class
+    // still runs the class's static initializers (and their charges).
+    if (Value* st = staticAt(e.classId, e.slot)) {
       charge(Op::kStaticAccess);
       return *st;
     }
-    throw VmError("unknown static field " + className + "." + e.strValue +
+    throw VmError("unknown static field " + e.a->strValue + "." + e.strValue +
                   " at line " + std::to_string(e.line));
   }
 
@@ -612,11 +645,22 @@ Value Interpreter::evalFieldAccess(const Expr& e) {
     throw VmError("use length() on strings, at line " +
                   std::to_string(e.line));
   }
-  if (ho.kind == ObjKind::kObject) {
-    const auto it = ho.fields.find(e.strValue);
-    if (it != ho.fields.end()) {
+  if (ho.kind == ObjKind::kObject && ho.layout != nullptr &&
+      e.cacheSlot >= 0) {
+    FieldCache& cache = fieldCaches_[static_cast<std::size_t>(e.cacheSlot)];
+    std::int32_t offset;
+    if (cache.layout == ho.layout) {
+      offset = cache.offset;
+    } else {
+      offset = ho.layout->indexOfName(e.strValue);
+      if (offset >= 0) {
+        cache.layout = ho.layout;
+        cache.offset = offset;
+      }
+    }
+    if (offset >= 0) {
       charge(Op::kFieldAccess);
-      return it->second;
+      return ho.fields[static_cast<std::size_t>(offset)];
     }
   }
   throw VmError("unknown field '" + e.strValue + "' at line " +
@@ -741,29 +785,46 @@ Value Interpreter::evalAssign(const Expr& e) {
 void Interpreter::storeTo(const Expr& target, Value v) {
   switch (target.kind) {
     case ExprKind::kVarRef: {
-      if (Value* local = findLocal(target.strValue)) {
-        charge(Op::kLocalAccess);
-        if (local->isNumeric() && v.isNumeric()) {
-          v = coerceToKind(v, local->kind, target.line);
-        }
-        *local = v;
-        return;
-      }
-      Frame& frame = frames_.back();
-      if (frame.thisValue.isRef()) {
-        HeapObject& self = heap_.get(frame.thisValue.asRef());
-        const auto it = self.fields.find(target.strValue);
-        if (it != self.fields.end()) {
-          charge(Op::kFieldAccess);
-          if (it->second.isNumeric() && v.isNumeric()) {
-            v = coerceToKind(v, it->second.kind, target.line);
+      switch (target.nameRef) {
+        case NameRef::kLocal: {
+          Value& local =
+              frames_.back().locals[static_cast<std::size_t>(target.slot)];
+          charge(Op::kLocalAccess);
+          if (local.isNumeric() && v.isNumeric()) {
+            v = coerceToKind(v, local.kind, target.line);
           }
-          it->second = v;
+          local = v;
           return;
         }
-      }
-      if (frame.cls != nullptr) {
-        if (Value* st = findStatic(frame.cls->name, target.strValue)) {
+        case NameRef::kThisField: {
+          Frame& frame = frames_.back();
+          if (frame.thisValue.isRef()) {
+            Value& field = heap_.get(frame.thisValue.asRef())
+                               .fields[static_cast<std::size_t>(target.slot)];
+            charge(Op::kFieldAccess);
+            if (field.isNumeric() && v.isNumeric()) {
+              v = coerceToKind(v, field.kind, target.line);
+            }
+            field = v;
+            return;
+          }
+          // Null `this`: fall back to a same-named static, then fail.
+          if (frame.cls != nullptr) {
+            if (Value* st =
+                    findStaticByName(frame.cls->name, target.strValue)) {
+              charge(Op::kStaticAccess);
+              if (st->isNumeric() && v.isNumeric()) {
+                v = coerceToKind(v, st->kind, target.line);
+              }
+              *st = v;
+              return;
+            }
+          }
+          break;
+        }
+        case NameRef::kStaticSlot: {
+          Value* st = staticAt(target.classId, target.slot);
+          JEPO_ASSERT(st != nullptr);
           charge(Op::kStaticAccess);
           if (st->isNumeric() && v.isNumeric()) {
             v = coerceToKind(v, st->kind, target.line);
@@ -771,17 +832,19 @@ void Interpreter::storeTo(const Expr& target, Value v) {
           *st = v;
           return;
         }
+        default:  // kThis and unresolved names are not assignable
+          break;
       }
       throw VmError("assignment to undefined name '" + target.strValue +
                     "' at line " + std::to_string(target.line));
     }
 
     case ExprKind::kFieldAccess: {
-      // Class.staticField = v
-      if (target.a->kind == ExprKind::kVarRef &&
-          findLocal(target.a->strValue) == nullptr &&
-          isClassName(target.a->strValue)) {
-        if (Value* st = findStatic(target.a->strValue, target.strValue)) {
+      // Class.staticField = v — unlike reads, stores never consult the
+      // builtin registry (builtin constants are not assignable).
+      if (target.nameRef == NameRef::kBuiltinStatic ||
+          target.nameRef == NameRef::kStaticSlot) {
+        if (Value* st = staticAt(target.classId, target.slot)) {
           charge(Op::kStaticAccess);
           if (st->isNumeric() && v.isNumeric()) {
             v = coerceToKind(v, st->kind, target.line);
@@ -798,15 +861,29 @@ void Interpreter::storeTo(const Expr& target, Value v) {
       }
       HeapObject& ho = heap_.get(obj.asRef());
       JEPO_REQUIRE(ho.kind == ObjKind::kObject, "field store on non-object");
-      const auto it = ho.fields.find(target.strValue);
-      if (it == ho.fields.end()) {
+      std::int32_t offset = -1;
+      if (ho.layout != nullptr && target.cacheSlot >= 0) {
+        FieldCache& cache =
+            fieldCaches_[static_cast<std::size_t>(target.cacheSlot)];
+        if (cache.layout == ho.layout) {
+          offset = cache.offset;
+        } else {
+          offset = ho.layout->indexOfName(target.strValue);
+          if (offset >= 0) {
+            cache.layout = ho.layout;
+            cache.offset = offset;
+          }
+        }
+      }
+      if (offset < 0) {
         throw VmError("unknown field '" + target.strValue + "'");
       }
+      Value& field = ho.fields[static_cast<std::size_t>(offset)];
       charge(Op::kFieldAccess);
-      if (it->second.isNumeric() && v.isNumeric()) {
-        v = coerceToKind(v, it->second.kind, target.line);
+      if (field.isNumeric() && v.isNumeric()) {
+        v = coerceToKind(v, field.kind, target.line);
       }
-      it->second = v;
+      field = v;
       return;
     }
 
@@ -847,6 +924,13 @@ Value Interpreter::evalNew(const Expr& e) {
   std::vector<Value> args;
   args.reserve(e.args.size());
   for (const auto& a : e.args) args.push_back(eval(*a));
+  if (e.callKind == CallKind::kConstruct) {
+    // Pre-resolved user class: the builtin-constructor probe is skipped
+    // (it rejects every non-builtin program-class name).
+    return constructResolved(
+        resolution_->classes[static_cast<std::size_t>(e.classId)],
+        std::move(args));
+  }
   return construct(e.strValue, std::move(args), e.line);
 }
 
@@ -915,86 +999,120 @@ std::vector<Value> Interpreter::evalArgs(const Expr& call) {
 }
 
 Value Interpreter::evalCall(const Expr& e) {
-  // System.out.println / print — match the receiver shape first.
-  if (e.a && e.a->kind == ExprKind::kFieldAccess && e.a->strValue == "out" &&
-      e.a->a && e.a->a->kind == ExprKind::kVarRef &&
-      e.a->a->strValue == "System" &&
-      (e.strValue == "println" || e.strValue == "print")) {
-    if (e.args.empty()) {
-      builtins_.print(nullptr, e.strValue == "println");
-    } else {
-      const Value v = eval(*e.args.at(0));
-      builtins_.print(&v, e.strValue == "println");
+  switch (e.callKind) {
+    case CallKind::kPrint: {
+      if (e.args.empty()) {
+        builtins_.print(nullptr, e.slot == 1);
+      } else {
+        const Value v = eval(*e.args.at(0));
+        builtins_.print(&v, e.slot == 1);
+      }
+      return Value::null();
     }
-    return Value::null();
-  }
 
-  // Static calls: ClassName.method(...).
-  if (e.a && e.a->kind == ExprKind::kVarRef &&
-      findLocal(e.a->strValue) == nullptr && isClassName(e.a->strValue)) {
-    const std::string& className = e.a->strValue;
-    if (BuiltinLibrary::isBuiltinClassName(className)) {
+    case CallKind::kBuiltinStatic: {
       std::vector<Value> args = evalArgs(e);
       Value result;
-      if (builtins_.staticCall(className, e.strValue, args, &result)) {
+      if (builtins_.staticCall(e.a->strValue, e.strValue, args, &result)) {
         return result;
       }
-      throw VmError("unknown method " + className + "." + e.strValue +
+      throw VmError("unknown method " + e.a->strValue + "." + e.strValue +
                     " at line " + std::to_string(e.line));
     }
-    const jlang::ClassDecl* cls = program_->findClass(className);
-    JEPO_ASSERT(cls != nullptr);
-    const jlang::MethodDecl* m = cls->findMethod(e.strValue);
-    if (m == nullptr) {
-      throw VmError("unknown method " + className + "." + e.strValue +
-                    " at line " + std::to_string(e.line));
-    }
-    ensureClassInit(className);
-    std::vector<Value> args = evalArgs(e);
-    charge(Op::kCall);
-    return invoke(*cls, *m, Value::null(), std::move(args));
-  }
 
-  // Unqualified call: method of the current class.
-  if (!e.a) {
-    const Frame& frame = frames_.back();
-    JEPO_REQUIRE(frame.cls != nullptr, "call outside any class");
-    const jlang::MethodDecl* m = frame.cls->findMethod(e.strValue);
-    if (m == nullptr) {
+    case CallKind::kStaticMethod: {
+      ensureClassInitById(e.classId);
+      std::vector<Value> args = evalArgs(e);
+      charge(Op::kCall);
+      return invoke(*e.targetClass, *e.targetMethod, Value::null(),
+                    std::move(args));
+    }
+
+    case CallKind::kStaticMissing:
+      // Resolution proved the method missing; the seed fails before
+      // evaluating arguments or initializing the class.
+      throw VmError("unknown method " + e.a->strValue + "." + e.strValue +
+                    " at line " + std::to_string(e.line));
+
+    case CallKind::kSelfMethod: {
+      std::vector<Value> args = evalArgs(e);
+      charge(Op::kCall);
+      const Frame& frame = frames_.back();
+      const Value self =
+          e.targetMethod->isStatic ? Value::null() : frame.thisValue;
+      return invoke(*e.targetClass, *e.targetMethod, self, std::move(args));
+    }
+
+    case CallKind::kSelfMissing:
       throw VmError("unknown method " + e.strValue + " at line " +
                     std::to_string(e.line));
-    }
-    std::vector<Value> args = evalArgs(e);
-    charge(Op::kCall);
-    const Value self = m->isStatic ? Value::null() : frame.thisValue;
-    return invoke(*frame.cls, *m, self, std::move(args));
-  }
 
-  // Instance call.
-  Value receiver = eval(*e.a);
-  if (receiver.isNull()) {
-    throwJava("NullPointerException",
-              "call '" + e.strValue + "' on null at line " +
-                  std::to_string(e.line));
+    case CallKind::kInstanceCached: {
+      Value receiver = eval(*e.a);
+      if (receiver.isNull()) {
+        throwJava("NullPointerException",
+                  "call '" + e.strValue + "' on null at line " +
+                      std::to_string(e.line));
+      }
+      std::vector<Value> args = evalArgs(e);
+      // Fast path: a program-class object dispatches through the inline
+      // cache. The builtin-method probe is skipped — it returns false for
+      // every program-class receiver without charging anything.
+      if (receiver.isRef()) {
+        const HeapObject& obj = heap_.get(receiver.asRef());
+        if (obj.kind == ObjKind::kObject && obj.layout != nullptr &&
+            obj.layout->classId >= 0) {
+          CallCache& cache =
+              callCaches_[static_cast<std::size_t>(e.cacheSlot)];
+          if (cache.classId != obj.layout->classId) {
+            const ResolvedClass& rc =
+                resolution_
+                    ->classes[static_cast<std::size_t>(obj.layout->classId)];
+            const ResolvedMethod* rm = rc.findMethod(e.strValue);
+            if (rm == nullptr) {
+              throw VmError("unknown method " + obj.className + "." +
+                            e.strValue + " at line " +
+                            std::to_string(e.line));
+            }
+            cache.classId = obj.layout->classId;
+            cache.cls = rc.decl;
+            cache.method = rm->decl;
+          }
+          charge(Op::kCall);
+          return invoke(*cache.cls, *cache.method, receiver,
+                        std::move(args));
+        }
+      }
+      // Slow path (strings, builders, boxed values, foreign exception
+      // objects, non-reference receivers): the seed sequence, verbatim.
+      Value builtinResult;
+      if (builtins_.instanceCall(receiver, e.strValue, args,
+                                 &builtinResult)) {
+        return builtinResult;
+      }
+      const HeapObject& obj = heap_.get(receiver.asRef());
+      JEPO_REQUIRE(obj.kind == ObjKind::kObject, "method call on non-object");
+      const std::int32_t classId = resolution_->classIdOf(obj.className);
+      if (classId < 0) {
+        throw VmError("method call on unknown class " + obj.className);
+      }
+      const ResolvedClass& rc =
+          resolution_->classes[static_cast<std::size_t>(classId)];
+      const ResolvedMethod* rm = rc.findMethod(e.strValue);
+      if (rm == nullptr) {
+        throw VmError("unknown method " + obj.className + "." + e.strValue +
+                      " at line " + std::to_string(e.line));
+      }
+      charge(Op::kCall);
+      return invoke(*rc.decl, *rm->decl, receiver, std::move(args));
+    }
+
+    default:
+      // Every call is classified by the resolver; an unresolved call here
+      // means the program bypassed ensureResolved().
+      throw VmError("unresolved call '" + e.strValue + "' at line " +
+                    std::to_string(e.line));
   }
-  std::vector<Value> args = evalArgs(e);
-  Value builtinResult;
-  if (builtins_.instanceCall(receiver, e.strValue, args, &builtinResult)) {
-    return builtinResult;
-  }
-  const HeapObject& obj = heap_.get(receiver.asRef());
-  JEPO_REQUIRE(obj.kind == ObjKind::kObject, "method call on non-object");
-  const jlang::ClassDecl* cls = program_->findClass(obj.className);
-  if (cls == nullptr) {
-    throw VmError("method call on unknown class " + obj.className);
-  }
-  const jlang::MethodDecl* m = cls->findMethod(e.strValue);
-  if (m == nullptr) {
-    throw VmError("unknown method " + obj.className + "." + e.strValue +
-                  " at line " + std::to_string(e.line));
-  }
-  charge(Op::kCall);
-  return invoke(*cls, *m, receiver, std::move(args));
 }
 
 }  // namespace jepo::jvm

@@ -6,17 +6,23 @@
 // versions and the energy difference is read back through the simulated
 // MSRs. A row-cache on 2-D array access makes column-major traversal
 // expensive *emergently* rather than by pattern-matching the source.
+//
+// The interpreter consumes the resolution substrate (jlang/resolve.hpp):
+// frames are flat slot arrays, statics live in one program-wide vector,
+// object fields are layout offsets, and call/field sites dispatch through
+// monomorphic inline caches. The charge sequence, printed output and
+// error strings are bit-identical to the pre-resolution engine — only
+// host time changes (tests/differential_test.cpp holds the goldens).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "energy/machine.hpp"
 #include "jlang/ast.hpp"
+#include "jlang/resolve.hpp"
 #include "jvm/builtins.hpp"
 #include "jvm/heap.hpp"
 #include "jvm/value.hpp"
@@ -28,13 +34,27 @@ struct Thrown {
   Value exception;  // ref to a heap object whose className names the type
 };
 
+/// Identity of an executing method as the hooks see it: the interned
+/// program-wide method id plus a pointer into the resolution's stable
+/// id -> qualified-name table. Comparing two refs is two integer/pointer
+/// compares; the name is only ever *read*, never rebuilt, on the hot path.
+struct MethodRef {
+  std::uint32_t id = jlang::kNoName;
+  const std::string* qualifiedName = nullptr;
+
+  const std::string& name() const { return *qualifiedName; }
+  bool operator==(const MethodRef& o) const noexcept {
+    return id == o.id && qualifiedName == o.qualifiedName;
+  }
+};
+
 /// Method entry/exit callbacks — the seam where the Instrumenter injects
 /// the RAPL-reading profiler (the analog of JEPO's Javassist bytecode).
 class MethodHooks {
  public:
   virtual ~MethodHooks() = default;
-  virtual void onEnter(const std::string& qualifiedName) = 0;
-  virtual void onExit(const std::string& qualifiedName) = 0;
+  virtual void onEnter(const MethodRef& method) = 0;
+  virtual void onExit(const MethodRef& method) = 0;
 };
 
 class Interpreter {
@@ -78,8 +98,22 @@ class Interpreter {
   struct Frame {
     const jlang::ClassDecl* cls = nullptr;
     Value thisValue;  // null for static frames
-    // Block-structured scopes; lookup walks innermost-out.
-    std::vector<std::vector<std::pair<std::string, Value>>> scopes;
+    // Flat slot array: params at 0..n-1, then every declared local in
+    // resolution order (MethodDecl::numSlots total).
+    std::vector<Value> locals;
+  };
+
+  /// Monomorphic inline cache at one instance-call site.
+  struct CallCache {
+    std::int32_t classId = -1;
+    const jlang::ClassDecl* cls = nullptr;
+    const jlang::MethodDecl* method = nullptr;
+  };
+
+  /// Monomorphic inline cache at one instance-field site.
+  struct FieldCache {
+    const jlang::ClassLayout* layout = nullptr;
+    std::int32_t offset = -1;
   };
 
   enum class Flow { kNormal, kBreak, kContinue, kReturn };
@@ -115,17 +149,23 @@ class Interpreter {
                Value thisValue, std::vector<Value> args);
   Value construct(const std::string& className, std::vector<Value> args,
                   int line);
+  Value constructResolved(const jlang::ResolvedClass& rc,
+                          std::vector<Value> args);
 
-  // Class-name/static resolution.
-  bool isClassName(const std::string& name) const;
+  // Class initialization: by resolved id (hot) or by name (entry points,
+  // unresolved fallbacks — a no-op for names that resolve to no class).
   void ensureClassInit(const std::string& className);
-  Value* findStatic(const std::string& className, const std::string& field);
+  void ensureClassInitById(std::int32_t classId);
+
+  /// Seed-order static lookup: initialize the class, then resolve the
+  /// field to its global slot. nullptr when the class has no such static.
+  Value* findStaticByName(const std::string& className,
+                          const std::string& field);
+  /// Global-slot static access after classId-init (slot < 0: the resolver
+  /// proved the field missing — init still ran, as it would have).
+  Value* staticAt(std::int32_t classId, std::int32_t slot);
 
   std::vector<Value> evalArgs(const jlang::Expr& call);
-
-  // Locals.
-  void declareLocal(const std::string& name, Value v);
-  Value* findLocal(const std::string& name);
 
   // Exceptions raised by the VM itself (NPE, /0, bounds).
   [[noreturn]] void throwJava(const std::string& className,
@@ -146,6 +186,7 @@ class Interpreter {
   const std::string& stringAt(Ref r) const;
 
   const jlang::Program* program_;
+  std::shared_ptr<const jlang::Resolution> resolution_;
   energy::SimMachine* machine_;
   Heap heap_;
   std::string out_;  // declared before builtins_, which holds a reference
@@ -155,9 +196,15 @@ class Interpreter {
   std::deque<Frame> frames_;
   Value returnValue_;
 
-  std::unordered_map<std::string, Value> statics_;  // "Class.field"
-  std::unordered_set<std::string> initializedClasses_;
-  std::unordered_map<std::string, Ref> stringPool_;  // interned literals
+  // Flat execution state, all indexed by resolver-assigned ids. Engine-
+  // owned (not stored on the shared Resolution) so concurrent interpreters
+  // over one Program never share mutable state.
+  std::vector<Value> statics_;              // global static slots
+  std::vector<char> classInitDone_;         // by classId
+  std::vector<Ref> literalPool_;            // by strId (lazy, kNullRef)
+  std::vector<std::vector<Value>> objectTemplates_;  // default fields
+  std::vector<CallCache> callCaches_;       // by Expr::cacheSlot
+  std::vector<FieldCache> fieldCaches_;     // by Expr::cacheSlot
 
   std::uint64_t steps_ = 0;
   std::uint64_t maxSteps_ = 0;
@@ -166,6 +213,7 @@ class Interpreter {
   Ref lastRowArray_ = 0xFFFFFFFF;
   std::int64_t lastRowIndex_ = -1;
 
+  static constexpr Ref kNullRef = 0xFFFFFFFF;
   static constexpr std::size_t kMaxFrames = 512;
 };
 

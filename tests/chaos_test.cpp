@@ -324,10 +324,12 @@ TEST(InstrumenterChaos, RecordsSurviveFaultyDeviceWithQualityTags) {
   const FaultyMsrDevice dev(machine.msrDevice(), FaultPlan(spec));
   jvm::Instrumenter inst(machine, dev);
 
+  const std::string methodName = "Chaos.method";
+  const jvm::MethodRef method{0, &methodName};
   for (int i = 0; i < 10; ++i) {
-    inst.onEnter("Chaos.method");
+    inst.onEnter(method);
     machine.charge(energy::Op::kDoubleAlu, 10'000);
-    inst.onExit("Chaos.method");
+    inst.onExit(method);
   }
   ASSERT_EQ(inst.records().size(), 10u);
   int retried = 0;
@@ -345,9 +347,11 @@ TEST(InstrumenterChaos, MissingDramDegradesRecordInsteadOfThrowing) {
   const FaultyMsrDevice dev(machine.msrDevice(), FaultPlan(spec));
   jvm::Instrumenter inst(machine, dev);
 
-  inst.onEnter("Chaos.method");
+  const std::string methodName = "Chaos.method";
+  const jvm::MethodRef method{0, &methodName};
+  inst.onEnter(method);
   machine.charge(energy::Op::kDoubleAlu, 10'000);
-  inst.onExit("Chaos.method");
+  inst.onExit(method);
   ASSERT_EQ(inst.records().size(), 1u);
   const jvm::MethodRecord& r = inst.records()[0];
   EXPECT_EQ(r.quality, MeasurementQuality::kDegraded);

@@ -113,7 +113,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Properties, InstrumenterSurvivesCounterWrap) {
   energy::SimMachine machine;
   jvm::Instrumenter inst(machine);
-  inst.onEnter("Big.method");
+  const std::string methodName = "Big.method";
+  const jvm::MethodRef method{0, &methodName};
+  inst.onEnter(method);
   // ~65,546 J of double math: wraps the package counter once.
   const double perOp =
       machine.model().cost(energy::Op::kDoubleMath).packageNanojoules;
@@ -122,7 +124,7 @@ TEST(Properties, InstrumenterSurvivesCounterWrap) {
   const auto ops = static_cast<std::uint64_t>(
       (65536.0 + 10.0) / ((perOp + idle) * 1e-9));
   machine.charge(energy::Op::kDoubleMath, ops);
-  inst.onExit("Big.method");
+  inst.onExit(method);
 
   ASSERT_EQ(inst.records().size(), 1u);
   // The raw counter wrapped: the measured value is the true energy minus
