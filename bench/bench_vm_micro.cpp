@@ -13,6 +13,7 @@
 #include "jlang/lexer.hpp"
 #include "jlang/parser.hpp"
 #include "jlang/printer.hpp"
+#include "jvm/gc.hpp"
 #include "jvm/interpreter.hpp"
 
 namespace {
@@ -169,6 +170,63 @@ void BM_BcvmObjectsAndCalls(benchmark::State& state) {
                           1000);
 }
 BENCHMARK(BM_BcvmObjectsAndCalls);
+
+// Allocation churn under a heap limit: 2000 iterations × (object + array)
+// per run, collected by the mark-compact GC every ~1024 live objects. The
+// interesting number is the per-iteration cost staying flat — a grow-forever
+// heap would scale with total allocations, not live bytes.
+const char* const kHeapChurnSource = R"(
+    class Node {
+      int a;
+      int b;
+      Node(int x) { a = x; b = x * 2 + 1; }
+      int sum() { return a + b; }
+    }
+    class Main {
+      static void main(String[] args) {
+        Node keep = new Node(7);
+        int chk = 0;
+        for (int i = 0; i < 2000; i++) {
+          Node n = new Node(i);
+          int[] buf = new int[16];
+          buf[i % 16] = n.sum();
+          chk = chk + buf[i % 16] + keep.a;
+        }
+        System.out.println(chk);
+      }
+    }
+  )";
+
+void BM_InterpretHeapChurn(benchmark::State& state) {
+  const jlang::Program prog =
+      jlang::Parser::parseProgram("m.mjava", kHeapChurnSource);
+  for (auto _ : state) {
+    energy::SimMachine machine;
+    jvm::Interpreter interp(prog, machine);
+    interp.setHeapLimit(1024);
+    interp.runMain();
+    benchmark::DoNotOptimize(interp.gc().collections());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_InterpretHeapChurn);
+
+void BM_BcvmHeapChurn(benchmark::State& state) {
+  const jlang::Program prog =
+      jlang::Parser::parseProgram("m.mjava", kHeapChurnSource);
+  const jbc::CompiledProgram compiled = jbc::compile(prog);
+  for (auto _ : state) {
+    energy::SimMachine machine;
+    jbc::BytecodeVm vm(compiled, machine);
+    vm.setHeapLimit(1024);
+    vm.runMain();
+    benchmark::DoNotOptimize(vm.gc().collections());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_BcvmHeapChurn);
 
 void BM_SuggestionEngine(benchmark::State& state) {
   const auto unit =

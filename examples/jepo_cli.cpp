@@ -1,11 +1,12 @@
 // jepo_cli — the Eclipse plugin's three buttons as a command-line tool.
 //
 //   jepo_cli suggest  <file.mjava>   # Fig. 2/5: the suggestion view
-//   jepo_cli profile  <file.mjava> [MainClass]   # Fig. 4: method energies
+//   jepo_cli profile  <file.mjava> [MainClass] [--heap-limit=N]
 //   jepo_cli optimize <file.mjava>   # auto-refactor, print new source
 //
 // Reads MiniJava source from the given file (or stdin when the file is -).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -38,7 +39,7 @@ std::string readAll(const std::string& path) {
 int usage() {
   std::fprintf(stderr,
                "usage: jepo_cli suggest|profile|optimize <file.mjava> "
-               "[MainClass]\n");
+               "[MainClass] [--heap-limit=N]\n");
   return 2;
 }
 
@@ -63,8 +64,22 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "profile") {
-      const std::string mainClass = argc > 3 ? argv[3] : "";
+      std::string mainClass;
       core::Profiler profiler;
+      for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--heap-limit=", 0) == 0) {
+          char* end = nullptr;
+          const unsigned long long n =
+              std::strtoull(arg.c_str() + 13, &end, 10);
+          if (end == nullptr || *end != '\0') return usage();
+          profiler.setHeapLimit(static_cast<std::size_t>(n));
+        } else if (mainClass.empty()) {
+          mainClass = arg;
+        } else {
+          return usage();
+        }
+      }
       profiler.profile(program, mainClass, /*maxSteps=*/500'000'000);
       std::fputs(core::renderProfilerView(profiler.records()).c_str(),
                  stdout);

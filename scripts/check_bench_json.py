@@ -116,7 +116,7 @@ def check_file(path):
     except (OSError, ValueError) as exc:
         return fail(path, f"unreadable or invalid JSON: {exc}")
 
-    # A baseline bundle (BENCH_PR4.json) is an array of reports.
+    # A baseline bundle (BENCH_PR5.json) is an array of reports.
     if isinstance(doc, list):
         if not doc:
             return fail(path, "baseline array is empty")

@@ -35,6 +35,7 @@ run bench_scaling_instances --sizes=300,500
 run bench_ablation_rules
 run bench_ablation_costmodel --trials=1 --instances=300
 run bench_ablation_engine
+run bench_gc --iters=2000
 run bench_obs_overhead --reps=3
 run bench_fault_overhead --reps=3
 run bench_vm_micro --benchmark_min_time=0.01

@@ -13,6 +13,19 @@ using jvm::Thrown;
 using jvm::ValKind;
 using jvm::Value;
 
+namespace {
+
+/// Layout-offset field lookup for the dynamic (name-keyed) field opcodes —
+/// the fallback shapes the compiler emits when a site could not be cached.
+Value* fieldByName(HeapObject& ho, const std::string& fieldName) {
+  if (ho.layout == nullptr) return nullptr;
+  const int i = ho.layout->indexOfName(fieldName);
+  if (i < 0) return nullptr;
+  return &ho.fields[static_cast<std::size_t>(i)];
+}
+
+}  // namespace
+
 BytecodeVm::BytecodeVm(const CompiledProgram& program,
                        energy::SimMachine& machine)
     : program_(&program),
@@ -20,7 +33,14 @@ BytecodeVm::BytecodeVm(const CompiledProgram& program,
       machine_(&machine),
       builtins_(heap_, machine, out_, [this](const std::string& name) {
         return program_->findClass(name) != nullptr;
-      }) {
+      }),
+      gc_(heap_, [this](jvm::Gc::RootWalker& w) { scanGcRoots(w); }) {
+  gc_.setLimit(jvm::Gc::limitFromEnv());
+  gc_.setPostCompact([this] {
+    // A recycled Ref must not resurrect a stale row-cache hit: remap the
+    // cached row if it survived, otherwise invalidate the cache.
+    if (lastRowArray_ != kNullRef) lastRowArray_ = gc_.remap(lastRowArray_);
+  });
   JEPO_REQUIRE(resolution_ != nullptr,
                "CompiledProgram carries no resolution (use jbc::compile)");
   const jlang::Resolution& res = *resolution_;
@@ -152,8 +172,12 @@ jvm::Value BytecodeVm::constructById(std::int32_t classId,
   const CompiledClass& cls = *classById_[idx];
   const jlang::ResolvedClass& rc = resolution_->classes[idx];
   charge(energy::Op::kAllocObject);
+  // args live across <clinit>, <initfields> and constructor safepoints;
+  // the fresh object is only reachable through `r` until returned.
+  jvm::Gc::ScopedVector rootArgs(gc_, args);
   ensureClassInitById(classId);
-  const Ref r = heap_.allocObject(cls.name, rc.layout);
+  Ref r = heap_.allocObject(cls.name, rc.layout);
+  jvm::Gc::ScopedRef rootR(gc_, r);
   heap_.get(r).fields = objectTemplates_[idx];
   if (cls.initFields.code.size() > 1) {
     invoke(cls, cls.initFields, {Value::ofRef(r)});
@@ -207,6 +231,10 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
                            std::vector<Value>& slots) {
   std::vector<Value> stack;
   stack.reserve(16);
+  // This frame's locals and operand stack are GC roots for as long as the
+  // chunk executes (including nested invokes below it).
+  jvm::Gc::ScopedVector rootSlots(gc_, slots);
+  jvm::Gc::ScopedVector rootStack(gc_, stack);
   auto pop = [&] {
     JEPO_ASSERT(!stack.empty());
     const Value v = stack.back();
@@ -229,6 +257,10 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
   while (pc < chunk.code.size()) {
     const Instr& in = chunk.code[pc];
     step();
+    // The engine's only GC safepoint: instruction granularity means no
+    // builtin, operator helper or allocation path can ever collect. Every
+    // live value sits in registered slots/stacks or scoped roots here.
+    gc_.safepoint();
     try {
       switch (in.op) {
         case Op::kConstInt:
@@ -311,7 +343,7 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
             break;
           }
           const Value* field = ho.kind == ObjKind::kObject
-                                   ? ho.findField(name(in.a))
+                                   ? fieldByName(ho, name(in.a))
                                    : nullptr;
           if (field == nullptr) {
             throw VmError("unknown field '" + name(in.a) + "' at line " +
@@ -328,7 +360,7 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
           }
           HeapObject& ho = heap_.get(obj.asRef());
           Value* field = ho.kind == ObjKind::kObject
-                             ? ho.findField(name(in.a))
+                             ? fieldByName(ho, name(in.a))
                              : nullptr;
           JEPO_REQUIRE(field != nullptr,
                        "unknown field '" + name(in.a) + "'");
@@ -342,7 +374,7 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
         case Op::kGetThisField: {
           charge(energy::Op::kFieldAccess);
           HeapObject& self = heap_.get(slots[0].asRef());
-          const Value* field = self.findField(name(in.a));
+          const Value* field = fieldByName(self, name(in.a));
           JEPO_REQUIRE(field != nullptr,
                        "unknown this-field '" + name(in.a) + "'");
           stack.push_back(*field);
@@ -352,7 +384,7 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
           charge(energy::Op::kFieldAccess);
           Value v = pop();
           HeapObject& self = heap_.get(slots[0].asRef());
-          Value* field = self.findField(name(in.a));
+          Value* field = fieldByName(self, name(in.a));
           JEPO_REQUIRE(field != nullptr,
                        "unknown this-field '" + name(in.a) + "'");
           if (field->isNumeric() && v.isNumeric()) {
@@ -659,6 +691,8 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
           if (it == cls->methods.end()) {
             throw VmError("unknown method " + className + "." + methodName);
           }
+          // Popped args are off the rooted stack; <clinit> can collect.
+          jvm::Gc::ScopedVector rootArgs(gc_, args);
           ensureClassInit(className);
           charge(energy::Op::kCall);
           stack.push_back(invoke(*cls, it->second, std::move(args)));
@@ -666,6 +700,7 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
         }
         case Op::kCallStaticResolved: {
           std::vector<Value> args = popArgs(in.c);
+          jvm::Gc::ScopedVector rootArgs(gc_, args);
           ensureClassInitById(in.a);
           charge(energy::Op::kCall);
           const auto classIdx = static_cast<std::size_t>(in.a);
@@ -678,6 +713,7 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
         case Op::kCallSelfResolved: {
           std::vector<Value> args = popArgs(in.b);
           if (in.c != 0) args.insert(args.begin(), slots[0]);
+          jvm::Gc::ScopedVector rootArgs(gc_, args);
           ensureClassInitById(cls.classId);
           charge(energy::Op::kCall);
           stack.push_back(invoke(
@@ -699,6 +735,7 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
                          "instance method called from static context");
             args.insert(args.begin(), slots[0]);
           }
+          jvm::Gc::ScopedVector rootArgs(gc_, args);
           ensureClassInit(cls.name);
           charge(energy::Op::kCall);
           stack.push_back(invoke(cls, it->second, std::move(args)));
@@ -900,8 +937,17 @@ jvm::Value BytecodeVm::callStatic(std::string_view className,
   JEPO_REQUIRE(it != cls->methods.end(),
                "unknown method " + std::string(methodName));
   JEPO_REQUIRE(it->second.isStatic, "method is not static");
+  jvm::Gc::ScopedVector rootArgs(gc_, args);  // live across <clinit>
   ensureClassInit(cls->name);
   return invoke(*cls, it->second, std::move(args));
+}
+
+void BytecodeVm::scanGcRoots(jvm::Gc::RootWalker& w) {
+  for (Value& v : statics_) w.visit(v);
+  // Interned literals are roots: re-executing a literal load must keep
+  // returning the same Ref (the walker skips unfilled kNullRef entries).
+  for (Ref& r : literalByName_) w.visit(r);
+  // Frame slots and operand stacks register themselves in run().
 }
 
 }  // namespace jepo::jbc

@@ -13,6 +13,7 @@
 #include "jbc/code.hpp"
 #include "jlang/resolve.hpp"
 #include "jvm/builtins.hpp"
+#include "jvm/gc.hpp"
 #include "jvm/heap.hpp"
 #include "jvm/interpreter.hpp"  // MethodHooks, Thrown
 
@@ -35,6 +36,11 @@ class BytecodeVm {
 
   const std::string& output() const noexcept { return out_; }
   jvm::Heap& heap() noexcept { return heap_; }
+
+  /// Heap-object limit that arms the mark-compact collector (0 = never
+  /// collect, the seed behaviour). Defaults to env JEPO_HEAP_LIMIT.
+  void setHeapLimit(std::size_t objects) { gc_.setLimit(objects); }
+  jvm::Gc& gc() noexcept { return gc_; }
 
  private:
   /// Monomorphic inline cache at one kCallVirtualCached site.
@@ -105,6 +111,12 @@ class BytecodeVm {
 
   jvm::Ref lastRowArray_ = 0xFFFFFFFF;
   std::int64_t lastRowIndex_ = -1;
+
+  // Precise roots: statics, interned literals, and every active frame's
+  // slots + operand stack (each run() registers its two vectors through
+  // Gc::ScopedVector). Collects only at the dispatch-loop safepoint.
+  void scanGcRoots(jvm::Gc::RootWalker& w);
+  jvm::Gc gc_;
 
   static constexpr jvm::Ref kNullRef = 0xFFFFFFFF;
   static constexpr std::size_t kMaxFrames = 512;

@@ -17,6 +17,7 @@ void Profiler::profile(const jlang::Program& program,
   jvm::Instrumenter inst(machine);
   interp.setHooks(&inst);
   interp.setMaxSteps(maxSteps);
+  if (heapLimit_.has_value()) interp.setHeapLimit(*heapLimit_);
   try {
     interp.runMain(mainClass);
   } catch (...) {

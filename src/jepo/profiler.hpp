@@ -6,6 +6,7 @@
 // result.txt dump and the profiler view (Fig. 4).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,12 @@ class Profiler {
   void profile(const jlang::Program& program, std::string_view mainClass = {},
                std::uint64_t maxSteps = 0);
 
+  /// Cap the profiled run's heap at `objects` before mark-compact kicks in
+  /// (0 = never collect). Unset, the engine default applies (env
+  /// JEPO_HEAP_LIMIT, or no collection). GC is host-time only: the profiled
+  /// joules/records are identical with or without a limit.
+  void setHeapLimit(std::size_t objects) { heapLimit_ = objects; }
+
   /// One record per method execution (JEPO stores each execution
   /// separately when a method runs more than once).
   const std::vector<jvm::MethodRecord>& records() const noexcept {
@@ -57,6 +64,7 @@ class Profiler {
  private:
   std::vector<jvm::MethodRecord> records_;
   std::string output_;
+  std::optional<std::size_t> heapLimit_;
 };
 
 }  // namespace jepo::core

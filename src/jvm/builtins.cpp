@@ -108,10 +108,15 @@ std::string BuiltinLibrary::display(const Value& v) const {
         case ObjKind::kArray:
           return "[array of " + std::to_string(o.elems.size()) + "]";
         case ObjKind::kObject: {
-          if (const Value* msg = o.findField("message")) {
-            return o.className + ": " + display(*msg);
+          const int msgIdx =
+              o.layout != nullptr ? o.layout->indexOfName("message") : -1;
+          if (msgIdx >= 0) {
+            return o.className + ": " +
+                   display(o.fields[static_cast<std::size_t>(msgIdx)]);
           }
-          return o.className + "@" + std::to_string(v.ref);
+          // Identity rendering uses the stable allocation ordinal, not the
+          // (GC-relocatable) Ref, so output is compaction-invariant.
+          return o.className + "@" + std::to_string(o.id);
         }
       }
       return "?";
@@ -538,8 +543,10 @@ bool BuiltinLibrary::instanceCall(Value receiver, const std::string& name,
   if (self.kind == ObjKind::kObject && !isProgramClass_(self.className)) {
     if (name == "getMessage") {
       charge(Op::kFieldAccess);
-      const Value* msg = self.findField("message");
-      *out = msg != nullptr ? *msg : Value::null();
+      const int msgIdx =
+          self.layout != nullptr ? self.layout->indexOfName("message") : -1;
+      *out = msgIdx >= 0 ? self.fields[static_cast<std::size_t>(msgIdx)]
+                         : Value::null();
       return true;
     }
     throw VmError("unknown method " + name + " on " + self.className);

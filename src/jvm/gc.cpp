@@ -1,0 +1,158 @@
+#include "jvm/gc.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "obs/registry.hpp"
+
+namespace jepo::jvm {
+
+namespace {
+
+/// Rough payload footprint of one object — enough for the bytes-reclaimed
+/// counter to be meaningful, not an allocator-exact figure.
+std::uint64_t payloadBytes(const HeapObject& o) {
+  return sizeof(HeapObject) + o.text.capacity() + o.className.capacity() +
+         (o.elems.capacity() + o.fields.capacity()) * sizeof(Value);
+}
+
+}  // namespace
+
+Gc::Gc(Heap& heap, RootScanner scanRoots)
+    : heap_(&heap), scanRoots_(std::move(scanRoots)) {
+  tempValues_.reserve(64);
+  tempVectors_.reserve(64);
+  tempRefs_.reserve(16);
+}
+
+std::size_t Gc::limitFromEnv() {
+  const char* env = std::getenv("JEPO_HEAP_LIMIT");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) return 0;
+  return static_cast<std::size_t>(v);
+}
+
+void Gc::collect() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = heap_->size();
+
+  // --- root scan: gather pointers to every slot that may hold a Ref.
+  valueRoots_.clear();
+  refRoots_.clear();
+  RootWalker walker(*this);
+  scanRoots_(walker);
+  for (Value* v : tempValues_) walker.visit(*v);
+  for (std::vector<Value>* vec : tempVectors_) {
+    for (Value& v : *vec) walker.visit(v);
+  }
+  for (Ref* r : tempRefs_) walker.visit(*r);
+
+  // --- mark: flood-fill from the roots through array elements, object
+  // fields and boxed payloads.
+  marks_.assign(n, 0);
+  worklist_.clear();
+  const auto markRef = [this, n](Ref r) {
+    JEPO_REQUIRE(r < n, "root scan produced an out-of-heap reference");
+    if (marks_[r] == 0) {
+      marks_[r] = 1;
+      worklist_.push_back(r);
+    }
+  };
+  for (const Value* v : valueRoots_) markRef(v->ref);
+  for (const Ref* r : refRoots_) markRef(*r);
+  while (!worklist_.empty()) {
+    const Ref r = worklist_.back();
+    worklist_.pop_back();
+    HeapObject& o = heap_->at(r);
+    for (const Value& e : o.elems) {
+      if (e.kind == ValKind::kRef) markRef(e.ref);
+    }
+    for (const Value& f : o.fields) {
+      if (f.kind == ValKind::kRef) markRef(f.ref);
+    }
+    if (o.boxed.kind == ValKind::kRef) markRef(o.boxed.ref);
+  }
+
+  // --- forwarding table: sliding compaction keeps survivor order, so the
+  // remap is monotone (forward_[r] <= r) and a bijection on survivors.
+  forward_.assign(n, kInvalidRef);
+  std::size_t live = 0;
+  std::uint64_t deadBytes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (marks_[i] != 0) {
+      forward_[i] = static_cast<Ref>(live++);
+    } else {
+      deadBytes += payloadBytes(heap_->at(i));
+    }
+  }
+
+  if (live != n) {
+    // Rewrite refs inside surviving objects first (while still addressed
+    // by their old Refs), then the roots. Root registrations may alias the
+    // same slot (e.g. a rooted local that is also on a registered stack);
+    // dedup so each slot is rewritten exactly once.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (marks_[i] == 0) continue;
+      HeapObject& o = heap_->at(i);
+      for (Value& e : o.elems) {
+        if (e.kind == ValKind::kRef) e.ref = forward_[e.ref];
+      }
+      for (Value& f : o.fields) {
+        if (f.kind == ValKind::kRef) f.ref = forward_[f.ref];
+      }
+      if (o.boxed.kind == ValKind::kRef) o.boxed.ref = forward_[o.boxed.ref];
+    }
+    std::sort(valueRoots_.begin(), valueRoots_.end());
+    valueRoots_.erase(std::unique(valueRoots_.begin(), valueRoots_.end()),
+                      valueRoots_.end());
+    std::sort(refRoots_.begin(), refRoots_.end());
+    refRoots_.erase(std::unique(refRoots_.begin(), refRoots_.end()),
+                    refRoots_.end());
+    for (Value* v : valueRoots_) v->ref = forward_[v->ref];
+    for (Ref* r : refRoots_) *r = forward_[*r];
+
+    // Slide survivors left (old index >= new index, ascending order, so
+    // no survivor is overwritten before it moves) and drop the tail.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (marks_[i] != 0 && forward_[i] != i) {
+        heap_->at(forward_[i]) = std::move(heap_->at(i));
+      }
+    }
+    heap_->truncate(live);
+  }
+
+  ++collections_;
+  objectsReclaimed_ += n - live;
+  bytesReclaimed_ += deadBytes;
+
+  // Re-arm: collecting again before the heap at least doubles past the
+  // live set would thrash; max() keeps the configured floor. Deterministic
+  // in allocation count, so bit-identity tests can rely on trigger points.
+  threshold_ = std::max(limit_, live * 2);
+
+  if (postCompact_) postCompact_();
+
+  const std::uint64_t pauseNs = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  totalPauseNs_ += pauseNs;
+  maxPauseNs_ = std::max(maxPauseNs_, pauseNs);
+
+  static obs::Counter& gcs = obs::Registry::global().counter("gc.collections");
+  static obs::Counter& reclaimedObjects =
+      obs::Registry::global().counter("gc.objects.reclaimed");
+  static obs::Counter& reclaimedBytes =
+      obs::Registry::global().counter("gc.bytes.reclaimed");
+  static obs::Histogram& pause =
+      obs::Registry::global().histogram("gc.pause.ns");
+  gcs.add(1);
+  reclaimedObjects.add(n - live);
+  reclaimedBytes.add(deadBytes);
+  pause.record(pauseNs);
+}
+
+}  // namespace jepo::jvm

@@ -1,0 +1,172 @@
+// Stop-the-world mark-compact collector for the MiniJava heap.
+//
+// Design
+// ------
+// The heap (jvm/heap.hpp) is a bump-pointer page table; the collector slides
+// every surviving object toward Ref 0 (preserving allocation order) and
+// truncates the dead tail. Because sliding is order-preserving and the remap
+// is a bijection on survivors, reference equality and aliasing semantics are
+// untouched; identity-style output uses the stable HeapObject::id, so
+// program output is byte-identical with or without collection.
+//
+// Safepoints are *deferred*: allocation never collects directly. The owning
+// engine calls safepoint() only at the top of its statement / instruction
+// dispatch loop, where every live reference is reachable from the registered
+// roots. Consequently builtins, operator helpers and allocation internals —
+// which never execute a statement — can hold raw `HeapObject&` references
+// and unrooted temporaries freely.
+//
+// Roots are precise, in two tiers:
+//   * the engine's RootScanner callback walks its durable storage (frames,
+//     operand stacks, statics, literal pools) each collection;
+//   * C++-local temporaries that live across a potential safepoint register
+//     through the ScopedValue / ScopedVector / ScopedRef RAII guards.
+// The walker collects *pointers* to the storage, so one pass serves both
+// marking and relocation; registrations that alias the same slot are
+// deduplicated before the rewrite.
+//
+// The simulated-energy contract: collection charges nothing to the
+// SimMachine and touches no instrumentation state. GC costs host time only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "jvm/heap.hpp"
+#include "jvm/value.hpp"
+
+namespace jepo::jvm {
+
+class Gc {
+ public:
+  /// Handed to the engine's root scanner once per collection; visit()
+  /// every slot that may hold a heap reference. Non-ref Values and
+  /// kInvalidRef sentinels are skipped, so lazy pools can be walked whole.
+  class RootWalker {
+   public:
+    void visit(Value& v) {
+      if (v.kind == ValKind::kRef) gc_->valueRoots_.push_back(&v);
+    }
+    void visit(Ref& r) {
+      if (r != kInvalidRef) gc_->refRoots_.push_back(&r);
+    }
+
+   private:
+    friend class Gc;
+    explicit RootWalker(Gc& gc) : gc_(&gc) {}
+    Gc* gc_;
+  };
+
+  using RootScanner = std::function<void(RootWalker&)>;
+  /// Invoked after every collection while the forwarding table is still
+  /// valid; engines use it to remap() or invalidate Ref-keyed caches.
+  using PostCompact = std::function<void()>;
+
+  Gc(Heap& heap, RootScanner scanRoots);
+
+  void setPostCompact(PostCompact cb) { postCompact_ = std::move(cb); }
+
+  /// Collection threshold in live-plus-garbage object count; 0 disables
+  /// collection entirely (the seed's grow-forever behaviour).
+  void setLimit(std::size_t objects) {
+    limit_ = objects;
+    threshold_ = objects;
+  }
+  std::size_t limit() const noexcept { return limit_; }
+
+  /// JEPO_HEAP_LIMIT (object count), or 0 when unset/unparsable.
+  static std::size_t limitFromEnv();
+
+  /// Allocation safepoint: collect once the heap has grown past the armed
+  /// threshold. Call only where every live reference is rooted.
+  void safepoint() {
+    if (limit_ != 0 && heap_->size() >= threshold_) collect();
+  }
+
+  /// Unconditional stop-the-world mark-compact collection.
+  void collect();
+
+  /// During the PostCompact callback: the post-collection location of a
+  /// pre-collection Ref, or kInvalidRef if the object was reclaimed.
+  Ref remap(Ref r) const {
+    return r < forward_.size() ? forward_[r] : kInvalidRef;
+  }
+
+  std::uint64_t collections() const noexcept { return collections_; }
+  std::uint64_t objectsReclaimed() const noexcept { return objectsReclaimed_; }
+  std::uint64_t bytesReclaimed() const noexcept { return bytesReclaimed_; }
+  std::uint64_t totalPauseNs() const noexcept { return totalPauseNs_; }
+  std::uint64_t maxPauseNs() const noexcept { return maxPauseNs_; }
+
+  // --- temporary-root RAII guards (strict stack discipline) -------------
+
+  /// Roots one Value for the guard's lifetime.
+  class ScopedValue {
+   public:
+    ScopedValue(Gc& gc, Value& v) : gc_(gc) { gc_.tempValues_.push_back(&v); }
+    ~ScopedValue() { gc_.tempValues_.pop_back(); }
+    ScopedValue(const ScopedValue&) = delete;
+    ScopedValue& operator=(const ScopedValue&) = delete;
+
+   private:
+    Gc& gc_;
+  };
+
+  /// Roots a growing vector of Values (argument lists, operand stacks);
+  /// the vector's *current* contents are walked at each collection.
+  class ScopedVector {
+   public:
+    ScopedVector(Gc& gc, std::vector<Value>& v) : gc_(gc) {
+      gc_.tempVectors_.push_back(&v);
+    }
+    ~ScopedVector() { gc_.tempVectors_.pop_back(); }
+    ScopedVector(const ScopedVector&) = delete;
+    ScopedVector& operator=(const ScopedVector&) = delete;
+
+   private:
+    Gc& gc_;
+  };
+
+  /// Roots one bare Ref (e.g. a freshly allocated object mid-construction).
+  class ScopedRef {
+   public:
+    ScopedRef(Gc& gc, Ref& r) : gc_(gc) { gc_.tempRefs_.push_back(&r); }
+    ~ScopedRef() { gc_.tempRefs_.pop_back(); }
+    ScopedRef(const ScopedRef&) = delete;
+    ScopedRef& operator=(const ScopedRef&) = delete;
+
+   private:
+    Gc& gc_;
+  };
+
+ private:
+  friend class RootWalker;
+
+  Heap* heap_;
+  RootScanner scanRoots_;
+  PostCompact postCompact_;
+
+  std::size_t limit_ = 0;      // 0 = collection disabled
+  std::size_t threshold_ = 0;  // re-armed after each collection
+
+  std::uint64_t collections_ = 0;
+  std::uint64_t objectsReclaimed_ = 0;
+  std::uint64_t bytesReclaimed_ = 0;
+  std::uint64_t totalPauseNs_ = 0;
+  std::uint64_t maxPauseNs_ = 0;
+
+  // Registered temporary roots (RAII stack discipline).
+  std::vector<Value*> tempValues_;
+  std::vector<std::vector<Value>*> tempVectors_;
+  std::vector<Ref*> tempRefs_;
+
+  // Scratch reused across collections.
+  std::vector<Value*> valueRoots_;
+  std::vector<Ref*> refRoots_;
+  std::vector<unsigned char> marks_;
+  std::vector<Ref> forward_;
+  std::vector<Ref> worklist_;
+};
+
+}  // namespace jepo::jvm

@@ -4,20 +4,13 @@
 
 namespace jepo::jvm {
 
-Value* HeapObject::findField(std::string_view name) {
-  if (layout == nullptr) return nullptr;
-  const int i = layout->indexOfName(name);
-  if (i < 0) return nullptr;
-  return &fields[static_cast<std::size_t>(i)];
-}
-
 Ref Heap::allocObject(std::string className, const jlang::ClassLayout& layout) {
-  HeapObject o;
+  HeapObject& o = push();
   o.kind = ObjKind::kObject;
   o.className = std::move(className);
   o.layout = &layout;
   o.fields.assign(layout.fieldNames.size(), Value::null());
-  return push(std::move(o));
+  return static_cast<Ref>(count_ - 1);
 }
 
 }  // namespace jepo::jvm

@@ -1,12 +1,21 @@
 // VM heap: strings, StringBuilders, arrays, plain objects and boxed
-// wrappers live here, addressed by Ref. No collector — programs in this
-// repository are bounded benchmark/test runs, and keeping every allocation
-// live preserves exact Ref identity for aliasing semantics.
+// wrappers live here, addressed by Ref.
+//
+// Storage is a bump-pointer page table: fixed-size pages of HeapObject are
+// appended to, so `HeapObject&` references stay stable across allocations
+// (builtins hold references while allocating). Objects only ever move during
+// a mark-compact collection (jvm/gc.hpp), which slides survivors toward Ref 0
+// and truncates the tail — and collections happen exclusively at engine
+// safepoints, never inside a builtin or operator.
+//
+// Each object carries an allocation ordinal `id` that survives compaction;
+// identity-style output (Class@N) uses the id, not the Ref, so program
+// output is byte-identical whether or not the collector ever runs.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
-#include <string_view>
-#include <deque>
 #include <vector>
 
 #include "jvm/value.hpp"
@@ -28,6 +37,7 @@ enum class ObjKind : std::uint8_t {
 
 struct HeapObject {
   ObjKind kind = ObjKind::kObject;
+  std::uint32_t id = 0;              // allocation ordinal, stable across GC
   std::string text;                  // kString / kBuilder payload
   std::vector<Value> elems;          // kArray payload
   ValKind elemKind = ValKind::kNull; // kArray element kind (kRef for rows)
@@ -38,38 +48,37 @@ struct HeapObject {
   std::vector<Value> fields;
   const jlang::ClassLayout* layout = nullptr;
   Value boxed;                       // kBoxed payload
-
-  /// By-name field lookup for the cold paths (display, getMessage, cache
-  /// misses). Returns nullptr for a name the layout does not declare.
-  Value* findField(std::string_view name);
-  const Value* findField(std::string_view name) const {
-    return const_cast<HeapObject*>(this)->findField(name);
-  }
 };
 
 class Heap {
  public:
+  // 1024 objects per page: large enough to amortise the page allocation,
+  // small enough that a truncated tail returns memory promptly.
+  static constexpr std::size_t kPageShift = 10;
+  static constexpr std::size_t kPageSize = std::size_t{1} << kPageShift;
+  static constexpr std::size_t kPageMask = kPageSize - 1;
+
   Ref allocString(std::string s) {
-    HeapObject o;
+    HeapObject& o = push();
     o.kind = ObjKind::kString;
     o.text = std::move(s);
-    return push(std::move(o));
+    return static_cast<Ref>(count_ - 1);
   }
 
   Ref allocBuilder() {
-    HeapObject o;
+    HeapObject& o = push();
     o.kind = ObjKind::kBuilder;
-    return push(std::move(o));
+    return static_cast<Ref>(count_ - 1);
   }
 
   /// Arrays carry their element kind so stores can coerce to the Java
   /// element width; elements start at the Java default value.
   Ref allocArray(std::size_t n, ValKind elemKind) {
-    HeapObject o;
+    HeapObject& o = push();
     o.kind = ObjKind::kArray;
     o.elemKind = elemKind;
     o.elems.assign(n, defaultValue(elemKind));
-    return push(std::move(o));
+    return static_cast<Ref>(count_ - 1);
   }
 
   static Value defaultValue(ValKind k) {
@@ -91,31 +100,61 @@ class Heap {
   Ref allocObject(std::string className, const jlang::ClassLayout& layout);
 
   Ref allocBoxed(std::string wrapper, Value inner) {
-    HeapObject o;
+    HeapObject& o = push();
     o.kind = ObjKind::kBoxed;
     o.className = std::move(wrapper);
     o.boxed = inner;
-    return push(std::move(o));
+    return static_cast<Ref>(count_ - 1);
   }
 
   HeapObject& get(Ref r) {
-    JEPO_REQUIRE(r < objects_.size(), "dangling heap reference");
-    return objects_[r];
+    JEPO_REQUIRE(r < count_, "dangling heap reference");
+    return pages_[r >> kPageShift][r & kPageMask];
   }
   const HeapObject& get(Ref r) const {
-    JEPO_REQUIRE(r < objects_.size(), "dangling heap reference");
-    return objects_[r];
+    JEPO_REQUIRE(r < count_, "dangling heap reference");
+    return pages_[r >> kPageShift][r & kPageMask];
   }
 
-  std::size_t size() const noexcept { return objects_.size(); }
+  /// Objects currently resident (shrinks when the collector truncates).
+  std::size_t size() const noexcept { return count_; }
+
+  /// Monotonic total of objects ever allocated. Unlike size() this never
+  /// decreases, so it is the right basis for the vm.heap.objects counter.
+  std::uint64_t allocCount() const noexcept { return nextId_; }
+
+  // --- collector interface (jvm/gc.cpp) --------------------------------
+  /// Unchecked slot access by raw index; the collector walks [0, size()).
+  HeapObject& at(std::size_t i) {
+    return pages_[i >> kPageShift][i & kPageMask];
+  }
+
+  /// Drop objects [newCount, size()): release their payloads, then free
+  /// now-empty tail pages. The collector calls this after sliding the
+  /// survivors into the prefix.
+  void truncate(std::size_t newCount) {
+    JEPO_ASSERT(newCount <= count_);
+    for (std::size_t i = newCount; i < count_; ++i) at(i) = HeapObject{};
+    count_ = newCount;
+    const std::size_t neededPages = (count_ + kPageSize - 1) >> kPageShift;
+    pages_.resize(neededPages);
+  }
 
  private:
-  Ref push(HeapObject o) {
-    objects_.push_back(std::move(o));
-    return static_cast<Ref>(objects_.size() - 1);
+  HeapObject& push() {
+    const std::size_t i = count_;
+    if ((i >> kPageShift) == pages_.size()) {
+      pages_.emplace_back(new HeapObject[kPageSize]);
+    }
+    HeapObject& slot = pages_[i >> kPageShift][i & kPageMask];
+    slot.id = nextId_++;
+    ++count_;
+    return slot;
   }
 
-  std::deque<HeapObject> objects_;
+  std::vector<std::unique_ptr<HeapObject[]>> pages_;
+  std::size_t count_ = 0;
+  std::uint32_t nextId_ = 0;
 };
 
 }  // namespace jepo::jvm

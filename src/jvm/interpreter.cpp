@@ -66,7 +66,14 @@ Interpreter::Interpreter(const jlang::Program& program,
       machine_(&machine),
       builtins_(heap_, machine, out_, [this](const std::string& name) {
         return program_->findClass(name) != nullptr;
-      }) {
+      }),
+      gc_(heap_, [this](Gc::RootWalker& w) { scanGcRoots(w); }) {
+  gc_.setLimit(Gc::limitFromEnv());
+  gc_.setPostCompact([this] {
+    // A recycled Ref must not resurrect a stale row-cache hit: remap the
+    // cached row if it survived, otherwise invalidate the cache.
+    if (lastRowArray_ != kNullRef) lastRowArray_ = gc_.remap(lastRowArray_);
+  });
   statics_.assign(static_cast<std::size_t>(resolution_->staticCount),
                   Value::null());
   classInitDone_.assign(resolution_->classes.size(), 0);
@@ -132,11 +139,11 @@ Value Interpreter::runMain(std::string_view mainClass) {
   const MethodDecl* m = target->findMethod("main");
   ensureClassInit(target->name);
   const std::uint64_t steps0 = steps_;
-  const std::size_t heap0 = heap_.size();
+  const std::uint64_t heap0 = heap_.allocCount();
   const Ref argsArr = heap_.allocArray(0, ValKind::kRef);
   const Value out =
       invoke(*target, *m, Value::null(), {Value::ofRef(argsArr)});
-  flushVmCounters(steps_ - steps0, heap_.size() - heap0);
+  flushVmCounters(steps_ - steps0, heap_.allocCount() - heap0);
   return out;
 }
 
@@ -148,11 +155,12 @@ Value Interpreter::callStatic(std::string_view className,
   const MethodDecl* m = cls->findMethod(methodName);
   JEPO_REQUIRE(m != nullptr, "unknown method " + std::string(methodName));
   JEPO_REQUIRE(m->isStatic, "method is not static");
+  Gc::ScopedVector rootArgs(gc_, args);  // live across <clinit> safepoints
   ensureClassInit(cls->name);
   const std::uint64_t steps0 = steps_;
-  const std::size_t heap0 = heap_.size();
+  const std::uint64_t heap0 = heap_.allocCount();
   const Value out = invoke(*cls, *m, Value::null(), std::move(args));
-  flushVmCounters(steps_ - steps0, heap_.size() - heap0);
+  flushVmCounters(steps_ - steps0, heap_.allocCount() - heap0);
   return out;
 }
 
@@ -313,8 +321,13 @@ Value Interpreter::constructResolved(const ResolvedClass& rc,
                                      std::vector<Value> args) {
   const ClassDecl* cls = rc.decl;
   charge(Op::kAllocObject);
+  // args live across <clinit>, field-initializer and constructor
+  // safepoints; the fresh object is only reachable through `r` until the
+  // constructor returns it.
+  Gc::ScopedVector rootArgs(gc_, args);
   ensureClassInitById(rc.layout.classId);
-  const Ref r = heap_.allocObject(cls->name, rc.layout);
+  Ref r = heap_.allocObject(cls->name, rc.layout);
+  Gc::ScopedRef rootR(gc_, r);
   // Default field values, then initializers in declaration order.
   heap_.get(r).fields =
       objectTemplates_[static_cast<std::size_t>(rc.layout.classId)];
@@ -367,6 +380,10 @@ Interpreter::Flow Interpreter::execBlock(const Stmt& s) {
 
 Interpreter::Flow Interpreter::execStmt(const Stmt& s) {
   step();
+  // The engine's only GC safepoint: statement granularity means no
+  // builtin, operator helper or allocation path can ever collect, so
+  // those may hold raw heap references freely.
+  gc_.safepoint();
   switch (s.kind) {
     case StmtKind::kBlock:
       return execBlock(s);
@@ -438,6 +455,8 @@ Interpreter::Flow Interpreter::execStmt(const Stmt& s) {
       Flow flow = Flow::kNormal;
       bool rethrow = false;
       Thrown pending{Value::null()};
+      // The pending exception survives the finally block's safepoints.
+      Gc::ScopedValue rootPending(gc_, pending.exception);
       try {
         flow = execStmt(*s.tryBlock);
       } catch (const Thrown& thrown) {
@@ -690,6 +709,7 @@ Value Interpreter::evalArrayIndex(const Expr& e) {
     throwJava("NullPointerException",
               "array access on null at line " + std::to_string(e.line));
   }
+  Gc::ScopedValue rootArr(gc_, arr);  // across the subscript's safepoints
   const std::int64_t idx = eval(*e.b).asInt();
   HeapObject& ho = heap_.get(arr.asRef());
   JEPO_REQUIRE(ho.kind == ObjKind::kArray, "indexing a non-array");
@@ -727,6 +747,7 @@ Value Interpreter::evalBinary(const Expr& e) {
     return Value::ofBool(eval(*e.b).asBool());
   }
   Value a = eval(*e.a);
+  Gc::ScopedValue rootA(gc_, a);  // live across the rhs's safepoints
   Value b = eval(*e.b);
   return applyBinary(op, a, b, heap_, builtins_, *machine_, e.line);
 }
@@ -746,10 +767,14 @@ Value Interpreter::evalUnary(const Expr& e) {
     case UnOp::kPostDec: {
       const bool inc = e.unOp == UnOp::kPreInc || e.unOp == UnOp::kPostInc;
       const bool pre = e.unOp == UnOp::kPreInc || e.unOp == UnOp::kPreDec;
-      const Value oldV = eval(*e.a);
+      Value oldV = eval(*e.a);
       Value one = Value::ofInt(1);
       Value newV = arith(inc ? BinOp::kAdd : BinOp::kSub, oldV, one, e.line);
       newV = coerceToKind(newV, oldV.kind, e.line);
+      // Both copies outlive storeTo, whose static-fallback path can reach
+      // a <clinit> safepoint.
+      Gc::ScopedValue rootOld(gc_, oldV);
+      Gc::ScopedValue rootNew(gc_, newV);
       storeTo(*e.a, newV);
       return pre ? newV : oldV;
     }
@@ -759,10 +784,12 @@ Value Interpreter::evalUnary(const Expr& e) {
 
 Value Interpreter::evalAssign(const Expr& e) {
   Value v;
+  Gc::ScopedValue rootV(gc_, v);  // survives storeTo; returned afterwards
   if (e.assignOp == AssignOp::kSet) {
     v = eval(*e.b);
   } else {
-    const Value current = eval(*e.a);
+    Value current = eval(*e.a);
+    Gc::ScopedValue rootCurrent(gc_, current);
     const Value rhs = eval(*e.b);
     BinOp op;
     switch (e.assignOp) {
@@ -783,6 +810,9 @@ Value Interpreter::evalAssign(const Expr& e) {
 }
 
 void Interpreter::storeTo(const Expr& target, Value v) {
+  // Several branches reach safepoints (static <clinit>, array subscript
+  // evaluation) before v lands in rooted storage.
+  Gc::ScopedValue rootV(gc_, v);
   switch (target.kind) {
     case ExprKind::kVarRef: {
       switch (target.nameRef) {
@@ -892,6 +922,7 @@ void Interpreter::storeTo(const Expr& target, Value v) {
       if (arr.isNull()) {
         throwJava("NullPointerException", "store to null array");
       }
+      Gc::ScopedValue rootArr(gc_, arr);  // across the subscript's safepoints
       const std::int64_t idx = eval(*target.b).asInt();
       HeapObject& ho = heap_.get(arr.asRef());
       JEPO_REQUIRE(ho.kind == ObjKind::kArray, "indexing a non-array");
@@ -923,6 +954,7 @@ Value Interpreter::evalTernary(const Expr& e) {
 Value Interpreter::evalNew(const Expr& e) {
   std::vector<Value> args;
   args.reserve(e.args.size());
+  Gc::ScopedVector rootArgs(gc_, args);
   for (const auto& a : e.args) args.push_back(eval(*a));
   if (e.callKind == CallKind::kConstruct) {
     // Pre-resolved user class: the builtin-constructor probe is skipped
@@ -994,6 +1026,10 @@ Value Interpreter::evalCast(const Expr& e) {
 std::vector<Value> Interpreter::evalArgs(const Expr& call) {
   std::vector<Value> args;
   args.reserve(call.args.size());
+  // Earlier arguments stay rooted while later ones evaluate. Callers need
+  // no further rooting: no safepoint sits between this returning and the
+  // invoke target copying the values into its (rooted) frame.
+  Gc::ScopedVector rootArgs(gc_, args);
   for (const auto& a : call.args) args.push_back(eval(*a));
   return args;
 }
@@ -1054,6 +1090,7 @@ Value Interpreter::evalCall(const Expr& e) {
                   "call '" + e.strValue + "' on null at line " +
                       std::to_string(e.line));
       }
+      Gc::ScopedValue rootReceiver(gc_, receiver);  // across argument evals
       std::vector<Value> args = evalArgs(e);
       // Fast path: a program-class object dispatches through the inline
       // cache. The builtin-method probe is skipped — it returns false for
@@ -1113,6 +1150,21 @@ Value Interpreter::evalCall(const Expr& e) {
       throw VmError("unresolved call '" + e.strValue + "' at line " +
                     std::to_string(e.line));
   }
+}
+
+// ---------------------------------------------------------------------------
+// GC roots
+
+void Interpreter::scanGcRoots(Gc::RootWalker& w) {
+  for (Frame& f : frames_) {
+    w.visit(f.thisValue);
+    for (Value& v : f.locals) w.visit(v);
+  }
+  w.visit(returnValue_);
+  for (Value& v : statics_) w.visit(v);
+  // Interned literals are roots: re-evaluating a literal must keep
+  // returning the same Ref (the walker skips unfilled kNullRef entries).
+  for (Ref& r : literalPool_) w.visit(r);
 }
 
 }  // namespace jepo::jvm

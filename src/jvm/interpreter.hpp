@@ -24,6 +24,7 @@
 #include "jlang/ast.hpp"
 #include "jlang/resolve.hpp"
 #include "jvm/builtins.hpp"
+#include "jvm/gc.hpp"
 #include "jvm/heap.hpp"
 #include "jvm/value.hpp"
 
@@ -85,6 +86,11 @@ class Interpreter {
 
   Heap& heap() noexcept { return heap_; }
   energy::SimMachine& machine() noexcept { return *machine_; }
+
+  /// Heap-object limit that arms the mark-compact collector (0 = never
+  /// collect, the seed behaviour). Defaults to env JEPO_HEAP_LIMIT.
+  void setHeapLimit(std::size_t objects) { gc_.setLimit(objects); }
+  Gc& gc() noexcept { return gc_; }
 
   /// Allocate a VM string (for building argument lists in tests).
   Value makeString(std::string s) {
@@ -183,6 +189,11 @@ class Interpreter {
     machine_->charge(op, n);
   }
 
+  // Precise GC roots: frames (this + locals), the in-flight return value,
+  // static slots and the lazy literal pool. Temporaries live across
+  // safepoints register through Gc scoped guards at their use sites.
+  void scanGcRoots(Gc::RootWalker& w);
+
   const std::string& stringAt(Ref r) const;
 
   const jlang::Program* program_;
@@ -212,6 +223,10 @@ class Interpreter {
   // Row cache for the 2-D locality model.
   Ref lastRowArray_ = 0xFFFFFFFF;
   std::int64_t lastRowIndex_ = -1;
+
+  // Declared after every root container it scans; collects only at the
+  // execStmt safepoint.
+  Gc gc_;
 
   static constexpr Ref kNullRef = 0xFFFFFFFF;
   static constexpr std::size_t kMaxFrames = 512;

@@ -28,6 +28,11 @@ enum class ValKind : std::uint8_t {
 
 using Ref = std::uint32_t;
 
+/// Sentinel for "no object": used by lazy literal pools, the row-load
+/// cache, and the GC forwarding table for objects that did not survive a
+/// collection. Never a valid heap index (the heap caps out well below 2^32).
+inline constexpr Ref kInvalidRef = 0xFFFFFFFFu;
+
 struct Value {
   ValKind kind = ValKind::kNull;
   union {

@@ -32,6 +32,7 @@
 #include "jbc/bcvm.hpp"
 #include "jbc/compiler.hpp"
 #include "jlang/parser.hpp"
+#include "jvm/gc.hpp"
 #include "jvm/instrumenter.hpp"
 #include "jvm/interpreter.hpp"
 
@@ -89,7 +90,19 @@ struct EngineResult {
   std::uint64_t secondsBits = 0;
   std::size_t recordCount = 0;
   std::uint64_t recordHash = kFnvSeed;
+  std::uint64_t collections = 0;  // not part of the golden: host-side only
 };
+
+// Everything the goldens pin must survive running under a heap limit.
+void expectSameObservables(const EngineResult& a, const EngineResult& b) {
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(a.pkgBits, b.pkgBits);
+  EXPECT_EQ(a.coreBits, b.coreBits);
+  EXPECT_EQ(a.dramBits, b.dramBits);
+  EXPECT_EQ(a.secondsBits, b.secondsBits);
+  EXPECT_EQ(a.recordCount, b.recordCount);
+  EXPECT_EQ(a.recordHash, b.recordHash);
+}
 
 std::uint64_t hashRecords(const std::vector<jvm::MethodRecord>& records) {
   std::uint64_t h = kFnvSeed;
@@ -121,27 +134,35 @@ EngineResult finish(energy::SimMachine& machine, const std::string& out,
   return r;
 }
 
-EngineResult runTree(const std::string& name, const std::string& src) {
+EngineResult runTree(const std::string& name, const std::string& src,
+                     std::size_t heapLimit = 0) {
   const jlang::Program prog = jlang::Parser::parseProgram(name, src);
   energy::SimMachine machine;
   jvm::Interpreter interp(prog, machine);
+  interp.setHeapLimit(heapLimit);
   jvm::Instrumenter inst(machine);
   interp.setHooks(&inst);
   interp.setMaxSteps(50'000'000);
   interp.runMain();
-  return finish(machine, interp.output(), inst);
+  EngineResult r = finish(machine, interp.output(), inst);
+  r.collections = interp.gc().collections();
+  return r;
 }
 
-EngineResult runBcvm(const std::string& name, const std::string& src) {
+EngineResult runBcvm(const std::string& name, const std::string& src,
+                     std::size_t heapLimit = 0) {
   const jlang::Program prog = jlang::Parser::parseProgram(name, src);
   const jbc::CompiledProgram compiled = jbc::compile(prog);
   energy::SimMachine machine;
   jbc::BytecodeVm vm(compiled, machine);
+  vm.setHeapLimit(heapLimit);
   jvm::Instrumenter inst(machine);
   vm.setHooks(&inst);
   vm.setMaxSteps(50'000'000);
   vm.runMain();
-  return finish(machine, vm.output(), inst);
+  EngineResult r = finish(machine, vm.output(), inst);
+  r.collections = vm.gc().collections();
+  return r;
 }
 
 // ---------------------------------------------------------- golden format
@@ -340,6 +361,31 @@ class Main {
   }
 }
 )"},
+      {"gc_churn", R"(
+class Cell {
+  int v;
+  Cell next;
+  Cell(int x) { v = x; next = null; }
+  int depth() { return next == null ? 1 : 1 + next.depth(); }
+}
+class Main {
+  static void main(String[] args) {
+    Cell head = null;
+    int sum = 0;
+    for (int i = 0; i < 400; i++) {
+      Cell c = new Cell(i);
+      int[] scratch = new int[12];
+      scratch[i % 12] = c.v * 2;
+      sum += scratch[i % 12];
+      if (i % 50 == 0) { c.next = head; head = c; }
+      StringBuilder sb = new StringBuilder();
+      sb.append(i % 7);
+      sum += sb.toString().length();
+    }
+    System.out.println(sum + "/" + head.v + "/" + head.depth());
+  }
+}
+)"},
       {"boxing_wrappers", R"(
 class Main {
   static void main(String[] args) {
@@ -425,6 +471,32 @@ TEST(DifferentialGolden, EnginesMatchSeedGoldens) {
 // per-method record COUNT for the tree engine must match bcvm's modulo the
 // synthetic <clinit>/<initfields> chunks the compiler emits. This pins the
 // hook-firing behavior of both engines.
+// Every corpus program reruns on both engines with a heap limit small
+// enough to force mark-compact collections; all golden-pinned observables
+// (stdout bytes, joule/second bits, the full record-stream hash) must be
+// bit-identical to the unlimited run. The collector may only spend host
+// time — it must never move a simulated joule.
+TEST(DifferentialGolden, HeapLimitIsObservablyInvisible) {
+  constexpr std::size_t kLimit = 24;
+  for (const auto& [name, src] : allPrograms()) {
+    SCOPED_TRACE(name);
+    const EngineResult tree = runTree(name, src);
+    const EngineResult treeGc = runTree(name, src, kLimit);
+    expectSameObservables(tree, treeGc);
+
+    const EngineResult bcvm = runBcvm(name, src);
+    const EngineResult bcvmGc = runBcvm(name, src, kLimit);
+    expectSameObservables(bcvm, bcvmGc);
+
+    EXPECT_EQ(tree.collections, 0u);
+    EXPECT_EQ(bcvm.collections, 0u);
+    if (name == "demo_weka_project" || name == "gc_churn") {
+      EXPECT_GE(treeGc.collections, 3u) << "heap limit never triggered";
+      EXPECT_GE(bcvmGc.collections, 3u) << "heap limit never triggered";
+    }
+  }
+}
+
 TEST(DifferentialGolden, HookStreamsStayBalanced) {
   for (const auto& [name, src] : allPrograms()) {
     SCOPED_TRACE(name);

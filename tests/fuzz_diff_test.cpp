@@ -1,0 +1,337 @@
+// Cross-engine differential fuzzer: seeded random MiniJava programs run on
+// both the tree interpreter and the bytecode VM, which must agree on
+//
+//   - printed output (byte-for-byte),
+//   - the multiset of instrumented method names (the compiler's synthetic
+//     <clinit>/<initfields> chunks are filtered out),
+//   - the per-op energy-meter counts, hence the simulated joules. One
+//     engine-inherent delta is modeled exactly: the bytecode VM charges
+//     kLocalAccess for every invocation argument slot *including `this`*,
+//     while the tree interpreter binds `this` without a charge — so bcvm's
+//     kLocalAccess count must exceed the tree's by exactly the number of
+//     instance invocations (constructors + instance-method calls), which
+//     the test counts from the method records. Every other op count must
+//     match exactly. Half the seeds ("strict" mode) contain no instance
+//     constructs at all; for those the joules/seconds of an uninstrumented
+//     run (one terminal pricing sync, so joules are a pure function of the
+//     counts) must also be bit-identical. Ternaries, short-circuit operators,
+//     qualified field stores and array stores are excluded by the grammar
+//     because bytecode legitimately compiles them to different charge
+//     sequences (see tests/support/progen.cpp).
+//
+// Each program then reruns per engine under a tiny heap limit that forces
+// multiple mark-compact collections; the observables must stay bit-identical
+// to the unlimited run — GC is host-time only.
+//
+// Environment knobs:
+//   JEPO_FUZZ_RUNS=N   number of generated programs (default 200)
+//   JEPO_FUZZ_SEED=N   base seed for the derived stream (default below)
+//   JEPO_FUZZ_ONLY=N   replay exactly one derived seed (as printed by a
+//                      failure) and dump its source
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "energy/machine.hpp"
+#include "energy/op.hpp"
+#include "jbc/bcvm.hpp"
+#include "jbc/compiler.hpp"
+#include "jlang/parser.hpp"
+#include "jvm/instrumenter.hpp"
+#include "jvm/interpreter.hpp"
+#include "support/rng.hpp"
+#include "tests/support/progen.hpp"
+
+namespace {
+
+using namespace jepo;
+
+constexpr std::uint64_t kDefaultBaseSeed = 0x6a65706f2d667aULL;  // "jepo-fz"
+constexpr int kDefaultRuns = 200;
+constexpr std::size_t kFuzzHeapLimit = 48;
+constexpr std::uint64_t kMaxSteps = 20'000'000;
+
+std::uint64_t envU64(const char* name, std::uint64_t fallback, bool* set) {
+  if (set != nullptr) *set = false;
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 0);
+  if (end == nullptr || *end != '\0') return fallback;
+  if (set != nullptr) *set = true;
+  return n;
+}
+
+struct RunResult {
+  std::string out;
+  std::uint64_t pkgBits = 0;
+  std::uint64_t coreBits = 0;
+  std::uint64_t dramBits = 0;
+  std::uint64_t secondsBits = 0;
+  // method name -> execution count, compiler-synthetic chunks excluded
+  std::map<std::string, int> methods;
+  energy::OpArray<std::uint64_t> counts{};
+  // constructor + instance-method executions, counted from the records
+  std::uint64_t instanceInvocations = 0;
+  std::uint64_t collections = 0;
+  std::string error;  // non-empty when the run threw
+
+  bool sameObservables(const RunResult& o) const {
+    return error == o.error && out == o.out && pkgBits == o.pkgBits &&
+           coreBits == o.coreBits && dramBits == o.dramBits &&
+           secondsBits == o.secondsBits && methods == o.methods &&
+           counts == o.counts;
+  }
+};
+
+// Generator naming: helper classes are H<i>, instance methods m<digit>,
+// constructors share the class name, statics are t<digit> and Main.main.
+bool isInstanceRecord(const std::string& method) {
+  const std::size_t dot = method.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string cls = method.substr(0, dot);
+  const std::string m = method.substr(dot + 1);
+  if (m == cls) return true;  // constructor
+  return m.size() >= 2 && m[0] == 'm' && std::isdigit(
+      static_cast<unsigned char>(m[1]));
+}
+
+std::uint64_t doubleBits(double d) {
+  std::uint64_t u = 0;
+  static_assert(sizeof u == sizeof d);
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+void finish(RunResult& r, energy::SimMachine& machine, const std::string& out,
+            const jvm::Instrumenter& inst) {
+  const energy::MachineSample s = machine.sample();
+  r.out = out;
+  r.pkgBits = doubleBits(s.packageJoules);
+  r.coreBits = doubleBits(s.coreJoules);
+  r.dramBits = doubleBits(s.dramJoules);
+  r.secondsBits = doubleBits(s.seconds);
+  for (const auto& rec : inst.records()) {
+    if (rec.method.find('<') != std::string::npos) continue;
+    ++r.methods[rec.method];
+    if (isInstanceRecord(rec.method)) ++r.instanceInvocations;
+  }
+  r.counts = machine.meter().counts();
+}
+
+// `withHooks=false` skips the instrumenter: the machine then prices all
+// counts in one terminal sync, making the joules a pure function of the op
+// counts (hook-driven mid-run sampling partitions the float accumulation
+// differently per engine, which can shift the last ulp).
+RunResult runTree(const testgen::GeneratedProgram& p, std::size_t heapLimit,
+                  bool withHooks = true) {
+  RunResult r;
+  try {
+    const jlang::Program prog = jlang::Parser::parseProgram(p.name, p.source);
+    energy::SimMachine machine;
+    jvm::Interpreter interp(prog, machine);
+    interp.setHeapLimit(heapLimit);
+    jvm::Instrumenter inst(machine);
+    if (withHooks) interp.setHooks(&inst);
+    interp.setMaxSteps(kMaxSteps);
+    interp.runMain();
+    finish(r, machine, interp.output(), inst);
+    r.collections = interp.gc().collections();
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  return r;
+}
+
+RunResult runBcvm(const testgen::GeneratedProgram& p, std::size_t heapLimit,
+                  bool withHooks = true) {
+  RunResult r;
+  try {
+    const jlang::Program prog = jlang::Parser::parseProgram(p.name, p.source);
+    const jbc::CompiledProgram compiled = jbc::compile(prog);
+    energy::SimMachine machine;
+    jbc::BytecodeVm vm(compiled, machine);
+    vm.setHeapLimit(heapLimit);
+    jvm::Instrumenter inst(machine);
+    if (withHooks) vm.setHooks(&inst);
+    vm.setMaxSteps(kMaxSteps);
+    vm.runMain();
+    finish(r, machine, vm.output(), inst);
+    r.collections = vm.gc().collections();
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  return r;
+}
+
+std::string describe(const RunResult& r) {
+  std::string s;
+  if (!r.error.empty()) return "error: " + r.error;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "pkg=%016llx core=%016llx dram=%016llx sec=%016llx out=%zuB",
+                static_cast<unsigned long long>(r.pkgBits),
+                static_cast<unsigned long long>(r.coreBits),
+                static_cast<unsigned long long>(r.dramBits),
+                static_cast<unsigned long long>(r.secondsBits),
+                r.out.size());
+  s = buf;
+  s += " methods={";
+  for (const auto& [name, count] : r.methods)
+    s += name + "x" + std::to_string(count) + " ";
+  s += "}";
+  return s;
+}
+
+std::string replayBanner(std::uint64_t seed,
+                         const testgen::GeneratedProgram& p) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "replay: JEPO_FUZZ_ONLY=0x%llx ./fuzz_diff_test",
+                static_cast<unsigned long long>(seed));
+  return std::string(buf) + "\n---- generated program " + p.name +
+         " ----\n" + p.source + "----\n";
+}
+
+// Checks one derived seed; returns false on any divergence so the caller
+// can cap the failure spam. `*strict` reports whether the program had zero
+// instance invocations (the joule-bit-identical flavor).
+bool checkSeed(std::uint64_t seed, bool* strict = nullptr) {
+  const testgen::GeneratedProgram p = testgen::generateProgram(seed);
+  const RunResult tree = runTree(p, 0);
+  const RunResult bcvm = runBcvm(p, 0);
+  if (strict != nullptr) *strict = tree.instanceInvocations == 0;
+
+  // A generator-produced program must execute cleanly on both engines.
+  if (!tree.error.empty() || !bcvm.error.empty()) {
+    ADD_FAILURE() << "generated program failed to run\n"
+                  << "  tree: " << (tree.error.empty() ? "ok" : tree.error)
+                  << "\n  bcvm: " << (bcvm.error.empty() ? "ok" : bcvm.error)
+                  << "\n" << replayBanner(seed, p);
+    return false;
+  }
+
+  bool ok = true;
+  if (tree.out != bcvm.out) {
+    ADD_FAILURE() << "engines disagree on stdout\n"
+                  << "  tree: " << tree.out << "  bcvm: " << bcvm.out
+                  << replayBanner(seed, p);
+    ok = false;
+  }
+  // Per-op counts must match exactly, except for the bytecode VM's charged
+  // `this` slot: +1 kLocalAccess per instance invocation (see file header).
+  energy::OpArray<std::uint64_t> expected = tree.counts;
+  expected[energy::opIndex(energy::Op::kLocalAccess)] +=
+      tree.instanceInvocations;
+  if (expected != bcvm.counts) {
+    std::string diff;
+    for (std::size_t i = 0; i < energy::kOpCount; ++i) {
+      if (expected[i] == bcvm.counts[i]) continue;
+      diff += "  " +
+              std::string(energy::opName(static_cast<energy::Op>(i))) +
+              ": expected " + std::to_string(expected[i]) + " bcvm " +
+              std::to_string(bcvm.counts[i]) + "\n";
+    }
+    ADD_FAILURE() << "engines disagree on op counts ("
+                  << tree.instanceInvocations
+                  << " instance invocations modeled)\n"
+                  << diff << replayBanner(seed, p);
+    ok = false;
+  }
+  // With zero instance invocations the raw counts are identical, so the
+  // joules priced from them must be bit-identical too. Compared on
+  // hook-free runs: a single terminal sync makes the joules a pure
+  // function of the counts (see runTree).
+  if (tree.instanceInvocations == 0) {
+    const RunResult treeBare = runTree(p, 0, /*withHooks=*/false);
+    const RunResult bcvmBare = runBcvm(p, 0, /*withHooks=*/false);
+    if (treeBare.pkgBits != bcvmBare.pkgBits ||
+        treeBare.coreBits != bcvmBare.coreBits ||
+        treeBare.dramBits != bcvmBare.dramBits ||
+        treeBare.secondsBits != bcvmBare.secondsBits) {
+      ADD_FAILURE() << "engines disagree on simulated energy\n  tree "
+                    << describe(treeBare) << "\n  bcvm " << describe(bcvmBare)
+                    << "\n" << replayBanner(seed, p);
+      ok = false;
+    }
+  }
+  if (tree.methods != bcvm.methods) {
+    ADD_FAILURE() << "engines disagree on the method-record multiset\n  tree "
+                  << describe(tree) << "\n  bcvm " << describe(bcvm) << "\n"
+                  << replayBanner(seed, p);
+    ok = false;
+  }
+  if (!ok) return false;
+
+  // GC must be invisible: rerun each engine under a heap limit small enough
+  // to force collections and require bit-identical observables.
+  const RunResult treeGc = runTree(p, kFuzzHeapLimit);
+  const RunResult bcvmGc = runBcvm(p, kFuzzHeapLimit);
+  if (!treeGc.sameObservables(tree)) {
+    ADD_FAILURE() << "tree engine diverged under heap limit "
+                  << kFuzzHeapLimit << "\n  unlimited " << describe(tree)
+                  << "\n  limited   " << describe(treeGc) << "\n"
+                  << replayBanner(seed, p);
+    ok = false;
+  }
+  if (!bcvmGc.sameObservables(bcvm)) {
+    ADD_FAILURE() << "bytecode engine diverged under heap limit "
+                  << kFuzzHeapLimit << "\n  unlimited " << describe(bcvm)
+                  << "\n  limited   " << describe(bcvmGc) << "\n"
+                  << replayBanner(seed, p);
+    ok = false;
+  }
+  // The churn loop every program ends with must actually trigger the
+  // collector, or the bit-identity check above proves nothing.
+  EXPECT_GT(treeGc.collections, 0u) << replayBanner(seed, p);
+  EXPECT_GT(bcvmGc.collections, 0u) << replayBanner(seed, p);
+  return ok;
+}
+
+TEST(FuzzDiff, GeneratorIsDeterministic) {
+  const testgen::GeneratedProgram a = testgen::generateProgram(1234);
+  const testgen::GeneratedProgram b = testgen::generateProgram(1234);
+  const testgen::GeneratedProgram c = testgen::generateProgram(1235);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_NE(a.source, c.source);
+}
+
+TEST(FuzzDiff, EnginesAgreeOnGeneratedPrograms) {
+  bool onlySet = false;
+  const std::uint64_t only = envU64("JEPO_FUZZ_ONLY", 0, &onlySet);
+  if (onlySet) {
+    const testgen::GeneratedProgram p = testgen::generateProgram(only);
+    std::fputs(replayBanner(only, p).c_str(), stderr);
+    EXPECT_TRUE(checkSeed(only));
+    return;
+  }
+
+  const std::uint64_t base =
+      envU64("JEPO_FUZZ_SEED", kDefaultBaseSeed, nullptr);
+  const int runs = static_cast<int>(envU64(
+      "JEPO_FUZZ_RUNS", static_cast<std::uint64_t>(kDefaultRuns), nullptr));
+  int failures = 0;
+  int strictSeeds = 0;
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t seed = deriveSeed(base, static_cast<std::uint64_t>(i));
+    bool strict = false;
+    if (!checkSeed(seed, &strict)) ++failures;
+    if (strict) ++strictSeeds;
+    ASSERT_LT(failures, 3) << "stopping after repeated divergence — replay "
+                              "individual seeds with JEPO_FUZZ_ONLY";
+  }
+  // About half the seeds must exercise the joule-bit-identical flavor, or
+  // the energy comparison silently loses its strongest form.
+  EXPECT_GE(strictSeeds, runs / 8)
+      << "generator mode split drifted; strict seeds " << strictSeeds
+      << " of " << runs;
+}
+
+}  // namespace

@@ -1,0 +1,253 @@
+// Mark-compact GC stress: churn programs run under heap limits small enough
+// to force many collections, and every observable — stdout, simulated
+// joules, per-method records, object identity — must be bit-identical to
+// the unlimited-heap run. The collector is host-time only; the only things
+// allowed to change are host RSS and the gc.* counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "energy/machine.hpp"
+#include "jbc/bcvm.hpp"
+#include "jbc/compiler.hpp"
+#include "jlang/parser.hpp"
+#include "jvm/gc.hpp"
+#include "jvm/instrumenter.hpp"
+#include "jvm/interpreter.hpp"
+
+namespace {
+
+using namespace jepo;
+
+// 500 iterations allocating a Node + int[16] each; `keep` and `acc` stay
+// live across every collection, everything else dies young. The final
+// lines pin the live objects' field integrity after many relocations.
+const char* const kChurnSource = R"(
+class Node {
+  int a;
+  int b;
+  Node(int x) { a = x; b = x * 2 + 1; }
+  int sum() { return a + b; }
+}
+class Main {
+  static void main(String[] args) {
+    Node keep = new Node(7);
+    int chk = 0;
+    int i = 0;
+    while (i < 500) {
+      Node n = new Node(i);
+      int[] buf = new int[16];
+      buf[i % 16] = n.sum();
+      chk = chk + buf[i % 16];
+      keep.b = keep.b + 0;
+      i = i + 1;
+    }
+    System.out.println(chk);
+    System.out.println(keep.a + "/" + keep.b + "/" + keep.sum());
+  }
+}
+)";
+
+// chk = sum_{i=0}^{499} (3i + 1) = 3 * 124750 + 500.
+const char* const kChurnExpected = "374750\n7/15/22\n";
+
+struct RunResult {
+  std::string out;
+  std::uint64_t pkgBits = 0;
+  std::uint64_t secondsBits = 0;
+  std::uint64_t collections = 0;
+  std::uint64_t objectsReclaimed = 0;
+  std::uint64_t bytesReclaimed = 0;
+  std::size_t heapSize = 0;
+  std::uint64_t allocCount = 0;
+  std::size_t recordCount = 0;
+};
+
+std::uint64_t doubleBits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+RunResult runTree(const std::string& src, std::size_t heapLimit) {
+  const jlang::Program prog = jlang::Parser::parseProgram("gc_test", src);
+  energy::SimMachine machine;
+  jvm::Interpreter interp(prog, machine);
+  interp.setHeapLimit(heapLimit);
+  jvm::Instrumenter inst(machine);
+  interp.setHooks(&inst);
+  interp.setMaxSteps(50'000'000);
+  interp.runMain();
+  RunResult r;
+  r.out = interp.output();
+  r.pkgBits = doubleBits(machine.sample().packageJoules);
+  r.secondsBits = doubleBits(machine.sample().seconds);
+  r.collections = interp.gc().collections();
+  r.objectsReclaimed = interp.gc().objectsReclaimed();
+  r.bytesReclaimed = interp.gc().bytesReclaimed();
+  r.heapSize = interp.heap().size();
+  r.allocCount = interp.heap().allocCount();
+  r.recordCount = inst.records().size();
+  return r;
+}
+
+RunResult runBcvm(const std::string& src, std::size_t heapLimit) {
+  const jlang::Program prog = jlang::Parser::parseProgram("gc_test", src);
+  const jbc::CompiledProgram compiled = jbc::compile(prog);
+  energy::SimMachine machine;
+  jbc::BytecodeVm vm(compiled, machine);
+  vm.setHeapLimit(heapLimit);
+  jvm::Instrumenter inst(machine);
+  vm.setHooks(&inst);
+  vm.setMaxSteps(50'000'000);
+  vm.runMain();
+  RunResult r;
+  r.out = vm.output();
+  r.pkgBits = doubleBits(machine.sample().packageJoules);
+  r.secondsBits = doubleBits(machine.sample().seconds);
+  r.collections = vm.gc().collections();
+  r.objectsReclaimed = vm.gc().objectsReclaimed();
+  r.bytesReclaimed = vm.gc().bytesReclaimed();
+  r.heapSize = vm.heap().size();
+  r.allocCount = vm.heap().allocCount();
+  r.recordCount = inst.records().size();
+  return r;
+}
+
+void expectBitIdentical(const RunResult& unlimited, const RunResult& limited) {
+  EXPECT_EQ(unlimited.out, limited.out);
+  EXPECT_EQ(unlimited.pkgBits, limited.pkgBits);
+  EXPECT_EQ(unlimited.secondsBits, limited.secondsBits);
+  EXPECT_EQ(unlimited.recordCount, limited.recordCount);
+  // Same program, same allocations — the limit changes only liveness.
+  EXPECT_EQ(unlimited.allocCount, limited.allocCount);
+}
+
+TEST(GcStress, TreeEngineCollectsAndStaysBitIdentical) {
+  const RunResult unlimited = runTree(kChurnSource, 0);
+  const RunResult limited = runTree(kChurnSource, 32);
+
+  EXPECT_EQ(unlimited.collections, 0u);
+  EXPECT_GE(limited.collections, 3u);
+  EXPECT_GT(limited.objectsReclaimed, 0u);
+  EXPECT_GT(limited.bytesReclaimed, 0u);
+  expectBitIdentical(unlimited, limited);
+
+  EXPECT_EQ(limited.out, kChurnExpected);
+  // The collector actually bounds the heap: ~1000 allocations, but only a
+  // handful of objects are ever live at once.
+  EXPECT_GT(unlimited.heapSize, 500u);
+  EXPECT_LT(limited.heapSize, 100u);
+  EXPECT_GT(limited.allocCount, limited.heapSize);
+}
+
+TEST(GcStress, BcvmEngineCollectsAndStaysBitIdentical) {
+  const RunResult unlimited = runBcvm(kChurnSource, 0);
+  const RunResult limited = runBcvm(kChurnSource, 32);
+
+  EXPECT_EQ(unlimited.collections, 0u);
+  EXPECT_GE(limited.collections, 3u);
+  EXPECT_GT(limited.objectsReclaimed, 0u);
+  EXPECT_GT(limited.bytesReclaimed, 0u);
+  expectBitIdentical(unlimited, limited);
+
+  EXPECT_EQ(limited.out, kChurnExpected);
+  EXPECT_GT(unlimited.heapSize, 500u);
+  EXPECT_LT(limited.heapSize, 100u);
+  EXPECT_GT(limited.allocCount, limited.heapSize);
+}
+
+// Both engines under the same pressure agree on program-visible output and
+// do the same amount of reclamation work. (Joules are intentionally not
+// compared here: kChurnSource uses constructors and virtual calls, whose
+// `this` slot the bytecode VM charges and the tree interpreter does not —
+// the cross-engine energy contract lives in fuzz_diff_test.cpp.)
+TEST(GcStress, EnginesAgreeUnderPressure) {
+  const RunResult tree = runTree(kChurnSource, 24);
+  const RunResult bcvm = runBcvm(kChurnSource, 24);
+  EXPECT_EQ(tree.out, bcvm.out);
+  EXPECT_EQ(tree.out, kChurnExpected);
+  EXPECT_EQ(tree.allocCount, bcvm.allocCount);
+  EXPECT_EQ(tree.recordCount, bcvm.recordCount);
+  EXPECT_GE(tree.collections, 3u);
+  EXPECT_GE(bcvm.collections, 3u);
+}
+
+// Object identity rendering (Class@id) is pinned to the allocation ordinal,
+// not the heap slot, so it cannot change when compaction relocates the
+// object — and a dead-then-recycled slot can never alias an old identity.
+TEST(GcStress, ObjectIdentityIsStableAcrossCollections) {
+  const char* const src = R"(
+class Box {
+  int v;
+  Box(int x) { v = x; }
+}
+class Main {
+  static void main(String[] args) {
+    Box b = new Box(1);
+    System.out.println(b);
+    int i = 0;
+    while (i < 300) {
+      Box t = new Box(i);
+      i = i + 1;
+    }
+    System.out.println(b);
+  }
+}
+)";
+  const RunResult unlimited = runTree(src, 0);
+  const RunResult limited = runTree(src, 16);
+  EXPECT_GE(limited.collections, 3u);
+  EXPECT_EQ(unlimited.out, limited.out);
+
+  // The same object prints the same identity before and after 300
+  // allocations' worth of collections.
+  const std::size_t nl = limited.out.find('\n');
+  ASSERT_NE(nl, std::string::npos);
+  const std::string first = limited.out.substr(0, nl);
+  EXPECT_NE(first.find("Box@"), std::string::npos);
+  EXPECT_EQ(limited.out, first + "\n" + first + "\n");
+
+  const RunResult bcvmLimited = runBcvm(src, 16);
+  EXPECT_EQ(bcvmLimited.out, limited.out);
+}
+
+TEST(GcStress, EnvHeapLimitIsPickedUp) {
+  const RunResult limited = runTree(kChurnSource, 32);
+
+  // An engine constructed under the env var collects even without an
+  // explicit setHeapLimit call, and matches the explicit-limit run.
+  const jlang::Program prog =
+      jlang::Parser::parseProgram("gc_env", kChurnSource);
+  ASSERT_EQ(setenv("JEPO_HEAP_LIMIT", "32", 1), 0);
+  energy::SimMachine machine;
+  jvm::Interpreter interp(prog, machine);
+  ASSERT_EQ(unsetenv("JEPO_HEAP_LIMIT"), 0);
+  interp.runMain();
+  EXPECT_GE(interp.gc().collections(), 3u);
+  EXPECT_EQ(interp.output(), limited.out);
+}
+
+TEST(GcStress, LimitZeroNeverCollects) {
+  const RunResult r = runTree(kChurnSource, 0);
+  EXPECT_EQ(r.collections, 0u);
+  EXPECT_EQ(r.heapSize, static_cast<std::size_t>(r.allocCount));
+}
+
+TEST(GcStress, PauseStatsAreCoherent) {
+  const jlang::Program prog =
+      jlang::Parser::parseProgram("gc_pause", kChurnSource);
+  energy::SimMachine machine;
+  jvm::Interpreter interp(prog, machine);
+  interp.setHeapLimit(32);
+  interp.runMain();
+  const jvm::Gc& gc = interp.gc();
+  ASSERT_GE(gc.collections(), 3u);
+  EXPECT_GE(gc.totalPauseNs(), gc.maxPauseNs());
+  EXPECT_GT(gc.maxPauseNs(), 0u);
+}
+
+}  // namespace

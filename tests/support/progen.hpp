@@ -1,0 +1,32 @@
+// Seeded MiniJava program generator for the cross-engine differential
+// fuzzer. Every program it emits is valid, terminating, and exception-free
+// (division/modulo denominators and array indices are generated in safe
+// ranges). The grammar sticks to constructs both engines charge identically
+// per-op, with one modeled exception: instance invocations, where the
+// bytecode VM charges the `this` argument slot and the tree interpreter
+// does not. Half the seeds emit no instance constructs at all, so their
+// simulated joules are bit-identical across engines. Constructs the
+// compiler legitimately charges differently without an exactly countable
+// model (ternaries, short-circuit && / ||, qualified field stores, array
+// stores, field/static initializers) are excluded by design; see
+// tests/fuzz_diff_test.cpp for the invariants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jepo::testgen {
+
+struct GeneratedProgram {
+  std::string name;    // stable per-seed identifier, e.g. "fuzz_1a2b3c"
+  std::string source;  // complete program with a Main.main entry point
+};
+
+/// Deterministically expand `seed` into a program: same seed, same bytes.
+/// Programs contain 1-3 helper classes (int fields, statics, instance and
+/// static methods with acyclic call edges), bounded loops, object/array
+/// churn, and a final printed checksum so divergence surfaces in stdout
+/// as well as in the energy ledger.
+GeneratedProgram generateProgram(std::uint64_t seed);
+
+}  // namespace jepo::testgen
