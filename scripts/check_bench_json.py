@@ -20,7 +20,12 @@ the build on:
     vs-seed and engine-pair rows bench_vm_micro derives) must hold a
     strictly positive finite number — a null means the C++ writer
     sanitised a non-finite ratio, and zero/negative means a corrupt
-    timing fed the division.
+    timing fed the division;
+  - inconsistent EnginePair rows (the superinstruction/threaded-dispatch
+    speedup rows): each "EnginePair/<kernel>" row must carry strictly
+    positive "treeSecondsPerIter" and "bcvmSecondsPerIter" timings, and
+    its "speedupBcvmOverTree" must equal their ratio — a drift means the
+    row was hand-edited or the writer desynced from its inputs.
 
 Usage: check_bench_json.py report.json [report2.json ...]
 
@@ -87,6 +92,32 @@ def check_speedup_values(path, row, where):
     return errors
 
 
+def check_engine_pair_row(path, row, where):
+    """Validate the EnginePair/<kernel> speedup rows internally."""
+    name = row.get("name")
+    if not (isinstance(name, str) and name.startswith("EnginePair/")):
+        return 0
+    errors = 0
+    values = {}
+    for key in ("treeSecondsPerIter", "bcvmSecondsPerIter",
+                "speedupBcvmOverTree"):
+        value = row.get(key)
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or value <= 0:
+            errors += fail(path, f"{where} ({name}): '{key}' must be a "
+                           f"strictly positive number, got {value!r}")
+        else:
+            values[key] = value
+    if len(values) == 3:
+        expected = (values["treeSecondsPerIter"]
+                    / values["bcvmSecondsPerIter"])
+        got = values["speedupBcvmOverTree"]
+        if abs(got - expected) > 1e-6 * max(got, expected):
+            errors += fail(path, f"{where} ({name}): speedupBcvmOverTree "
+                           f"{got:.6g} != tree/bcvm ratio {expected:.6g}")
+    return errors
+
+
 def check_row_robustness(path, row, where):
     """Validate per-row measurement-quality bookkeeping where present."""
     errors = 0
@@ -148,6 +179,7 @@ def check_report(path, doc):
             else:
                 errors += check_row_robustness(path, row, f"rows[{i}]")
                 errors += check_speedup_values(path, row, f"rows[{i}]")
+                errors += check_engine_pair_row(path, row, f"rows[{i}]")
     if not isinstance(doc["wallMs"], (int, float)) or doc["wallMs"] < 0:
         errors += fail(path, "'wallMs' must be a non-negative number")
     if not isinstance(doc["counters"], dict):

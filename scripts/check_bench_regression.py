@@ -16,6 +16,10 @@ pair the gate checks:
 Speedups are never an error: only slowdowns beyond tolerance fail. A
 current report whose bench name is missing from the baseline fails too,
 so the baseline cannot silently fall out of sync with the bench set.
+Duplicate names are a hard error at every level — two baseline reports
+sharing a "bench" name, or two rows sharing a "name" within any report —
+because the gate would otherwise compare against an arbitrary one of the
+clashing entries and could mask a real regression.
 
 Tolerance defaults to 10% and can be widened for noisy runners with
 --tolerance=<fraction> or the JEPO_BENCH_TOLERANCE environment variable
@@ -45,7 +49,11 @@ def load_baseline(path):
     for report in reports:
         if not isinstance(report, dict) or "bench" not in report:
             raise ValueError(f"{path}: baseline entry is not a bench report")
-        by_name[report["bench"]] = report
+        name = report["bench"]
+        if name in by_name:
+            raise ValueError(f"{path}: duplicate bench name {name!r}")
+        by_name[name] = report
+        rows_by_name(report, f"{path} bench {name!r}")  # reject dup rows early
     return by_name
 
 
@@ -54,11 +62,21 @@ def positive_number(value):
             and value > 0)
 
 
-def rows_by_name(report):
+def rows_by_name(report, where):
+    """Rows keyed by "name". Raises ValueError on duplicates: a
+    copy-pasted row would otherwise shadow its twin and the slower of the
+    two could sail through the gate unseen."""
     out = {}
+    dups = set()
     for row in report.get("rows", []):
         if isinstance(row, dict) and isinstance(row.get("name"), str):
-            out.setdefault(row["name"], row)
+            if row["name"] in out:
+                dups.add(row["name"])
+            else:
+                out[row["name"]] = row
+    if dups:
+        raise ValueError(
+            f"{where}: duplicate row name(s): {', '.join(sorted(dups))}")
     return out
 
 
@@ -67,8 +85,8 @@ def check_report(baseline, current, path, tolerance):
     compared = 0
     bound = 1.0 + tolerance
 
-    base_rows = rows_by_name(baseline)
-    for name, row in rows_by_name(current).items():
+    base_rows = rows_by_name(baseline, f"baseline {baseline.get('bench')!r}")
+    for name, row in rows_by_name(current, path).items():
         base_row = base_rows.get(name)
         if base_row is None:
             continue
@@ -139,7 +157,10 @@ def main(argv):
             errors += fail(f"{path}: bench {bench!r} has no entry in "
                            f"{baseline_path} — regenerate the baseline")
             continue
-        errors += check_report(baselines[bench], current, path, tolerance)
+        try:
+            errors += check_report(baselines[bench], current, path, tolerance)
+        except ValueError as exc:
+            errors += fail(str(exc))
     return 1 if errors else 0
 
 

@@ -2,8 +2,17 @@
 
 #include "jvm/ops.hpp"
 
-namespace jepo::jbc {
+// Dispatch strategy. Computed goto ("labels as values", a GNU extension
+// GCC and Clang both support) keeps one indirect branch per opcode handler,
+// so the host branch predictor learns per-opcode successor patterns instead
+// of sharing one mispredicting switch branch. -DJEPO_NO_COMPUTED_GOTO (or a
+// different compiler) selects a portable switch loop over the exact same
+// handler bodies; both paths are built in CI.
+#if !defined(JEPO_NO_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+#define JEPO_COMPUTED_GOTO 1
+#endif
 
+namespace jepo::jbc {
 
 using jvm::BuiltinLibrary;
 using jvm::HeapObject;
@@ -22,6 +31,139 @@ Value* fieldByName(HeapObject& ho, const std::string& fieldName) {
   const int i = ho.layout->indexOfName(fieldName);
   if (i < 0) return nullptr;
   return &ho.fields[static_cast<std::size_t>(i)];
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define JEPO_FORCE_INLINE __attribute__((always_inline)) inline
+#define JEPO_LAMBDA_INLINE __attribute__((always_inline))
+#else
+#define JEPO_FORCE_INLINE inline
+#define JEPO_LAMBDA_INLINE
+#endif
+
+/// int×int binary fast path, bit-exact with applyBinary (ops.cpp): for two
+/// kInt operands unboxIfNeeded is the identity and charges nothing, there
+/// is no sub-int widening charge, the promoted kind is kInt, and the string
+/// / reference-equality / boolean special cases never apply. Returns false
+/// (charging nothing) for any other operand shape. Forced inline so the
+/// dominant int path stays inside each dispatch handler.
+JEPO_FORCE_INLINE bool fastIntBinary(jlang::BinOp op, const Value& a,
+                                     const Value& b, BuiltinLibrary& lib,
+                                     energy::SimMachine& machine,
+                                     Value* out) {
+  if (a.kind != ValKind::kInt || b.kind != ValKind::kInt) return false;
+  const std::int64_t x = a.asInt();
+  const std::int64_t y = b.asInt();
+  bool cmp = false;
+  std::int64_t r = 0;
+  switch (op) {
+    case jlang::BinOp::kLt: cmp = x < y; goto compared;
+    case jlang::BinOp::kGt: cmp = x > y; goto compared;
+    case jlang::BinOp::kLe: cmp = x <= y; goto compared;
+    case jlang::BinOp::kGe: cmp = x >= y; goto compared;
+    case jlang::BinOp::kEq: cmp = x == y; goto compared;
+    case jlang::BinOp::kNe: cmp = x != y; goto compared;
+    case jlang::BinOp::kAdd:
+      machine.charge(energy::Op::kIntAlu);
+      r = static_cast<std::int64_t>(static_cast<std::uint64_t>(x) +
+                                    static_cast<std::uint64_t>(y));
+      break;
+    case jlang::BinOp::kSub:
+      machine.charge(energy::Op::kIntAlu);
+      r = static_cast<std::int64_t>(static_cast<std::uint64_t>(x) -
+                                    static_cast<std::uint64_t>(y));
+      break;
+    case jlang::BinOp::kMul:
+      machine.charge(energy::Op::kIntAlu);
+      r = static_cast<std::int64_t>(static_cast<std::uint64_t>(x) *
+                                    static_cast<std::uint64_t>(y));
+      break;
+    case jlang::BinOp::kDiv:
+      machine.charge(energy::Op::kIntDiv);  // charged before the zero check,
+      if (y == 0) lib.throwJava("ArithmeticException", "/ by zero");
+      r = x / y;                            // exactly as arith() does
+      break;
+    case jlang::BinOp::kMod:
+      machine.charge(energy::Op::kIntMod);
+      if (y == 0) lib.throwJava("ArithmeticException", "% by zero");
+      r = x % y;
+      break;
+    case jlang::BinOp::kBitAnd:
+      machine.charge(energy::Op::kIntAlu);
+      r = x & y;
+      break;
+    case jlang::BinOp::kBitOr:
+      machine.charge(energy::Op::kIntAlu);
+      r = x | y;
+      break;
+    case jlang::BinOp::kBitXor:
+      machine.charge(energy::Op::kIntAlu);
+      r = x ^ y;
+      break;
+    case jlang::BinOp::kShl:
+      machine.charge(energy::Op::kIntAlu);
+      r = static_cast<std::int64_t>(static_cast<std::uint64_t>(x) << (y & 31));
+      break;
+    case jlang::BinOp::kShr:
+      machine.charge(energy::Op::kIntAlu);
+      r = x >> (y & 31);
+      break;
+    default:
+      return false;  // &&/|| never reach kBinary; keep applyBinary's error
+  }
+  // wrapToKind(r, kInt) inlined: sign-extended int32 truncation.
+  *out = Value::ofInt(static_cast<std::int64_t>(static_cast<std::int32_t>(r)));
+  return true;
+compared:
+  machine.charge(energy::Op::kIntAlu);
+  *out = Value::ofBool(cmp);
+  return true;
+}
+
+/// coerceToKind with its identity head (same kind, or a kRef target)
+/// inlined at the call site — the overwhelmingly common already-typed case
+/// skips the out-of-line call. Bit-exact: these are the first two lines of
+/// jvm::coerceToKind, which charge nothing.
+JEPO_FORCE_INLINE Value coerceInline(const Value& v, ValKind k,
+                                     BuiltinLibrary& lib, int line) {
+  if (v.kind == k || k == ValKind::kRef) return v;
+  return jvm::coerceToKind(v, k, lib, line);
+}
+
+/// The kThisFieldAccumReturn body (`f1 = f1 <op> f2; return f1;`), shared
+/// by the trivial-callee inline helpers. Replays the seed charge sequence
+/// exactly; `self` stays valid across an allocating binary because heap
+/// addresses are stable between safepoints.
+JEPO_FORCE_INLINE Value fieldAccumReturnImpl(const Instr& in0,
+                                             const Value& thisV,
+                                             jvm::Heap& heap,
+                                             jvm::BuiltinLibrary& builtins,
+                                             energy::SimMachine& machine) {
+  const std::int32_t aa = in0.a;
+  const std::size_t o1 = static_cast<std::size_t>(aa & 0xFFF);
+  machine.charge(energy::Op::kFieldAccess);
+  HeapObject& self = heap.get(thisV.asRef());
+  const Value a = self.fields[o1];
+  machine.charge(energy::Op::kFieldAccess);
+  const Value b = self.fields[static_cast<std::size_t>((aa >> 12) & 0xFFF)];
+  Value r;
+  if (!fastIntBinary(static_cast<jlang::BinOp>(in0.b & 0xFF), a, b, builtins,
+                     machine, &r)) {
+    r = jvm::applyBinary(static_cast<jlang::BinOp>(in0.b & 0xFF), a, b, heap,
+                         builtins, machine, in0.line);
+  }
+  const std::int32_t castE = (in0.b >> 8) & 0xF;
+  if (castE != 15) {
+    r = coerceInline(r, static_cast<ValKind>(castE), builtins, in0.line);
+  }
+  machine.charge(energy::Op::kFieldAccess);
+  Value& field = self.fields[o1];
+  if (field.isNumeric() && r.isNumeric()) {
+    r = coerceInline(r, field.kind, builtins, in0.line);
+  }
+  field = r;
+  machine.charge(energy::Op::kFieldAccess);
+  return field;
 }
 
 }  // namespace
@@ -55,6 +197,49 @@ BytecodeVm::BytecodeVm(const CompiledProgram& program,
   methodChunks_.resize(res.classes.size());
   staticDefaults_.resize(res.classes.size());
   objectTemplates_.resize(res.classes.size());
+  codeById_.assign(program.chunkCount, nullptr);
+  quickened_.resize(program.chunkCount);
+  // Classify trivial callees once: a single fused accessor instruction, no
+  // exception table, and every slot it reads is a parameter slot (so the
+  // body never touches a default-initialized local).
+  trivialKind_.assign(program.chunkCount, kNotTrivial);
+  const auto classify = [this](const Chunk& ch) {
+    if (!ch.handlers.empty() || ch.code.empty() ||
+        ch.chunkId >= trivialKind_.size()) {
+      return;
+    }
+    const Instr& in0 = ch.code[0];
+    const auto nParams = static_cast<std::int32_t>(ch.paramKinds.size());
+    std::uint8_t kind = kNotTrivial;
+    switch (in0.op) {
+      case Op::kLoadLoadBinaryReturn:
+        if (in0.a < nParams && (in0.b & 0xFFFFF) < nParams) {
+          kind = kTrivLoadLoadBinaryReturn;
+        }
+        break;
+      case Op::kLoadReturn:
+        if (in0.a < nParams) kind = kTrivLoadReturn;
+        break;
+      case Op::kThisFieldReturn:
+        if (nParams >= 1) kind = kTrivThisFieldReturn;
+        break;
+      case Op::kThisFieldAccumReturn:
+        if (nParams >= 1) kind = kTrivThisFieldAccumReturn;
+        break;
+      default:
+        break;
+    }
+    trivialKind_[ch.chunkId] = kind;
+  };
+  for (const auto& [clsName, compiled] : program.classes) {
+    (void)clsName;
+    classify(compiled.clinit);
+    classify(compiled.initFields);
+    for (const auto& [methodName, m] : compiled.methods) {
+      (void)methodName;
+      classify(m);
+    }
+  }
   for (std::size_t id = 0; id < res.classes.size(); ++id) {
     const jlang::ResolvedClass& rc = res.classes[id];
     // Shadowed duplicate class names never execute (findClass returns the
@@ -83,12 +268,9 @@ BytecodeVm::BytecodeVm(const CompiledProgram& program,
   }
 }
 
-void BytecodeVm::step() {
-  ++steps_;
-  if (maxSteps_ != 0 && steps_ > maxSteps_) {
-    throw VmError("bytecode step limit exceeded (" +
-                  std::to_string(maxSteps_) + ")");
-  }
+void BytecodeVm::throwStepLimit() const {
+  throw VmError("bytecode step limit exceeded (" +
+                std::to_string(maxSteps_) + ")");
 }
 
 void BytecodeVm::chargeRowLoad(Ref array, std::int64_t index,
@@ -120,6 +302,8 @@ void BytecodeVm::ensureClassInitById(std::int32_t classId) {
   for (const auto& [slot, kind] : staticDefaults_[idx]) {
     statics_[static_cast<std::size_t>(slot)] = jvm::Heap::defaultValue(kind);
   }
+  // Fusion never produces an empty chunk and kReturnVoid never fuses, so a
+  // non-trivial <clinit> still has > 1 instructions post-fusion.
   if (cls->clinit.code.size() > 1) {
     invoke(*cls, cls->clinit, {});
   }
@@ -168,32 +352,58 @@ jvm::Value BytecodeVm::construct(const std::string& className,
 
 jvm::Value BytecodeVm::constructById(std::int32_t classId,
                                      std::vector<Value> args) {
+  // args live across <clinit>, <initfields> and constructor safepoints.
+  jvm::Gc::ScopedVector rootArgs(gc_, args);
+  return constructByIdSpan(classId, args.data(), args.size());
+}
+
+jvm::Value BytecodeVm::constructByIdSpan(std::int32_t classId,
+                                         const Value* args,
+                                         std::size_t argc) {
   const auto idx = static_cast<std::size_t>(classId);
   const CompiledClass& cls = *classById_[idx];
   const jlang::ResolvedClass& rc = resolution_->classes[idx];
   charge(energy::Op::kAllocObject);
-  // args live across <clinit>, <initfields> and constructor safepoints;
-  // the fresh object is only reachable through `r` until returned.
-  jvm::Gc::ScopedVector rootArgs(gc_, args);
+  // Span callers keep args on the caller's (rooted) operand stack; the
+  // fresh object is only reachable through `r` until returned.
   ensureClassInitById(classId);
   Ref r = heap_.allocObject(cls.name, rc.layout);
   jvm::Gc::ScopedRef rootR(gc_, r);
   heap_.get(r).fields = objectTemplates_[idx];
   if (cls.initFields.code.size() > 1) {
-    invoke(cls, cls.initFields, {Value::ofRef(r)});
+    invokeRecvSpan(cls, cls.initFields, Value::ofRef(r), nullptr, 0);
   }
   const auto ctor = cls.methods.find(cls.name);
   if (ctor != cls.methods.end()) {
-    std::vector<Value> ctorArgs;
-    ctorArgs.reserve(args.size() + 1);
-    ctorArgs.push_back(Value::ofRef(r));
-    for (auto& a : args) ctorArgs.push_back(a);
-    invoke(cls, ctor->second, std::move(ctorArgs));
+    invokeRecvSpan(cls, ctor->second, Value::ofRef(r), args, argc);
   } else {
-    JEPO_REQUIRE(args.empty(),
+    JEPO_REQUIRE(argc == 0,
                  "class " + cls.name + " has no constructor taking args");
   }
   return Value::ofRef(r);
+}
+
+BytecodeVm::Frame& BytecodeVm::acquireFrame(const Chunk& chunk) {
+  if (frameDepth_ >= framePool_.size()) {
+    framePool_.push_back(std::make_unique<Frame>());
+  }
+  Frame& f = *framePool_[frameDepth_];
+  const auto nSlots = static_cast<std::size_t>(chunk.numSlots);
+  // +2: one for the exception push on handler entry of a zero-depth chunk,
+  // one safety margin over the dataflow bound.
+  const auto nStack = static_cast<std::size_t>(chunk.maxStack) + 2;
+  if (f.slots.size() < nSlots) f.slots.resize(nSlots);
+  if (f.stack.size() < nStack) f.stack.resize(nStack);
+  // Parameter slots are written by every caller before the frame goes
+  // live (the argc REQUIREs run before acquire), so only the locals past
+  // them need the default-null reset.
+  const auto nParams = chunk.paramKinds.size();
+  if (nParams < nSlots) {
+    std::fill(f.slots.data() + nParams, f.slots.data() + nSlots, Value());
+  }
+  f.liveSlots = nSlots;
+  f.top = 0;
+  return f;
 }
 
 jvm::Value BytecodeVm::invoke(const CompiledClass& cls, const Chunk& chunk,
@@ -203,13 +413,56 @@ jvm::Value BytecodeVm::invoke(const CompiledClass& cls, const Chunk& chunk,
   }
   JEPO_REQUIRE(args.size() == chunk.paramKinds.size(),
                "wrong argument count for " + chunk.qualifiedName);
-
-  std::vector<Value> slots(static_cast<std::size_t>(chunk.numSlots));
+  Frame& frame = acquireFrame(chunk);
+  Value* const slots = frame.slots.data();
   for (std::size_t i = 0; i < args.size(); ++i) {
     charge(energy::Op::kLocalAccess);
-    slots[i] = jvm::coerceToKind(args[i], chunk.paramKinds[i], builtins_, 0);
+    slots[i] = coerceInline(args[i], chunk.paramKinds[i], builtins_, 0);
   }
+  return finishInvoke(cls, chunk, frame);
+}
 
+jvm::Value BytecodeVm::invokeSpan(const CompiledClass& cls,
+                                  const Chunk& chunk, const Value* args,
+                                  std::size_t argc) {
+  if (frameDepth_ >= kMaxFrames) {
+    throwJava("StackOverflowError", chunk.qualifiedName);
+  }
+  JEPO_REQUIRE(argc == chunk.paramKinds.size(),
+               "wrong argument count for " + chunk.qualifiedName);
+  Frame& frame = acquireFrame(chunk);
+  Value* const slots = frame.slots.data();
+  for (std::size_t i = 0; i < argc; ++i) {
+    charge(energy::Op::kLocalAccess);
+    slots[i] = coerceInline(args[i], chunk.paramKinds[i], builtins_, 0);
+  }
+  return finishInvoke(cls, chunk, frame);
+}
+
+jvm::Value BytecodeVm::invokeRecvSpan(const CompiledClass& cls,
+                                      const Chunk& chunk, const Value& recv,
+                                      const Value* rest, std::size_t nRest) {
+  if (frameDepth_ >= kMaxFrames) {
+    throwJava("StackOverflowError", chunk.qualifiedName);
+  }
+  JEPO_REQUIRE(nRest + 1 == chunk.paramKinds.size(),
+               "wrong argument count for " + chunk.qualifiedName);
+  Frame& frame = acquireFrame(chunk);
+  Value* const slots = frame.slots.data();
+  charge(energy::Op::kLocalAccess);
+  slots[0] = coerceInline(recv, chunk.paramKinds[0], builtins_, 0);
+  for (std::size_t i = 0; i < nRest; ++i) {
+    charge(energy::Op::kLocalAccess);
+    slots[i + 1] = coerceInline(rest[i], chunk.paramKinds[i + 1],
+                                builtins_, 0);
+  }
+  return finishInvoke(cls, chunk, frame);
+}
+
+jvm::Value BytecodeVm::finishInvoke(const CompiledClass& cls,
+                                    const Chunk& chunk, Frame& frame) {
+  // The frame becomes visible to the GC root scan only now, fully
+  // initialized; no safepoint can run between acquireFrame and here.
   ++frameDepth_;
   const jvm::MethodRef ref{chunk.methodId, &chunk.qualifiedName};
   if (hooks_ != nullptr) hooks_->onEnter(ref);
@@ -222,653 +475,1462 @@ jvm::Value BytecodeVm::invoke(const CompiledClass& cls, const Chunk& chunk,
     }
   } guard{this, &ref};
 
-  const Value result = run(cls, chunk, slots);
+  const Value result = run(cls, chunk, frame);
   charge(energy::Op::kReturn);
   return result;
 }
 
-jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
-                           std::vector<Value>& slots) {
-  std::vector<Value> stack;
-  stack.reserve(16);
-  // This frame's locals and operand stack are GC roots for as long as the
-  // chunk executes (including nested invokes below it).
-  jvm::Gc::ScopedVector rootSlots(gc_, slots);
-  jvm::Gc::ScopedVector rootStack(gc_, stack);
-  auto pop = [&] {
-    JEPO_ASSERT(!stack.empty());
-    const Value v = stack.back();
-    stack.pop_back();
-    return v;
-  };
-  auto popArgs = [&](int argc) {
-    std::vector<Value> args(static_cast<std::size_t>(argc));
-    for (int i = argc - 1; i >= 0; --i) {
-      args[static_cast<std::size_t>(i)] = pop();
+// Trivial-callee inlining. The framed flow for an eligible call is: depth
+// check, argc check, per-argument {charge(kLocalAccess); identity coerce},
+// callee VM_TOP (steps += n, limit check, safepoint with the new frame's
+// top = 0), the single fused body instruction, charge(kReturn). Both
+// helpers replay exactly that sequence without acquiring a frame. The
+// identity coercions are guaranteed by the kind precheck (every argument
+// kind already equals its parameter kind, or the parameter is kRef — the
+// exact first test of coerceToKind), which also means no throw can land
+// between the argument charges, so they merge into one counted charge.
+// The safepoint sees the same root object set as the framed flow: the
+// arguments are still live on the caller's stack under frame.top (recorded
+// at the call's own dispatch, before sp was lowered), and the callee frame
+// it replaces held only copies of those values plus null locals. Argument
+// values are re-read through the caller's rooted storage *after* the
+// safepoint, so a compaction's remaps are observed just as callee-frame
+// slots would have been.
+bool BytecodeVm::inlineSpanCall(const Chunk& chunk, const Value* args,
+                                std::size_t argc, Value* out) {
+  if (hooks_ != nullptr || chunk.chunkId >= trivialKind_.size()) return false;
+  const std::uint8_t triv = trivialKind_[chunk.chunkId];
+  if (triv == kNotTrivial) return false;
+  if (argc != chunk.paramKinds.size()) return false;
+  for (std::size_t i = 0; i < argc; ++i) {
+    const ValKind k = chunk.paramKinds[i];
+    if (args[i].kind != k && k != ValKind::kRef) return false;
+  }
+  if (frameDepth_ >= kMaxFrames) {
+    throwJava("StackOverflowError", chunk.qualifiedName);
+  }
+  if (argc != 0) charge(energy::Op::kLocalAccess, argc);
+  const Instr& in0 = chunk.code[0];
+  steps_ += in0.n;
+  if (steps_ > maxStepsEff_) throwStepLimit();
+  if (gc_.limit() != 0) gc_.safepoint();
+  Value result;
+  switch (triv) {
+    case kTrivLoadLoadBinaryReturn: {
+      const std::int32_t bb = in0.b;
+      charge(energy::Op::kLocalAccess, 2);
+      const Value a = args[static_cast<std::size_t>(in0.a)];
+      const Value b = args[static_cast<std::size_t>(bb & 0xFFFFF)];
+      if (!fastIntBinary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), a, b,
+                         builtins_, *machine_, &result)) {
+        result = jvm::applyBinary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F),
+                                  a, b, heap_, builtins_, *machine_, in0.line);
+      }
+      break;
     }
-    return args;
+    case kTrivLoadReturn:
+      charge(energy::Op::kLocalAccess);
+      result = args[static_cast<std::size_t>(in0.a)];
+      break;
+    case kTrivThisFieldAccumReturn:
+      result = fieldAccumReturnImpl(in0, args[0], heap_, builtins_,
+                                   *machine_);
+      break;
+    default:  // kTrivThisFieldReturn
+      charge(energy::Op::kFieldAccess);
+      result = heap_.get(args[0].asRef())
+                   .fields[static_cast<std::size_t>(in0.a)];
+      break;
+  }
+  charge(energy::Op::kReturn);
+  *out = result;
+  return true;
+}
+
+bool BytecodeVm::inlineRecvCall(const Chunk& chunk, const Value& recv,
+                                const Value* rest, std::size_t nRest,
+                                Value* out) {
+  if (hooks_ != nullptr || chunk.chunkId >= trivialKind_.size()) return false;
+  const std::uint8_t triv = trivialKind_[chunk.chunkId];
+  if (triv == kNotTrivial) return false;
+  if (nRest + 1 != chunk.paramKinds.size()) return false;
+  if (recv.kind != chunk.paramKinds[0] &&
+      chunk.paramKinds[0] != ValKind::kRef) {
+    return false;
+  }
+  for (std::size_t i = 0; i < nRest; ++i) {
+    const ValKind k = chunk.paramKinds[i + 1];
+    if (rest[i].kind != k && k != ValKind::kRef) return false;
+  }
+  if (frameDepth_ >= kMaxFrames) {
+    throwJava("StackOverflowError", chunk.qualifiedName);
+  }
+  charge(energy::Op::kLocalAccess, nRest + 1);
+  const Instr& in0 = chunk.code[0];
+  steps_ += in0.n;
+  if (steps_ > maxStepsEff_) throwStepLimit();
+  if (gc_.limit() != 0) gc_.safepoint();
+  // recv binds the caller's slot 0 and rest the caller's stack — both
+  // rooted storage, so these reads observe any compaction remaps.
+  const auto slotVal = [&](std::int32_t s) -> const Value& {
+    return s == 0 ? recv : rest[static_cast<std::size_t>(s) - 1];
   };
+  Value result;
+  switch (triv) {
+    case kTrivLoadLoadBinaryReturn: {
+      const std::int32_t bb = in0.b;
+      charge(energy::Op::kLocalAccess, 2);
+      const Value a = slotVal(in0.a);
+      const Value b = slotVal(bb & 0xFFFFF);
+      if (!fastIntBinary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), a, b,
+                         builtins_, *machine_, &result)) {
+        result = jvm::applyBinary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F),
+                                  a, b, heap_, builtins_, *machine_, in0.line);
+      }
+      break;
+    }
+    case kTrivLoadReturn:
+      charge(energy::Op::kLocalAccess);
+      result = slotVal(in0.a);
+      break;
+    case kTrivThisFieldAccumReturn:
+      result = fieldAccumReturnImpl(in0, recv, heap_, builtins_,
+                                   *machine_);
+      break;
+    default:  // kTrivThisFieldReturn
+      charge(energy::Op::kFieldAccess);
+      result = heap_.get(recv.asRef())
+                   .fields[static_cast<std::size_t>(in0.a)];
+      break;
+  }
+  charge(energy::Op::kReturn);
+  *out = result;
+  return true;
+}
+
+Instr* BytecodeVm::quickenableCode(const Chunk& chunk) {
+  const std::size_t id = chunk.chunkId;
+  if (id >= quickened_.size() || chunk.code.empty()) return nullptr;
+  std::vector<Instr>& copy = quickened_[id];
+  if (copy.empty()) {
+    copy.assign(chunk.code.begin(), chunk.code.end());
+    codeById_[id] = copy.data();
+  }
+  return copy.data();
+}
+
+jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
+                           Frame& frame) {
   const auto& names = program_->names;
-  auto name = [&](std::int32_t idx) -> const std::string& {
+  const auto name = [&](std::int32_t idx) -> const std::string& {
     return names[static_cast<std::size_t>(idx)];
   };
 
-  std::size_t pc = 0;
-  while (pc < chunk.code.size()) {
-    const Instr& in = chunk.code[pc];
-    step();
-    // The engine's only GC safepoint: instruction granularity means no
-    // builtin, operator helper or allocation path can ever collect. Every
-    // live value sits in registered slots/stacks or scoped roots here.
-    gc_.safepoint();
-    try {
-      switch (in.op) {
-        case Op::kConstInt:
-          charge(energy::Op::kConstLoad);
-          stack.push_back(Value::ofInt(
-              program_->intPool[static_cast<std::size_t>(in.a)]));
-          break;
-        case Op::kConstLong:
-          charge(energy::Op::kConstLoad);
-          stack.push_back(Value::ofLong(
-              program_->intPool[static_cast<std::size_t>(in.a)]));
-          break;
-        case Op::kConstFloat:
-          charge(in.b != 0 ? energy::Op::kConstLoadPlainDecimal
-                           : energy::Op::kConstLoad);
-          stack.push_back(Value::ofFloat(
-              program_->numPool[static_cast<std::size_t>(in.a)]));
-          break;
-        case Op::kConstDouble:
-          charge(in.b != 0 ? energy::Op::kConstLoadPlainDecimal
-                           : energy::Op::kConstLoad);
-          stack.push_back(Value::ofDouble(
-              program_->numPool[static_cast<std::size_t>(in.a)]));
-          break;
-        case Op::kConstStr: {
-          charge(energy::Op::kConstLoad);
-          // The names pool is content-deduped at compile time, so a flat
-          // vector indexed by name id replaces the seed's hash lookup.
-          // Lazy allocation preserves the seed's heap-allocation order.
-          Ref& interned = literalByName_[static_cast<std::size_t>(in.a)];
-          if (interned == kNullRef) interned = heap_.allocString(name(in.a));
-          stack.push_back(Value::ofRef(interned));
-          break;
-        }
-        case Op::kConstChar:
-          charge(energy::Op::kConstLoad);
-          stack.push_back(Value::ofChar(in.a));
-          break;
-        case Op::kConstBool:
-          charge(energy::Op::kConstLoad);
-          stack.push_back(Value::ofBool(in.a != 0));
-          break;
-        case Op::kConstNull:
-          charge(energy::Op::kConstLoad);
-          stack.push_back(Value::null());
-          break;
+  // Dispatch from the quickened copy when one exists; `codeBase`/`ip` are
+  // re-pointed in place if this very run performs the first quickening.
+  const Instr* codeBase =
+      chunk.chunkId < codeById_.size() && codeById_[chunk.chunkId] != nullptr
+          ? codeById_[chunk.chunkId]
+          : chunk.code.data();
+  const Instr* codeEnd = codeBase + chunk.code.size();
+  const Instr* ip = codeBase;
+  Value* const slots = frame.slots.data();
+  Value* const stackBase = frame.stack.data();
+  Value* sp = stackBase;
 
-        case Op::kLoad:
-          charge(energy::Op::kLocalAccess);
-          stack.push_back(slots[static_cast<std::size_t>(in.a)]);
-          break;
-        case Op::kStore: {
-          charge(energy::Op::kLocalAccess);
-          Value v = pop();
-          if (in.b >= 0 && static_cast<ValKind>(in.b) != ValKind::kRef &&
-              v.isNumeric()) {
-            v = jvm::coerceToKind(v, static_cast<ValKind>(in.b), builtins_,
-                                  in.line);
-          }
-          slots[static_cast<std::size_t>(in.a)] = v;
-          break;
-        }
-        case Op::kLoadThis:
-          charge(energy::Op::kLocalAccess);
-          stack.push_back(slots[0]);
-          break;
-
-        case Op::kGetField: {
-          const Value obj = pop();
-          if (obj.isNull()) {
-            throwJava("NullPointerException",
-                      "field '" + name(in.a) + "' on null at line " +
-                          std::to_string(in.line));
-          }
-          HeapObject& ho = heap_.get(obj.asRef());
-          charge(energy::Op::kFieldAccess);
-          if (ho.kind == ObjKind::kArray && name(in.a) == "length") {
-            stack.push_back(
-                Value::ofInt(static_cast<std::int64_t>(ho.elems.size())));
-            break;
-          }
-          const Value* field = ho.kind == ObjKind::kObject
-                                   ? fieldByName(ho, name(in.a))
-                                   : nullptr;
-          if (field == nullptr) {
-            throw VmError("unknown field '" + name(in.a) + "' at line " +
-                          std::to_string(in.line));
-          }
-          stack.push_back(*field);
-          break;
-        }
-        case Op::kPutField: {
-          Value v = pop();
-          const Value obj = pop();
-          if (obj.isNull()) {
-            throwJava("NullPointerException", "store to field of null");
-          }
-          HeapObject& ho = heap_.get(obj.asRef());
-          Value* field = ho.kind == ObjKind::kObject
-                             ? fieldByName(ho, name(in.a))
-                             : nullptr;
-          JEPO_REQUIRE(field != nullptr,
-                       "unknown field '" + name(in.a) + "'");
-          charge(energy::Op::kFieldAccess);
-          if (field->isNumeric() && v.isNumeric()) {
-            v = jvm::coerceToKind(v, field->kind, builtins_, in.line);
-          }
-          *field = v;
-          break;
-        }
-        case Op::kGetThisField: {
-          charge(energy::Op::kFieldAccess);
-          HeapObject& self = heap_.get(slots[0].asRef());
-          const Value* field = fieldByName(self, name(in.a));
-          JEPO_REQUIRE(field != nullptr,
-                       "unknown this-field '" + name(in.a) + "'");
-          stack.push_back(*field);
-          break;
-        }
-        case Op::kPutThisField: {
-          charge(energy::Op::kFieldAccess);
-          Value v = pop();
-          HeapObject& self = heap_.get(slots[0].asRef());
-          Value* field = fieldByName(self, name(in.a));
-          JEPO_REQUIRE(field != nullptr,
-                       "unknown this-field '" + name(in.a) + "'");
-          if (field->isNumeric() && v.isNumeric()) {
-            v = jvm::coerceToKind(v, field->kind, builtins_, in.line);
-          }
-          *field = v;
-          break;
-        }
-        case Op::kGetThisFieldSlot: {
-          charge(energy::Op::kFieldAccess);
-          HeapObject& self = heap_.get(slots[0].asRef());
-          stack.push_back(self.fields[static_cast<std::size_t>(in.a)]);
-          break;
-        }
-        case Op::kPutThisFieldSlot: {
-          charge(energy::Op::kFieldAccess);
-          Value v = pop();
-          HeapObject& self = heap_.get(slots[0].asRef());
-          Value& field = self.fields[static_cast<std::size_t>(in.a)];
-          if (field.isNumeric() && v.isNumeric()) {
-            v = jvm::coerceToKind(v, field.kind, builtins_, in.line);
-          }
-          field = v;
-          break;
-        }
-        case Op::kGetFieldCached: {
-          const Value obj = pop();
-          if (obj.isNull()) {
-            throwJava("NullPointerException",
-                      "field '" + name(in.a) + "' on null at line " +
-                          std::to_string(in.line));
-          }
-          HeapObject& ho = heap_.get(obj.asRef());
-          charge(energy::Op::kFieldAccess);
-          if (ho.kind == ObjKind::kArray && name(in.a) == "length") {
-            stack.push_back(
-                Value::ofInt(static_cast<std::int64_t>(ho.elems.size())));
-            break;
-          }
-          if (ho.kind != ObjKind::kObject || ho.layout == nullptr) {
-            throw VmError("unknown field '" + name(in.a) + "' at line " +
-                          std::to_string(in.line));
-          }
-          FieldCacheEntry& fc = fieldCaches_[static_cast<std::size_t>(in.b)];
-          if (fc.layout != ho.layout) {
-            const int offset = ho.layout->indexOfName(name(in.a));
-            if (offset < 0) {
-              throw VmError("unknown field '" + name(in.a) + "' at line " +
-                            std::to_string(in.line));
-            }
-            fc = {ho.layout, offset};
-          }
-          stack.push_back(ho.fields[static_cast<std::size_t>(fc.offset)]);
-          break;
-        }
-        case Op::kPutFieldCached: {
-          Value v = pop();
-          const Value obj = pop();
-          if (obj.isNull()) {
-            throwJava("NullPointerException", "store to field of null");
-          }
-          HeapObject& ho = heap_.get(obj.asRef());
-          JEPO_REQUIRE(ho.kind == ObjKind::kObject && ho.layout != nullptr,
-                       "unknown field '" + name(in.a) + "'");
-          FieldCacheEntry& fc = fieldCaches_[static_cast<std::size_t>(in.b)];
-          if (fc.layout != ho.layout) {
-            const int offset = ho.layout->indexOfName(name(in.a));
-            JEPO_REQUIRE(offset >= 0,
-                         "unknown field '" + name(in.a) + "'");
-            fc = {ho.layout, offset};
-          }
-          Value& field = ho.fields[static_cast<std::size_t>(fc.offset)];
-          charge(energy::Op::kFieldAccess);
-          if (field.isNumeric() && v.isNumeric()) {
-            v = jvm::coerceToKind(v, field.kind, builtins_, in.line);
-          }
-          field = v;
-          break;
-        }
-        case Op::kGetStatic: {
-          const std::string& key = name(in.a);
-          const auto dot = key.find('.');
-          const std::string className = key.substr(0, dot);
-          const std::string fieldName = key.substr(dot + 1);
-          if (BuiltinLibrary::isBuiltinClassName(className)) {
-            Value v;
-            if (builtins_.staticField(className, fieldName, &v)) {
-              stack.push_back(v);
-              break;
-            }
-          }
-          ensureClassInit(className);
-          const Value* slot = findStaticByName(className, fieldName);
-          if (slot == nullptr) {
-            throw VmError("unknown static field " + key + " at line " +
-                          std::to_string(in.line));
-          }
-          charge(energy::Op::kStaticAccess);
-          stack.push_back(*slot);
-          break;
-        }
-        case Op::kPutStatic: {
-          const std::string& key = name(in.a);
-          const auto dot = key.find('.');
-          ensureClassInit(key.substr(0, dot));
-          Value* slot =
-              findStaticByName(key.substr(0, dot), key.substr(dot + 1));
-          if (slot == nullptr) {
-            throw VmError("unknown static field " + key);
-          }
-          charge(energy::Op::kStaticAccess);
-          Value v = pop();
-          if (slot->isNumeric() && v.isNumeric()) {
-            v = jvm::coerceToKind(v, slot->kind, builtins_, in.line);
-          }
-          *slot = v;
-          break;
-        }
-        case Op::kGetStaticSlot: {
-          ensureClassInitById(in.b);
-          if (in.a < 0) {
-            throw VmError("unknown static field " + name(in.c) +
-                          " at line " + std::to_string(in.line));
-          }
-          charge(energy::Op::kStaticAccess);
-          stack.push_back(statics_[static_cast<std::size_t>(in.a)]);
-          break;
-        }
-        case Op::kPutStaticSlot: {
-          ensureClassInitById(in.b);
-          if (in.a < 0) {
-            throw VmError("unknown static field " + name(in.c));
-          }
-          charge(energy::Op::kStaticAccess);
-          Value& slot = statics_[static_cast<std::size_t>(in.a)];
-          Value v = pop();
-          if (slot.isNumeric() && v.isNumeric()) {
-            v = jvm::coerceToKind(v, slot.kind, builtins_, in.line);
-          }
-          slot = v;
-          break;
-        }
-
-        case Op::kArrayGet: {
-          const std::int64_t idx = pop().asInt();
-          const Value arr = pop();
-          if (arr.isNull()) {
-            throwJava("NullPointerException",
-                      "array access on null at line " +
-                          std::to_string(in.line));
-          }
-          HeapObject& ho = heap_.get(arr.asRef());
-          JEPO_REQUIRE(ho.kind == ObjKind::kArray, "indexing a non-array");
-          if (idx < 0 ||
-              static_cast<std::size_t>(idx) >= ho.elems.size()) {
-            throwJava("ArrayIndexOutOfBoundsException",
-                      "index " + std::to_string(idx) + " length " +
-                          std::to_string(ho.elems.size()) + " at line " +
-                          std::to_string(in.line));
-          }
-          const Value v = ho.elems[static_cast<std::size_t>(idx)];
-          const bool rowIsArray =
-              v.isRef() && heap_.get(v.asRef()).kind == ObjKind::kArray;
-          chargeRowLoad(arr.asRef(), idx, rowIsArray);
-          stack.push_back(v);
-          break;
-        }
-        case Op::kArraySet: {
-          Value v = pop();
-          const std::int64_t idx = pop().asInt();
-          const Value arr = pop();
-          if (arr.isNull()) {
-            throwJava("NullPointerException", "store to null array");
-          }
-          HeapObject& ho = heap_.get(arr.asRef());
-          JEPO_REQUIRE(ho.kind == ObjKind::kArray, "indexing a non-array");
-          if (idx < 0 ||
-              static_cast<std::size_t>(idx) >= ho.elems.size()) {
-            throwJava("ArrayIndexOutOfBoundsException",
-                      "store index " + std::to_string(idx) + " length " +
-                          std::to_string(ho.elems.size()));
-          }
-          charge(energy::Op::kArrayAccess);
-          if (v.isNumeric() && ho.elemKind != ValKind::kRef &&
-              ho.elemKind != ValKind::kNull) {
-            v = jvm::coerceToKind(v, ho.elemKind, builtins_, in.line);
-          }
-          ho.elems[static_cast<std::size_t>(idx)] = v;
-          break;
-        }
-        case Op::kNewArray: {
-          std::vector<std::int64_t> dims(static_cast<std::size_t>(in.a));
-          for (int i = in.a - 1; i >= 0; --i) {
-            dims[static_cast<std::size_t>(i)] = pop().asInt();
-          }
-          for (std::int64_t d : dims) {
-            if (d < 0) {
-              throwJava("NegativeArraySizeException", std::to_string(d));
-            }
-          }
-          stack.push_back(
-              allocArray(dims, 0, static_cast<ValKind>(in.b)));
-          break;
-        }
-
-        case Op::kNewObject: {
-          std::vector<Value> args = popArgs(in.b);
-          // c > 0: the resolver bound the class and ruled out the builtin
-          // constructor probe (builtin names always take the dynamic path).
-          if (in.c > 0) {
-            stack.push_back(constructById(in.c - 1, std::move(args)));
-          } else {
-            stack.push_back(construct(name(in.a), std::move(args), in.line));
-          }
-          break;
-        }
-
-        case Op::kBinary: {
-          const Value b = pop();
-          const Value a = pop();
-          stack.push_back(jvm::applyBinary(static_cast<jlang::BinOp>(in.a),
-                                           a, b, heap_, builtins_, *machine_,
-                                           in.line));
-          break;
-        }
-        case Op::kNeg:
-          stack.push_back(jvm::applyUnaryNeg(pop(), builtins_, *machine_));
-          break;
-        case Op::kNot:
-          stack.push_back(jvm::applyUnaryNot(pop(), *machine_));
-          break;
-        case Op::kBitNot:
-          stack.push_back(
-              jvm::applyUnaryBitNot(pop(), builtins_, *machine_));
-          break;
-        case Op::kCast: {
-          const auto k = static_cast<ValKind>(in.a);
-          if (in.b == 0) {
-            // Explicit source-level cast: charge like the tree engine.
-            switch (k) {
-              case ValKind::kLong: charge(energy::Op::kLongAlu); break;
-              case ValKind::kFloat: charge(energy::Op::kFloatAlu); break;
-              case ValKind::kDouble: charge(energy::Op::kDoubleAlu); break;
-              case ValKind::kByte:
-              case ValKind::kShort:
-                charge(energy::Op::kByteShortAlu);
-                break;
-              default: charge(energy::Op::kIntAlu); break;
-            }
-          }
-          stack.push_back(
-              jvm::coerceToKind(pop(), k, builtins_, in.line));
-          break;
-        }
-        case Op::kBox: {
-          const Value v = pop();
-          stack.push_back(v.isNumeric() ? builtins_.box(name(in.a), v) : v);
-          break;
-        }
-
-        case Op::kJump:
-          pc = static_cast<std::size_t>(in.a);
-          continue;
-        case Op::kJumpIfFalse: {
-          charge(in.b != 0 ? energy::Op::kTernary : energy::Op::kBranch);
-          if (!pop().asBool()) {
-            pc = static_cast<std::size_t>(in.a);
-            continue;
-          }
-          break;
-        }
-        case Op::kJumpIfTrue: {
-          charge(energy::Op::kBranch);
-          if (pop().asBool()) {
-            pc = static_cast<std::size_t>(in.a);
-            continue;
-          }
-          break;
-        }
-        case Op::kLoopTick:
-          charge(energy::Op::kLoopIter);
-          break;
-        case Op::kTryTick:
-          charge(energy::Op::kTryEnter);
-          break;
-
-        case Op::kCallStatic: {
-          const std::string& className = name(in.a);
-          const std::string& methodName = name(in.b);
-          std::vector<Value> args = popArgs(in.c);
-          if (BuiltinLibrary::isBuiltinClassName(className)) {
-            Value result;
-            if (builtins_.staticCall(className, methodName, args, &result)) {
-              stack.push_back(result);
-              break;
-            }
-            throw VmError("unknown method " + className + "." + methodName);
-          }
-          const CompiledClass* cls = program_->findClass(className);
-          if (cls == nullptr) {
-            throw VmError("unknown class " + className);
-          }
-          const auto it = cls->methods.find(methodName);
-          if (it == cls->methods.end()) {
-            throw VmError("unknown method " + className + "." + methodName);
-          }
-          // Popped args are off the rooted stack; <clinit> can collect.
-          jvm::Gc::ScopedVector rootArgs(gc_, args);
-          ensureClassInit(className);
-          charge(energy::Op::kCall);
-          stack.push_back(invoke(*cls, it->second, std::move(args)));
-          break;
-        }
-        case Op::kCallStaticResolved: {
-          std::vector<Value> args = popArgs(in.c);
-          jvm::Gc::ScopedVector rootArgs(gc_, args);
-          ensureClassInitById(in.a);
-          charge(energy::Op::kCall);
-          const auto classIdx = static_cast<std::size_t>(in.a);
-          stack.push_back(invoke(
-              *classById_[classIdx],
-              *methodChunks_[classIdx][static_cast<std::size_t>(in.b)],
-              std::move(args)));
-          break;
-        }
-        case Op::kCallSelfResolved: {
-          std::vector<Value> args = popArgs(in.b);
-          if (in.c != 0) args.insert(args.begin(), slots[0]);
-          jvm::Gc::ScopedVector rootArgs(gc_, args);
-          ensureClassInitById(cls.classId);
-          charge(energy::Op::kCall);
-          stack.push_back(invoke(
-              cls,
-              *methodChunks_[static_cast<std::size_t>(cls.classId)]
-                            [static_cast<std::size_t>(in.a)],
-              std::move(args)));
-          break;
-        }
-        case Op::kCallUnqualified: {
-          std::vector<Value> args = popArgs(in.b);
-          const auto it = cls.methods.find(name(in.a));
-          if (it == cls.methods.end()) {
-            throw VmError("unknown method " + name(in.a) + " at line " +
-                          std::to_string(in.line));
-          }
-          if (!it->second.isStatic) {
-            JEPO_REQUIRE(!chunk.isStatic,
-                         "instance method called from static context");
-            args.insert(args.begin(), slots[0]);
-          }
-          jvm::Gc::ScopedVector rootArgs(gc_, args);
-          ensureClassInit(cls.name);
-          charge(energy::Op::kCall);
-          stack.push_back(invoke(cls, it->second, std::move(args)));
-          break;
-        }
-        case Op::kCallVirtual: {
-          std::vector<Value> args = popArgs(in.b);
-          const Value receiver = pop();
-          if (receiver.isNull()) {
-            throwJava("NullPointerException",
-                      "call '" + name(in.a) + "' on null at line " +
-                          std::to_string(in.line));
-          }
-          Value result;
-          if (builtins_.instanceCall(receiver, name(in.a), args, &result)) {
-            stack.push_back(result);
-            break;
-          }
-          const HeapObject& obj = heap_.get(receiver.asRef());
-          JEPO_REQUIRE(obj.kind == ObjKind::kObject,
-                       "method call on non-object");
-          const CompiledClass* targetCls = program_->findClass(obj.className);
-          if (targetCls == nullptr) {
-            throw VmError("method call on unknown class " + obj.className);
-          }
-          const auto it = targetCls->methods.find(name(in.a));
-          if (it == targetCls->methods.end()) {
-            throw VmError("unknown method " + obj.className + "." +
-                          name(in.a));
-          }
-          args.insert(args.begin(), receiver);
-          charge(energy::Op::kCall);
-          stack.push_back(invoke(*targetCls, it->second, std::move(args)));
-          break;
-        }
-        case Op::kCallVirtualCached: {
-          std::vector<Value> args = popArgs(in.b);
-          const Value receiver = pop();
-          if (receiver.isNull()) {
-            throwJava("NullPointerException",
-                      "call '" + name(in.a) + "' on null at line " +
-                          std::to_string(in.line));
-          }
-          // Fast path: a program-class object dispatches through the
-          // monomorphic cache. BuiltinLibrary::instanceCall is a no-op for
-          // such receivers (it charges nothing and always declines), so
-          // skipping the probe is observationally identical to the seed.
-          if (receiver.isRef()) {
-            HeapObject& obj = heap_.get(receiver.asRef());
-            if (obj.kind == ObjKind::kObject && obj.layout != nullptr &&
-                obj.layout->classId >= 0) {
-              CallCacheEntry& cc =
-                  callCaches_[static_cast<std::size_t>(in.c)];
-              if (cc.classId != obj.layout->classId) {
-                const std::int32_t id = obj.layout->classId;
-                const jlang::ResolvedClass& rc =
-                    resolution_->classes[static_cast<std::size_t>(id)];
-                const jlang::ResolvedMethod* rm = rc.findMethod(name(in.a));
-                const int ordinal =
-                    rm != nullptr ? rc.methodOrdinal(rm->decl) : -1;
-                const Chunk* target =
-                    ordinal >= 0
-                        ? methodChunks_[static_cast<std::size_t>(id)]
-                                       [static_cast<std::size_t>(ordinal)]
-                        : nullptr;
-                if (target == nullptr) {
-                  throw VmError("unknown method " + obj.className + "." +
-                                name(in.a));
-                }
-                cc = {id, classById_[static_cast<std::size_t>(id)], target};
-              }
-              args.insert(args.begin(), receiver);
-              charge(energy::Op::kCall);
-              stack.push_back(invoke(*cc.cls, *cc.chunk, std::move(args)));
-              break;
-            }
-          }
-          // Slow path: builtin receivers (strings, wrappers, exceptions,
-          // StringBuilder) — the seed's dynamic dispatch, verbatim.
-          Value result;
-          if (builtins_.instanceCall(receiver, name(in.a), args, &result)) {
-            stack.push_back(result);
-            break;
-          }
-          const HeapObject& obj = heap_.get(receiver.asRef());
-          JEPO_REQUIRE(obj.kind == ObjKind::kObject,
-                       "method call on non-object");
-          const CompiledClass* targetCls = program_->findClass(obj.className);
-          if (targetCls == nullptr) {
-            throw VmError("method call on unknown class " + obj.className);
-          }
-          const auto it = targetCls->methods.find(name(in.a));
-          if (it == targetCls->methods.end()) {
-            throw VmError("unknown method " + obj.className + "." +
-                          name(in.a));
-          }
-          args.insert(args.begin(), receiver);
-          charge(energy::Op::kCall);
-          stack.push_back(invoke(*targetCls, it->second, std::move(args)));
-          break;
-        }
-        case Op::kPrint: {
-          if (in.b != 0) {
-            const Value v = pop();
-            builtins_.print(&v, in.a != 0);
-          } else {
-            builtins_.print(nullptr, in.a != 0);
-          }
-          stack.push_back(Value::null());  // expression result, popped next
-          break;
-        }
-
-        case Op::kReturnValue:
-          return pop();
-        case Op::kReturnVoid:
-          return Value::null();
-        case Op::kPop:
-          pop();
-          break;
-        case Op::kDup:
-          JEPO_ASSERT(!stack.empty());
-          stack.push_back(stack.back());
-          break;
-        case Op::kThrow: {
-          const Value v = pop();
-          if (v.isNull()) throwJava("NullPointerException", "throw null");
-          charge(energy::Op::kThrow);
-          throw Thrown{v};
-        }
+  const auto pop = [&]() -> Value {
+    JEPO_ASSERT(sp > stackBase);
+    return *--sp;
+  };
+  const auto popArgs = [&](std::int32_t argc) {
+    JEPO_ASSERT(sp - stackBase >= argc);
+    std::vector<Value> args(sp - argc, sp);
+    sp -= argc;
+    return args;
+  };
+  const auto binary = [&](jlang::BinOp op, const Value& a, const Value& b,
+                          int line) JEPO_LAMBDA_INLINE -> Value {
+    Value r;
+    if (fastIntBinary(op, a, b, builtins_, *machine_, &r)) [[likely]] {
+      return r;
+    }
+    return jvm::applyBinary(op, a, b, heap_, builtins_, *machine_, line);
+  };
+  // The seed kStore coercion rule; enc < 0 and the 4-bit kNoKindEnc (15)
+  // both mean "no declared kind". Charges the kLocalAccess of the store.
+  const auto storeToSlot = [&](std::int32_t slot, std::int32_t kindEnc,
+                               Value v, int line) {
+    charge(energy::Op::kLocalAccess);
+    if (kindEnc >= 0 && kindEnc < 15 &&
+        static_cast<ValKind>(kindEnc) != ValKind::kRef && v.isNumeric()) {
+      v = coerceInline(v, static_cast<ValKind>(kindEnc), builtins_,
+                            line);
+    }
+    slots[static_cast<std::size_t>(slot)] = v;
+  };
+  // Re-point the dispatch locals at the quickened copy after a rewrite.
+  const auto switchTo = [&](Instr* mut) {
+    if (mut != codeBase) {
+      const std::size_t myPc = static_cast<std::size_t>(ip - codeBase);
+      codeBase = mut;
+      codeEnd = mut + chunk.code.size();
+      ip = mut + myPc;
+    }
+  };
+  // Shared bodies of the resolved call ops, also entered from their
+  // load-load fused prefixes. Each replaces the argument span on the
+  // caller stack with the call result.
+  const auto callSelfResolved = [&](std::int32_t ordinal, std::int32_t argc,
+                                    std::int32_t prependThis)
+                                    JEPO_LAMBDA_INLINE {
+    ensureClassInitById(cls.classId);
+    charge(energy::Op::kCall);
+    const Chunk& target = *methodChunks_[static_cast<std::size_t>(cls.classId)]
+                                        [static_cast<std::size_t>(ordinal)];
+    Value result;
+    if (prependThis != 0) {
+      if (!inlineRecvCall(target, slots[0], sp - argc,
+                          static_cast<std::size_t>(argc), &result)) {
+        result = invokeRecvSpan(cls, target, slots[0], sp - argc,
+                                static_cast<std::size_t>(argc));
       }
-      ++pc;
+    } else if (!inlineSpanCall(target, sp - argc,
+                               static_cast<std::size_t>(argc), &result)) {
+      result = invokeSpan(cls, target, sp - argc,
+                          static_cast<std::size_t>(argc));
+    }
+    sp -= argc;
+    *sp++ = result;
+  };
+  const auto callVirtualCached = [&](std::int32_t nameIdx, std::int32_t argc,
+                                     std::int32_t cacheSlot, int line)
+                                     JEPO_LAMBDA_INLINE {
+    const Value receiver = sp[-(argc + 1)];
+    if (receiver.isNull()) {
+      throwJava("NullPointerException", "call '" + name(nameIdx) +
+                                            "' on null at line " +
+                                            std::to_string(line));
+    }
+    // Fast path: a program-class object dispatches through the monomorphic
+    // cache. BuiltinLibrary::instanceCall is a no-op for such receivers
+    // (it charges nothing and always declines), so skipping the probe is
+    // observationally identical to the seed.
+    if (receiver.isRef()) {
+      HeapObject& obj = heap_.get(receiver.asRef());
+      if (obj.kind == ObjKind::kObject && obj.layout != nullptr &&
+          obj.layout->classId >= 0) {
+        CallCacheEntry& cc = callCaches_[static_cast<std::size_t>(cacheSlot)];
+        if (cc.classId != obj.layout->classId) {
+          const std::int32_t id = obj.layout->classId;
+          const jlang::ResolvedClass& rc =
+              resolution_->classes[static_cast<std::size_t>(id)];
+          const jlang::ResolvedMethod* rm = rc.findMethod(name(nameIdx));
+          const int ordinal = rm != nullptr ? rc.methodOrdinal(rm->decl) : -1;
+          const Chunk* target =
+              ordinal >= 0 ? methodChunks_[static_cast<std::size_t>(id)]
+                                          [static_cast<std::size_t>(ordinal)]
+                           : nullptr;
+          if (target == nullptr) {
+            throw VmError("unknown method " + obj.className + "." +
+                          name(nameIdx));
+          }
+          cc = {id, classById_[static_cast<std::size_t>(id)], target};
+        }
+        // receiver + args are contiguous on the caller stack — exactly
+        // the callee's parameter span. No arg vector, no insert.
+        charge(energy::Op::kCall);
+        Value result;
+        if (!inlineSpanCall(*cc.chunk, sp - argc - 1,
+                            static_cast<std::size_t>(argc) + 1, &result)) {
+          result = invokeSpan(*cc.cls, *cc.chunk, sp - argc - 1,
+                              static_cast<std::size_t>(argc) + 1);
+        }
+        sp -= argc + 1;
+        *sp++ = result;
+        return;
+      }
+    }
+    // Slow path: builtin receivers (strings, wrappers, exceptions,
+    // StringBuilder) — the seed's dynamic dispatch, verbatim.
+    std::vector<Value> args = popArgs(argc);
+    (void)pop();  // the receiver, already captured above
+    Value result;
+    if (builtins_.instanceCall(receiver, name(nameIdx), args, &result)) {
+      *sp++ = result;
+      return;
+    }
+    const HeapObject& obj = heap_.get(receiver.asRef());
+    JEPO_REQUIRE(obj.kind == ObjKind::kObject, "method call on non-object");
+    const CompiledClass* targetCls = program_->findClass(obj.className);
+    if (targetCls == nullptr) {
+      throw VmError("method call on unknown class " + obj.className);
+    }
+    const auto it = targetCls->methods.find(name(nameIdx));
+    if (it == targetCls->methods.end()) {
+      throw VmError("unknown method " + obj.className + "." + name(nameIdx));
+    }
+    args.insert(args.begin(), receiver);
+    charge(energy::Op::kCall);
+    *sp++ = invoke(*targetCls, it->second, std::move(args));
+  };
+
+  // Hoisted per-dispatch state. setMaxSteps/setHeapLimit are configuration
+  // calls made before execution, never from inside a run, so both are
+  // loop-invariant; keeping them in locals lets the compiler hold them in
+  // registers across the opaque charge()/helper calls in the handlers.
+  // When the collector is unarmed (the limit-0 seed behaviour) no
+  // collection can ever happen, so recording frame.top for the root scan
+  // is dead work and the whole safepoint reduces to one predictable test.
+  const std::uint64_t maxStepsHoisted = maxStepsEff_;
+  const bool gcArmed = gc_.limit() != 0;
+
+// Per-dispatch prologue: record the operand-stack height for the GC root
+// scan (this is the engine's only safepoint — no builtin, operator helper
+// or allocation path can ever collect), account the fused run length, and
+// enforce the step limit.
+#define VM_TOP()                                                     \
+  do {                                                               \
+    if (ip >= codeEnd) return Value::null();                         \
+    steps_ += ip->n;                                                 \
+    if (steps_ > maxStepsHoisted) throwStepLimit();                  \
+    if (gcArmed) {                                                   \
+      frame.top = static_cast<std::size_t>(sp - stackBase);          \
+      gc_.safepoint();                                               \
+    }                                                                \
+  } while (0)
+
+#ifdef JEPO_COMPUTED_GOTO
+#define VM_CASE(op) L_##op:
+#define VM_DISPATCH()                                                \
+  do {                                                               \
+    VM_TOP();                                                        \
+    goto* kLabels[static_cast<std::size_t>(ip->op)];                 \
+  } while (0)
+#else
+#define VM_CASE(op) case Op::op:
+#define VM_DISPATCH() goto jepoDispatchTop
+#endif
+#define VM_NEXT()                                                    \
+  do {                                                               \
+    ++ip;                                                            \
+    VM_DISPATCH();                                                   \
+  } while (0)
+#define VM_JUMP(target)                                              \
+  do {                                                               \
+    ip = codeBase + (target);                                        \
+    VM_DISPATCH();                                                   \
+  } while (0)
+
+#ifdef JEPO_COMPUTED_GOTO
+  // Must list every Op in exact enum order (dispatch indexes by opcode).
+  static const void* const kLabels[] = {
+      &&L_kConstInt, &&L_kConstLong, &&L_kConstFloat, &&L_kConstDouble,
+      &&L_kConstStr, &&L_kConstChar, &&L_kConstBool, &&L_kConstNull,
+      &&L_kLoad, &&L_kStore, &&L_kLoadThis,
+      &&L_kGetField, &&L_kPutField, &&L_kGetThisField, &&L_kPutThisField,
+      &&L_kGetStatic, &&L_kPutStatic,
+      &&L_kArrayGet, &&L_kArraySet, &&L_kNewArray,
+      &&L_kNewObject,
+      &&L_kBinary, &&L_kNeg, &&L_kNot, &&L_kBitNot, &&L_kCast, &&L_kBox,
+      &&L_kJump, &&L_kJumpIfFalse, &&L_kJumpIfTrue, &&L_kLoopTick,
+      &&L_kTryTick,
+      &&L_kCallStatic, &&L_kCallVirtual, &&L_kCallUnqualified, &&L_kPrint,
+      &&L_kReturnValue, &&L_kReturnVoid, &&L_kPop, &&L_kDup, &&L_kThrow,
+      &&L_kGetStaticSlot, &&L_kPutStaticSlot, &&L_kGetThisFieldSlot,
+      &&L_kPutThisFieldSlot, &&L_kGetFieldCached, &&L_kPutFieldCached,
+      &&L_kCallStaticResolved, &&L_kCallSelfResolved, &&L_kCallVirtualCached,
+      &&L_kLoadLoad, &&L_kLoadReturn, &&L_kThisFieldReturn, &&L_kStorePop,
+      &&L_kPutThisFieldSlotPop, &&L_kConstBinary, &&L_kLoadConstBinary,
+      &&L_kLoadLoadBinary, &&L_kThisFieldConstBinary, &&L_kThisFieldBinary,
+      &&L_kBinaryCast, &&L_kBinCastStorePop, &&L_kLoadLoadBinaryReturn,
+      &&L_kLoadConstCmpJump, &&L_kLoadLoadCmpJump, &&L_kLoadConstBinStore,
+      &&L_kIncDecLocalStmt, &&L_kLoadLoadConstBinary, &&L_kIncDecJump,
+      &&L_kAccumConstStmt, &&L_kThisFieldAccumReturn, &&L_kLoadLoadCallSelf,
+      &&L_kLoadLoadCallVirt, &&L_kAccumConstJump, &&L_kStorePopIncDecJump,
+      &&L_kBinCastStoreIncDecJump, &&L_kCountedAccumLoop,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                    static_cast<std::size_t>(Op::kCountedAccumLoop) + 1,
+                "label table must cover every opcode");
+#endif
+
+  for (;;) {
+    try {
+#ifdef JEPO_COMPUTED_GOTO
+      VM_DISPATCH();
+#else
+    jepoDispatchTop:
+      VM_TOP();
+      switch (ip->op) {
+#endif
+
+      VM_CASE(kConstInt) {
+        charge(energy::Op::kConstLoad);
+        *sp++ = Value::ofInt(
+            program_->intPool[static_cast<std::size_t>(ip->a)]);
+        VM_NEXT();
+      }
+      VM_CASE(kConstLong) {
+        charge(energy::Op::kConstLoad);
+        *sp++ = Value::ofLong(
+            program_->intPool[static_cast<std::size_t>(ip->a)]);
+        VM_NEXT();
+      }
+      VM_CASE(kConstFloat) {
+        charge(ip->b != 0 ? energy::Op::kConstLoadPlainDecimal
+                          : energy::Op::kConstLoad);
+        *sp++ = Value::ofFloat(
+            program_->numPool[static_cast<std::size_t>(ip->a)]);
+        VM_NEXT();
+      }
+      VM_CASE(kConstDouble) {
+        charge(ip->b != 0 ? energy::Op::kConstLoadPlainDecimal
+                          : energy::Op::kConstLoad);
+        *sp++ = Value::ofDouble(
+            program_->numPool[static_cast<std::size_t>(ip->a)]);
+        VM_NEXT();
+      }
+      VM_CASE(kConstStr) {
+        charge(energy::Op::kConstLoad);
+        // The names pool is content-deduped at compile time, so a flat
+        // vector indexed by name id replaces the seed's hash lookup.
+        // Lazy allocation preserves the seed's heap-allocation order.
+        Ref& interned = literalByName_[static_cast<std::size_t>(ip->a)];
+        if (interned == kNullRef) interned = heap_.allocString(name(ip->a));
+        *sp++ = Value::ofRef(interned);
+        VM_NEXT();
+      }
+      VM_CASE(kConstChar) {
+        charge(energy::Op::kConstLoad);
+        *sp++ = Value::ofChar(ip->a);
+        VM_NEXT();
+      }
+      VM_CASE(kConstBool) {
+        charge(energy::Op::kConstLoad);
+        *sp++ = Value::ofBool(ip->a != 0);
+        VM_NEXT();
+      }
+      VM_CASE(kConstNull) {
+        charge(energy::Op::kConstLoad);
+        *sp++ = Value::null();
+        VM_NEXT();
+      }
+
+      VM_CASE(kLoad) {
+        charge(energy::Op::kLocalAccess);
+        *sp++ = slots[static_cast<std::size_t>(ip->a)];
+        VM_NEXT();
+      }
+      VM_CASE(kStore) {
+        storeToSlot(ip->a, ip->b, pop(), ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kLoadThis) {
+        charge(energy::Op::kLocalAccess);
+        *sp++ = slots[0];
+        VM_NEXT();
+      }
+
+      VM_CASE(kGetField) {
+        const Instr in = *ip;
+        // Quicken: rewrite this site (in the VM-private copy) into the
+        // cached form with a fresh cache slot, then run the dynamic
+        // semantics one last time — observationally identical.
+        if (Instr* mut = quickenableCode(chunk)) {
+          Instr& site = mut[ip - codeBase];
+          if (site.op == Op::kGetField) {
+            fieldCaches_.push_back(FieldCacheEntry{});
+            site.b = static_cast<std::int32_t>(fieldCaches_.size() - 1);
+            site.op = Op::kGetFieldCached;
+          }
+          switchTo(mut);
+        }
+        const Value obj = pop();
+        if (obj.isNull()) {
+          throwJava("NullPointerException",
+                    "field '" + name(in.a) + "' on null at line " +
+                        std::to_string(in.line));
+        }
+        HeapObject& ho = heap_.get(obj.asRef());
+        charge(energy::Op::kFieldAccess);
+        if (ho.kind == ObjKind::kArray && name(in.a) == "length") {
+          *sp++ = Value::ofInt(static_cast<std::int64_t>(ho.elems.size()));
+          VM_NEXT();
+        }
+        const Value* field = ho.kind == ObjKind::kObject
+                                 ? fieldByName(ho, name(in.a))
+                                 : nullptr;
+        if (field == nullptr) {
+          throw VmError("unknown field '" + name(in.a) + "' at line " +
+                        std::to_string(in.line));
+        }
+        *sp++ = *field;
+        VM_NEXT();
+      }
+      VM_CASE(kPutField) {
+        const Instr in = *ip;
+        if (Instr* mut = quickenableCode(chunk)) {
+          Instr& site = mut[ip - codeBase];
+          if (site.op == Op::kPutField) {
+            fieldCaches_.push_back(FieldCacheEntry{});
+            site.b = static_cast<std::int32_t>(fieldCaches_.size() - 1);
+            site.op = Op::kPutFieldCached;
+          }
+          switchTo(mut);
+        }
+        Value v = pop();
+        const Value obj = pop();
+        if (obj.isNull()) {
+          throwJava("NullPointerException", "store to field of null");
+        }
+        HeapObject& ho = heap_.get(obj.asRef());
+        Value* field = ho.kind == ObjKind::kObject
+                           ? fieldByName(ho, name(in.a))
+                           : nullptr;
+        JEPO_REQUIRE(field != nullptr, "unknown field '" + name(in.a) + "'");
+        charge(energy::Op::kFieldAccess);
+        if (field->isNumeric() && v.isNumeric()) {
+          v = coerceInline(v, field->kind, builtins_, in.line);
+        }
+        *field = v;
+        VM_NEXT();
+      }
+      VM_CASE(kGetThisField) {
+        charge(energy::Op::kFieldAccess);
+        HeapObject& self = heap_.get(slots[0].asRef());
+        const Value* field = fieldByName(self, name(ip->a));
+        JEPO_REQUIRE(field != nullptr,
+                     "unknown this-field '" + name(ip->a) + "'");
+        *sp++ = *field;
+        VM_NEXT();
+      }
+      VM_CASE(kPutThisField) {
+        charge(energy::Op::kFieldAccess);
+        Value v = pop();
+        HeapObject& self = heap_.get(slots[0].asRef());
+        Value* field = fieldByName(self, name(ip->a));
+        JEPO_REQUIRE(field != nullptr,
+                     "unknown this-field '" + name(ip->a) + "'");
+        if (field->isNumeric() && v.isNumeric()) {
+          v = coerceInline(v, field->kind, builtins_, ip->line);
+        }
+        *field = v;
+        VM_NEXT();
+      }
+      VM_CASE(kGetStatic) {
+        const std::string& key = name(ip->a);
+        const auto dot = key.find('.');
+        const std::string className = key.substr(0, dot);
+        const std::string fieldName = key.substr(dot + 1);
+        if (BuiltinLibrary::isBuiltinClassName(className)) {
+          Value v;
+          if (builtins_.staticField(className, fieldName, &v)) {
+            *sp++ = v;
+            VM_NEXT();
+          }
+        }
+        ensureClassInit(className);
+        const Value* slot = findStaticByName(className, fieldName);
+        if (slot == nullptr) {
+          throw VmError("unknown static field " + key + " at line " +
+                        std::to_string(ip->line));
+        }
+        charge(energy::Op::kStaticAccess);
+        *sp++ = *slot;
+        VM_NEXT();
+      }
+      VM_CASE(kPutStatic) {
+        const std::string& key = name(ip->a);
+        const auto dot = key.find('.');
+        ensureClassInit(key.substr(0, dot));
+        Value* slot =
+            findStaticByName(key.substr(0, dot), key.substr(dot + 1));
+        if (slot == nullptr) {
+          throw VmError("unknown static field " + key);
+        }
+        charge(energy::Op::kStaticAccess);
+        Value v = pop();
+        if (slot->isNumeric() && v.isNumeric()) {
+          v = coerceInline(v, slot->kind, builtins_, ip->line);
+        }
+        *slot = v;
+        VM_NEXT();
+      }
+
+      VM_CASE(kArrayGet) {
+        const std::int64_t idx = pop().asInt();
+        const Value arr = pop();
+        if (arr.isNull()) {
+          throwJava("NullPointerException", "array access on null at line " +
+                                                std::to_string(ip->line));
+        }
+        HeapObject& ho = heap_.get(arr.asRef());
+        JEPO_REQUIRE(ho.kind == ObjKind::kArray, "indexing a non-array");
+        if (idx < 0 || static_cast<std::size_t>(idx) >= ho.elems.size()) {
+          throwJava("ArrayIndexOutOfBoundsException",
+                    "index " + std::to_string(idx) + " length " +
+                        std::to_string(ho.elems.size()) + " at line " +
+                        std::to_string(ip->line));
+        }
+        const Value v = ho.elems[static_cast<std::size_t>(idx)];
+        const bool rowIsArray =
+            v.isRef() && heap_.get(v.asRef()).kind == ObjKind::kArray;
+        chargeRowLoad(arr.asRef(), idx, rowIsArray);
+        *sp++ = v;
+        VM_NEXT();
+      }
+      VM_CASE(kArraySet) {
+        Value v = pop();
+        const std::int64_t idx = pop().asInt();
+        const Value arr = pop();
+        if (arr.isNull()) {
+          throwJava("NullPointerException", "store to null array");
+        }
+        HeapObject& ho = heap_.get(arr.asRef());
+        JEPO_REQUIRE(ho.kind == ObjKind::kArray, "indexing a non-array");
+        if (idx < 0 || static_cast<std::size_t>(idx) >= ho.elems.size()) {
+          throwJava("ArrayIndexOutOfBoundsException",
+                    "store index " + std::to_string(idx) + " length " +
+                        std::to_string(ho.elems.size()));
+        }
+        charge(energy::Op::kArrayAccess);
+        if (v.isNumeric() && ho.elemKind != ValKind::kRef &&
+            ho.elemKind != ValKind::kNull) {
+          v = coerceInline(v, ho.elemKind, builtins_, ip->line);
+        }
+        ho.elems[static_cast<std::size_t>(idx)] = v;
+        VM_NEXT();
+      }
+      VM_CASE(kNewArray) {
+        if (ip->a == 1) {
+          // Single-dimension fast path: no dims vector. Same charge order
+          // as allocArray on a one-level dims list.
+          const std::int64_t d = pop().asInt();
+          if (d < 0) {
+            throwJava("NegativeArraySizeException", std::to_string(d));
+          }
+          charge(energy::Op::kAllocObject);
+          charge(energy::Op::kAllocArrayPerElem,
+                 static_cast<std::uint64_t>(d));
+          *sp++ = Value::ofRef(heap_.allocArray(
+              static_cast<std::size_t>(d), static_cast<ValKind>(ip->b)));
+          VM_NEXT();
+        }
+        std::vector<std::int64_t> dims(static_cast<std::size_t>(ip->a));
+        for (int i = ip->a - 1; i >= 0; --i) {
+          dims[static_cast<std::size_t>(i)] = pop().asInt();
+        }
+        for (std::int64_t d : dims) {
+          if (d < 0) {
+            throwJava("NegativeArraySizeException", std::to_string(d));
+          }
+        }
+        *sp++ = allocArray(dims, 0, static_cast<ValKind>(ip->b));
+        VM_NEXT();
+      }
+
+      VM_CASE(kNewObject) {
+        const std::int32_t argc = ip->b;
+        // c > 0: the resolver bound the class and ruled out the builtin
+        // constructor probe (builtin names always take the dynamic path).
+        if (ip->c > 0) {
+          const Value result =
+              constructByIdSpan(ip->c - 1, sp - argc,
+                                static_cast<std::size_t>(argc));
+          sp -= argc;
+          *sp++ = result;
+          VM_NEXT();
+        }
+        std::vector<Value> args = popArgs(argc);
+        *sp++ = construct(name(ip->a), std::move(args), ip->line);
+        VM_NEXT();
+      }
+
+      VM_CASE(kBinary) {
+        const Value b = pop();
+        const Value a = sp[-1];
+        sp[-1] = binary(static_cast<jlang::BinOp>(ip->a), a, b, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kNeg) {
+        sp[-1] = jvm::applyUnaryNeg(sp[-1], builtins_, *machine_);
+        VM_NEXT();
+      }
+      VM_CASE(kNot) {
+        sp[-1] = jvm::applyUnaryNot(sp[-1], *machine_);
+        VM_NEXT();
+      }
+      VM_CASE(kBitNot) {
+        sp[-1] = jvm::applyUnaryBitNot(sp[-1], builtins_, *machine_);
+        VM_NEXT();
+      }
+      VM_CASE(kCast) {
+        const auto k = static_cast<ValKind>(ip->a);
+        if (ip->b == 0) {
+          // Explicit source-level cast: charge like the tree engine.
+          switch (k) {
+            case ValKind::kLong: charge(energy::Op::kLongAlu); break;
+            case ValKind::kFloat: charge(energy::Op::kFloatAlu); break;
+            case ValKind::kDouble: charge(energy::Op::kDoubleAlu); break;
+            case ValKind::kByte:
+            case ValKind::kShort:
+              charge(energy::Op::kByteShortAlu);
+              break;
+            default: charge(energy::Op::kIntAlu); break;
+          }
+        }
+        sp[-1] = coerceInline(sp[-1], k, builtins_, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kBox) {
+        const Value v = sp[-1];
+        sp[-1] = v.isNumeric() ? builtins_.box(name(ip->a), v) : v;
+        VM_NEXT();
+      }
+
+      VM_CASE(kJump) {
+        VM_JUMP(ip->a);
+      }
+      VM_CASE(kJumpIfFalse) {
+        charge(ip->b != 0 ? energy::Op::kTernary : energy::Op::kBranch);
+        if (!pop().asBool()) VM_JUMP(ip->a);
+        VM_NEXT();
+      }
+      VM_CASE(kJumpIfTrue) {
+        charge(energy::Op::kBranch);
+        if (pop().asBool()) VM_JUMP(ip->a);
+        VM_NEXT();
+      }
+      VM_CASE(kLoopTick) {
+        charge(energy::Op::kLoopIter);
+        VM_NEXT();
+      }
+      VM_CASE(kTryTick) {
+        charge(energy::Op::kTryEnter);
+        VM_NEXT();
+      }
+
+      VM_CASE(kCallStatic) {
+        const Instr in = *ip;
+        // Quicken when the callee is a resolvable program method; builtin
+        // classes and unresolvable names stay on the dynamic path forever.
+        if (!BuiltinLibrary::isBuiltinClassName(name(in.a))) {
+          const std::int32_t id = resolution_->classIdOf(name(in.a));
+          if (id >= 0 && classById_[static_cast<std::size_t>(id)] != nullptr) {
+            const jlang::ResolvedClass& rc =
+                resolution_->classes[static_cast<std::size_t>(id)];
+            const jlang::ResolvedMethod* rm = rc.findMethod(name(in.b));
+            const int ordinal = rm != nullptr ? rc.methodOrdinal(rm->decl)
+                                              : -1;
+            if (ordinal >= 0 &&
+                methodChunks_[static_cast<std::size_t>(id)]
+                             [static_cast<std::size_t>(ordinal)] != nullptr) {
+              if (Instr* mut = quickenableCode(chunk)) {
+                Instr& site = mut[ip - codeBase];
+                if (site.op == Op::kCallStatic) {
+                  site.a = id;
+                  site.b = ordinal;
+                  site.c = in.c;
+                  site.op = Op::kCallStaticResolved;
+                }
+                switchTo(mut);
+              }
+            }
+          }
+        }
+        // Dynamic semantics, run (at most) one last time — the seed body.
+        const std::string& className = name(in.a);
+        const std::string& methodName = name(in.b);
+        std::vector<Value> args = popArgs(in.c);
+        if (BuiltinLibrary::isBuiltinClassName(className)) {
+          Value result;
+          if (builtins_.staticCall(className, methodName, args, &result)) {
+            *sp++ = result;
+            VM_NEXT();
+          }
+          throw VmError("unknown method " + className + "." + methodName);
+        }
+        const CompiledClass* target = program_->findClass(className);
+        if (target == nullptr) {
+          throw VmError("unknown class " + className);
+        }
+        const auto it = target->methods.find(methodName);
+        if (it == target->methods.end()) {
+          throw VmError("unknown method " + className + "." + methodName);
+        }
+        // Popped args are off the rooted stack; <clinit> can collect.
+        jvm::Gc::ScopedVector rootArgs(gc_, args);
+        ensureClassInit(className);
+        charge(energy::Op::kCall);
+        *sp++ = invoke(*target, it->second, std::move(args));
+        VM_NEXT();
+      }
+      VM_CASE(kCallStaticResolved) {
+        const std::int32_t argc = ip->c;
+        // args stay on the caller stack, rooted under frame.top, across
+        // both the <clinit> safepoints and the callee's coercion copies.
+        ensureClassInitById(ip->a);
+        charge(energy::Op::kCall);
+        const auto classIdx = static_cast<std::size_t>(ip->a);
+        const Chunk& target =
+            *methodChunks_[classIdx][static_cast<std::size_t>(ip->b)];
+        Value result;
+        if (!inlineSpanCall(target, sp - argc, static_cast<std::size_t>(argc),
+                            &result)) {
+          result = invokeSpan(*classById_[classIdx], target, sp - argc,
+                              static_cast<std::size_t>(argc));
+        }
+        sp -= argc;
+        *sp++ = result;
+        VM_NEXT();
+      }
+      VM_CASE(kCallSelfResolved) {
+        callSelfResolved(ip->a, ip->b, ip->c);
+        VM_NEXT();
+      }
+      VM_CASE(kLoadLoadCallSelf) {
+        const std::int32_t bb = ip->b;
+        // Two loads with no possible throw between them: one merged charge.
+        charge(energy::Op::kLocalAccess, 2);
+        sp[0] = slots[static_cast<std::size_t>((bb >> 10) & 0x3FF)];
+        sp[1] = slots[static_cast<std::size_t>((bb >> 20) & 0x3FF)];
+        sp += 2;
+        callSelfResolved(ip->a, bb & 0x3FF, ip->c);
+        VM_NEXT();
+      }
+      VM_CASE(kCallUnqualified) {
+        std::vector<Value> args = popArgs(ip->b);
+        const auto it = cls.methods.find(name(ip->a));
+        if (it == cls.methods.end()) {
+          throw VmError("unknown method " + name(ip->a) + " at line " +
+                        std::to_string(ip->line));
+        }
+        if (!it->second.isStatic) {
+          JEPO_REQUIRE(!chunk.isStatic,
+                       "instance method called from static context");
+          args.insert(args.begin(), slots[0]);
+        }
+        jvm::Gc::ScopedVector rootArgs(gc_, args);
+        ensureClassInit(cls.name);
+        charge(energy::Op::kCall);
+        *sp++ = invoke(cls, it->second, std::move(args));
+        VM_NEXT();
+      }
+      VM_CASE(kCallVirtual) {
+        const Instr in = *ip;
+        if (Instr* mut = quickenableCode(chunk)) {
+          Instr& site = mut[ip - codeBase];
+          if (site.op == Op::kCallVirtual) {
+            callCaches_.push_back(CallCacheEntry{});
+            site.c = static_cast<std::int32_t>(callCaches_.size() - 1);
+            site.op = Op::kCallVirtualCached;
+          }
+          switchTo(mut);
+        }
+        std::vector<Value> args = popArgs(in.b);
+        const Value receiver = pop();
+        if (receiver.isNull()) {
+          throwJava("NullPointerException",
+                    "call '" + name(in.a) + "' on null at line " +
+                        std::to_string(in.line));
+        }
+        Value result;
+        if (builtins_.instanceCall(receiver, name(in.a), args, &result)) {
+          *sp++ = result;
+          VM_NEXT();
+        }
+        const HeapObject& obj = heap_.get(receiver.asRef());
+        JEPO_REQUIRE(obj.kind == ObjKind::kObject,
+                     "method call on non-object");
+        const CompiledClass* targetCls = program_->findClass(obj.className);
+        if (targetCls == nullptr) {
+          throw VmError("method call on unknown class " + obj.className);
+        }
+        const auto it = targetCls->methods.find(name(in.a));
+        if (it == targetCls->methods.end()) {
+          throw VmError("unknown method " + obj.className + "." +
+                        name(in.a));
+        }
+        args.insert(args.begin(), receiver);
+        charge(energy::Op::kCall);
+        *sp++ = invoke(*targetCls, it->second, std::move(args));
+        VM_NEXT();
+      }
+      VM_CASE(kCallVirtualCached) {
+        callVirtualCached(ip->a, ip->b, ip->c, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kLoadLoadCallVirt) {
+        const std::int32_t bb = ip->b;
+        // Two loads with no possible throw between them: one merged charge.
+        charge(energy::Op::kLocalAccess, 2);
+        sp[0] = slots[static_cast<std::size_t>((bb >> 10) & 0x3FF)];
+        sp[1] = slots[static_cast<std::size_t>((bb >> 20) & 0x3FF)];
+        sp += 2;
+        callVirtualCached(ip->a, bb & 0x3FF, ip->c, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kPrint) {
+        if (ip->b != 0) {
+          const Value v = pop();
+          builtins_.print(&v, ip->a != 0);
+        } else {
+          builtins_.print(nullptr, ip->a != 0);
+        }
+        *sp++ = Value::null();  // expression result, popped next
+        VM_NEXT();
+      }
+
+      VM_CASE(kReturnValue) {
+        return pop();
+      }
+      VM_CASE(kReturnVoid) {
+        return Value::null();
+      }
+      VM_CASE(kPop) {
+        (void)pop();
+        VM_NEXT();
+      }
+      VM_CASE(kDup) {
+        JEPO_ASSERT(sp > stackBase);
+        sp[0] = sp[-1];
+        ++sp;
+        VM_NEXT();
+      }
+      VM_CASE(kThrow) {
+        const Value v = pop();
+        if (v.isNull()) throwJava("NullPointerException", "throw null");
+        charge(energy::Op::kThrow);
+        throw Thrown{v};
+      }
+
+      VM_CASE(kGetStaticSlot) {
+        ensureClassInitById(ip->b);
+        if (ip->a < 0) {
+          throw VmError("unknown static field " + name(ip->c) + " at line " +
+                        std::to_string(ip->line));
+        }
+        charge(energy::Op::kStaticAccess);
+        *sp++ = statics_[static_cast<std::size_t>(ip->a)];
+        VM_NEXT();
+      }
+      VM_CASE(kPutStaticSlot) {
+        ensureClassInitById(ip->b);
+        if (ip->a < 0) {
+          throw VmError("unknown static field " + name(ip->c));
+        }
+        charge(energy::Op::kStaticAccess);
+        Value& slot = statics_[static_cast<std::size_t>(ip->a)];
+        Value v = pop();
+        if (slot.isNumeric() && v.isNumeric()) {
+          v = coerceInline(v, slot.kind, builtins_, ip->line);
+        }
+        slot = v;
+        VM_NEXT();
+      }
+      VM_CASE(kGetThisFieldSlot) {
+        charge(energy::Op::kFieldAccess);
+        HeapObject& self = heap_.get(slots[0].asRef());
+        *sp++ = self.fields[static_cast<std::size_t>(ip->a)];
+        VM_NEXT();
+      }
+      VM_CASE(kPutThisFieldSlot) {
+        charge(energy::Op::kFieldAccess);
+        Value v = pop();
+        HeapObject& self = heap_.get(slots[0].asRef());
+        Value& field = self.fields[static_cast<std::size_t>(ip->a)];
+        if (field.isNumeric() && v.isNumeric()) {
+          v = coerceInline(v, field.kind, builtins_, ip->line);
+        }
+        field = v;
+        VM_NEXT();
+      }
+      VM_CASE(kGetFieldCached) {
+        const Value obj = pop();
+        if (obj.isNull()) {
+          throwJava("NullPointerException",
+                    "field '" + name(ip->a) + "' on null at line " +
+                        std::to_string(ip->line));
+        }
+        HeapObject& ho = heap_.get(obj.asRef());
+        charge(energy::Op::kFieldAccess);
+        if (ho.kind == ObjKind::kArray && name(ip->a) == "length") {
+          *sp++ = Value::ofInt(static_cast<std::int64_t>(ho.elems.size()));
+          VM_NEXT();
+        }
+        if (ho.kind != ObjKind::kObject || ho.layout == nullptr) {
+          throw VmError("unknown field '" + name(ip->a) + "' at line " +
+                        std::to_string(ip->line));
+        }
+        FieldCacheEntry& fc = fieldCaches_[static_cast<std::size_t>(ip->b)];
+        if (fc.layout != ho.layout) {
+          const int offset = ho.layout->indexOfName(name(ip->a));
+          if (offset < 0) {
+            throw VmError("unknown field '" + name(ip->a) + "' at line " +
+                          std::to_string(ip->line));
+          }
+          fc = {ho.layout, offset};
+        }
+        *sp++ = ho.fields[static_cast<std::size_t>(fc.offset)];
+        VM_NEXT();
+      }
+      VM_CASE(kPutFieldCached) {
+        Value v = pop();
+        const Value obj = pop();
+        if (obj.isNull()) {
+          throwJava("NullPointerException", "store to field of null");
+        }
+        HeapObject& ho = heap_.get(obj.asRef());
+        JEPO_REQUIRE(ho.kind == ObjKind::kObject && ho.layout != nullptr,
+                     "unknown field '" + name(ip->a) + "'");
+        FieldCacheEntry& fc = fieldCaches_[static_cast<std::size_t>(ip->b)];
+        if (fc.layout != ho.layout) {
+          const int offset = ho.layout->indexOfName(name(ip->a));
+          JEPO_REQUIRE(offset >= 0, "unknown field '" + name(ip->a) + "'");
+          fc = {ho.layout, offset};
+        }
+        Value& field = ho.fields[static_cast<std::size_t>(fc.offset)];
+        charge(energy::Op::kFieldAccess);
+        if (field.isNumeric() && v.isNumeric()) {
+          v = coerceInline(v, field.kind, builtins_, ip->line);
+        }
+        field = v;
+        VM_NEXT();
+      }
+
+      // --- Superinstructions. Each replays the exact charge()/error
+      // sequence of the run it replaced (documented in code.hpp); the
+      // fused step count was already accounted by VM_TOP via Instr::n.
+
+      VM_CASE(kLoadLoad) {
+        charge(energy::Op::kLocalAccess, 2);
+        sp[0] = slots[static_cast<std::size_t>(ip->a)];
+        sp[1] = slots[static_cast<std::size_t>(ip->b)];
+        sp += 2;
+        VM_NEXT();
+      }
+      VM_CASE(kLoadReturn) {
+        charge(energy::Op::kLocalAccess);
+        return slots[static_cast<std::size_t>(ip->a)];
+      }
+      VM_CASE(kThisFieldReturn) {
+        charge(energy::Op::kFieldAccess);
+        return heap_.get(slots[0].asRef())
+            .fields[static_cast<std::size_t>(ip->a)];
+      }
+      VM_CASE(kStorePop) {
+        storeToSlot(ip->a, ip->b, pop(), ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kPutThisFieldSlotPop) {
+        charge(energy::Op::kFieldAccess);
+        Value v = pop();
+        HeapObject& self = heap_.get(slots[0].asRef());
+        Value& field = self.fields[static_cast<std::size_t>(ip->a)];
+        if (field.isNumeric() && v.isNumeric()) {
+          v = coerceInline(v, field.kind, builtins_, ip->line);
+        }
+        field = v;
+        VM_NEXT();
+      }
+      VM_CASE(kConstBinary) {
+        charge(energy::Op::kConstLoad);
+        const Value b = Value::ofInt(
+            program_->intPool[static_cast<std::size_t>(ip->a)]);
+        const Value a = sp[-1];
+        sp[-1] = binary(static_cast<jlang::BinOp>(ip->b), a, b, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kLoadConstBinary) {
+        const std::int32_t bb = ip->b;
+        charge(energy::Op::kLocalAccess);
+        const Value a = slots[static_cast<std::size_t>(bb & 0xFFFFF)];
+        charge(energy::Op::kConstLoad);
+        const Value b = Value::ofInt(
+            program_->intPool[static_cast<std::size_t>(ip->a)]);
+        *sp++ = binary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), a, b,
+                       ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kLoadLoadBinary) {
+        const std::int32_t bb = ip->b;
+        charge(energy::Op::kLocalAccess, 2);
+        const Value a = slots[static_cast<std::size_t>(ip->a)];
+        const Value b = slots[static_cast<std::size_t>(bb & 0xFFFFF)];
+        *sp++ = binary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), a, b,
+                       ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kThisFieldConstBinary) {
+        const std::int32_t bb = ip->b;
+        charge(energy::Op::kFieldAccess);
+        const Value a = heap_.get(slots[0].asRef())
+                            .fields[static_cast<std::size_t>(bb & 0xFFFFF)];
+        charge(energy::Op::kConstLoad);
+        const Value b = Value::ofInt(
+            program_->intPool[static_cast<std::size_t>(ip->a)]);
+        *sp++ = binary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), a, b,
+                       ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kThisFieldBinary) {
+        charge(energy::Op::kFieldAccess);
+        const Value b = heap_.get(slots[0].asRef())
+                            .fields[static_cast<std::size_t>(ip->a)];
+        const Value a = sp[-1];
+        sp[-1] = binary(static_cast<jlang::BinOp>(ip->b), a, b, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kBinaryCast) {
+        const Value b = pop();
+        const Value a = sp[-1];
+        // The fused kCast is the implicit (b=1) form: coerce, no charge.
+        sp[-1] = coerceInline(
+            binary(static_cast<jlang::BinOp>(ip->a), a, b, ip->line),
+            static_cast<ValKind>(ip->b), builtins_, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kBinCastStorePop) {
+        const std::int32_t bb = ip->b;
+        const Value b = pop();
+        const Value a = pop();
+        Value r = binary(static_cast<jlang::BinOp>(bb & 0xFF), a, b,
+                         ip->line);
+        r = coerceInline(r, static_cast<ValKind>((bb >> 8) & 0xFF),
+                              builtins_, ip->line);
+        storeToSlot(ip->a, (bb >> 16) & 0xFF, r, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kLoadLoadBinaryReturn) {
+        const std::int32_t bb = ip->b;
+        charge(energy::Op::kLocalAccess, 2);
+        const Value a = slots[static_cast<std::size_t>(ip->a)];
+        const Value b = slots[static_cast<std::size_t>(bb & 0xFFFFF)];
+        return binary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), a, b,
+                      ip->line);
+      }
+      VM_CASE(kLoadConstCmpJump) {
+        const std::int32_t bb = ip->b;
+        charge(energy::Op::kLocalAccess);
+        const Value a = slots[static_cast<std::size_t>(bb & 0xFFFFF)];
+        charge(energy::Op::kConstLoad);
+        const std::int64_t yc =
+            program_->intPool[static_cast<std::size_t>(ip->c)];
+        bool cond;
+        if (a.kind == ValKind::kInt) {
+          Value r;
+          fastIntBinary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), a,
+                        Value::ofInt(yc), builtins_, *machine_, &r);
+          cond = r.asBool();
+        } else {
+          cond = jvm::applyBinary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F),
+                                  a, Value::ofInt(yc), heap_, builtins_,
+                                  *machine_, ip->line)
+                     .asBool();
+        }
+        charge(energy::Op::kBranch);
+        if (!cond) VM_JUMP(ip->a);
+        // The kLoopTick is interior to the fused run and executes only on
+        // fall-through; the taken branch exits the run (its target is a
+        // barrier), exactly as the unfused sequence behaves.
+        if (((bb >> 26) & 1) != 0) charge(energy::Op::kLoopIter);
+        VM_NEXT();
+      }
+      VM_CASE(kLoadLoadCmpJump) {
+        const std::int32_t bb = ip->b;
+        charge(energy::Op::kLocalAccess, 2);
+        const Value a = slots[static_cast<std::size_t>(bb & 0x3FF)];
+        const Value b = slots[static_cast<std::size_t>((bb >> 10) & 0x3FF)];
+        bool cond;
+        if (a.kind == ValKind::kInt && b.kind == ValKind::kInt) {
+          Value r;
+          fastIntBinary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), a, b,
+                        builtins_, *machine_, &r);
+          cond = r.asBool();
+        } else {
+          cond = jvm::applyBinary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F),
+                                  a, b, heap_, builtins_, *machine_, ip->line)
+                     .asBool();
+        }
+        charge(energy::Op::kBranch);
+        if (!cond) VM_JUMP(ip->a);
+        if (((bb >> 26) & 1) != 0) charge(energy::Op::kLoopIter);
+        VM_NEXT();
+      }
+      VM_CASE(kLoadConstBinStore) {
+        const std::int32_t bb = ip->b;
+        charge(energy::Op::kLocalAccess);
+        const Value a = slots[static_cast<std::size_t>(bb & 0x3FF)];
+        charge(energy::Op::kConstLoad);
+        const Value b = Value::ofInt(
+            program_->intPool[static_cast<std::size_t>(ip->a)]);
+        Value r = binary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), a, b,
+                         ip->line);
+        if (ip->c >= 0) {
+          r = coerceInline(r, static_cast<ValKind>(ip->c), builtins_,
+                                ip->line);
+        }
+        storeToSlot((bb >> 10) & 0x3FF, (bb >> 25) & 0xF, r, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kIncDecLocalStmt) {
+        const std::int32_t bb = ip->b;
+        const std::int32_t slot = bb & 0xFFFFF;
+        charge(energy::Op::kLocalAccess);
+        const Value old = slots[static_cast<std::size_t>(slot)];
+        charge(energy::Op::kConstLoad);
+        const Value step = Value::ofInt(
+            program_->intPool[static_cast<std::size_t>(ip->a)]);
+        Value r = binary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), old,
+                         step, ip->line);
+        if (ip->c >= 0) {
+          r = coerceInline(r, static_cast<ValKind>(ip->c), builtins_,
+                                ip->line);
+        }
+        storeToSlot(slot, (bb >> 25) & 0xF, r, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kLoadLoadConstBinary) {
+        const std::int32_t bb = ip->b;
+        // Two loads with no possible throw between them: one merged charge.
+        charge(energy::Op::kLocalAccess, 2);
+        const Value a = slots[static_cast<std::size_t>(bb & 0x3FF)];
+        const Value b = slots[static_cast<std::size_t>((bb >> 10) & 0x3FF)];
+        charge(energy::Op::kConstLoad);
+        const Value k = Value::ofInt(
+            program_->intPool[static_cast<std::size_t>(ip->a)]);
+        sp[0] = a;
+        sp[1] = binary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), b, k,
+                       ip->line);
+        sp += 2;
+        VM_NEXT();
+      }
+      VM_CASE(kIncDecJump) {
+        const std::int32_t bb = ip->b;
+        const std::int32_t slot = bb & 0xFFFF;
+        charge(energy::Op::kLocalAccess);
+        const Value old = slots[static_cast<std::size_t>(slot)];
+        charge(energy::Op::kConstLoad);
+        const Value step = Value::ofInt(
+            program_->intPool[static_cast<std::size_t>(ip->a)]);
+        Value r = binary(static_cast<jlang::BinOp>((bb >> 16) & 0x1F), old,
+                         step, ip->line);
+        const std::int32_t castE = (bb >> 25) & 0xF;
+        if (castE != 15) {
+          r = coerceInline(r, static_cast<ValKind>(castE), builtins_,
+                                ip->line);
+        }
+        storeToSlot(slot, (bb >> 21) & 0xF, r, ip->line);
+        VM_JUMP(ip->c);
+      }
+      VM_CASE(kAccumConstStmt) {
+        const std::int32_t bb = ip->b;
+        const std::int32_t s1 = bb & 0x3FF;
+        // Two loads with no possible throw between them: one merged charge.
+        charge(energy::Op::kLocalAccess, 2);
+        const Value a = slots[static_cast<std::size_t>(s1)];
+        const Value b = slots[static_cast<std::size_t>((bb >> 10) & 0x3FF)];
+        charge(energy::Op::kConstLoad);
+        const Value k = Value::ofInt(
+            program_->intPool[static_cast<std::size_t>(ip->a)]);
+        const Value t = binary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F),
+                               b, k, ip->line);
+        Value r = binary(static_cast<jlang::BinOp>((bb >> 25) & 0x1F), a, t,
+                         ip->line);
+        const std::int32_t castE = (ip->c >> 4) & 0xF;
+        if (castE != 15) {
+          r = coerceInline(r, static_cast<ValKind>(castE), builtins_,
+                           ip->line);
+        }
+        storeToSlot(s1, ip->c & 0xF, r, ip->line);
+        VM_NEXT();
+      }
+      VM_CASE(kThisFieldAccumReturn) {
+        const std::int32_t aa = ip->a;
+        const std::size_t o1 = static_cast<std::size_t>(aa & 0xFFF);
+        charge(energy::Op::kFieldAccess);
+        HeapObject& self = heap_.get(slots[0].asRef());
+        const Value a = self.fields[o1];
+        charge(energy::Op::kFieldAccess);
+        const Value b =
+            self.fields[static_cast<std::size_t>((aa >> 12) & 0xFFF)];
+        Value r = binary(static_cast<jlang::BinOp>(ip->b & 0xFF), a, b,
+                         ip->line);
+        const std::int32_t castE = (ip->b >> 8) & 0xF;
+        if (castE != 15) {
+          r = coerceInline(r, static_cast<ValKind>(castE), builtins_,
+                           ip->line);
+        }
+        // The seed kPutThisFieldSlot store rule, then the re-read that the
+        // trailing kGetThisFieldSlot performed. `self` stays valid across
+        // an allocating binary: heap addresses are stable between
+        // safepoints.
+        charge(energy::Op::kFieldAccess);
+        Value& field = self.fields[o1];
+        if (field.isNumeric() && r.isNumeric()) {
+          r = coerceInline(r, field.kind, builtins_, ip->line);
+        }
+        field = r;
+        charge(energy::Op::kFieldAccess);
+        return field;
+      }
+      // Loop-tail pairs (matchPair): each replays its two constituents'
+      // charge sequences back to back, then takes the latch's jump.
+      VM_CASE(kAccumConstJump) {
+        const std::uint32_t aa = static_cast<std::uint32_t>(ip->a);
+        const std::int32_t bb = ip->b;
+        const std::uint32_t cc = static_cast<std::uint32_t>(ip->c);
+        const std::int32_t s1 = bb & 0xFF;
+        const std::int32_t s2 = (bb >> 8) & 0xFF;
+        charge(energy::Op::kLocalAccess, 2);
+        const Value a = slots[static_cast<std::size_t>(s1)];
+        const Value b = slots[static_cast<std::size_t>(s2)];
+        charge(energy::Op::kConstLoad);
+        const Value k = Value::ofInt(program_->intPool[aa & 0xFFFF]);
+        const Value t = binary(static_cast<jlang::BinOp>((bb >> 16) & 0x1F),
+                               b, k, ip->line);
+        Value r = binary(static_cast<jlang::BinOp>((bb >> 21) & 0x1F), a, t,
+                         ip->line);
+        const std::uint32_t castE = (cc >> 20) & 0xF;
+        if (castE != 15) {
+          r = coerceInline(r, static_cast<ValKind>(castE), builtins_,
+                           ip->line);
+        }
+        storeToSlot(s1, static_cast<std::int32_t>((cc >> 16) & 0xF), r,
+                    ip->line);
+        charge(energy::Op::kLocalAccess);
+        const Value old = slots[static_cast<std::size_t>(s2)];
+        charge(energy::Op::kConstLoad);
+        const Value step = Value::ofInt(program_->intPool[(aa >> 16) & 0xFFFF]);
+        Value r2 = binary(static_cast<jlang::BinOp>((bb >> 26) & 0x1F), old,
+                          step, ip->line);
+        const std::uint32_t castL = cc >> 28;
+        if (castL != 15) {
+          r2 = coerceInline(r2, static_cast<ValKind>(castL), builtins_,
+                            ip->line);
+        }
+        storeToSlot(s2, static_cast<std::int32_t>((cc >> 24) & 0xF), r2,
+                    ip->line);
+        VM_JUMP(static_cast<std::int32_t>(cc & 0xFFFF));
+      }
+      VM_CASE(kStorePopIncDecJump) {
+        const std::uint32_t aa = static_cast<std::uint32_t>(ip->a);
+        const std::int32_t bb = ip->b;
+        const std::int32_t cc = ip->c;
+        storeToSlot(bb & 0x3FF, cc & 0xF, pop(), ip->line);
+        const std::int32_t slotL = (bb >> 10) & 0x3FF;
+        charge(energy::Op::kLocalAccess);
+        const Value old = slots[static_cast<std::size_t>(slotL)];
+        charge(energy::Op::kConstLoad);
+        const Value step = Value::ofInt(program_->intPool[aa & 0xFFFF]);
+        Value r = binary(static_cast<jlang::BinOp>((bb >> 20) & 0x1F), old,
+                         step, ip->line);
+        const std::int32_t castL = (cc >> 8) & 0xF;
+        if (castL != 15) {
+          r = coerceInline(r, static_cast<ValKind>(castL), builtins_,
+                           ip->line);
+        }
+        storeToSlot(slotL, (cc >> 4) & 0xF, r, ip->line);
+        VM_JUMP(static_cast<std::int32_t>(aa >> 16));
+      }
+      VM_CASE(kBinCastStoreIncDecJump) {
+        const std::uint32_t aa = static_cast<std::uint32_t>(ip->a);
+        const std::int32_t bb = ip->b;
+        const std::int32_t cc = ip->c;
+        const Value vb = pop();
+        const Value va = pop();
+        Value r = binary(static_cast<jlang::BinOp>((bb >> 16) & 0x1F), va, vb,
+                         ip->line);
+        r = coerceInline(r, static_cast<ValKind>((cc >> 4) & 0xF), builtins_,
+                         ip->line);
+        storeToSlot(bb & 0xFF, cc & 0xF, r, ip->line);
+        const std::int32_t slotL = (bb >> 8) & 0xFF;
+        charge(energy::Op::kLocalAccess);
+        const Value old = slots[static_cast<std::size_t>(slotL)];
+        charge(energy::Op::kConstLoad);
+        const Value step = Value::ofInt(program_->intPool[aa & 0xFFFF]);
+        Value r2 = binary(static_cast<jlang::BinOp>((bb >> 21) & 0x1F), old,
+                          step, ip->line);
+        const std::int32_t castL = (cc >> 12) & 0xF;
+        if (castL != 15) {
+          r2 = coerceInline(r2, static_cast<ValKind>(castL), builtins_,
+                            ip->line);
+        }
+        storeToSlot(slotL, (cc >> 8) & 0xF, r2, ip->line);
+        VM_JUMP(static_cast<std::int32_t>(aa >> 16));
+      }
+      VM_CASE(kCountedAccumLoop) {
+        const std::uint32_t aa = static_cast<std::uint32_t>(ip->a);
+        const std::int32_t bb = ip->b;
+        const std::uint32_t cc = static_cast<std::uint32_t>(ip->c);
+        const std::int32_t s1 = bb & 0xFF;
+        const std::int32_t s2 = (bb >> 8) & 0xFF;
+        // The kLoadConstCmpJump part (covered by ip->n at VM_TOP).
+        charge(energy::Op::kLocalAccess);
+        const Value iv = slots[static_cast<std::size_t>(s2)];
+        charge(energy::Op::kConstLoad);
+        const std::int64_t yc = program_->intPool[aa & 0xFFFF];
+        bool cond;
+        if (iv.kind == ValKind::kInt) {
+          Value rc;
+          fastIntBinary(static_cast<jlang::BinOp>((cc >> 10) & 0x1F), iv,
+                        Value::ofInt(yc), builtins_, *machine_, &rc);
+          cond = rc.asBool();
+        } else {
+          cond = jvm::applyBinary(static_cast<jlang::BinOp>((cc >> 10) & 0x1F),
+                                  iv, Value::ofInt(yc), heap_, builtins_,
+                                  *machine_, ip->line)
+                     .asBool();
+        }
+        charge(energy::Op::kBranch);
+        if (!cond) VM_NEXT();  // the implicit exit: fall through the loop
+        if (((cc >> 15) & 1) != 0) charge(energy::Op::kLoopIter);
+        // The kAccumConstJump part: account its seed run length before
+        // executing it, exactly as its own dispatch would have.
+        const std::uint32_t castK1 = (cc >> 20) & 0xF;
+        const std::uint32_t castKL = cc >> 28;
+        steps_ += 15 + (castK1 != 15 ? 1 : 0) + (castKL != 15 ? 1 : 0);
+        if (steps_ > maxStepsHoisted) throwStepLimit();
+        charge(energy::Op::kLocalAccess, 2);
+        const Value a = slots[static_cast<std::size_t>(s1)];
+        const Value b = slots[static_cast<std::size_t>(s2)];
+        charge(energy::Op::kConstLoad);
+        const Value k = Value::ofInt(program_->intPool[aa >> 16]);
+        const Value t = binary(static_cast<jlang::BinOp>((bb >> 16) & 0x1F),
+                               b, k, ip->line);
+        Value r = binary(static_cast<jlang::BinOp>((bb >> 21) & 0x1F), a, t,
+                         ip->line);
+        if (castK1 != 15) {
+          r = coerceInline(r, static_cast<ValKind>(castK1), builtins_,
+                           ip->line);
+        }
+        storeToSlot(s1, static_cast<std::int32_t>((cc >> 16) & 0xF), r,
+                    ip->line);
+        charge(energy::Op::kLocalAccess);
+        const Value old = slots[static_cast<std::size_t>(s2)];
+        charge(energy::Op::kConstLoad);
+        const Value step = Value::ofInt(program_->intPool[cc & 0x3FF]);
+        Value r2 = binary(static_cast<jlang::BinOp>((bb >> 26) & 0x1F), old,
+                          step, ip->line);
+        if (castKL != 15) {
+          r2 = coerceInline(r2, static_cast<ValKind>(castKL), builtins_,
+                            ip->line);
+        }
+        storeToSlot(s2, static_cast<std::int32_t>((cc >> 24) & 0xF), r2,
+                    ip->line);
+        VM_DISPATCH();  // the implicit backedge: re-dispatch this very op
+      }
+
+#ifndef JEPO_COMPUTED_GOTO
+      }
+      JEPO_ASSERT(false);  // every opcode's case transfers control
+#endif
     } catch (const Thrown& thrown) {
-      // Exception table search, in declaration order.
+      // Exception table search, in declaration order. `ip` still addresses
+      // the throwing instruction (handlers never advance it before a
+      // potential throw), so the fused pc maps into the remapped ranges
+      // exactly as every interior pc of its run would have.
+      const auto pc = static_cast<std::size_t>(ip - codeBase);
       const std::string& thrownClass =
           heap_.get(thrown.exception.asRef()).className;
       const ExceptionEntry* match = nullptr;
@@ -882,7 +1944,7 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
           break;
         }
         const std::string& handlerClass =
-            program_->names[static_cast<std::size_t>(h.classNameIdx)];
+            names[static_cast<std::size_t>(h.classNameIdx)];
         if (handlerClass == thrownClass || handlerClass == "Exception" ||
             (handlerClass == "RuntimeException" &&
              BuiltinLibrary::looksLikeExceptionClass(thrownClass))) {
@@ -892,16 +1954,21 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
       }
       if (match == nullptr) throw;
       if (match->classNameIdx >= 0) charge(energy::Op::kCatch);
-      stack.clear();
+      sp = stackBase;
       if (match->slot >= 0) {
         slots[static_cast<std::size_t>(match->slot)] = thrown.exception;
       } else {
-        stack.push_back(thrown.exception);
+        *sp++ = thrown.exception;
       }
-      pc = static_cast<std::size_t>(match->handler);
+      ip = codeBase + match->handler;
     }
   }
-  return Value::null();
+
+#undef VM_TOP
+#undef VM_CASE
+#undef VM_DISPATCH
+#undef VM_NEXT
+#undef VM_JUMP
 }
 
 jvm::Value BytecodeVm::runMain(std::string_view mainClass) {
@@ -947,7 +2014,15 @@ void BytecodeVm::scanGcRoots(jvm::Gc::RootWalker& w) {
   // Interned literals are roots: re-executing a literal load must keep
   // returning the same Ref (the walker skips unfilled kNullRef entries).
   for (Ref& r : literalByName_) w.visit(r);
-  // Frame slots and operand stacks register themselves in run().
+  // Every active frame's locals and live operand-stack prefix. `top` was
+  // recorded at the frame's most recent dispatch safepoint; during a
+  // nested call it additionally covers the argument span the callee is
+  // consuming — still precise values, remapped in place by compaction.
+  for (std::size_t i = 0; i < frameDepth_ && i < framePool_.size(); ++i) {
+    Frame& f = *framePool_[i];
+    for (std::size_t s = 0; s < f.liveSlots; ++s) w.visit(f.slots[s]);
+    for (std::size_t s = 0; s < f.top; ++s) w.visit(f.stack[s]);
+  }
 }
 
 }  // namespace jepo::jbc

@@ -2,6 +2,15 @@
 // substrate with the tree interpreter, honours the same MethodHooks
 // interface (so the Instrumenter plugs into either engine), and charges the
 // same cost model — at the granularity of compiled instructions.
+//
+// The inner loop is direct-threaded (computed goto) on GCC/Clang with a
+// portable switch fallback (-DJEPO_NO_COMPUTED_GOTO), executes the
+// compiler's superinstructions (code.hpp), and quickens the dynamic
+// fallback ops (kCallStatic / kCallVirtual / name-keyed field access) into
+// their resolved/cached forms on first execution — in a VM-private copy of
+// the chunk, keyed by Chunk::chunkId, so concurrent VMs sharing one
+// CompiledProgram never race. Every rewrite preserves the charge sequence,
+// error strings and step accounting of the seed interpreter exactly.
 #pragma once
 
 #include <memory>
@@ -25,7 +34,10 @@ class BytecodeVm {
   BytecodeVm(CompiledProgram&&, energy::SimMachine&) = delete;
 
   void setHooks(jvm::MethodHooks* hooks) { hooks_ = hooks; }
-  void setMaxSteps(std::uint64_t maxSteps) { maxSteps_ = maxSteps; }
+  void setMaxSteps(std::uint64_t maxSteps) {
+    maxSteps_ = maxSteps;
+    maxStepsEff_ = maxSteps == 0 ? ~std::uint64_t{0} : maxSteps;
+  }
 
   /// Run `static void main` (the unique one, or the named class's).
   jvm::Value runMain(std::string_view mainClass = {});
@@ -55,10 +67,55 @@ class BytecodeVm {
     std::int32_t offset = -1;
   };
 
+  /// One pooled frame (locals + operand stack), indexed by call depth.
+  /// Frames are heap-allocated so their addresses stay stable while the
+  /// pool grows; the vectors are sized once per chunk shape and then
+  /// reused allocation-free. `top` is the stack height recorded at the
+  /// owning run()'s most recent dispatch — collections happen only at that
+  /// safepoint, so [0, top) is exactly the live-operand root span (during
+  /// a nested call it is stale-high by the argument span, which holds
+  /// copies of callee-live values — still precise marking).
+  struct Frame {
+    std::vector<jvm::Value> slots;
+    std::vector<jvm::Value> stack;
+    std::size_t liveSlots = 0;
+    std::size_t top = 0;
+  };
+
+  // Cold call paths keep the seed's vector form; the hot resolved/cached
+  // ops pass caller-stack spans instead (no allocation, args stay rooted
+  // through the caller frame).
   jvm::Value invoke(const CompiledClass& cls, const Chunk& chunk,
                     std::vector<jvm::Value> args);
-  jvm::Value run(const CompiledClass& cls, const Chunk& chunk,
-                 std::vector<jvm::Value>& slots);
+  jvm::Value invokeSpan(const CompiledClass& cls, const Chunk& chunk,
+                        const jvm::Value* args, std::size_t argc);
+  jvm::Value invokeRecvSpan(const CompiledClass& cls, const Chunk& chunk,
+                            const jvm::Value& recv, const jvm::Value* rest,
+                            std::size_t nRest);
+  /// Shared tail of every invoke flavour: frame bookkeeping, hooks, run,
+  /// and the kReturn charge.
+  jvm::Value finishInvoke(const CompiledClass& cls, const Chunk& chunk,
+                          Frame& frame);
+  Frame& acquireFrame(const Chunk& chunk);
+  jvm::Value run(const CompiledClass& cls, const Chunk& chunk, Frame& frame);
+
+  /// The VM-private mutable copy of a chunk's code, created on first
+  /// quickening (nullptr when the chunk can't be keyed). Updates
+  /// codeById_ so subsequent runs execute the quickened copy.
+  Instr* quickenableCode(const Chunk& chunk);
+
+  /// Trivial-callee inlining: a resolved call whose target body is a single
+  /// fused accessor instruction ([kLoadLoadBinaryReturn], [kLoadReturn] or
+  /// [kThisFieldReturn], no exception table) executes without frame setup.
+  /// Used only when hooks are off and every argument kind already matches
+  /// the parameter kind, so charges, step accounting, safepoint placement
+  /// and throw behaviour replicate the framed call exactly. Returns false
+  /// (doing nothing) when the call must take the framed path.
+  bool inlineSpanCall(const Chunk& chunk, const jvm::Value* args,
+                      std::size_t argc, jvm::Value* out);
+  bool inlineRecvCall(const Chunk& chunk, const jvm::Value& recv,
+                      const jvm::Value* rest, std::size_t nRest,
+                      jvm::Value* out);
 
   // Class initialization: by resolved id (hot) or by name (entry points
   // and dynamic fallbacks — a no-op for names naming no program class).
@@ -72,12 +129,14 @@ class BytecodeVm {
   /// Resolved construction: builtin probe already ruled out.
   jvm::Value constructById(std::int32_t classId,
                            std::vector<jvm::Value> args);
+  jvm::Value constructByIdSpan(std::int32_t classId, const jvm::Value* args,
+                               std::size_t argc);
   jvm::Value allocArray(const std::vector<std::int64_t>& dims,
                         std::size_t level, jvm::ValKind leafKind);
 
   void chargeRowLoad(jvm::Ref array, std::int64_t index, bool rowIsArray);
-  void step();
   void charge(energy::Op op, std::uint64_t n = 1) { machine_->charge(op, n); }
+  [[noreturn]] void throwStepLimit() const;
   [[noreturn]] void throwJava(const std::string& cls,
                               const std::string& msg) {
     builtins_.throwJava(cls, msg);
@@ -105,16 +164,36 @@ class BytecodeVm {
   std::vector<CallCacheEntry> callCaches_;   // by Instr::c cache slot
   std::vector<FieldCacheEntry> fieldCaches_; // by Instr::b cache slot
 
+  // Quickening state, by Chunk::chunkId: the active code pointer each
+  // run() dispatches from (shared immutable code until the first rewrite),
+  // and the VM-private copies that replace it.
+  std::vector<const Instr*> codeById_;
+  std::vector<std::vector<Instr>> quickened_;
+
+  /// By chunkId: which trivial-callee shape the chunk is (kNotTrivial when
+  /// the body is anything more than a single fused accessor instruction).
+  enum : std::uint8_t {
+    kNotTrivial = 0,
+    kTrivLoadLoadBinaryReturn,
+    kTrivLoadReturn,
+    kTrivThisFieldReturn,
+    kTrivThisFieldAccumReturn,
+  };
+  std::vector<std::uint8_t> trivialKind_;
+
+  std::vector<std::unique_ptr<Frame>> framePool_;  // by call depth
+
   std::uint64_t steps_ = 0;
   std::uint64_t maxSteps_ = 0;
+  std::uint64_t maxStepsEff_ = ~std::uint64_t{0};
   std::size_t frameDepth_ = 0;
 
   jvm::Ref lastRowArray_ = 0xFFFFFFFF;
   std::int64_t lastRowIndex_ = -1;
 
   // Precise roots: statics, interned literals, and every active frame's
-  // slots + operand stack (each run() registers its two vectors through
-  // Gc::ScopedVector). Collects only at the dispatch-loop safepoint.
+  // slots[0, liveSlots) + stack[0, top). Collects only at the
+  // dispatch-loop safepoint, where top is freshly recorded.
   void scanGcRoots(jvm::Gc::RootWalker& w);
   jvm::Gc gc_;
 

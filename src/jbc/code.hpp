@@ -96,6 +96,103 @@ enum class Op : std::uint8_t {
   kCallStaticResolved,  // a = classId, b = method ordinal, c = argc
   kCallSelfResolved,    // a = method ordinal, b = argc, c = prepend-this flag
   kCallVirtualCached,   // a -> names (method), b = argc, c = call-cache slot
+
+  // Superinstructions, produced only by the post-resolution peephole pass
+  // (compiler.cpp, fuseChunk). Each one executes the exact charge()/error
+  // sequence of the original instruction run it replaces and carries that
+  // run's length in Instr::n, so step() accounting is unchanged. The pass
+  // never fuses across a jump target or an exception-table boundary, and
+  // jump/handler pcs are remapped after deletion. Operand packing below
+  // uses SuperPack (compiler.cpp / bcvm.cpp); a site that does not fit the
+  // packing is simply left unfused.
+  kLoadLoad,             // [kLoad kLoad]  a = slot1, b = slot2
+  kLoadReturn,           // [kLoad kReturnValue]  a = slot
+  kThisFieldReturn,      // [kGetThisFieldSlot kReturnValue]  a = offset
+  kStorePop,             // [kDup kStore kPop]  a = slot, b = store-kind enc
+  kPutThisFieldSlotPop,  // [kDup kPutThisFieldSlot kPop]  a = offset
+  kConstBinary,          // [kConstInt kBinary]  a = intPool, b = BinOp
+  kLoadConstBinary,      // [kLoad kConstInt kBinary]  a = intPool,
+                         //   b = slot | BinOp<<20
+  kLoadLoadBinary,       // [kLoad kLoad kBinary]  a = slot1,
+                         //   b = slot2 | BinOp<<20
+  kThisFieldConstBinary, // [kGetThisFieldSlot kConstInt kBinary]
+                         //   a = intPool, b = offset | BinOp<<20
+  kThisFieldBinary,      // [kGetThisFieldSlot kBinary]  a = offset, b = BinOp
+  kBinaryCast,           // [kBinary kCast(implicit)]  a = BinOp, b = ValKind
+  kBinCastStorePop,      // [kBinary kCast(implicit) kDup kStore kPop]
+                         //   a = slot, b = BinOp | castK<<8 | storeK<<16
+  kLoadLoadBinaryReturn, // [kLoad kLoad kBinary kReturnValue]  a = slot1,
+                         //   b = slot2 | BinOp<<20
+  kLoadConstCmpJump,     // [kLoad kConstInt kBinary(cmp) kJumpIfFalse
+                         //   (kLoopTick)]  a = target, c = intPool,
+                         //   b = slot | cmp<<20 | tick<<26
+  kLoadLoadCmpJump,      // [kLoad kLoad kBinary(cmp) kJumpIfFalse
+                         //   (kLoopTick)]  a = target,
+                         //   b = slot1 | slot2<<10 | cmp<<20 | tick<<26
+  kLoadConstBinStore,    // [kLoad kConstInt kBinary (kCast impl) kDup kStore
+                         //   kPop]  a = intPool, c = castK enc (-1: none),
+                         //   b = slot1 | slot2<<10 | BinOp<<20 | storeK<<25
+  kIncDecLocalStmt,      // [kLoad kDup kConstInt kBinary (kCast impl) kStore
+                         //   kPop]  (post-inc/dec statement, same slot)
+                         //   a = intPool, c = castK enc (-1: none),
+                         //   b = slot | BinOp<<20 | storeK<<25
+  kLoadLoadConstBinary,  // [kLoad kLoad kConstInt kBinary]  a = intPool,
+                         //   b = slot1 | slot2<<10 | BinOp<<20; pushes
+                         //   slots[slot1] then (slots[slot2] <op> const)
+  kIncDecJump,           // kIncDecLocalStmt run + trailing kJump — the
+                         //   counted-loop latch.  a = intPool, c = target,
+                         //   b = slot | BinOp<<16 | storeK<<21 | castK<<25
+                         //   (castK enc 15: none)
+  kAccumConstStmt,       // [kLoad kLoad kConstInt kBinary kBinary (kCast
+                         //   impl) kDup kStore kPop] — the accumulate
+                         //   statement `s1 = s1 <op2> (s2 <op1> const)`.
+                         //   a = intPool, b = s1 | s2<<10 | op1<<20 |
+                         //   op2<<25, c = storeK | castK<<4 (enc 15: none)
+  kThisFieldAccumReturn, // [kGetThisFieldSlot kGetThisFieldSlot kBinary
+                         //   (kCast impl) kDup kPutThisFieldSlot kPop
+                         //   kGetThisFieldSlot kReturnValue] — the whole
+                         //   `f1 = f1 <op> f2; return f1;` body.
+                         //   a = off1 | off2<<12, b = BinOp | castK<<8
+                         //   (castK enc 15: none)
+  kLoadLoadCallSelf,     // [kLoad kLoad kCallSelfResolved] — a and c keep
+                         //   the call's operands (ordinal, prepend-this);
+                         //   b = argc | slot1<<10 | slot2<<20
+  kLoadLoadCallVirt,     // [kLoad kLoad kCallVirtualCached] — a and c keep
+                         //   the call's operands (names, cache slot);
+                         //   b = argc | slot1<<10 | slot2<<20
+
+  // Loop-tail pairs, produced by the second peephole pass (matchPair) over
+  // already-fused code: a loop-body tail statement merged with the
+  // kIncDecJump latch that follows it, so a steady-state counted-loop
+  // iteration dispatches once for the whole tail. Instr::n carries the
+  // combined seed run length. Packed fields are decoded as unsigned.
+  kAccumConstJump,       // [kAccumConstStmt][kIncDecJump], latch slot == s2.
+                         //   a = pool1 | pool2<<16, c = target |
+                         //   storeK1<<16 | castK1<<20 | storeKL<<24 |
+                         //   castKL<<28, b = s1 | s2<<8 | bop1<<16 |
+                         //   bop2<<21 | bopL<<26
+  kStorePopIncDecJump,   // [kStorePop][kIncDecJump].  a = pool | target<<16,
+                         //   b = slotS | slotL<<10 | bopL<<20,
+                         //   c = storeKS | storeKL<<4 | castKL<<8
+  kBinCastStoreIncDecJump, // [kBinCastStorePop][kIncDecJump].
+                         //   a = pool | target<<16, b = slotS | slotL<<8 |
+                         //   bopS<<16 | bopL<<21, c = storeKS | castKS<<4 |
+                         //   storeKL<<8 | castKL<<12
+
+  kCountedAccumLoop,     // Whole counted accumulate loop, produced by the
+                         //   third peephole pass (matchLoop):
+                         //   [kLoadConstCmpJump][kAccumConstJump] where the
+                         //   cmp tests the latch slot, its false-exit is
+                         //   the pc after the pair, and the latch jumps
+                         //   back to the cmp. Both targets are implicit
+                         //   (fall-through / self), so one dispatch runs a
+                         //   whole iteration. Instr::n covers only the cmp
+                         //   run; the handler accounts the body run on the
+                         //   taken path, preserving exact step totals.
+                         //   a = limitPool | pool1<<16, b as
+                         //   kAccumConstJump, c = pool2 | cmpOp<<10 |
+                         //   tick<<15 | storeK1<<16 | castK1<<20 |
+                         //   storeKL<<24 | castKL<<28
 };
 
 struct Instr {
@@ -104,6 +201,9 @@ struct Instr {
   std::int32_t b = 0;
   std::int32_t c = 0;
   std::int32_t line = 0;
+  /// Number of seed instructions this instruction accounts for in step()
+  /// bookkeeping: 1 normally, the fused run length for superinstructions.
+  std::uint8_t n = 1;
 };
 
 /// JVM-style exception table entry: pcs in [start, end) covered; on a match
@@ -129,6 +229,14 @@ struct Chunk {
   int numParams = 0;  // including the `this` slot for instance methods
   bool isStatic = true;
   std::vector<jvm::ValKind> paramKinds;  // coercion at call time
+  /// Dense program-wide chunk index (< CompiledProgram::chunkCount). The VM
+  /// keys its private quickened code copies on it, so quickening one VM
+  /// never mutates the shared CompiledProgram (ParallelRunner shares it).
+  std::uint32_t chunkId = 0;
+  /// Worst-case operand-stack depth, computed by dataflow over the
+  /// pre-fusion code (a fused instruction never needs more stack than the
+  /// run it replaced). Lets the VM pre-size pooled frames exactly.
+  int maxStack = 0;
 };
 
 struct CompiledField {
@@ -152,6 +260,8 @@ struct CompiledProgram {
   std::vector<std::int64_t> intPool;
   std::vector<double> numPool;
   std::unordered_map<std::string, CompiledClass> classes;
+  /// Number of chunks across all classes; Chunk::chunkId is dense below it.
+  std::uint32_t chunkCount = 0;
   /// The resolution substrate of the source Program (set by compile()).
   /// The slot/classId/cacheSlot operands above index its tables. Holds
   /// pointers into the source AST, so the Program must outlive execution —

@@ -122,7 +122,8 @@ class MethodCompiler {
 
 class ProgramCompiler {
  public:
-  explicit ProgramCompiler(const Program& program) : program_(program) {}
+  ProgramCompiler(const Program& program, const CompileOptions& options)
+      : program_(program), options_(options) {}
 
   CompiledProgram run();
 
@@ -152,6 +153,7 @@ class ProgramCompiler {
 
  private:
   const Program& program_;
+  CompileOptions options_;
   CompiledProgram out_;
   std::unordered_map<std::string, int> nameIndex_;
   std::shared_ptr<const jlang::Resolution> res_;
@@ -866,6 +868,610 @@ void MethodCompiler::compileExpr(const Expr& e) {
   throw Error("unhandled expression kind in compiler");
 }
 
+// ------------------------------------------------------------ post passes
+//
+// Everything below runs on finished chunks: a max-stack dataflow (always)
+// and the superinstruction peephole (unless disabled via CompileOptions).
+
+/// Operand-stack effect of one instruction (pushes - pops). Terminators
+/// (returns/throw) end propagation, so their effect is irrelevant.
+int stackEffect(const Instr& in) {
+  switch (in.op) {
+    case Op::kConstInt: case Op::kConstLong: case Op::kConstFloat:
+    case Op::kConstDouble: case Op::kConstStr: case Op::kConstChar:
+    case Op::kConstBool: case Op::kConstNull:
+    case Op::kLoad: case Op::kLoadThis:
+    case Op::kGetThisField: case Op::kGetStatic:
+    case Op::kGetThisFieldSlot: case Op::kGetStaticSlot:
+    case Op::kDup:
+      return 1;
+    case Op::kStore: case Op::kPutThisField: case Op::kPutStatic:
+    case Op::kPutThisFieldSlot: case Op::kPutStaticSlot:
+    case Op::kJumpIfFalse: case Op::kJumpIfTrue:
+    case Op::kBinary: case Op::kArrayGet: case Op::kPop:
+    case Op::kReturnValue: case Op::kThrow:
+      return -1;
+    case Op::kPutField: case Op::kPutFieldCached:
+      return -2;
+    case Op::kArraySet:
+      return -3;
+    case Op::kNewArray:
+      return 1 - in.a;
+    case Op::kNewObject:
+      return 1 - in.b;
+    case Op::kCallStatic: case Op::kCallStaticResolved:
+      return 1 - in.c;
+    case Op::kCallUnqualified: case Op::kCallSelfResolved:
+      return 1 - in.b;  // argc in b; `this` comes from slot 0, not the stack
+    case Op::kCallVirtual: case Op::kCallVirtualCached:
+      return -in.b;  // argc args + receiver popped, result pushed
+    case Op::kPrint:
+      return in.b != 0 ? 0 : 1;  // pops the argument if present, pushes null
+    default:
+      // kGetField/kGetFieldCached (obj -> value), unary ops, kCast, kBox,
+      // kJump, kLoopTick, kTryTick, kReturnVoid: net zero. The peephole
+      // runs after this pass, so superinstructions never appear here.
+      return 0;
+  }
+}
+
+bool isTerminator(Op op) {
+  return op == Op::kReturnValue || op == Op::kReturnVoid ||
+         op == Op::kThrow || op == Op::kJump;
+}
+
+/// Worklist dataflow computing the worst-case operand-stack depth. Runs on
+/// pre-fusion code; fused instructions never exceed the depth of the runs
+/// they replace (their handlers keep intermediates in C locals).
+void computeMaxStack(Chunk& chunk) {
+  const auto size = chunk.code.size();
+  std::vector<int> depthAt(size, -1);
+  std::vector<std::size_t> work;
+  int maxDepth = 0;
+  const auto enqueue = [&](std::size_t pc, int depth) {
+    if (pc >= size) return;
+    if (depthAt[pc] >= depth) return;
+    depthAt[pc] = depth;
+    if (depth > maxDepth) maxDepth = depth;
+    work.push_back(pc);
+  };
+  if (size > 0) enqueue(0, 0);
+  for (const auto& h : chunk.handlers) {
+    // Handler entry: stack cleared, exception either stored to a slot or
+    // left as the single stack entry.
+    enqueue(static_cast<std::size_t>(h.handler), h.slot >= 0 ? 0 : 1);
+  }
+  while (!work.empty()) {
+    const std::size_t pc = work.back();
+    work.pop_back();
+    const Instr& in = chunk.code[pc];
+    const int after = depthAt[pc] + stackEffect(in);
+    if (after > maxDepth) maxDepth = after;
+    if (in.op == Op::kJump || in.op == Op::kJumpIfFalse ||
+        in.op == Op::kJumpIfTrue) {
+      enqueue(static_cast<std::size_t>(in.a), after);
+    }
+    if (!isTerminator(in.op)) enqueue(pc + 1, after);
+  }
+  chunk.maxStack = maxDepth;
+}
+
+constexpr std::int32_t kNoKindEnc = 15;  // 4-bit "no store coercion" marker
+
+bool isCmp(BinOp op) {
+  return op == BinOp::kLt || op == BinOp::kGt || op == BinOp::kLe ||
+         op == BinOp::kGe || op == BinOp::kEq || op == BinOp::kNe;
+}
+
+/// Try to fuse the instruction run starting at `pc` into one
+/// superinstruction. Interior positions must not be jump targets or
+/// exception-table boundaries (`barrier`); operands must fit the packing
+/// documented in code.hpp. Returns the run length (1 = no fusion).
+std::size_t matchSuper(const std::vector<Instr>& c, std::size_t pc,
+                       const std::vector<char>& barrier, Instr* out) {
+  const std::size_t size = c.size();
+  // A fusion candidate of length k needs pc+k <= size and no barrier on
+  // any interior pc (the run's first pc may itself be a target).
+  const auto runOk = [&](std::size_t k) {
+    if (pc + k > size) return false;
+    for (std::size_t i = 1; i < k; ++i) {
+      if (barrier[pc + i]) return false;
+    }
+    return true;
+  };
+  const auto op = [&](std::size_t i) { return c[pc + i].op; };
+  const auto in = [&](std::size_t i) -> const Instr& { return c[pc + i]; };
+  const auto implicitCast = [&](std::size_t i) {
+    return op(i) == Op::kCast && in(i).b == 1;
+  };
+  const auto storeEnc = [](const Instr& st) {
+    return st.b < 0 ? kNoKindEnc : st.b;
+  };
+  const auto make = [&](Op sop, std::int32_t a, std::int32_t b,
+                        std::int32_t cOperand, std::size_t len) {
+    *out = Instr{sop, a, b, cOperand, in(0).line};
+    out->n = static_cast<std::uint8_t>(len);
+    return len;
+  };
+
+  switch (op(0)) {
+    case Op::kLoad: {
+      const std::int32_t s1 = in(0).a;
+      // [kLoad kDup kConstInt kBinary (kCast) kStore kPop (kJump)] —
+      // post-inc/dec statement on one local; with the trailing kJump it is
+      // the canonical counted-loop latch (kIncDecJump).
+      for (std::size_t len : {std::size_t{7}, std::size_t{6}}) {
+        const bool cast = len == 7;
+        if (!runOk(len)) continue;
+        std::size_t i = 1;
+        if (op(i) != Op::kDup) break;
+        ++i;
+        if (op(i) != Op::kConstInt) break;
+        const std::int32_t pool = in(i).a;
+        ++i;
+        if (op(i) != Op::kBinary) break;
+        const std::int32_t bop = in(i).a;
+        ++i;
+        std::int32_t castEnc = -1;
+        if (cast) {
+          if (!implicitCast(i)) continue;
+          castEnc = in(i).a;
+          ++i;
+        }
+        if (op(i) != Op::kStore || in(i).a != s1) break;
+        const std::int32_t se = storeEnc(in(i));
+        ++i;
+        if (op(i) != Op::kPop) break;
+        if (s1 >= (1 << 20) || bop >= 32 || se >= 16) break;
+        // The latch form packs the cast kind into b to free c for the jump
+        // target; its tighter slot field falls back to the plain form (and
+        // a bare kJump) for slot numbers past 2^16.
+        if (runOk(len + 1) && op(len) == Op::kJump && s1 < (1 << 16)) {
+          const std::int32_t castE = castEnc < 0 ? kNoKindEnc : castEnc;
+          return make(Op::kIncDecJump, pool,
+                      s1 | bop << 16 | se << 21 | castE << 25, in(len).a,
+                      len + 1);
+        }
+        return make(Op::kIncDecLocalStmt, pool, s1 | bop << 20 | se << 25,
+                    castEnc, len);
+      }
+      // [kLoad kConstInt kBinary (kCast) kDup kStore kPop] — local
+      // assignment statement `s2 = s1 <op> const`.
+      for (std::size_t len : {std::size_t{7}, std::size_t{6}}) {
+        const bool cast = len == 7;
+        if (!runOk(len)) continue;
+        std::size_t i = 1;
+        if (op(i) != Op::kConstInt) break;
+        const std::int32_t pool = in(i).a;
+        ++i;
+        if (op(i) != Op::kBinary) break;
+        const std::int32_t bop = in(i).a;
+        ++i;
+        std::int32_t castEnc = -1;
+        if (cast) {
+          if (!implicitCast(i)) continue;
+          castEnc = in(i).a;
+          ++i;
+        }
+        if (op(i) != Op::kDup) break;
+        ++i;
+        if (op(i) != Op::kStore) break;
+        const std::int32_t s2 = in(i).a;
+        const std::int32_t se = storeEnc(in(i));
+        ++i;
+        if (op(i) != Op::kPop) break;
+        if (s1 >= (1 << 10) || s2 >= (1 << 10) || bop >= 32 || se >= 16) break;
+        return make(Op::kLoadConstBinStore, pool,
+                    s1 | s2 << 10 | bop << 20 | se << 25, castEnc, len);
+      }
+      // [kLoad kConstInt kBinary(cmp) kJumpIfFalse (kLoopTick)] — the
+      // canonical counted-loop header. Plain branch only (b=0): a ternary
+      // branch charges kTernary and is left unfused.
+      if (runOk(4) && op(1) == Op::kConstInt && op(2) == Op::kBinary &&
+          isCmp(static_cast<BinOp>(in(2).a)) && op(3) == Op::kJumpIfFalse &&
+          in(3).b == 0 && s1 < (1 << 20)) {
+        const bool tick = runOk(5) && op(4) == Op::kLoopTick;
+        return make(Op::kLoadConstCmpJump, in(3).a,
+                    s1 | in(2).a << 20 | (tick ? 1 : 0) << 26, in(1).a,
+                    tick ? 5 : 4);
+      }
+      if (runOk(4) && op(1) == Op::kLoad && op(2) == Op::kBinary &&
+          isCmp(static_cast<BinOp>(in(2).a)) && op(3) == Op::kJumpIfFalse &&
+          in(3).b == 0 && s1 < (1 << 10) && in(1).a < (1 << 10)) {
+        const bool tick = runOk(5) && op(4) == Op::kLoopTick;
+        return make(Op::kLoadLoadCmpJump, in(3).a,
+                    s1 | in(1).a << 10 | in(2).a << 20 | (tick ? 1 : 0) << 26,
+                    0, tick ? 5 : 4);
+      }
+      // [kLoad kLoad kBinary kReturnValue] — e.g. `return a + b;`.
+      if (runOk(4) && op(1) == Op::kLoad && op(2) == Op::kBinary &&
+          op(3) == Op::kReturnValue && in(1).a < (1 << 20)) {
+        return make(Op::kLoadLoadBinaryReturn, s1,
+                    in(1).a | in(2).a << 20, 0, 4);
+      }
+      // [kLoad kLoad kConstInt kBinary kBinary (kCast) kDup kStore kPop] —
+      // the accumulate statement `s1 = s1 <op2> (s2 <op1> const)`, e.g.
+      // `acc = acc + (i & 7);`. Must precede the 4-long prefix match below.
+      for (std::size_t len : {std::size_t{9}, std::size_t{8}}) {
+        const bool cast = len == 9;
+        if (!runOk(len)) continue;
+        std::size_t i = 1;
+        if (op(i) != Op::kLoad) break;
+        const std::int32_t s2 = in(i).a;
+        ++i;
+        if (op(i) != Op::kConstInt) break;
+        const std::int32_t pool = in(i).a;
+        ++i;
+        if (op(i) != Op::kBinary) break;
+        const std::int32_t bop1 = in(i).a;
+        ++i;
+        if (op(i) != Op::kBinary) break;
+        const std::int32_t bop2 = in(i).a;
+        ++i;
+        std::int32_t castEnc = -1;
+        if (cast) {
+          if (!implicitCast(i)) continue;
+          castEnc = in(i).a;
+          ++i;
+        }
+        if (op(i) != Op::kDup) break;
+        ++i;
+        if (op(i) != Op::kStore || in(i).a != s1) break;
+        const std::int32_t se = storeEnc(in(i));
+        ++i;
+        if (op(i) != Op::kPop) break;
+        if (s1 >= (1 << 10) || s2 >= (1 << 10) || bop1 >= 32 ||
+            bop2 >= 32 || se >= 16 || castEnc >= 16) {
+          break;
+        }
+        const std::int32_t castE = castEnc < 0 ? kNoKindEnc : castEnc;
+        return make(Op::kAccumConstStmt, pool,
+                    s1 | s2 << 10 | bop1 << 20 | bop2 << 25,
+                    se | castE << 4, len);
+      }
+      // [kLoad kLoad kConstInt kBinary] — e.g. `a <op1> (b <op2> const)`
+      // operand shapes; the compare-and-branch variants above match first.
+      if (runOk(4) && op(1) == Op::kLoad && op(2) == Op::kConstInt &&
+          op(3) == Op::kBinary && s1 < (1 << 10) && in(1).a < (1 << 10)) {
+        return make(Op::kLoadLoadConstBinary, in(2).a,
+                    s1 | in(1).a << 10 | in(3).a << 20, 0, 4);
+      }
+      // [kLoad kLoad kCall*] — argument loads feeding a resolved call
+      // site. The call's own operands ride through unchanged in a and c;
+      // argc (always < 1024) shares b with the two slots.
+      if (runOk(3) && op(1) == Op::kLoad &&
+          (op(2) == Op::kCallSelfResolved ||
+           op(2) == Op::kCallVirtualCached) &&
+          s1 < (1 << 10) && in(1).a < (1 << 10) && in(2).b < (1 << 10)) {
+        return make(op(2) == Op::kCallSelfResolved ? Op::kLoadLoadCallSelf
+                                                   : Op::kLoadLoadCallVirt,
+                    in(2).a, in(2).b | s1 << 10 | in(1).a << 20, in(2).c, 3);
+      }
+      if (runOk(3) && op(1) == Op::kConstInt && op(2) == Op::kBinary &&
+          s1 < (1 << 20)) {
+        return make(Op::kLoadConstBinary, in(1).a, s1 | in(2).a << 20, 0, 3);
+      }
+      if (runOk(3) && op(1) == Op::kLoad && op(2) == Op::kBinary &&
+          in(1).a < (1 << 20)) {
+        return make(Op::kLoadLoadBinary, s1, in(1).a | in(2).a << 20, 0, 3);
+      }
+      if (runOk(2) && op(1) == Op::kReturnValue) {
+        return make(Op::kLoadReturn, s1, 0, 0, 2);
+      }
+      if (runOk(2) && op(1) == Op::kLoad) {
+        return make(Op::kLoadLoad, s1, in(1).a, 0, 2);
+      }
+      break;
+    }
+    case Op::kGetThisFieldSlot: {
+      const std::int32_t off = in(0).a;
+      // [kGetThisFieldSlot kGetThisFieldSlot kBinary (kCast) kDup
+      //  kPutThisFieldSlot kPop kGetThisFieldSlot kReturnValue] — the
+      // `f1 = f1 <op> f2; return f1;` method body, e.g. a counter bump.
+      for (std::size_t len : {std::size_t{9}, std::size_t{8}}) {
+        const bool cast = len == 9;
+        if (!runOk(len)) continue;
+        std::size_t i = 1;
+        if (op(i) != Op::kGetThisFieldSlot) break;
+        const std::int32_t off2 = in(i).a;
+        ++i;
+        if (op(i) != Op::kBinary) break;
+        const std::int32_t bop = in(i).a;
+        ++i;
+        std::int32_t castEnc = -1;
+        if (cast) {
+          if (!implicitCast(i)) continue;
+          castEnc = in(i).a;
+          ++i;
+        }
+        if (op(i) != Op::kDup) break;
+        ++i;
+        if (op(i) != Op::kPutThisFieldSlot || in(i).a != off) break;
+        ++i;
+        if (op(i) != Op::kPop) break;
+        ++i;
+        if (op(i) != Op::kGetThisFieldSlot || in(i).a != off) break;
+        ++i;
+        if (op(i) != Op::kReturnValue) break;
+        if (off >= (1 << 12) || off2 >= (1 << 12) || bop >= 32 ||
+            castEnc >= 16) {
+          break;
+        }
+        const std::int32_t castE = castEnc < 0 ? kNoKindEnc : castEnc;
+        return make(Op::kThisFieldAccumReturn, off | off2 << 12,
+                    bop | castE << 8, 0, len);
+      }
+      if (runOk(3) && op(1) == Op::kConstInt && op(2) == Op::kBinary &&
+          off < (1 << 20)) {
+        return make(Op::kThisFieldConstBinary, in(1).a, off | in(2).a << 20,
+                    0, 3);
+      }
+      if (runOk(2) && op(1) == Op::kBinary) {
+        return make(Op::kThisFieldBinary, off, in(1).a, 0, 2);
+      }
+      if (runOk(2) && op(1) == Op::kReturnValue) {
+        return make(Op::kThisFieldReturn, off, 0, 0, 2);
+      }
+      break;
+    }
+    case Op::kConstInt:
+      if (runOk(2) && op(1) == Op::kBinary) {
+        return make(Op::kConstBinary, in(0).a, in(1).a, 0, 2);
+      }
+      break;
+    case Op::kDup:
+      if (runOk(3) && op(1) == Op::kStore && op(2) == Op::kPop) {
+        return make(Op::kStorePop, in(1).a, in(1).b, 0, 3);
+      }
+      if (runOk(3) && op(1) == Op::kPutThisFieldSlot && op(2) == Op::kPop) {
+        return make(Op::kPutThisFieldSlotPop, in(1).a, 0, 0, 3);
+      }
+      break;
+    case Op::kBinary: {
+      const std::int32_t bop = in(0).a;
+      if (runOk(5) && implicitCast(1) && op(2) == Op::kDup &&
+          op(3) == Op::kStore && op(4) == Op::kPop) {
+        const std::int32_t se = storeEnc(in(3));
+        if (bop < 256 && in(1).a < 256 && se < 256) {
+          return make(Op::kBinCastStorePop, in(3).a,
+                      bop | in(1).a << 8 | se << 16, 0, 5);
+        }
+      }
+      if (runOk(2) && implicitCast(1)) {
+        return make(Op::kBinaryCast, bop, in(1).a, 0, 2);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  *out = in(0);
+  return 1;
+}
+
+/// Second peephole pass, over already-fused code: merge a loop-body tail
+/// statement with the kIncDecJump latch that follows it, so a steady-state
+/// counted-loop iteration dispatches once for the whole tail. The merged
+/// instruction replays both constituent charge sequences verbatim and
+/// carries the combined seed run length in n. Targets inside the packed
+/// operands are the pre-pass pcs; remapping happens in runFusePass like
+/// any other jump operand.
+std::size_t matchPair(const std::vector<Instr>& c, std::size_t pc,
+                      const std::vector<char>& barrier, Instr* out) {
+  *out = c[pc];
+  if (pc + 2 > c.size() || barrier[pc + 1]) return 1;
+  const Instr& i0 = c[pc];
+  const Instr& i1 = c[pc + 1];
+  if (i1.op != Op::kIncDecJump || i1.a >= (1 << 16) || i1.c >= (1 << 16)) {
+    return 1;
+  }
+  const std::uint32_t lSlot = static_cast<std::uint32_t>(i1.b) & 0xFFFF;
+  const std::uint32_t lBop = (static_cast<std::uint32_t>(i1.b) >> 16) & 0x1F;
+  const std::uint32_t lStoreK =
+      (static_cast<std::uint32_t>(i1.b) >> 21) & 0xF;
+  const std::uint32_t lCastK = (static_cast<std::uint32_t>(i1.b) >> 25) & 0xF;
+  const std::uint32_t pool = static_cast<std::uint32_t>(i1.a);
+  const std::uint32_t target = static_cast<std::uint32_t>(i1.c);
+  const auto emit = [&](Op sop, std::uint32_t a, std::uint32_t b,
+                        std::uint32_t cOperand) {
+    *out = Instr{sop, static_cast<std::int32_t>(a),
+                 static_cast<std::int32_t>(b),
+                 static_cast<std::int32_t>(cOperand), i0.line};
+    out->n = static_cast<std::uint8_t>(i0.n + i1.n);
+    return std::size_t{2};
+  };
+  switch (i0.op) {
+    case Op::kAccumConstStmt: {
+      const std::uint32_t b0 = static_cast<std::uint32_t>(i0.b);
+      const std::uint32_t s1 = b0 & 0x3FF;
+      const std::uint32_t s2 = (b0 >> 10) & 0x3FF;
+      if (s2 != lSlot || s1 >= (1 << 8) || s2 >= (1 << 8) ||
+          i0.a >= (1 << 16)) {
+        return 1;
+      }
+      const std::uint32_t c0 = static_cast<std::uint32_t>(i0.c);
+      return emit(Op::kAccumConstJump,
+                  static_cast<std::uint32_t>(i0.a) | pool << 16,
+                  s1 | s2 << 8 | ((b0 >> 20) & 0x1F) << 16 |
+                      ((b0 >> 25) & 0x1F) << 21 | lBop << 26,
+                  target | (c0 & 0xF) << 16 | ((c0 >> 4) & 0xF) << 20 |
+                      lStoreK << 24 | lCastK << 28);
+    }
+    case Op::kStorePop: {
+      if (i0.a >= (1 << 10) || lSlot >= (1 << 10) || i0.b >= 15) return 1;
+      const std::uint32_t storeKS =
+          i0.b < 0 ? kNoKindEnc : static_cast<std::uint32_t>(i0.b);
+      return emit(Op::kStorePopIncDecJump, pool | target << 16,
+                  static_cast<std::uint32_t>(i0.a) | lSlot << 10 |
+                      lBop << 20,
+                  storeKS | lStoreK << 4 | lCastK << 8);
+    }
+    case Op::kBinCastStorePop: {
+      const std::uint32_t b0 = static_cast<std::uint32_t>(i0.b);
+      const std::uint32_t bopS = b0 & 0xFF;
+      const std::uint32_t castKS = (b0 >> 8) & 0xFF;
+      const std::uint32_t storeKS = (b0 >> 16) & 0xFF;
+      if (i0.a >= (1 << 8) || lSlot >= (1 << 8) || bopS >= 32 ||
+          castKS >= 16 || storeKS >= 16) {
+        return 1;
+      }
+      return emit(Op::kBinCastStoreIncDecJump, pool | target << 16,
+                  static_cast<std::uint32_t>(i0.a) | lSlot << 8 |
+                      bopS << 16 | lBop << 21,
+                  storeKS | castKS << 4 | lStoreK << 8 | lCastK << 12);
+    }
+    default:
+      return 1;
+  }
+}
+
+/// Third peephole pass: collapse a whole counted accumulate loop —
+/// [kLoadConstCmpJump][kAccumConstJump] with the cmp testing the latch
+/// slot, the false-exit falling through past the pair, and the backedge
+/// returning to the cmp — into one self-dispatching instruction. n is the
+/// cmp run's seed length (the only part an exiting iteration executes);
+/// the handler accounts the body run separately on the taken path, so
+/// step totals stay exact on both paths.
+std::size_t matchLoop(const std::vector<Instr>& c, std::size_t pc,
+                      const std::vector<char>& barrier, Instr* out) {
+  *out = c[pc];
+  if (pc + 2 > c.size() || barrier[pc + 1]) return 1;
+  const Instr& i0 = c[pc];
+  const Instr& i1 = c[pc + 1];
+  if (i0.op != Op::kLoadConstCmpJump || i1.op != Op::kAccumConstJump) {
+    return 1;
+  }
+  const std::uint32_t b0 = static_cast<std::uint32_t>(i0.b);
+  const std::uint32_t b1 = static_cast<std::uint32_t>(i1.b);
+  const std::uint32_t c1 = static_cast<std::uint32_t>(i1.c);
+  const std::uint32_t tick = (b0 >> 26) & 1;
+  const std::uint32_t castK1 = (c1 >> 20) & 0xF;
+  const std::uint32_t castKL = c1 >> 28;
+  if (i0.a != static_cast<std::int32_t>(pc) + 2 ||       // exit falls through
+      (c1 & 0xFFFF) != pc ||                             // backedge to cmp
+      (b0 & 0xFFFFF) != ((b1 >> 8) & 0xFF) ||            // cmp slot == s2
+      i0.c >= (1 << 16) || (i1.a >> 16) >= (1 << 10) ||
+      // The handler derives each part's seed run length from the encoding;
+      // refuse shapes where that derivation would not hold.
+      i0.n != 4 + tick ||
+      i1.n != 15 + (castK1 != 15 ? 1 : 0) + (castKL != 15 ? 1 : 0)) {
+    return 1;
+  }
+  *out = Instr{Op::kCountedAccumLoop,
+               static_cast<std::int32_t>(static_cast<std::uint32_t>(i0.c) |
+                                         (static_cast<std::uint32_t>(i1.a) &
+                                          0xFFFFu)
+                                             << 16),
+               i1.b,
+               static_cast<std::int32_t>(
+                   (static_cast<std::uint32_t>(i1.a) >> 16) |
+                   ((b0 >> 20) & 0x1F) << 10 | tick << 15 |
+                   (c1 >> 16) << 16),
+               i0.line};
+  out->n = i0.n;
+  return 2;
+}
+
+/// Every pc a jump operand or handler boundary can name, for the barrier
+/// set and the post-pass remap. Understands the fused jump forms too, so
+/// later passes can run over earlier passes' output.
+template <typename Fn>
+void visitJumpOperands(Instr& in, Fn&& fn) {
+  switch (in.op) {
+    case Op::kJump:
+    case Op::kJumpIfFalse:
+    case Op::kJumpIfTrue:
+    case Op::kLoadConstCmpJump:
+    case Op::kLoadLoadCmpJump:
+      in.a = fn(in.a);
+      break;
+    case Op::kIncDecJump:
+      in.c = fn(in.c);
+      break;
+    case Op::kAccumConstJump: {
+      const std::uint32_t cc = static_cast<std::uint32_t>(in.c);
+      in.c = static_cast<std::int32_t>(
+          (cc & ~0xFFFFu) |
+          static_cast<std::uint32_t>(fn(static_cast<std::int32_t>(
+              cc & 0xFFFF))));
+      break;
+    }
+    case Op::kStorePopIncDecJump:
+    case Op::kBinCastStoreIncDecJump: {
+      const std::uint32_t aa = static_cast<std::uint32_t>(in.a);
+      in.a = static_cast<std::int32_t>(
+          (aa & 0xFFFFu) |
+          static_cast<std::uint32_t>(
+              fn(static_cast<std::int32_t>(aa >> 16)))
+              << 16);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// One greedy left-to-right fusion pass: jump-target and exception-range
+/// barriers, match, then pc remapping of every jump operand and
+/// exception-table entry.
+void runFusePass(Chunk& chunk,
+                 std::size_t (*match)(const std::vector<Instr>&, std::size_t,
+                                      const std::vector<char>&, Instr*)) {
+  std::vector<Instr>& code = chunk.code;
+  if (code.empty()) return;
+
+  std::vector<char> barrier(code.size() + 1, 0);
+  barrier[0] = 1;
+  for (Instr& in : code) {
+    visitJumpOperands(in, [&](std::int32_t t) {
+      barrier[static_cast<std::size_t>(t)] = 1;
+      return t;
+    });
+  }
+  for (const auto& h : chunk.handlers) {
+    barrier[static_cast<std::size_t>(h.start)] = 1;
+    barrier[static_cast<std::size_t>(h.end)] = 1;
+    barrier[static_cast<std::size_t>(h.handler)] = 1;
+  }
+
+  std::vector<Instr> fused;
+  fused.reserve(code.size());
+  // Old pc -> new pc. Interior pcs of a fused run map to the run's new pc;
+  // that case never feeds a jump or handler operand because interior pcs
+  // are barrier-free by construction.
+  std::vector<std::int32_t> newPcOf(code.size() + 1, 0);
+  std::size_t pc = 0;
+  while (pc < code.size()) {
+    Instr out;
+    const std::size_t len = match(code, pc, barrier, &out);
+    for (std::size_t i = 0; i < len; ++i) {
+      newPcOf[pc + i] = static_cast<std::int32_t>(fused.size());
+    }
+    fused.push_back(out);
+    pc += len;
+  }
+  newPcOf[code.size()] = static_cast<std::int32_t>(fused.size());
+
+  for (Instr& in : fused) {
+    visitJumpOperands(
+        in, [&](std::int32_t t) { return newPcOf[static_cast<std::size_t>(t)]; });
+  }
+  for (auto& h : chunk.handlers) {
+    h.start = newPcOf[static_cast<std::size_t>(h.start)];
+    h.end = newPcOf[static_cast<std::size_t>(h.end)];
+    h.handler = newPcOf[static_cast<std::size_t>(h.handler)];
+  }
+  chunk.code = std::move(fused);
+}
+
+/// The peephole: run-level fusion over the seed code, the loop-tail pair
+/// pass over its output, then the whole-loop pass over that.
+void fuseChunk(Chunk& chunk) {
+  runFusePass(chunk, matchSuper);
+  runFusePass(chunk, matchPair);
+  runFusePass(chunk, matchLoop);
+}
+
 // ---------------------------------------------------------------------------
 
 CompiledProgram ProgramCompiler::run() {
@@ -900,13 +1506,32 @@ CompiledProgram ProgramCompiler::run() {
       out_.classes.emplace(cls.name, std::move(compiled));
     }
   }
+  // Post passes over every chunk: dense chunk ids (the VM's quickening
+  // key), the pre-fusion max-stack dataflow, then the peephole.
+  std::uint32_t nextChunkId = 0;
+  const auto finishChunk = [&](Chunk& chunk) {
+    chunk.chunkId = nextChunkId++;
+    computeMaxStack(chunk);
+    if (options_.fuseSuperinstructions) fuseChunk(chunk);
+  };
+  for (auto& [name, cls] : out_.classes) {
+    finishChunk(cls.clinit);
+    finishChunk(cls.initFields);
+    for (auto& [mname, chunk] : cls.methods) finishChunk(chunk);
+  }
+  out_.chunkCount = nextChunkId;
   return std::move(out_);
 }
 
 }  // namespace
 
 CompiledProgram compile(const Program& program) {
-  return ProgramCompiler(program).run();
+  return ProgramCompiler(program, CompileOptions{}).run();
+}
+
+CompiledProgram compile(const Program& program,
+                        const CompileOptions& options) {
+  return ProgramCompiler(program, options).run();
 }
 
 std::string disassemble(const Chunk& chunk, const CompiledProgram& program) {
@@ -923,6 +1548,7 @@ std::string disassemble(const Chunk& chunk, const CompiledProgram& program) {
         in.op == Op::kCallVirtualCached) {
       out += " (" + program.names.at(static_cast<std::size_t>(in.a)) + ")";
     }
+    if (in.n > 1) out += " n=" + std::to_string(static_cast<int>(in.n));
     out += "\n";
   }
   for (const auto& h : chunk.handlers) {

@@ -12,8 +12,17 @@
 
 namespace jepo::jbc {
 
+struct CompileOptions {
+  /// Run the post-resolution peephole pass that fuses hot instruction runs
+  /// into superinstructions (code.hpp). Off is the seed-shaped code path,
+  /// kept for A/B benchmarking and for tests that pin unfused layouts.
+  bool fuseSuperinstructions = true;
+};
+
 /// Compile a whole program; throws CompileError on unsupported constructs
 /// and ParseError-style diagnostics on unresolved names.
 CompiledProgram compile(const jlang::Program& program);
+CompiledProgram compile(const jlang::Program& program,
+                        const CompileOptions& options);
 
 }  // namespace jepo::jbc

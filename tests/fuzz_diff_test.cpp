@@ -31,6 +31,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -57,13 +58,35 @@ constexpr int kDefaultRuns = 200;
 constexpr std::size_t kFuzzHeapLimit = 48;
 constexpr std::uint64_t kMaxSteps = 20'000'000;
 
+/// Strict u64 parse for seed knobs: decimal or 0x-prefixed hex, the exact
+/// inverse of replayBanner's `JEPO_FUZZ_ONLY=0x%llx`. Rejects what
+/// strtoull would quietly accept-or-mangle — leading signs/whitespace
+/// (strtoull *negates* "-1" into 2^64-1), trailing junk, and out-of-range
+/// values (strtoull saturates to ULLONG_MAX with only errno to show for
+/// it) — so a replayed seed either round-trips bit-exactly or fails.
+bool parseU64(const char* v, std::uint64_t* out) {
+  if (v == nullptr || *v == '\0') return false;
+  if (!std::isdigit(static_cast<unsigned char>(v[0]))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 0);
+  if (end == v || *end != '\0' || errno == ERANGE) return false;
+  *out = n;
+  return true;
+}
+
 std::uint64_t envU64(const char* name, std::uint64_t fallback, bool* set) {
   if (set != nullptr) *set = false;
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long n = std::strtoull(v, &end, 0);
-  if (end == nullptr || *end != '\0') return fallback;
+  std::uint64_t n = 0;
+  if (!parseU64(v, &n)) {
+    // A mangled replay seed must fail loudly: silently falling back here
+    // would fuzz 200 fresh seeds instead of replaying the one requested.
+    ADD_FAILURE() << name << "='" << v
+                  << "' is not a valid u64 (decimal or 0x hex)";
+    return fallback;
+  }
   if (set != nullptr) *set = true;
   return n;
 }
@@ -292,6 +315,58 @@ bool checkSeed(std::uint64_t seed, bool* strict = nullptr) {
   EXPECT_GT(treeGc.collections, 0u) << replayBanner(seed, p);
   EXPECT_GT(bcvmGc.collections, 0u) << replayBanner(seed, p);
   return ok;
+}
+
+TEST(FuzzDiff, ReplaySeedEnvRoundTrips) {
+  // A seed printed by replayBanner ("JEPO_FUZZ_ONLY=0x%llx") must come back
+  // bit-exact through envU64, including the high bit. Use a scratch variable
+  // so a real JEPO_FUZZ_ONLY in the environment can't interfere.
+  constexpr const char* kVar = "JEPO_FUZZ_ONLY_ROUNDTRIP_TEST";
+  const std::uint64_t seeds[] = {0, 1, kDefaultBaseSeed,
+                                 deriveSeed(kDefaultBaseSeed, 7),
+                                 0xFFFFFFFFFFFFFFFFULL};
+  for (const std::uint64_t seed : seeds) {
+    char banner[32];
+    std::snprintf(banner, sizeof banner, "0x%llx",
+                  static_cast<unsigned long long>(seed));
+    ASSERT_EQ(::setenv(kVar, banner, 1), 0);
+    bool set = false;
+    EXPECT_EQ(envU64(kVar, 42, &set), seed) << banner;
+    EXPECT_TRUE(set) << banner;
+
+    // The decimal spelling a user might type by hand round-trips too.
+    std::snprintf(banner, sizeof banner, "%llu",
+                  static_cast<unsigned long long>(seed));
+    ASSERT_EQ(::setenv(kVar, banner, 1), 0);
+    set = false;
+    EXPECT_EQ(envU64(kVar, 42, &set), seed) << banner;
+    EXPECT_TRUE(set) << banner;
+  }
+  ASSERT_EQ(::unsetenv(kVar), 0);
+
+  // Unset / empty use the fallback without claiming the knob was set.
+  bool set = true;
+  EXPECT_EQ(envU64(kVar, 42, &set), 42u);
+  EXPECT_FALSE(set);
+  ASSERT_EQ(::setenv(kVar, "", 1), 0);
+  set = true;
+  EXPECT_EQ(envU64(kVar, 42, &set), 42u);
+  EXPECT_FALSE(set);
+  ASSERT_EQ(::unsetenv(kVar), 0);
+
+  // Mangled spellings are rejected outright rather than quietly wrapped,
+  // saturated, or truncated into fuzzing some other seed.
+  std::uint64_t out = 0;
+  EXPECT_FALSE(parseU64(nullptr, &out));
+  EXPECT_FALSE(parseU64("", &out));
+  EXPECT_FALSE(parseU64("0x", &out));
+  EXPECT_FALSE(parseU64("0xfz", &out));
+  EXPECT_FALSE(parseU64("123junk", &out));
+  EXPECT_FALSE(parseU64("-1", &out));                    // strtoull would wrap
+  EXPECT_FALSE(parseU64("+1", &out));
+  EXPECT_FALSE(parseU64(" 1", &out));
+  EXPECT_FALSE(parseU64("18446744073709551616", &out));  // 2^64 saturates
+  EXPECT_FALSE(parseU64("0x10000000000000000", &out));
 }
 
 TEST(FuzzDiff, GeneratorIsDeterministic) {

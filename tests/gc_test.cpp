@@ -215,6 +215,58 @@ class Main {
   EXPECT_EQ(bcvmLimited.out, limited.out);
 }
 
+// The bytecode VM interns each string literal on first kConstStr and
+// re-pushes the cached Ref (literalByName_) on every later execution of
+// that instruction. Those cached refs are GC roots: the dead padding
+// allocated *before* the first interning means every collection slides the
+// literal's heap object to a lower Ref, so the cache must be remapped or
+// the next kConstStr would push a dangling (or worse, aliased-but-live)
+// reference. The program re-executes the same literal between collections
+// and the observables must stay bit-identical to the unlimited run.
+TEST(GcStress, InternedLiteralsAreRemappedAcrossCollections) {
+  const char* const src = R"(
+class Main {
+  static void main(String[] args) {
+    int i = 0;
+    while (i < 60) {
+      int[] pad = new int[4];
+      i = i + 1;
+    }
+    String acc = "";
+    int j = 0;
+    while (j < 300) {
+      int[] churn = new int[8];
+      if (j % 100 == 0) {
+        acc = acc + "lit:" + "interned-key";
+      }
+      j = j + 1;
+    }
+    System.out.println(acc);
+    System.out.println("interned-key");
+  }
+}
+)";
+  const char* const expected =
+      "lit:interned-keylit:interned-keylit:interned-key\ninterned-key\n";
+
+  const RunResult unlimited = runBcvm(src, 0);
+  const RunResult limited = runBcvm(src, 24);
+  EXPECT_EQ(unlimited.collections, 0u);
+  EXPECT_GE(limited.collections, 3u);
+  EXPECT_GT(limited.objectsReclaimed, 0u);
+  expectBitIdentical(unlimited, limited);
+  EXPECT_EQ(limited.out, expected);
+  // Only the interned literals and `acc` survive the final collection;
+  // the 400+ dead pads/churn arrays above and below them are gone.
+  EXPECT_LT(limited.heapSize, 64u);
+  EXPECT_GT(unlimited.heapSize, 360u);
+
+  // The tree interpreter interns literals too; same contract.
+  const RunResult treeLimited = runTree(src, 24);
+  EXPECT_EQ(treeLimited.out, expected);
+  EXPECT_GE(treeLimited.collections, 3u);
+}
+
 TEST(GcStress, EnvHeapLimitIsPickedUp) {
   const RunResult limited = runTree(kChurnSource, 32);
 

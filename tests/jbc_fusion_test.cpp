@@ -1,0 +1,282 @@
+// Exception tables vs. the peephole fuser and the quickener.
+//
+// The three-pass fuser (compiler.cpp) rewrites instruction runs into
+// superinstructions and remaps every pc-valued operand *and* every
+// ExceptionEntry{start, end, handler}. The quickener (bcvm.cpp) rewrites
+// opcodes in place without moving code. Either rewrite getting a handler
+// range wrong is invisible on the happy path — it only shows when a throw
+// lands inside a rewritten region. These tests pin exactly that:
+//
+//   - every handler range stays within bounds after fusion, and fusion
+//     demonstrably fired inside try-covered code;
+//   - a throw from *inside a fused pair* (the division in
+//     kBinCastStoreIncDecJump, before the latch increment executes) is
+//     caught by the right handler with the same locals the unfused and
+//     tree engines see;
+//   - a throw on a later call of an already-quickened method still finds
+//     its handler;
+//   - fused and unfused compiles of the same program are observably
+//     bit-identical (stdout, simulated joules and seconds), so the fuser
+//     can never shift the energy accounting.
+//
+// All programs here are static-only (no constructors / instance calls), so
+// even the tree interpreter's joules must match bit-for-bit (the one
+// modeled cross-engine delta is the `this` slot charge; see
+// fuzz_diff_test.cpp).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "energy/machine.hpp"
+#include "jbc/bcvm.hpp"
+#include "jbc/compiler.hpp"
+#include "jlang/parser.hpp"
+#include "jvm/interpreter.hpp"
+
+namespace jepo::jbc {
+namespace {
+
+using jlang::Parser;
+using jlang::Program;
+
+struct Observables {
+  std::string out;
+  std::uint64_t pkgBits = 0;
+  std::uint64_t secondsBits = 0;
+};
+
+std::uint64_t doubleBits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+Observables runVm(const CompiledProgram& compiled) {
+  energy::SimMachine machine;
+  BytecodeVm vm(compiled, machine);
+  vm.setMaxSteps(100'000'000);
+  vm.runMain();
+  return {vm.output(), doubleBits(machine.sample().packageJoules),
+          doubleBits(machine.sample().seconds)};
+}
+
+Observables runTree(const Program& prog) {
+  energy::SimMachine machine;
+  jvm::Interpreter interp(prog, machine);
+  interp.setMaxSteps(100'000'000);
+  interp.runMain();
+  return {interp.output(), doubleBits(machine.sample().packageJoules),
+          doubleBits(machine.sample().seconds)};
+}
+
+CompiledProgram compileWith(const Program& prog, bool fuse) {
+  CompileOptions opts;
+  opts.fuseSuperinstructions = fuse;
+  return compile(prog, opts);
+}
+
+const Chunk& mainChunk(const CompiledProgram& p) {
+  for (const auto& [name, cls] : p.classes) {
+    const auto it = cls.methods.find("main");
+    if (cls.hasMain && it != cls.methods.end()) return it->second;
+  }
+  ADD_FAILURE() << "no main chunk";
+  static const Chunk empty;
+  return empty;
+}
+
+bool containsOp(const Chunk& c, Op op) {
+  for (const Instr& in : c.code) {
+    if (in.op == op) return true;
+  }
+  return false;
+}
+
+// A throw that must surface from *inside* a fused pair: the loop tail
+// [x /= d - i][i++, jump] fuses into kBinCastStoreIncDecJump — the
+// compound narrowing assignment carries the implicit short cast that
+// forms kBinCastStorePop, and the non-trivial divisor expression keeps
+// the division out of the operand-load superinstruction in front of it.
+// The division throws when d - i hits 0, before the fused latch
+// increments `i`. The catch prints i and x, so a fuser that runs the
+// latch early (or a mis-remapped handler range) changes output.
+const char* const kThrowInFusedPair = R"(
+class Main {
+  static void main(String[] args) {
+    int i = 0;
+    short x = 1000;
+    int d = 3;
+    try {
+      while (i < 8) {
+        x /= d - i;
+        i++;
+      }
+      System.out.println("unreachable");
+    } catch (ArithmeticException e) {
+      System.out.println("caught i=" + i + " x=" + x);
+    }
+    System.out.println("after " + i + ":" + x + ":" + d);
+  }
+}
+)";
+
+// A counted accumulate loop (the whole-loop kCountedAccumLoop shape) inside
+// a try block, with a throw *after* it: the loop's implicit fall-through
+// exit and self-backedge must not disturb the surrounding handler range.
+const char* const kLoopInsideTry = R"(
+class Main {
+  static void main(String[] args) {
+    int acc = 0;
+    try {
+      for (int i = 0; i < 1000; i++) acc += i & 7;
+      acc = acc / (acc - 3500);
+    } catch (ArithmeticException e) {
+      System.out.println("acc=" + acc);
+    }
+  }
+}
+)";
+
+// A method with its own try/catch, called repeatedly: the call site and the
+// callee body quicken on the first iteration, and the throw only happens on
+// a later, fully-quickened execution. Handler pc ranges must survive the
+// in-place opcode rewrites.
+const char* const kThrowAfterQuickening = R"(
+class H {
+  static int f(int i) {
+    try {
+      return 100 / (3 - i);
+    } catch (ArithmeticException e) {
+      return 0 - 1;
+    }
+  }
+}
+class Main {
+  static void main(String[] args) {
+    for (int i = 0; i < 6; i++) System.out.println(H.f(i));
+  }
+}
+)";
+
+// Nested try/finally around a fusable loop: finally inlining multiplies the
+// copies the fuser must remap consistently.
+const char* const kFinallyAroundLoop = R"(
+class Main {
+  static void main(String[] args) {
+    int sum = 0;
+    int i = 0;
+    try {
+      while (i < 50) {
+        sum += i;
+        i++;
+      }
+      int boom = 1 / (i - 50);
+      System.out.println("unreachable " + boom);
+    } catch (ArithmeticException e) {
+      System.out.println("caught sum=" + sum);
+    } finally {
+      System.out.println("finally sum=" + sum);
+    }
+  }
+}
+)";
+
+class FusionAgreementTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FusionAgreementTest, FusedUnfusedAndTreeAgreeBitExact) {
+  const Program prog = Parser::parseProgram("fusion.mjava", GetParam());
+  const Observables fused = runVm(compileWith(prog, true));
+  const Observables unfused = runVm(compileWith(prog, false));
+  const Observables tree = runTree(prog);
+
+  EXPECT_EQ(fused.out, unfused.out);
+  EXPECT_EQ(fused.pkgBits, unfused.pkgBits) << "fusion shifted joules";
+  EXPECT_EQ(fused.secondsBits, unfused.secondsBits)
+      << "fusion shifted simulated time";
+
+  // Cross-engine, only the output contract applies here: bytecode
+  // legitimately charges throw/call paths differently from the tree
+  // walker (the bit-identity energy contract lives in fuzz_diff_test.cpp,
+  // over a grammar that excludes exceptions).
+  EXPECT_EQ(tree.out, fused.out);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExceptionShapes, FusionAgreementTest,
+                         ::testing::Values(kThrowInFusedPair, kLoopInsideTry,
+                                           kThrowAfterQuickening,
+                                           kFinallyAroundLoop));
+
+TEST(FusionExceptionTable, ThrowInsideFusedPairIsCaughtWithExactLocals) {
+  const Program prog = Parser::parseProgram("fusion.mjava", kThrowInFusedPair);
+  const CompiledProgram fused = compileWith(prog, true);
+
+  // The loop tail really is one fused pair — otherwise this test would
+  // silently stop covering a throw from inside a superinstruction.
+  ASSERT_TRUE(containsOp(mainChunk(fused), Op::kBinCastStoreIncDecJump))
+      << disassemble(mainChunk(fused), fused);
+
+  // d - i: 3, 2, 1 divide fine (i reaches 3), then d - i hits 0 and the
+  // fused division throws with the latch not yet run: i stays 3, x stays
+  // its i=2 value 1000/3/2/1 = 166.
+  const Observables got = runVm(fused);
+  EXPECT_EQ(got.out, "caught i=3 x=166\nafter 3:166:3\n");
+}
+
+TEST(FusionExceptionTable, CountedLoopInsideTryKeepsHandlerRange) {
+  const Program prog = Parser::parseProgram("fusion.mjava", kLoopInsideTry);
+  const CompiledProgram fused = compileWith(prog, true);
+  ASSERT_TRUE(containsOp(mainChunk(fused), Op::kCountedAccumLoop))
+      << disassemble(mainChunk(fused), fused);
+  // sum of (i & 7) over 125 full 0..7 cycles = 125 * 28 = 3500, so the
+  // divisor is 0 and the handler range around the fused loop must fire.
+  EXPECT_EQ(runVm(fused).out, "acc=3500\n");
+}
+
+TEST(FusionExceptionTable, ThrowAfterQuickeningFindsHandler) {
+  const Program prog =
+      Parser::parseProgram("fusion.mjava", kThrowAfterQuickening);
+  // 100/3, 100/2, 100/1, then 3-i hits 0 on the fourth (quickened) call,
+  // then negative divisors on the remaining calls.
+  EXPECT_EQ(runVm(compileWith(prog, true)).out,
+            "33\n50\n100\n-1\n-100\n-50\n");
+}
+
+// Structural bound check over every chunk of every program above: after
+// fusion each handler's [start, end) and handler pc index real
+// instructions, end > start, and fusion actually shrank the fused chunks
+// it fired in (so the remap was exercised, not vacuous).
+TEST(FusionExceptionTable, HandlerRangesStayInBoundsAcrossFusion) {
+  const char* const sources[] = {kThrowInFusedPair, kLoopInsideTry,
+                                 kThrowAfterQuickening, kFinallyAroundLoop};
+  for (const char* src : sources) {
+    const Program prog = Parser::parseProgram("fusion.mjava", src);
+    const CompiledProgram fused = compileWith(prog, true);
+    const CompiledProgram unfused = compileWith(prog, false);
+    bool sawHandlers = false;
+    bool sawShrink = false;
+    for (const auto& [name, cls] : fused.classes) {
+      for (const auto& [mname, chunk] : cls.methods) {
+        const std::int32_t n = static_cast<std::int32_t>(chunk.code.size());
+        for (const ExceptionEntry& h : chunk.handlers) {
+          sawHandlers = true;
+          EXPECT_GE(h.start, 0) << chunk.qualifiedName;
+          EXPECT_LT(h.start, h.end) << chunk.qualifiedName;
+          EXPECT_LE(h.end, n) << chunk.qualifiedName;
+          EXPECT_GE(h.handler, 0) << chunk.qualifiedName;
+          EXPECT_LT(h.handler, n) << chunk.qualifiedName;
+        }
+        const Chunk& before = unfused.findClass(name)->methods.at(mname);
+        EXPECT_LE(chunk.code.size(), before.code.size())
+            << chunk.qualifiedName;
+        if (chunk.code.size() < before.code.size()) sawShrink = true;
+      }
+    }
+    EXPECT_TRUE(sawHandlers) << src;
+    EXPECT_TRUE(sawShrink) << src;
+  }
+}
+
+}  // namespace
+}  // namespace jepo::jbc
