@@ -491,8 +491,9 @@ jvm::Value BytecodeVm::finishInvoke(const CompiledClass& cls,
 // between the argument charges, so they merge into one counted charge.
 // The safepoint sees the same root object set as the framed flow: the
 // arguments are still live on the caller's stack under frame.top (recorded
-// at the call's own dispatch, before sp was lowered), and the callee frame
-// it replaces held only copies of those values plus null locals. Argument
+// at the call's own dispatch before sp was lowered — fused load-load call
+// handlers re-record it after pushing their argument pair), and the callee
+// frame it replaces held only copies of those values plus null locals. Argument
 // values are re-read through the caller's rooted storage *after* the
 // safepoint, so a compaction's remaps are observed just as callee-frame
 // slots would have been.
@@ -1295,6 +1296,11 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
         sp[0] = slots[static_cast<std::size_t>((bb >> 10) & 0x3FF)];
         sp[1] = slots[static_cast<std::size_t>((bb >> 20) & 0x3FF)];
         sp += 2;
+        // VM_TOP recorded frame.top before these pushes; re-record it so
+        // the argument span is rooted across the call's interior
+        // safepoints (<clinit>, inline-callee), as the unfused call's own
+        // dispatch would have.
+        if (gcArmed) frame.top = static_cast<std::size_t>(sp - stackBase);
         callSelfResolved(ip->a, bb & 0x3FF, ip->c);
         VM_NEXT();
       }
@@ -1367,6 +1373,9 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
         sp[0] = slots[static_cast<std::size_t>((bb >> 10) & 0x3FF)];
         sp[1] = slots[static_cast<std::size_t>((bb >> 20) & 0x3FF)];
         sp += 2;
+        // Root the pushed span before the call's interior safepoints; see
+        // kLoadLoadCallSelf.
+        if (gcArmed) frame.top = static_cast<std::size_t>(sp - stackBase);
         callVirtualCached(ip->a, bb & 0x3FF, ip->c, ip->line);
         VM_NEXT();
       }
@@ -1632,8 +1641,14 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
         if (!cond) VM_JUMP(ip->a);
         // The kLoopTick is interior to the fused run and executes only on
         // fall-through; the taken branch exits the run (its target is a
-        // barrier), exactly as the unfused sequence behaves.
-        if (((bb >> 26) & 1) != 0) charge(energy::Op::kLoopIter);
+        // barrier), exactly as the unfused sequence behaves. Its step is
+        // therefore excluded from ip->n and accounted here, limit-checked
+        // before its charge as its own dispatch would have been.
+        if (((bb >> 26) & 1) != 0) {
+          ++steps_;
+          if (steps_ > maxStepsHoisted) throwStepLimit();
+          charge(energy::Op::kLoopIter);
+        }
         VM_NEXT();
       }
       VM_CASE(kLoadLoadCmpJump) {
@@ -1654,7 +1669,12 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
         }
         charge(energy::Op::kBranch);
         if (!cond) VM_JUMP(ip->a);
-        if (((bb >> 26) & 1) != 0) charge(energy::Op::kLoopIter);
+        // Fall-through-only tick step + charge; see kLoadConstCmpJump.
+        if (((bb >> 26) & 1) != 0) {
+          ++steps_;
+          if (steps_ > maxStepsHoisted) throwStepLimit();
+          charge(energy::Op::kLoopIter);
+        }
         VM_NEXT();
       }
       VM_CASE(kLoadConstBinStore) {
@@ -1884,7 +1904,12 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
         }
         charge(energy::Op::kBranch);
         if (!cond) VM_NEXT();  // the implicit exit: fall through the loop
-        if (((cc >> 15) & 1) != 0) charge(energy::Op::kLoopIter);
+        // Taken-path-only tick step + charge; see kLoadConstCmpJump.
+        if (((cc >> 15) & 1) != 0) {
+          ++steps_;
+          if (steps_ > maxStepsHoisted) throwStepLimit();
+          charge(energy::Op::kLoopIter);
+        }
         // The kAccumConstJump part: account its seed run length before
         // executing it, exactly as its own dispatch would have.
         const std::uint32_t castK1 = (cc >> 20) & 0xF;

@@ -1071,17 +1071,26 @@ std::size_t matchSuper(const std::vector<Instr>& c, std::size_t pc,
           isCmp(static_cast<BinOp>(in(2).a)) && op(3) == Op::kJumpIfFalse &&
           in(3).b == 0 && s1 < (1 << 20)) {
         const bool tick = runOk(5) && op(4) == Op::kLoopTick;
-        return make(Op::kLoadConstCmpJump, in(3).a,
-                    s1 | in(2).a << 20 | (tick ? 1 : 0) << 26, in(1).a,
-                    tick ? 5 : 4);
+        const std::size_t len =
+            make(Op::kLoadConstCmpJump, in(3).a,
+                 s1 | in(2).a << 20 | (tick ? 1 : 0) << 26, in(1).a,
+                 tick ? 5 : 4);
+        // n covers only the unconditional 4-instruction prefix: the fused
+        // kLoopTick executes (and is stepped by the handler) solely on
+        // fall-through, while the taken exit runs 4 seed instructions.
+        out->n = 4;
+        return len;
       }
       if (runOk(4) && op(1) == Op::kLoad && op(2) == Op::kBinary &&
           isCmp(static_cast<BinOp>(in(2).a)) && op(3) == Op::kJumpIfFalse &&
           in(3).b == 0 && s1 < (1 << 10) && in(1).a < (1 << 10)) {
         const bool tick = runOk(5) && op(4) == Op::kLoopTick;
-        return make(Op::kLoadLoadCmpJump, in(3).a,
-                    s1 | in(1).a << 10 | in(2).a << 20 | (tick ? 1 : 0) << 26,
-                    0, tick ? 5 : 4);
+        const std::size_t len =
+            make(Op::kLoadLoadCmpJump, in(3).a,
+                 s1 | in(1).a << 10 | in(2).a << 20 | (tick ? 1 : 0) << 26,
+                 0, tick ? 5 : 4);
+        out->n = 4;  // tick stepped on fall-through only; see above
+        return len;
       }
       // [kLoad kLoad kBinary kReturnValue] — e.g. `return a + b;`.
       if (runOk(4) && op(1) == Op::kLoad && op(2) == Op::kBinary &&
@@ -1329,9 +1338,9 @@ std::size_t matchPair(const std::vector<Instr>& c, std::size_t pc,
 /// [kLoadConstCmpJump][kAccumConstJump] with the cmp testing the latch
 /// slot, the false-exit falling through past the pair, and the backedge
 /// returning to the cmp — into one self-dispatching instruction. n is the
-/// cmp run's seed length (the only part an exiting iteration executes);
-/// the handler accounts the body run separately on the taken path, so
-/// step totals stay exact on both paths.
+/// cmp run's unconditional prefix (4, the only part an exiting iteration
+/// executes); the handler accounts the tick and the body run separately on
+/// the taken path, so step totals stay exact on both paths.
 std::size_t matchLoop(const std::vector<Instr>& c, std::size_t pc,
                       const std::vector<char>& barrier, Instr* out) {
   *out = c[pc];
@@ -1353,7 +1362,7 @@ std::size_t matchLoop(const std::vector<Instr>& c, std::size_t pc,
       i0.c >= (1 << 16) || (i1.a >> 16) >= (1 << 10) ||
       // The handler derives each part's seed run length from the encoding;
       // refuse shapes where that derivation would not hold.
-      i0.n != 4 + tick ||
+      i0.n != 4 ||
       i1.n != 15 + (castK1 != 15 ? 1 : 0) + (castKL != 15 ? 1 : 0)) {
     return 1;
   }

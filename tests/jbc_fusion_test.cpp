@@ -34,6 +34,7 @@
 #include "jbc/compiler.hpp"
 #include "jlang/parser.hpp"
 #include "jvm/interpreter.hpp"
+#include "support/error.hpp"
 
 namespace jepo::jbc {
 namespace {
@@ -276,6 +277,131 @@ TEST(FusionExceptionTable, HandlerRangesStayInBoundsAcrossFusion) {
     EXPECT_TRUE(sawHandlers) << src;
     EXPECT_TRUE(sawShrink) << src;
   }
+}
+
+// Loop-heavy program whose every loop header is a tick-carrying cmp-jump
+// superinstruction, exercised across many loop *exits*: the outer for
+// (kLoadConstCmpJump), an inner counted accumulate (kCountedAccumLoop) and
+// a local-vs-local while (kLoadLoadCmpJump), each exiting once per outer
+// iteration.
+const char* const kManyLoopExits = R"(
+class Main {
+  static void main(String[] args) {
+    int total = 0;
+    for (int j = 0; j < 20; j++) {
+      int acc = 0;
+      for (int i = 0; i < 5; i++) acc += i & 7;
+      int k = 0;
+      while (k < j) { total += k; k++; }
+      total += acc;
+    }
+    System.out.println(total);
+  }
+}
+)";
+
+bool completesWithin(const CompiledProgram& p, std::uint64_t maxSteps) {
+  energy::SimMachine machine;
+  BytecodeVm vm(p, machine);
+  vm.setMaxSteps(maxSteps);
+  try {
+    vm.runMain();
+  } catch (const VmError&) {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t minimalMaxSteps(const CompiledProgram& p) {
+  std::uint64_t lo = 1;
+  std::uint64_t hi = std::uint64_t{1} << 22;
+  EXPECT_TRUE(completesWithin(p, hi)) << "search upper bound too small";
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (completesWithin(p, mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+// The fused kLoopTick executes only on fall-through, so the cmp-jump
+// superinstructions keep it out of Instr::n (charged at every dispatch,
+// including the exiting one) and step it on the looping path instead. If
+// the exit path over-counted the tick, the smallest step budget that lets
+// this program finish would differ between the fused and unfused compiles
+// — one per loop exit — and a program near its maxSteps budget would trip
+// the limit in one configuration but not the other.
+TEST(FusionStepAccounting, MinimalStepBudgetMatchesUnfusedAcrossLoopExits) {
+  const Program prog = Parser::parseProgram("fusion.mjava", kManyLoopExits);
+  const CompiledProgram fused = compileWith(prog, true);
+  const CompiledProgram unfused = compileWith(prog, false);
+  const Chunk& main = mainChunk(fused);
+  ASSERT_TRUE(containsOp(main, Op::kCountedAccumLoop))
+      << disassemble(main, fused);
+  ASSERT_TRUE(containsOp(main, Op::kLoadLoadCmpJump))
+      << disassemble(main, fused);
+  EXPECT_EQ(minimalMaxSteps(fused), minimalMaxSteps(unfused));
+}
+
+// Constant churn feeding fused call sites: kLoadLoadCallVirt/-CallSelf push
+// their two-Value argument span *after* VM_TOP recorded frame.top, then
+// enter helpers whose trivial-callee inlining runs a safepoint and re-reads
+// the span (including the receiver ref) from the caller stack. The handlers
+// must re-record frame.top before the call so a compaction landing on that
+// interior safepoint scans and remaps the pushed span; a stale receiver ref
+// here reads a moved/wrong heap object.
+const char* const kFusedCallChurn = R"(
+class Box {
+  int v;
+  Box(int x) { v = x; }
+  int tag(int unused) { return v; }
+}
+class Main {
+  static int mix(int a, int b) { return a + b; }
+  static void main(String[] args) {
+    Box keep = new Box(41);
+    int total = 0;
+    int i = 0;
+    while (i < 300) {
+      Box junk = new Box(i);
+      int a = junk.tag(i);
+      int b = keep.tag(i);
+      int c = mix(a, b);
+      total = total + c + i;
+      i++;
+    }
+    System.out.println(total + ":" + keep.tag(0));
+  }
+}
+)";
+
+TEST(FusionGcRooting, FusedCallArgSpansSurviveCompaction) {
+  const Program prog = Parser::parseProgram("fusion.mjava", kFusedCallChurn);
+  const CompiledProgram fused = compileWith(prog, true);
+  const Chunk& main = mainChunk(fused);
+  ASSERT_TRUE(containsOp(main, Op::kLoadLoadCallVirt))
+      << disassemble(main, fused);
+  ASSERT_TRUE(containsOp(main, Op::kLoadLoadCallSelf))
+      << disassemble(main, fused);
+
+  const Observables unlimited = runVm(fused);
+
+  energy::SimMachine machine;
+  BytecodeVm vm(fused, machine);
+  vm.setMaxSteps(100'000'000);
+  vm.setHeapLimit(24);
+  vm.runMain();
+
+  EXPECT_GE(vm.gc().collections(), 3u);
+  // Per iteration: a = i, b = 41, c = i + 41, total += c + i, so
+  // total = 2 * (299 * 300 / 2) + 300 * 41.
+  EXPECT_EQ(vm.output(), "102000:41\n");
+  EXPECT_EQ(vm.output(), unlimited.out);
+  EXPECT_EQ(doubleBits(machine.sample().packageJoules), unlimited.pkgBits);
+  EXPECT_EQ(doubleBits(machine.sample().seconds), unlimited.secondsBits);
 }
 
 }  // namespace
