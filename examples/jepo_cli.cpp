@@ -2,7 +2,12 @@
 //
 //   jepo_cli suggest  <file.mjava>   # Fig. 2/5: the suggestion view
 //   jepo_cli profile  <file.mjava> [MainClass] [--heap-limit=N]
+//                     [--seed=N] [--fault-plan=SPEC]
 //   jepo_cli optimize <file.mjava>   # auto-refactor, print new source
+//
+// --seed/--fault-plan mirror a jepod job's fields: the same (source,
+// MainClass, seed, heap limit, fault plan) here and through the daemon
+// produce bit-identical joules/stdout/method records.
 //
 // Reads MiniJava source from the given file (or stdin when the file is -).
 #include <cstdio>
@@ -11,6 +16,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "jepo/engine.hpp"
 #include "jepo/optimizer.hpp"
 #include "jepo/profiler.hpp"
@@ -39,8 +45,16 @@ std::string readAll(const std::string& path) {
 int usage() {
   std::fprintf(stderr,
                "usage: jepo_cli suggest|profile|optimize <file.mjava> "
-               "[MainClass] [--heap-limit=N]\n");
+               "[MainClass] [--heap-limit=N] [--seed=N] "
+               "[--fault-plan=SPEC]\n");
   return 2;
+}
+
+bool parseFlagU64(const std::string& arg, std::size_t prefixLen,
+                  unsigned long long* out) {
+  char* end = nullptr;
+  *out = std::strtoull(arg.c_str() + prefixLen, &end, 10);
+  return end != nullptr && end != arg.c_str() + prefixLen && *end == '\0';
 }
 
 }  // namespace
@@ -68,12 +82,15 @@ int main(int argc, char** argv) {
       core::Profiler profiler;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
+        unsigned long long n = 0;
         if (arg.rfind("--heap-limit=", 0) == 0) {
-          char* end = nullptr;
-          const unsigned long long n =
-              std::strtoull(arg.c_str() + 13, &end, 10);
-          if (end == nullptr || *end != '\0') return usage();
+          if (!parseFlagU64(arg, 13, &n)) return usage();
           profiler.setHeapLimit(static_cast<std::size_t>(n));
+        } else if (arg.rfind("--seed=", 0) == 0) {
+          if (!parseFlagU64(arg, 7, &n)) return usage();
+          profiler.setSeed(n);
+        } else if (arg.rfind("--fault-plan=", 0) == 0) {
+          profiler.setFaultSpec(fault::parseFaultPlan(arg.substr(13)));
         } else if (mainClass.empty()) {
           mainClass = arg;
         } else {

@@ -1,0 +1,78 @@
+// jepod — run the profiling daemon until SIGTERM/SIGINT, then drain.
+//
+//   jepod --socket=/tmp/jepod.sock [--threads=N] [--max-queue=N]
+//         [--cache-bytes=N] [--retry-after-ms=N]
+//
+// The daemon serves parse->suggest->instrument->measure jobs over the
+// Unix-domain socket (newline-delimited JSON; see src/jepod/protocol.hpp).
+// On SIGTERM it stops accepting work, answers new requests with a typed
+// "shutting-down" reject, completes every in-flight job, and exits 0.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "jepod/daemon.hpp"
+#include "obs/obs.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: jepod --socket=PATH [--threads=N] [--max-queue=N] "
+               "[--cache-bytes=N] [--retry-after-ms=N]\n");
+  return 2;
+}
+
+bool parseU64(const char* text, unsigned long long* out) {
+  char* end = nullptr;
+  *out = std::strtoull(text, &end, 10);
+  return end != nullptr && end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jepo;
+  jepod::DaemonConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    unsigned long long n = 0;
+    if (arg.rfind("--socket=", 0) == 0) {
+      cfg.socketPath = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!parseU64(arg.c_str() + 10, &n)) return usage();
+      cfg.threads = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--max-queue=", 0) == 0) {
+      if (!parseU64(arg.c_str() + 12, &n)) return usage();
+      cfg.maxQueue = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--cache-bytes=", 0) == 0) {
+      if (!parseU64(arg.c_str() + 14, &n)) return usage();
+      cfg.cacheBytes = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--retry-after-ms=", 0) == 0) {
+      if (!parseU64(arg.c_str() + 17, &n)) return usage();
+      cfg.retryAfterMs = static_cast<int>(n);
+    } else {
+      return usage();
+    }
+  }
+  if (cfg.socketPath.empty()) return usage();
+
+  obs::initFromEnv();
+  try {
+    jepod::Daemon daemon(cfg);
+    daemon.start();
+    std::fprintf(stderr, "jepod: serving on %s (threads=%zu max-queue=%zu)\n",
+                 cfg.socketPath.c_str(), cfg.threads, cfg.maxQueue);
+    // The SignalDrain watcher turns SIGTERM/SIGINT into requestDrain();
+    // waitDrained() then blocks this thread until the last in-flight job
+    // has flushed its response.
+    jepod::SignalDrain signals(daemon);
+    daemon.waitDrained();
+    std::fprintf(stderr, "jepod: drained, bye\n");
+  } catch (const Error& e) {
+    std::fprintf(stderr, "jepod: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -25,7 +25,14 @@ the build on:
     speedup rows): each "EnginePair/<kernel>" row must carry strictly
     positive "treeSecondsPerIter" and "bcvmSecondsPerIter" timings, and
     its "speedupBcvmOverTree" must equal their ratio — a drift means the
-    row was hand-edited or the writer desynced from its inputs.
+    row was hand-edited or the writer desynced from its inputs;
+  - malformed service-throughput fields: any key containing "persec"
+    (bench_jepod's jobsPerSec) must hold a strictly positive finite
+    number, and any key containing "latency" a non-negative one. A
+    bench_jepod "Clients/<n>" sweep row must additionally carry
+    jobsPerSec, p50LatencyMs and p99LatencyMs with p99 >= p50, and a
+    cacheHitRate inside [0, 1] — zero throughput or an inverted tail
+    means the sweep harness lost jobs or mismeasured.
 
 Usage: check_bench_json.py report.json [report2.json ...]
 
@@ -89,6 +96,50 @@ def check_speedup_values(path, row, where):
         elif value <= 0:
             errors += fail(path, f"{where}.{key} must be strictly "
                            f"positive, got {value}")
+    return errors
+
+
+def check_throughput_values(path, row, where):
+    """Reject malformed rate ("...PerSec") and latency fields anywhere."""
+    errors = 0
+    for key, value in row.items():
+        lowered = key.lower()
+        if "persec" in lowered:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                errors += fail(path, f"{where}.{key} is not numeric")
+            elif value <= 0:
+                errors += fail(path, f"{where}.{key} must be strictly "
+                               f"positive, got {value}")
+        elif "latency" in lowered:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                errors += fail(path, f"{where}.{key} is not numeric")
+            elif value < 0:
+                errors += fail(path, f"{where}.{key} is negative ({value})")
+    return errors
+
+
+def check_jepod_row(path, row, where):
+    """Validate a bench_jepod client-sweep row's required fields."""
+    name = row.get("name")
+    if not (isinstance(name, str) and name.startswith("Clients/")):
+        return 0
+    errors = 0
+    for key in ("jobsPerSec", "p50LatencyMs", "p99LatencyMs"):
+        value = row.get(key)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            errors += fail(path, f"{where} ({name}): '{key}' must be a "
+                           f"number, got {value!r}")
+    p50, p99 = row.get("p50LatencyMs"), row.get("p99LatencyMs")
+    if isinstance(p50, (int, float)) and isinstance(p99, (int, float)) \
+            and not isinstance(p50, bool) and not isinstance(p99, bool) \
+            and p99 < p50:
+        errors += fail(path, f"{where} ({name}): p99LatencyMs {p99:.6g} < "
+                       f"p50LatencyMs {p50:.6g}")
+    rate = row.get("cacheHitRate")
+    if isinstance(rate, bool) or not isinstance(rate, (int, float)) \
+            or rate < 0 or rate > 1:
+        errors += fail(path, f"{where} ({name}): 'cacheHitRate' must be a "
+                       f"number in [0, 1], got {rate!r}")
     return errors
 
 
@@ -180,6 +231,9 @@ def check_report(path, doc):
                 errors += check_row_robustness(path, row, f"rows[{i}]")
                 errors += check_speedup_values(path, row, f"rows[{i}]")
                 errors += check_engine_pair_row(path, row, f"rows[{i}]")
+                errors += check_throughput_values(path, row, f"rows[{i}]")
+                if doc.get("bench") == "bench_jepod":
+                    errors += check_jepod_row(path, row, f"rows[{i}]")
     if not isinstance(doc["wallMs"], (int, float)) or doc["wallMs"] < 0:
         errors += fail(path, "'wallMs' must be a non-negative number")
     if not isinstance(doc["counters"], dict):

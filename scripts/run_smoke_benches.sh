@@ -40,6 +40,7 @@ run bench_obs_overhead --reps=3
 run bench_fault_overhead --reps=3
 run bench_vm_micro --benchmark_min_time=0.01
 run bench_ml_micro --benchmark_min_time=0.01
+run bench_jepod --clients=1,4 --jobs=20 --sources=3
 
 # One fault-injected pass: flagged rows and degradation counters must show
 # up in the JSON (the validator enforces both) and nothing may crash.

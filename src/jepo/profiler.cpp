@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "jvm/interpreter.hpp"
 #include "obs/span.hpp"
+#include "support/rng.hpp"
 #include "support/strings.hpp"
 
 namespace jepo::core {
@@ -14,7 +16,20 @@ void Profiler::profile(const jlang::Program& program,
   obs::Span span("jepo.profile");
   energy::SimMachine machine;
   jvm::Interpreter interp(program, machine);
-  jvm::Instrumenter inst(machine);
+  // The fault device (when armed) must outlive the instrumenter reading
+  // through it; its stream identity is (profile seed, spec seed) so every
+  // job derives a fresh, scheduling-independent fault sequence.
+  std::unique_ptr<fault::FaultyMsrDevice> faultDevice;
+  if (faultSpec_.has_value() && faultSpec_->active()) {
+    fault::FaultSpec spec = *faultSpec_;
+    spec.seed = deriveSeed(seed_, spec.seed);
+    faultDevice = std::make_unique<fault::FaultyMsrDevice>(
+        machine.msrDevice(), fault::FaultPlan(spec));
+  }
+  const rapl::MsrDevice& device =
+      faultDevice ? static_cast<const rapl::MsrDevice&>(*faultDevice)
+                  : machine.msrDevice();
+  jvm::Instrumenter inst(machine, device);
   interp.setHooks(&inst);
   interp.setMaxSteps(maxSteps);
   if (heapLimit_.has_value()) interp.setHeapLimit(*heapLimit_);

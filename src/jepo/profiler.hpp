@@ -6,11 +6,13 @@
 // result.txt dump and the profiler view (Fig. 4).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "energy/machine.hpp"
+#include "fault/fault.hpp"
 #include "jlang/ast.hpp"
 #include "jvm/instrumenter.hpp"
 
@@ -43,6 +45,19 @@ class Profiler {
   /// joules/records are identical with or without a limit.
   void setHeapLimit(std::size_t objects) { heapLimit_ = objects; }
 
+  /// Base seed of this run's derived streams (fault injection today; any
+  /// future stochastic component of a profiled run). Two profiles of the
+  /// same program with the same seed are bit-identical regardless of which
+  /// process hosts them — the contract jepod relies on to match jepo_cli.
+  void setSeed(std::uint64_t seed) { seed_ = seed; }
+
+  /// Route the instrumenter's MSR reads through a deterministic
+  /// fault-injection device built from `spec`. The plan's stream is
+  /// deriveSeed(seed, spec.seed), so per-job seeds give every job a fresh
+  /// fault stream while (seed, spec) alone fully determine the run. An
+  /// inactive spec is ignored (clean read path, zero overhead).
+  void setFaultSpec(fault::FaultSpec spec) { faultSpec_ = std::move(spec); }
+
   /// One record per method execution (JEPO stores each execution
   /// separately when a method runs more than once).
   const std::vector<jvm::MethodRecord>& records() const noexcept {
@@ -65,6 +80,8 @@ class Profiler {
   std::vector<jvm::MethodRecord> records_;
   std::string output_;
   std::optional<std::size_t> heapLimit_;
+  std::uint64_t seed_ = 0;
+  std::optional<fault::FaultSpec> faultSpec_;
 };
 
 }  // namespace jepo::core

@@ -1,0 +1,92 @@
+#include "jepod/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace jepo::jepod {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& socketPath) {
+  JEPO_REQUIRE(fd_ < 0, "Client already connected");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  JEPO_REQUIRE(socketPath.size() < sizeof(addr.sun_path),
+               "socket path too long for AF_UNIX");
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw Error("jepod client: socket(): " +
+                std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("jepod client: connect(" + socketPath + "): " + err);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Response Client::submit(const JobRequest& req) {
+  return parseResponse(roundTrip(renderRequest(req)));
+}
+
+std::string Client::roundTrip(const std::string& rawLine) {
+  JEPO_REQUIRE(fd_ >= 0, "Client not connected");
+  std::string framed = rawLine;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) throw Error("jepod client: send failed (daemon gone?)");
+    sent += static_cast<std::size_t>(n);
+  }
+  return readLine();
+}
+
+std::string Client::readLine() {
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      throw Error("jepod client: connection closed before a response line");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace jepo::jepod

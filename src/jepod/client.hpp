@@ -1,0 +1,48 @@
+// Blocking client for the jepod socket protocol.
+//
+// One connection, synchronous request/response — the shape every consumer
+// here needs (jepod_client CLI, bench_jepod's simulated clients, the test
+// suite). The raw-line seam exists so tests can send deliberately
+// malformed bytes and assert on the typed error that comes back.
+#pragma once
+
+#include <string>
+
+#include "jepod/protocol.hpp"
+
+namespace jepo::jepod {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to a daemon's socket. Throws Error when nothing listens.
+  void connect(const std::string& socketPath);
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Send one request, block for one response line, decode it.
+  Response submit(const JobRequest& req);
+
+  /// Send raw bytes + '\n', return the raw response line (for protocol
+  /// edge-case tests). Throws Error on EOF before a full line arrives.
+  std::string roundTrip(const std::string& rawLine);
+
+  /// Block for the next response line without sending anything — for
+  /// pipelined requests, whose responses arrive in completion order.
+  std::string awaitLine() { return readLine(); }
+
+ private:
+  std::string readLine();
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last consumed line
+};
+
+}  // namespace jepo::jepod

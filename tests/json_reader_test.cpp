@@ -1,0 +1,127 @@
+// support/json_reader.hpp — the strict parser behind the jepod protocol.
+// Round-trips against json_writer where the two meet (escaping, number
+// rendering) and pins the failure modes the daemon turns into typed
+// "bad-json" responses.
+#include "support/json_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/json_writer.hpp"
+
+namespace jepo {
+namespace {
+
+using json::Value;
+using json::parseJson;
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_TRUE(parseJson("null").isNull());
+  EXPECT_TRUE(parseJson("true").asBool());
+  EXPECT_FALSE(parseJson("false").asBool());
+  EXPECT_DOUBLE_EQ(parseJson("1.5").asDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(parseJson("-2e3").asDouble(), -2000.0);
+  EXPECT_EQ(parseJson("\"hi\"").asString(), "hi");
+  EXPECT_EQ(parseJson("  42  ").asUint64(), 42u);
+}
+
+TEST(JsonReader, IntegersRoundTripExactly) {
+  // 2^63 - 1 and 2^64 - 1 are not representable as doubles; seeds and
+  // heap limits must survive anyway.
+  EXPECT_EQ(parseJson("9223372036854775807").asInt64(),
+            9223372036854775807LL);
+  EXPECT_EQ(parseJson("18446744073709551615").asUint64(),
+            18446744073709551615ULL);
+  EXPECT_EQ(parseJson("-9223372036854775808").asInt64(),
+            INT64_MIN);
+  EXPECT_THROW(parseJson("-1").asUint64(), Error);
+  EXPECT_THROW(parseJson("1.5").asInt64(), Error);
+  EXPECT_THROW(parseJson("1e3").asInt64(), Error);  // not an integer literal
+}
+
+TEST(JsonReader, ParsesNestedStructures) {
+  const Value v = parseJson(
+      R"({"a":[1,2,{"b":"c"}],"d":{"e":null},"f":true})");
+  ASSERT_TRUE(v.isObject());
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->asArray().size(), 3u);
+  EXPECT_EQ(a->asArray()[2].find("b")->asString(), "c");
+  EXPECT_TRUE(v.find("d")->find("e")->isNull());
+  EXPECT_TRUE(v.boolOr("f", false));
+  EXPECT_EQ(v.find("zzz"), nullptr);
+}
+
+TEST(JsonReader, DecodesEscapes) {
+  EXPECT_EQ(parseJson(R"("a\"b\\c\/d\n\t\r\b\f")").asString(),
+            "a\"b\\c/d\n\t\r\b\f");
+  EXPECT_EQ(parseJson(R"("\u0041\u000a\u00e9")").asString(),
+            "A\n\xc3\xa9");
+}
+
+TEST(JsonReader, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.beginObject();
+  w.kv("text", "line1\nline2\ttabbed \"quoted\" \x01 control");
+  w.kv("num", 0.30000000000000004);
+  w.kv("count", 12345678901234567ULL);
+  w.key("arr");
+  w.beginArray();
+  w.value(false);
+  w.null();
+  w.endArray();
+  w.endObject();
+
+  const Value v = parseJson(w.str());
+  EXPECT_EQ(v.find("text")->asString(),
+            "line1\nline2\ttabbed \"quoted\" \x01 control");
+  EXPECT_DOUBLE_EQ(v.find("num")->asDouble(), 0.30000000000000004);
+  EXPECT_EQ(v.find("count")->asUint64(), 12345678901234567ULL);
+  EXPECT_FALSE(v.find("arr")->asArray()[0].asBool());
+  EXPECT_TRUE(v.find("arr")->asArray()[1].isNull());
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",              // empty
+      "{",             // unterminated object
+      "[1,]",          // trailing comma
+      "{\"a\":}",      // missing value
+      "{\"a\" 1}",     // missing colon
+      "{a:1}",         // unquoted key
+      "\"abc",         // unterminated string
+      "tru",           // bad literal
+      "NaN",           // non-finite literal
+      "Infinity",
+      "01",            // leading zero
+      "1.",            // bare decimal point
+      "+1",            // leading plus
+      "\"\x01\"",      // raw control char in string
+      "{} {}",         // trailing tokens
+      "\"\\q\"",       // bad escape
+      "\"\\u12\"",     // short \u escape
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parseJson(text), Error) << "input: " << text;
+  }
+}
+
+TEST(JsonReader, RejectsPathologicalNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW(parseJson(deep), Error);
+}
+
+TEST(JsonReader, LenientHelpersFallBackOnMissingOrMistyped) {
+  const Value v = parseJson(R"({"s":"x","n":7,"b":true,"wrong":"notnum"})");
+  EXPECT_EQ(v.stringOr("s", "d"), "x");
+  EXPECT_EQ(v.stringOr("missing", "d"), "d");
+  EXPECT_EQ(v.uint64Or("n", 0), 7u);
+  EXPECT_EQ(v.uint64Or("wrong", 9), 9u);
+  EXPECT_DOUBLE_EQ(v.doubleOr("n", 0.0), 7.0);
+  EXPECT_TRUE(v.boolOr("b", false));
+  EXPECT_TRUE(v.boolOr("missing", true));
+}
+
+}  // namespace
+}  // namespace jepo
