@@ -155,7 +155,10 @@ void Daemon::waitDrained() {
   {
     std::lock_guard lock(connsMu_);
     conns.swap(conns_);
-    threads.swap(connThreads_);
+    for (auto& [key, thread] : connThreads_) threads.push_back(std::move(thread));
+    connThreads_.clear();
+    for (auto& thread : doneThreads_) threads.push_back(std::move(thread));
+    doneThreads_.clear();
   }
   for (const auto& c : conns) ::shutdown(c->fd, SHUT_RDWR);
   for (auto& t : threads) {
@@ -188,14 +191,53 @@ void Daemon::acceptLoop() {
     }
     connections_->add();
     auto conn = std::make_shared<Connection>(fd);
-    std::lock_guard lock(connsMu_);
-    conns_.push_back(conn);
-    connThreads_.emplace_back(
-        [this, conn = std::move(conn)] { connectionLoop(conn); });
+    std::vector<std::thread> finished;
+    {
+      std::lock_guard lock(connsMu_);
+      finished.swap(doneThreads_);
+      conns_.push_back(conn);
+      const Connection* key = conn.get();
+      // Constructed under connsMu_: the new thread's reapConnection blocks
+      // on this mutex, so its handle is registered before it can look.
+      connThreads_.emplace(
+          key, std::thread([this, conn = std::move(conn)]() mutable {
+            connectionLoop(std::move(conn));
+          }));
+    }
+    // Join outside the lock; these threads have already run their cleanup.
+    for (auto& t : finished) t.join();
   }
 }
 
 void Daemon::connectionLoop(std::shared_ptr<Connection> conn) {
+  readLoop(conn);
+  reapConnection(conn.get());
+  // `conn` drops here; once in-flight jobs release their captured refs the
+  // Connection destructor closes the fd.
+}
+
+void Daemon::reapConnection(const Connection* conn) {
+  std::lock_guard lock(connsMu_);
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    if (it->get() == conn) {
+      conns_.erase(it);
+      break;
+    }
+  }
+  const auto it = connThreads_.find(conn);
+  if (it != connThreads_.end()) {
+    // Can't join ourselves; park the handle for acceptLoop/waitDrained.
+    doneThreads_.push_back(std::move(it->second));
+    connThreads_.erase(it);
+  }
+}
+
+std::size_t Daemon::openConnectionCount() const {
+  std::lock_guard lock(connsMu_);
+  return conns_.size();
+}
+
+void Daemon::readLoop(const std::shared_ptr<Connection>& conn) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
@@ -241,31 +283,45 @@ void Daemon::handleLine(const std::string& line,
   // Admission: the draining check and the queue-bound check share one
   // critical section with pending_ bookkeeping, so a drain observed by
   // waitDrained() can never race a late admission, and a queue-full
-  // decision is an exact function of admitted-but-uncompleted jobs.
+  // decision is an exact function of admitted-but-uncompleted jobs. Only
+  // the decision happens under the lock — the reject is written after
+  // release, because writeLine blocks in send() when a client stops
+  // reading, and a stalled client must wedge its own connection only,
+  // never every worker and reader parked on admissionMu_.
+  enum class Verdict { kAdmit, kDraining, kQueueFull };
+  Verdict verdict = Verdict::kAdmit;
+  std::size_t pendingSeen = 0;
   {
     std::lock_guard lock(admissionMu_);
     if (draining_.load(std::memory_order_relaxed)) {
-      rejectedDraining_->add();
-      tenantCounter(req.tenant, "rejected").add();
-      writeLine(conn,
-                renderErrorResponse(req.id, ErrorCode::kShuttingDown,
-                                    "daemon is draining; resubmit elsewhere",
-                                    cfg_.retryAfterMs));
-      return;
+      verdict = Verdict::kDraining;
+    } else if (cfg_.maxQueue > 0 && pending_ >= cfg_.maxQueue) {
+      verdict = Verdict::kQueueFull;
+      pendingSeen = pending_;
+    } else {
+      ++pending_;
+      inflight_->set(static_cast<std::int64_t>(pending_));
     }
-    if (cfg_.maxQueue > 0 && pending_ >= cfg_.maxQueue) {
-      rejectedFull_->add();
-      tenantCounter(req.tenant, "rejected").add();
-      writeLine(conn,
-                renderErrorResponse(
-                    req.id, ErrorCode::kQueueFull,
-                    "job queue is full (" + std::to_string(pending_) + "/" +
-                        std::to_string(cfg_.maxQueue) + " jobs in flight)",
-                    cfg_.retryAfterMs));
-      return;
-    }
-    ++pending_;
-    inflight_->set(static_cast<std::int64_t>(pending_));
+  }
+  if (verdict == Verdict::kDraining) {
+    rejectedDraining_->add();
+    tenantCounter(req.tenant, "rejected").add();
+    writeLine(conn,
+              renderErrorResponse(req.id, ErrorCode::kShuttingDown,
+                                  "daemon is draining; resubmit elsewhere",
+                                  cfg_.retryAfterMs));
+    return;
+  }
+  if (verdict == Verdict::kQueueFull) {
+    rejectedFull_->add();
+    tenantCounter(req.tenant, "rejected").add();
+    writeLine(conn,
+              renderErrorResponse(
+                  req.id, ErrorCode::kQueueFull,
+                  "job queue is full (" + std::to_string(pendingSeen) + "/" +
+                      std::to_string(cfg_.maxQueue) + " jobs in flight)",
+                  cfg_.retryAfterMs));
+    return;
   }
   admitted_->add();
 
@@ -293,7 +349,7 @@ void Daemon::finishJob() {
 std::shared_ptr<const CachedProgram> Daemon::compileCached(
     const JobRequest& req, bool* cached) {
   const std::uint64_t hash = sourceHash(req.source);
-  if (auto hit = cache_.get(hash)) {
+  if (auto hit = cache_.get(hash, req.source)) {
     *cached = true;
     return hit;
   }
@@ -304,6 +360,7 @@ std::shared_ptr<const CachedProgram> Daemon::compileCached(
   } catch (const Error& e) {
     throw ProtocolError(ErrorCode::kParseError, e.what());
   }
+  entry->source = req.source;
   entry->hash = hash;
   entry->bytes = req.source.size();
   // Compile-once: resolve here so cache hits skip parse AND resolution.

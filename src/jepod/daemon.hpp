@@ -31,6 +31,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "jepod/program_cache.hpp"
@@ -93,6 +94,11 @@ class Daemon {
   /// bit-identity replay tooling; bypasses admission control.
   std::string runJobForTest(const JobRequest& req) { return runJob(req); }
 
+  /// Connections currently registered (accepted and not yet reaped).
+  /// Exposed so tests can prove disconnected clients are reclaimed while
+  /// the daemon keeps running, not only at drain.
+  std::size_t openConnectionCount() const;
+
  private:
   struct Connection {
     explicit Connection(int fd) : fd(fd) {}
@@ -103,6 +109,12 @@ class Daemon {
 
   void acceptLoop();
   void connectionLoop(std::shared_ptr<Connection> conn);
+  /// The read loop proper; connectionLoop wraps it with reapConnection.
+  void readLoop(const std::shared_ptr<Connection>& conn);
+  /// Drop `conn` from the live registry and move its (still-running)
+  /// thread handle to doneThreads_ for a later join. No-op if waitDrained
+  /// already claimed them.
+  void reapConnection(const Connection* conn);
   /// Parse, admit and dispatch one request line; writes rejects inline.
   void handleLine(const std::string& line,
                   const std::shared_ptr<Connection>& conn);
@@ -135,9 +147,16 @@ class Daemon {
   std::condition_variable idleCv_;
   std::size_t pending_ = 0;  // admitted (queued + running) jobs
 
-  std::mutex connsMu_;
+  // Connection registry. A connection's reader thread reaps its own entry
+  // on exit (closing the fd once in-flight jobs release their refs) and
+  // parks its thread handle in doneThreads_, which acceptLoop joins before
+  // each accept — so a long-running daemon serving short-lived clients
+  // holds only live connections, not an unbounded graveyard of fds and
+  // unjoined threads. waitDrained claims whatever remains of both.
+  mutable std::mutex connsMu_;
   std::vector<std::shared_ptr<Connection>> conns_;
-  std::vector<std::thread> connThreads_;
+  std::unordered_map<const Connection*, std::thread> connThreads_;
+  std::vector<std::thread> doneThreads_;
 
   // Global instruments (resolved once; see obs registry contract).
   obs::Counter* admitted_;

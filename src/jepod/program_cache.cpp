@@ -19,10 +19,14 @@ ProgramCache::ProgramCache(std::size_t byteBudget)
       bytesGauge_(&obs::Registry::global().gauge("jepod.cache.bytes")),
       entriesGauge_(&obs::Registry::global().gauge("jepod.cache.entries")) {}
 
-std::shared_ptr<const CachedProgram> ProgramCache::get(std::uint64_t hash) {
+std::shared_ptr<const CachedProgram> ProgramCache::get(std::uint64_t hash,
+                                                       std::string_view source) {
   std::lock_guard lock(mu_);
   const auto it = byHash_.find(hash);
-  if (it == byHash_.end()) {
+  if (it == byHash_.end() || (*it->second)->source != source) {
+    // Absent, or a 64-bit collision — FNV-1a collisions are adversarially
+    // constructible, and a hit must never hand one tenant a program
+    // compiled from another tenant's bytes. A collision is just a miss.
     misses_->add();
     return nullptr;
   }
@@ -36,6 +40,11 @@ std::shared_ptr<const CachedProgram> ProgramCache::put(
   std::lock_guard lock(mu_);
   const auto it = byHash_.find(entry->hash);
   if (it != byHash_.end()) {
+    if ((*it->second)->source != entry->source) {
+      // Hash collision: the incumbent stays (a colliding insert must not
+      // displace it), the newcomer runs from its fresh compile uncached.
+      return entry;
+    }
     // Lost a compile race; the first insert wins and stays.
     lru_.splice(lru_.begin(), lru_, it->second);
     return *it->second;

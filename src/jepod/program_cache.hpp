@@ -10,6 +10,13 @@
 // bytes (the AST scales with the source; the budget is a knob, not an
 // accounting exercise).
 //
+// The hash is only an index, never a proof of identity: FNV-1a is
+// non-cryptographic and collisions are adversarially constructible, so in
+// a multi-tenant daemon a hit is served only after the stored source bytes
+// compare equal to the request's — a colliding entry can neither be served
+// to nor displace another tenant's program; the collider just compiles
+// fresh, uncached.
+//
 // Hit/miss/eviction land in the obs registry (jepod.cache.{hits,misses,
 // evictions}, gauge jepod.cache.bytes) so bench_jepod can report hit rate
 // without private counters.
@@ -20,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "jlang/ast.hpp"
@@ -34,6 +42,7 @@ std::uint64_t sourceHash(std::string_view source) noexcept;
 /// One cached compile: the immutable program plus its identity.
 struct CachedProgram {
   jlang::Program program;  // resolved at insert; treated as const after
+  std::string source;      // the exact bytes compiled; verified on get()
   std::uint64_t hash = 0;
   std::size_t bytes = 0;   // source size, the budget currency
 };
@@ -45,13 +54,18 @@ class ProgramCache {
   /// admitted but becomes the first eviction candidate.
   explicit ProgramCache(std::size_t byteBudget);
 
-  /// Look up by source hash, refreshing recency. nullptr on miss.
-  std::shared_ptr<const CachedProgram> get(std::uint64_t hash);
+  /// Look up by source hash, refreshing recency. nullptr on miss — which
+  /// includes a hash collision: a hit is served only when the cached
+  /// entry's source bytes equal `source`.
+  std::shared_ptr<const CachedProgram> get(std::uint64_t hash,
+                                           std::string_view source);
 
   /// Insert a freshly compiled program and evict past the budget. If a
-  /// racing job inserted the same hash first, the existing entry wins
-  /// (both are compiled from identical bytes, so either is correct) and
-  /// is returned.
+  /// racing job inserted the same hash AND source first, the existing
+  /// entry wins (both are compiled from identical bytes, so either is
+  /// correct) and is returned. If the hash is occupied by a *different*
+  /// source (collision), the incumbent is left untouched and `entry` is
+  /// returned uncached.
   std::shared_ptr<const CachedProgram> put(
       std::shared_ptr<const CachedProgram> entry);
 

@@ -234,6 +234,25 @@ class Parser {
     }
   }
 
+  unsigned takeHex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = take();
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid \\u escape");
+      }
+    }
+    return code;
+  }
+
   std::string parseString() {
     expect('"');
     std::string out;
@@ -259,31 +278,38 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = take();
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code |= static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code |= static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code |= static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              --pos_;
-              fail("invalid \\u escape");
-            }
+          // Full JSON \uXXXX decoding to UTF-8, including surrogate
+          // pairs — a standards-compliant client is free to escape any
+          // non-ASCII character instead of sending raw UTF-8 bytes.
+          unsigned code = takeHex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
           }
-          // The writer only ever emits \u00XX (control chars); decode the
-          // Latin-1 range as UTF-8 and reject the rest rather than emit
-          // mojibake.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (take() != '\\' || take() != 'u') {
+              --pos_;
+              fail("high surrogate must be followed by \\u low surrogate");
+            }
+            const unsigned low = takeHex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
           if (code < 0x80) {
             out += static_cast<char>(code);
-          } else if (code < 0x100) {
+          } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
+          } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
           } else {
-            fail("\\u escape beyond Latin-1 is unsupported");
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
           }
           break;
         }

@@ -4,8 +4,8 @@
 // (unlike the benches, which only ever *emit* JSON) it must parse
 // arbitrary bytes a client sends. The parser is strict RFC-8259 subset:
 // no comments, no trailing commas, no NaN/Infinity literals, UTF-8 passed
-// through verbatim (\uXXXX escapes decode only the Latin-1 range — enough
-// for the protocol's ASCII field names and MiniJava sources). Malformed
+// through verbatim, and \uXXXX escapes (including surrogate pairs) decoded
+// to UTF-8 — a client's encoder may escape non-ASCII either way. Malformed
 // input throws Error with a byte offset so the daemon can turn it into a
 // typed "bad-json" response instead of dying.
 //

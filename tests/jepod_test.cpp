@@ -249,45 +249,71 @@ TEST_F(JepodTest, CacheHitIsBitIdenticalToColdCompile) {
   EXPECT_EQ(payloadOf(cold.raw), payloadOf(warm.raw));
 }
 
+std::shared_ptr<jepod::CachedProgram> cacheEntry(std::uint64_t hash,
+                                                 std::size_t bytes,
+                                                 std::string source = "") {
+  auto e = std::make_shared<jepod::CachedProgram>();
+  if (source.empty()) source = "src-" + std::to_string(hash);
+  e->source = std::move(source);
+  e->hash = hash;
+  e->bytes = bytes;
+  return e;
+}
+
+std::shared_ptr<const jepod::CachedProgram> cacheGet(
+    jepod::ProgramCache& cache, std::uint64_t hash) {
+  return cache.get(hash, "src-" + std::to_string(hash));
+}
+
 TEST(ProgramCache, EvictsLeastRecentlyUsedPastByteBudget) {
   jepod::ProgramCache cache(/*byteBudget=*/100);
   const std::uint64_t evict0 = counterValue("jepod.cache.evictions");
-  const auto entry = [](std::uint64_t hash, std::size_t bytes) {
-    auto e = std::make_shared<jepod::CachedProgram>();
-    e->hash = hash;
-    e->bytes = bytes;
-    return e;
-  };
-  cache.put(entry(1, 60));
-  cache.put(entry(2, 30));
+  cache.put(cacheEntry(1, 60));
+  cache.put(cacheEntry(2, 30));
   EXPECT_EQ(cache.entryCount(), 2u);
   // Refresh 1, insert 3: 2 is now the LRU and must go.
-  EXPECT_NE(cache.get(1), nullptr);
-  cache.put(entry(3, 40));
+  EXPECT_NE(cacheGet(cache, 1), nullptr);
+  cache.put(cacheEntry(3, 40));
   EXPECT_EQ(counterValue("jepod.cache.evictions"), evict0 + 1);
-  EXPECT_EQ(cache.get(2), nullptr);
-  EXPECT_NE(cache.get(1), nullptr);
-  EXPECT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cacheGet(cache, 2), nullptr);
+  EXPECT_NE(cacheGet(cache, 1), nullptr);
+  EXPECT_NE(cacheGet(cache, 3), nullptr);
   EXPECT_LE(cache.byteCount(), 100u);
 
   // An entry larger than the whole budget is admitted (the job must run)
   // but evicts everything else.
-  cache.put(entry(4, 500));
-  EXPECT_NE(cache.get(4), nullptr);
+  cache.put(cacheEntry(4, 500));
+  EXPECT_NE(cacheGet(cache, 4), nullptr);
   EXPECT_EQ(cache.entryCount(), 1u);
 }
 
 TEST(ProgramCache, FirstInsertWinsCompileRaces) {
   jepod::ProgramCache cache(0);
-  auto a = std::make_shared<jepod::CachedProgram>();
-  a->hash = 7;
-  a->bytes = 10;
-  auto b = std::make_shared<jepod::CachedProgram>();
-  b->hash = 7;
-  b->bytes = 10;
+  auto a = cacheEntry(7, 10, "same source");
+  auto b = cacheEntry(7, 10, "same source");
   EXPECT_EQ(cache.put(a), a);
   EXPECT_EQ(cache.put(b), a);  // the racing duplicate is dropped
   EXPECT_EQ(cache.entryCount(), 1u);
+}
+
+TEST(ProgramCache, HashCollisionIsNeitherServedNorAllowedToDisplace) {
+  // FNV-1a collisions are adversarially constructible; model one with two
+  // different sources pinned to the same 64-bit key. The victim's entry
+  // must survive untouched and the collider must never be served it.
+  jepod::ProgramCache cache(0);
+  const std::uint64_t miss0 = counterValue("jepod.cache.misses");
+  auto victim = cacheEntry(7, 10, "victim source");
+  auto attacker = cacheEntry(7, 10, "attacker source");
+  EXPECT_EQ(cache.put(victim), victim);
+  // A colliding lookup is a miss, not the victim's program.
+  EXPECT_EQ(cache.get(7, "attacker source"), nullptr);
+  EXPECT_EQ(counterValue("jepod.cache.misses"), miss0 + 1);
+  // A colliding insert does not evict or replace the incumbent; the
+  // newcomer just stays uncached.
+  EXPECT_EQ(cache.put(attacker), attacker);
+  EXPECT_EQ(cache.entryCount(), 1u);
+  EXPECT_EQ(cache.get(7, "victim source"), victim);
+  EXPECT_EQ(cache.get(7, "attacker source"), nullptr);
 }
 
 TEST(ProgramCache, SourceHashIsStable) {
@@ -480,6 +506,31 @@ TEST_F(JepodTest, DrainCompletesInFlightJobsAndRejectsNewOnes) {
   EXPECT_NE(::stat(daemon_->config().socketPath.c_str(), &st), 0);
   Client fresh;
   EXPECT_THROW(fresh.connect(daemon_->config().socketPath), Error);
+}
+
+TEST_F(JepodTest, DisconnectedClientsAreReapedWhileRunning) {
+  startDaemon();
+  const std::uint64_t conns0 = counterValue("jepod.connections");
+  {
+    Client a = connect();
+    Client b = connect();
+    ASSERT_TRUE(eventually(
+        [&] { return counterValue("jepod.connections") >= conns0 + 2; }));
+    ASSERT_TRUE(a.submit(makeRequest("reap-1", kQuickSource)).ok);
+    EXPECT_EQ(daemon_->openConnectionCount(), 2u);
+  }  // both clients close their sockets here
+
+  // The reader threads see EOF and reclaim their registry entries (and
+  // with them the fds) while the daemon keeps running — a long-lived
+  // daemon serving short-lived clients must not grow without bound until
+  // drain. Before the fix, this count stayed at 2 forever.
+  EXPECT_TRUE(eventually([&] { return daemon_->openConnectionCount() == 0; }));
+
+  // New clients are served as usual afterwards (this accept also joins
+  // the parked reader threads of the reaped connections).
+  Client c = connect();
+  EXPECT_TRUE(c.submit(makeRequest("reap-2", kQuickSource)).ok);
+  EXPECT_EQ(daemon_->openConnectionCount(), 1u);
 }
 
 TEST_F(JepodTest, SigtermTriggersGracefulDrain) {

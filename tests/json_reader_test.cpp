@@ -59,6 +59,29 @@ TEST(JsonReader, DecodesEscapes) {
             "A\n\xc3\xa9");
 }
 
+TEST(JsonReader, DecodesUnicodeEscapesToUtf8) {
+  // A compliant client may escape any non-ASCII char instead of sending
+  // raw UTF-8; both spellings must decode to the same bytes.
+  EXPECT_EQ(parseJson(R"("\u20ac")").asString(), "\xe2\x82\xac");  // U+20AC EURO SIGN
+  EXPECT_EQ(parseJson(R"("\uFFFF")").asString(), "\xef\xbf\xbf");
+  // Surrogate pair: U+1F600 GRINNING FACE, with mixed-case hex digits.
+  EXPECT_EQ(parseJson(R"("\ud83d\ude00")").asString(), "\xf0\x9f\x98\x80");
+  EXPECT_EQ(parseJson(R"("\uD83D\uDE00")").asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReader, RejectsMalformedSurrogates) {
+  const char* bad[] = {
+      R"("\ud83d")",       // lone high surrogate
+      R"("\ud83dx")",      // high surrogate not followed by an escape
+      R"("\ud83d\n")",     // high surrogate followed by a non-\u escape
+      R"("\ud83d\u0041")",  // high surrogate paired with a non-surrogate
+      R"("\ude00")",       // lone low surrogate
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parseJson(text), Error) << "input: " << text;
+  }
+}
+
 TEST(JsonReader, RoundTripsWriterOutput) {
   JsonWriter w;
   w.beginObject();
