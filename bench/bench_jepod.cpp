@@ -16,12 +16,22 @@
 // clears 4x the single-client throughput, and the cache hit rate stays
 // above 0.9 on the repeated-source workload.
 //
+// After the clean sweep, a chaos point (row "Chaos/<clients>") repeats
+// the widest sweep under a seeded transport-fault plan on the daemon
+// side — torn frames, injected resets, stalled ops — with every client
+// retrying through it. It reports the same throughput/p99 columns plus
+// the retries and reconnects the clients needed, pinning the cost of
+// resilience under fire (every job must still succeed).
+//
 // Flags: --clients=LIST  comma-separated sweep points  (default 1,8,64)
 //        --jobs=N        jobs per client per point     (default 50)
 //        --sources=K     distinct programs             (default 4)
 //        --threads=N     daemon worker threads         (0 = hw cores)
+//        --transport-plan=SPEC  chaos-point fault plan (none = skip;
+//                        default chaos:seed=3,delay-ms=1)
 // plus the common --json/--runs/--trace/--fault-plan set (--fault-plan
-// is forwarded to every job, exercising the per-job fault stream path).
+// is forwarded to every job, exercising the per-job fault stream path;
+// --transport-plan instead mangles the wire those jobs answer over).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -34,6 +44,7 @@
 #include <unistd.h>
 
 #include "bench_common.hpp"
+#include "fault/transport.hpp"
 #include "jepod/client.hpp"
 #include "jepod/daemon.hpp"
 #include "obs/registry.hpp"
@@ -85,6 +96,8 @@ struct SweepPoint {
   double jobsPerSec = 0.0;
   double cacheHitRate = 0.0;
   long failures = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
 };
 
 double percentileMs(std::vector<double>& sortedMs, double q) {
@@ -96,7 +109,8 @@ double percentileMs(std::vector<double>& sortedMs, double q) {
 
 SweepPoint runPoint(long clients, long jobsPerClient,
                     const std::vector<std::string>& sources, long threads,
-                    const std::string& faultPlan) {
+                    const std::string& faultPlan,
+                    const fault::TransportFaultSpec& transport = {}) {
   char dirTemplate[] = "/tmp/benchjepodXXXXXX";
   if (::mkdtemp(dirTemplate) == nullptr) {
     std::perror("mkdtemp");
@@ -107,6 +121,7 @@ SweepPoint runPoint(long clients, long jobsPerClient,
   jepod::DaemonConfig cfg;
   cfg.socketPath = dir + "/s";
   cfg.threads = static_cast<std::size_t>(threads);
+  cfg.transportFaults = transport;
   jepod::Daemon daemon(cfg);
   daemon.start();
 
@@ -116,6 +131,10 @@ SweepPoint runPoint(long clients, long jobsPerClient,
   std::vector<std::vector<double>> latenciesMs(
       static_cast<std::size_t>(clients));
   std::vector<long> clientFailures(static_cast<std::size_t>(clients), 0);
+  std::vector<std::uint64_t> clientRetries(static_cast<std::size_t>(clients),
+                                           0);
+  std::vector<std::uint64_t> clientReconnects(
+      static_cast<std::size_t>(clients), 0);
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
@@ -123,6 +142,17 @@ SweepPoint runPoint(long clients, long jobsPerClient,
   for (long c = 0; c < clients; ++c) {
     workers.emplace_back([&, c] {
       jepod::Client client;
+      if (transport.active()) {
+        // Under an active fault plan the wire can tear mid-frame; every
+        // client retries through it with a seed of its own so backoff
+        // storms desynchronize deterministically.
+        jepod::RetryPolicy policy;
+        policy.maxRetries = 8;
+        policy.baseBackoffMs = 1;
+        policy.maxBackoffMs = 8;
+        policy.jitterSeed = static_cast<std::uint64_t>(c);
+        client.setRetryPolicy(policy);
+      }
       client.connect(cfg.socketPath);
       auto& mine = latenciesMs[static_cast<std::size_t>(c)];
       mine.reserve(static_cast<std::size_t>(jobsPerClient));
@@ -142,6 +172,8 @@ SweepPoint runPoint(long clients, long jobsPerClient,
                            .count());
         if (!resp.ok) ++clientFailures[static_cast<std::size_t>(c)];
       }
+      clientRetries[static_cast<std::size_t>(c)] = client.retries();
+      clientReconnects[static_cast<std::size_t>(c)] = client.reconnects();
     });
   }
   for (auto& t : workers) t.join();
@@ -174,13 +206,17 @@ SweepPoint runPoint(long clients, long jobsPerClient,
           ? static_cast<double>(hits) / static_cast<double>(hits + misses)
           : 0.0;
   for (const long f : clientFailures) point.failures += f;
+  for (const std::uint64_t r : clientRetries) point.retries += r;
+  for (const std::uint64_t r : clientReconnects) point.reconnects += r;
   return point;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Flags flags(argc, argv, {"clients", "jobs", "sources", "threads"});
+  bench::Flags flags(argc, argv,
+                     {"clients", "jobs", "sources", "threads",
+                      "transport-plan"});
   bench::BenchReport report("bench_jepod", flags);
 
   const std::vector<long> clientSweep =
@@ -189,11 +225,16 @@ int main(int argc, char** argv) {
   const long sourceCount = flags.getInt("sources", 4);
   const long threads = flags.getInt("threads", 0);
   const std::string faultPlan = flags.get("fault-plan", "");
+  const std::string transportPlan =
+      flags.get("transport-plan", "chaos:seed=3,delay-ms=1");
+  const fault::TransportFaultSpec transport =
+      fault::parseTransportPlan(transportPlan == "none" ? "" : transportPlan);
   report.config("clients", flags.get("clients", "1,8,64"));
   report.config("jobs", jobs);
   report.config("sources", sourceCount);
   report.config("threads", threads);
   report.config("faultPlan", faultPlan.empty() ? "none" : faultPlan);
+  report.config("transportPlan", transport.active() ? transportPlan : "none");
 
   std::vector<std::string> sources;
   for (long k = 0; k < sourceCount; ++k) {
@@ -242,6 +283,39 @@ int main(int argc, char** argv) {
         {{"name", "Scaling/" + std::to_string(last.clients) + "v1"},
          {"clients", static_cast<long long>(last.clients)},
          {"speedupOverSingleClient", ratio}});
+  }
+
+  // Chaos point: the widest sweep again, but over a wire that tears,
+  // stalls and resets on a seeded schedule, with retrying clients. Every
+  // job must still succeed — the row prices the resilience machinery
+  // (throughput, p99, retries burned) rather than merely surviving it.
+  if (transport.active() && last.clients > 0) {
+    const SweepPoint chaos = runPoint(last.clients, jobs, sources, threads,
+                                      faultPlan, transport);
+    std::printf("\nchaos (%s):\n", transportPlan.c_str());
+    std::printf("%-8ld %10.1f %12.3e %10.3f %10.3f %9.3f %8ld  "
+                "retries=%llu reconnects=%llu\n",
+                chaos.clients, chaos.jobsPerSec, chaos.meanLatencySeconds,
+                chaos.p50Ms, chaos.p99Ms, chaos.cacheHitRate, chaos.failures,
+                static_cast<unsigned long long>(chaos.retries),
+                static_cast<unsigned long long>(chaos.reconnects));
+    if (chaos.failures > 0) {
+      std::fprintf(stderr,
+                   "bench_jepod: %ld jobs failed under the transport plan\n",
+                   chaos.failures);
+      status = 1;
+    }
+    report.addRow({{"name", "Chaos/" + std::to_string(chaos.clients)},
+                   {"clients", static_cast<long long>(chaos.clients)},
+                   {"jobsPerClient", static_cast<long long>(jobs)},
+                   {"jobsPerSec", chaos.jobsPerSec},
+                   {"realSecondsPerIter", chaos.meanLatencySeconds},
+                   {"p50LatencyMs", chaos.p50Ms},
+                   {"p99LatencyMs", chaos.p99Ms},
+                   {"cacheHitRate", chaos.cacheHitRate},
+                   {"retries", static_cast<long long>(chaos.retries)},
+                   {"reconnects", static_cast<long long>(chaos.reconnects)},
+                   {"failedJobs", static_cast<long long>(chaos.failures)}});
   }
 
   const int reportStatus = report.finish();

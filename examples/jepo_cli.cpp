@@ -2,12 +2,14 @@
 //
 //   jepo_cli suggest  <file.mjava>   # Fig. 2/5: the suggestion view
 //   jepo_cli profile  <file.mjava> [MainClass] [--heap-limit=N]
-//                     [--seed=N] [--fault-plan=SPEC]
+//                     [--seed=N] [--fault-plan=SPEC] [--max-steps=N]
 //   jepo_cli optimize <file.mjava>   # auto-refactor, print new source
 //
-// --seed/--fault-plan mirror a jepod job's fields: the same (source,
-// MainClass, seed, heap limit, fault plan) here and through the daemon
-// produce bit-identical joules/stdout/method records.
+// --seed/--fault-plan/--max-steps mirror a jepod job's fields: the same
+// (source, MainClass, seed, heap limit, fault plan, max steps) here and
+// through the daemon produce bit-identical joules/stdout/method records —
+// including the truncated records of a run aborted by the step budget,
+// which is how a daemon-side abort is replayed locally.
 //
 // Reads MiniJava source from the given file (or stdin when the file is -).
 #include <cstdio>
@@ -46,7 +48,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: jepo_cli suggest|profile|optimize <file.mjava> "
                "[MainClass] [--heap-limit=N] [--seed=N] "
-               "[--fault-plan=SPEC]\n");
+               "[--fault-plan=SPEC] [--max-steps=N]\n");
   return 2;
 }
 
@@ -79,6 +81,7 @@ int main(int argc, char** argv) {
     }
     if (command == "profile") {
       std::string mainClass;
+      unsigned long long maxSteps = 500'000'000;  // jepod's kDefaultMaxSteps
       core::Profiler profiler;
       for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -91,13 +94,28 @@ int main(int argc, char** argv) {
           profiler.setSeed(n);
         } else if (arg.rfind("--fault-plan=", 0) == 0) {
           profiler.setFaultSpec(fault::parseFaultPlan(arg.substr(13)));
+        } else if (arg.rfind("--max-steps=", 0) == 0) {
+          if (!parseFlagU64(arg, 12, &maxSteps)) return usage();
         } else if (mainClass.empty()) {
           mainClass = arg;
         } else {
           return usage();
         }
       }
-      profiler.profile(program, mainClass, /*maxSteps=*/500'000'000);
+      try {
+        profiler.profile(program, mainClass, maxSteps);
+      } catch (const VmError& e) {
+        // Aborted run (step limit, runtime error): print the records
+        // captured up to the abort — methods still on the stack appear as
+        // truncated records — so a daemon job killed by its step budget
+        // can be replayed here with the same --max-steps.
+        std::fputs(core::renderProfilerView(profiler.records()).c_str(),
+                   stdout);
+        std::printf("\nprogram output:\n%s",
+                    profiler.programOutput().c_str());
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+      }
       std::fputs(core::renderProfilerView(profiler.records()).c_str(),
                  stdout);
       std::printf("\nprogram output:\n%s", profiler.programOutput().c_str());

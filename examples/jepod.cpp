@@ -1,7 +1,13 @@
 // jepod — run the profiling daemon until SIGTERM/SIGINT, then drain.
 //
 //   jepod --socket=/tmp/jepod.sock [--threads=N] [--max-queue=N]
-//         [--cache-bytes=N] [--retry-after-ms=N]
+//         [--cache-bytes=N] [--retry-after-ms=N] [--idle-timeout-ms=N]
+//         [--transport-plan=SPEC]
+//
+// --idle-timeout-ms reaps connections silent that long with no job in
+// flight (half-open peers). --transport-plan injects seeded transport
+// faults on every accepted connection (chaos drills; see
+// src/fault/transport.hpp for the preset/override syntax).
 //
 // The daemon serves parse->suggest->instrument->measure jobs over the
 // Unix-domain socket (newline-delimited JSON; see src/jepod/protocol.hpp).
@@ -20,7 +26,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: jepod --socket=PATH [--threads=N] [--max-queue=N] "
-               "[--cache-bytes=N] [--retry-after-ms=N]\n");
+               "[--cache-bytes=N] [--retry-after-ms=N] "
+               "[--idle-timeout-ms=N] [--transport-plan=SPEC]\n");
   return 2;
 }
 
@@ -52,6 +59,16 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--retry-after-ms=", 0) == 0) {
       if (!parseU64(arg.c_str() + 17, &n)) return usage();
       cfg.retryAfterMs = static_cast<int>(n);
+    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      if (!parseU64(arg.c_str() + 18, &n)) return usage();
+      cfg.idleTimeoutMs = static_cast<int>(n);
+    } else if (arg.rfind("--transport-plan=", 0) == 0) {
+      try {
+        cfg.transportFaults = fault::parseTransportPlan(arg.substr(17));
+      } catch (const Error& e) {
+        std::fprintf(stderr, "jepod: %s\n", e.what());
+        return 2;
+      }
     } else {
       return usage();
     }

@@ -3,8 +3,14 @@
 //   jepod_client --socket=PATH profile  <file.mjava> [MainClass]
 //                [--tenant=NAME] [--seed=N] [--heap-limit=N]
 //                [--max-steps=N] [--fault-plan=SPEC] [--raw]
+//                [--retries=N] [--deadline-ms=N]
 //   jepod_client --socket=PATH suggest  <file.mjava> [--raw]
 //   jepod_client --socket=PATH optimize <file.mjava> [--raw]
+//
+// --deadline-ms asks the daemon to cancel the job if it hasn't finished
+// within N ms (typed "deadline-exceeded" response). --retries=N retries
+// transport failures and queue-full rejects up to N times with exponential
+// backoff, honoring the server's retryAfterMs hint.
 //
 // By default the response renders like the matching jepo_cli command
 // (profile prints the Fig. 4 view + program output), so
@@ -44,7 +50,8 @@ int usage() {
                "usage: jepod_client --socket=PATH "
                "suggest|profile|optimize <file.mjava> [MainClass] "
                "[--tenant=NAME] [--seed=N] [--heap-limit=N] [--max-steps=N] "
-               "[--fault-plan=SPEC] [--raw]\n");
+               "[--fault-plan=SPEC] [--raw] [--retries=N] "
+               "[--deadline-ms=N]\n");
   return 2;
 }
 
@@ -61,6 +68,7 @@ int main(int argc, char** argv) {
   std::string socketPath;
   std::string path;
   bool raw = false;
+  int retries = 0;
   jepod::JobRequest req;
   req.id = "cli-1";
   req.tenant = "cli";
@@ -83,6 +91,12 @@ int main(int argc, char** argv) {
       req.maxSteps = n;
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       req.faultPlan = arg.substr(13);
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      if (!parseU64(arg.substr(10), &n)) return usage();
+      retries = static_cast<int>(n);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!parseU64(arg.substr(14), &n)) return usage();
+      req.deadlineMs = n;
     } else if (arg == "--raw") {
       raw = true;
     } else if (req.command.empty()) {
@@ -102,6 +116,12 @@ int main(int argc, char** argv) {
 
   try {
     jepod::Client client;
+    if (retries > 0) {
+      jepod::RetryPolicy policy;
+      policy.maxRetries = retries;
+      policy.jitterSeed = req.seed;
+      client.setRetryPolicy(policy);
+    }
     client.connect(socketPath);
     const jepod::Response resp = client.submit(req);
     if (raw) {

@@ -29,10 +29,21 @@ the build on:
   - malformed service-throughput fields: any key containing "persec"
     (bench_jepod's jobsPerSec) must hold a strictly positive finite
     number, and any key containing "latency" a non-negative one. A
-    bench_jepod "Clients/<n>" sweep row must additionally carry
-    jobsPerSec, p50LatencyMs and p99LatencyMs with p99 >= p50, and a
-    cacheHitRate inside [0, 1] — zero throughput or an inverted tail
-    means the sweep harness lost jobs or mismeasured.
+    bench_jepod "Clients/<n>" or "Chaos/<n>" sweep row must additionally
+    carry jobsPerSec, p50LatencyMs and p99LatencyMs with p99 >= p50, and
+    a cacheHitRate inside [0, 1] — zero throughput or an inverted tail
+    means the sweep harness lost jobs or mismeasured;
+  - malformed resilience bookkeeping: a bench_jepod report must publish
+    the daemon's cancellation counters (jepod.cancel.deadline and
+    jepod.cancel.disconnect — registered at daemon construction, so their
+    absence means the obs snapshot is stale or foreign). A "Chaos/<n>"
+    row must carry non-negative integer "retries" and "reconnects" and a
+    "failedJobs" of exactly 0 (under a transport-fault plan every job
+    must still succeed via retry — lost jobs mean the resilience layer
+    dropped work). When the config names an active transportPlan, the
+    counters must include at least one "fault.transport."-prefixed
+    counter (the FaultyStream publishes fault.transport.streams on
+    construction, so a silent plan is a bug).
 
 Usage: check_bench_json.py report.json [report2.json ...]
 
@@ -119,9 +130,10 @@ def check_throughput_values(path, row, where):
 
 
 def check_jepod_row(path, row, where):
-    """Validate a bench_jepod client-sweep row's required fields."""
+    """Validate a bench_jepod client-sweep/chaos row's required fields."""
     name = row.get("name")
-    if not (isinstance(name, str) and name.startswith("Clients/")):
+    if not (isinstance(name, str)
+            and (name.startswith("Clients/") or name.startswith("Chaos/"))):
         return 0
     errors = 0
     for key in ("jobsPerSec", "p50LatencyMs", "p99LatencyMs"):
@@ -140,6 +152,18 @@ def check_jepod_row(path, row, where):
             or rate < 0 or rate > 1:
         errors += fail(path, f"{where} ({name}): 'cacheHitRate' must be a "
                        f"number in [0, 1], got {rate!r}")
+    if name.startswith("Chaos/"):
+        for key in ("retries", "reconnects"):
+            value = row.get(key)
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < 0:
+                errors += fail(path, f"{where} ({name}): '{key}' must be a "
+                               f"non-negative integer, got {value!r}")
+        failed = row.get("failedJobs")
+        if failed != 0:
+            errors += fail(path, f"{where} ({name}): 'failedJobs' must be 0 "
+                           f"(retries absorb transport faults), got "
+                           f"{failed!r}")
     return errors
 
 
@@ -188,6 +212,11 @@ def check_row_robustness(path, row, where):
 
 def has_active_fault_plan(config):
     plan = config.get("faultPlan")
+    return isinstance(plan, str) and plan not in ("", "none")
+
+
+def has_active_transport_plan(config):
+    plan = config.get("transportPlan")
     return isinstance(plan, str) and plan not in ("", "none")
 
 
@@ -249,6 +278,21 @@ def check_report(path, doc):
         if not any(name.startswith("fault.") for name in doc["counters"]):
             errors += fail(path, "config names an active fault plan but no "
                            "'fault.'-prefixed counter was published")
+
+    if isinstance(doc["config"], dict) and isinstance(doc["counters"], dict) \
+            and has_active_transport_plan(doc["config"]):
+        if not any(name.startswith("fault.transport.")
+                   for name in doc["counters"]):
+            errors += fail(path, "config names an active transport plan but "
+                           "no 'fault.transport.'-prefixed counter was "
+                           "published")
+
+    if doc.get("bench") == "bench_jepod" and isinstance(doc["counters"], dict):
+        for name in ("jepod.cancel.deadline", "jepod.cancel.disconnect"):
+            if name not in doc["counters"]:
+                errors += fail(path, f"bench_jepod counters are missing "
+                               f"'{name}' (cancellation instruments are "
+                               "registered at daemon construction)")
 
     errors += check_energy_values(path, doc, doc.get("bench", "?"))
     return errors

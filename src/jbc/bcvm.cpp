@@ -273,6 +273,10 @@ void BytecodeVm::throwStepLimit() const {
                 std::to_string(maxSteps_) + ")");
 }
 
+void BytecodeVm::throwCancelled() const {
+  throw CancelledError(cancel_->reason());
+}
+
 void BytecodeVm::chargeRowLoad(Ref array, std::int64_t index,
                                bool rowIsArray) {
   if (!rowIsArray) {
@@ -784,16 +788,24 @@ jvm::Value BytecodeVm::run(const CompiledClass& cls, const Chunk& chunk,
   // is dead work and the whole safepoint reduces to one predictable test.
   const std::uint64_t maxStepsHoisted = maxStepsEff_;
   const bool gcArmed = gc_.limit() != 0;
+  const CancelToken* const cancelHoisted = cancel_;
 
 // Per-dispatch prologue: record the operand-stack height for the GC root
 // scan (this is the engine's only safepoint — no builtin, operator helper
 // or allocation path can ever collect), account the fused run length, and
-// enforce the step limit.
+// enforce the step limit plus cooperative cancellation. Every fused
+// superinstruction backedge (kCountedAccumLoop dispatches through VM_TOP
+// per iteration) re-runs this prologue, so cancellation is never starved
+// by the fast path; with no token installed the poll is one test of a
+// register-held null pointer.
 #define VM_TOP()                                                     \
   do {                                                               \
     if (ip >= codeEnd) return Value::null();                         \
     steps_ += ip->n;                                                 \
     if (steps_ > maxStepsHoisted) throwStepLimit();                  \
+    if (cancelHoisted != nullptr && cancelHoisted->cancelled()) {    \
+      throwCancelled();                                              \
+    }                                                                \
     if (gcArmed) {                                                   \
       frame.top = static_cast<std::size_t>(sp - stackBase);          \
       gc_.safepoint();                                               \

@@ -25,6 +25,7 @@
 #include "jvm/gc.hpp"
 #include "jvm/heap.hpp"
 #include "jvm/interpreter.hpp"  // MethodHooks, Thrown
+#include "support/cancel.hpp"
 
 namespace jepo::jbc {
 
@@ -38,6 +39,14 @@ class BytecodeVm {
     maxSteps_ = maxSteps;
     maxStepsEff_ = maxSteps == 0 ? ~std::uint64_t{0} : maxSteps;
   }
+
+  /// Install (or clear, with nullptr) a cooperative cancel token, polled at
+  /// the VM_TOP dispatch prologue — the engine's existing per-dispatch
+  /// safepoint, which fused superinstructions (including kCountedAccumLoop's
+  /// implicit backedge) re-enter every iteration, so the fast path cannot
+  /// starve cancellation. A fired token throws CancelledError out of run().
+  /// Host-time-only: never-fired tokens leave observables bit-identical.
+  void setCancelToken(const CancelToken* token) { cancel_ = token; }
 
   /// Run `static void main` (the unique one, or the named class's).
   jvm::Value runMain(std::string_view mainClass = {});
@@ -137,6 +146,7 @@ class BytecodeVm {
   void chargeRowLoad(jvm::Ref array, std::int64_t index, bool rowIsArray);
   void charge(energy::Op op, std::uint64_t n = 1) { machine_->charge(op, n); }
   [[noreturn]] void throwStepLimit() const;
+  [[noreturn]] void throwCancelled() const;
   [[noreturn]] void throwJava(const std::string& cls,
                               const std::string& msg) {
     builtins_.throwJava(cls, msg);
@@ -186,6 +196,7 @@ class BytecodeVm {
   std::uint64_t steps_ = 0;
   std::uint64_t maxSteps_ = 0;
   std::uint64_t maxStepsEff_ = ~std::uint64_t{0};
+  const CancelToken* cancel_ = nullptr;
   std::size_t frameDepth_ = 0;
 
   jvm::Ref lastRowArray_ = 0xFFFFFFFF;

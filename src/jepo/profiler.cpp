@@ -32,6 +32,7 @@ void Profiler::profile(const jlang::Program& program,
   jvm::Instrumenter inst(machine, device);
   interp.setHooks(&inst);
   interp.setMaxSteps(maxSteps);
+  interp.setCancelToken(cancel_);
   if (heapLimit_.has_value()) interp.setHeapLimit(*heapLimit_);
   try {
     interp.runMain(mainClass);

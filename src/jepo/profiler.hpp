@@ -15,6 +15,7 @@
 #include "fault/fault.hpp"
 #include "jlang/ast.hpp"
 #include "jvm/instrumenter.hpp"
+#include "support/cancel.hpp"
 
 namespace jepo::core {
 
@@ -51,6 +52,15 @@ class Profiler {
   /// process hosts them — the contract jepod relies on to match jepo_cli.
   void setSeed(std::uint64_t seed) { seed_ = seed; }
 
+  /// Install (or clear, with nullptr) a cooperative cancel token the run's
+  /// engine polls at its step boundary. A token fired mid-run aborts the
+  /// profile with CancelledError, retaining the records and output captured
+  /// so far (on-stack methods flush as truncated records, exactly like a
+  /// step-limit abort). A token that never fires changes nothing — the
+  /// run stays bit-identical to an uncancellable one. Not owned; must
+  /// outlive profile().
+  void setCancelToken(const CancelToken* token) { cancel_ = token; }
+
   /// Route the instrumenter's MSR reads through a deterministic
   /// fault-injection device built from `spec`. The plan's stream is
   /// deriveSeed(seed, spec.seed), so per-job seeds give every job a fresh
@@ -82,6 +92,7 @@ class Profiler {
   std::optional<std::size_t> heapLimit_;
   std::uint64_t seed_ = 0;
   std::optional<fault::FaultSpec> faultSpec_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace jepo::core

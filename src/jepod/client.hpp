@@ -4,13 +4,46 @@
 // here needs (jepod_client CLI, bench_jepod's simulated clients, the test
 // suite). The raw-line seam exists so tests can send deliberately
 // malformed bytes and assert on the typed error that comes back.
+//
+// Resilience: reads are bounded by a timeout (a daemon dying mid-response
+// surfaces as a typed TransportError, never an indefinite hang), and
+// submit() can retry — bounded attempts, exponential backoff with seeded
+// jitter, honoring the server's retryAfterMs hint, reconnecting after a
+// reset. Retrying is safe because jobs are deterministic and idempotent:
+// re-running a job yields the bit-identical response. The sleeper is
+// injectable so the backoff schedule is unit-testable without wall time.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
+#include "fault/transport.hpp"
 #include "jepod/protocol.hpp"
 
 namespace jepo::jepod {
+
+/// A transport-level failure: connect refused, send failed, the peer
+/// closed before a full response line, or a read timed out. Distinct from
+/// protocol-level errors (which arrive as typed Response objects) so
+/// callers — and submit()'s own retry loop — can tell "the daemon said no"
+/// from "the wire broke".
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Bounded-retry knobs for Client::submit. Attempt k (0-based) sleeps
+/// min(baseBackoffMs * 2^k, maxBackoffMs) plus seeded jitter in
+/// [0, base/2], raised to the server's retryAfterMs hint when one came
+/// back. maxRetries = 0 (the default) preserves single-shot behaviour.
+struct RetryPolicy {
+  int maxRetries = 0;
+  int baseBackoffMs = 10;
+  int maxBackoffMs = 2000;
+  std::uint64_t jitterSeed = 0;
+};
 
 class Client {
  public:
@@ -22,16 +55,53 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  /// Connect to a daemon's socket. Throws Error when nothing listens.
+  /// Connect to a daemon's socket. Throws TransportError when nothing
+  /// listens. The path is remembered so retries can reconnect.
   void connect(const std::string& socketPath);
   bool connected() const noexcept { return fd_ >= 0; }
   void close();
 
-  /// Send one request, block for one response line, decode it.
+  /// Retry policy for submit(). Applies to transport failures (reset,
+  /// timeout — the connection is re-established first) and to queue-full
+  /// rejects (same connection, after the backoff).
+  void setRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retryPolicy() const noexcept { return retry_; }
+
+  /// Replace the backoff sleeper (default: std::this_thread::sleep_for).
+  /// Tests install a recorder to pin the schedule without wall time.
+  void setSleeper(std::function<void(int)> sleeper);
+
+  /// Bound every blocking read; <= 0 disables (not recommended — that is
+  /// the hang-forever mode this knob exists to kill). Default 30000.
+  void setReadTimeoutMs(int ms) { readTimeoutMs_ = ms; }
+
+  /// Inject seeded transport faults on this client's side of the wire
+  /// (chaos testing). Takes effect at the next connect(); each (re)connect
+  /// keys its fault schedule by the connect ordinal, so a retrying client
+  /// under chaos replays deterministically.
+  void setTransportFaults(const fault::TransportFaultSpec& spec) {
+    transportFaults_ = spec;
+  }
+
+  /// Retry sleeps taken by submit() so far (both flavours).
+  std::uint64_t retries() const noexcept { return retries_; }
+  /// Reconnects performed by submit()'s retry loop so far.
+  std::uint64_t reconnects() const noexcept { return reconnects_; }
+
+  /// The deterministic backoff schedule, exposed so tests can pin it:
+  /// delay before retry `attempt` (0-based), given the server hint
+  /// (`retryAfterMs` < 0 = none).
+  static int backoffDelayMs(const RetryPolicy& policy, int attempt,
+                            int retryAfterMs);
+
+  /// Send one request, block for one response line, decode it. Applies
+  /// the retry policy; rethrows the final TransportError when attempts
+  /// run out.
   Response submit(const JobRequest& req);
 
   /// Send raw bytes + '\n', return the raw response line (for protocol
-  /// edge-case tests). Throws Error on EOF before a full line arrives.
+  /// edge-case tests). Single-shot: no retries. Throws TransportError on
+  /// EOF or timeout before a full line arrives.
   std::string roundTrip(const std::string& rawLine);
 
   /// Block for the next response line without sending anything — for
@@ -40,9 +110,19 @@ class Client {
 
  private:
   std::string readLine();
+  Response submitOnce(const JobRequest& req);
 
   int fd_ = -1;
+  std::unique_ptr<fault::ByteStream> stream_;
   std::string buffer_;  // bytes past the last consumed line
+  std::string socketPath_;
+  RetryPolicy retry_;
+  std::function<void(int)> sleeper_;
+  int readTimeoutMs_ = 30000;
+  fault::TransportFaultSpec transportFaults_;
+  std::uint64_t connectOrdinal_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace jepo::jepod

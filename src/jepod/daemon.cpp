@@ -1,5 +1,6 @@
 #include "jepod/daemon.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -65,8 +66,12 @@ Daemon::Daemon(DaemonConfig cfg)
   rejectedDraining_ = &reg.counter("jepod.jobs.rejected.draining");
   badRequests_ = &reg.counter("jepod.requests.bad");
   connections_ = &reg.counter("jepod.connections");
+  cancelDeadline_ = &reg.counter("jepod.cancel.deadline");
+  cancelDisconnect_ = &reg.counter("jepod.cancel.disconnect");
+  idleReaped_ = &reg.counter("jepod.connections.idleReaped");
   inflight_ = &reg.gauge("jepod.jobs.inflight");
   latencyUs_ = &reg.histogram("jepod.job.latencyUs");
+  cancelLatencyUs_ = &reg.histogram("jepod.cancel.latencyUs");
 }
 
 Daemon::~Daemon() {
@@ -112,6 +117,7 @@ void Daemon::start() {
 
   pool_ = std::make_unique<ThreadPool>(cfg_.threads, /*maxQueue=*/0);
   started_ = true;
+  watchdogThread_ = std::thread([this] { watchdogLoop(); });
   acceptThread_ = std::thread([this] { acceptLoop(); });
 }
 
@@ -165,7 +171,15 @@ void Daemon::waitDrained() {
     if (t.joinable()) t.join();
   }
   conns.clear();
-  // 4. The pool is idle (pending_ == 0); destroy it and remove the socket.
+  // 4. Stop the watchdog: every admitted job has completed, so there is
+  //    nothing left to cancel.
+  {
+    std::lock_guard lock(jobsMu_);
+    watchdogStop_ = true;
+  }
+  watchdogCv_.notify_all();
+  if (watchdogThread_.joinable()) watchdogThread_.join();
+  // 5. The pool is idle (pending_ == 0); destroy it and remove the socket.
   pool_.reset();
   ::unlink(cfg_.socketPath.c_str());
   drained_ = true;
@@ -190,7 +204,18 @@ void Daemon::acceptLoop() {
       continue;
     }
     connections_->add();
-    auto conn = std::make_shared<Connection>(fd);
+    // The stream seam: raw fd I/O, or seeded chaos when a transport fault
+    // plan is active. The accept ordinal keys this connection's fault
+    // schedule, so a soak replays identically run to run.
+    std::unique_ptr<fault::ByteStream> stream =
+        std::make_unique<fault::FdStream>(fd);
+    if (cfg_.transportFaults.active()) {
+      stream = std::make_unique<fault::FaultyStream>(
+          std::move(stream),
+          fault::TransportFaultPlan(cfg_.transportFaults, acceptOrdinal_));
+    }
+    ++acceptOrdinal_;
+    auto conn = std::make_shared<Connection>(fd, std::move(stream));
     std::vector<std::thread> finished;
     {
       std::lock_guard lock(connsMu_);
@@ -211,6 +236,9 @@ void Daemon::acceptLoop() {
 
 void Daemon::connectionLoop(std::shared_ptr<Connection> conn) {
   readLoop(conn);
+  // The submitter is gone: nobody will read the responses, so stop
+  // burning workers on its in-flight jobs.
+  cancelJobsForConnection(conn.get());
   reapConnection(conn.get());
   // `conn` drops here; once in-flight jobs release their captured refs the
   // Connection destructor closes the fd.
@@ -261,7 +289,28 @@ void Daemon::readLoop(const std::shared_ptr<Connection>& conn) {
                               std::to_string(cfg_.maxLineBytes) + " bytes"));
       return;
     }
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (cfg_.idleTimeoutMs > 0) {
+      // Idle reaping: wait for readability so a half-open peer (or a
+      // slow-loris trickling a partial line) can be cut loose. A client
+      // with jobs in flight is *waiting*, not idle — never reap it.
+      bool readable = false;
+      while (!readable) {
+        pollfd pfd{};
+        pfd.fd = conn->fd;
+        pfd.events = POLLIN;
+        const int pr = ::poll(&pfd, 1, cfg_.idleTimeoutMs);
+        if (pr > 0) {
+          readable = true;
+        } else if (pr < 0) {
+          if (errno == EINTR) continue;
+          return;
+        } else if (conn->inflight.load(std::memory_order_acquire) == 0) {
+          idleReaped_->add();
+          return;
+        }
+      }
+    }
+    const long n = conn->stream->read(chunk, sizeof chunk);
     if (n <= 0) return;  // EOF, client reset, or drain shutdown
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
@@ -326,9 +375,28 @@ void Daemon::handleLine(const std::string& line,
   admitted_->add();
 
   const auto admittedAt = std::chrono::steady_clock::now();
-  pool_->submit([this, req = std::move(req), conn, admittedAt]() mutable {
-    const std::string response = runJob(req);
+  // Register the job for cancellation before it can run: the deadline is
+  // measured from admission (queue time counts — a queued job whose
+  // deadline lapses is cancelled by its very first poll), and a client
+  // disconnect must find every job it submitted.
+  auto ctx = std::make_shared<JobContext>();
+  ctx->conn = conn.get();
+  if (req.deadlineMs > 0) {
+    ctx->hasDeadline = true;
+    ctx->deadline = admittedAt + std::chrono::milliseconds(req.deadlineMs);
+  }
+  conn->inflight.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(jobsMu_);
+    liveJobs_.push_back(ctx);
+  }
+  if (ctx->hasDeadline) watchdogCv_.notify_all();
+
+  pool_->submit([this, req = std::move(req), conn, ctx, admittedAt]() mutable {
+    const std::string response = runJob(req, ctx.get());
     writeLine(conn, response);
+    finishJobContext(ctx);
+    conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
     const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - admittedAt)
                         .count();
@@ -337,6 +405,59 @@ void Daemon::handleLine(const std::string& line,
     completed_->add();
     finishJob();
   });
+}
+
+void Daemon::watchdogLoop() {
+  std::unique_lock lock(jobsMu_);
+  for (;;) {
+    if (watchdogStop_) return;
+    auto next = std::chrono::steady_clock::time_point::max();
+    for (const auto& job : liveJobs_) {
+      if (job->hasDeadline && !job->token.cancelled() &&
+          job->deadline < next) {
+        next = job->deadline;
+      }
+    }
+    if (next == std::chrono::steady_clock::time_point::max()) {
+      watchdogCv_.wait(lock);
+    } else {
+      watchdogCv_.wait_until(lock, next);
+    }
+    if (watchdogStop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (const auto& job : liveJobs_) {
+      if (job->hasDeadline && !job->token.cancelled() &&
+          job->deadline <= now) {
+        // cancelledAt is published by the token's release store; the job
+        // thread reads it only after observing the token fired.
+        job->cancelledAt = now;
+        job->token.cancel(CancelReason::kDeadline);
+        cancelDeadline_->add();
+      }
+    }
+  }
+}
+
+void Daemon::cancelJobsForConnection(const Connection* conn) {
+  std::lock_guard lock(jobsMu_);
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& job : liveJobs_) {
+    if (job->conn == conn && !job->token.cancelled()) {
+      job->cancelledAt = now;
+      job->token.cancel(CancelReason::kDisconnect);
+      cancelDisconnect_->add();
+    }
+  }
+}
+
+void Daemon::finishJobContext(const std::shared_ptr<JobContext>& ctx) {
+  std::lock_guard lock(jobsMu_);
+  for (auto it = liveJobs_.begin(); it != liveJobs_.end(); ++it) {
+    if (it->get() == ctx.get()) {
+      liveJobs_.erase(it);
+      return;
+    }
+  }
 }
 
 void Daemon::finishJob() {
@@ -368,7 +489,7 @@ std::shared_ptr<const CachedProgram> Daemon::compileCached(
   return cache_.put(std::move(entry));
 }
 
-std::string Daemon::runJob(const JobRequest& req) {
+std::string Daemon::runJob(const JobRequest& req, JobContext* ctx) {
   bool cached = false;
   try {
     const auto compiled = compileCached(req, &cached);
@@ -400,6 +521,7 @@ std::string Daemon::runJob(const JobRequest& req) {
     core::Profiler profiler;
     profiler.setHeapLimit(static_cast<std::size_t>(req.heapLimit));
     profiler.setSeed(req.seed);
+    if (ctx != nullptr) profiler.setCancelToken(&ctx->token);
     if (!req.faultPlan.empty()) {
       try {
         profiler.setFaultSpec(fault::parseFaultPlan(req.faultPlan));
@@ -416,6 +538,28 @@ std::string Daemon::runJob(const JobRequest& req) {
   } catch (const ProtocolError& e) {
     tenantCounter(req.tenant, "errors").add();
     return renderErrorResponse(req.id, e.code(), e.what());
+  } catch (const CancelledError& e) {
+    // The watchdog or the reader armed this job's token mid-run (or
+    // before it started). Record how long the cancel took to land —
+    // poll-to-unwind latency, the number that proves the fused fast path
+    // doesn't starve cancellation — and answer with the typed code. The
+    // messages depend only on the request, never on timing, so responses
+    // stay byte-stable.
+    tenantCounter(req.tenant, "cancelled").add();
+    if (ctx != nullptr) {
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - ctx->cancelledAt)
+                          .count();
+      cancelLatencyUs_->record(static_cast<std::uint64_t>(us < 0 ? 0 : us));
+    }
+    if (e.reason() == CancelReason::kDeadline) {
+      return renderErrorResponse(
+          req.id, ErrorCode::kDeadlineExceeded,
+          "deadline exceeded (deadlineMs=" + std::to_string(req.deadlineMs) +
+              ")");
+    }
+    return renderErrorResponse(req.id, ErrorCode::kCancelled,
+                               "job cancelled: client disconnected");
   } catch (const Error& e) {
     // VM aborts (step limit, runtime error) and main-class ambiguity.
     tenantCounter(req.tenant, "errors").add();
@@ -433,8 +577,8 @@ void Daemon::writeLine(const std::shared_ptr<Connection>& conn,
   framed += '\n';
   std::size_t sent = 0;
   while (sent < framed.size()) {
-    const ssize_t n = ::send(conn->fd, framed.data() + sent,
-                             framed.size() - sent, MSG_NOSIGNAL);
+    const long n =
+        conn->stream->write(framed.data() + sent, framed.size() - sent);
     if (n <= 0) return;  // client went away; its loss
     sent += static_cast<std::size_t>(n);
   }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -34,8 +35,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/transport.hpp"
 #include "jepod/program_cache.hpp"
 #include "jepod/protocol.hpp"
+#include "support/cancel.hpp"
 #include "support/thread_pool.hpp"
 
 namespace jepo::jepod {
@@ -55,6 +58,16 @@ struct DaemonConfig {
   /// Longest accepted request line; longer input is a bad-request (the
   /// connection survives). Bounds per-connection buffering.
   std::size_t maxLineBytes = 8u << 20;
+  /// Reap a connection that has been silent this long with no job in
+  /// flight (half-open peers, slow-loris trickles). 0 disables reaping —
+  /// a client legitimately waiting on a slow job is never reaped, because
+  /// its in-flight count is nonzero.
+  int idleTimeoutMs = 0;
+  /// Seeded transport-fault injection on every accepted connection (chaos
+  /// testing; see fault/transport.hpp). Each connection's FaultyStream is
+  /// deterministic in (spec.seed, accept ordinal). Inactive by default:
+  /// the clean path reads and writes the raw fd exactly as before.
+  fault::TransportFaultSpec transportFaults;
 };
 
 class Daemon {
@@ -101,10 +114,30 @@ class Daemon {
 
  private:
   struct Connection {
-    explicit Connection(int fd) : fd(fd) {}
+    Connection(int fd, std::unique_ptr<fault::ByteStream> stream)
+        : fd(fd), stream(std::move(stream)) {}
     ~Connection();
     int fd;
+    /// All I/O goes through the stream seam (an FdStream, or a
+    /// FaultyStream wrapping it under an active transport-fault plan).
+    std::unique_ptr<fault::ByteStream> stream;
+    /// Jobs admitted for this connection and not yet responded — the
+    /// idle-reaper's "is anyone actually waiting on us" check.
+    std::atomic<int> inflight{0};
     std::mutex writeMu;  // workers and the reader interleave responses
+  };
+
+  /// Per-admitted-job cancellation state, registered until the response is
+  /// written. The watchdog arms `token` on deadline expiry; the reader
+  /// arms it when the submitting connection dies. `cancelledAt` is written
+  /// before the token fires (release/acquire via the token), so the job
+  /// thread can compute cancel latency after catching CancelledError.
+  struct JobContext {
+    CancelToken token;
+    const Connection* conn = nullptr;
+    bool hasDeadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    std::chrono::steady_clock::time_point cancelledAt{};
   };
 
   void acceptLoop();
@@ -118,7 +151,17 @@ class Daemon {
   /// Parse, admit and dispatch one request line; writes rejects inline.
   void handleLine(const std::string& line,
                   const std::shared_ptr<Connection>& conn);
-  std::string runJob(const JobRequest& req);
+  std::string runJob(const JobRequest& req) { return runJob(req, nullptr); }
+  /// ctx (nullable) carries the job's cancel token; a fired token maps to
+  /// the typed deadline-exceeded / cancelled responses.
+  std::string runJob(const JobRequest& req, JobContext* ctx);
+  /// The deadline watchdog: sleeps until the earliest live deadline, arms
+  /// expired jobs' tokens. One thread for the whole daemon.
+  void watchdogLoop();
+  /// Arm every live job submitted by `conn` with a disconnect cancel.
+  void cancelJobsForConnection(const Connection* conn);
+  /// Drop a completed job from the live registry.
+  void finishJobContext(const std::shared_ptr<JobContext>& ctx);
   std::shared_ptr<const CachedProgram> compileCached(const JobRequest& req,
                                                      bool* cached);
   static void writeLine(const std::shared_ptr<Connection>& conn,
@@ -147,6 +190,15 @@ class Daemon {
   std::condition_variable idleCv_;
   std::size_t pending_ = 0;  // admitted (queued + running) jobs
 
+  // Live-job registry for the watchdog and disconnect cancellation.
+  // Jobs register at admission (so a deadline counts queue time) and
+  // deregister after their response is written.
+  std::mutex jobsMu_;
+  std::condition_variable watchdogCv_;
+  std::vector<std::shared_ptr<JobContext>> liveJobs_;
+  bool watchdogStop_ = false;  // guarded by jobsMu_
+  std::thread watchdogThread_;
+
   // Connection registry. A connection's reader thread reaps its own entry
   // on exit (closing the fd once in-flight jobs release their refs) and
   // parks its thread handle in doneThreads_, which acceptLoop joins before
@@ -165,8 +217,14 @@ class Daemon {
   obs::Counter* rejectedDraining_;
   obs::Counter* badRequests_;
   obs::Counter* connections_;
+  obs::Counter* cancelDeadline_;
+  obs::Counter* cancelDisconnect_;
+  obs::Counter* idleReaped_;
   obs::Gauge* inflight_;
   obs::Histogram* latencyUs_;
+  obs::Histogram* cancelLatencyUs_;
+
+  std::uint64_t acceptOrdinal_ = 0;  // accept-loop only; fault stream ids
 };
 
 /// Install SIGTERM/SIGINT handlers that trigger `daemon.requestDrain()`

@@ -15,6 +15,8 @@ std::string_view errorCodeName(ErrorCode code) noexcept {
     case ErrorCode::kRuntimeError: return "runtime-error";
     case ErrorCode::kQueueFull: return "queue-full";
     case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kInternal: return "internal";
   }
   return "?";
@@ -80,6 +82,7 @@ JobRequest parseRequest(const std::string& line) {
   req.heapLimit = optionalU64(doc, "heapLimit", 0);
   req.maxSteps = optionalU64(doc, "maxSteps", kDefaultMaxSteps);
   req.faultPlan = doc.stringOr("faultPlan", "");
+  req.deadlineMs = optionalU64(doc, "deadlineMs", 0);
   if (req.command != "profile" && req.command != "suggest" &&
       req.command != "optimize") {
     throw ProtocolError(ErrorCode::kUnknownCommand,
@@ -197,6 +200,7 @@ std::string renderRequest(const JobRequest& req) {
   w.kv("heapLimit", req.heapLimit);
   w.kv("maxSteps", req.maxSteps);
   if (!req.faultPlan.empty()) w.kv("faultPlan", req.faultPlan);
+  if (req.deadlineMs != 0) w.kv("deadlineMs", req.deadlineMs);
   w.endObject();
   return w.str();
 }

@@ -51,6 +51,8 @@ enum class ErrorCode {
   kRuntimeError,  // the profiled program aborted (VM error, step limit)
   kQueueFull,     // admission control rejected the job; retry later
   kShuttingDown,  // daemon is draining; no new jobs
+  kDeadlineExceeded,  // the job's deadlineMs elapsed before it finished
+  kCancelled,     // the job was cancelled (e.g. its client disconnected)
   kInternal,
 };
 
@@ -78,6 +80,12 @@ struct JobRequest {
   std::uint64_t heapLimit = 0;   // objects before mark-compact; 0 = never
   std::uint64_t maxSteps = kDefaultMaxSteps;
   std::string faultPlan;   // --fault-plan spec; "" = clean MSR path
+  /// Server-side deadline in milliseconds; 0 = none. Measured from
+  /// admission (so a job stuck in the queue counts against it). On expiry
+  /// the daemon cancels the job cooperatively and responds with a typed
+  /// "deadline-exceeded" error. Wall-clock scheduling only — a job that
+  /// finishes in time is bit-identical with or without a deadline.
+  std::uint64_t deadlineMs = 0;
 };
 
 /// Parse one request line. Throws ProtocolError(kBadJson) on malformed

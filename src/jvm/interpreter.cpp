@@ -101,6 +101,11 @@ void Interpreter::step() {
     throw VmError("step limit exceeded (" + std::to_string(maxSteps_) +
                   "): possible runaway loop");
   }
+  // Cooperative cancellation: one predictable branch when no token is
+  // installed; a fired token unwinds exactly like the step limit above.
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    throw CancelledError(cancel_->reason());
+  }
 }
 
 const std::string& Interpreter::stringAt(Ref r) const {

@@ -1,0 +1,91 @@
+// Cooperative cancellation primitives.
+//
+// A CancelToken is an atomic flag an owner (the jepod watchdog, a test, a
+// signal handler's watcher thread) arms from outside the execution engines;
+// the engines poll it at boundaries they already visit every iteration (the
+// tree interpreter's step accounting, the bytecode VM's dispatch top) and
+// unwind with CancelledError. The contract mirrors the fault layer's: the
+// resilience machinery is host-time-only, so a run whose token never fires
+// is bit-identical — in joules, stdout and method records — to a run with
+// no token installed at all. Polling costs one predictable branch on a
+// hoisted pointer when a token is installed, and nothing observable either
+// way.
+#pragma once
+
+#include <atomic>
+
+#include "support/error.hpp"
+
+namespace jepo {
+
+/// Why a token fired. The first cancel wins; later calls are no-ops, so a
+/// deadline and a disconnect racing on the same job report one reason.
+enum class CancelReason : int {
+  kNone = 0,
+  /// Explicit cancellation (API caller, test harness).
+  kCancelled = 1,
+  /// A server-side deadline expired.
+  kDeadline = 2,
+  /// The submitting client went away; nobody is waiting for the result.
+  kDisconnect = 3,
+};
+
+inline const char* cancelReasonName(CancelReason reason) noexcept {
+  switch (reason) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kCancelled: return "cancelled";
+    case CancelReason::kDeadline: return "deadline";
+    case CancelReason::kDisconnect: return "disconnect";
+  }
+  return "none";
+}
+
+/// One-shot cancellation flag. cancel() may be called from any thread; the
+/// polling thread observes it on its next poll. Not resettable — a token
+/// belongs to exactly one job.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arm the token. The first reason sticks (release order, so anything the
+  /// canceller wrote before arming — e.g. a cancelled-at timestamp — is
+  /// visible to whoever observes the token fired).
+  void cancel(CancelReason reason = CancelReason::kCancelled) noexcept {
+    int expected = 0;
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_release,
+                                    std::memory_order_relaxed);
+  }
+
+  bool cancelled() const noexcept {
+    return reason_.load(std::memory_order_acquire) != 0;
+  }
+
+  CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::atomic<int> reason_{0};
+};
+
+/// The typed unwind a fired token raises from inside an engine. Derives
+/// from Error (not the VM's Thrown) so MiniJava-level try/catch and the
+/// engines' user-exception paths can never swallow it; it propagates out of
+/// runMain()/run() like a VmError, through the same abort path that flushes
+/// truncated-but-well-formed method records.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(CancelReason reason)
+      : Error(std::string("cancelled: ") + cancelReasonName(reason)),
+        reason_(reason) {}
+
+  CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+}  // namespace jepo

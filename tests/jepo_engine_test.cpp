@@ -319,5 +319,39 @@ TEST(Profiler, AbortRetainsTruncatedRecordsAndOutput) {
   EXPECT_NE(txt.find("(truncated)"), std::string::npos);
 }
 
+TEST(Profiler, MaxStepsAbortReplaysBitIdentically) {
+  // The jepo_cli --max-steps contract: two runs of the same program with
+  // the same step budget abort at the same point with identical records —
+  // a daemon job killed by its budget replays exactly on a workstation.
+  const auto prog = jlang::Parser::parseProgram("t.mjava", R"(
+    class Main {
+      static void spin() { while (true) { int x = 1; } }
+      static void main(String[] args) {
+        System.out.println("starting");
+        spin();
+      }
+    }
+  )");
+  Profiler first;
+  EXPECT_THROW(first.profile(prog, {}, /*maxSteps=*/25'000), VmError);
+  Profiler second;
+  EXPECT_THROW(second.profile(prog, {}, /*maxSteps=*/25'000), VmError);
+
+  EXPECT_EQ(second.programOutput(), first.programOutput());
+  ASSERT_EQ(second.records().size(), first.records().size());
+  for (std::size_t i = 0; i < first.records().size(); ++i) {
+    EXPECT_EQ(second.records()[i].method, first.records()[i].method);
+    EXPECT_EQ(second.records()[i].seconds, first.records()[i].seconds);
+    EXPECT_EQ(second.records()[i].packageJoules,
+              first.records()[i].packageJoules);
+    EXPECT_EQ(second.records()[i].truncated, first.records()[i].truncated);
+  }
+  // A larger budget aborts later: the budget is the only thing that
+  // decides where the run stops.
+  Profiler larger;
+  EXPECT_THROW(larger.profile(prog, {}, /*maxSteps=*/50'000), VmError);
+  EXPECT_GT(larger.records().back().seconds, first.records().back().seconds);
+}
+
 }  // namespace
 }  // namespace jepo::core
