@@ -137,7 +137,9 @@ int main(int argc, char** argv) {
                    {"optPackageJoules", r.optPackageJoules},
                    {"quality", std::string(rapl::qualityName(r.quality))},
                    {"faultRetries", r.faultRetries},
-                   {"flagged", r.flagged}});
+                   {"flagged", r.flagged},
+                   {"tier", r.tier},
+                   {"samplingRate", r.samplingRate}});
     table.addRow({std::string(ml::classifierName(r.kind)),
                   std::to_string(r.changesFullScale),
                   fixed(r.packageImprovement, 2), fixed(r.cpuImprovement, 2),

@@ -1,0 +1,301 @@
+// Tier frontier: instrumentation overhead vs per-method attribution error
+// across the profiling tiers (jvm/tier.hpp), on two workloads:
+//
+//   demo    — the EdgePipeline demo project (a realistic method mix, few
+//             hundred calls; overhead is dominated by the program itself)
+//   kernel  — a synthetic call-heavy kernel (two trivial methods invoked
+//             hundreds of thousands of times; per-call hook cost dominates)
+//
+// For each workload the bench times an uninstrumented run (no hooks at
+// all), a full-tier profile (the seed behaviour: every call instrumented),
+// sampled:N for each requested rate, and hot:T. Per-method package-joule
+// attribution from each tier's count-weighted extrapolation is compared
+// against the full tier's ground truth:
+//
+//   attribErrorPct = sum_m |est(m) - truth(m)| / sum_m truth(m) * 100
+//
+// The frontier the paper's service-scale argument needs: overhead falls
+// roughly linearly in the sampling rate while attribution error stays
+// bounded, so sampled:64 buys near-uninstrumented speed at a few percent
+// error. Timings are best-of---runs to shed scheduler noise.
+//
+// Flags:
+//   --rates=<n,n,..>   sampled:N rates to sweep (default 4,16,64)
+//   --hot=<T>          hot-tier promotion threshold (default 8)
+//   --kernel-iters=<n> call-heavy kernel loop count (default 60000)
+//   --max-steps=<n>    VM step budget per profile (default 50000000)
+//   --seed=<n>         profile seed — replays any sampled run (default 2020)
+//   --runs=<n>         timing repetitions, best-of (default 3)
+#include "bench_common.hpp"
+#include "demo_project.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "energy/machine.hpp"
+#include "jepo/profiler.hpp"
+#include "jlang/parser.hpp"
+#include "jvm/interpreter.hpp"
+#include "jvm/tier.hpp"
+
+namespace {
+
+using namespace jepo;
+
+// Two tiny methods invoked in a hot loop: the workload where per-call
+// instrumentation cost (two MSR reads + a record) is the program.
+inline constexpr const char* kCallHeavyKernel = R"(
+package edge.kernel;
+
+class Kernel {
+  int acc;
+
+  int mix(int x) {
+    return (x * 31 + 7) % 1024;
+  }
+
+  int step(int x) {
+    acc = acc + mix(x);
+    return acc % 65536;
+  }
+}
+
+class Main {
+  static void main(String[] args) {
+    Kernel k = new Kernel();
+    int total = 0;
+    for (int i = 0; i < ITERS; i++) {
+      total = (total + k.step(i)) % 65536;
+    }
+    System.out.println("total=" + total);
+  }
+}
+)";
+
+struct Workload {
+  std::string name;
+  jlang::Program program;
+};
+
+struct TierRun {
+  double seconds = 0.0;        // best-of-runs wall clock of one profile
+  std::size_t records = 0;     // instrumented records captured
+  std::map<std::string, core::MethodTotals> totals;  // keyed by method
+};
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Plain run, no hooks installed — the engine's fast path the tier work
+/// must not regress. Returns best-of-`runs` wall seconds.
+double timeUninstrumented(const jlang::Program& program, std::uint64_t steps,
+                          int runs) {
+  double best = 0.0;
+  for (int i = 0; i < runs; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    energy::SimMachine machine;
+    jvm::Interpreter interp(program, machine);
+    interp.setMaxSteps(steps);
+    interp.runMain({});
+    const double s = secondsSince(t0);
+    if (i == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+TierRun runTier(const jlang::Program& program, const jvm::TierSpec& spec,
+                std::uint64_t steps, std::uint64_t seed, int runs) {
+  TierRun out;
+  for (int i = 0; i < runs; ++i) {
+    core::Profiler profiler;
+    profiler.setSeed(seed);
+    profiler.setTier(spec);
+    const auto t0 = std::chrono::steady_clock::now();
+    profiler.profile(program, /*mainClass=*/{}, steps);
+    const double s = secondsSince(t0);
+    if (i == 0 || s < out.seconds) out.seconds = s;
+    if (i == 0) {
+      out.records = profiler.records().size();
+      for (auto& t : profiler.totals()) out.totals[t.method] = t;
+    }
+  }
+  return out;
+}
+
+/// Count-weighted estimate vs full-tier truth, package joules:
+/// sum |est - truth| / sum truth * 100. Methods absent from the estimate
+/// (impossible — the gate counts every entry) would count as full error.
+double attribErrorPct(const std::map<std::string, core::MethodTotals>& truth,
+                      const std::map<std::string, core::MethodTotals>& est) {
+  double totalTruth = 0.0;
+  double totalAbsErr = 0.0;
+  for (const auto& [method, t] : truth) {
+    totalTruth += t.packageJoules;
+    const auto it = est.find(method);
+    const double e = it == est.end() ? 0.0 : it->second.packageJoules;
+    totalAbsErr += std::abs(e - t.packageJoules);
+  }
+  return totalTruth > 0.0 ? totalAbsErr / totalTruth * 100.0 : 0.0;
+}
+
+std::vector<std::uint64_t> parseRates(const std::string& csv) {
+  std::vector<std::uint64_t> rates;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string item =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const unsigned long long n = std::stoull(item);
+    if (n < 2) throw std::runtime_error("--rates entries must be >= 2");
+    rates.push_back(n);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (rates.empty()) throw std::runtime_error("--rates must not be empty");
+  return rates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jepo;
+  bench::Flags flags(argc, argv, {"rates", "hot", "kernel-iters", "max-steps",
+                                  "seed"});
+  bench::BenchReport report("bench_tier_frontier", flags);
+
+  const auto rates = parseRates(flags.get("rates", "4,16,64"));
+  const auto hotThreshold =
+      static_cast<std::uint64_t>(flags.getInt("hot", 8));
+  const auto kernelIters = flags.getInt("kernel-iters", 60'000);
+  const auto maxSteps =
+      static_cast<std::uint64_t>(flags.getInt("max-steps", 50'000'000));
+  const auto seed = static_cast<std::uint64_t>(flags.getInt("seed", 2020));
+  const int runs = static_cast<int>(flags.getInt("runs", 3));
+  report.config("rates", flags.get("rates", "4,16,64"));
+  report.config("hot", hotThreshold);
+  report.config("kernelIters", kernelIters);
+  report.config("maxSteps", maxSteps);
+  report.config("seed", seed);
+  report.config("runs", runs);
+
+  // Splice the loop count into the kernel source so --kernel-iters scales
+  // the call volume without touching per-call work.
+  std::string kernelSource = kCallHeavyKernel;
+  const std::size_t hole = kernelSource.find("ITERS");
+  kernelSource.replace(hole, 5, std::to_string(kernelIters));
+
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"demo", jlang::Parser::parseProgram("EdgePipeline.mjava",
+                                           bench::kDemoProjectSource)});
+  workloads.push_back(
+      {"kernel", jlang::Parser::parseProgram("Kernel.mjava", kernelSource)});
+
+  bench::printHeader(
+      "Tier frontier — instrumentation overhead vs attribution error "
+      "(best of " + std::to_string(runs) + " runs, seed " +
+      std::to_string(seed) + ")");
+
+  // The acceptance bar: on the call-heavy kernel, sampled at the coarsest
+  // swept rate must shed >= 5x of full instrumentation's overhead.
+  double kernelFullOverhead = 0.0;
+  double kernelCoarsestOverhead = 0.0;
+  double kernelBare = 0.0;
+  const std::uint64_t coarsestRate = *std::max_element(rates.begin(),
+                                                       rates.end());
+
+  for (const auto& w : workloads) {
+    TextTable table({"Tier", "Wall (ms)", "Overhead vs bare", "Records",
+                     "Attrib err (%)"},
+                    {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                     Align::kRight});
+
+    const double bare = timeUninstrumented(w.program, maxSteps, runs);
+    report.addRow({{"name", w.name + "/uninstrumented"},
+                   {"realSecondsPerIter", bare}});
+    table.addRow({"(uninstrumented)", fixed(bare * 1e3, 2), "--", "0", "--"});
+
+    // Full tier first: its totals are every other tier's ground truth.
+    std::vector<std::pair<std::string, jvm::TierSpec>> specs;
+    specs.emplace_back("full", jvm::TierSpec{});
+    for (const auto n : rates) {
+      jvm::TierSpec s;
+      s.tier = jvm::InstrTier::kSampled;
+      s.sampleEvery = n;
+      specs.emplace_back("sampled:" + std::to_string(n), s);
+    }
+    {
+      jvm::TierSpec s;
+      s.tier = jvm::InstrTier::kHot;
+      s.hotThreshold = hotThreshold;
+      specs.emplace_back("hot:" + std::to_string(hotThreshold), s);
+    }
+
+    std::map<std::string, core::MethodTotals> truth;
+    double fullSeconds = 0.0;
+    for (const auto& [label, spec] : specs) {
+      const TierRun run = runTier(w.program, spec, maxSteps, seed, runs);
+      if (spec.tier == jvm::InstrTier::kFull) {
+        truth = run.totals;
+        fullSeconds = run.seconds;
+      }
+      const double errPct = attribErrorPct(truth, run.totals);
+      const double overheadPct = (run.seconds / bare - 1.0) * 100.0;
+      const double samplingRate =
+          spec.tier == jvm::InstrTier::kSampled
+              ? 1.0 / static_cast<double>(spec.sampleEvery)
+              : 1.0;
+      report.addRow({{"name", w.name + "/" + label},
+                     {"realSecondsPerIter", run.seconds},
+                     {"tier", std::string(jvm::tierName(spec.tier))},
+                     {"samplingRate", samplingRate},
+                     {"attribErrorPct", errPct},
+                     {"overheadPct", overheadPct},
+                     {"records", run.records}});
+      table.addRow({label, fixed(run.seconds * 1e3, 2),
+                    fixed(overheadPct, 1) + "%",
+                    std::to_string(run.records), fixed(errPct, 3)});
+
+      if (w.name == "kernel") {
+        const double overhead = run.seconds - bare;
+        kernelBare = bare;
+        if (spec.tier == jvm::InstrTier::kFull) {
+          kernelFullOverhead = overhead;
+        } else if (spec.tier == jvm::InstrTier::kSampled &&
+                   spec.sampleEvery == coarsestRate) {
+          kernelCoarsestOverhead = overhead;
+        }
+      }
+    }
+    (void)fullSeconds;
+    bench::printHeader("Workload: " + w.name);
+    std::fputs(table.render().c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+
+  // A coarsely-sampled run can time at or below the bare run (its overhead
+  // is under scheduler noise); floor the denominator at 0.5% of the bare
+  // wall clock so the reported reduction stays a finite lower bound.
+  const double noiseFloor = kernelBare * 0.005;
+  const double reduction =
+      kernelFullOverhead / std::max(kernelCoarsestOverhead, noiseFloor);
+  report.config("kernelOverheadReductionAtCoarsestRate", reduction);
+  std::printf(
+      "Call-heavy kernel: full-tier overhead %.2f ms, sampled:%llu overhead "
+      "%.2f ms -> %s%.1fx reduction (acceptance bar: >= 5x)\n",
+      kernelFullOverhead * 1e3,
+      static_cast<unsigned long long>(coarsestRate),
+      kernelCoarsestOverhead * 1e3,
+      kernelCoarsestOverhead <= noiseFloor ? ">= " : "", reduction);
+  std::puts(
+      "\nShape checks: full tier is the zero-error baseline; attribution\n"
+      "error shrinks as the sampling rate approaches 1; the coarsest rate\n"
+      "runs near uninstrumented speed on the call-heavy kernel.");
+  return report.finish();
+}

@@ -3,13 +3,15 @@
 //   jepo_cli suggest  <file.mjava>   # Fig. 2/5: the suggestion view
 //   jepo_cli profile  <file.mjava> [MainClass] [--heap-limit=N]
 //                     [--seed=N] [--fault-plan=SPEC] [--max-steps=N]
+//                     [--tier=full|sampled:N|hot:T]
 //   jepo_cli optimize <file.mjava>   # auto-refactor, print new source
 //
-// --seed/--fault-plan/--max-steps mirror a jepod job's fields: the same
-// (source, MainClass, seed, heap limit, fault plan, max steps) here and
-// through the daemon produce bit-identical joules/stdout/method records —
-// including the truncated records of a run aborted by the step budget,
-// which is how a daemon-side abort is replayed locally.
+// --seed/--fault-plan/--max-steps/--tier mirror a jepod job's fields: the
+// same (source, MainClass, seed, heap limit, fault plan, max steps, tier)
+// here and through the daemon produce bit-identical joules/stdout/method
+// records — including the truncated records of a run aborted by the step
+// budget, which is how a daemon-side abort is replayed locally, and the
+// sampled records of a --tier=sampled:N run, which replay from the seed.
 //
 // Reads MiniJava source from the given file (or stdin when the file is -).
 #include <cstdio>
@@ -48,7 +50,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: jepo_cli suggest|profile|optimize <file.mjava> "
                "[MainClass] [--heap-limit=N] [--seed=N] "
-               "[--fault-plan=SPEC] [--max-steps=N]\n");
+               "[--fault-plan=SPEC] [--max-steps=N] "
+               "[--tier=full|sampled:N|hot:T]\n");
   return 2;
 }
 
@@ -94,6 +97,8 @@ int main(int argc, char** argv) {
           profiler.setSeed(n);
         } else if (arg.rfind("--fault-plan=", 0) == 0) {
           profiler.setFaultSpec(fault::parseFaultPlan(arg.substr(13)));
+        } else if (arg.rfind("--tier=", 0) == 0) {
+          profiler.setTier(jvm::parseTierSpec(arg.substr(7)));
         } else if (arg.rfind("--max-steps=", 0) == 0) {
           if (!parseFlagU64(arg, 12, &maxSteps)) return usage();
         } else if (mainClass.empty()) {

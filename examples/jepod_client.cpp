@@ -4,6 +4,7 @@
 //                [--tenant=NAME] [--seed=N] [--heap-limit=N]
 //                [--max-steps=N] [--fault-plan=SPEC] [--raw]
 //                [--retries=N] [--deadline-ms=N]
+//                [--tier=full|sampled:N|hot:T]
 //   jepod_client --socket=PATH suggest  <file.mjava> [--raw]
 //   jepod_client --socket=PATH optimize <file.mjava> [--raw]
 //
@@ -51,7 +52,7 @@ int usage() {
                "suggest|profile|optimize <file.mjava> [MainClass] "
                "[--tenant=NAME] [--seed=N] [--heap-limit=N] [--max-steps=N] "
                "[--fault-plan=SPEC] [--raw] [--retries=N] "
-               "[--deadline-ms=N]\n");
+               "[--deadline-ms=N] [--tier=full|sampled:N|hot:T]\n");
   return 2;
 }
 
@@ -91,6 +92,8 @@ int main(int argc, char** argv) {
       req.maxSteps = n;
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       req.faultPlan = arg.substr(13);
+    } else if (arg.rfind("--tier=", 0) == 0) {
+      req.tier = arg.substr(7);
     } else if (arg.rfind("--retries=", 0) == 0) {
       if (!parseU64(arg.substr(10), &n)) return usage();
       retries = static_cast<int>(n);

@@ -26,6 +26,16 @@ the build on:
     positive "treeSecondsPerIter" and "bcvmSecondsPerIter" timings, and
     its "speedupBcvmOverTree" must equal their ratio — a drift means the
     row was hand-edited or the writer desynced from its inputs;
+  - malformed tier provenance: wherever a row carries a "tier" it must be
+    one of full/sampled/hot, and a "samplingRate" must be a number in
+    (0, 1] — rates outside that range mean the count-weighted
+    extrapolation divided by a bogus population;
+  - a broken overhead/error frontier (bench_tier_frontier): within each
+    workload the full-tier row must report zero attribution error (it IS
+    the ground truth) and the sampled rows' attribErrorPct must be
+    monotone non-increasing as the sampling rate approaches 1 (small
+    tolerance for discretisation noise) — an inverted frontier means the
+    extrapolation or the gate's population counts are wrong;
   - malformed service-throughput fields: any key containing "persec"
     (bench_jepod's jobsPerSec) must hold a strictly positive finite
     number, and any key containing "latency" a non-negative one. A
@@ -56,6 +66,11 @@ import sys
 ENERGY_MARKERS = ("joules", "energy")
 QUALITY_VALUES = ("ok", "retried", "degraded", "invalid")
 RETRY_MARKERS = ("retries", "faultretries", "readretries")
+TIER_VALUES = ("full", "sampled", "hot")
+# Slack (percentage points) for the frontier monotonicity check: phase
+# sampling is deterministic but discrete, so adjacent rates can tie or
+# wobble by a hair without the extrapolation being wrong.
+FRONTIER_TOLERANCE_PCT = 0.5
 
 
 def fail(path, msg):
@@ -193,6 +208,65 @@ def check_engine_pair_row(path, row, where):
     return errors
 
 
+def check_tier_values(path, row, where):
+    """Validate tier-provenance fields wherever a row carries them."""
+    errors = 0
+    if "tier" in row and row["tier"] not in TIER_VALUES:
+        errors += fail(path, f"{where}.tier is {row['tier']!r}, expected "
+                       f"one of {'/'.join(TIER_VALUES)}")
+    if "samplingRate" in row:
+        rate = row["samplingRate"]
+        if isinstance(rate, bool) or not isinstance(rate, (int, float)) \
+                or not 0 < rate <= 1:
+            errors += fail(path, f"{where}.samplingRate must be a number "
+                           f"in (0, 1], got {rate!r}")
+    return errors
+
+
+def check_tier_frontier(path, doc):
+    """bench_tier_frontier only: full rows are the zero-error ground truth
+    and sampled rows must trace a monotone frontier — attribution error
+    non-increasing as the sampling rate approaches 1, per workload."""
+    errors = 0
+    sampled = {}
+    for i, row in enumerate(doc.get("rows", [])):
+        if not isinstance(row, dict):
+            continue
+        name = row.get("name")
+        if not isinstance(name, str) or "/" not in name:
+            continue
+        if "attribErrorPct" not in row:
+            continue
+        err = row["attribErrorPct"]
+        where = f"rows[{i}] ({name})"
+        if isinstance(err, bool) or not isinstance(err, (int, float)) \
+                or err < 0:
+            errors += fail(path, f"{where}: 'attribErrorPct' must be a "
+                           f"non-negative number, got {err!r}")
+            continue
+        workload = name.split("/", 1)[0]
+        tier = row.get("tier")
+        if tier == "full":
+            if err != 0:
+                errors += fail(path, f"{where}: full tier must report zero "
+                               f"attribution error (it is the ground "
+                               f"truth), got {err!r}")
+        elif tier == "sampled":
+            rate = row.get("samplingRate")
+            if isinstance(rate, (int, float)) and not isinstance(rate, bool):
+                sampled.setdefault(workload, []).append((rate, err, name))
+    for workload, entries in sampled.items():
+        entries.sort(key=lambda entry: entry[0])  # coarsest rate first
+        for (_, coarse_err, coarse), (_, fine_err, fine) in \
+                zip(entries, entries[1:]):
+            if fine_err > coarse_err + FRONTIER_TOLERANCE_PCT:
+                errors += fail(path, f"{workload}: attribution error rose "
+                               f"from {coarse_err:.4g}% ({coarse}) to "
+                               f"{fine_err:.4g}% ({fine}) as the sampling "
+                               f"rate increased — frontier not monotone")
+    return errors
+
+
 def check_row_robustness(path, row, where):
     """Validate per-row measurement-quality bookkeeping where present."""
     errors = 0
@@ -227,7 +301,7 @@ def check_file(path):
     except (OSError, ValueError) as exc:
         return fail(path, f"unreadable or invalid JSON: {exc}")
 
-    # A baseline bundle (BENCH_PR5.json) is an array of reports.
+    # A baseline bundle (BENCH_PR9.json) is an array of reports.
     if isinstance(doc, list):
         if not doc:
             return fail(path, "baseline array is empty")
@@ -258,6 +332,7 @@ def check_report(path, doc):
                 errors += fail(path, f"rows[{i}] is not an object")
             else:
                 errors += check_row_robustness(path, row, f"rows[{i}]")
+                errors += check_tier_values(path, row, f"rows[{i}]")
                 errors += check_speedup_values(path, row, f"rows[{i}]")
                 errors += check_engine_pair_row(path, row, f"rows[{i}]")
                 errors += check_throughput_values(path, row, f"rows[{i}]")
@@ -286,6 +361,9 @@ def check_report(path, doc):
             errors += fail(path, "config names an active transport plan but "
                            "no 'fault.transport.'-prefixed counter was "
                            "published")
+
+    if doc.get("bench") == "bench_tier_frontier":
+        errors += check_tier_frontier(path, doc)
 
     if doc.get("bench") == "bench_jepod" and isinstance(doc["counters"], dict):
         for name in ("jepod.cancel.deadline", "jepod.cancel.disconnect"):

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Fail CI when a bench run regresses in wall-clock against the checked-in
-post-PR baseline (BENCH_PR5.json).
+post-PR baseline (BENCH_PR9.json).
 
 The baseline file holds one report, or a JSON array of reports, in the
 common {bench, config, rows[], wallMs, counters{}} schema; reports are
@@ -10,6 +10,9 @@ pair the gate checks:
   - every row present in both (matched by "name") whose
     "realSecondsPerIter" is a positive number in both: current time must
     not exceed baseline * (1 + tolerance);
+  - every timed baseline row still exists in the current run — a renamed
+    or dropped row is reported by name and fails the gate (a silently
+    vanished row would exempt itself from the comparison forever);
   - report-level "wallMs" under the same bound (the only timing
     bench_table4_weka exposes — its rows carry joules, not seconds).
 
@@ -26,7 +29,7 @@ Tolerance defaults to 10% and can be widened for noisy runners with
 (the flag wins).
 
 Usage:
-  check_bench_regression.py --baseline=BENCH_PR5.json report.json [...]
+  check_bench_regression.py --baseline=BENCH_PR9.json report.json [...]
 
 Standard library only.
 """
@@ -86,7 +89,8 @@ def check_report(baseline, current, path, tolerance):
     bound = 1.0 + tolerance
 
     base_rows = rows_by_name(baseline, f"baseline {baseline.get('bench')!r}")
-    for name, row in rows_by_name(current, path).items():
+    cur_rows = rows_by_name(current, path)
+    for name, row in cur_rows.items():
         base_row = base_rows.get(name)
         if base_row is None:
             continue
@@ -100,6 +104,18 @@ def check_report(baseline, current, path, tolerance):
                 f"{path}: {name} realSecondsPerIter {cur_t:.3e} vs "
                 f"baseline {base_t:.3e} (+{(cur_t / base_t - 1) * 100:.1f}%, "
                 f"tolerance {tolerance * 100:.0f}%)")
+
+    # A timed baseline row that vanished from the current run means the
+    # bench renamed or dropped it — name it explicitly instead of letting
+    # it silently exempt itself from the gate.
+    for name in sorted(base_rows):
+        if name in cur_rows:
+            continue
+        if positive_number(base_rows[name].get("realSecondsPerIter")):
+            errors += fail(
+                f"{path}: baseline row {name!r} is missing from the new "
+                f"run — regenerate the baseline if the rename/removal is "
+                f"intentional")
 
     base_wall = baseline.get("wallMs")
     cur_wall = current.get("wallMs")

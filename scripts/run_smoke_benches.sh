@@ -31,6 +31,7 @@ run bench_table4_weka --instances=200
 run bench_fig_views
 run bench_fig4_profiler
 run bench_fig5_optimizer
+run bench_tier_frontier --kernel-iters=20000
 run bench_scaling_instances --sizes=300,500
 run bench_ablation_rules
 run bench_ablation_costmodel --trials=1 --instances=300

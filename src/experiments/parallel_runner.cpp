@@ -67,7 +67,7 @@ std::vector<ClassifierResult> ParallelRunner::run() {
   for (std::size_t k = 0; k < kinds; ++k) {
     out.push_back(detail::assembleResult(static_cast<ml::ClassifierKind>(k),
                                          preps[k], protocols[2 * k],
-                                         protocols[2 * k + 1]));
+                                         protocols[2 * k + 1], config_));
   }
   return out;
 }

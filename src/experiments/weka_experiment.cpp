@@ -6,6 +6,7 @@
 #include "experiments/parallel_runner.hpp"
 #include "data/airlines.hpp"
 #include "jepo/optimizer.hpp"
+#include "jvm/tier.hpp"
 #include "ml/evaluation.hpp"
 #include "ml/forest.hpp"
 #include "ml/tree.hpp"
@@ -197,7 +198,8 @@ std::vector<stats::IndexedMeasure> makeStyleMeasures(
 ClassifierResult assembleResult(ClassifierKind kind,
                                 const ClassifierPrep& prep,
                                 const stats::ProtocolResult& base,
-                                const stats::ProtocolResult& opt) {
+                                const stats::ProtocolResult& opt,
+                                const WekaExperimentConfig& config) {
   obs::Span span("experiment.assemble");
   ClassifierResult result;
   result.kind = kind;
@@ -257,6 +259,15 @@ ClassifierResult assembleResult(ClassifierKind kind,
     result.timeImprovement = 0.0;
     obs::Registry::global().counter("experiment.row.flagged").add();
   }
+
+  // Tier provenance: validate the configured spec and stamp the row with
+  // the tier name and its configured sampling rate (1/N for sampled:N).
+  const jvm::TierSpec tierSpec = jvm::parseTierSpec(config.tier);
+  result.tier = jvm::tierName(tierSpec.tier);
+  if (tierSpec.tier == jvm::InstrTier::kSampled) {
+    result.samplingRate =
+        1.0 / static_cast<double>(tierSpec.sampleEvery);
+  }
   return result;
 }
 
@@ -273,7 +284,8 @@ ClassifierResult runClassifierExperiment(ClassifierKind kind,
         streams, config.runs, stats::serialExecutor(), /*maxRounds=*/50,
         /*fenceK=*/1.5, detail::kTukeyMetricColumns);
   }();
-  return detail::assembleResult(kind, prep, protocols[0], protocols[1]);
+  return detail::assembleResult(kind, prep, protocols[0], protocols[1],
+                                config);
 }
 
 std::vector<ClassifierResult> runWekaExperiment(

@@ -64,6 +64,12 @@ struct WekaExperimentConfig {
   /// parallel runner; 0 disables. Diagnostics only — flagged tasks are
   /// reported, never cancelled, so results stay scheduling-independent.
   double watchdogSeconds = 0.0;
+  /// Instrumentation-tier provenance stamped on every result row
+  /// ("full" | "sampled:N" | "hot:T", the jvm/tier.hpp spec grammar).
+  /// The experiment's measurements run through PerfRunner, so the tag
+  /// records which profiling tier the surrounding pipeline used — rows
+  /// carry it into the common --json schema alongside quality/flagged.
+  std::string tier = "full";
 };
 
 struct ClassifierResult {
@@ -92,6 +98,11 @@ struct ClassifierResult {
   /// after per-measurement retries): improvements are zeroed and the row
   /// is reported flagged instead of aborting the experiment.
   bool flagged = false;
+  /// Tier provenance copied from WekaExperimentConfig::tier: the tier
+  /// name ("full" | "sampled" | "hot") and the configured sampling rate
+  /// (1/N for sampled:N, 1.0 otherwise).
+  std::string tier = "full";
+  double samplingRate = 1.0;
 };
 
 /// Run the pipeline for one classifier (always serial; bit-identical to the
@@ -148,11 +159,13 @@ std::vector<stats::IndexedMeasure> makeStyleMeasures(
     const WekaExperimentConfig& config);
 
 /// Fold the two protocol results into the Table IV row, guarding the
-/// improvement ratios against zero-cost baselines.
+/// improvement ratios against zero-cost baselines and stamping the
+/// config's tier provenance.
 ClassifierResult assembleResult(ml::ClassifierKind kind,
                                 const ClassifierPrep& prep,
                                 const stats::ProtocolResult& base,
-                                const stats::ProtocolResult& opt);
+                                const stats::ProtocolResult& opt,
+                                const WekaExperimentConfig& config);
 
 }  // namespace detail
 

@@ -1,6 +1,7 @@
 #include "jbc/bcvm.hpp"
 
 #include "jvm/ops.hpp"
+#include "jvm/tier.hpp"
 
 // Dispatch strategy. Computed goto ("labels as values", a GNU extension
 // GCC and Clang both support) keeps one indirect branch per opcode handler,
@@ -23,6 +24,23 @@ using jvm::ValKind;
 using jvm::Value;
 
 namespace {
+
+/// Per-invocation hook dispatch under tiering (finishInvoke): hooks off,
+/// hooks on (full instrumentation or a sampled-in entry), or counted-only
+/// (unsampled entry — population counter, no hook calls).
+enum : std::uint8_t { kHooksOff = 0, kHooksOn, kHooksCounted };
+
+/// Exit accounting for an unsampled entry executed on the fused
+/// trivial-call path: mirrors the framed ExitGuard, running on normal
+/// return and on every unwind (Thrown and VM aborts alike — the framed
+/// guard's destructor makes no distinction either).
+struct TierCountGuard {
+  jvm::TierGate* gate = nullptr;
+  const jvm::MethodRef* ref = nullptr;
+  ~TierCountGuard() {
+    if (gate != nullptr) gate->exitUnsampled(*ref);
+  }
+};
 
 /// Layout-offset field lookup for the dynamic (name-keyed) field opcodes —
 /// the fallback shapes the compiler emits when a site could not be cached.
@@ -469,15 +487,29 @@ jvm::Value BytecodeVm::finishInvoke(const CompiledClass& cls,
   // initialized; no safepoint can run between acquireFrame and here.
   ++frameDepth_;
   const jvm::MethodRef ref{chunk.methodId, &chunk.qualifiedName};
-  if (hooks_ != nullptr) hooks_->onEnter(ref);
+  // Tier dispatch: a branch on the hoisted gate pointer (see setHooks).
+  // No gate (full instrumentation) keeps the seed-exact path; an
+  // unsampled entry pays the gate's counter increment and skips both
+  // hook calls — no MSR reads, no record allocation.
+  std::uint8_t hookMode = kHooksOff;
+  if (hooks_ != nullptr) {
+    hookMode = (tier_ == nullptr || tier_->enter(ref)) ? kHooksOn
+                                                       : kHooksCounted;
+  }
+  if (hookMode == kHooksOn) hooks_->onEnter(ref);
   struct ExitGuard {
     BytecodeVm* self;
     const jvm::MethodRef* ref;
+    std::uint8_t mode;
     ~ExitGuard() {
-      if (self->hooks_ != nullptr) self->hooks_->onExit(*ref);
+      if (mode == kHooksOn) {
+        self->hooks_->onExit(*ref);
+      } else if (mode == kHooksCounted) {
+        self->tier_->exitUnsampled(*ref);
+      }
       --self->frameDepth_;
     }
-  } guard{this, &ref};
+  } guard{this, &ref, hookMode};
 
   const Value result = run(cls, chunk, frame);
   charge(energy::Op::kReturn);
@@ -503,7 +535,15 @@ jvm::Value BytecodeVm::finishInvoke(const CompiledClass& cls,
 // slots would have been.
 bool BytecodeVm::inlineSpanCall(const Chunk& chunk, const Value* args,
                                 std::size_t argc, Value* out) {
-  if (hooks_ != nullptr || chunk.chunkId >= trivialKind_.size()) return false;
+  if (chunk.chunkId >= trivialKind_.size()) return false;
+  const jvm::MethodRef ref{chunk.methodId, &chunk.qualifiedName};
+  // With hooks installed the call may stay fused only if a sampling gate
+  // declines this entry — peek (no ordinal commit yet: a framed bailout
+  // below must not double-count) and fall back to the framed path for
+  // instrumented entries.
+  if (hooks_ != nullptr && (tier_ == nullptr || tier_->peekAdmit(ref))) {
+    return false;
+  }
   const std::uint8_t triv = trivialKind_[chunk.chunkId];
   if (triv == kNotTrivial) return false;
   if (argc != chunk.paramKinds.size()) return false;
@@ -513,6 +553,14 @@ bool BytecodeVm::inlineSpanCall(const Chunk& chunk, const Value* args,
   }
   if (frameDepth_ >= kMaxFrames) {
     throwJava("StackOverflowError", chunk.qualifiedName);
+  }
+  // Point of no return: commit the unsampled entry to the gate, with exit
+  // accounting on every unwind — the same paths the framed ExitGuard runs.
+  TierCountGuard countGuard;
+  if (hooks_ != nullptr) {
+    tier_->enter(ref);
+    countGuard.gate = tier_;
+    countGuard.ref = &ref;
   }
   if (argc != 0) charge(energy::Op::kLocalAccess, argc);
   const Instr& in0 = chunk.code[0];
@@ -555,7 +603,11 @@ bool BytecodeVm::inlineSpanCall(const Chunk& chunk, const Value* args,
 bool BytecodeVm::inlineRecvCall(const Chunk& chunk, const Value& recv,
                                 const Value* rest, std::size_t nRest,
                                 Value* out) {
-  if (hooks_ != nullptr || chunk.chunkId >= trivialKind_.size()) return false;
+  if (chunk.chunkId >= trivialKind_.size()) return false;
+  const jvm::MethodRef ref{chunk.methodId, &chunk.qualifiedName};
+  if (hooks_ != nullptr && (tier_ == nullptr || tier_->peekAdmit(ref))) {
+    return false;
+  }
   const std::uint8_t triv = trivialKind_[chunk.chunkId];
   if (triv == kNotTrivial) return false;
   if (nRest + 1 != chunk.paramKinds.size()) return false;
@@ -569,6 +621,12 @@ bool BytecodeVm::inlineRecvCall(const Chunk& chunk, const Value& recv,
   }
   if (frameDepth_ >= kMaxFrames) {
     throwJava("StackOverflowError", chunk.qualifiedName);
+  }
+  TierCountGuard countGuard;
+  if (hooks_ != nullptr) {
+    tier_->enter(ref);
+    countGuard.gate = tier_;
+    countGuard.ref = &ref;
   }
   charge(energy::Op::kLocalAccess, nRest + 1);
   const Instr& in0 = chunk.code[0];

@@ -34,7 +34,13 @@ class BytecodeVm {
   BytecodeVm(const CompiledProgram& program, energy::SimMachine& machine);
   BytecodeVm(CompiledProgram&&, energy::SimMachine&) = delete;
 
-  void setHooks(jvm::MethodHooks* hooks) { hooks_ = hooks; }
+  /// Install (or clear, with nullptr) method hooks. Not owned. The tier
+  /// gate is hoisted here so per-call tier checks branch on a pointer,
+  /// never through a virtual call (see jvm/tier.hpp).
+  void setHooks(jvm::MethodHooks* hooks) {
+    hooks_ = hooks;
+    tier_ = hooks != nullptr ? hooks->tierGate() : nullptr;
+  }
   void setMaxSteps(std::uint64_t maxSteps) {
     maxSteps_ = maxSteps;
     maxStepsEff_ = maxSteps == 0 ? ~std::uint64_t{0} : maxSteps;
@@ -159,6 +165,7 @@ class BytecodeVm {
   std::string out_;
   jvm::BuiltinLibrary builtins_;
   jvm::MethodHooks* hooks_ = nullptr;
+  jvm::TierGate* tier_ = nullptr;  // hoisted from hooks_->tierGate()
 
   // Flat execution state, indexed by resolver-assigned ids. All VM-owned:
   // concurrent VMs over one CompiledProgram share no mutable state.

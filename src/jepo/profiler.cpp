@@ -30,6 +30,8 @@ void Profiler::profile(const jlang::Program& program,
       faultDevice ? static_cast<const rapl::MsrDevice&>(*faultDevice)
                   : machine.msrDevice();
   jvm::Instrumenter inst(machine, device);
+  // Tier before hooks: setHooks hoists the instrumenter's gate pointer.
+  inst.setTier(tier_, seed_);
   interp.setHooks(&inst);
   interp.setMaxSteps(maxSteps);
   interp.setCancelToken(cancel_);
@@ -38,14 +40,19 @@ void Profiler::profile(const jlang::Program& program,
     interp.runMain(mainClass);
   } catch (...) {
     // VM abort: flush the methods still on the stack as truncated records
-    // so partial executions survive into result.txt, then surface the
-    // error with the captured state intact.
+    // so partial executions survive into result.txt (open *unsampled*
+    // invocations reconcile to counter decrements instead), then surface
+    // the error with the captured state intact.
     inst.unwindAbortedFrames();
+    inst.finalizeSampling();
     records_ = inst.records();
+    tierStats_ = inst.tierStats();
     output_ = interp.output();
     throw;
   }
+  inst.finalizeSampling();
   records_ = inst.records();
+  tierStats_ = inst.tierStats();
   output_ = interp.output();
 }
 
@@ -55,10 +62,37 @@ std::vector<MethodTotals> Profiler::totals() const {
     MethodTotals& t = agg[r.method];
     t.method = r.method;
     ++t.executions;
+    ++t.instrumentedExecutions;
     t.seconds += r.seconds;
     t.packageJoules += r.packageJoules;
     t.coreJoules += r.coreJoules;
     t.dramJoules += r.dramJoules;
+    t.tier = r.tier;
+  }
+  // Count-weighted extrapolation back to the full population: scale each
+  // instrumented sum by invocations / instrumented and report the true
+  // invocation count. Methods whose every entry went unsampled (the
+  // hot-tier cold tail) still get a row — counts without joules.
+  for (const auto& s : tierStats_) {
+    MethodTotals& t = agg[s.method];
+    if (t.method.empty()) {
+      t.method = s.method;
+      t.tier = tier_.tier;
+    }
+    t.executions = s.invocations;
+    t.instrumentedExecutions = s.instrumented;
+    if (s.instrumented > 0 && s.instrumented < s.invocations) {
+      const double scale = static_cast<double>(s.invocations) /
+                           static_cast<double>(s.instrumented);
+      t.seconds *= scale;
+      t.packageJoules *= scale;
+      t.coreJoules *= scale;
+      t.dramJoules *= scale;
+    }
+    t.samplingRate = s.invocations > 0
+                         ? static_cast<double>(s.instrumented) /
+                               static_cast<double>(s.invocations)
+                         : 1.0;
   }
   std::vector<MethodTotals> out;
   out.reserve(agg.size());
@@ -76,6 +110,10 @@ std::string Profiler::renderResultFile() const {
            fixed(r.packageJoules, 6) + " J\t" + fixed(r.coreJoules, 6) +
            " J\t" + fixed(r.dramJoules, 6) + " J";
     if (r.truncated) out += "\t(truncated)";
+    if (r.tier != jvm::InstrTier::kFull) {
+      out += "\t(" + std::string(jvm::tierName(r.tier)) +
+             " rate=" + fixed(r.samplingRate, 4) + ")";
+    }
     out += "\n";
   }
   return out;

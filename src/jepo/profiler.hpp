@@ -20,6 +20,13 @@
 namespace jepo::core {
 
 /// Aggregated per-method totals (all executions of one method summed).
+///
+/// Under a sampling tier the energy/time columns are count-weighted
+/// extrapolations: the instrumented records' sums scaled by
+/// invocations / instrumented, with `executions` reporting the true
+/// invocation count (the gate counts every entry). A hot-tier method that
+/// never crossed the promotion threshold appears with its invocation
+/// count and zero measured columns — aggregate-only attribution.
 struct MethodTotals {
   std::string method;
   std::size_t executions = 0;
@@ -27,6 +34,11 @@ struct MethodTotals {
   double packageJoules = 0.0;
   double coreJoules = 0.0;
   double dramJoules = 0.0;
+  /// Executions that actually ran instrumented (== executions under full).
+  std::size_t instrumentedExecutions = 0;
+  /// instrumented / executions for this method (1.0 under full).
+  double samplingRate = 1.0;
+  jvm::InstrTier tier = jvm::InstrTier::kFull;
 };
 
 class Profiler {
@@ -61,6 +73,14 @@ class Profiler {
   /// outlive profile().
   void setCancelToken(const CancelToken* token) { cancel_ = token; }
 
+  /// Select the instrumentation tier (jvm/tier.hpp): full (the default,
+  /// bit-identical to the untiered seed behaviour), sampled:N or hot:T.
+  /// Sampling decisions are a pure function of (seed, interned method id,
+  /// invocation ordinal), so a sampled run replays bit-identically from
+  /// its seed — the same contract jepod relies on for full runs.
+  void setTier(const jvm::TierSpec& spec) { tier_ = spec; }
+  const jvm::TierSpec& tierSpec() const noexcept { return tier_; }
+
   /// Route the instrumenter's MSR reads through a deterministic
   /// fault-injection device built from `spec`. The plan's stream is
   /// deriveSeed(seed, spec.seed), so per-job seeds give every job a fresh
@@ -86,9 +106,17 @@ class Profiler {
   /// with truncated (abort-unwound) executions marked.
   std::string renderResultFile() const;
 
+  /// Per-method population counts from the run's tier gate (empty under
+  /// full instrumentation): total vs instrumented invocations.
+  const std::vector<jvm::TierGate::MethodStat>& tierStats() const noexcept {
+    return tierStats_;
+  }
+
  private:
   std::vector<jvm::MethodRecord> records_;
+  std::vector<jvm::TierGate::MethodStat> tierStats_;
   std::string output_;
+  jvm::TierSpec tier_;
   std::optional<std::size_t> heapLimit_;
   std::uint64_t seed_ = 0;
   std::optional<fault::FaultSpec> faultSpec_;

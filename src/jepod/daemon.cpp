@@ -530,6 +530,27 @@ std::string Daemon::runJob(const JobRequest& req, JobContext* ctx) {
                             std::string("faultPlan: ") + e.what());
       }
     }
+    jvm::TierSpec tierSpec;
+    if (!req.tier.empty()) {
+      try {
+        tierSpec = jvm::parseTierSpec(req.tier);
+      } catch (const Error& e) {
+        // parseRequest validates the spec at the trust boundary; this
+        // guards programmatic JobRequest construction (tests, embedding).
+        throw ProtocolError(ErrorCode::kBadRequest,
+                            std::string("tier: ") + e.what());
+      }
+      profiler.setTier(tierSpec);
+    }
+    // Which tier each tenant's profile jobs actually run — the capacity-
+    // planning signal for tiered sampling (global + per-tenant).
+    obs::Registry::global()
+        .counter(std::string("jepod.tier.") + jvm::tierName(tierSpec.tier))
+        .add();
+    tenantCounter(req.tenant,
+                  (std::string("tier.") + jvm::tierName(tierSpec.tier))
+                      .c_str())
+        .add();
     profiler.profile(program, req.mainClass, req.maxSteps);
     ProfileResult result;
     result.stdoutText = profiler.programOutput();

@@ -83,6 +83,15 @@ JobRequest parseRequest(const std::string& line) {
   req.maxSteps = optionalU64(doc, "maxSteps", kDefaultMaxSteps);
   req.faultPlan = doc.stringOr("faultPlan", "");
   req.deadlineMs = optionalU64(doc, "deadlineMs", 0);
+  req.tier = doc.stringOr("tier", "");
+  if (!req.tier.empty()) {
+    try {
+      jvm::parseTierSpec(req.tier);
+    } catch (const Error& e) {
+      throw ProtocolError(ErrorCode::kBadRequest,
+                          std::string("tier: ") + e.what());
+    }
+  }
   if (req.command != "profile" && req.command != "suggest" &&
       req.command != "optimize") {
     throw ProtocolError(ErrorCode::kUnknownCommand,
@@ -114,6 +123,11 @@ void writeRecords(JsonWriter& w, const std::vector<jvm::MethodRecord>& rs) {
     w.kv("truncated", r.truncated);
     w.kv("quality", rapl::qualityName(r.quality));
     w.kv("readRetries", r.readRetries);
+    // Omitted-when-default: full-tier responses keep their pre-tier bytes.
+    if (r.tier != jvm::InstrTier::kFull) {
+      w.kv("tier", jvm::tierName(r.tier));
+      w.kv("samplingRate", r.samplingRate);
+    }
     w.endObject();
   }
   w.endArray();
@@ -201,6 +215,8 @@ std::string renderRequest(const JobRequest& req) {
   w.kv("maxSteps", req.maxSteps);
   if (!req.faultPlan.empty()) w.kv("faultPlan", req.faultPlan);
   if (req.deadlineMs != 0) w.kv("deadlineMs", req.deadlineMs);
+  // Omitted-when-default so pre-tier clients' request bytes are unchanged.
+  if (!req.tier.empty() && req.tier != "full") w.kv("tier", req.tier);
   w.endObject();
   return w.str();
 }
@@ -250,6 +266,13 @@ Response parseResponse(const std::string& line) {
       }
       r.readRetries =
           static_cast<int>(item.uint64Or("readRetries", 0));
+      const std::string tier = item.stringOr("tier", "full");
+      if (tier == "sampled") {
+        r.tier = jvm::InstrTier::kSampled;
+      } else if (tier == "hot") {
+        r.tier = jvm::InstrTier::kHot;
+      }
+      r.samplingRate = item.doubleOr("samplingRate", 1.0);
       resp.profile.records.push_back(std::move(r));
     }
   }

@@ -20,10 +20,10 @@
 //    "error":{"code":"queue-full", "message":"..."}, "retryAfterMs":10}
 //
 // Determinism contract: the "result" payload of a profile job is a pure
-// function of (source, mainClass, seed, heapLimit, maxSteps, faultPlan) —
-// bit-identical to the same program run through jepo_cli profile with the
-// same flags, whether the daemon compiled the source fresh or served it
-// from the program cache.
+// function of (source, mainClass, seed, heapLimit, maxSteps, faultPlan,
+// tier) — bit-identical to the same program run through jepo_cli profile
+// with the same flags, whether the daemon compiled the source fresh or
+// served it from the program cache.
 #pragma once
 
 #include <cstdint>
@@ -86,6 +86,14 @@ struct JobRequest {
   /// "deadline-exceeded" error. Wall-clock scheduling only — a job that
   /// finishes in time is bit-identical with or without a deadline.
   std::uint64_t deadlineMs = 0;
+  /// Instrumentation tier spec for profile jobs: "" or "full" (every
+  /// invocation instrumented — the pre-tier wire behaviour), "sampled:N"
+  /// or "hot:T" (jvm/tier.hpp). Validated at parse time; rendered only
+  /// when non-default, so pre-tier request bytes are unchanged. Part of
+  /// the determinism contract: (source, mainClass, seed, heapLimit,
+  /// maxSteps, faultPlan, tier) fully determine the result payload,
+  /// byte-identical to jepo_cli profile with --tier.
+  std::string tier;
 };
 
 /// Parse one request line. Throws ProtocolError(kBadJson) on malformed

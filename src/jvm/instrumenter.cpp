@@ -71,11 +71,13 @@ MethodRecord Instrumenter::closeFrame(bool truncated) {
   machine_->sync();
   const OpenFrame frame = std::move(stack_.back());
   stack_.pop_back();
+  recordIds_.push_back(frame.method.id);
 
   const double quantum = reader_.unit().jouleQuantum();
   MethodRecord rec;
   rec.method = frame.method.name();
   rec.truncated = truncated;
+  rec.tier = gate_ != nullptr ? tierSpec_.tier : InstrTier::kFull;
   rec.seconds = machine_->seconds() - frame.startSeconds;
   rec.readRetries = frame.retries;
 
@@ -126,11 +128,38 @@ void Instrumenter::unwindAbortedFrames() {
       impairedCounter().add();
     }
   }
+  // Open frames whose entry was unsampled never reached the stack above —
+  // they have no MSR snapshot to close into a truncated record. Square
+  // the gate's population counters instead (a counter decrement per open
+  // unsampled invocation) so extrapolation never scales by invocations
+  // that did not complete.
+  if (gate_ != nullptr) gate_->reconcileAborted();
+}
+
+void Instrumenter::setTier(const TierSpec& spec, std::uint64_t seed) {
+  JEPO_REQUIRE(stack_.empty(), "cannot retier with open frames");
+  tierSpec_ = spec;
+  if (spec.tier == InstrTier::kFull) {
+    gate_.reset();
+  } else {
+    gate_ = std::make_unique<TierGate>(spec, seed);
+  }
+}
+
+void Instrumenter::finalizeSampling() {
+  if (gate_ == nullptr) return;
+  JEPO_ASSERT(recordIds_.size() == records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    records_[i].samplingRate = gate_->effectiveRateById(recordIds_[i]);
+  }
 }
 
 void Instrumenter::clear() {
   stack_.clear();
   records_.clear();
+  recordIds_.clear();
+  if (gate_ != nullptr) gate_ = std::make_unique<TierGate>(gate_->spec(),
+                                                          gate_->seed());
 }
 
 }  // namespace jepo::jvm

@@ -17,11 +17,13 @@
 // the machine and the instrumenter.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "energy/machine.hpp"
 #include "jvm/interpreter.hpp"
+#include "jvm/tier.hpp"
 #include "rapl/quality.hpp"
 #include "rapl/rapl.hpp"
 
@@ -43,6 +45,14 @@ struct MethodRecord {
   rapl::MeasurementQuality quality = rapl::MeasurementQuality::kOk;
   /// Transient read errors absorbed producing this record.
   int readRetries = 0;
+  /// Instrumentation tier this record was captured under. kFull records
+  /// measure every invocation; kSampled/kHot records represent
+  /// 1/samplingRate invocations each (count-weighted extrapolation).
+  InstrTier tier = InstrTier::kFull;
+  /// Effective per-method sampling rate — instrumented / total invocations
+  /// of this record's method, stamped by finalizeSampling(). 1.0 under
+  /// full instrumentation.
+  double samplingRate = 1.0;
 };
 
 class Instrumenter final : public MethodHooks {
@@ -58,6 +68,31 @@ class Instrumenter final : public MethodHooks {
   /// Balance check compares the interned method id (two integer/pointer
   /// compares); the qualified name is only rendered if the check fails.
   void onExit(const MethodRef& method) override;
+  TierGate* tierGate() noexcept override { return gate_.get(); }
+
+  /// Select the instrumentation tier for the next run. A non-full spec
+  /// installs a TierGate seeded with `seed` — which invocations are
+  /// measured is then a pure function of (seed, interned method id,
+  /// invocation ordinal). Must be called before the run and before
+  /// Interpreter/BytecodeVm::setHooks (the engines hoist the gate
+  /// pointer there). A kFull spec uninstalls the gate: the dispatch and
+  /// records are bit-identical to the untiered seed behaviour.
+  void setTier(const TierSpec& spec, std::uint64_t seed = 0);
+  const TierSpec& tierSpec() const noexcept { return tierSpec_; }
+
+  /// Stamp every record with its method's effective sampling rate and
+  /// expose population counts. Call once after the run (and after
+  /// unwindAbortedFrames on an aborted run). Idempotent; a no-op under
+  /// full instrumentation.
+  void finalizeSampling();
+
+  /// Per-method population counts from the gate (empty under full
+  /// instrumentation): total invocations vs instrumented invocations —
+  /// the scaling weights for count-weighted extrapolation.
+  std::vector<TierGate::MethodStat> tierStats() const {
+    return gate_ != nullptr ? gate_->stats()
+                            : std::vector<TierGate::MethodStat>{};
+  }
 
   /// One record per completed method execution, in completion order.
   const std::vector<MethodRecord>& records() const noexcept {
@@ -73,6 +108,12 @@ class Instrumenter final : public MethodHooks {
   /// balanced again and safe to reuse. Without this, stale frames would
   /// trip the "unbalanced method hooks" check on the next run and the
   /// partially-executed methods would vanish from the result file.
+  ///
+  /// Under a sampling tier only *instrumented* open frames exist here —
+  /// an open invocation whose entry was unsampled has no armed MSR
+  /// snapshot and produces no record; it unwinds to a population-counter
+  /// decrement in the gate (TierGate::reconcileAborted), keeping the
+  /// effective sampling rates honest.
   void unwindAbortedFrames();
 
   void clear();
@@ -105,6 +146,11 @@ class Instrumenter final : public MethodHooks {
   rapl::RaplReader reader_;
   std::vector<OpenFrame> stack_;
   std::vector<MethodRecord> records_;
+  // Interned method id of each record, parallel to records_ — the key
+  // finalizeSampling() uses to look up per-method effective rates.
+  std::vector<std::uint32_t> recordIds_;
+  TierSpec tierSpec_;
+  std::unique_ptr<TierGate> gate_;
 };
 
 }  // namespace jepo::jvm

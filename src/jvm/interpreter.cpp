@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "jvm/ops.hpp"
+#include "jvm/tier.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "support/strings.hpp"
@@ -256,7 +257,16 @@ Value Interpreter::invoke(const ClassDecl& cls, const MethodDecl& m,
   // never concatenates strings.
   const std::string& qualified = resolution_->methodNames[m.methodId];
   const MethodRef ref{m.methodId, &qualified};
-  if (hooks_ != nullptr) hooks_->onEnter(ref);
+  // Tier dispatch: a branch on the hoisted gate pointer. No gate (full
+  // instrumentation) takes the seed-exact path; an unsampled entry pays
+  // the gate's counter increment and skips the hook call entirely.
+  enum class HookMode : std::uint8_t { kOff, kOn, kCounted };
+  HookMode hookMode = HookMode::kOff;
+  if (hooks_ != nullptr) {
+    hookMode = (tier_ == nullptr || tier_->enter(ref)) ? HookMode::kOn
+                                                       : HookMode::kCounted;
+  }
+  if (hookMode == HookMode::kOn) hooks_->onEnter(ref);
   // Method span at the same enter/exit seam the RAPL injection uses. The
   // enabled() decision is captured once so a mid-call toggle stays
   // balanced. Unlike the hook epilogue below, the span IS closed on a VM
@@ -287,17 +297,28 @@ Value Interpreter::invoke(const ClassDecl& cls, const MethodDecl& m,
       throw VmError("break/continue escaped method " + qualified);
     }
   } catch (const Thrown&) {
-    if (hooks_ != nullptr) hooks_->onExit(ref);
+    if (hookMode == HookMode::kOn) {
+      hooks_->onExit(ref);
+    } else if (hookMode == HookMode::kCounted) {
+      tier_->exitUnsampled(ref);
+    }
     if (tracing) obs::endSpan();
     frames_.pop_back();
     throw;
   } catch (...) {
+    // VM abort: like the hook epilogue, the gate's exit accounting is
+    // deliberately skipped — TierGate::reconcileAborted squares the
+    // counters when the instrumenter unwinds.
     if (tracing) obs::endSpan();
     frames_.pop_back();
     throw;
   }
   const Value out = returnValue_;
-  if (hooks_ != nullptr) hooks_->onExit(ref);
+  if (hookMode == HookMode::kOn) {
+    hooks_->onExit(ref);
+  } else if (hookMode == HookMode::kCounted) {
+    tier_->exitUnsampled(ref);
+  }
   if (tracing) obs::endSpan();
   frames_.pop_back();
   return out;

@@ -50,6 +50,8 @@ struct MethodRef {
   }
 };
 
+class TierGate;
+
 /// Method entry/exit callbacks — the seam where the Instrumenter injects
 /// the RAPL-reading profiler (the analog of JEPO's Javassist bytecode).
 class MethodHooks {
@@ -57,6 +59,13 @@ class MethodHooks {
   virtual ~MethodHooks() = default;
   virtual void onEnter(const MethodRef& method) = 0;
   virtual void onExit(const MethodRef& method) = 0;
+
+  /// Sampling gate for tiered instrumentation (jvm/tier.hpp), or nullptr
+  /// for full instrumentation. Engines hoist this once at setHooks time
+  /// and branch on the pointer per call — never a virtual call on the
+  /// unsampled path. nullptr keeps the seed-exact full-instrumentation
+  /// dispatch.
+  virtual TierGate* tierGate() noexcept { return nullptr; }
 };
 
 class Interpreter {
@@ -66,8 +75,13 @@ class Interpreter {
   /// dangle before the first run.
   Interpreter(jlang::Program&&, energy::SimMachine&) = delete;
 
-  /// Install (or clear, with nullptr) method hooks. Not owned.
-  void setHooks(MethodHooks* hooks) { hooks_ = hooks; }
+  /// Install (or clear, with nullptr) method hooks. Not owned. The hooks'
+  /// tier gate is hoisted here so per-call tier checks are one pointer
+  /// test, not a virtual call.
+  void setHooks(MethodHooks* hooks) {
+    hooks_ = hooks;
+    tier_ = hooks != nullptr ? hooks->tierGate() : nullptr;
+  }
 
   /// Abort with VmError once this many statements/expressions have executed
   /// (runaway-loop guard for tests). 0 disables the limit.
@@ -211,6 +225,7 @@ class Interpreter {
   std::string out_;  // declared before builtins_, which holds a reference
   BuiltinLibrary builtins_;
   MethodHooks* hooks_ = nullptr;
+  TierGate* tier_ = nullptr;  // hoisted from hooks_->tierGate()
 
   std::deque<Frame> frames_;
   Value returnValue_;

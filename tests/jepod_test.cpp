@@ -406,6 +406,129 @@ TEST_F(JepodTest, SuggestAndOptimizeMatchInProcessResults) {
 }
 
 // ---------------------------------------------------------------------------
+// Profiling tiers over the wire
+
+TEST_F(JepodTest, TieredJobMatchesLocalRenderByteForByte) {
+  startDaemon();
+  Client c = connect();
+  const std::uint64_t sampled0 = counterValue("jepod.tier.sampled");
+  const std::uint64_t tenant0 =
+      counterValue("jepod.tenant.edge-a.tier.sampled");
+
+  JobRequest req = makeRequest("t1", kChurnSource, "edge-a");
+  req.seed = 42;
+  req.tier = "sampled:4";
+  const Response resp = c.submit(req);
+  ASSERT_TRUE(resp.ok) << resp.errorMessage;
+  EXPECT_EQ(counterValue("jepod.tier.sampled"), sampled0 + 1);
+  EXPECT_EQ(counterValue("jepod.tenant.edge-a.tier.sampled"), tenant0 + 1);
+
+  // The acceptance contract: the daemon's payload for a tiered job is
+  // byte-identical to rendering the same job run locally (jepo_cli's
+  // path) through the same protocol writer.
+  const jlang::Program program =
+      jlang::Parser::parseProgram("<jepod>", kChurnSource);
+  core::Profiler profiler;
+  profiler.setSeed(42);
+  profiler.setTier(jvm::parseTierSpec("sampled:4"));
+  profiler.profile(program, "", jepod::kDefaultMaxSteps);
+  const std::string local = jepod::renderProfileResponse(
+      req, /*cached=*/false,
+      {profiler.programOutput(), profiler.records()});
+  EXPECT_EQ(resp.raw, local);
+
+  // Tier provenance survives the response parse.
+  bool sawSampled = false;
+  for (const auto& r : resp.profile.records) {
+    if (r.tier == jvm::InstrTier::kSampled) sawSampled = true;
+    EXPECT_GT(r.samplingRate, 0.0);
+    EXPECT_LE(r.samplingRate, 1.0);
+  }
+  EXPECT_TRUE(sawSampled);
+
+  core::Profiler fullProfiler;
+  fullProfiler.setSeed(42);
+  fullProfiler.profile(program, "", jepod::kDefaultMaxSteps);
+  EXPECT_LT(resp.profile.records.size(), fullProfiler.records().size())
+      << "sampling must drop records";
+}
+
+TEST_F(JepodTest, FullTierRequestKeepsPreTierWireBytes) {
+  startDaemon();
+  Client c = connect();
+  const std::uint64_t full0 = counterValue("jepod.tier.full");
+
+  // "full", "" and an absent field are the same wire request — and the
+  // rendered request line for both omits the tier key entirely, so old
+  // clients and new ones produce identical bytes.
+  JobRequest plain = makeRequest("w1", kQuickSource);
+  JobRequest full = makeRequest("w1", kQuickSource);
+  full.tier = "full";
+  EXPECT_EQ(jepod::renderRequest(plain), jepod::renderRequest(full));
+  EXPECT_EQ(jepod::renderRequest(plain).find("tier"), std::string::npos);
+
+  const Response a = c.submit(plain);
+  const Response b = c.submit(full);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(counterValue("jepod.tier.full"), full0 + 2);
+  // Identical payloads (the second is a cache hit, so compare from the
+  // result object on).
+  const auto payloadOf = [](const std::string& raw) {
+    return raw.substr(raw.find("\"result\":"));
+  };
+  EXPECT_EQ(payloadOf(a.raw), payloadOf(b.raw));
+  // Full-tier records carry no tier/samplingRate keys on the wire.
+  EXPECT_EQ(a.raw.find("\"tier\""), std::string::npos);
+  EXPECT_EQ(a.raw.find("samplingRate"), std::string::npos);
+}
+
+TEST_F(JepodTest, MalformedTierIsATypedBadRequest) {
+  startDaemon();
+  Client c = connect();
+
+  JobRequest req = makeRequest("bt1", kQuickSource);
+  req.tier = "sampled:0";
+  const Response resp = c.submit(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.errorCode, "bad-request");
+  EXPECT_NE(resp.errorMessage.find("tier:"), std::string::npos)
+      << resp.errorMessage;
+  EXPECT_NE(resp.errorMessage.find("bad tier spec"), std::string::npos);
+
+  // The tier is validated at the parse boundary, before any compile or
+  // admission work — a raw line with a bogus tier gets the same answer.
+  const Response raw = jepod::parseResponse(c.roundTrip(
+      R"({"v":1,"id":"bt2","command":"profile","tier":"warm",)"
+      R"("source":"class A { static void main(String[] a) {} }"})"));
+  EXPECT_FALSE(raw.ok);
+  EXPECT_EQ(raw.errorCode, "bad-request");
+}
+
+TEST_F(JepodTest, TierRoundTripsThroughRequestRenderAndParse) {
+  JobRequest req = makeRequest("rt1", kQuickSource, "edge-a");
+  req.tier = "hot:32";
+  const std::string line = jepod::renderRequest(req);
+  const JobRequest back = jepod::parseRequest(line);
+  EXPECT_EQ(back.tier, "hot:32");
+  EXPECT_EQ(back.id, "rt1");
+
+  // Sampled records round-trip tier + samplingRate through the response.
+  jvm::MethodRecord rec;
+  rec.method = "A.m";
+  rec.seconds = 0.25;
+  rec.packageJoules = 1.5;
+  rec.tier = jvm::InstrTier::kSampled;
+  rec.samplingRate = 0.25;
+  const std::string respLine =
+      jepod::renderProfileResponse(req, false, {"out\n", {rec}});
+  const Response parsed = jepod::parseResponse(respLine);
+  ASSERT_EQ(parsed.profile.records.size(), 1u);
+  EXPECT_EQ(parsed.profile.records[0].tier, jvm::InstrTier::kSampled);
+  EXPECT_EQ(parsed.profile.records[0].samplingRate, 0.25);
+}
+
+// ---------------------------------------------------------------------------
 // Admission control
 
 TEST_F(JepodTest, QueueFullRejectIsDeterministicAndTyped) {
