@@ -12,15 +12,40 @@
 //                       the serial pass against the ParallelRunner, checks
 //                       the rows are bit-identical, and reports the speedup
 //   --paper-scale       instances=10000, runs=10, corpus-scale=1.0
+//   --intervals         bootstrap 95% confidence intervals over the run
+//                       matrix; prints the Table-IV-with-intervals report
+//                       and appends the interval fields to --json rows
+//   --resamples=<n>     bootstrap resamples per interval (default 200)
 #include "bench_common.hpp"
 
 #include <chrono>
 
+#include "experiments/interval_report.hpp"
 #include "experiments/weka_experiment.hpp"
 
 namespace {
 
 using jepo::experiments::ClassifierResult;
+
+/// Bit-exact comparison of the probabilistic layer.
+bool identicalIntervals(const ClassifierResult& x, const ClassifierResult& y) {
+  if (x.intervals.has_value() != y.intervals.has_value()) return false;
+  if (!x.intervals) return true;
+  const auto& a = *x.intervals;
+  const auto& b = *y.intervals;
+  const auto same = [](const jepo::stats::Interval& p,
+                       const jepo::stats::Interval& q) {
+    return p.lo == q.lo && p.mean == q.mean && p.hi == q.hi;
+  };
+  return same(a.basePackage, b.basePackage) &&
+         same(a.optPackage, b.optPackage) &&
+         same(a.packageImprovement, b.packageImprovement) &&
+         a.validRuns == b.validRuns && a.excludedRuns == b.excludedRuns &&
+         a.retriedFraction == b.retriedFraction &&
+         a.degradedFraction == b.degradedFraction &&
+         a.widenFactor == b.widenFactor &&
+         a.pointEstimate == b.pointEstimate;
+}
 
 /// Bit-exact row comparison — the ParallelRunner's determinism contract.
 bool identicalRows(const std::vector<ClassifierResult>& a,
@@ -41,7 +66,7 @@ bool identicalRows(const std::vector<ClassifierResult>& a,
         x.tukeyRemeasurements != y.tukeyRemeasurements ||
         x.degenerateBaseline != y.degenerateBaseline ||
         x.quality != y.quality || x.faultRetries != y.faultRetries ||
-        x.flagged != y.flagged) {
+        x.flagged != y.flagged || !identicalIntervals(x, y)) {
       return false;
     }
   }
@@ -57,8 +82,9 @@ double secondsSince(std::chrono::steady_clock::time_point t0) {
 
 int main(int argc, char** argv) {
   using namespace jepo;
-  bench::Flags flags(argc, argv, {"instances", "folds", "corpus-scale",
-                                  "trees", "threads", "paper-scale"});
+  bench::Flags flags(argc, argv,
+                     {"instances", "folds", "corpus-scale", "trees",
+                      "threads", "paper-scale", "intervals", "resamples"});
   bench::BenchReport report("bench_table4_weka", flags);
   experiments::WekaExperimentConfig cfg;
   cfg.instances =
@@ -74,6 +100,9 @@ int main(int argc, char** argv) {
     cfg.runs = 10;
     cfg.corpusScale = 1.0;
   }
+  cfg.intervals = flags.getBool("intervals");
+  cfg.bootstrap.resamples =
+      static_cast<int>(flags.getInt("resamples", cfg.bootstrap.resamples));
   cfg.faultPlan = bench::faultSpecFromFlags(flags);
   report.config("faultPlan",
                 cfg.faultPlan ? cfg.faultPlan->describe() : "none");
@@ -126,20 +155,7 @@ int main(int argc, char** argv) {
 
   for (const auto& r : results) {
     const auto paper = experiments::paperTable4Row(r.kind);
-    report.addRow({{"classifier", ml::classifierName(r.kind)},
-                   {"changes", r.changesFullScale},
-                   {"packageImprovementPct", r.packageImprovement},
-                   {"cpuImprovementPct", r.cpuImprovement},
-                   {"timeImprovementPct", r.timeImprovement},
-                   {"accuracyDropPct", r.accuracyDrop},
-                   {"accuracyBase", r.accuracyBase},
-                   {"basePackageJoules", r.basePackageJoules},
-                   {"optPackageJoules", r.optPackageJoules},
-                   {"quality", std::string(rapl::qualityName(r.quality))},
-                   {"faultRetries", r.faultRetries},
-                   {"flagged", r.flagged},
-                   {"tier", r.tier},
-                   {"samplingRate", r.samplingRate}});
+    report.addRow(experiments::table4JsonRow(r));
     table.addRow({std::string(ml::classifierName(r.kind)),
                   std::to_string(r.changesFullScale),
                   fixed(r.packageImprovement, 2), fixed(r.cpuImprovement, 2),
@@ -152,6 +168,11 @@ int main(int argc, char** argv) {
                       fixed(paper.accuracyDrop, 2)});
   }
   std::fputs(table.render().c_str(), stdout);
+  if (cfg.intervals) {
+    bench::printHeader("Table IV with 95% bootstrap intervals (resamples=" +
+                       std::to_string(cfg.bootstrap.resamples) + ")");
+    std::fputs(experiments::renderIntervalReport(results).c_str(), stdout);
+  }
   if (cfg.faultPlan) {
     int flaggedRows = 0;
     int retries = 0;

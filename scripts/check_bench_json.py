@@ -53,7 +53,22 @@ the build on:
     dropped work). When the config names an active transportPlan, the
     counters must include at least one "fault.transport."-prefixed
     counter (the FaultyStream publishes fault.transport.streams on
-    construction, so a silent plan is a bug).
+    construction, so a silent plan is a bug);
+  - malformed bootstrap intervals: a row carrying any interval field
+    (bench_table4_weka --intervals) must carry the whole set, each
+    Lo/Hi pair must bracket its reported point estimate
+    (lo <= point <= hi for base/opt joules and the improvement pct),
+    the retried/degraded fractions must sit in [0, 1], and the
+    published widen factor must equal 1 + 0.35*retried + 1.0*degraded
+    — the formula that makes interval width monotone in the degraded
+    fraction, so a drift here silently breaks the quality-widening
+    contract;
+  - a broken predictor ablation (bench_predictor): the report must
+    carry both the "with-dynamic" and "static-only" rows with sane
+    train/test counts and non-negative errors, and the with-dynamic
+    held-out relative error must be strictly below the static-only
+    one — the reproduced ordering; an inversion means the dynamic
+    execution-time feature stopped carrying signal.
 
 Usage: check_bench_json.py report.json [report2.json ...]
 
@@ -267,6 +282,133 @@ def check_tier_frontier(path, doc):
     return errors
 
 
+# The per-quality widening coefficients, mirroring src/stats/bootstrap.cpp
+# (kRetriedWiden / kDegradedWiden). The validator recomputes the factor so
+# a C++/validator drift fails loudly instead of silently re-narrowing CIs.
+RETRIED_WIDEN = 0.35
+DEGRADED_WIDEN = 1.00
+INTERVAL_KEYS = (
+    "basePackageJoulesLo", "basePackageJoulesHi",
+    "optPackageJoulesLo", "optPackageJoulesHi",
+    "packageImprovementLo", "packageImprovementHi",
+    "intervalValidRuns", "intervalExcludedRuns",
+    "retriedFraction", "degradedFraction",
+    "intervalWidenFactor", "intervalPointEstimate",
+)
+# (lo key, point-estimate key, hi key): each interval must bracket the
+# row's REPORTED value, not some internal re-estimate.
+INTERVAL_BRACKETS = (
+    ("basePackageJoulesLo", "basePackageJoules", "basePackageJoulesHi"),
+    ("optPackageJoulesLo", "optPackageJoules", "optPackageJoulesHi"),
+    ("packageImprovementLo", "packageImprovementPct",
+     "packageImprovementHi"),
+)
+
+
+def finite_number(value):
+    return (not isinstance(value, bool)
+            and isinstance(value, (int, float)))
+
+
+def check_interval_fields(path, row, where):
+    """Validate bootstrap-interval fields on rows that carry any of them."""
+    present = [key for key in INTERVAL_KEYS if key in row]
+    if not present:
+        return 0
+    errors = 0
+    missing = [key for key in INTERVAL_KEYS if key not in row]
+    if missing:
+        errors += fail(path, f"{where}: interval fields are all-or-nothing "
+                       f"but {', '.join(missing)} are missing "
+                       f"(present: {', '.join(present)})")
+        return errors
+    for lo_key, point_key, hi_key in INTERVAL_BRACKETS:
+        lo, point, hi = row[lo_key], row.get(point_key), row[hi_key]
+        if not (finite_number(lo) and finite_number(point)
+                and finite_number(hi)):
+            errors += fail(path, f"{where}: {lo_key}/{point_key}/{hi_key} "
+                           f"must all be numbers, got "
+                           f"{lo!r}/{point!r}/{hi!r}")
+            continue
+        if not lo <= point <= hi:
+            errors += fail(path, f"{where}: interval [{lo:.6g}, {hi:.6g}] "
+                           f"does not bracket the reported {point_key} "
+                           f"{point:.6g}")
+    for key in ("retriedFraction", "degradedFraction"):
+        value = row[key]
+        if not finite_number(value) or not 0 <= value <= 1:
+            errors += fail(path, f"{where}.{key} must be a number in "
+                           f"[0, 1], got {value!r}")
+    for key in ("intervalValidRuns", "intervalExcludedRuns"):
+        value = row[key]
+        if isinstance(value, bool) or not isinstance(value, int) \
+                or value < 0:
+            errors += fail(path, f"{where}.{key} must be a non-negative "
+                           f"integer, got {value!r}")
+    if not isinstance(row["intervalPointEstimate"], bool):
+        errors += fail(path, f"{where}.intervalPointEstimate must be a "
+                       f"boolean, got {row['intervalPointEstimate']!r}")
+    retried = row["retriedFraction"]
+    degraded = row["degradedFraction"]
+    factor = row["intervalWidenFactor"]
+    if finite_number(retried) and finite_number(degraded) \
+            and finite_number(factor):
+        expected = 1.0 + RETRIED_WIDEN * retried + DEGRADED_WIDEN * degraded
+        if abs(factor - expected) > 1e-9 * max(1.0, expected):
+            errors += fail(path, f"{where}: intervalWidenFactor "
+                           f"{factor:.9g} != 1 + {RETRIED_WIDEN}*retried + "
+                           f"{DEGRADED_WIDEN}*degraded = {expected:.9g} — "
+                           f"quality widening no longer monotone in the "
+                           f"degraded fraction")
+    return errors
+
+
+def check_predictor_report(path, doc):
+    """bench_predictor only: both ablation variants present and the
+    with-dynamic held-out error strictly below static-only."""
+    errors = 0
+    variants = {}
+    for i, row in enumerate(doc.get("rows", [])):
+        if not isinstance(row, dict):
+            continue
+        name = row.get("name")
+        if name not in ("with-dynamic", "static-only"):
+            continue
+        where = f"rows[{i}] ({name})"
+        if name in variants:
+            errors += fail(path, f"{where}: duplicate ablation row")
+            continue
+        ok = True
+        for key in ("meanAbsErrorJoules", "relativeError"):
+            value = row.get(key)
+            if not finite_number(value) or value < 0:
+                errors += fail(path, f"{where}: '{key}' must be a "
+                               f"non-negative number, got {value!r}")
+                ok = False
+        for key in ("trainMethods", "testMethods"):
+            value = row.get(key)
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value <= 0:
+                errors += fail(path, f"{where}: '{key}' must be a positive "
+                               f"integer, got {value!r}")
+                ok = False
+        if ok:
+            variants[name] = (row["relativeError"], where)
+    for name in ("with-dynamic", "static-only"):
+        if name not in variants:
+            errors += fail(path, f"bench_predictor report is missing a "
+                           f"well-formed '{name}' row")
+    if len(variants) == 2:
+        dyn, dyn_where = variants["with-dynamic"]
+        static, static_where = variants["static-only"]
+        if dyn >= static:
+            errors += fail(path, f"{dyn_where}: with-dynamic relativeError "
+                           f"{dyn:.6g} must be strictly below static-only "
+                           f"{static:.6g} ({static_where}) — the dynamic "
+                           f"feature no longer beats the static-only fit")
+    return errors
+
+
 def check_row_robustness(path, row, where):
     """Validate per-row measurement-quality bookkeeping where present."""
     errors = 0
@@ -301,7 +443,7 @@ def check_file(path):
     except (OSError, ValueError) as exc:
         return fail(path, f"unreadable or invalid JSON: {exc}")
 
-    # A baseline bundle (BENCH_PR9.json) is an array of reports.
+    # A baseline bundle (BENCH_PR10.json) is an array of reports.
     if isinstance(doc, list):
         if not doc:
             return fail(path, "baseline array is empty")
@@ -332,6 +474,7 @@ def check_report(path, doc):
                 errors += fail(path, f"rows[{i}] is not an object")
             else:
                 errors += check_row_robustness(path, row, f"rows[{i}]")
+                errors += check_interval_fields(path, row, f"rows[{i}]")
                 errors += check_tier_values(path, row, f"rows[{i}]")
                 errors += check_speedup_values(path, row, f"rows[{i}]")
                 errors += check_engine_pair_row(path, row, f"rows[{i}]")
@@ -364,6 +507,9 @@ def check_report(path, doc):
 
     if doc.get("bench") == "bench_tier_frontier":
         errors += check_tier_frontier(path, doc)
+
+    if doc.get("bench") == "bench_predictor":
+        errors += check_predictor_report(path, doc)
 
     if doc.get("bench") == "bench_jepod" and isinstance(doc["counters"], dict):
         for name in ("jepod.cancel.deadline", "jepod.cancel.disconnect"):

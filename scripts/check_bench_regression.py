@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Fail CI when a bench run regresses in wall-clock against the checked-in
-post-PR baseline (BENCH_PR9.json).
+post-PR baseline (BENCH_PR10.json).
 
 The baseline file holds one report, or a JSON array of reports, in the
 common {bench, config, rows[], wallMs, counters{}} schema; reports are
@@ -29,7 +29,7 @@ Tolerance defaults to 10% and can be widened for noisy runners with
 (the flag wins).
 
 Usage:
-  check_bench_regression.py --baseline=BENCH_PR9.json report.json [...]
+  check_bench_regression.py --baseline=BENCH_PR10.json report.json [...]
 
 Standard library only.
 """

@@ -42,6 +42,14 @@ run bench_fault_overhead --reps=3
 run bench_vm_micro --benchmark_min_time=0.01
 run bench_ml_micro --benchmark_min_time=0.01
 run bench_jepod --clients=1,4 --jobs=20 --sources=3
+run bench_predictor --programs=6
+
+# One intervals pass: the bootstrap CI fields must appear on every row and
+# satisfy the validator's bracketing + widen-factor checks.
+echo "--- bench_table4_weka --intervals"
+"$BENCH_DIR/bench_table4_weka" --runs=2 --instances=200 --intervals \
+  --resamples=50 --json="$OUT_DIR/bench_table4_weka_intervals.json" \
+  > "$OUT_DIR/bench_table4_weka_intervals.txt"
 
 # One fault-injected pass: flagged rows and degradation counters must show
 # up in the JSON (the validator enforces both) and nothing may crash.

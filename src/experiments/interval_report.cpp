@@ -1,0 +1,80 @@
+#include "experiments/interval_report.hpp"
+
+#include "ml/classifier.hpp"
+#include "rapl/quality.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace jepo::experiments {
+
+JsonRow table4JsonRow(const ClassifierResult& r) {
+  // Legacy schema first, in its frozen order — these bytes predate the
+  // probabilistic layer and goldens pin them.
+  JsonRow row = {{"classifier", ml::classifierName(r.kind)},
+                 {"changes", r.changesFullScale},
+                 {"packageImprovementPct", r.packageImprovement},
+                 {"cpuImprovementPct", r.cpuImprovement},
+                 {"timeImprovementPct", r.timeImprovement},
+                 {"accuracyDropPct", r.accuracyDrop},
+                 {"accuracyBase", r.accuracyBase},
+                 {"basePackageJoules", r.basePackageJoules},
+                 {"optPackageJoules", r.optPackageJoules},
+                 {"quality", std::string(rapl::qualityName(r.quality))},
+                 {"faultRetries", r.faultRetries},
+                 {"flagged", r.flagged},
+                 {"tier", r.tier},
+                 {"samplingRate", r.samplingRate}};
+  if (r.intervals) {
+    const ResultIntervals& iv = *r.intervals;
+    row.emplace_back("basePackageJoulesLo", iv.basePackage.lo);
+    row.emplace_back("basePackageJoulesHi", iv.basePackage.hi);
+    row.emplace_back("optPackageJoulesLo", iv.optPackage.lo);
+    row.emplace_back("optPackageJoulesHi", iv.optPackage.hi);
+    row.emplace_back("packageImprovementLo", iv.packageImprovement.lo);
+    row.emplace_back("packageImprovementHi", iv.packageImprovement.hi);
+    row.emplace_back("intervalValidRuns", iv.validRuns);
+    row.emplace_back("intervalExcludedRuns", iv.excludedRuns);
+    row.emplace_back("retriedFraction", iv.retriedFraction);
+    row.emplace_back("degradedFraction", iv.degradedFraction);
+    row.emplace_back("intervalWidenFactor", iv.widenFactor);
+    row.emplace_back("intervalPointEstimate", iv.pointEstimate);
+  }
+  return row;
+}
+
+namespace {
+
+std::string intervalCell(const stats::Interval& iv, int decimals) {
+  return fixed(iv.mean, decimals) + " [" + fixed(iv.lo, decimals) + ", " +
+         fixed(iv.hi, decimals) + "]";
+}
+
+}  // namespace
+
+std::string renderIntervalReport(const std::vector<ClassifierResult>& rows) {
+  TextTable table(
+      {"Classifiers", "Package Impr (%) [95% CI]", "Base (J) [95% CI]",
+       "Opt (J) [95% CI]", "Widen", "Runs (ok/excl)", "Quality"},
+      {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+       Align::kRight, Align::kRight, Align::kLeft});
+  for (const ClassifierResult& r : rows) {
+    JEPO_REQUIRE(r.intervals.has_value(),
+                 "interval report over a row without intervals "
+                 "(run with WekaExperimentConfig::intervals)");
+    const ResultIntervals& iv = *r.intervals;
+    std::string quality(rapl::qualityName(r.quality));
+    if (iv.pointEstimate) quality += " (point)";
+    table.addRow({std::string(ml::classifierName(r.kind)),
+                  intervalCell(iv.packageImprovement, 2),
+                  intervalCell(iv.basePackage, 1),
+                  intervalCell(iv.optPackage, 1),
+                  fixed(iv.widenFactor, 2) + "x",
+                  std::to_string(iv.validRuns) + "/" +
+                      std::to_string(iv.excludedRuns),
+                  quality});
+  }
+  return table.render();
+}
+
+}  // namespace jepo::experiments

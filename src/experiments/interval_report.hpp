@@ -1,0 +1,35 @@
+// The report layer for Table IV rows: one place that turns a
+// ClassifierResult into (a) the common --json row and (b) the
+// Table-IV-with-intervals text report.
+//
+// bench_table4_weka, jepo_cli and the golden test all render through these
+// helpers, so the byte-stability contract lives in exactly one function:
+// when a row carries no intervals the JSON fields and their order are
+// IDENTICAL to the pre-interval schema, and the interval fields are
+// appended after the legacy fields only when ResultIntervals is engaged —
+// old consumers that never asked for distributions keep parsing the same
+// bytes.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiments/weka_experiment.hpp"
+#include "support/json_writer.hpp"
+
+namespace jepo::experiments {
+
+using JsonRow = std::vector<std::pair<std::string, JsonValue>>;
+
+/// The common --json row for one Table IV result. Legacy field order is
+/// frozen (goldens pin it); interval fields are omitted-when-absent.
+JsonRow table4JsonRow(const ClassifierResult& r);
+
+/// The Table-IV-with-intervals text report: per classifier the package
+/// improvement and both absolute energies as "mean [lo, hi]" 95% bootstrap
+/// intervals, plus the quality bookkeeping that widened them. Requires
+/// every row to carry intervals (run with WekaExperimentConfig::intervals).
+std::string renderIntervalReport(const std::vector<ClassifierResult>& rows);
+
+}  // namespace jepo::experiments

@@ -151,6 +151,114 @@ stats::IndexedMeasure makeStyleMeasure(ClassifierKind kind,
   };
 }
 
+/// Ordinal-stream tag for the bootstrap resamples, keeping the interval
+/// streams disjoint from the measurement-noise streams (which derive from
+/// (seed, kind, style) without a tag).
+constexpr std::uint64_t kIntervalSeedTag = 0xB007u;
+
+/// Split one style's final package-joule column into the rows the bootstrap
+/// may resample, folding the excluded/retried/degraded tallies into the
+/// row-level pooled bookkeeping.
+std::vector<double> survivingPackageColumn(const stats::ProtocolResult& proto,
+                                           int& retried, int& degraded,
+                                           int& excluded) {
+  const auto qualityCol = static_cast<std::size_t>(detail::kQualityColumn);
+  std::vector<double> valid;
+  valid.reserve(proto.runs.size());
+  for (const auto& run : proto.runs) {
+    const int quality = run.size() > qualityCol
+                            ? static_cast<int>(run[qualityCol] + 0.5)
+                            : stats::kQualityOk;
+    if (quality >= stats::kQualityInvalid) {
+      ++excluded;
+      continue;
+    }
+    valid.push_back(run.empty() ? 0.0 : run[0]);
+    if (quality == stats::kQualityRetried) ++retried;
+    if (quality == stats::kQualityDegraded) ++degraded;
+  }
+  return valid;
+}
+
+/// The probabilistic layer of one row: bootstrap the package-joule columns
+/// of both styles and the paired improvement ratio, widen everything by the
+/// pooled quality factor. Centers are the REPORTED point estimates (the
+/// protocol means), so lo <= reported <= hi holds by construction even when
+/// excluded rows shift the survivors' mean.
+ResultIntervals computeIntervals(ClassifierKind kind,
+                                 const stats::ProtocolResult& base,
+                                 const stats::ProtocolResult& opt,
+                                 const ClassifierResult& row,
+                                 const WekaExperimentConfig& config) {
+  ResultIntervals out;
+  int retried = 0;
+  int degraded = 0;
+  const std::vector<double> baseValid =
+      survivingPackageColumn(base, retried, degraded, out.excludedRuns);
+  const std::vector<double> optValid =
+      survivingPackageColumn(opt, retried, degraded, out.excludedRuns);
+  out.validRuns = static_cast<int>(baseValid.size() + optValid.size());
+  if (out.validRuns > 0) {
+    out.retriedFraction =
+        static_cast<double>(retried) / static_cast<double>(out.validRuns);
+    out.degradedFraction =
+        static_cast<double>(degraded) / static_cast<double>(out.validRuns);
+  }
+  out.widenFactor =
+      stats::qualityWidenFactor(out.retriedFraction, out.degradedFraction);
+
+  const auto point = [](double center) {
+    return stats::Interval{center, center, center};
+  };
+  if (baseValid.size() < 2 || optValid.size() < 2) {
+    out.pointEstimate = true;
+    out.basePackage = point(row.basePackageJoules);
+    out.optPackage = point(row.optPackageJoules);
+    out.packageImprovement = point(row.packageImprovement);
+    return out;
+  }
+
+  const auto kindU = static_cast<std::uint64_t>(kind);
+  const std::vector<double> baseMeans = stats::bootstrapMeans(
+      baseValid, config.bootstrap.resamples,
+      deriveSeed(config.seed, kIntervalSeedTag, kindU, 0),
+      stats::serialExecutor());
+  const std::vector<double> optMeans = stats::bootstrapMeans(
+      optValid, config.bootstrap.resamples,
+      deriveSeed(config.seed, kIntervalSeedTag, kindU, 1),
+      stats::serialExecutor());
+  out.basePackage =
+      stats::widen(stats::percentileInterval(baseMeans, row.basePackageJoules,
+                                             config.bootstrap.confidence),
+                   out.widenFactor);
+  out.optPackage =
+      stats::widen(stats::percentileInterval(optMeans, row.optPackageJoules,
+                                             config.bootstrap.confidence),
+                   out.widenFactor);
+
+  // Improvement interval from PAIRED resamples: resample b of both styles
+  // shares the ordinal b, so the ratio distribution reflects joint
+  // variation. Flagged/degenerate rows report a zeroed improvement — keep
+  // the interval at that point rather than resampling around a value the
+  // row refused to claim.
+  std::vector<double> improvements;
+  improvements.reserve(baseMeans.size());
+  for (std::size_t b = 0; b < baseMeans.size(); ++b) {
+    if (baseMeans[b] > 0.0) {
+      improvements.push_back((1.0 - optMeans[b] / baseMeans[b]) * 100.0);
+    }
+  }
+  if (row.flagged || row.degenerateBaseline || improvements.size() < 2) {
+    out.packageImprovement = point(row.packageImprovement);
+  } else {
+    out.packageImprovement = stats::widen(
+        stats::percentileInterval(improvements, row.packageImprovement,
+                                  config.bootstrap.confidence),
+        out.widenFactor);
+  }
+  return out;
+}
+
 }  // namespace
 
 namespace detail {
@@ -267,6 +375,14 @@ ClassifierResult assembleResult(ClassifierKind kind,
   if (tierSpec.tier == jvm::InstrTier::kSampled) {
     result.samplingRate =
         1.0 / static_cast<double>(tierSpec.sampleEvery);
+  }
+
+  // The probabilistic layer rides last so its inputs are the fully folded
+  // row. Computed here — the shared tail of the serial path and the
+  // ParallelRunner — and seeded from (config.seed, tag, kind, style), so
+  // intervals inherit the pipeline's any-thread-count bit-identity.
+  if (config.intervals) {
+    result.intervals = computeIntervals(kind, base, opt, result, config);
   }
   return result;
 }

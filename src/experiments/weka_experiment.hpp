@@ -27,6 +27,7 @@
 #include "fault/fault.hpp"
 #include "ml/classifier.hpp"
 #include "rapl/quality.hpp"
+#include "stats/bootstrap.hpp"
 #include "stats/protocol.hpp"
 #include "support/thread_pool.hpp"
 
@@ -70,6 +71,34 @@ struct WekaExperimentConfig {
   /// records which profiling tier the surrounding pipeline used — rows
   /// carry it into the common --json schema alongside quality/flagged.
   std::string tier = "full";
+  /// Compute seeded bootstrap confidence intervals over the final
+  /// (post-Tukey) run matrix (stats/bootstrap.hpp). Off by default: the
+  /// point estimates, row fields and --json bytes stay identical to the
+  /// pre-interval pipeline. The bootstrap's own seed field is ignored —
+  /// every interval derives its resample streams from (seed, classifier,
+  /// style), so rows are bit-identical at any thread count.
+  bool intervals = false;
+  stats::BootstrapConfig bootstrap;
+};
+
+/// The probabilistic layer of one Table IV row: bootstrap confidence
+/// intervals around the reported package-joule and improvement point
+/// estimates, plus the quality bookkeeping that widened them. Pooled
+/// counts/fractions cover the final runs of BOTH styles; all three
+/// intervals are widened by the same pooled factor so a degrading fault
+/// plan widens the whole row monotonically.
+struct ResultIntervals {
+  stats::Interval basePackage;
+  stats::Interval optPackage;
+  stats::Interval packageImprovement;
+  int validRuns = 0;              // resampled rows across both styles
+  int excludedRuns = 0;           // kInvalid rows excluded-but-counted
+  double retriedFraction = 0.0;   // of valid rows, pooled
+  double degradedFraction = 0.0;  // of valid rows, pooled
+  double widenFactor = 1.0;       // qualityWidenFactor of the fractions
+  /// Either style had fewer than two valid runs: intervals collapsed to
+  /// the point estimates instead of resampling (never aborts the row).
+  bool pointEstimate = false;
 };
 
 struct ClassifierResult {
@@ -103,6 +132,10 @@ struct ClassifierResult {
   /// (1/N for sampled:N, 1.0 otherwise).
   std::string tier = "full";
   double samplingRate = 1.0;
+  /// Bootstrap confidence intervals over the final run matrix; engaged only
+  /// when WekaExperimentConfig::intervals is set, so consumers that never
+  /// asked for distributions see byte-identical rows.
+  std::optional<ResultIntervals> intervals;
 };
 
 /// Run the pipeline for one classifier (always serial; bit-identical to the

@@ -1,0 +1,89 @@
+#include "predict/features.hpp"
+
+#include <algorithm>
+
+#include "jbc/code.hpp"
+#include "jbc/compiler.hpp"
+
+namespace jepo::predict {
+
+namespace {
+
+using jlang::Expr;
+using jlang::ExprKind;
+using jlang::Stmt;
+using jlang::StmtKind;
+
+/// Accumulates call count and max loop depth over one method body.
+struct ShapeWalk {
+  double calls = 0.0;
+  int maxLoopDepth = 0;
+
+  void expr(const Expr* e, int depth) {
+    if (!e) return;
+    if (e->kind == ExprKind::kCall || e->kind == ExprKind::kNew) {
+      calls += 1.0;
+    }
+    expr(e->a.get(), depth);
+    expr(e->b.get(), depth);
+    expr(e->c.get(), depth);
+    for (const auto& arg : e->args) expr(arg.get(), depth);
+  }
+
+  void stmt(const Stmt* s, int depth) {
+    if (!s) return;
+    const bool loop =
+        s->kind == StmtKind::kWhile || s->kind == StmtKind::kFor;
+    if (loop) {
+      ++depth;
+      maxLoopDepth = std::max(maxLoopDepth, depth);
+    }
+    expr(s->init.get(), depth);
+    expr(s->expr.get(), depth);
+    expr(s->cond.get(), depth);
+    for (const auto& u : s->update) expr(u.get(), depth);
+    for (const auto& child : s->body) stmt(child.get(), depth);
+    stmt(s->thenStmt.get(), depth);
+    stmt(s->elseStmt.get(), depth);
+    stmt(s->tryBlock.get(), depth);
+    for (const auto& c : s->catches) stmt(c.body.get(), depth);
+    stmt(s->finallyBlock.get(), depth);
+    for (const auto& sc : s->cases) {
+      for (const auto& child : sc.body) stmt(child.get(), depth);
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<MethodFeatures> extractFeatures(const jlang::Program& program) {
+  const jbc::CompiledProgram compiled = jbc::compile(program);
+
+  std::vector<MethodFeatures> out;
+  for (const auto& unit : program.units) {
+    for (const auto& cls : unit.classes) {
+      for (const auto& method : cls.methods) {
+        MethodFeatures f;
+        f.method = cls.name + "." + method.name;
+
+        ShapeWalk walk;
+        walk.stmt(method.body.get(), 0);
+        f.callCount = walk.calls;
+        f.loopDepth = static_cast<double>(walk.maxLoopDepth);
+
+        const auto clsIt = compiled.classes.find(cls.name);
+        if (clsIt != compiled.classes.end()) {
+          const auto chunkIt = clsIt->second.methods.find(method.name);
+          if (chunkIt != clsIt->second.methods.end()) {
+            f.bytecodeLen =
+                static_cast<double>(chunkIt->second.code.size());
+          }
+        }
+        out.push_back(std::move(f));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace jepo::predict

@@ -1,0 +1,32 @@
+// Static per-method features for the energy predictor.
+//
+// "Static Metrics Are Insufficient" (PAPERS.md) predicts per-method energy
+// from execution time plus static code shape; this module supplies the
+// static half: bytecode length from the jbc compiler's chunks, and call
+// count / loop depth from a resolve-free AST walk. Features are a pure
+// function of the program text, so the predictor's inputs replay exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jlang/ast.hpp"
+
+namespace jepo::predict {
+
+/// Static shape of one method, keyed by "Class.method" — the same
+/// qualified-name convention as the profiler's MethodTotals, so the two
+/// sides join by string equality.
+struct MethodFeatures {
+  std::string method;
+  double bytecodeLen = 0.0;  // jbc chunk instruction count
+  double callCount = 0.0;    // kCall + kNew expressions in the body
+  double loopDepth = 0.0;    // max while/for nesting depth
+};
+
+/// Features for every declared method of the program, in (unit, class,
+/// method) declaration order. Compiles the program with jbc for the
+/// bytecode lengths; the AST walk never needs resolution.
+std::vector<MethodFeatures> extractFeatures(const jlang::Program& program);
+
+}  // namespace jepo::predict

@@ -1,0 +1,172 @@
+#include "predict/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace jepo::predict {
+
+namespace {
+
+/// Ordinal-stream tag for the held-out split, disjoint from every other
+/// deriveSeed consumer.
+constexpr std::uint64_t kHoldoutTag = 0x5917u;
+
+/// Solve A w = b in place by Gaussian elimination with partial pivoting.
+/// A is dim x dim row-major. Throws on a singular system (ridge damping
+/// makes that unreachable for any ridge > 0).
+std::vector<double> solve(std::vector<double> a, std::vector<double> b,
+                          std::size_t dim) {
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < dim; ++r) {
+      if (std::fabs(a[r * dim + col]) > std::fabs(a[pivot * dim + col])) {
+        pivot = r;
+      }
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < dim; ++c) {
+        std::swap(a[col * dim + c], a[pivot * dim + c]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * dim + col];
+    JEPO_REQUIRE(std::fabs(diag) > 0.0, "singular normal equations");
+    for (std::size_t r = col + 1; r < dim; ++r) {
+      const double factor = a[r * dim + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < dim; ++c) {
+        a[r * dim + c] -= factor * a[col * dim + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> w(dim, 0.0);
+  for (std::size_t r = dim; r-- > 0;) {
+    double acc = b[r];
+    for (std::size_t c = r + 1; c < dim; ++c) {
+      acc -= a[r * dim + c] * w[c];
+    }
+    w[r] = acc / a[r * dim + r];
+  }
+  return w;
+}
+
+}  // namespace
+
+LinearModel LinearModel::fit(const std::vector<Sample>& samples,
+                             double ridge) {
+  JEPO_REQUIRE(!samples.empty(), "fit over an empty sample set");
+  const std::size_t dim = samples.front().features.size();
+  JEPO_REQUIRE(dim >= 1, "samples need at least one feature column");
+
+  // Normal equations: (X^T X + ridge I) w = X^T y.
+  std::vector<double> xtx(dim * dim, 0.0);
+  std::vector<double> xty(dim, 0.0);
+  for (const Sample& s : samples) {
+    JEPO_REQUIRE(s.features.size() == dim, "ragged feature matrix");
+    for (std::size_t r = 0; r < dim; ++r) {
+      xty[r] += s.features[r] * s.packageJoules;
+      for (std::size_t c = 0; c < dim; ++c) {
+        xtx[r * dim + c] += s.features[r] * s.features[c];
+      }
+    }
+  }
+  for (std::size_t d = 0; d < dim; ++d) xtx[d * dim + d] += ridge;
+
+  LinearModel model;
+  model.weights_ = solve(std::move(xtx), std::move(xty), dim);
+  return model;
+}
+
+double LinearModel::predict(const std::vector<double>& features) const {
+  JEPO_REQUIRE(features.size() == weights_.size(),
+               "feature/weight dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    acc += weights_[i] * features[i];
+  }
+  return acc;
+}
+
+std::vector<Sample> joinSamples(const std::vector<MethodFeatures>& features,
+                                const std::vector<DynamicRecord>& records,
+                                bool useDynamic) {
+  std::vector<Sample> out;
+  out.reserve(records.size());
+  for (const DynamicRecord& rec : records) {
+    const auto it = std::find_if(
+        features.begin(), features.end(),
+        [&rec](const MethodFeatures& f) { return f.method == rec.method; });
+    if (it == features.end()) continue;
+    Sample s;
+    s.method = rec.method;
+    s.packageJoules = rec.packageJoules;
+    s.features.push_back(1.0);
+    if (useDynamic) s.features.push_back(rec.seconds);
+    s.features.push_back(it->bytecodeLen);
+    s.features.push_back(it->callCount);
+    s.features.push_back(it->loopDepth);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const Sample& a, const Sample& b) {
+    return a.method < b.method;
+  });
+  return out;
+}
+
+EvalResult evaluateHoldout(const std::vector<Sample>& samples,
+                           const PredictorConfig& config) {
+  JEPO_REQUIRE(samples.size() >= 2,
+               "held-out evaluation needs at least two samples");
+
+  // Per-index coin flips: sample i's side is a pure function of
+  // (seed, i), so the split replays exactly and never depends on how the
+  // records were gathered.
+  std::vector<bool> heldOut(samples.size(), false);
+  std::size_t testCount = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    Rng rng(deriveSeed(config.seed, kHoldoutTag,
+                       static_cast<std::uint64_t>(i)));
+    heldOut[i] = rng.nextDouble() < config.holdoutFraction;
+    if (heldOut[i]) ++testCount;
+  }
+  // Degenerate splits (tiny corpora, extreme fractions): hold out exactly
+  // the last sample so both sides stay populated.
+  if (testCount == 0 || testCount == samples.size()) {
+    std::fill(heldOut.begin(), heldOut.end(), false);
+    heldOut.back() = true;
+  }
+
+  std::vector<Sample> train;
+  std::vector<const Sample*> test;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (heldOut[i]) {
+      test.push_back(&samples[i]);
+    } else {
+      train.push_back(samples[i]);
+    }
+  }
+
+  const LinearModel model = LinearModel::fit(train, config.ridge);
+  double absErr = 0.0;
+  double absActual = 0.0;
+  for (const Sample* s : test) {
+    absErr += std::fabs(model.predict(s->features) - s->packageJoules);
+    absActual += std::fabs(s->packageJoules);
+  }
+
+  EvalResult result;
+  result.trainMethods = static_cast<int>(train.size());
+  result.testMethods = static_cast<int>(test.size());
+  result.meanAbsError = absErr / static_cast<double>(test.size());
+  const double meanActual = absActual / static_cast<double>(test.size());
+  result.relativeError =
+      meanActual > 0.0 ? result.meanAbsError / meanActual : 0.0;
+  result.weights = model.weights();
+  return result;
+}
+
+}  // namespace jepo::predict

@@ -1,0 +1,90 @@
+// The learned per-method energy predictor: ordinary least squares over
+// execution time (the dynamic feature) + static code shape, with a
+// deterministic held-out-methods evaluation.
+//
+// The experiment the module exists for is the ablation: fit once WITH the
+// dynamic feature and once WITHOUT, and compare held-out error. "Static
+// Metrics Are Insufficient" claims the dynamic variant wins — static shape
+// cannot know how often a loop body actually ran — and bench_predictor +
+// check_bench_json.py gate that ordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predict/features.hpp"
+
+namespace jepo::predict {
+
+/// One method's dynamic profile: the join key, the measured execution time
+/// (the dynamic feature) and the package-joule target. Produced from any
+/// per-method record source (core::Profiler::totals() in the benches; the
+/// struct is plain so tests can synthesize records directly).
+struct DynamicRecord {
+  std::string method;
+  double seconds = 0.0;
+  double packageJoules = 0.0;
+};
+
+/// One training/evaluation sample after joining static + dynamic sides.
+struct Sample {
+  std::string method;
+  std::vector<double> features;  // [1, (seconds), bytecodeLen, calls, depth]
+  double packageJoules = 0.0;
+};
+
+struct PredictorConfig {
+  /// Held-out split stream: sample i is held out iff
+  /// Rng(deriveSeed(seed, kHoldoutTag, i)).nextDouble() < holdoutFraction —
+  /// a pure function of (seed, index), independent of thread count.
+  std::uint64_t seed = 2020;
+  double holdoutFraction = 0.30;
+  /// Tikhonov damping added to the normal equations' diagonal; keeps the
+  /// 5x5 solve stable when a feature is constant across a tiny corpus.
+  double ridge = 1e-9;
+  /// Include the execution-time column (the ablation switch).
+  bool useDynamic = true;
+};
+
+/// Linear model fitted by least squares on the normal equations
+/// (X^T X + ridge I) w = X^T y, solved by partial-pivot Gaussian
+/// elimination — the design never exceeds five columns.
+class LinearModel {
+ public:
+  static LinearModel fit(const std::vector<Sample>& samples, double ridge);
+  double predict(const std::vector<double>& features) const;
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Held-out evaluation of one configuration.
+struct EvalResult {
+  int trainMethods = 0;
+  int testMethods = 0;
+  double meanAbsError = 0.0;  // joules, over held-out methods
+  /// meanAbsError / mean(|actual|) over held-out methods — the
+  /// scale-free number the with/without-dynamic ablation compares.
+  double relativeError = 0.0;
+  std::vector<double> weights;
+};
+
+/// Join static features with dynamic records by qualified method name;
+/// methods missing from either side are dropped. Output is sorted by
+/// method name, so the held-out split depends only on the joined set, not
+/// on the order records were collected in. Feature layout per sample:
+/// [1, seconds (iff useDynamic), bytecodeLen, callCount, loopDepth].
+std::vector<Sample> joinSamples(const std::vector<MethodFeatures>& features,
+                                const std::vector<DynamicRecord>& records,
+                                bool useDynamic);
+
+/// Deterministic held-out-methods evaluation: split by the config's seed
+/// stream, fit on the kept methods, report error on the held-out ones.
+/// A split that would leave either side empty falls back to leave-one-out
+/// of the last sample, so tiny corpora evaluate instead of throwing.
+EvalResult evaluateHoldout(const std::vector<Sample>& samples,
+                           const PredictorConfig& config);
+
+}  // namespace jepo::predict

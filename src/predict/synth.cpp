@@ -1,0 +1,111 @@
+#include "predict/synth.hpp"
+
+#include "jlang/parser.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace jepo::predict {
+
+namespace {
+
+constexpr std::uint64_t kSynthTag = 0x59A7u;
+
+/// One program's source text. The worker class spans the feature axes:
+/// spin (1 loop), nest (2 loops), deep (3 loops), chain (call fan-out,
+/// no loops of its own), pad (straight-line arithmetic whose length —
+/// hence bytecodeLen — varies with the seed). Iteration counts are drawn
+/// per program, so two methods with identical static shape can burn very
+/// different energy.
+std::string renderProgram(int index, Rng& rng) {
+  const std::string w = "W" + std::to_string(index);
+  const std::string m = "M" + std::to_string(index);
+  const auto draw = [&rng](std::uint64_t lo, std::uint64_t hi) {
+    return std::to_string(lo + rng.nextBelow(hi - lo + 1));
+  };
+  const std::string spinIters = draw(40, 400);
+  const std::string nestOuter = draw(8, 40);
+  const std::string nestInner = draw(8, 40);
+  const std::string deepIters = draw(3, 10);
+  const int chainCalls = static_cast<int>(2 + rng.nextBelow(5));
+  const int padOps = static_cast<int>(4 + rng.nextBelow(24));
+
+  std::string chainBody;
+  for (int i = 0; i < chainCalls; ++i) {
+    chainBody += "    acc = acc + spin(n + " + std::to_string(i) + ");\n";
+  }
+  std::string padBody;
+  for (int i = 0; i < padOps; ++i) {
+    padBody += "    acc = acc * 31 + " + std::to_string(i + 1) + ";\n";
+  }
+
+  std::string src;
+  src += "class " + w + " {\n";
+  src += "  int spin(int n) {\n";
+  src += "    int acc = 0;\n";
+  src += "    for (int i = 0; i < n; i++) { acc = acc * 17 + i; }\n";
+  src += "    return acc;\n";
+  src += "  }\n";
+  src += "  int nest(int n, int m) {\n";
+  src += "    int acc = 0;\n";
+  src += "    for (int i = 0; i < n; i++) {\n";
+  src += "      for (int j = 0; j < m; j++) { acc = acc + i * j; }\n";
+  src += "    }\n";
+  src += "    return acc;\n";
+  src += "  }\n";
+  src += "  int deep(int n) {\n";
+  src += "    int acc = 0;\n";
+  src += "    for (int i = 0; i < n; i++) {\n";
+  src += "      for (int j = 0; j < n; j++) {\n";
+  src += "        int k = 0;\n";
+  src += "        while (k < n) { acc = acc + k; k++; }\n";
+  src += "      }\n";
+  src += "    }\n";
+  src += "    return acc;\n";
+  src += "  }\n";
+  src += "  int chain(int n) {\n";
+  src += "    int acc = 0;\n";
+  src += chainBody;
+  src += "    return acc;\n";
+  src += "  }\n";
+  src += "  int pad(int n) {\n";
+  src += "    int acc = n;\n";
+  src += padBody;
+  src += "    return acc;\n";
+  src += "  }\n";
+  src += "}\n\n";
+  src += "class " + m + " {\n";
+  src += "  static void main(String[] args) {\n";
+  src += "    " + w + " work = new " + w + "();\n";
+  src += "    int total = 0;\n";
+  src += "    total = total + work.spin(" + spinIters + ");\n";
+  src += "    total = total + work.nest(" + nestOuter + ", " + nestInner +
+         ");\n";
+  src += "    total = total + work.deep(" + deepIters + ");\n";
+  src += "    total = total + work.chain(" + draw(20, 120) + ");\n";
+  src += "    total = total + work.pad(" + draw(1, 50) + ");\n";
+  src += "    System.out.println(total);\n";
+  src += "  }\n";
+  src += "}\n";
+  return src;
+}
+
+}  // namespace
+
+std::vector<SynthProgram> synthesizeCorpus(int count, std::uint64_t seed) {
+  JEPO_REQUIRE(count >= 1, "synthetic corpus needs at least one program");
+  std::vector<SynthProgram> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng rng(deriveSeed(seed, kSynthTag, static_cast<std::uint64_t>(i)));
+    SynthProgram sp;
+    sp.name = "synth" + std::to_string(i);
+    sp.mainClass = "M" + std::to_string(i);
+    sp.program = jlang::Parser::parseProgram(sp.name + ".mjava",
+                                             renderProgram(i, rng));
+    out.push_back(std::move(sp));
+  }
+  return out;
+}
+
+}  // namespace jepo::predict

@@ -1,0 +1,30 @@
+// Seeded synthetic MiniJava corpus for the predictor: small runnable
+// programs whose methods vary in loop depth, call fan-out and arithmetic
+// payload (spanning the static features) AND in iteration counts the
+// static features cannot see — the variation that makes the dynamic
+// execution-time feature genuinely informative, reproducing the setting of
+// "Static Metrics Are Insufficient".
+//
+// Generation is a pure function of (count, seed): class names carry the
+// program index (W<i>/M<i>), so qualified method names stay unique when
+// many programs' profiles are pooled into one training set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jlang/ast.hpp"
+
+namespace jepo::predict {
+
+struct SynthProgram {
+  std::string name;        // "synth<i>"
+  std::string mainClass;   // "M<i>"
+  jlang::Program program;  // parsed, runnable (M<i>.main)
+};
+
+/// Generate `count` programs from the seed. Throws on count < 1.
+std::vector<SynthProgram> synthesizeCorpus(int count, std::uint64_t seed);
+
+}  // namespace jepo::predict

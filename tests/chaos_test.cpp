@@ -409,6 +409,49 @@ TEST(ExperimentChaos, RetryableFaultsLeaveScienceColumnsBitIdentical) {
       << "the plan injected nothing — the assertion proved nothing";
 }
 
+// The probabilistic acceptance criterion: on the SAME seed, a fault plan
+// that degrades measurement quality must STRICTLY widen the bootstrap
+// interval. The transient-only plan is the controlled lever — it leaves
+// every science value bit-identical to the fault-free run (pinned above),
+// so the surviving rows and their resample streams are identical and the
+// only difference is the quality tags driving the widen factor.
+TEST(ExperimentChaos, DegradedQualityStrictlyWidensIntervalsOnSameSeed) {
+  auto cleanCfg = chaosFastConfig();
+  cleanCfg.withNoise = true;  // nonzero run-to-run variance to widen
+  cleanCfg.intervals = true;
+  cleanCfg.bootstrap.resamples = 80;
+  const auto clean = experiments::runClassifierExperiment(
+      ml::ClassifierKind::kNaiveBayes, cleanCfg);
+
+  auto faultCfg = cleanCfg;
+  faultCfg.faultPlan = fault::parseFaultPlan("transient:seed=8");
+  const auto faulted = experiments::runClassifierExperiment(
+      ml::ClassifierKind::kNaiveBayes, faultCfg);
+
+  ASSERT_TRUE(clean.intervals.has_value());
+  ASSERT_TRUE(faulted.intervals.has_value());
+  const auto& a = *clean.intervals;
+  const auto& b = *faulted.intervals;
+
+  // Same science, same resamples — the pinned precondition.
+  EXPECT_DOUBLE_EQ(faulted.basePackageJoules, clean.basePackageJoules);
+  EXPECT_DOUBLE_EQ(faulted.optPackageJoules, clean.optPackageJoules);
+  ASSERT_GT(b.retriedFraction, 0.0)
+      << "the plan tagged no rows — the widening assertion proves nothing";
+  EXPECT_GT(b.widenFactor, a.widenFactor);
+  EXPECT_EQ(a.widenFactor, 1.0);
+
+  // Strict widening of every interval the row reports.
+  ASSERT_GT(a.basePackage.width(), 0.0) << "degenerate clean interval";
+  EXPECT_GT(b.basePackage.width(), a.basePackage.width());
+  EXPECT_GT(b.optPackage.width(), a.optPackage.width());
+  EXPECT_GT(b.packageImprovement.width(), a.packageImprovement.width());
+
+  // And the interval still brackets the (unchanged) point estimate.
+  EXPECT_LE(b.basePackage.lo, faulted.basePackageJoules);
+  EXPECT_GE(b.basePackage.hi, faulted.basePackageJoules);
+}
+
 TEST(ExperimentChaos, FaultPlanMatrixIsBitIdenticalAcrossThreadCounts) {
   // The tentpole determinism claim at matrix scale: chaos plan included,
   // thread count must not change a single bit of any row.

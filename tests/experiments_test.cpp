@@ -142,6 +142,83 @@ TEST(Experiments, ParallelRunnerIsBitIdenticalToSerial) {
   }
 }
 
+bool sameIntervals(const ResultIntervals& a, const ResultIntervals& b) {
+  const auto same = [](const stats::Interval& p, const stats::Interval& q) {
+    return p.lo == q.lo && p.mean == q.mean && p.hi == q.hi;
+  };
+  return same(a.basePackage, b.basePackage) &&
+         same(a.optPackage, b.optPackage) &&
+         same(a.packageImprovement, b.packageImprovement) &&
+         a.validRuns == b.validRuns && a.excludedRuns == b.excludedRuns &&
+         a.retriedFraction == b.retriedFraction &&
+         a.degradedFraction == b.degradedFraction &&
+         a.widenFactor == b.widenFactor &&
+         a.pointEstimate == b.pointEstimate;
+}
+
+// The probabilistic layer inherits the pipeline's determinism contract:
+// bootstrap intervals are bit-identical across reruns and thread counts
+// for a fixed seed (the resample streams derive from ordinals, never from
+// scheduling).
+TEST(Experiments, IntervalsAreBitIdenticalAcrossRerunsAndThreadCounts) {
+  WekaExperimentConfig cfg = fastConfig();
+  cfg.instances = 200;
+  cfg.withNoise = true;
+  cfg.intervals = true;
+  cfg.bootstrap.resamples = 80;
+
+  WekaExperimentConfig serialCfg = cfg;
+  serialCfg.parallel.threads = 1;
+  const auto serial = runWekaExperiment(serialCfg);
+  const auto rerun = runWekaExperiment(serialCfg);
+
+  ASSERT_EQ(serial.size(), rerun.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].intervals.has_value());
+    ASSERT_TRUE(rerun[i].intervals.has_value());
+    EXPECT_TRUE(sameIntervals(*serial[i].intervals, *rerun[i].intervals))
+        << "rerun drifted at row " << i;
+  }
+
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
+    WekaExperimentConfig parallelCfg = cfg;
+    parallelCfg.parallel.threads = threads;
+    const auto parallel = runWekaExperiment(parallelCfg);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_TRUE(parallel[i].intervals.has_value());
+      EXPECT_TRUE(
+          sameIntervals(*serial[i].intervals, *parallel[i].intervals))
+          << "row " << i << " differs at " << threads << " threads";
+    }
+  }
+}
+
+TEST(Experiments, IntervalsBracketTheReportedPointEstimates) {
+  WekaExperimentConfig cfg = fastConfig();
+  cfg.withNoise = true;  // nonzero run-to-run variance
+  cfg.intervals = true;
+  const ClassifierResult r =
+      runClassifierExperiment(ClassifierKind::kJ48, cfg);
+  ASSERT_TRUE(r.intervals.has_value());
+  const ResultIntervals& iv = *r.intervals;
+  EXPECT_LE(iv.basePackage.lo, r.basePackageJoules);
+  EXPECT_GE(iv.basePackage.hi, r.basePackageJoules);
+  EXPECT_LE(iv.optPackage.lo, r.optPackageJoules);
+  EXPECT_GE(iv.optPackage.hi, r.optPackageJoules);
+  EXPECT_LE(iv.packageImprovement.lo, r.packageImprovement);
+  EXPECT_GE(iv.packageImprovement.hi, r.packageImprovement);
+  EXPECT_EQ(iv.validRuns, 2 * static_cast<int>(cfg.runs));
+  EXPECT_EQ(iv.widenFactor, 1.0);  // clean run: no quality penalty
+  EXPECT_FALSE(iv.pointEstimate);
+}
+
+TEST(Experiments, IntervalsOffLeavesRowsWithoutThem) {
+  const ClassifierResult r =
+      runClassifierExperiment(ClassifierKind::kNaiveBayes, fastConfig());
+  EXPECT_FALSE(r.intervals.has_value());
+}
+
 // Same contract with a fault plan attached: the retry/backoff schedule is
 // derived from measurement identity, never from thread interleaving, so a
 // fault-injected matrix is bit-identical at 1, 4 and 8 threads — including

@@ -1,0 +1,145 @@
+// Golden-byte pinning for the probabilistic report layer:
+//
+//   1. The common --json row of a ClassifierResult WITHOUT intervals must
+//      keep the exact legacy bytes — field set, order and formatting — so
+//      consumers written before the probabilistic layer parse unchanged
+//      artifacts (pinned both structurally and against a hand-written
+//      expected string).
+//   2. The Table-IV-with-intervals report and the interval-bearing JSON
+//      rows are pinned against a captured golden: the experiment pipeline
+//      is a pure function of its config, so the bytes replay on any
+//      machine at any thread count.
+//
+// Regenerating (only when intentionally changing the report format):
+//   JEPO_CAPTURE_GOLDENS=1 ./interval_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "experiments/interval_report.hpp"
+#include "experiments/weka_experiment.hpp"
+#include "support/json_writer.hpp"
+
+#ifndef JEPO_REPO_DIR
+#error "interval_golden_test needs -DJEPO_REPO_DIR=\"...\""
+#endif
+
+namespace jepo::experiments {
+namespace {
+
+constexpr const char* kGoldenPath =
+    JEPO_REPO_DIR "/tests/goldens/interval_report.golden";
+
+bool captureMode() {
+  const char* v = std::getenv("JEPO_CAPTURE_GOLDENS");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+std::string renderJsonRow(const ClassifierResult& r) {
+  JsonWriter w;
+  w.beginObject();
+  for (const auto& [k, v] : table4JsonRow(r)) w.kv(k, v);
+  w.endObject();
+  return w.str();
+}
+
+/// A fully hand-built row: every field a round value, so the expected JSON
+/// below is readable and machine-independent.
+ClassifierResult syntheticRow() {
+  ClassifierResult r;
+  r.kind = ml::ClassifierKind::kJ48;
+  r.changes = 88;
+  r.changesFullScale = 880;
+  r.packageImprovement = 4.5;
+  r.cpuImprovement = 4.0;
+  r.timeImprovement = 3.5;
+  r.accuracyBase = 0.625;
+  r.accuracyOpt = 0.5;
+  r.accuracyDrop = 12.5;
+  r.basePackageJoules = 2.0;
+  r.optPackageJoules = 1.5;
+  return r;
+}
+
+TEST(JsonRow, LegacyBytesAreFrozenWhenIntervalsAreOff) {
+  const std::string expected =
+      R"({"classifier":"J48","changes":880,"packageImprovementPct":4.5,)"
+      R"("cpuImprovementPct":4,"timeImprovementPct":3.5,)"
+      R"("accuracyDropPct":12.5,"accuracyBase":0.625,)"
+      R"("basePackageJoules":2,"optPackageJoules":1.5,"quality":"ok",)"
+      R"("faultRetries":0,"flagged":false,"tier":"full","samplingRate":1})";
+  EXPECT_EQ(renderJsonRow(syntheticRow()), expected);
+}
+
+TEST(JsonRow, IntervalFieldsAppendAfterTheLegacyPrefix) {
+  ClassifierResult r = syntheticRow();
+  const std::string legacy = renderJsonRow(r);
+
+  ResultIntervals iv;
+  iv.basePackage = {1.9, 2.0, 2.1};
+  iv.optPackage = {1.4, 1.5, 1.6};
+  iv.packageImprovement = {4.0, 4.5, 5.0};
+  iv.validRuns = 10;
+  iv.retriedFraction = 0.2;
+  iv.widenFactor = 1.07;
+  r.intervals = iv;
+  const std::string with = renderJsonRow(r);
+
+  // The legacy bytes are a strict prefix: old consumers see the same
+  // fields in the same places, new fields ride behind them.
+  const std::string prefix = legacy.substr(0, legacy.size() - 1);  // trim }
+  ASSERT_EQ(with.compare(0, prefix.size(), prefix), 0);
+  EXPECT_NE(with.find("\"basePackageJoulesLo\":1.9"), std::string::npos);
+  EXPECT_NE(with.find("\"intervalWidenFactor\":1.07"), std::string::npos);
+  EXPECT_NE(with.find("\"intervalPointEstimate\":false"),
+            std::string::npos);
+}
+
+/// The pipeline-produced golden: two cheap classifiers, intervals on.
+std::string computeGoldenDoc() {
+  WekaExperimentConfig cfg;
+  cfg.instances = 80;
+  cfg.runs = 3;
+  cfg.intervals = true;
+  cfg.bootstrap.resamples = 50;
+  std::vector<ClassifierResult> rows;
+  rows.push_back(
+      runClassifierExperiment(ml::ClassifierKind::kJ48, cfg));
+  rows.push_back(
+      runClassifierExperiment(ml::ClassifierKind::kNaiveBayes, cfg));
+
+  std::ostringstream doc;
+  doc << "# interval report goldens — pinned bytes of the probabilistic\n"
+         "# report layer over a fixed config (instances=80, runs=3,\n"
+         "# resamples=50, seed=2020).\n"
+         "# regenerate: JEPO_CAPTURE_GOLDENS=1 ./interval_golden_test\n";
+  for (const ClassifierResult& r : rows) doc << renderJsonRow(r) << '\n';
+  doc << renderIntervalReport(rows);
+  return doc.str();
+}
+
+TEST(IntervalGolden, ReportBytesMatchCapturedGolden) {
+  const std::string doc = computeGoldenDoc();
+
+  if (captureMode()) {
+    std::ofstream out(kGoldenPath, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << doc;
+    GTEST_SKIP() << "golden captured to " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << kGoldenPath
+      << " — run JEPO_CAPTURE_GOLDENS=1 ./interval_golden_test";
+  std::ostringstream captured;
+  captured << in.rdbuf();
+  EXPECT_EQ(doc, captured.str())
+      << "interval report bytes drifted; regenerate only if the format "
+         "change is intentional";
+}
+
+}  // namespace
+}  // namespace jepo::experiments

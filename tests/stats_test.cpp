@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "stats/bootstrap.hpp"
 #include "stats/protocol.hpp"
 #include "stats/stats.hpp"
 #include "support/rng.hpp"
@@ -230,6 +231,177 @@ TEST(Protocol, MeanMatchesSectionEightSemantics) {
     return std::vector<double>{vals[i++ % 4]};
   });
   EXPECT_NEAR(result.means[0], 11.5, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap battery (stats/bootstrap.hpp)
+
+std::vector<double> sampleValues(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(5.0 + rng.nextDouble() * 2.0);
+  return xs;
+}
+
+bool sameInterval(const Interval& a, const Interval& b) {
+  return a.lo == b.lo && a.mean == b.mean && a.hi == b.hi;
+}
+
+TEST(Bootstrap, RerunIsBitIdentical) {
+  const std::vector<double> xs = sampleValues(12, 99);
+  const std::vector<int> qs(xs.size(), kQualityOk);
+  const BootstrapConfig cfg;
+  const IntervalResult a = qualityInterval(xs, qs, cfg);
+  const IntervalResult b = qualityInterval(xs, qs, cfg);
+  EXPECT_TRUE(sameInterval(a.interval, b.interval));
+  EXPECT_EQ(a.validRows, b.validRows);
+  EXPECT_EQ(a.widenFactor, b.widenFactor);
+}
+
+TEST(Bootstrap, SeedChangesResamples) {
+  const std::vector<double> xs = sampleValues(12, 99);
+  BootstrapConfig cfg;
+  const std::vector<double> a = bootstrapMeans(xs, cfg.resamples, 1,
+                                               serialExecutor());
+  const std::vector<double> b = bootstrapMeans(xs, cfg.resamples, 2,
+                                               serialExecutor());
+  EXPECT_NE(a, b);
+  // Same seed replays exactly.
+  EXPECT_EQ(a, bootstrapMeans(xs, cfg.resamples, 1, serialExecutor()));
+}
+
+TEST(Bootstrap, ExecutorSchedulingCannotChangeABit) {
+  const std::vector<double> xs = sampleValues(16, 7);
+  const std::vector<double> serial =
+      bootstrapMeans(xs, 300, 2020, serialExecutor());
+
+  const BatchExecutor reversed =
+      [](const std::vector<std::function<void()>>& jobs) {
+        for (auto it = jobs.rbegin(); it != jobs.rend(); ++it) (*it)();
+      };
+  EXPECT_EQ(serial, bootstrapMeans(xs, 300, 2020, reversed));
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    const BatchExecutor pooled =
+        [&pool](const std::vector<std::function<void()>>& jobs) {
+          parallelFor(pool, jobs.size(),
+                      [&jobs](std::size_t i) { jobs[i](); });
+        };
+    EXPECT_EQ(serial, bootstrapMeans(xs, 300, 2020, pooled))
+        << threads << " threads";
+  }
+}
+
+TEST(Bootstrap, IntervalBracketsTheCenterAndOrdersBounds) {
+  const std::vector<double> xs = sampleValues(10, 3);
+  const std::vector<int> qs(xs.size(), kQualityOk);
+  const IntervalResult r = qualityInterval(xs, qs, BootstrapConfig{});
+  EXPECT_LE(r.interval.lo, r.interval.mean);
+  EXPECT_LE(r.interval.mean, r.interval.hi);
+  EXPECT_GT(r.interval.width(), 0.0);
+  EXPECT_FALSE(r.pointEstimate);
+}
+
+TEST(Bootstrap, SingleRunFallsBackToPointEstimate) {
+  const IntervalResult r =
+      qualityInterval({42.0}, {kQualityOk}, BootstrapConfig{});
+  EXPECT_TRUE(r.pointEstimate);
+  EXPECT_EQ(r.interval.lo, 42.0);
+  EXPECT_EQ(r.interval.mean, 42.0);
+  EXPECT_EQ(r.interval.hi, 42.0);
+  EXPECT_EQ(r.validRows, 1);
+}
+
+TEST(Bootstrap, ConstantColumnYieldsZeroWidth) {
+  const std::vector<double> xs(8, 3.25);
+  const std::vector<int> qs(xs.size(), kQualityOk);
+  const IntervalResult r = qualityInterval(xs, qs, BootstrapConfig{});
+  EXPECT_FALSE(r.pointEstimate);
+  EXPECT_EQ(r.interval.lo, 3.25);
+  EXPECT_EQ(r.interval.mean, 3.25);
+  EXPECT_EQ(r.interval.hi, 3.25);
+}
+
+TEST(Bootstrap, AllFlaggedRowsFallBackWithoutAborting) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<int> qs(xs.size(), kQualityInvalid);
+  const IntervalResult r = qualityInterval(xs, qs, BootstrapConfig{});
+  EXPECT_TRUE(r.pointEstimate);
+  EXPECT_EQ(r.validRows, 0);
+  EXPECT_EQ(r.excludedRows, 3);
+  // The fallback center matches the protocol means, which keep every row.
+  EXPECT_DOUBLE_EQ(r.interval.mean, 2.0);
+}
+
+TEST(Bootstrap, InvalidRowsAreExcludedButCounted) {
+  const std::vector<double> xs = {5.0, 5.1, 4.9, 1000.0};
+  const std::vector<int> qs = {kQualityOk, kQualityOk, kQualityOk,
+                               kQualityInvalid};
+  const IntervalResult r = qualityInterval(xs, qs, BootstrapConfig{});
+  EXPECT_EQ(r.validRows, 3);
+  EXPECT_EQ(r.excludedRows, 1);
+  // The excluded spike cannot leak into the resampled interval.
+  EXPECT_LT(r.interval.hi, 6.0);
+}
+
+TEST(Bootstrap, WidenFactorOrdersOkRetriedDegraded) {
+  EXPECT_EQ(qualityWidenFactor(0.0, 0.0), 1.0);
+  // ok < retried < degraded at equal fractions.
+  EXPECT_LT(qualityWidenFactor(0.0, 0.0), qualityWidenFactor(0.5, 0.0));
+  EXPECT_LT(qualityWidenFactor(0.5, 0.0), qualityWidenFactor(0.0, 0.5));
+  // Strictly monotone in either fraction.
+  EXPECT_LT(qualityWidenFactor(0.2, 0.1), qualityWidenFactor(0.3, 0.1));
+  EXPECT_LT(qualityWidenFactor(0.2, 0.1), qualityWidenFactor(0.2, 0.2));
+}
+
+TEST(Bootstrap, DegradedRowsWidenTheIntervalOnTheSameValues) {
+  const std::vector<double> xs = sampleValues(10, 11);
+  const std::vector<int> clean(xs.size(), kQualityOk);
+  std::vector<int> degraded(xs.size(), kQualityOk);
+  degraded[1] = kQualityDegraded;
+  degraded[4] = kQualityDegraded;
+  const IntervalResult a = qualityInterval(xs, clean, BootstrapConfig{});
+  const IntervalResult b = qualityInterval(xs, degraded, BootstrapConfig{});
+  // Identical values, identical resamples — only the quality tags differ,
+  // and the degraded matrix must honestly report more uncertainty.
+  EXPECT_GT(b.interval.width(), a.interval.width());
+  EXPECT_EQ(b.interval.mean, a.interval.mean);
+  EXPECT_GT(b.widenFactor, a.widenFactor);
+}
+
+TEST(Bootstrap, CoverageSanityOnAKnownDistribution) {
+  // ~95% of seeded uniform samples' intervals should cover the true mean;
+  // with widening only ever growing intervals, a large majority covering
+  // is the sanity floor (exactness is not the claim — determinism is).
+  const double trueMean = 6.0;  // uniform on [5, 7]
+  int covered = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<double> xs =
+        sampleValues(24, static_cast<std::uint64_t>(1000 + t));
+    const std::vector<int> qs(xs.size(), kQualityOk);
+    BootstrapConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(t);
+    const IntervalResult r = qualityInterval(xs, qs, cfg);
+    if (r.interval.lo <= trueMean && trueMean <= r.interval.hi) ++covered;
+  }
+  EXPECT_GE(covered, trials * 4 / 5);
+}
+
+TEST(Bootstrap, ValidatesInputs) {
+  EXPECT_THROW(bootstrapMeans({}, 10, 1, serialExecutor()),
+               PreconditionError);
+  EXPECT_THROW(bootstrapMeans({1.0}, 0, 1, serialExecutor()),
+               PreconditionError);
+  EXPECT_THROW(percentileInterval({}, 0.0, 0.95), PreconditionError);
+  EXPECT_THROW(percentileInterval({1.0}, 0.0, 1.5), PreconditionError);
+  EXPECT_THROW(qualityInterval({}, {}, BootstrapConfig{}),
+               PreconditionError);
+  EXPECT_THROW(qualityInterval({1.0}, {kQualityOk, kQualityOk},
+                               BootstrapConfig{}),
+               PreconditionError);
 }
 
 }  // namespace
